@@ -1,0 +1,81 @@
+// Ablation: data-dependent vs worst-case privacy accounting (PATE'17
+// Theorem 3 / Lemma 4) on real teacher votes.
+//
+// The natural tightening of the paper's Theorem 5: when teachers agree
+// strongly — which is exactly the regime the consensus threshold selects
+// for — the probability that noise flips the argmax is tiny, and the
+// composed privacy bill collapses.  We run LNMax over the teachers' actual
+// vote histograms and compare both accountants, split by whether the query
+// would have passed the 60% consensus threshold.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dp/data_dependent.h"
+#include "dp/laplace.h"
+
+using namespace pclbench;
+
+int main() {
+  DeterministicRng rng(1001);
+  const TrainConfig train = teacher_train_config();
+  const double b = 10.0;  // Laplace scale (counts)
+  const std::size_t queries = 400;
+
+  std::printf("Data-dependent accounting ablation (LNMax, b=%.0f, "
+              "%zu queries, delta=1e-6)\n", b, queries);
+
+  const Corpus corpus = make_corpus(CorpusKind::kSvhnLike, rng);
+  for (const std::size_t users : {25u, 100u}) {
+    const auto shards = make_shards(corpus.user_pool.size(), users, 0, rng);
+    const TeacherEnsemble ensemble(corpus.user_pool, shards, train, rng);
+    const double threshold = 0.6 * static_cast<double>(users);
+
+    MomentsAccountant dependent, independent;
+    MomentsAccountant dependent_consensus_only;
+    std::size_t above = 0;
+    double mean_q_above = 0, mean_q_below = 0;
+    for (std::size_t q = 0; q < queries; ++q) {
+      const std::vector<double> hist = ensemble.vote_histogram(
+          corpus.query_pool.features.row(q), VoteType::kOneHot);
+      dependent.add_lnmax_query(hist, b);
+      independent.add_lnmax_query_data_independent(b);
+      const double flip = lnmax_flip_probability(hist, b);
+      const double top = *std::max_element(hist.begin(), hist.end());
+      if (top >= threshold) {
+        dependent_consensus_only.add_lnmax_query(hist, b);
+        mean_q_above += flip;
+        ++above;
+      } else {
+        mean_q_below += flip;
+      }
+    }
+    if (above > 0) mean_q_above /= static_cast<double>(above);
+    if (above < queries) {
+      mean_q_below /= static_cast<double>(queries - above);
+    }
+
+    char title[64];
+    std::snprintf(title, sizeof(title), "SVHN-like, %zu users", users);
+    print_title(title);
+    std::printf("  queries above 60%% threshold:    %zu / %zu\n", above,
+                queries);
+    std::printf("  mean flip prob (above / below):  %.4f / %.4f\n",
+                mean_q_above, mean_q_below);
+    std::printf("  worst-case accountant:           eps = %.2f\n",
+                independent.epsilon(1e-6));
+    std::printf("  data-dependent, all queries:     eps = %.2f\n",
+                dependent.epsilon(1e-6));
+    if (above > 0) {
+      std::printf("  data-dependent, consensus-only:  eps = %.2f "
+                  "(%zu queries)\n",
+                  dependent_consensus_only.epsilon(1e-6), above);
+    }
+  }
+
+  std::printf("\nshape check: data-dependent < worst-case; the consensus-"
+              "passing queries (high agreement, low flip probability) are "
+              "the cheap ones — thresholding and tight accounting are "
+              "complementary\n");
+  return 0;
+}

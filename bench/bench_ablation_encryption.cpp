@@ -1,0 +1,88 @@
+// Ablation reproducing the paper's Sec. VI-A engineering finding ("Encrypt
+// numbers efficiently"): naive sharing of one randomness generator
+// serializes parallel encryption; pre-generating a randomizer table (and
+// giving each worker its own generator) restores the expected speedup.
+//
+// Rows: sequential baseline, thread-parallel with per-worker RNGs, and
+// pool-backed encryption (randomizers precomputed, one multiplication per
+// encryption).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "crypto/encryption_pool.h"
+
+using namespace pcl;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t count =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
+  DeterministicRng rng(11);
+  const PaillierKeyPair key = generate_paillier_key(64, rng);
+
+  std::vector<std::int64_t> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values[i] = static_cast<std::int64_t>(i) - 500;
+  }
+
+  std::printf("Paillier bulk-encryption ablation (%zu values, 64-bit key)\n\n",
+              count);
+  std::printf("%-38s %12s %12s\n", "strategy", "seconds", "enc/s");
+
+  // Sequential baseline.
+  double sequential_s = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::int64_t v : values) {
+      volatile auto c = key.pk.encrypt(BigInt(v), rng).value.bit_length();
+      (void)c;
+    }
+    sequential_s = seconds_since(start);
+    std::printf("%-38s %12.3f %12.0f\n", "sequential (one generator)",
+                sequential_s, count / sequential_s);
+  }
+
+  // Thread-parallel with independent per-worker generators.
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto cts = encrypt_batch_parallel(key.pk, values, threads, 5);
+    const double s = seconds_since(start);
+    char label[64];
+    std::snprintf(label, sizeof(label), "parallel, %zu worker RNGs", threads);
+    std::printf("%-38s %12.3f %12.0f   (%.1fx)\n", label, s, count / s,
+                sequential_s / s);
+    if (cts.size() != count) return 1;
+  }
+
+  // Pool-backed: randomizer powers precomputed in parallel, then draws are
+  // one multiplication each.
+  {
+    const auto pool_start = std::chrono::steady_clock::now();
+    PaillierRandomizerPool pool(key.pk, count, 8, 6);
+    const double prep_s = seconds_since(pool_start);
+    const auto start = std::chrono::steady_clock::now();
+    const auto cts = pool.encrypt_batch(values);
+    const double s = seconds_since(start);
+    std::printf("%-38s %12.3f %12.0f   (%.1fx; +%.3fs prep)\n",
+                "randomizer pool (paper's table fix)", s, count / s,
+                sequential_s / s, prep_s);
+    if (cts.size() != count) return 1;
+  }
+
+  std::printf("\nshape check: per-worker RNGs scale with available cores "
+              "(this host: %u); pooled draws are the fastest online path — "
+              "the pow_mod moved into precomputation — mirroring the "
+              "paper's randomness-table fix\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}

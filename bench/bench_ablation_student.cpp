@@ -1,0 +1,58 @@
+// Ablation: student architecture and semi-supervised knowledge transfer.
+//
+// The paper's aggregator "conducts semi-supervised learning on the
+// collection of data-label pairs" (Sec. III-A); its student is an
+// Inception-V3 network.  This bench ablates our substitutes: a linear
+// softmax student vs a one-hidden-layer MLP, each with and without
+// pseudo-label self-training on the unanswered public instances
+// (post-processing — no additional privacy cost).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dp/rdp.h"
+
+using namespace pclbench;
+
+int main() {
+  DeterministicRng rng(909);
+  const TrainConfig train = teacher_train_config();
+  const NoiseCalibration cal = calibrate_noise(8.19, 1e-6, 1);
+
+  std::printf("Student ablation (consensus labels, eps=8.19/query)\n");
+
+  for (const CorpusKind kind : {CorpusKind::kMnistLike,
+                                CorpusKind::kSvhnLike}) {
+    const Corpus corpus = make_corpus(kind, rng);
+    const auto shards = make_shards(corpus.user_pool.size(), 50, 0, rng);
+    const TeacherEnsemble ensemble(corpus.user_pool, shards, train, rng);
+
+    print_title(std::string("Aggregator accuracy, ") + corpus_name(kind) +
+                ", 50 users");
+    print_row("student", {"supervised", "semi-supervised"}, 22, 18);
+
+    for (const StudentKind student : {StudentKind::kLogistic,
+                                      StudentKind::kMlp}) {
+      std::vector<std::string> cells;
+      for (const bool semi : {false, true}) {
+        PipelineConfig config;
+        config.num_queries = 400;
+        config.sigma1 = cal.sigma1;
+        config.sigma2 = cal.sigma2;
+        config.student = student;
+        config.semi_supervised = semi;
+        config.student_train.epochs = 40;
+        const PipelineResult result = run_pipeline(
+            ensemble, corpus.query_pool, corpus.test, config, rng);
+        cells.push_back(fmt(result.aggregator_accuracy));
+      }
+      print_row(student == StudentKind::kLogistic ? "logistic" : "MLP(32)",
+                cells, 22, 18);
+    }
+  }
+
+  std::printf("\nshape check: pseudo-labeling is roughly neutral at this "
+              "high retention (it matters when few labels are released); "
+              "the MLP matches the linear student on these near-linear "
+              "corpora\n");
+  return 0;
+}

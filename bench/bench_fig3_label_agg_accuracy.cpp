@@ -1,0 +1,88 @@
+// Reproduces paper Fig. 3: label accuracy and aggregator accuracy for the
+// private consensus protocol vs the noisy-max baseline, on MNIST-like and
+// SVHN-like data, across privacy levels and user counts (even split,
+// threshold 60%).
+//
+// "Same privacy level" is enforced through the RDP accountant, with the
+// paper's epsilon values read as per-query Theorem 5 guarantees (see
+// EXPERIMENTS.md): the consensus mechanism gets calibrated (sigma1, sigma2)
+// while the baseline spends the same per-query budget entirely on Report
+// Noisy Maximum (it has no threshold test).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dp/rdp.h"
+
+using namespace pclbench;
+
+namespace {
+
+/// Noise scale for the baseline so that Q noisy-max releases cost eps.
+/// (Q = 1 gives the per-query level used below.)
+double baseline_sigma(double eps, double delta, std::size_t queries) {
+  const double big_l = std::log(1.0 / delta);
+  const double sqrt_s = std::sqrt(big_l + eps) - std::sqrt(big_l);
+  return std::sqrt(static_cast<double>(queries) / (sqrt_s * sqrt_s));
+}
+
+}  // namespace
+
+int main() {
+  DeterministicRng rng(303);
+  const std::vector<std::size_t> user_counts = {25, 50, 75, 100};
+  const std::vector<double> epsilons = {2.0, 4.0, 8.19, 16.0};
+  const double delta = 1e-6;
+  const std::size_t queries = 400;
+  const TrainConfig train = teacher_train_config();
+
+  std::printf("Fig. 3 reproduction: consensus vs baseline accuracy\n");
+  std::printf("(threshold 60%%, delta=1e-6, %zu queries; noise calibrated "
+              "per privacy level)\n", queries);
+
+  for (const CorpusKind kind : {CorpusKind::kMnistLike,
+                                CorpusKind::kSvhnLike}) {
+    const Corpus corpus = make_corpus(kind, rng);
+    for (const std::size_t users : user_counts) {
+      const auto shards = make_shards(corpus.user_pool.size(), users, 0, rng);
+      const TeacherEnsemble ensemble(corpus.user_pool, shards, train, rng);
+
+      char title[128];
+      std::snprintf(title, sizeof(title), "%s, %zu users",
+                    corpus_name(kind), users);
+      print_title(title);
+      print_row("epsilon", {"2.0", "4.0", "8.19", "16.0"});
+
+      std::vector<std::string> label_c, label_b, agg_c, agg_b;
+      for (const double eps : epsilons) {
+        const NoiseCalibration cal = calibrate_noise(eps, delta, 1);
+        PipelineConfig config;
+        config.num_queries = queries;
+        config.sigma1 = cal.sigma1;
+        config.sigma2 = cal.sigma2;
+        config.aggregator = AggregatorKind::kConsensus;
+        const PipelineResult consensus =
+            run_pipeline(ensemble, corpus.query_pool, corpus.test, config,
+                         rng);
+        config.aggregator = AggregatorKind::kBaseline;
+        config.sigma2 = baseline_sigma(eps, delta, 1);
+        const PipelineResult baseline =
+            run_pipeline(ensemble, corpus.query_pool, corpus.test, config,
+                         rng);
+        label_c.push_back(fmt(consensus.label_accuracy));
+        label_b.push_back(fmt(baseline.label_accuracy));
+        agg_c.push_back(fmt(consensus.aggregator_accuracy));
+        agg_b.push_back(fmt(baseline.aggregator_accuracy));
+      }
+      print_row("label acc consensus", label_c);
+      print_row("label acc baseline", label_b);
+      print_row("agg acc consensus", agg_c);
+      print_row("agg acc baseline", agg_b);
+    }
+  }
+
+  std::printf("\nshape check: consensus >= baseline at moderate/large user "
+              "counts (paper allows a slight inversion at 25 users); both "
+              "rise with epsilon; baseline degrades faster as users grow\n");
+  return 0;
+}

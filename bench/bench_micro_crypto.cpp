@@ -1,0 +1,170 @@
+// Micro-benchmarks (google-benchmark) for the crypto substrate, with key-
+// size ablations.  These are not a paper table; they quantify the design
+// choices DESIGN.md calls out: Paillier cost vs key size, DGK encryption /
+// zero-test cost, the per-comparison cost that dominates Table I, and the
+// bignum primitives underneath.
+#include <benchmark/benchmark.h>
+
+#include "bigint/primes.h"
+#include "crypto/dgk.h"
+#include "crypto/paillier.h"
+#include "mpc/dgk_compare.h"
+#include "net/transport.h"
+
+namespace {
+
+using namespace pcl;
+
+void BM_BigIntMul(benchmark::State& state) {
+  DeterministicRng rng(1);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = rng.random_bits_exact(bits);
+  const BigInt b = rng.random_bits_exact(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  DeterministicRng rng(2);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = rng.random_bits_exact(2 * bits);
+  const BigInt b = rng.random_bits_exact(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::div_mod(a, b));
+  }
+}
+BENCHMARK(BM_BigIntDivMod)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BigIntPowMod(benchmark::State& state) {
+  DeterministicRng rng(3);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt m = rng.random_bits_exact(bits);
+  const BigInt base = rng.uniform_below(m);
+  const BigInt exp = rng.random_bits_exact(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::pow_mod(base, exp, m));
+  }
+}
+BENCHMARK(BM_BigIntPowMod)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_PrimeGeneration(benchmark::State& state) {
+  DeterministicRng rng(4);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_prime(bits, rng));
+  }
+}
+BENCHMARK(BM_PrimeGeneration)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  DeterministicRng rng(5);
+  const auto key = generate_paillier_key(
+      static_cast<std::size_t>(state.range(0)), rng);
+  const BigInt m(123456);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.pk.encrypt(m, rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  DeterministicRng rng(6);
+  const auto key = generate_paillier_key(
+      static_cast<std::size_t>(state.range(0)), rng);
+  const PaillierCiphertext c = key.pk.encrypt(BigInt(-987654), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sk.decrypt(c));
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierHomomorphicAdd(benchmark::State& state) {
+  DeterministicRng rng(7);
+  const auto key = generate_paillier_key(64, rng);
+  const PaillierCiphertext c1 = key.pk.encrypt(BigInt(17), rng);
+  const PaillierCiphertext c2 = key.pk.encrypt(BigInt(25), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.pk.add(c1, c2));
+  }
+}
+BENCHMARK(BM_PaillierHomomorphicAdd);
+
+void BM_DgkEncrypt(benchmark::State& state) {
+  DeterministicRng rng(8);
+  DgkParams params;
+  params.n_bits = static_cast<std::size_t>(state.range(0));
+  params.v_bits = 40;
+  params.plaintext_bound = 256;
+  const auto key = generate_dgk_key(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.pk.encrypt(std::uint64_t{1}, rng));
+  }
+}
+BENCHMARK(BM_DgkEncrypt)->Arg(160)->Arg(192)->Arg(256)->Arg(384)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DgkZeroTest(benchmark::State& state) {
+  DeterministicRng rng(9);
+  DgkParams params;
+  params.n_bits = static_cast<std::size_t>(state.range(0));
+  params.v_bits = 40;
+  params.plaintext_bound = 256;
+  const auto key = generate_dgk_key(params, rng);
+  const DgkCiphertext c = key.pk.encrypt(std::uint64_t{0}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sk.is_zero(c));
+  }
+}
+BENCHMARK(BM_DgkZeroTest)->Arg(160)->Arg(192)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DgkCompare(benchmark::State& state) {
+  // The unit cost behind Table I's dominant steps, as a function of the
+  // comparison bit-width ell.
+  DeterministicRng rng(10);
+  DgkParams params;
+  params.n_bits = 192;
+  params.v_bits = 40;
+  params.plaintext_bound = 256;
+  const auto key = generate_dgk_key(params, rng);
+  const std::size_t ell = static_cast<std::size_t>(state.range(0));
+  const DgkCompareContext ctx(key.pk, key.sk, ell);
+  std::int64_t x = 12345, y = -9876;
+  for (auto _ : state) {
+    Network net;
+    benchmark::DoNotOptimize(dgk_compare_geq(net, ctx, x, y, rng, rng));
+    std::swap(x, y);
+  }
+}
+BENCHMARK(BM_DgkCompare)->Arg(16)->Arg(32)->Arg(52)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DgkCompareShared(benchmark::State& state) {
+  // The secret-shared-output variant (one extra bit width, one fewer
+  // message round).
+  DeterministicRng rng(11);
+  DgkParams params;
+  params.n_bits = 192;
+  params.v_bits = 40;
+  params.plaintext_bound = 256;
+  const auto key = generate_dgk_key(params, rng);
+  const std::size_t ell = static_cast<std::size_t>(state.range(0));
+  const DgkCompareContext ctx(key.pk, key.sk, ell);
+  std::int64_t x = 4321, y = -1234;
+  for (auto _ : state) {
+    Network net;
+    benchmark::DoNotOptimize(dgk_compare_geq_shared(net, ctx, x, y, rng, rng));
+    std::swap(x, y);
+  }
+}
+BENCHMARK(BM_DgkCompareShared)->Arg(16)->Arg(32)->Arg(52)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

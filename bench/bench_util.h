@@ -1,0 +1,79 @@
+// Shared setup and table-printing helpers for the per-table / per-figure
+// benchmark binaries.  Every binary regenerates one table or figure of the
+// paper's evaluation (Sec. VI) on the synthetic stand-in corpora; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ensemble.h"
+#include "core/pipeline.h"
+#include "ml/dataset.h"
+#include "ml/partition.h"
+
+namespace pclbench {
+
+using namespace pcl;
+
+/// The paper sets aside a fixed aggregator pool (9000 samples on the real
+/// datasets); we scale everything down ~5x to keep every bench under a
+/// minute while preserving the shard-size dynamics.
+struct Corpus {
+  Dataset user_pool;   ///< distributed across users
+  Dataset query_pool;  ///< aggregator's public/unlabeled instances
+  Dataset test;        ///< held-out evaluation set
+};
+
+enum class CorpusKind { kMnistLike, kSvhnLike };
+
+inline const char* corpus_name(CorpusKind kind) {
+  return kind == CorpusKind::kMnistLike ? "MNIST-like" : "SVHN-like";
+}
+
+inline Corpus make_corpus(CorpusKind kind, Rng& rng,
+                          std::size_t total = 15000) {
+  const Dataset all = kind == CorpusKind::kMnistLike
+                          ? make_mnist_like(total, rng)
+                          : make_svhn_like(total, rng);
+  const std::size_t test_n = 2000;
+  const std::size_t query_n = 1500;
+  const HeadTailSplit s1 = split_head(all, test_n);
+  const HeadTailSplit s2 = split_head(s1.tail, query_n);
+  return {s2.tail, s2.head, s1.head};
+}
+
+/// division == 0 -> even partition; 2/3/4 -> the paper's 2-8 / 3-7 / 4-6.
+inline std::vector<UserShard> make_shards(std::size_t n, std::size_t users,
+                                          int division, Rng& rng) {
+  if (division == 0) return partition_even(n, users, rng);
+  return partition_division(n, users, division, rng);
+}
+
+inline TrainConfig teacher_train_config() {
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  return cfg;
+}
+
+/// Prints a markdown-ish row of cells with a fixed first-column width.
+inline void print_row(const std::string& head,
+                      const std::vector<std::string>& cells,
+                      int head_width = 22, int cell_width = 14) {
+  std::printf("%-*s", head_width, head.c_str());
+  for (const std::string& c : cells) std::printf("%*s", cell_width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace pclbench

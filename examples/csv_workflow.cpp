@@ -1,0 +1,69 @@
+// Real-data adoption path: run the decentralized-learning pipeline on data
+// loaded from CSV files.
+//
+// This demo writes a small CSV corpus to a temp directory (standing in for
+// your own export — e.g. flattened MNIST features, label in the last
+// column), loads it back through the strict CSV reader, and runs the
+// consensus labeling pipeline on it.  Swap the generated files for real
+// extracts and everything downstream is unchanged.
+//
+//   ./csv_workflow [/path/to/your.csv]
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.h"
+#include "dp/rdp.h"
+#include "ml/csv.h"
+
+int main(int argc, char** argv) {
+  pcl::DeterministicRng rng(2026);
+  std::string path;
+
+  if (argc > 1) {
+    path = argv[1];
+    std::printf("loading user-supplied dataset: %s\n", path.c_str());
+  } else {
+    // No file given: fabricate one so the demo is self-contained.
+    path = (std::filesystem::temp_directory_path() / "pcl_demo.csv").string();
+    std::printf("no CSV given; writing a synthetic corpus to %s\n",
+                path.c_str());
+    const pcl::Dataset synthetic = pcl::make_mnist_like(6000, rng);
+    pcl::save_csv_dataset(path, synthetic);
+  }
+
+  pcl::CsvOptions options;  // defaults: comma, no header, label last
+  const pcl::Dataset all = pcl::load_csv_dataset(path, options);
+  std::printf("loaded %zu samples, %zu features, %d classes\n", all.size(),
+              all.dims(), all.num_classes);
+
+  const pcl::HeadTailSplit test_split =
+      pcl::split_head(all, all.size() / 5);
+  const pcl::HeadTailSplit query_split =
+      pcl::split_head(test_split.tail, all.size() / 5);
+
+  const std::size_t users = 20;
+  const auto shards = pcl::partition_even(query_split.tail.size(), users,
+                                          rng);
+  pcl::TrainConfig teacher_train;
+  teacher_train.epochs = 15;
+  const pcl::TeacherEnsemble ensemble(query_split.tail, shards,
+                                      teacher_train, rng);
+  std::printf("trained %zu teachers; average accuracy %.3f\n", users,
+              ensemble.average_user_accuracy(test_split.head));
+
+  const pcl::NoiseCalibration cal = pcl::calibrate_noise(8.19, 1e-6, 1);
+  pcl::PipelineConfig config;
+  config.num_queries = std::min<std::size_t>(400, query_split.head.size());
+  config.sigma1 = cal.sigma1;
+  config.sigma2 = cal.sigma2;
+  const pcl::PipelineResult result = pcl::run_pipeline(
+      ensemble, query_split.head, test_split.head, config, rng);
+
+  std::printf("\nconsensus labeling on the CSV corpus:\n");
+  std::printf("  retention            %.3f\n", result.retention);
+  std::printf("  label accuracy       %.3f\n", result.label_accuracy);
+  std::printf("  aggregator accuracy  %.3f\n", result.aggregator_accuracy);
+  std::printf("  composed privacy     eps=%.2f at delta=1e-6\n",
+              result.epsilon);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Decentralized learning end-to-end (the paper's Fig. 1 workflow):
+//
+//   1. 30 users each hold a private shard of an MNIST-like corpus and train
+//      local teacher models.
+//   2. The aggregator queries them on its unlabeled public pool; the
+//      private-consensus mechanism labels instances only when > 60% of
+//      users (plus calibrated Gaussian noise) agree.
+//   3. A student model trains on the released data-label pairs and is
+//      evaluated on held-out test data.
+//   4. The RDP accountant reports the (eps, delta) guarantee actually
+//      spent, and the run is compared against the no-threshold baseline.
+//
+//   ./decentralized_mnist
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "dp/rdp.h"
+
+int main() {
+  pcl::DeterministicRng rng(42);
+
+  std::printf("building MNIST-like corpus (8000 samples)...\n");
+  const pcl::Dataset all = pcl::make_mnist_like(8000, rng);
+  const pcl::HeadTailSplit test_split = pcl::split_head(all, 1500);
+  const pcl::HeadTailSplit query_split = pcl::split_head(test_split.tail,
+                                                         1500);
+  const pcl::Dataset& test = test_split.head;
+  const pcl::Dataset& query_pool = query_split.head;
+  const pcl::Dataset& user_pool = query_split.tail;
+
+  const std::size_t users = 30;
+  std::printf("training %zu teachers on even shards of %zu samples...\n",
+              users, user_pool.size());
+  const auto shards = pcl::partition_even(user_pool.size(), users, rng);
+  pcl::TrainConfig teacher_train;
+  teacher_train.epochs = 15;
+  const pcl::TeacherEnsemble ensemble(user_pool, shards, teacher_train, rng);
+  std::printf("average teacher accuracy: %.3f\n",
+              ensemble.average_user_accuracy(test));
+
+  // The paper's privacy levels (e.g. eps = 8.19 at delta = 1e-6) are
+  // per-query Theorem 5 guarantees; the accountant composes them over the
+  // campaign and reports the total below.
+  const double eps_target = 8.19, delta = 1e-6;
+  const std::size_t queries = 500;
+  const pcl::NoiseCalibration cal = pcl::calibrate_noise(eps_target, delta, 1);
+  std::printf("calibrated noise for per-query (eps=%.2f, delta=%.0e): "
+              "sigma1=%.2f sigma2=%.2f\n",
+              eps_target, delta, cal.sigma1, cal.sigma2);
+
+  pcl::PipelineConfig config;
+  config.num_queries = queries;
+  config.sigma1 = cal.sigma1;
+  config.sigma2 = cal.sigma2;
+  config.aggregator = pcl::AggregatorKind::kConsensus;
+
+  std::printf("\nlabeling %zu public instances via private consensus...\n",
+              queries);
+  const pcl::PipelineResult consensus =
+      pcl::run_pipeline(ensemble, query_pool, test, config, rng);
+  std::printf("  answered: %zu/%zu (retention %.3f)\n", consensus.answered,
+              consensus.queries, consensus.retention);
+  std::printf("  label accuracy:      %.3f\n", consensus.label_accuracy);
+  std::printf("  aggregator accuracy: %.3f\n", consensus.aggregator_accuracy);
+  std::printf("  composed privacy over the campaign: eps=%.3f at "
+              "delta=%.0e\n", consensus.epsilon, delta);
+
+  config.aggregator = pcl::AggregatorKind::kBaseline;
+  std::printf("\nsame run with the no-threshold noisy-max baseline...\n");
+  const pcl::PipelineResult baseline =
+      pcl::run_pipeline(ensemble, query_pool, test, config, rng);
+  std::printf("  label accuracy:      %.3f\n", baseline.label_accuracy);
+  std::printf("  aggregator accuracy: %.3f\n", baseline.aggregator_accuracy);
+
+  std::printf("\nconsensus filtering %s the baseline on label accuracy "
+              "(%.3f vs %.3f)\n",
+              consensus.label_accuracy >= baseline.label_accuracy ? "beats"
+                                                                  : "trails",
+              consensus.label_accuracy, baseline.label_accuracy);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Privacy budgeting walkthrough: how to choose noise scales for a labeling
+// campaign using the Rényi-DP machinery (paper Sec. III-C and V-B).
+//
+// Shows: per-mechanism RDP slopes, Theorem 5's closed form, composition
+// over many queries, calibration to a target (eps, delta), and how the
+// budget splits between the threshold test (SVT) and the release (RNM).
+//
+//   ./privacy_budgeting
+#include <cstdio>
+
+#include "dp/mechanisms.h"
+#include "dp/rdp.h"
+
+int main() {
+  const double delta = 1e-6;
+
+  std::printf("Step 1: one consensus query (Alg. 4) = one SVT threshold "
+              "test + one noisy-max release.\n");
+  const double sigma1 = 40.0, sigma2 = 18.9;
+  std::printf("  sigma1=%.1f -> SVT RDP slope  9/(2 s1^2) = %.6f\n", sigma1,
+              9.0 / (2.0 * sigma1 * sigma1));
+  std::printf("  sigma2=%.1f -> RNM RDP slope  1/s2^2     = %.6f\n", sigma2,
+              1.0 / (sigma2 * sigma2));
+  std::printf("  Theorem 5: one query is (%.4f, 1e-6)-DP (optimal alpha "
+              "%.1f)\n",
+              pcl::theorem5_epsilon(sigma1, sigma2, delta),
+              pcl::theorem5_optimal_alpha(sigma1, sigma2, delta));
+
+  std::printf("\nStep 2: compose a 400-query campaign.\n");
+  pcl::RdpAccountant acc;
+  acc.add_consensus_query(sigma1, sigma2, 400);
+  std::printf("  400 queries cost eps=%.3f (not 400x the single-query "
+              "cost: RDP composes in slope, eps grows ~sqrt(Q))\n",
+              acc.epsilon(delta));
+
+  std::printf("\nStep 3: invert — what noise hits a target budget?\n");
+  for (const double target : {2.0, 8.19, 16.0}) {
+    const pcl::NoiseCalibration cal = pcl::calibrate_noise(target, delta,
+                                                           400);
+    std::printf("  eps=%5.2f  ->  sigma1=%7.2f  sigma2=%7.2f  "
+                "(achieved %.4f)\n",
+                target, cal.sigma1, cal.sigma2, cal.achieved_epsilon);
+  }
+
+  std::printf("\nStep 4: what the noise does to a concrete vote.\n");
+  pcl::DeterministicRng rng(3);
+  const std::vector<double> votes = {61.0, 19.0, 11.0, 9.0};  // 100 users
+  const pcl::NoiseCalibration cal = pcl::calibrate_noise(8.19, delta, 400);
+  int answered = 0, correct = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const pcl::AggregationOutcome out = pcl::aggregate_private(
+        votes, /*threshold=*/60.0, cal.sigma1, cal.sigma2, rng);
+    if (out.consensus()) {
+      ++answered;
+      correct += (*out.label == 0) ? 1 : 0;
+    }
+  }
+  std::printf("  votes {61,19,11,9}/100, T=60, calibrated noise: answered "
+              "%.1f%% of runs, released the true label in %.1f%% of "
+              "answers\n",
+              100.0 * answered / trials,
+              answered ? 100.0 * correct / answered : 0.0);
+  std::printf("\nTakeaway: the threshold test consumes 9/(2 sigma1^2) of "
+              "slope per query whether or not it answers; size sigma1 about "
+              "2.1x sigma2 to balance the two mechanisms.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "bigint/montgomery.h"
+
+#include <stdexcept>
+
+namespace pcl {
+
+MontgomeryContext::MontgomeryContext(BigInt modulus)
+    : modulus_(std::move(modulus)) {
+  if (modulus_ <= BigInt(1) || modulus_.is_even()) {
+    throw std::invalid_argument(
+        "MontgomeryContext requires an odd modulus > 1");
+  }
+  const std::vector<std::uint32_t> limbs = modulus_.to_limbs();
+  limb_count_ = limbs.size();
+
+  // n' = -m^{-1} mod 2^32 via Newton iteration on the low limb (valid for
+  // odd m: each step doubles the number of correct low bits).
+  const std::uint32_t m0 = limbs[0];
+  std::uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - m0 * inv;
+  }
+  n_prime_ = ~inv + 1u;  // -inv mod 2^32
+
+  BigInt r(1);
+  r <<= 32 * limb_count_;
+  r_mod_ = r.mod(modulus_);
+  r2_mod_ = (r_mod_ * r_mod_).mod(modulus_);
+}
+
+BigInt MontgomeryContext::redc(std::vector<std::uint32_t> t) const {
+  const std::vector<std::uint32_t> m = modulus_.to_limbs();
+  const std::size_t k = limb_count_;
+  t.resize(2 * k + 1, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t u = t[i] * n_prime_;
+    // t += u * m << (32 * i)
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint64_t sum = static_cast<std::uint64_t>(t[i + j]) +
+                                static_cast<std::uint64_t>(u) * m[j] + carry;
+      t[i + j] = static_cast<std::uint32_t>(sum);
+      carry = sum >> 32;
+    }
+    std::size_t pos = i + k;
+    while (carry != 0) {
+      const std::uint64_t sum = static_cast<std::uint64_t>(t[pos]) + carry;
+      t[pos] = static_cast<std::uint32_t>(sum);
+      carry = sum >> 32;
+      ++pos;
+    }
+  }
+  // Divide by R: drop the low k limbs.
+  std::vector<std::uint32_t> high(t.begin() + static_cast<std::ptrdiff_t>(k),
+                                  t.end());
+  BigInt result = BigInt::from_limbs(std::move(high));
+  if (result >= modulus_) result -= modulus_;
+  return result;
+}
+
+BigInt MontgomeryContext::to_mont(const BigInt& x) const {
+  return mul(x.mod(modulus_), r2_mod_);
+}
+
+BigInt MontgomeryContext::from_mont(const BigInt& x_mont) const {
+  return redc(x_mont.to_limbs());
+}
+
+BigInt MontgomeryContext::mul(const BigInt& a_mont,
+                              const BigInt& b_mont) const {
+  return redc((a_mont * b_mont).to_limbs());
+}
+
+BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_negative()) {
+    throw std::invalid_argument("MontgomeryContext::pow: negative exponent");
+  }
+  BigInt result = r_mod_;  // 1 in Montgomery form
+  BigInt acc = to_mont(base);
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul(result, acc);
+    acc = mul(acc, acc);
+  }
+  return from_mont(result);
+}
+
+}  // namespace pcl

@@ -1,0 +1,47 @@
+// Montgomery modular arithmetic.
+//
+// Modular exponentiation dominates the protocol's CPU cost (every DGK bit
+// encryption, zero-test and Paillier operation is a pow_mod).  A
+// MontgomeryContext precomputes the Montgomery constants for an odd modulus
+// and performs multiplication with cheap word-wise reductions instead of a
+// full Knuth division per product.  BigInt::pow_mod routes through this
+// automatically for odd moduli (all moduli in this codebase — n, n², p —
+// are odd); bench_micro_crypto quantifies the gain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace pcl {
+
+class MontgomeryContext {
+ public:
+  /// Requires an odd modulus > 1; throws std::invalid_argument otherwise.
+  explicit MontgomeryContext(BigInt modulus);
+
+  [[nodiscard]] const BigInt& modulus() const { return modulus_; }
+
+  /// Montgomery form: x * R mod m, with R = 2^(32 * limbs(m)).
+  [[nodiscard]] BigInt to_mont(const BigInt& x) const;
+  [[nodiscard]] BigInt from_mont(const BigInt& x_mont) const;
+
+  /// Montgomery product: REDC(a_mont * b_mont).
+  [[nodiscard]] BigInt mul(const BigInt& a_mont, const BigInt& b_mont) const;
+
+  /// (base^exp) mod m for non-negative exp; base is in ordinary form.
+  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  /// REDC on a raw double-width magnitude (little-endian 32-bit limbs).
+  [[nodiscard]] BigInt redc(std::vector<std::uint32_t> t) const;
+
+  BigInt modulus_;
+  std::size_t limb_count_ = 0;
+  std::uint32_t n_prime_ = 0;  // -m^{-1} mod 2^32
+  BigInt r_mod_;               // R mod m      (Montgomery form of 1)
+  BigInt r2_mod_;              // R^2 mod m    (for to_mont)
+};
+
+}  // namespace pcl

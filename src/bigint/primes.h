@@ -1,0 +1,29 @@
+// Primality testing and prime generation for Paillier / DGK key material.
+#pragma once
+
+#include <cstddef>
+
+#include "bigint/bigint.h"
+#include "bigint/rng.h"
+
+namespace pcl {
+
+/// Miller–Rabin probabilistic primality test.  `rounds` random bases are
+/// tried on top of a fixed small-base screen; the error probability is at
+/// most 4^-rounds for odd composites.  Values below 2^32 are decided
+/// exactly by trial division against the deterministic base set.
+[[nodiscard]] bool is_probable_prime(const BigInt& n, Rng& rng,
+                                     int rounds = 32);
+
+/// Uniform random prime with exactly `bits` significant bits.
+[[nodiscard]] BigInt random_prime(std::size_t bits, Rng& rng);
+
+/// Random prime p with exactly `bits` bits such that `factor` divides p - 1.
+/// Used by DGK key generation (p = 2 * factor * f + 1 style search).
+[[nodiscard]] BigInt random_prime_with_factor(std::size_t bits,
+                                              const BigInt& factor, Rng& rng);
+
+/// Smallest prime >= n (n >= 2).
+[[nodiscard]] BigInt next_prime(BigInt n, Rng& rng);
+
+}  // namespace pcl

@@ -1,0 +1,162 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcl {
+
+TeacherEnsemble::TeacherEnsemble(const Dataset& pool,
+                                 const std::vector<UserShard>& shards,
+                                 const TrainConfig& config, Rng& rng) {
+  if (shards.empty()) throw std::invalid_argument("no user shards");
+  teachers_.reserve(shards.size());
+  minority_.reserve(shards.size());
+  for (const UserShard& shard : shards) {
+    if (shard.indices.empty()) {
+      throw std::invalid_argument("user shard is empty");
+    }
+    const Dataset local = pool.subset(shard.indices);
+    LogisticModel model(local.dims(), local.num_classes);
+    model.train(local, config, rng);
+    teachers_.push_back(std::move(model));
+    minority_.push_back(shard.minority);
+  }
+}
+
+const LogisticModel& TeacherEnsemble::teacher(std::size_t u) const {
+  if (u >= teachers_.size()) throw std::out_of_range("teacher index");
+  return teachers_[u];
+}
+
+std::vector<std::vector<double>> TeacherEnsemble::votes(
+    std::span<const double> x, VoteType type) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(teachers_.size());
+  for (const LogisticModel& teacher : teachers_) {
+    std::vector<double> proba = teacher.predict_proba(x);
+    if (type == VoteType::kOneHot) {
+      const std::size_t top = static_cast<std::size_t>(
+          std::max_element(proba.begin(), proba.end()) - proba.begin());
+      std::fill(proba.begin(), proba.end(), 0.0);
+      proba[top] = 1.0;
+    }
+    out.push_back(std::move(proba));
+  }
+  return out;
+}
+
+std::vector<double> TeacherEnsemble::vote_histogram(std::span<const double> x,
+                                                    VoteType type) const {
+  std::vector<double> hist;
+  for (const std::vector<double>& v : votes(x, type)) {
+    if (hist.empty()) hist.assign(v.size(), 0.0);
+    for (std::size_t i = 0; i < v.size(); ++i) hist[i] += v[i];
+  }
+  return hist;
+}
+
+std::vector<double> TeacherEnsemble::user_accuracies(
+    const Dataset& test) const {
+  std::vector<double> out;
+  out.reserve(teachers_.size());
+  for (const LogisticModel& teacher : teachers_) {
+    out.push_back(teacher.accuracy(test));
+  }
+  return out;
+}
+
+double TeacherEnsemble::average_user_accuracy(const Dataset& test) const {
+  const std::vector<double> acc = user_accuracies(test);
+  double sum = 0.0;
+  for (const double a : acc) sum += a;
+  return sum / static_cast<double>(acc.size());
+}
+
+TeacherEnsemble::GroupAccuracy TeacherEnsemble::group_accuracies(
+    const Dataset& test) const {
+  GroupAccuracy out;
+  double n_major = 0, n_minor = 0;
+  const std::vector<double> acc = user_accuracies(test);
+  for (std::size_t u = 0; u < acc.size(); ++u) {
+    if (minority_[u]) {
+      out.minority += acc[u];
+      n_minor += 1;
+    } else {
+      out.majority += acc[u];
+      n_major += 1;
+    }
+  }
+  if (n_major > 0) out.majority /= n_major;
+  if (n_minor > 0) out.minority /= n_minor;
+  return out;
+}
+
+MultiLabelEnsemble::MultiLabelEnsemble(const MultiLabelDataset& pool,
+                                       const std::vector<UserShard>& shards,
+                                       const TrainConfig& config, Rng& rng) {
+  if (shards.empty()) throw std::invalid_argument("no user shards");
+  teachers_.reserve(shards.size());
+  for (const UserShard& shard : shards) {
+    if (shard.indices.empty()) {
+      throw std::invalid_argument("user shard is empty");
+    }
+    const MultiLabelDataset local = pool.subset(shard.indices);
+    MultiLabelModel model(local.features.cols(), local.num_attributes());
+    model.train(local, config, rng);
+    teachers_.push_back(std::move(model));
+    minority_.push_back(shard.minority);
+  }
+}
+
+std::size_t MultiLabelEnsemble::num_attributes() const {
+  return teachers_.front().num_attributes();
+}
+
+std::vector<std::vector<int>> MultiLabelEnsemble::votes(
+    std::span<const double> x) const {
+  std::vector<std::vector<int>> out;
+  out.reserve(teachers_.size());
+  for (const MultiLabelModel& teacher : teachers_) {
+    out.push_back(teacher.predict(x));
+  }
+  return out;
+}
+
+std::vector<double> MultiLabelEnsemble::positive_vote_counts(
+    std::span<const double> x) const {
+  std::vector<double> counts(num_attributes(), 0.0);
+  for (const std::vector<int>& v : votes(x)) {
+    for (std::size_t a = 0; a < counts.size(); ++a) counts[a] += v[a];
+  }
+  return counts;
+}
+
+double MultiLabelEnsemble::average_user_accuracy(
+    const MultiLabelDataset& test) const {
+  double sum = 0.0;
+  for (const MultiLabelModel& teacher : teachers_) {
+    sum += teacher.accuracy(test);
+  }
+  return sum / static_cast<double>(teachers_.size());
+}
+
+TeacherEnsemble::GroupAccuracy MultiLabelEnsemble::group_accuracies(
+    const MultiLabelDataset& test) const {
+  TeacherEnsemble::GroupAccuracy out;
+  double n_major = 0, n_minor = 0;
+  for (std::size_t u = 0; u < teachers_.size(); ++u) {
+    const double acc = teachers_[u].accuracy(test);
+    if (minority_[u]) {
+      out.minority += acc;
+      n_minor += 1;
+    } else {
+      out.majority += acc;
+      n_major += 1;
+    }
+  }
+  if (n_major > 0) out.majority /= n_major;
+  if (n_minor > 0) out.minority /= n_minor;
+  return out;
+}
+
+}  // namespace pcl

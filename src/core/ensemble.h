@@ -1,0 +1,83 @@
+// Teacher ensembles for semi-supervised knowledge transfer (paper Sec.
+// III-A, Fig. 1): each user trains a local model on its private shard and
+// answers the aggregator's queries with one-hot or softmax vote vectors.
+#pragma once
+
+#include <vector>
+
+#include "bigint/rng.h"
+#include "ml/dataset.h"
+#include "ml/models.h"
+#include "ml/partition.h"
+
+namespace pcl {
+
+enum class VoteType {
+  kOneHot,   ///< binary vote: 1 for the argmax class, 0 elsewhere
+  kSoftmax,  ///< the full softmax probability vector
+};
+
+class TeacherEnsemble {
+ public:
+  /// Trains one logistic teacher per shard of `pool`.
+  TeacherEnsemble(const Dataset& pool, const std::vector<UserShard>& shards,
+                  const TrainConfig& config, Rng& rng);
+
+  [[nodiscard]] std::size_t num_users() const { return teachers_.size(); }
+  [[nodiscard]] const LogisticModel& teacher(std::size_t u) const;
+  [[nodiscard]] bool is_minority(std::size_t u) const { return minority_[u]; }
+
+  /// All users' votes for one query instance.
+  [[nodiscard]] std::vector<std::vector<double>> votes(
+      std::span<const double> x, VoteType type) const;
+  /// Aggregated vote histogram (paper Eq. 4) for one instance.
+  [[nodiscard]] std::vector<double> vote_histogram(std::span<const double> x,
+                                                   VoteType type) const;
+
+  /// Per-user accuracy on a common test set (paper Fig. 2's metric).
+  [[nodiscard]] std::vector<double> user_accuracies(
+      const Dataset& test) const;
+  [[nodiscard]] double average_user_accuracy(const Dataset& test) const;
+  /// Mean accuracy of the majority (data-poor) and minority (data-rich)
+  /// user groups under uneven partitions (paper Fig. 2(b)-(d)).
+  struct GroupAccuracy {
+    double majority = 0.0;
+    double minority = 0.0;
+  };
+  [[nodiscard]] GroupAccuracy group_accuracies(const Dataset& test) const;
+
+ private:
+  std::vector<LogisticModel> teachers_;
+  std::vector<bool> minority_;
+};
+
+/// CelebA-like variant: one multi-label teacher per shard; votes are per-
+/// attribute binary decisions.
+class MultiLabelEnsemble {
+ public:
+  MultiLabelEnsemble(const MultiLabelDataset& pool,
+                     const std::vector<UserShard>& shards,
+                     const TrainConfig& config, Rng& rng);
+
+  [[nodiscard]] std::size_t num_users() const { return teachers_.size(); }
+  [[nodiscard]] std::size_t num_attributes() const;
+  [[nodiscard]] bool is_minority(std::size_t u) const { return minority_[u]; }
+
+  /// votes[u][a] in {0, 1}: user u's decision for attribute a.
+  [[nodiscard]] std::vector<std::vector<int>> votes(
+      std::span<const double> x) const;
+  /// positive_votes[a]: number of users voting attribute a positive.
+  [[nodiscard]] std::vector<double> positive_vote_counts(
+      std::span<const double> x) const;
+
+  [[nodiscard]] double average_user_accuracy(
+      const MultiLabelDataset& test) const;
+  [[nodiscard]] TeacherEnsemble::GroupAccuracy group_accuracies(
+      const MultiLabelDataset& test) const;
+
+ private:
+  std::vector<MultiLabelModel> teachers_;
+  std::vector<bool> minority_;
+};
+
+}  // namespace pcl

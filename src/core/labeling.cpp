@@ -1,0 +1,69 @@
+#include "core/labeling.h"
+
+#include "dp/laplace.h"
+
+#include <stdexcept>
+
+namespace pcl {
+
+namespace {
+
+std::vector<double> histogram(
+    const std::vector<std::vector<double>>& user_votes) {
+  if (user_votes.empty()) throw std::invalid_argument("no votes");
+  std::vector<double> hist(user_votes.front().size(), 0.0);
+  for (const std::vector<double>& v : user_votes) {
+    if (v.size() != hist.size()) {
+      throw std::invalid_argument("ragged vote vectors");
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) hist[i] += v[i];
+  }
+  return hist;
+}
+
+}  // namespace
+
+PlaintextBackend::PlaintextBackend(AggregatorKind kind, double threshold_votes,
+                                   double sigma1, double sigma2,
+                                   double laplace_b)
+    : kind_(kind),
+      threshold_votes_(threshold_votes),
+      sigma1_(sigma1),
+      sigma2_(sigma2),
+      laplace_b_(laplace_b) {}
+
+AggregationOutcome PlaintextBackend::label(
+    const std::vector<std::vector<double>>& user_votes, Rng& rng) {
+  const std::vector<double> hist = histogram(user_votes);
+  switch (kind_) {
+    case AggregatorKind::kNonPrivate:
+      return aggregate_plain(hist, threshold_votes_);
+    case AggregatorKind::kConsensus:
+      return aggregate_private(hist, threshold_votes_, sigma1_, sigma2_, rng);
+    case AggregatorKind::kBaseline:
+      return aggregate_baseline(hist, sigma2_, rng);
+    case AggregatorKind::kLnMax:
+      return aggregate_lnmax(hist, laplace_b_, rng);
+  }
+  throw std::logic_error("unknown aggregator kind");
+}
+
+CryptoBackend::CryptoBackend(const ConsensusConfig& config, Rng& keygen_rng)
+    : protocol_(config, keygen_rng) {}
+
+AggregationOutcome CryptoBackend::label(
+    const std::vector<std::vector<double>>& user_votes, Rng& rng) {
+  const ConsensusProtocol::QueryResult result =
+      protocol_.run_query(user_votes, rng);
+  return {result.label};
+}
+
+std::unique_ptr<LabelingBackend> make_plaintext_backend(
+    AggregatorKind kind, std::size_t num_users, double threshold_fraction,
+    double sigma1, double sigma2, double laplace_b) {
+  return std::make_unique<PlaintextBackend>(
+      kind, threshold_fraction * static_cast<double>(num_users), sigma1,
+      sigma2, laplace_b);
+}
+
+}  // namespace pcl

@@ -1,0 +1,68 @@
+// Labeling backends: how the aggregator turns user votes into a label.
+//
+// Three aggregators from the paper's evaluation:
+//   * kNonPrivate — Alg. 1, thresholded plurality with no noise;
+//   * kConsensus  — Alg. 4/5, the paper's private consensus mechanism;
+//   * kBaseline   — Fig. 3's comparison point: Gaussian noisy argmax
+//                   (GNMax-style), no threshold;
+//   * kLnMax      — the original PATE'17 aggregator (paper ref. [1]):
+//                   Laplace noisy argmax, no threshold.
+//
+// Two interchangeable implementations: PlaintextBackend evaluates the
+// mechanism directly (used for the accuracy experiments — Alg. 5 provably
+// computes the same function, see consensus_test.cpp), and CryptoBackend
+// drives the full two-server cryptographic protocol.
+#pragma once
+
+#include <memory>
+
+#include "dp/mechanisms.h"
+#include "mpc/consensus.h"
+
+namespace pcl {
+
+enum class AggregatorKind { kNonPrivate, kConsensus, kBaseline, kLnMax };
+
+class LabelingBackend {
+ public:
+  virtual ~LabelingBackend() = default;
+  /// Labels one query given every user's vote vector.
+  [[nodiscard]] virtual AggregationOutcome label(
+      const std::vector<std::vector<double>>& user_votes, Rng& rng) = 0;
+};
+
+class PlaintextBackend final : public LabelingBackend {
+ public:
+  /// `threshold_votes` is T in vote-count units (threshold_fraction * |U|).
+  /// `laplace_b` is only consulted by kLnMax.
+  PlaintextBackend(AggregatorKind kind, double threshold_votes, double sigma1,
+                   double sigma2, double laplace_b = 1.0);
+  [[nodiscard]] AggregationOutcome label(
+      const std::vector<std::vector<double>>& user_votes, Rng& rng) override;
+
+ private:
+  AggregatorKind kind_;
+  double threshold_votes_;
+  double sigma1_, sigma2_;
+  double laplace_b_;
+};
+
+/// Drives the full Alg. 5 protocol (Paillier + DGK + Blind-and-Permute)
+/// for every query.  Orders of magnitude slower than PlaintextBackend;
+/// intended for demos, integration tests and the cost benches.
+class CryptoBackend final : public LabelingBackend {
+ public:
+  CryptoBackend(const ConsensusConfig& config, Rng& keygen_rng);
+  [[nodiscard]] AggregationOutcome label(
+      const std::vector<std::vector<double>>& user_votes, Rng& rng) override;
+  [[nodiscard]] ConsensusProtocol& protocol() { return protocol_; }
+
+ private:
+  ConsensusProtocol protocol_;
+};
+
+[[nodiscard]] std::unique_ptr<LabelingBackend> make_plaintext_backend(
+    AggregatorKind kind, std::size_t num_users, double threshold_fraction,
+    double sigma1, double sigma2, double laplace_b = 1.0);
+
+}  // namespace pcl

@@ -1,0 +1,257 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dp/laplace.h"
+#include "dp/rdp_curve.h"
+
+namespace pcl {
+
+namespace {
+
+/// Privacy accounting for `queries` threshold tests of which `answered`
+/// released a label.  The non-private aggregator reports epsilon = inf by
+/// convention (it offers no DP guarantee); the baseline pays one RNM per
+/// query (it always releases).
+double accounted_epsilon(AggregatorKind kind, std::size_t queries,
+                         std::size_t answered, double sigma1, double sigma2,
+                         double laplace_b, double delta) {
+  RdpAccountant acc;
+  switch (kind) {
+    case AggregatorKind::kNonPrivate:
+      return std::numeric_limits<double>::infinity();
+    case AggregatorKind::kConsensus:
+      acc.add_svt(sigma1, queries);
+      acc.add_noisy_max(sigma2, answered);
+      break;
+    case AggregatorKind::kBaseline:
+      acc.add_noisy_max(sigma2, queries);
+      break;
+    case AggregatorKind::kLnMax: {
+      // Laplace RDP is non-linear in alpha: use the grid accountant.
+      // Sensitivity of a vote histogram to one user is 1 per coordinate in
+      // L1 after the argmax reduction (PATE'17 charges 2/b pure-DP per
+      // query; the RDP curve below corresponds to scale b, sensitivity 1,
+      // doubled for the two coordinates a user can move).
+      CurveRdpAccountant curve;
+      curve.add_curve(
+          [laplace_b](double a) { return 2.0 * laplace_rdp(a, laplace_b); },
+          queries);
+      return curve.epsilon(delta);
+    }
+  }
+  return acc.epsilon(delta);
+}
+
+/// Trains the configured student on `student_data`; with semi-supervised
+/// transfer enabled, pseudo-labels the unanswered pool instances using the
+/// first-round student and retrains on the union (pure post-processing, no
+/// extra privacy cost).
+template <typename Model>
+double fit_and_score(Model& student, Dataset student_data,
+                     const Dataset& query_pool,
+                     const std::vector<std::size_t>& kept_indices,
+                     const Dataset& test_set, const PipelineConfig& config,
+                     Rng& rng) {
+  student.train(student_data, config.student_train, rng);
+  if (!config.semi_supervised) return student.accuracy(test_set);
+
+  std::vector<bool> kept(query_pool.size(), false);
+  for (const std::size_t i : kept_indices) kept[i] = true;
+  std::vector<std::size_t> extra;
+  for (std::size_t i = 0; i < query_pool.size(); ++i) {
+    if (!kept[i]) extra.push_back(i);
+  }
+  if (extra.empty()) return student.accuracy(test_set);
+
+  Dataset pseudo = query_pool.subset(extra);
+  for (std::size_t i = 0; i < pseudo.size(); ++i) {
+    pseudo.labels[i] = student.predict(pseudo.features.row(i));
+  }
+  // Union of released and pseudo-labeled instances.
+  Dataset merged;
+  merged.num_classes = student_data.num_classes;
+  merged.features = Matrix(student_data.size() + pseudo.size(),
+                           student_data.dims());
+  merged.labels.reserve(merged.features.rows());
+  for (std::size_t i = 0; i < student_data.size(); ++i) {
+    const auto src = student_data.features.row(i);
+    std::copy(src.begin(), src.end(), merged.features.row(i).begin());
+    merged.labels.push_back(student_data.labels[i]);
+  }
+  for (std::size_t i = 0; i < pseudo.size(); ++i) {
+    const auto src = pseudo.features.row(i);
+    std::copy(src.begin(), src.end(),
+              merged.features.row(student_data.size() + i).begin());
+    merged.labels.push_back(pseudo.labels[i]);
+  }
+  student.train(merged, config.student_train, rng);
+  return student.accuracy(test_set);
+}
+
+double train_student_and_score(const Dataset& student_data,
+                               const Dataset& query_pool,
+                               const std::vector<std::size_t>& kept_indices,
+                               const Dataset& test_set,
+                               const PipelineConfig& config, Rng& rng) {
+  switch (config.student) {
+    case StudentKind::kLogistic: {
+      LogisticModel student(student_data.dims(), student_data.num_classes);
+      return fit_and_score(student, student_data, query_pool, kept_indices,
+                           test_set, config, rng);
+    }
+    case StudentKind::kMlp: {
+      MlpModel student(student_data.dims(), config.mlp_hidden,
+                       student_data.num_classes, rng);
+      return fit_and_score(student, student_data, query_pool, kept_indices,
+                           test_set, config, rng);
+    }
+  }
+  throw std::logic_error("unknown student kind");
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const TeacherEnsemble& ensemble,
+                            const Dataset& query_pool, const Dataset& test_set,
+                            const PipelineConfig& config,
+                            LabelingBackend& backend, Rng& rng) {
+  if (query_pool.size() == 0) {
+    throw std::invalid_argument("empty query pool");
+  }
+  const std::size_t queries = std::min(config.num_queries, query_pool.size());
+
+  std::vector<std::size_t> kept_indices;
+  std::vector<int> kept_labels;
+  std::size_t correct = 0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    const auto votes = ensemble.votes(query_pool.features.row(q),
+                                      config.vote_type);
+    const AggregationOutcome outcome = backend.label(votes, rng);
+    if (!outcome.consensus()) continue;
+    kept_indices.push_back(q);
+    kept_labels.push_back(*outcome.label);
+    correct += (*outcome.label == query_pool.labels[q]) ? 1 : 0;
+  }
+
+  PipelineResult result;
+  result.queries = queries;
+  result.answered = kept_indices.size();
+  result.retention = static_cast<double>(result.answered) /
+                     static_cast<double>(queries);
+  result.label_accuracy =
+      result.answered == 0
+          ? 0.0
+          : static_cast<double>(correct) / static_cast<double>(result.answered);
+  result.epsilon =
+      accounted_epsilon(config.aggregator, queries, result.answered,
+                        config.sigma1, config.sigma2, config.laplace_b,
+                        config.delta);
+
+  // Student ("aggregator model"): trained only on released labels.
+  if (result.answered >= 2 * static_cast<std::size_t>(query_pool.num_classes)) {
+    Dataset student_data = query_pool.subset(kept_indices);
+    student_data.labels = kept_labels;  // released labels, not ground truth
+    result.aggregator_accuracy = train_student_and_score(
+        student_data, query_pool, kept_indices, test_set, config, rng);
+  } else {
+    // Too few labels to train: chance-level student.
+    result.aggregator_accuracy = 1.0 / query_pool.num_classes;
+  }
+  return result;
+}
+
+PipelineResult run_pipeline(const TeacherEnsemble& ensemble,
+                            const Dataset& query_pool, const Dataset& test_set,
+                            const PipelineConfig& config, Rng& rng) {
+  const std::unique_ptr<LabelingBackend> backend = make_plaintext_backend(
+      config.aggregator, ensemble.num_users(), config.threshold_fraction,
+      config.sigma1, config.sigma2, config.laplace_b);
+  return run_pipeline(ensemble, query_pool, test_set, config, *backend, rng);
+}
+
+CelebaPipelineResult run_celeba_pipeline(const MultiLabelEnsemble& ensemble,
+                                         const MultiLabelDataset& query_pool,
+                                         const MultiLabelDataset& test_set,
+                                         const CelebaPipelineConfig& config,
+                                         Rng& rng) {
+  if (query_pool.size() == 0) {
+    throw std::invalid_argument("empty query pool");
+  }
+  const std::size_t queries = std::min(config.num_queries, query_pool.size());
+  const std::size_t attrs = ensemble.num_attributes();
+  const double users = static_cast<double>(ensemble.num_users());
+  const double threshold = config.threshold_fraction * users;
+
+  Matrix released(queries, attrs);
+  std::size_t decided = 0, correct = 0, positives = 0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    const std::vector<double> counts =
+        ensemble.positive_vote_counts(query_pool.features.row(q));
+    for (std::size_t a = 0; a < attrs; ++a) {
+      // Two-class vote vector: {negative votes, positive votes}.
+      const std::vector<double> votes2 = {users - counts[a], counts[a]};
+      AggregationOutcome outcome;
+      switch (config.aggregator) {
+        case AggregatorKind::kNonPrivate:
+          outcome = aggregate_plain(votes2, threshold);
+          break;
+        case AggregatorKind::kConsensus:
+          outcome = aggregate_private(votes2, threshold, config.sigma1,
+                                      config.sigma2, rng);
+          break;
+        case AggregatorKind::kBaseline:
+          outcome = aggregate_baseline(votes2, config.sigma2, rng);
+          break;
+        case AggregatorKind::kLnMax:
+          outcome = aggregate_lnmax(votes2, config.sigma2, rng);
+          break;
+      }
+      // No consensus -> default to the sparse majority class (negative);
+      // this is exactly how positive attributes get lost under uneven
+      // splits (paper Sec. VI-C's CelebA discussion).
+      const int label = outcome.consensus() ? *outcome.label : 0;
+      released.at(q, a) = static_cast<double>(label);
+      positives += label;
+      if (outcome.consensus()) {
+        ++decided;
+        const int truth = query_pool.labels01.at(q, a) > 0.5 ? 1 : 0;
+        correct += (label == truth) ? 1 : 0;
+      }
+    }
+  }
+
+  CelebaPipelineResult result;
+  const double total = static_cast<double>(queries * attrs);
+  result.retention = static_cast<double>(decided) / total;
+  result.label_accuracy =
+      decided == 0 ? 0.0
+                   : static_cast<double>(correct) / static_cast<double>(decided);
+  result.positive_rate = static_cast<double>(positives) / total;
+
+  RdpAccountant acc;
+  if (config.aggregator == AggregatorKind::kConsensus) {
+    acc.add_svt(config.sigma1, queries * attrs);
+    acc.add_noisy_max(config.sigma2, decided);
+    result.epsilon = acc.epsilon(config.delta);
+  } else if (config.aggregator == AggregatorKind::kBaseline) {
+    acc.add_noisy_max(config.sigma2, queries * attrs);
+    result.epsilon = acc.epsilon(config.delta);
+  } else {
+    result.epsilon = std::numeric_limits<double>::infinity();
+  }
+
+  // Student: multi-label model on the released label vectors.
+  MultiLabelDataset student_data;
+  std::vector<std::size_t> all(queries);
+  for (std::size_t q = 0; q < queries; ++q) all[q] = q;
+  student_data = query_pool.subset(all);
+  student_data.labels01 = std::move(released);
+  MultiLabelModel student(student_data.features.cols(), attrs);
+  student.train(student_data, config.student_train, rng);
+  result.aggregator_accuracy = student.accuracy(test_set);
+  return result;
+}
+
+}  // namespace pcl

@@ -1,0 +1,109 @@
+// End-to-end experiment pipeline (paper Sec. VI-C): train teachers on user
+// shards, label the aggregator's public pool through a chosen aggregation
+// mechanism, train the student on the retained data-label pairs, and score
+// everything — label accuracy, retention, aggregator accuracy, user
+// accuracy, and the composed privacy cost.
+#pragma once
+
+#include <cstddef>
+
+#include "core/ensemble.h"
+#include "core/labeling.h"
+#include "dp/rdp.h"
+
+namespace pcl {
+
+/// Student ("aggregator model") architecture.
+enum class StudentKind {
+  kLogistic,  ///< softmax linear model (fast default)
+  kMlp,       ///< one-hidden-layer ReLU network
+};
+
+struct PipelineConfig {
+  double threshold_fraction = 0.6;  ///< paper default: 60% of |U|
+  double sigma1 = 4.0;              ///< SVT noise (vote-count units)
+  double sigma2 = 2.0;              ///< RNM noise
+  VoteType vote_type = VoteType::kOneHot;
+  std::size_t num_queries = 400;  ///< instances drawn from the public pool
+  AggregatorKind aggregator = AggregatorKind::kConsensus;
+  double laplace_b = 1.0;  ///< LNMax noise scale (kLnMax only)
+  TrainConfig student_train{};
+  StudentKind student = StudentKind::kLogistic;
+  std::size_t mlp_hidden = 32;  ///< hidden width (kMlp only)
+  /// Semi-supervised knowledge transfer (paper Sec. III-A): after training
+  /// on the released labels, pseudo-label the *unanswered* public instances
+  /// with the student itself and retrain on the union.  Free of privacy
+  /// cost (post-processing of already-released labels).
+  bool semi_supervised = false;
+  double delta = 1e-6;  ///< for the reported (eps, delta) guarantee
+};
+
+struct PipelineResult {
+  /// Fraction of *answered* queries whose released label matches ground
+  /// truth (paper's "label accuracy").
+  double label_accuracy = 0.0;
+  /// Fraction of queries answered (Table III's "proportion of retained
+  /// samples").
+  double retention = 0.0;
+  /// Student accuracy on the held-out test set (paper's "aggregator
+  /// accuracy").
+  double aggregator_accuracy = 0.0;
+  /// Composed (eps, delta)-DP cost of the released labels.
+  double epsilon = 0.0;
+  std::size_t queries = 0;
+  std::size_t answered = 0;
+};
+
+/// Runs queries through `backend` and trains/evaluates the student.
+/// `query_pool`'s ground-truth labels are used only for scoring; the
+/// student trains purely on released labels.
+[[nodiscard]] PipelineResult run_pipeline(const TeacherEnsemble& ensemble,
+                                          const Dataset& query_pool,
+                                          const Dataset& test_set,
+                                          const PipelineConfig& config,
+                                          LabelingBackend& backend, Rng& rng);
+
+/// Convenience overload constructing the plaintext backend from the config.
+[[nodiscard]] PipelineResult run_pipeline(const TeacherEnsemble& ensemble,
+                                          const Dataset& query_pool,
+                                          const Dataset& test_set,
+                                          const PipelineConfig& config,
+                                          Rng& rng);
+
+// ---------------------------------------------------------------------------
+// CelebA-like multi-label pipeline (paper Fig. 6).
+// ---------------------------------------------------------------------------
+
+struct CelebaPipelineConfig {
+  double threshold_fraction = 0.6;
+  double sigma1 = 4.0;
+  double sigma2 = 2.0;
+  std::size_t num_queries = 300;
+  AggregatorKind aggregator = AggregatorKind::kConsensus;
+  TrainConfig student_train{};
+  double delta = 1e-6;
+};
+
+struct CelebaPipelineResult {
+  /// Fraction of *decided* attribute labels matching ground truth.
+  double label_accuracy = 0.0;
+  /// Fraction of (query, attribute) pairs that reached consensus.
+  double retention = 0.0;
+  /// Student mean per-attribute accuracy on the test set.
+  double aggregator_accuracy = 0.0;
+  /// Fraction of positive entries among released labels — the paper observes
+  /// consensus filtering drives this toward zero under uneven splits,
+  /// producing ~97% pairwise-similar label vectors and student overfitting.
+  double positive_rate = 0.0;
+  double epsilon = 0.0;
+};
+
+/// Per-attribute binary consensus: each of the 40 attributes runs its own
+/// two-class threshold aggregation; attributes that fail consensus default
+/// to negative (the sparse majority class) — see DESIGN.md.
+[[nodiscard]] CelebaPipelineResult run_celeba_pipeline(
+    const MultiLabelEnsemble& ensemble, const MultiLabelDataset& query_pool,
+    const MultiLabelDataset& test_set, const CelebaPipelineConfig& config,
+    Rng& rng);
+
+}  // namespace pcl

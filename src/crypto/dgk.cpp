@@ -1,0 +1,155 @@
+#include "crypto/dgk.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bigint/primes.h"
+
+namespace pcl {
+
+DgkPublicKey::DgkPublicKey(BigInt n, BigInt g, BigInt h, BigInt u,
+                           std::size_t v_bits)
+    : n_(std::move(n)),
+      g_(std::move(g)),
+      h_(std::move(h)),
+      u_(std::move(u)),
+      v_bits_(v_bits),
+      randomizer_bits_(2 * v_bits + 32) {}
+
+DgkCiphertext DgkPublicKey::encrypt(const BigInt& m, Rng& rng) const {
+  if (m.is_negative() || m >= u_) {
+    throw std::invalid_argument("DGK plaintext outside [0, u)");
+  }
+  const BigInt r = rng.random_bits(randomizer_bits_);
+  const BigInt gm = BigInt::pow_mod(g_, m, n_);
+  const BigInt hr = BigInt::pow_mod(h_, r, n_);
+  return {(gm * hr).mod(n_)};
+}
+
+DgkCiphertext DgkPublicKey::encrypt(std::uint64_t m, Rng& rng) const {
+  return encrypt(BigInt(m), rng);
+}
+
+DgkCiphertext DgkPublicKey::add(const DgkCiphertext& c1,
+                                const DgkCiphertext& c2) const {
+  return {(c1.value * c2.value).mod(n_)};
+}
+
+DgkCiphertext DgkPublicKey::scalar_mul(const DgkCiphertext& c,
+                                       const BigInt& a) const {
+  return {BigInt::pow_mod(c.value, a.mod(u_), n_)};
+}
+
+DgkCiphertext DgkPublicKey::negate(const DgkCiphertext& c) const {
+  return scalar_mul(c, u_ - BigInt(1));
+}
+
+DgkCiphertext DgkPublicKey::blind_multiplicative(const DgkCiphertext& c,
+                                                 Rng& rng) const {
+  // Uniform unit of Z_u* (u prime, so any value in [1, u) is a unit).  The
+  // blinded plaintext is uniform on Z_u* when c != 0, and stays 0 otherwise.
+  const BigInt unit = rng.uniform_in(BigInt(1), u_ - BigInt(1));
+  return scalar_mul(c, unit);
+}
+
+DgkCiphertext DgkPublicKey::rerandomize(const DgkCiphertext& c,
+                                        Rng& rng) const {
+  const BigInt r = rng.random_bits(randomizer_bits_);
+  const BigInt hr = BigInt::pow_mod(h_, r, n_);
+  return {(c.value * hr).mod(n_)};
+}
+
+DgkPrivateKey::DgkPrivateKey(DgkPublicKey pk, BigInt p, BigInt vp)
+    : pk_(std::move(pk)), p_(std::move(p)), vp_(std::move(vp)) {
+  gvp_ = BigInt::pow_mod(pk_.g().mod(p_), vp_, p_);
+  const std::uint64_t u = pk_.u_value();
+  dlog_table_.reserve(u);
+  BigInt acc(1);
+  for (std::uint64_t m = 0; m < u; ++m) {
+    dlog_table_.emplace(acc.to_string(16), m);
+    acc = (acc * gvp_).mod(p_);
+  }
+}
+
+bool DgkPrivateKey::is_zero(const DgkCiphertext& c) const {
+  // E(m)^vp mod p = (g^vp)^m mod p since h has order vp mod p; the result is
+  // 1 iff m == 0 (mod u).
+  return BigInt::pow_mod(c.value.mod(p_), vp_, p_) == BigInt(1);
+}
+
+std::uint64_t DgkPrivateKey::decrypt(const DgkCiphertext& c) const {
+  const BigInt target = BigInt::pow_mod(c.value.mod(p_), vp_, p_);
+  const auto it = dlog_table_.find(target.to_string(16));
+  if (it == dlog_table_.end()) {
+    throw std::invalid_argument("DGK decryption failed (invalid ciphertext)");
+  }
+  return it->second;
+}
+
+namespace {
+
+/// Finds an element of order exactly `order` mod prime p, where
+/// order | p - 1 and `order_factors` lists the distinct primes dividing it.
+BigInt element_of_order(const BigInt& p, const BigInt& order,
+                        const std::vector<BigInt>& order_factors, Rng& rng) {
+  const BigInt exponent = (p - BigInt(1)) / order;
+  while (true) {
+    const BigInt x = rng.uniform_in(BigInt(2), p - BigInt(2));
+    const BigInt candidate = BigInt::pow_mod(x, exponent, p);
+    if (candidate == BigInt(1)) continue;
+    bool exact = true;
+    for (const BigInt& f : order_factors) {
+      if (BigInt::pow_mod(candidate, order / f, p) == BigInt(1)) {
+        exact = false;
+        break;
+      }
+    }
+    if (exact) return candidate;
+  }
+}
+
+/// CRT combine: x ≡ xp (mod p), x ≡ xq (mod q), gcd(p, q) = 1.
+BigInt crt_combine(const BigInt& xp, const BigInt& p, const BigInt& xq,
+                   const BigInt& q) {
+  const BigInt q_inv_p = BigInt::invert_mod(q, p);
+  const BigInt diff = (xp - xq).mod(p);
+  return xq + q * ((diff * q_inv_p).mod(p));
+}
+
+}  // namespace
+
+DgkKeyPair generate_dgk_key(const DgkParams& params, Rng& rng) {
+  const BigInt u = next_prime(BigInt(params.plaintext_bound), rng);
+  const std::size_t half = params.n_bits / 2;
+  if (half <= params.v_bits + u.bit_length() + 2) {
+    throw std::invalid_argument(
+        "DGK: n_bits too small for the requested v_bits/plaintext_bound");
+  }
+
+  BigInt vp = random_prime(params.v_bits, rng);
+  BigInt vq = random_prime(params.v_bits, rng);
+  while (vq == vp) vq = random_prime(params.v_bits, rng);
+
+  const BigInt p = random_prime_with_factor(half, u * vp, rng);
+  BigInt q = random_prime_with_factor(params.n_bits - half, u * vq, rng);
+  while (q == p) {
+    q = random_prime_with_factor(params.n_bits - half, u * vq, rng);
+  }
+  const BigInt n = p * q;
+
+  // g: order u*vp mod p and u*vq mod q; h: order vp mod p and vq mod q.
+  const BigInt gp = element_of_order(p, u * vp, {u, vp}, rng);
+  const BigInt gq = element_of_order(q, u * vq, {u, vq}, rng);
+  const BigInt g = crt_combine(gp, p, gq, q);
+
+  const BigInt hp = element_of_order(p, vp, {vp}, rng);
+  const BigInt hq = element_of_order(q, vq, {vq}, rng);
+  const BigInt h = crt_combine(hp, p, hq, q);
+
+  DgkPublicKey pk(n, g, h, u, params.v_bits);
+  DgkPrivateKey sk(pk, p, vp);
+  return {std::move(pk), std::move(sk)};
+}
+
+}  // namespace pcl

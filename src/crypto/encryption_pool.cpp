@@ -1,0 +1,96 @@
+#include "crypto/encryption_pool.h"
+
+#include <stdexcept>
+#include <thread>
+
+namespace pcl {
+
+namespace {
+
+/// One randomizer power r^n mod n^2 with r uniform in Z_n^*.
+BigInt make_randomizer_power(const PaillierPublicKey& pk, Rng& rng) {
+  BigInt r = rng.uniform_in(BigInt(1), pk.n() - BigInt(1));
+  while (BigInt::gcd(r, pk.n()) != BigInt(1)) {
+    r = rng.uniform_in(BigInt(1), pk.n() - BigInt(1));
+  }
+  return BigInt::pow_mod(r, pk.n(), pk.n_squared());
+}
+
+/// Splits [0, n) into `threads` contiguous chunks and runs fn(thread_index,
+/// begin, end) on each.
+template <typename Fn>
+void parallel_chunks(std::size_t n, std::size_t threads, Fn&& fn) {
+  if (threads == 0) throw std::invalid_argument("need at least one thread");
+  threads = std::min(threads, n == 0 ? std::size_t{1} : n);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (n + threads - 1) / threads;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace
+
+PaillierRandomizerPool::PaillierRandomizerPool(const PaillierPublicKey& pk,
+                                               std::size_t capacity,
+                                               std::size_t threads,
+                                               std::uint64_t seed)
+    : pk_(pk), randomizer_powers_(capacity) {
+  parallel_chunks(capacity, threads,
+                  [&](std::size_t t, std::size_t begin, std::size_t end) {
+                    DeterministicRng rng(seed ^ (0x9e3779b97f4a7c15ull * (t + 1)));
+                    for (std::size_t i = begin; i < end; ++i) {
+                      randomizer_powers_[i] = make_randomizer_power(pk_, rng);
+                    }
+                  });
+}
+
+std::size_t PaillierRandomizerPool::remaining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return randomizer_powers_.size();
+}
+
+PaillierCiphertext PaillierRandomizerPool::encrypt(const BigInt& m) {
+  BigInt power;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (randomizer_powers_.empty()) {
+      throw std::runtime_error("PaillierRandomizerPool exhausted");
+    }
+    power = std::move(randomizer_powers_.back());
+    randomizer_powers_.pop_back();
+  }
+  // c = (1 + m*n) * r^n mod n^2 — the pooled power replaces the pow_mod.
+  const BigInt g_to_m =
+      (BigInt(1) + m.mod(pk_.n()) * pk_.n()).mod(pk_.n_squared());
+  return {(g_to_m * power).mod(pk_.n_squared())};
+}
+
+std::vector<PaillierCiphertext> PaillierRandomizerPool::encrypt_batch(
+    std::span<const std::int64_t> values) {
+  std::vector<PaillierCiphertext> out;
+  out.reserve(values.size());
+  for (const std::int64_t v : values) out.push_back(encrypt(BigInt(v)));
+  return out;
+}
+
+std::vector<PaillierCiphertext> encrypt_batch_parallel(
+    const PaillierPublicKey& pk, std::span<const std::int64_t> values,
+    std::size_t threads, std::uint64_t seed) {
+  std::vector<PaillierCiphertext> out(values.size());
+  parallel_chunks(values.size(), threads,
+                  [&](std::size_t t, std::size_t begin, std::size_t end) {
+                    DeterministicRng rng(seed ^ (0xbf58476d1ce4e5b9ull * (t + 1)));
+                    for (std::size_t i = begin; i < end; ++i) {
+                      out[i] = pk.encrypt(BigInt(values[i]), rng);
+                    }
+                  });
+  return out;
+}
+
+}  // namespace pcl

@@ -1,0 +1,33 @@
+#include "crypto/fixed_point.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcl {
+
+std::uint32_t encode_eq8(double value) {
+  if (!(value >= -32768.0 && value < 32768.0)) {
+    throw std::out_of_range("encode_eq8: value outside [-2^15, 2^15)");
+  }
+  // The paper truncates the fractional part below 2^-16; floor matches that.
+  const double scaled = std::floor(value * 65536.0) + 2147483648.0;
+  return static_cast<std::uint32_t>(scaled);
+}
+
+double decode_eq8(std::uint32_t encoded) {
+  return (static_cast<double>(encoded) - 2147483648.0) / 65536.0;
+}
+
+std::int64_t encode_fixed(double value) {
+  const double scaled = value * static_cast<double>(kFixedOne);
+  if (!(scaled >= -9.2e18 && scaled <= 9.2e18)) {
+    throw std::out_of_range("encode_fixed: value overflows int64");
+  }
+  return static_cast<std::int64_t>(std::llround(scaled));
+}
+
+double decode_fixed(std::int64_t encoded) {
+  return static_cast<double>(encoded) / static_cast<double>(kFixedOne);
+}
+
+}  // namespace pcl

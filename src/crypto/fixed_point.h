@@ -1,0 +1,29 @@
+// Fixed-point encoding of real numbers for homomorphic arithmetic.
+//
+// The paper (Sec. VI-A, Eq. 8) maps a float R in [-2^15, 2^15) to the 32-bit
+// unsigned integer  R^I = R * 2^16 + 2^31 , i.e. 16 fractional bits plus an
+// offset that makes the result non-negative.  We provide that exact codec for
+// fidelity, plus the signed scaled codec (no offset) the protocol uses
+// internally: offsets do not survive multi-party summation (the sum of |U|
+// offsets is a known constant anyway), whereas scaled signed integers add
+// exactly like the underlying reals.
+#pragma once
+
+#include <cstdint>
+
+namespace pcl {
+
+/// Number of fractional bits used throughout the protocol (paper: 16).
+inline constexpr int kFractionBits = 16;
+inline constexpr std::int64_t kFixedOne = std::int64_t{1} << kFractionBits;
+
+/// Paper Eq. 8: R^I = R * 2^16 + 2^31, valid for R in [-2^15, 2^15).
+/// Throws std::out_of_range outside that domain.
+[[nodiscard]] std::uint32_t encode_eq8(double value);
+[[nodiscard]] double decode_eq8(std::uint32_t encoded);
+
+/// Signed scaled codec: value * 2^16, rounded to nearest.
+[[nodiscard]] std::int64_t encode_fixed(double value);
+[[nodiscard]] double decode_fixed(std::int64_t encoded);
+
+}  // namespace pcl

@@ -1,0 +1,91 @@
+#include "crypto/key_io.h"
+
+#include <stdexcept>
+
+namespace pcl {
+
+namespace {
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kTagPaillier = 0x50;  // 'P'
+constexpr std::uint8_t kTagDgk = 0x44;       // 'D'
+
+void check_header(MessageReader& r, std::uint8_t expected_tag) {
+  const std::uint8_t tag = r.read_u8();
+  const std::uint8_t version = r.read_u8();
+  if (tag != expected_tag) {
+    throw std::invalid_argument("key_io: wrong key type tag");
+  }
+  if (version != kVersion) {
+    throw std::invalid_argument("key_io: unsupported key format version");
+  }
+}
+}  // namespace
+
+void write_paillier_public_key(MessageWriter& w, const PaillierPublicKey& pk) {
+  w.write_u8(kTagPaillier);
+  w.write_u8(kVersion);
+  w.write_bigint(pk.n());
+}
+
+PaillierPublicKey read_paillier_public_key(MessageReader& r) {
+  check_header(r, kTagPaillier);
+  return PaillierPublicKey(r.read_bigint());
+}
+
+void write_dgk_public_key(MessageWriter& w, const DgkPublicKey& pk) {
+  w.write_u8(kTagDgk);
+  w.write_u8(kVersion);
+  w.write_bigint(pk.n());
+  w.write_bigint(pk.g());
+  w.write_bigint(pk.h());
+  w.write_bigint(pk.u());
+  w.write_u64(pk.v_bits());
+}
+
+DgkPublicKey read_dgk_public_key(MessageReader& r) {
+  check_header(r, kTagDgk);
+  BigInt n = r.read_bigint();
+  BigInt g = r.read_bigint();
+  BigInt h = r.read_bigint();
+  BigInt u = r.read_bigint();
+  const std::uint64_t v_bits = r.read_u64();
+  if (n < BigInt(4) || u < BigInt(2) || v_bits == 0 || v_bits > 4096) {
+    throw std::invalid_argument("key_io: implausible DGK key parameters");
+  }
+  return DgkPublicKey(std::move(n), std::move(g), std::move(h), std::move(u),
+                      static_cast<std::size_t>(v_bits));
+}
+
+std::vector<std::uint8_t> serialize_paillier_public_key(
+    const PaillierPublicKey& pk) {
+  MessageWriter w;
+  write_paillier_public_key(w, pk);
+  return std::move(w).take();
+}
+
+PaillierPublicKey parse_paillier_public_key(
+    std::span<const std::uint8_t> bytes) {
+  MessageReader r(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  PaillierPublicKey pk = read_paillier_public_key(r);
+  if (!r.exhausted()) {
+    throw std::invalid_argument("key_io: trailing bytes after Paillier key");
+  }
+  return pk;
+}
+
+std::vector<std::uint8_t> serialize_dgk_public_key(const DgkPublicKey& pk) {
+  MessageWriter w;
+  write_dgk_public_key(w, pk);
+  return std::move(w).take();
+}
+
+DgkPublicKey parse_dgk_public_key(std::span<const std::uint8_t> bytes) {
+  MessageReader r(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  DgkPublicKey pk = read_dgk_public_key(r);
+  if (!r.exhausted()) {
+    throw std::invalid_argument("key_io: trailing bytes after DGK key");
+  }
+  return pk;
+}
+
+}  // namespace pcl

@@ -1,0 +1,32 @@
+// Public-key serialization for PKI distribution (paper Alg. 2/3 setup:
+// "All public keys are released by the PKI").
+//
+// Only public keys cross party boundaries — private keys never leave their
+// owner and intentionally have no serializer here.  The wire format rides
+// the same MessageWriter/MessageReader framing as protocol traffic, with a
+// type tag and version byte so registries can hold heterogeneous keys.
+#pragma once
+
+#include "crypto/dgk.h"
+#include "crypto/paillier.h"
+#include "net/message.h"
+
+namespace pcl {
+
+void write_paillier_public_key(MessageWriter& w, const PaillierPublicKey& pk);
+[[nodiscard]] PaillierPublicKey read_paillier_public_key(MessageReader& r);
+
+void write_dgk_public_key(MessageWriter& w, const DgkPublicKey& pk);
+[[nodiscard]] DgkPublicKey read_dgk_public_key(MessageReader& r);
+
+/// Convenience byte-level codecs.
+[[nodiscard]] std::vector<std::uint8_t> serialize_paillier_public_key(
+    const PaillierPublicKey& pk);
+[[nodiscard]] PaillierPublicKey parse_paillier_public_key(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<std::uint8_t> serialize_dgk_public_key(
+    const DgkPublicKey& pk);
+[[nodiscard]] DgkPublicKey parse_dgk_public_key(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace pcl

@@ -1,0 +1,126 @@
+#include "crypto/paillier.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "bigint/primes.h"
+
+namespace pcl {
+
+PaillierPublicKey::PaillierPublicKey(BigInt n)
+    : n_(std::move(n)), n_squared_(n_ * n_) {
+  if (n_ < BigInt(4)) {
+    throw std::invalid_argument("Paillier modulus too small");
+  }
+}
+
+PaillierCiphertext PaillierPublicKey::encrypt_with_randomness(
+    const BigInt& m, const BigInt& r) const {
+  const BigInt m_mod = m.mod(n_);
+  // With g = n + 1: g^m = 1 + m*n (mod n^2), avoiding one exponentiation.
+  const BigInt g_to_m = (BigInt(1) + m_mod * n_).mod(n_squared_);
+  const BigInt r_to_n = BigInt::pow_mod(r, n_, n_squared_);
+  return {(g_to_m * r_to_n).mod(n_squared_)};
+}
+
+PaillierCiphertext PaillierPublicKey::encrypt(const BigInt& m,
+                                              Rng& rng) const {
+  BigInt r = rng.uniform_in(BigInt(1), n_ - BigInt(1));
+  while (BigInt::gcd(r, n_) != BigInt(1)) {
+    r = rng.uniform_in(BigInt(1), n_ - BigInt(1));
+  }
+  return encrypt_with_randomness(m, r);
+}
+
+PaillierCiphertext PaillierPublicKey::add(const PaillierCiphertext& c1,
+                                          const PaillierCiphertext& c2) const {
+  return {(c1.value * c2.value).mod(n_squared_)};
+}
+
+PaillierCiphertext PaillierPublicKey::scalar_mul(const PaillierCiphertext& c,
+                                                 const BigInt& a) const {
+  return {BigInt::pow_mod(c.value, a.mod(n_), n_squared_)};
+}
+
+PaillierCiphertext PaillierPublicKey::negate(const PaillierCiphertext& c) const {
+  return scalar_mul(c, n_ - BigInt(1));
+}
+
+PaillierCiphertext PaillierPublicKey::rerandomize(const PaillierCiphertext& c,
+                                                  Rng& rng) const {
+  const PaillierCiphertext zero = encrypt(BigInt(0), rng);
+  return add(c, zero);
+}
+
+BigInt PaillierPublicKey::decode_signed(const BigInt& residue) const {
+  BigInt half = n_;
+  half >>= 1;
+  if (residue > half) return residue - n_;
+  return residue;
+}
+
+PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pk, BigInt p,
+                                       BigInt q)
+    : pk_(pk), p_(std::move(p)), q_(std::move(q)) {
+  if (p_ * q_ != pk_.n()) {
+    throw std::invalid_argument("Paillier private key does not match modulus");
+  }
+  p_squared_ = p_ * p_;
+  q_squared_ = q_ * q_;
+  lambda_ = BigInt::lcm(p_ - BigInt(1), q_ - BigInt(1));
+  mu_ = BigInt::invert_mod(lambda_, pk_.n());
+  q_sq_inv_p_ = BigInt::invert_mod(q_squared_, p_squared_);
+}
+
+namespace {
+/// Paillier L function: L(x) = (x - 1) / n, defined on x ≡ 1 (mod n).
+BigInt l_function(const BigInt& x, const BigInt& n) {
+  return (x - BigInt(1)) / n;
+}
+}  // namespace
+
+BigInt PaillierPrivateKey::decrypt_crt(const PaillierCiphertext& c) const {
+  // c^lambda mod n^2 via CRT over p^2 and q^2.
+  const BigInt cp = BigInt::pow_mod(c.value.mod(p_squared_), lambda_,
+                                    p_squared_);
+  const BigInt cq = BigInt::pow_mod(c.value.mod(q_squared_), lambda_,
+                                    q_squared_);
+  // Garner recombination: x = cq + q^2 * ((cp - cq) * inv(q^2) mod p^2).
+  const BigInt diff = (cp - cq).mod(p_squared_);
+  return cq + q_squared_ * ((diff * q_sq_inv_p_).mod(p_squared_));
+}
+
+BigInt PaillierPrivateKey::decrypt_raw(const PaillierCiphertext& c) const {
+  if (c.value.is_negative() || c.value >= pk_.n_squared()) {
+    throw std::invalid_argument("Paillier ciphertext out of range");
+  }
+  const BigInt x = decrypt_crt(c);
+  return (l_function(x, pk_.n()) * mu_).mod(pk_.n());
+}
+
+BigInt PaillierPrivateKey::decrypt(const PaillierCiphertext& c) const {
+  return pk_.decode_signed(decrypt_raw(c));
+}
+
+PaillierKeyPair generate_paillier_key(std::size_t key_bits, Rng& rng) {
+  if (key_bits < 16) {
+    throw std::invalid_argument("Paillier key must be at least 16 bits");
+  }
+  while (true) {
+    const std::size_t half = key_bits / 2;
+    const BigInt p = random_prime(half, rng);
+    const BigInt q = random_prime(key_bits - half, rng);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    if (n.bit_length() != key_bits) continue;
+    // Standard requirement: gcd(n, (p-1)(q-1)) == 1.
+    if (BigInt::gcd(n, (p - BigInt(1)) * (q - BigInt(1))) != BigInt(1)) {
+      continue;
+    }
+    PaillierPublicKey pk(n);
+    PaillierPrivateKey sk(pk, p, q);
+    return {std::move(pk), std::move(sk)};
+  }
+}
+
+}  // namespace pcl

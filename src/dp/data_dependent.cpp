@@ -1,0 +1,99 @@
+#include "dp/data_dependent.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pcl {
+
+double lnmax_flip_probability(std::span<const double> votes, double scale_b) {
+  if (!(scale_b > 0.0)) {
+    throw std::invalid_argument("Laplace scale must be positive");
+  }
+  if (votes.size() < 2) {
+    throw std::invalid_argument("need at least two vote counts");
+  }
+  const double gamma = 1.0 / scale_b;
+  const std::size_t top = static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+  double q = 0.0;
+  for (std::size_t j = 0; j < votes.size(); ++j) {
+    if (j == top) continue;
+    const double gap = votes[top] - votes[j];
+    // Lemma 4 requires a positive gap; a zero gap contributes its cap 1/2.
+    if (gap <= 0.0) {
+      q += 0.5;
+      continue;
+    }
+    q += (2.0 + gamma * gap) / (4.0 * std::exp(gamma * gap));
+  }
+  return std::min(1.0, q);
+}
+
+double lnmax_moment_bound(double q, double scale_b, std::size_t order) {
+  if (!(scale_b > 0.0)) {
+    throw std::invalid_argument("Laplace scale must be positive");
+  }
+  if (order == 0) throw std::invalid_argument("moment order must be >= 1");
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("q must lie in [0, 1]");
+  }
+  const double gamma = 1.0 / scale_b;
+  const double l = static_cast<double>(order);
+  // Data-independent branch (valid always).
+  const double independent = 2.0 * gamma * gamma * l * (l + 1.0);
+  // Data-dependent branch (valid when q * e^{2 gamma} < 1 and q > 0).
+  const double boost = std::exp(2.0 * gamma);
+  if (q <= 0.0) return 0.0;  // never flips: the query is information-free
+  if (q * boost >= 1.0) return independent;
+  const double ratio = (1.0 - q) / (1.0 - q * boost);
+  const double dependent =
+      std::log((1.0 - q) * std::pow(ratio, l) + q * std::exp(2.0 * gamma * l));
+  return std::min(independent, std::max(0.0, dependent));
+}
+
+MomentsAccountant::MomentsAccountant(std::size_t max_order)
+    : moments_(max_order, 0.0) {
+  if (max_order == 0) {
+    throw std::invalid_argument("need at least one moment order");
+  }
+}
+
+void MomentsAccountant::add_lnmax_query(std::span<const double> votes,
+                                        double scale_b) {
+  const double q = lnmax_flip_probability(votes, scale_b);
+  for (std::size_t l = 1; l <= moments_.size(); ++l) {
+    moments_[l - 1] += lnmax_moment_bound(q, scale_b, l);
+  }
+  ++queries_;
+}
+
+void MomentsAccountant::add_lnmax_query_data_independent(double scale_b) {
+  const double gamma = 1.0 / scale_b;
+  for (std::size_t l = 1; l <= moments_.size(); ++l) {
+    const double dl = static_cast<double>(l);
+    moments_[l - 1] += 2.0 * gamma * gamma * dl * (dl + 1.0);
+  }
+  ++queries_;
+}
+
+double MomentsAccountant::epsilon(double delta) const {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    throw std::invalid_argument("delta must lie in (0, 1)");
+  }
+  const double big_l = std::log(1.0 / delta);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t l = 1; l <= moments_.size(); ++l) {
+    best = std::min(best,
+                    (moments_[l - 1] + big_l) / static_cast<double>(l));
+  }
+  return best;
+}
+
+void MomentsAccountant::reset() {
+  std::fill(moments_.begin(), moments_.end(), 0.0);
+  queries_ = 0;
+}
+
+}  // namespace pcl

@@ -1,0 +1,65 @@
+// Data-dependent privacy accounting for noisy-max aggregation, following
+// PATE (Papernot et al., ICLR'17 — the paper's reference [1], Theorem 3 and
+// Lemma 4).  When the teachers agree strongly, the probability q that the
+// noisy argmax differs from the true argmax is tiny, and the per-query
+// moments (RDP) cost collapses far below the data-independent bound.  This
+// is the standard companion analysis for teacher-ensemble aggregation and
+// the natural "future work" tightening of the paper's Theorem 5.
+//
+// Implemented for the Laplace LNMax aggregator (where PATE'17 proves the
+// bound): votes are perturbed with Lap(b), the mechanism is 2*gamma-DP with
+// gamma = 1/b, and for moment order l:
+//
+//   alpha(l) <= min( 2*gamma^2*l*(l+1),
+//                    log( (1-q)*((1-q)/(1 - q*e^{2 gamma}))^l
+//                         + q*e^{2 gamma l} ) )     [Thm. 3]
+//   q        <= sum_{j != j*} (2 + gamma*gap_j) / (4*e^{gamma*gap_j})
+//                                                    [Lemma 4]
+//
+// The data-dependent branch requires q*e^{2 gamma} < 1; otherwise the
+// accountant falls back to the data-independent branch.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pcl {
+
+/// PATE'17 Lemma 4: upper bound on Pr[noisy argmax != true argmax] for
+/// LNMax with Laplace scale b on the given vote counts.  Clamped to [0, 1].
+[[nodiscard]] double lnmax_flip_probability(std::span<const double> votes,
+                                            double scale_b);
+
+/// PATE'17 Theorem 3: the l-th log moment of LNMax on an input with flip
+/// probability q (gamma = 1/b).  Returns the min of the data-independent
+/// and (when admissible) data-dependent branches.
+[[nodiscard]] double lnmax_moment_bound(double q, double scale_b,
+                                        std::size_t order);
+
+/// Moments accountant over LNMax queries: per-query data-dependent moments
+/// accumulated on an order grid, converted to (eps, delta)-DP via
+/// eps = min_l (sum_of_moments(l) + log(1/delta)) / l.
+class MomentsAccountant {
+ public:
+  /// Orders 1..max_order (PATE'17 uses up to 32; higher helps tight
+  /// regimes under heavy composition).
+  explicit MomentsAccountant(std::size_t max_order = 64);
+
+  /// Charges one LNMax query with the observed vote histogram.
+  void add_lnmax_query(std::span<const double> votes, double scale_b);
+  /// Charges one LNMax query using only the data-independent bound
+  /// (what a worst-case analysis would pay) — for comparison.
+  void add_lnmax_query_data_independent(double scale_b);
+
+  [[nodiscard]] double epsilon(double delta) const;
+  [[nodiscard]] std::size_t queries() const { return queries_; }
+
+  void reset();
+
+ private:
+  std::vector<double> moments_;  // moments_[l-1] accumulates alpha(l)
+  std::size_t queries_ = 0;
+};
+
+}  // namespace pcl

@@ -1,0 +1,54 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcl {
+
+double sample_laplace(double scale_b, Rng& rng) {
+  if (!(scale_b > 0.0)) {
+    throw std::invalid_argument("Laplace scale must be positive");
+  }
+  // Inverse CDF on u in (-1/2, 1/2): x = -b * sgn(u) * ln(1 - 2|u|).
+  double u = rng.uniform_double() - 0.5;
+  while (u == -0.5) u = rng.uniform_double() - 0.5;
+  const double sign = u < 0.0 ? -1.0 : 1.0;
+  return -scale_b * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+double laplace_rdp(double alpha, double scale_b) {
+  if (!(scale_b > 0.0)) {
+    throw std::invalid_argument("Laplace scale must be positive");
+  }
+  if (!(alpha > 1.0)) throw std::invalid_argument("alpha must exceed 1");
+  const double b = scale_b;
+  // log( a/(2a-1) e^{(a-1)/b} + (a-1)/(2a-1) e^{-a/b} ) / (a-1), computed
+  // via log-sum-exp for stability at small b / large alpha.
+  const double t1 = std::log(alpha / (2.0 * alpha - 1.0)) + (alpha - 1.0) / b;
+  const double t2 =
+      std::log((alpha - 1.0) / (2.0 * alpha - 1.0)) - alpha / b;
+  const double hi = std::max(t1, t2);
+  const double lse = hi + std::log(std::exp(t1 - hi) + std::exp(t2 - hi));
+  return lse / (alpha - 1.0);
+}
+
+double laplace_pure_dp(double scale_b, double sensitivity) {
+  if (!(scale_b > 0.0)) {
+    throw std::invalid_argument("Laplace scale must be positive");
+  }
+  return sensitivity / scale_b;
+}
+
+AggregationOutcome aggregate_lnmax(std::span<const double> votes,
+                                   double scale_b, Rng& rng) {
+  if (!(scale_b > 0.0)) {
+    throw std::invalid_argument("Laplace scale must be positive");
+  }
+  std::vector<double> noisy(votes.size());
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    noisy[i] = votes[i] + sample_laplace(scale_b, rng);
+  }
+  return {argmax(noisy)};
+}
+
+}  // namespace pcl

@@ -1,0 +1,37 @@
+// Laplace mechanism support — the original PATE aggregator (LNMax,
+// Papernot et al. ICLR'17, the paper's reference [1]) used Laplace noise;
+// the paper itself (like PATE'18 [2]) moves to Gaussian because it
+// composes better under RDP.  We implement both so the benches can ablate
+// the choice at matched privacy.
+//
+// The Laplace mechanism's RDP curve is NOT linear in alpha:
+//   eps(alpha) = (1/(alpha-1)) * log( alpha/(2alpha-1) * e^{(alpha-1)/b}
+//                                   + (alpha-1)/(2alpha-1) * e^{-alpha/b} )
+// (Mironov 2017, Table II, sensitivity 1, scale b), approaching the pure-DP
+// bound 1/b as alpha -> infinity.  CurveRdpAccountant (rdp_curve.h) handles
+// such curves on an alpha grid.
+#pragma once
+
+#include <span>
+
+#include "bigint/rng.h"
+#include "dp/mechanisms.h"
+
+namespace pcl {
+
+/// Laplace(0, b) sample via inverse CDF.
+[[nodiscard]] double sample_laplace(double scale_b, Rng& rng);
+
+/// RDP epsilon of the Laplace mechanism with sensitivity 1 and scale b at
+/// order alpha > 1 (Mironov 2017, Table II).
+[[nodiscard]] double laplace_rdp(double alpha, double scale_b);
+
+/// Pure-DP epsilon of the Laplace mechanism: sensitivity / b.
+[[nodiscard]] double laplace_pure_dp(double scale_b, double sensitivity = 1.0);
+
+/// LNMax (PATE'17): release argmax of Laplace-noised vote counts; no
+/// threshold test, always answers.
+[[nodiscard]] AggregationOutcome aggregate_lnmax(std::span<const double> votes,
+                                                 double scale_b, Rng& rng);
+
+}  // namespace pcl

@@ -1,0 +1,60 @@
+#include "dp/mechanisms.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcl {
+
+int argmax(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("argmax of empty span");
+  return static_cast<int>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+AggregationOutcome aggregate_plain(std::span<const double> votes,
+                                   double threshold) {
+  const int top = argmax(votes);
+  if (votes[top] >= threshold) return {top};
+  return {std::nullopt};
+}
+
+AggregationOutcome aggregate_private_with_noise(
+    std::span<const double> votes, double threshold, double threshold_noise,
+    std::span<const double> release_noise) {
+  if (release_noise.size() != votes.size()) {
+    throw std::invalid_argument("release_noise size must match votes");
+  }
+  const int top = argmax(votes);
+  if (votes[top] + threshold_noise < threshold) return {std::nullopt};
+  std::vector<double> noisy(votes.size());
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    noisy[i] = votes[i] + release_noise[i];
+  }
+  return {argmax(noisy)};
+}
+
+AggregationOutcome aggregate_private(std::span<const double> votes,
+                                     double threshold, double sigma1,
+                                     double sigma2, Rng& rng) {
+  if (!(sigma1 > 0.0) || !(sigma2 > 0.0)) {
+    throw std::invalid_argument("noise scales must be positive");
+  }
+  std::vector<double> release(votes.size());
+  for (double& v : release) v = rng.gaussian(0.0, sigma2);
+  return aggregate_private_with_noise(votes, threshold,
+                                      rng.gaussian(0.0, sigma1), release);
+}
+
+AggregationOutcome aggregate_baseline(std::span<const double> votes,
+                                      double sigma2, Rng& rng) {
+  if (!(sigma2 > 0.0)) {
+    throw std::invalid_argument("noise scale must be positive");
+  }
+  std::vector<double> noisy(votes.size());
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    noisy[i] = votes[i] + rng.gaussian(0.0, sigma2);
+  }
+  return {argmax(noisy)};
+}
+
+}  // namespace pcl

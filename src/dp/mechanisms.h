@@ -1,0 +1,54 @@
+// Plaintext differentially-private aggregation mechanisms.
+//
+// These implement the paper's Algorithm 1 (non-private thresholded
+// aggregation), Algorithm 4 (Private Aggregation of Teacher Ensembles:
+// Sparse Vector Technique threshold test + Report Noisy Maximum release),
+// and the no-threshold noisy-max baseline the evaluation compares against
+// (Fig. 3).  They double as the reference oracle for the cryptographic
+// protocol: Alg. 5 run with the same injected noise must produce the same
+// decision bit and label.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bigint/rng.h"
+
+namespace pcl {
+
+/// Outcome of one aggregation query.  `label` is set iff consensus was
+/// reached (paper's ⊥ maps to std::nullopt).
+struct AggregationOutcome {
+  std::optional<int> label;
+  [[nodiscard]] bool consensus() const { return label.has_value(); }
+};
+
+/// Index of the maximum; ties broken toward the smallest index.
+[[nodiscard]] int argmax(std::span<const double> values);
+
+/// Paper Alg. 1: return argmax iff the top vote count reaches `threshold`.
+[[nodiscard]] AggregationOutcome aggregate_plain(std::span<const double> votes,
+                                                 double threshold);
+
+/// Paper Alg. 4 with caller-supplied noise: the threshold test uses
+/// `threshold_noise` (distributed N(0, sigma1^2) in the real mechanism) and
+/// the release adds `release_noise[i]` (N(0, sigma2^2)) to each count.
+/// Exposed so the cryptographic protocol and this oracle can be compared
+/// under identical randomness.
+[[nodiscard]] AggregationOutcome aggregate_private_with_noise(
+    std::span<const double> votes, double threshold, double threshold_noise,
+    std::span<const double> release_noise);
+
+/// Paper Alg. 4: Private Aggregation of Teacher Ensembles.
+[[nodiscard]] AggregationOutcome aggregate_private(
+    std::span<const double> votes, double threshold, double sigma1,
+    double sigma2, Rng& rng);
+
+/// Fig. 3 baseline: no threshold test; always releases the noisy argmax
+/// under the same Report Noisy Maximum mechanism.
+[[nodiscard]] AggregationOutcome aggregate_baseline(
+    std::span<const double> votes, double sigma2, Rng& rng);
+
+}  // namespace pcl

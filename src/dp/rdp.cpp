@@ -1,0 +1,118 @@
+#include "dp/rdp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcl {
+
+namespace {
+void check_sigma(double sigma, const char* what) {
+  if (!(sigma > 0.0)) throw std::invalid_argument(std::string(what) +
+                                                  " must be positive");
+}
+void check_delta(double delta) {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    throw std::invalid_argument("delta must lie in (0, 1)");
+  }
+}
+}  // namespace
+
+double gaussian_rdp(double alpha, double sigma, double sensitivity) {
+  check_sigma(sigma, "sigma");
+  if (!(alpha > 1.0)) throw std::invalid_argument("alpha must exceed 1");
+  return alpha * sensitivity * sensitivity / (2.0 * sigma * sigma);
+}
+
+double svt_rdp(double alpha, double sigma1) {
+  check_sigma(sigma1, "sigma1");
+  if (!(alpha > 1.0)) throw std::invalid_argument("alpha must exceed 1");
+  return 9.0 * alpha / (2.0 * sigma1 * sigma1);
+}
+
+double noisy_max_rdp(double alpha, double sigma2) {
+  check_sigma(sigma2, "sigma2");
+  if (!(alpha > 1.0)) throw std::invalid_argument("alpha must exceed 1");
+  return alpha / (sigma2 * sigma2);
+}
+
+double theorem5_epsilon(double sigma1, double sigma2, double delta) {
+  check_sigma(sigma1, "sigma1");
+  check_sigma(sigma2, "sigma2");
+  check_delta(delta);
+  const double a = 9.0 / (sigma1 * sigma1) + 2.0 / (sigma2 * sigma2);
+  return std::sqrt(2.0 * a * std::log(1.0 / delta)) + a / 2.0;
+}
+
+double theorem5_optimal_alpha(double sigma1, double sigma2, double delta) {
+  check_sigma(sigma1, "sigma1");
+  check_sigma(sigma2, "sigma2");
+  check_delta(delta);
+  const double a = 9.0 / (sigma1 * sigma1) + 2.0 / (sigma2 * sigma2);
+  return 1.0 + std::sqrt(2.0 * std::log(1.0 / delta) / a);
+}
+
+void RdpAccountant::add_linear(double slope, std::size_t count) {
+  if (!(slope >= 0.0)) throw std::invalid_argument("slope must be >= 0");
+  slope_ += slope * static_cast<double>(count);
+}
+
+void RdpAccountant::add_gaussian(double sigma, double sensitivity,
+                                 std::size_t count) {
+  check_sigma(sigma, "sigma");
+  add_linear(sensitivity * sensitivity / (2.0 * sigma * sigma), count);
+}
+
+void RdpAccountant::add_svt(double sigma1, std::size_t count) {
+  check_sigma(sigma1, "sigma1");
+  add_linear(9.0 / (2.0 * sigma1 * sigma1), count);
+}
+
+void RdpAccountant::add_noisy_max(double sigma2, std::size_t count) {
+  check_sigma(sigma2, "sigma2");
+  add_linear(1.0 / (sigma2 * sigma2), count);
+}
+
+void RdpAccountant::add_consensus_query(double sigma1, double sigma2,
+                                        std::size_t count) {
+  add_svt(sigma1, count);
+  add_noisy_max(sigma2, count);
+}
+
+double RdpAccountant::epsilon(double delta) const {
+  check_delta(delta);
+  if (slope_ == 0.0) return 0.0;
+  // eps(alpha) = s*alpha + log(1/delta)/(alpha-1) is minimized at
+  // alpha* = 1 + sqrt(L/s), giving eps* = s + 2*sqrt(s*L).
+  const double big_l = std::log(1.0 / delta);
+  return slope_ + 2.0 * std::sqrt(slope_ * big_l);
+}
+
+double RdpAccountant::optimal_alpha(double delta) const {
+  check_delta(delta);
+  if (slope_ == 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 + std::sqrt(std::log(1.0 / delta) / slope_);
+}
+
+NoiseCalibration calibrate_noise(double eps_target, double delta,
+                                 std::size_t num_queries) {
+  if (!(eps_target > 0.0)) {
+    throw std::invalid_argument("eps_target must be positive");
+  }
+  check_delta(delta);
+  if (num_queries == 0) {
+    throw std::invalid_argument("num_queries must be positive");
+  }
+  // Solve eps = s + 2*sqrt(s*L) for the total slope s, then split evenly:
+  // with sigma1 = 3*sigma2/sqrt(2) each query contributes 2/sigma2^2 slope.
+  const double big_l = std::log(1.0 / delta);
+  const double sqrt_s = std::sqrt(big_l + eps_target) - std::sqrt(big_l);
+  const double s = sqrt_s * sqrt_s;
+  const double sigma2 =
+      std::sqrt(2.0 * static_cast<double>(num_queries) / s);
+  const double sigma1 = 3.0 * sigma2 / std::sqrt(2.0);
+  RdpAccountant check;
+  check.add_consensus_query(sigma1, sigma2, num_queries);
+  return {sigma1, sigma2, check.epsilon(delta)};
+}
+
+}  // namespace pcl

@@ -1,0 +1,80 @@
+// Rényi differential privacy accounting (paper Sec. III-C and Sec. V-B).
+//
+// The paper's mechanism composes, per answered query, one Sparse Vector
+// Technique instance (threshold test with Gaussian noise sigma1) and one
+// Report Noisy Maximum instance (release with Gaussian noise sigma2):
+//   Lemma 1:  SVT is (alpha, 9*alpha / (2*sigma1^2))-RDP
+//   Lemma 2:  RNM is (alpha, alpha / sigma2^2)-RDP
+// Composition adds the epsilons (Thm. 2); conversion to (eps, delta)-DP uses
+// the standard bound eps = eps_rdp(alpha) + log(1/delta)/(alpha - 1),
+// whose closed-form optimum over alpha is the paper's Theorem 5.
+#pragma once
+
+#include <cstddef>
+
+namespace pcl {
+
+/// RDP epsilon of the Gaussian mechanism with sensitivity `sensitivity`
+/// (paper Thm. 1): alpha * sensitivity^2 / (2 sigma^2).
+[[nodiscard]] double gaussian_rdp(double alpha, double sigma,
+                                  double sensitivity = 1.0);
+
+/// Paper Lemma 1: SVT threshold test, noise sigma1.
+[[nodiscard]] double svt_rdp(double alpha, double sigma1);
+
+/// Paper Lemma 2: Report Noisy Maximum, noise sigma2.
+[[nodiscard]] double noisy_max_rdp(double alpha, double sigma2);
+
+/// Paper Theorem 5 closed form: the (eps, delta)-DP guarantee of one run of
+/// Alg. 5 with noise parameters sigma1 (threshold) and sigma2 (release).
+[[nodiscard]] double theorem5_epsilon(double sigma1, double sigma2,
+                                      double delta);
+/// The alpha at which Theorem 5's bound is tight:
+/// alpha = 1 + sqrt(2 log(1/delta) / (9/sigma1^2 + 2/sigma2^2)).
+[[nodiscard]] double theorem5_optimal_alpha(double sigma1, double sigma2,
+                                            double delta);
+
+/// Accumulates RDP over a sequence of mechanism invocations and converts to
+/// (eps, delta)-DP by optimizing alpha over a fixed grid.  Linear-in-alpha
+/// mechanisms (all of the above) are tracked exactly by their slope.
+class RdpAccountant {
+ public:
+  /// Adds `count` invocations of a mechanism whose RDP curve is
+  /// eps(alpha) = slope * alpha (all mechanisms in this codebase).
+  void add_linear(double slope, std::size_t count = 1);
+
+  void add_gaussian(double sigma, double sensitivity = 1.0,
+                    std::size_t count = 1);
+  void add_svt(double sigma1, std::size_t count = 1);
+  void add_noisy_max(double sigma2, std::size_t count = 1);
+  /// One full Alg. 5 query that passed the threshold (SVT + RNM).
+  void add_consensus_query(double sigma1, double sigma2,
+                           std::size_t count = 1);
+
+  /// Best (smallest) eps such that the composition is (eps, delta)-DP,
+  /// optimized over alpha analytically (exact for linear RDP curves).
+  [[nodiscard]] double epsilon(double delta) const;
+  /// The optimizing alpha for the current composition.
+  [[nodiscard]] double optimal_alpha(double delta) const;
+  /// Accumulated slope: eps_rdp(alpha) = slope() * alpha.
+  [[nodiscard]] double slope() const { return slope_; }
+
+  void reset() { slope_ = 0.0; }
+
+ private:
+  double slope_ = 0.0;
+};
+
+/// Calibration: finds (sigma1, sigma2) such that `num_queries` answered
+/// consensus queries satisfy (eps_target, delta)-DP, with the two noise
+/// scales balanced so each mechanism contributes equally to the RDP slope
+/// (9/(2 sigma1^2) == 1/sigma2^2, i.e. sigma1 = 3 sigma2 / sqrt(2)).
+struct NoiseCalibration {
+  double sigma1;
+  double sigma2;
+  double achieved_epsilon;
+};
+[[nodiscard]] NoiseCalibration calibrate_noise(double eps_target, double delta,
+                                               std::size_t num_queries);
+
+}  // namespace pcl

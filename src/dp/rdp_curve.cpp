@@ -1,0 +1,95 @@
+#include "dp/rdp_curve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dp/laplace.h"
+
+namespace pcl {
+
+CurveRdpAccountant::CurveRdpAccountant() {
+  // Log-spaced grid over (1, 512]; dense near 1 where tight conversions for
+  // large compositions live.
+  const int points = 128;
+  alphas_.reserve(points);
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / (points - 1);
+    alphas_.push_back(1.0 + std::pow(2.0, -6.0 + t * 15.0));  // 1+2^-6 .. 513
+  }
+  accumulated_.assign(alphas_.size(), 0.0);
+}
+
+CurveRdpAccountant::CurveRdpAccountant(std::vector<double> alpha_grid)
+    : alphas_(std::move(alpha_grid)) {
+  if (alphas_.empty()) throw std::invalid_argument("empty alpha grid");
+  for (const double a : alphas_) {
+    if (!(a > 1.0)) throw std::invalid_argument("grid alphas must exceed 1");
+  }
+  accumulated_.assign(alphas_.size(), 0.0);
+}
+
+void CurveRdpAccountant::add_curve(
+    const std::function<double(double)>& rdp_of_alpha, std::size_t count) {
+  for (std::size_t i = 0; i < alphas_.size(); ++i) {
+    const double eps = rdp_of_alpha(alphas_[i]);
+    if (!(eps >= 0.0)) {
+      throw std::invalid_argument("RDP curve returned a negative epsilon");
+    }
+    accumulated_[i] += eps * static_cast<double>(count);
+  }
+}
+
+void CurveRdpAccountant::add_gaussian(double sigma, double sensitivity,
+                                      std::size_t count) {
+  add_curve(
+      [sigma, sensitivity](double a) { return gaussian_rdp(a, sigma,
+                                                           sensitivity); },
+      count);
+}
+
+void CurveRdpAccountant::add_laplace(double scale_b, std::size_t count) {
+  add_curve([scale_b](double a) { return laplace_rdp(a, scale_b); }, count);
+}
+
+void CurveRdpAccountant::add_svt(double sigma1, std::size_t count) {
+  add_curve([sigma1](double a) { return svt_rdp(a, sigma1); }, count);
+}
+
+void CurveRdpAccountant::add_noisy_max(double sigma2, std::size_t count) {
+  add_curve([sigma2](double a) { return noisy_max_rdp(a, sigma2); }, count);
+}
+
+double CurveRdpAccountant::epsilon(double delta) const {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    throw std::invalid_argument("delta must lie in (0, 1)");
+  }
+  const double big_l = std::log(1.0 / delta);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < alphas_.size(); ++i) {
+    best = std::min(best, accumulated_[i] + big_l / (alphas_[i] - 1.0));
+  }
+  return best;
+}
+
+double CurveRdpAccountant::optimal_alpha(double delta) const {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    throw std::invalid_argument("delta must lie in (0, 1)");
+  }
+  const double big_l = std::log(1.0 / delta);
+  double best = std::numeric_limits<double>::infinity();
+  double best_alpha = alphas_.front();
+  for (std::size_t i = 0; i < alphas_.size(); ++i) {
+    const double eps = accumulated_[i] + big_l / (alphas_[i] - 1.0);
+    if (eps < best) {
+      best = eps;
+      best_alpha = alphas_[i];
+    }
+  }
+  return best_alpha;
+}
+
+void CurveRdpAccountant::reset() {
+  accumulated_.assign(alphas_.size(), 0.0);
+}
+
+}  // namespace pcl

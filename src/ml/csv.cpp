@@ -1,0 +1,133 @@
+#include "ml/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pcl {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, delimiter)) cells.push_back(cell);
+  if (!line.empty() && line.back() == delimiter) cells.emplace_back();
+  return cells;
+}
+
+double parse_double(const std::string& cell, std::size_t line_no) {
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  // Tolerate surrounding spaces.
+  while (begin < end && *begin == ' ') ++begin;
+  while (end > begin && *(end - 1) == ' ') --end;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || begin == end) {
+    throw std::invalid_argument("csv: non-numeric cell '" + cell +
+                                "' on line " + std::to_string(line_no));
+  }
+  return value;
+}
+
+}  // namespace
+
+Dataset read_csv_dataset(std::istream& in, const CsvOptions& options,
+                         int expected_classes) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t expected_cells = 0;
+  int max_label = -1;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line_no == 1 && options.has_header) continue;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_line(line, options.delimiter);
+    if (cells.size() < 2) {
+      throw std::invalid_argument("csv: need at least one feature and a "
+                                  "label on line " + std::to_string(line_no));
+    }
+    if (expected_cells == 0) {
+      expected_cells = cells.size();
+    } else if (cells.size() != expected_cells) {
+      throw std::invalid_argument("csv: ragged row on line " +
+                                  std::to_string(line_no));
+    }
+    const std::size_t label_idx =
+        options.label_column < 0
+            ? cells.size() - 1
+            : static_cast<std::size_t>(options.label_column);
+    if (label_idx >= cells.size()) {
+      throw std::invalid_argument("csv: label column out of range");
+    }
+    const double raw_label = parse_double(cells[label_idx], line_no);
+    const int label = static_cast<int>(raw_label);
+    if (static_cast<double>(label) != raw_label || label < 0) {
+      throw std::invalid_argument("csv: label must be a non-negative "
+                                  "integer on line " +
+                                  std::to_string(line_no));
+    }
+    if (expected_classes > 0 && label >= expected_classes) {
+      throw std::invalid_argument("csv: label exceeds expected_classes on "
+                                  "line " + std::to_string(line_no));
+    }
+    max_label = std::max(max_label, label);
+
+    std::vector<double> features;
+    features.reserve(cells.size() - 1);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i == label_idx) continue;
+      features.push_back(parse_double(cells[i], line_no));
+    }
+    rows.push_back(std::move(features));
+    labels.push_back(label);
+  }
+  if (rows.empty()) throw std::invalid_argument("csv: no data rows");
+
+  Dataset out;
+  out.num_classes = expected_classes > 0 ? expected_classes : max_label + 1;
+  if (out.num_classes < 2) {
+    throw std::invalid_argument("csv: need at least two classes");
+  }
+  out.features = Matrix(rows.size(), rows.front().size());
+  out.labels = std::move(labels);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto dst = out.features.row(r);
+    std::copy(rows[r].begin(), rows[r].end(), dst.begin());
+  }
+  return out;
+}
+
+Dataset load_csv_dataset(const std::string& path, const CsvOptions& options,
+                         int expected_classes) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("csv: cannot open '" + path + "'");
+  return read_csv_dataset(in, options, expected_classes);
+}
+
+void write_csv_dataset(std::ostream& out, const Dataset& dataset,
+                       char delimiter) {
+  out.precision(17);
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    const auto row = dataset.features.row(r);
+    for (const double v : row) out << v << delimiter;
+    out << dataset.labels[r] << '\n';
+  }
+}
+
+void save_csv_dataset(const std::string& path, const Dataset& dataset,
+                      char delimiter) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("csv: cannot open '" + path + "'");
+  write_csv_dataset(out, dataset, delimiter);
+}
+
+}  // namespace pcl

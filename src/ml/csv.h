@@ -1,0 +1,41 @@
+// CSV import/export for datasets — the adoption path for real data.
+//
+// The repository evaluates on synthetic stand-ins (DESIGN.md), but the
+// pipeline runs unchanged on real extracts: export MNIST/SVHN features to
+// CSV (one row per sample, label in the configured column) and load them
+// here.  Parsing is strict: ragged rows, non-numeric cells, or out-of-range
+// labels raise std::invalid_argument with the offending line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace pcl {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line (header).
+  bool has_header = false;
+  /// Column index of the integer class label; -1 means the last column.
+  int label_column = -1;
+};
+
+/// Parses a classification dataset from a stream.  num_classes is inferred
+/// as max(label)+1 unless `expected_classes` > 0 (then labels are validated
+/// against it).
+[[nodiscard]] Dataset read_csv_dataset(std::istream& in,
+                                       const CsvOptions& options = {},
+                                       int expected_classes = 0);
+[[nodiscard]] Dataset load_csv_dataset(const std::string& path,
+                                       const CsvOptions& options = {},
+                                       int expected_classes = 0);
+
+/// Writes features + label (last column) with full double precision.
+void write_csv_dataset(std::ostream& out, const Dataset& dataset,
+                       char delimiter = ',');
+void save_csv_dataset(const std::string& path, const Dataset& dataset,
+                      char delimiter = ',');
+
+}  // namespace pcl

@@ -1,0 +1,179 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcl {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.features = Matrix(indices.size(), features.cols());
+  out.labels.reserve(indices.size());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const std::size_t src = indices[r];
+    if (src >= size()) throw std::out_of_range("Dataset::subset index");
+    const auto src_row = features.row(src);
+    const auto dst_row = out.features.row(r);
+    std::copy(src_row.begin(), src_row.end(), dst_row.begin());
+    out.labels.push_back(labels[src]);
+  }
+  return out;
+}
+
+MultiLabelDataset MultiLabelDataset::subset(
+    const std::vector<std::size_t>& indices) const {
+  MultiLabelDataset out;
+  out.features = Matrix(indices.size(), features.cols());
+  out.labels01 = Matrix(indices.size(), labels01.cols());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const std::size_t src = indices[r];
+    if (src >= size()) throw std::out_of_range("MultiLabelDataset::subset");
+    auto fsrc = features.row(src);
+    std::copy(fsrc.begin(), fsrc.end(), out.features.row(r).begin());
+    auto lsrc = labels01.row(src);
+    std::copy(lsrc.begin(), lsrc.end(), out.labels01.row(r).begin());
+  }
+  return out;
+}
+
+Dataset make_blobs(const BlobsConfig& config, Rng& rng) {
+  if (config.num_classes < 2 || config.dims == 0 || config.num_samples == 0) {
+    throw std::invalid_argument("make_blobs: degenerate configuration");
+  }
+  if (!(config.label_noise >= 0.0 && config.label_noise <= 1.0)) {
+    throw std::invalid_argument("make_blobs: label_noise outside [0, 1]");
+  }
+  // Class means: random directions, normalized, scaled.
+  Matrix means(static_cast<std::size_t>(config.num_classes), config.dims);
+  for (std::size_t c = 0; c < means.rows(); ++c) {
+    double norm = 0.0;
+    for (std::size_t d = 0; d < config.dims; ++d) {
+      means.at(c, d) = rng.gaussian();
+      norm += means.at(c, d) * means.at(c, d);
+    }
+    norm = std::sqrt(norm);
+    for (std::size_t d = 0; d < config.dims; ++d) {
+      means.at(c, d) *= config.class_separation / norm;
+    }
+  }
+
+  Dataset out;
+  out.num_classes = config.num_classes;
+  out.features = Matrix(config.num_samples, config.dims);
+  out.labels.reserve(config.num_samples);
+  for (std::size_t i = 0; i < config.num_samples; ++i) {
+    const int label = static_cast<int>(
+        rng.index_below(static_cast<std::size_t>(config.num_classes)));
+    for (std::size_t d = 0; d < config.dims; ++d) {
+      out.features.at(i, d) = means.at(static_cast<std::size_t>(label), d) +
+                              rng.gaussian(0.0, config.within_class_std);
+    }
+    int reported = label;
+    if (config.label_noise > 0.0 && rng.uniform_double() < config.label_noise) {
+      reported = static_cast<int>(
+          rng.index_below(static_cast<std::size_t>(config.num_classes)));
+    }
+    out.labels.push_back(reported);
+  }
+  return out;
+}
+
+Dataset make_mnist_like(std::size_t num_samples, Rng& rng) {
+  BlobsConfig config;
+  config.num_samples = num_samples;
+  config.dims = 24;
+  config.num_classes = 10;
+  config.class_separation = 3.2;
+  config.within_class_std = 1.0;
+  config.label_noise = 0.0;
+  return make_blobs(config, rng);
+}
+
+Dataset make_svhn_like(std::size_t num_samples, Rng& rng) {
+  BlobsConfig config;
+  config.num_samples = num_samples;
+  config.dims = 24;
+  config.num_classes = 10;
+  config.class_separation = 2.5;
+  config.within_class_std = 1.0;
+  config.label_noise = 0.04;
+  return make_blobs(config, rng);
+}
+
+MultiLabelDataset make_celeba_like(const CelebaConfig& config, Rng& rng) {
+  if (config.num_samples == 0 || config.num_attributes == 0 ||
+      config.latent_dims == 0) {
+    throw std::invalid_argument("make_celeba_like: degenerate configuration");
+  }
+  if (!(config.positive_rate > 0.0 && config.positive_rate < 0.5)) {
+    throw std::invalid_argument(
+        "make_celeba_like: positive_rate must lie in (0, 0.5) (sparse)");
+  }
+  // Attribute weight vectors over the latent space plus sparsity offsets.
+  Matrix attr_w(config.num_attributes, config.latent_dims);
+  std::vector<double> attr_bias(config.num_attributes);
+  for (std::size_t a = 0; a < config.num_attributes; ++a) {
+    for (std::size_t l = 0; l < config.latent_dims; ++l) {
+      attr_w.at(a, l) = rng.gaussian();
+    }
+    // Shift the decision boundary so roughly positive_rate of samples are
+    // positive: threshold at the (1 - rate) quantile of a standard normal
+    // scaled by ||w||.
+    double norm = 0.0;
+    for (std::size_t l = 0; l < config.latent_dims; ++l) {
+      norm += attr_w.at(a, l) * attr_w.at(a, l);
+    }
+    // Inverse-CDF approximation for the (1 - rate) quantile.
+    const double q = 1.0 - config.positive_rate;
+    const double t = std::sqrt(-2.0 * std::log(1.0 - q));
+    const double quantile =
+        t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t);
+    attr_bias[a] = -quantile * std::sqrt(norm);
+  }
+  // Feature projection.
+  Matrix proj(config.dims, config.latent_dims);
+  for (std::size_t d = 0; d < config.dims; ++d) {
+    for (std::size_t l = 0; l < config.latent_dims; ++l) {
+      proj.at(d, l) = rng.gaussian();
+    }
+  }
+
+  MultiLabelDataset out;
+  out.features = Matrix(config.num_samples, config.dims);
+  out.labels01 = Matrix(config.num_samples, config.num_attributes);
+  std::vector<double> z(config.latent_dims);
+  for (std::size_t i = 0; i < config.num_samples; ++i) {
+    for (double& v : z) v = rng.gaussian();
+    for (std::size_t d = 0; d < config.dims; ++d) {
+      double dot = 0.0;
+      for (std::size_t l = 0; l < config.latent_dims; ++l) {
+        dot += proj.at(d, l) * z[l];
+      }
+      out.features.at(i, d) = dot + rng.gaussian(0.0, config.feature_noise);
+    }
+    for (std::size_t a = 0; a < config.num_attributes; ++a) {
+      double dot = attr_bias[a];
+      for (std::size_t l = 0; l < config.latent_dims; ++l) {
+        dot += attr_w.at(a, l) * z[l];
+      }
+      out.labels01.at(i, a) = dot > 0.0 ? 1.0 : 0.0;
+    }
+  }
+  return out;
+}
+
+HeadTailSplit split_head(const Dataset& dataset, std::size_t head_size) {
+  if (head_size > dataset.size()) {
+    throw std::invalid_argument("split_head: head larger than dataset");
+  }
+  std::vector<std::size_t> head_idx(head_size);
+  std::vector<std::size_t> tail_idx(dataset.size() - head_size);
+  for (std::size_t i = 0; i < head_size; ++i) head_idx[i] = i;
+  for (std::size_t i = head_size; i < dataset.size(); ++i) {
+    tail_idx[i - head_size] = i;
+  }
+  return {dataset.subset(head_idx), dataset.subset(tail_idx)};
+}
+
+}  // namespace pcl

@@ -1,0 +1,90 @@
+// Dataset containers and synthetic generators standing in for the paper's
+// MNIST / SVHN / CelebA corpora (see DESIGN.md, Substitutions).
+//
+// The protocol only ever consumes *vote vectors*, so what matters for
+// reproducing the evaluation is the relationship between local-shard size
+// and teacher accuracy, and between class/attribute balance and consensus
+// retention.  The generators are calibrated to the paper's difficulty
+// ordering: MNIST-like is nearly separable (teacher accuracy in the high
+// 90s at full data), SVHN-like is substantially harder, and CelebA-like is
+// a 40-attribute sparse multi-label problem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/rng.h"
+#include "ml/matrix.h"
+
+namespace pcl {
+
+/// Single-label classification dataset.
+struct Dataset {
+  Matrix features;          ///< n x d
+  std::vector<int> labels;  ///< n entries in [0, num_classes)
+  int num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  [[nodiscard]] std::size_t dims() const { return features.cols(); }
+  /// Rows selected by `indices` (bounds-checked).
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& indices) const;
+};
+
+/// Multi-label dataset (CelebA-like): labels01.at(i, j) in {0, 1}.
+struct MultiLabelDataset {
+  Matrix features;  ///< n x d
+  Matrix labels01;  ///< n x num_attributes
+  [[nodiscard]] std::size_t size() const { return features.rows(); }
+  [[nodiscard]] std::size_t num_attributes() const { return labels01.cols(); }
+  [[nodiscard]] MultiLabelDataset subset(
+      const std::vector<std::size_t>& indices) const;
+};
+
+struct BlobsConfig {
+  std::size_t num_samples = 1000;
+  std::size_t dims = 24;
+  int num_classes = 10;
+  /// Distance of class means from the origin relative to within-class
+  /// spread; higher = easier.
+  double class_separation = 3.0;
+  double within_class_std = 1.0;
+  /// Fraction of labels flipped to a uniformly random class.
+  double label_noise = 0.0;
+};
+
+/// Gaussian-mixture classification data; class means are random unit
+/// directions scaled by class_separation.
+[[nodiscard]] Dataset make_blobs(const BlobsConfig& config, Rng& rng);
+
+/// MNIST stand-in: 10 easy classes (strong separation, no label noise).
+[[nodiscard]] Dataset make_mnist_like(std::size_t num_samples, Rng& rng);
+
+/// SVHN stand-in: 10 harder classes (weaker separation + label noise).
+[[nodiscard]] Dataset make_svhn_like(std::size_t num_samples, Rng& rng);
+
+struct CelebaConfig {
+  std::size_t num_samples = 4000;
+  std::size_t dims = 32;
+  std::size_t num_attributes = 40;
+  std::size_t latent_dims = 12;
+  /// Mean fraction of positive entries per attribute (CelebA is sparse:
+  /// most attributes are absent in most images).
+  double positive_rate = 0.15;
+  double feature_noise = 0.6;
+};
+
+/// CelebA stand-in: sparse correlated binary attributes generated from a
+/// shared latent factor model.
+[[nodiscard]] MultiLabelDataset make_celeba_like(const CelebaConfig& config,
+                                                 Rng& rng);
+
+/// Splits `dataset` into a held-out head of `head_size` samples (the
+/// aggregator's public pool / test data) and the remaining tail.
+struct HeadTailSplit {
+  Dataset head;
+  Dataset tail;
+};
+[[nodiscard]] HeadTailSplit split_head(const Dataset& dataset,
+                                       std::size_t head_size);
+
+}  // namespace pcl

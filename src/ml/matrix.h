@@ -1,0 +1,50 @@
+// Minimal dense matrix for the teacher/student models.
+//
+// Row-major doubles with bounds-checked access in debug and span-based row
+// views for hot loops.  This deliberately covers only what the ML substrate
+// needs (the paper's heavy lifting is PyTorch; see DESIGN.md substitutions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pcl {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+  [[nodiscard]] std::span<double> data() { return data_; }
+
+  /// this * other; (m x n) * (n x p) -> (m x p).
+  [[nodiscard]] Matrix matmul(const Matrix& other) const;
+  [[nodiscard]] Matrix transpose() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Frobenius norm squared (used for L2 regularization).
+  [[nodiscard]] double squared_norm() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace pcl

@@ -1,0 +1,124 @@
+#include "ml/metrics.h"
+
+#include <stdexcept>
+
+namespace pcl {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes) *
+                 static_cast<std::size_t>(num_classes),
+             0) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("ConfusionMatrix needs >= 2 classes");
+  }
+}
+
+void ConfusionMatrix::check_class(int c) const {
+  if (c < 0 || c >= num_classes_) {
+    throw std::out_of_range("class index outside [0, num_classes)");
+  }
+}
+
+void ConfusionMatrix::add(int truth, int prediction) {
+  check_class(truth);
+  check_class(prediction);
+  cells_[static_cast<std::size_t>(truth) *
+             static_cast<std::size_t>(num_classes_) +
+         static_cast<std::size_t>(prediction)]++;
+  ++total_;
+}
+
+void ConfusionMatrix::add_all(std::span<const int> truths,
+                              std::span<const int> predictions) {
+  if (truths.size() != predictions.size()) {
+    throw std::invalid_argument("truth/prediction size mismatch");
+  }
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    add(truths[i], predictions[i]);
+  }
+}
+
+std::size_t ConfusionMatrix::count(int truth, int prediction) const {
+  check_class(truth);
+  check_class(prediction);
+  return cells_[static_cast<std::size_t>(truth) *
+                    static_cast<std::size_t>(num_classes_) +
+                static_cast<std::size_t>(prediction)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diagonal = 0;
+  for (int c = 0; c < num_classes_; ++c) diagonal += count(c, c);
+  return static_cast<double>(diagonal) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int c) const {
+  check_class(c);
+  std::size_t predicted = 0;
+  for (int t = 0; t < num_classes_; ++t) predicted += count(t, c);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int c) const {
+  check_class(c);
+  std::size_t actual = 0;
+  for (int p = 0; p < num_classes_; ++p) actual += count(c, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(int c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_precision() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += precision(c);
+  return sum / num_classes_;
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += recall(c);
+  return sum / num_classes_;
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += f1(c);
+  return sum / num_classes_;
+}
+
+std::vector<double> per_class_retention(std::span<const int> truths,
+                                        const std::vector<bool>& answered,
+                                        int num_classes) {
+  if (truths.size() != answered.size()) {
+    throw std::invalid_argument("truth/answered size mismatch");
+  }
+  if (num_classes < 2) {
+    throw std::invalid_argument("need >= 2 classes");
+  }
+  std::vector<double> kept(static_cast<std::size_t>(num_classes), 0.0);
+  std::vector<double> seen(static_cast<std::size_t>(num_classes), 0.0);
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    const int t = truths[i];
+    if (t < 0 || t >= num_classes) {
+      throw std::out_of_range("class index outside [0, num_classes)");
+    }
+    seen[static_cast<std::size_t>(t)] += 1.0;
+    if (answered[i]) kept[static_cast<std::size_t>(t)] += 1.0;
+  }
+  for (int c = 0; c < num_classes; ++c) {
+    const auto idx = static_cast<std::size_t>(c);
+    kept[idx] = seen[idx] == 0.0 ? 0.0 : kept[idx] / seen[idx];
+  }
+  return kept;
+}
+
+}  // namespace pcl

@@ -1,0 +1,55 @@
+// Evaluation metrics beyond plain accuracy: confusion matrices, per-class
+// precision/recall/F1, and macro averages.  Used by the examples and the
+// extended experiment reports to diagnose *which* classes the consensus
+// filter sacrifices (retention is class-dependent when teachers are weak).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace pcl {
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int truth, int prediction);
+  /// Bulk ingestion of parallel truth/prediction spans.
+  void add_all(std::span<const int> truths, std::span<const int> predictions);
+
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t count(int truth, int prediction) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  [[nodiscard]] double accuracy() const;
+  /// Of everything predicted c, what fraction was truly c?  0 if never
+  /// predicted.
+  [[nodiscard]] double precision(int c) const;
+  /// Of everything truly c, what fraction was predicted c?  0 if absent.
+  [[nodiscard]] double recall(int c) const;
+  [[nodiscard]] double f1(int c) const;
+  /// Unweighted mean over classes.
+  [[nodiscard]] double macro_precision() const;
+  [[nodiscard]] double macro_recall() const;
+  [[nodiscard]] double macro_f1() const;
+
+ private:
+  void check_class(int c) const;
+  int num_classes_;
+  std::vector<std::size_t> cells_;  // row-major num_classes^2
+  std::size_t total_ = 0;
+};
+
+/// Per-class retention of a selective labeler: of the queries truly in
+/// class c, what fraction was answered at all?  Diagnoses the paper's
+/// CelebA effect in the multi-class setting.  (vector<bool> by reference:
+/// the bit-packed specialization has no span view.)
+[[nodiscard]] std::vector<double> per_class_retention(
+    std::span<const int> truths, const std::vector<bool>& answered,
+    int num_classes);
+
+}  // namespace pcl

@@ -1,0 +1,369 @@
+#include "ml/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pcl {
+
+namespace {
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.index_below(i)]);
+  }
+  return idx;
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+void softmax_inplace(std::vector<double>& logits) {
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - max_logit);
+    sum += v;
+  }
+  for (double& v : logits) v /= sum;
+}
+
+// ---------------------------------------------------------------------------
+// LogisticModel
+// ---------------------------------------------------------------------------
+
+LogisticModel::LogisticModel(std::size_t dims, int num_classes)
+    : weights_(static_cast<std::size_t>(num_classes), dims),
+      bias_(static_cast<std::size_t>(num_classes), 0.0),
+      num_classes_(num_classes) {
+  if (num_classes < 2 || dims == 0) {
+    throw std::invalid_argument("LogisticModel: bad shape");
+  }
+}
+
+std::vector<double> LogisticModel::predict_proba(
+    std::span<const double> x) const {
+  if (x.size() != weights_.cols()) {
+    throw std::invalid_argument("predict: feature dimension mismatch");
+  }
+  std::vector<double> logits(static_cast<std::size_t>(num_classes_));
+  for (std::size_t c = 0; c < logits.size(); ++c) {
+    double dot = bias_[c];
+    const auto w = weights_.row(c);
+    for (std::size_t d = 0; d < x.size(); ++d) dot += w[d] * x[d];
+    logits[c] = dot;
+  }
+  softmax_inplace(logits);
+  return logits;
+}
+
+int LogisticModel::predict(std::span<const double> x) const {
+  const std::vector<double> p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double LogisticModel::accuracy(const Dataset& data) const {
+  if (data.size() == 0) throw std::invalid_argument("accuracy: empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += predict(data.features.row(i)) == data.labels[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+void LogisticModel::train(const Dataset& data, const TrainConfig& config,
+                          Rng& rng) {
+  if (data.size() == 0) throw std::invalid_argument("train: empty dataset");
+  if (data.dims() != weights_.cols() || data.num_classes != num_classes_) {
+    throw std::invalid_argument("train: dataset shape mismatch");
+  }
+  const std::size_t k = static_cast<std::size_t>(num_classes_);
+  Matrix vel_w(k, weights_.cols());
+  std::vector<double> vel_b(k, 0.0);
+  Matrix grad_w(k, weights_.cols());
+  std::vector<double> grad_b(k, 0.0);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<std::size_t> order = shuffled_indices(data.size(), rng);
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config.batch_size);
+      std::fill(grad_w.data().begin(), grad_w.data().end(), 0.0);
+      std::fill(grad_b.begin(), grad_b.end(), 0.0);
+      for (std::size_t pos = start; pos < end; ++pos) {
+        const std::size_t i = order[pos];
+        const auto x = data.features.row(i);
+        std::vector<double> p = predict_proba(x);
+        p[static_cast<std::size_t>(data.labels[i])] -= 1.0;  // dL/dlogits
+        for (std::size_t c = 0; c < k; ++c) {
+          if (p[c] == 0.0) continue;
+          const auto gw = grad_w.row(c);
+          for (std::size_t d = 0; d < x.size(); ++d) gw[d] += p[c] * x[d];
+          grad_b[c] += p[c];
+        }
+      }
+      const double scale = 1.0 / static_cast<double>(end - start);
+      for (std::size_t c = 0; c < k; ++c) {
+        const auto w = weights_.row(c);
+        const auto gw = grad_w.row(c);
+        const auto vw = vel_w.row(c);
+        for (std::size_t d = 0; d < w.size(); ++d) {
+          const double g = gw[d] * scale + config.l2 * w[d];
+          vw[d] = config.momentum * vw[d] - config.learning_rate * g;
+          w[d] += vw[d];
+        }
+        vel_b[c] = config.momentum * vel_b[c] -
+                   config.learning_rate * grad_b[c] * scale;
+        bias_[c] += vel_b[c];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MlpModel
+// ---------------------------------------------------------------------------
+
+MlpModel::MlpModel(std::size_t dims, std::size_t hidden, int num_classes,
+                   Rng& rng)
+    : w1_(hidden, dims),
+      b1_(hidden, 0.0),
+      w2_(static_cast<std::size_t>(num_classes), hidden),
+      b2_(static_cast<std::size_t>(num_classes), 0.0),
+      num_classes_(num_classes) {
+  if (num_classes < 2 || dims == 0 || hidden == 0) {
+    throw std::invalid_argument("MlpModel: bad shape");
+  }
+  // He initialization for the ReLU layer, Xavier-ish for the output.
+  const double s1 = std::sqrt(2.0 / static_cast<double>(dims));
+  for (double& v : w1_.data()) v = rng.gaussian(0.0, s1);
+  const double s2 = std::sqrt(1.0 / static_cast<double>(hidden));
+  for (double& v : w2_.data()) v = rng.gaussian(0.0, s2);
+}
+
+std::vector<double> MlpModel::hidden_activations(
+    std::span<const double> x) const {
+  if (x.size() != w1_.cols()) {
+    throw std::invalid_argument("predict: feature dimension mismatch");
+  }
+  std::vector<double> h(w1_.rows());
+  for (std::size_t j = 0; j < h.size(); ++j) {
+    double dot = b1_[j];
+    const auto w = w1_.row(j);
+    for (std::size_t d = 0; d < x.size(); ++d) dot += w[d] * x[d];
+    h[j] = std::max(0.0, dot);
+  }
+  return h;
+}
+
+std::vector<double> MlpModel::predict_proba(std::span<const double> x) const {
+  const std::vector<double> h = hidden_activations(x);
+  std::vector<double> logits(static_cast<std::size_t>(num_classes_));
+  for (std::size_t c = 0; c < logits.size(); ++c) {
+    double dot = b2_[c];
+    const auto w = w2_.row(c);
+    for (std::size_t j = 0; j < h.size(); ++j) dot += w[j] * h[j];
+    logits[c] = dot;
+  }
+  softmax_inplace(logits);
+  return logits;
+}
+
+int MlpModel::predict(std::span<const double> x) const {
+  const std::vector<double> p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double MlpModel::accuracy(const Dataset& data) const {
+  if (data.size() == 0) throw std::invalid_argument("accuracy: empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += predict(data.features.row(i)) == data.labels[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+void MlpModel::train(const Dataset& data, const TrainConfig& config,
+                     Rng& rng) {
+  if (data.size() == 0) throw std::invalid_argument("train: empty dataset");
+  if (data.dims() != w1_.cols() || data.num_classes != num_classes_) {
+    throw std::invalid_argument("train: dataset shape mismatch");
+  }
+  const std::size_t hidden = w1_.rows();
+  const std::size_t k = static_cast<std::size_t>(num_classes_);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<std::size_t> order = shuffled_indices(data.size(), rng);
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config.batch_size);
+      Matrix g_w1(hidden, w1_.cols());
+      std::vector<double> g_b1(hidden, 0.0);
+      Matrix g_w2(k, hidden);
+      std::vector<double> g_b2(k, 0.0);
+
+      for (std::size_t pos = start; pos < end; ++pos) {
+        const std::size_t i = order[pos];
+        const auto x = data.features.row(i);
+        const std::vector<double> h = hidden_activations(x);
+        std::vector<double> logits(k);
+        for (std::size_t c = 0; c < k; ++c) {
+          double dot = b2_[c];
+          const auto w = w2_.row(c);
+          for (std::size_t j = 0; j < hidden; ++j) dot += w[j] * h[j];
+          logits[c] = dot;
+        }
+        softmax_inplace(logits);
+        logits[static_cast<std::size_t>(data.labels[i])] -= 1.0;  // delta2
+
+        std::vector<double> delta1(hidden, 0.0);
+        for (std::size_t c = 0; c < k; ++c) {
+          const double d2 = logits[c];
+          if (d2 == 0.0) continue;
+          const auto w = w2_.row(c);
+          const auto gw = g_w2.row(c);
+          for (std::size_t j = 0; j < hidden; ++j) {
+            gw[j] += d2 * h[j];
+            if (h[j] > 0.0) delta1[j] += d2 * w[j];
+          }
+          g_b2[c] += d2;
+        }
+        for (std::size_t j = 0; j < hidden; ++j) {
+          if (delta1[j] == 0.0) continue;
+          const auto gw = g_w1.row(j);
+          for (std::size_t d = 0; d < x.size(); ++d) gw[d] += delta1[j] * x[d];
+          g_b1[j] += delta1[j];
+        }
+      }
+
+      const double scale = config.learning_rate /
+                           static_cast<double>(end - start);
+      const double decay = config.learning_rate * config.l2;
+      for (std::size_t idx = 0; idx < w1_.data().size(); ++idx) {
+        w1_.data()[idx] -= scale * g_w1.data()[idx] + decay * w1_.data()[idx];
+      }
+      for (std::size_t j = 0; j < hidden; ++j) b1_[j] -= scale * g_b1[j];
+      for (std::size_t idx = 0; idx < w2_.data().size(); ++idx) {
+        w2_.data()[idx] -= scale * g_w2.data()[idx] + decay * w2_.data()[idx];
+      }
+      for (std::size_t c = 0; c < k; ++c) b2_[c] -= scale * g_b2[c];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultiLabelModel
+// ---------------------------------------------------------------------------
+
+MultiLabelModel::MultiLabelModel(std::size_t dims, std::size_t num_attributes)
+    : weights_(num_attributes, dims), bias_(num_attributes, 0.0) {
+  if (dims == 0 || num_attributes == 0) {
+    throw std::invalid_argument("MultiLabelModel: bad shape");
+  }
+}
+
+std::vector<double> MultiLabelModel::predict_proba(
+    std::span<const double> x) const {
+  if (x.size() != weights_.cols()) {
+    throw std::invalid_argument("predict: feature dimension mismatch");
+  }
+  std::vector<double> out(weights_.rows());
+  for (std::size_t a = 0; a < out.size(); ++a) {
+    double dot = bias_[a];
+    const auto w = weights_.row(a);
+    for (std::size_t d = 0; d < x.size(); ++d) dot += w[d] * x[d];
+    out[a] = sigmoid(dot);
+  }
+  return out;
+}
+
+std::vector<int> MultiLabelModel::predict(std::span<const double> x) const {
+  const std::vector<double> p = predict_proba(x);
+  std::vector<int> out(p.size());
+  for (std::size_t a = 0; a < p.size(); ++a) out[a] = p[a] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+double MultiLabelModel::accuracy(const MultiLabelDataset& data) const {
+  if (data.size() == 0) throw std::invalid_argument("accuracy: empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::vector<int> pred = predict(data.features.row(i));
+    for (std::size_t a = 0; a < pred.size(); ++a) {
+      correct += (data.labels01.at(i, a) > 0.5) == (pred[a] == 1) ? 1 : 0;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(data.size() * data.num_attributes());
+}
+
+void MultiLabelModel::train(const MultiLabelDataset& data,
+                            const TrainConfig& config, Rng& rng) {
+  if (data.size() == 0) throw std::invalid_argument("train: empty dataset");
+  if (data.features.cols() != weights_.cols() ||
+      data.num_attributes() != weights_.rows()) {
+    throw std::invalid_argument("train: dataset shape mismatch");
+  }
+  const std::size_t attrs = weights_.rows();
+
+  // Initialize each attribute's bias to its training-prior log-odds (the
+  // standard imbalanced-class initialization).  This matters for tiny
+  // shards: a data-starved teacher then behaves like a real classifier —
+  // defaulting to the majority (negative) class — rather than flipping
+  // coins, which is what produces the paper's CelebA consensus-filtering
+  // phenomenon under uneven splits.
+  for (std::size_t a = 0; a < attrs; ++a) {
+    double positives = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      positives += data.labels01.at(i, a);
+    }
+    const double n = static_cast<double>(data.size());
+    // Laplace smoothing keeps the log-odds finite on all-negative shards.
+    const double rate = (positives + 0.5) / (n + 1.0);
+    bias_[a] = std::log(rate / (1.0 - rate));
+  }
+
+  Matrix grad_w(attrs, weights_.cols());
+  std::vector<double> grad_b(attrs, 0.0);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<std::size_t> order = shuffled_indices(data.size(), rng);
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config.batch_size);
+      std::fill(grad_w.data().begin(), grad_w.data().end(), 0.0);
+      std::fill(grad_b.begin(), grad_b.end(), 0.0);
+      for (std::size_t pos = start; pos < end; ++pos) {
+        const std::size_t i = order[pos];
+        const auto x = data.features.row(i);
+        const std::vector<double> p = predict_proba(x);
+        for (std::size_t a = 0; a < attrs; ++a) {
+          const double err = p[a] - data.labels01.at(i, a);
+          const auto gw = grad_w.row(a);
+          for (std::size_t d = 0; d < x.size(); ++d) gw[d] += err * x[d];
+          grad_b[a] += err;
+        }
+      }
+      const double scale = config.learning_rate /
+                           static_cast<double>(end - start);
+      const double decay = config.learning_rate * config.l2;
+      for (std::size_t a = 0; a < attrs; ++a) {
+        const auto w = weights_.row(a);
+        const auto gw = grad_w.row(a);
+        for (std::size_t d = 0; d < w.size(); ++d) {
+          w[d] -= scale * gw[d] + decay * w[d];
+        }
+        bias_[a] -= scale * grad_b[a];
+      }
+    }
+  }
+}
+
+}  // namespace pcl

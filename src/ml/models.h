@@ -1,0 +1,98 @@
+// Teacher/student models: multinomial logistic regression, a one-hidden-
+// layer MLP, and an independent-sigmoid multi-label head (CelebA-like).
+//
+// All models train with minibatch SGD + momentum and L2 regularization.
+// They stand in for the paper's PyTorch/Inception-V3 stack (see DESIGN.md):
+// the experiments need a *monotone* relationship between shard size and
+// accuracy, which these provide on the synthetic generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/rng.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace pcl {
+
+struct TrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.15;
+  double momentum = 0.9;
+  double l2 = 1e-4;
+};
+
+/// Multinomial logistic regression (softmax linear classifier).
+class LogisticModel {
+ public:
+  LogisticModel() = default;
+  LogisticModel(std::size_t dims, int num_classes);
+
+  void train(const Dataset& data, const TrainConfig& config, Rng& rng);
+
+  /// Softmax probabilities for one example.
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> x) const;
+  [[nodiscard]] int predict(std::span<const double> x) const;
+  [[nodiscard]] double accuracy(const Dataset& data) const;
+
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t dims() const { return weights_.cols(); }
+
+ private:
+  Matrix weights_;  // K x D
+  std::vector<double> bias_;
+  int num_classes_ = 0;
+};
+
+/// One-hidden-layer ReLU network with a softmax output.
+class MlpModel {
+ public:
+  MlpModel() = default;
+  MlpModel(std::size_t dims, std::size_t hidden, int num_classes, Rng& rng);
+
+  void train(const Dataset& data, const TrainConfig& config, Rng& rng);
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> x) const;
+  [[nodiscard]] int predict(std::span<const double> x) const;
+  [[nodiscard]] double accuracy(const Dataset& data) const;
+
+ private:
+  [[nodiscard]] std::vector<double> hidden_activations(
+      std::span<const double> x) const;
+  Matrix w1_;  // H x D
+  std::vector<double> b1_;
+  Matrix w2_;  // K x H
+  std::vector<double> b2_;
+  int num_classes_ = 0;
+};
+
+/// Independent per-attribute logistic classifiers with sigmoid outputs.
+class MultiLabelModel {
+ public:
+  MultiLabelModel() = default;
+  MultiLabelModel(std::size_t dims, std::size_t num_attributes);
+
+  void train(const MultiLabelDataset& data, const TrainConfig& config,
+             Rng& rng);
+  /// Per-attribute positive probabilities.
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> x) const;
+  /// Per-attribute {0,1} decisions at 0.5.
+  [[nodiscard]] std::vector<int> predict(std::span<const double> x) const;
+  /// Mean per-attribute binary accuracy.
+  [[nodiscard]] double accuracy(const MultiLabelDataset& data) const;
+
+  [[nodiscard]] std::size_t num_attributes() const { return weights_.rows(); }
+
+ private:
+  Matrix weights_;  // A x D
+  std::vector<double> bias_;
+};
+
+/// Numerically stable softmax in place.
+void softmax_inplace(std::vector<double>& logits);
+
+}  // namespace pcl

@@ -1,0 +1,95 @@
+#include "ml/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pcl {
+
+namespace {
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.index_below(i)]);
+  }
+  return idx;
+}
+
+/// Deals `indices[from, to)` into `num_users` near-equal shards.
+std::vector<UserShard> deal(const std::vector<std::size_t>& indices,
+                            std::size_t from, std::size_t to,
+                            std::size_t num_users, bool minority) {
+  std::vector<UserShard> out(num_users);
+  const std::size_t count = to - from;
+  const std::size_t base = count / num_users;
+  const std::size_t extra = count % num_users;
+  std::size_t cursor = from;
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const std::size_t take = base + (u < extra ? 1 : 0);
+    out[u].indices.assign(indices.begin() + static_cast<std::ptrdiff_t>(cursor),
+                          indices.begin() +
+                              static_cast<std::ptrdiff_t>(cursor + take));
+    out[u].minority = minority;
+    cursor += take;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<UserShard> partition_even(std::size_t n, std::size_t num_users,
+                                      Rng& rng) {
+  if (num_users == 0) throw std::invalid_argument("num_users must be > 0");
+  if (n < num_users) {
+    throw std::invalid_argument("fewer samples than users");
+  }
+  const std::vector<std::size_t> idx = shuffled_indices(n, rng);
+  return deal(idx, 0, n, num_users, /*minority=*/false);
+}
+
+std::vector<UserShard> partition_uneven(std::size_t n, std::size_t num_users,
+                                        double data_fraction_majority,
+                                        Rng& rng) {
+  if (num_users < 2) {
+    throw std::invalid_argument("uneven partition needs >= 2 users");
+  }
+  if (!(data_fraction_majority > 0.0 && data_fraction_majority < 1.0)) {
+    throw std::invalid_argument("data fraction must lie in (0, 1)");
+  }
+  if (n < num_users) {
+    throw std::invalid_argument("fewer samples than users");
+  }
+  // Majority group: (1 - frac) of the users sharing frac of the data.
+  const double user_fraction_majority = 1.0 - data_fraction_majority;
+  std::size_t majority_users = static_cast<std::size_t>(
+      static_cast<double>(num_users) * user_fraction_majority + 0.5);
+  majority_users = std::clamp<std::size_t>(majority_users, 1, num_users - 1);
+  const std::size_t minority_users = num_users - majority_users;
+
+  std::size_t majority_data = static_cast<std::size_t>(
+      static_cast<double>(n) * data_fraction_majority + 0.5);
+  majority_data = std::clamp<std::size_t>(majority_data, majority_users,
+                                          n - minority_users);
+
+  const std::vector<std::size_t> idx = shuffled_indices(n, rng);
+  std::vector<UserShard> shards =
+      deal(idx, 0, majority_data, majority_users, /*minority=*/false);
+  std::vector<UserShard> rich =
+      deal(idx, majority_data, n, minority_users, /*minority=*/true);
+  shards.insert(shards.end(), std::make_move_iterator(rich.begin()),
+                std::make_move_iterator(rich.end()));
+  return shards;
+}
+
+std::vector<UserShard> partition_division(std::size_t n, std::size_t num_users,
+                                          int division_x, Rng& rng) {
+  if (division_x < 1 || division_x > 9) {
+    throw std::invalid_argument("division must be 1..9 (paper uses 2, 3, 4)");
+  }
+  return partition_uneven(n, num_users,
+                          static_cast<double>(division_x) / 10.0, rng);
+}
+
+}  // namespace pcl

@@ -1,0 +1,41 @@
+// Data partitioners reproducing the paper's distribution settings
+// (Sec. VI-C): even splits, and the uneven "x-y divisions" where x/10 of
+// the data is spread across y/10 of the users (the majority group) while
+// the remaining y/10 of the data is concentrated on x/10 of the users (the
+// minority group).  Division 2-8 therefore means: 20% of the data is held
+// by 80% of the users.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/rng.h"
+
+namespace pcl {
+
+/// One user's slice of the global index space plus its group membership.
+struct UserShard {
+  std::vector<std::size_t> indices;
+  /// True for the data-rich few (paper's "minority of users who hold the
+  /// majority of data"); always false for even partitions.
+  bool minority = false;
+};
+
+/// Shuffles [0, n) and deals equal-size shards (remainder spread over the
+/// first shards).
+[[nodiscard]] std::vector<UserShard> partition_even(std::size_t n,
+                                                    std::size_t num_users,
+                                                    Rng& rng);
+
+/// Paper division "x-y" given as data_fraction_majority = x/10: a
+/// (1 - x/10) fraction of users forms the majority group sharing x/10 of
+/// the data; the remaining users (the minority) share the rest.
+[[nodiscard]] std::vector<UserShard> partition_uneven(
+    std::size_t n, std::size_t num_users, double data_fraction_majority,
+    Rng& rng);
+
+/// Named accessors for the paper's three divisions.
+[[nodiscard]] std::vector<UserShard> partition_division(
+    std::size_t n, std::size_t num_users, int division_x, Rng& rng);
+
+}  // namespace pcl

@@ -1,0 +1,84 @@
+// Blind-and-Permute (paper Alg. 2) and Restoration (paper Alg. 3).
+//
+// Two servers hold complementary encrypted share sequences: S1 holds
+// E_pk2[a] (encrypted under S2's key) and S2 holds E_pk1[b].  After the
+// protocol, S1 holds the plaintext sequence pi(a + r) and S2 holds
+// pi(b ± r), where pi = pi1∘pi2 composes both servers' private random
+// permutations and r = r1 + r2 sums both servers' private random masks.
+// Neither server knows the full pi or the full r.
+//
+// Mask sign (see DESIGN.md, "Substitutions"): the paper writes "+r" on both
+// outputs, but with vector masks that breaks the pairwise ranking of
+// Eq. (7) — the masks only cancel if S2's output carries the opposite sign
+// (so (a+r)_i + (b-r)_i == c_i).  Both modes are provided:
+//   * kOppositeSign — ranking sequences (Alg. 5 steps 3/7, used with Eq. 7);
+//   * kSameSign     — threshold sequences (Alg. 5 step 3, used with Eq. 6,
+//                     where the comparison subtracts S2's value at the same
+//                     position and a same-sign mask cancels).
+//
+// The session object retains pi1 (S1's secret) and pi2 (S2's secret) so the
+// same composed permutation can be applied to multiple sequence pairs (the
+// vote sequence and the threshold sequence must be aligned) and so
+// Restoration can unwind it afterwards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "mpc/permutation.h"
+#include "net/transport.h"
+
+namespace pcl {
+
+/// Key material for the two-server protocols.  sk1 is held by S1 only and
+/// sk2 by S2 only; the code keeps the views separate by discipline (this is
+/// a simulation — both live in one process).
+struct ServerPaillierKeys {
+  PaillierKeyPair s1;
+  PaillierKeyPair s2;
+};
+
+[[nodiscard]] ServerPaillierKeys generate_server_paillier_keys(
+    std::size_t key_bits, Rng& rng);
+
+class BlindPermuteSession {
+ public:
+  enum class MaskMode { kOppositeSign, kSameSign };
+
+  /// Draws pi1 from s1_rng and pi2 from s2_rng for sequences of length k.
+  BlindPermuteSession(Network& net, const ServerPaillierKeys& keys,
+                      std::size_t k, std::size_t mask_bits, Rng& s1_rng,
+                      Rng& s2_rng);
+
+  struct Output {
+    std::vector<std::int64_t> s1_seq;  ///< pi(a + r), known to S1 only
+    std::vector<std::int64_t> s2_seq;  ///< pi(b ± r), known to S2 only
+  };
+
+  /// Runs Alg. 2 on one sequence pair with fresh masks.  May be called
+  /// multiple times; every call reuses the same pi1/pi2 so outputs align.
+  [[nodiscard]] Output run(const std::vector<PaillierCiphertext>& s1_holds,
+                           const std::vector<PaillierCiphertext>& s2_holds,
+                           MaskMode mode);
+
+  /// Runs Alg. 3: maps a position in the permuted sequence back to the
+  /// original index, revealing only that index to both servers.
+  [[nodiscard]] std::size_t restore(std::size_t permuted_index);
+
+  /// Test oracle: the composed permutation (not available to either server
+  /// in a real deployment).
+  [[nodiscard]] Permutation composed_permutation_for_testing() const;
+
+ private:
+  Network& net_;
+  const ServerPaillierKeys& keys_;
+  std::size_t k_;
+  std::size_t mask_bits_;
+  Rng& s1_rng_;
+  Rng& s2_rng_;
+  Permutation pi1_;  // S1's secret
+  Permutation pi2_;  // S2's secret
+};
+
+}  // namespace pcl

@@ -1,0 +1,318 @@
+#include "mpc/consensus.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "crypto/fixed_point.h"
+#include "mpc/dgk_compare.h"
+#include "mpc/secure_sum.h"
+#include "mpc/sharing.h"
+
+namespace pcl {
+
+ConsensusProtocol::ConsensusProtocol(const ConsensusConfig& config,
+                                     Rng& keygen_rng)
+    : config_(config),
+      paillier_(generate_server_paillier_keys(config.paillier_bits,
+                                              keygen_rng)),
+      dgk_(generate_dgk_key(config.dgk_params, keygen_rng)) {
+  if (config_.num_classes < 2) {
+    throw std::invalid_argument("need at least two classes");
+  }
+  if (config_.num_users == 0) {
+    throw std::invalid_argument("need at least one user");
+  }
+  if (!(config_.threshold_fraction > 0.0 &&
+        config_.threshold_fraction <= 1.0)) {
+    throw std::invalid_argument("threshold_fraction must lie in (0, 1]");
+  }
+  if (!(config_.sigma1 > 0.0 && config_.sigma2 > 0.0)) {
+    throw std::invalid_argument("noise scales must be positive");
+  }
+  // The DGK plaintext space must accommodate the comparison width.
+  (void)DgkCompareContext(dgk_.pk, dgk_.sk, config_.compare_bits);
+}
+
+double ConsensusProtocol::threshold_votes() const {
+  return config_.threshold_fraction *
+         static_cast<double>(config_.num_users);
+}
+
+ConsensusProtocol::NoisePlan ConsensusProtocol::draw_noise(Rng& rng) const {
+  // Per-stream component scale: sigma^2 / (2|U|) variance per user per
+  // stream; the 2|U| components sum to variance sigma^2 (DESIGN.md).
+  const double scale1 = config_.sigma1 /
+                        std::sqrt(2.0 * static_cast<double>(config_.num_users));
+  const double scale2 = config_.sigma2 /
+                        std::sqrt(2.0 * static_cast<double>(config_.num_users));
+  NoisePlan plan;
+  const auto draw = [&](double scale) {
+    std::vector<std::vector<std::int64_t>> out(config_.num_users);
+    for (auto& per_user : out) {
+      per_user.reserve(config_.num_classes);
+      for (std::size_t i = 0; i < config_.num_classes; ++i) {
+        per_user.push_back(encode_fixed(rng.gaussian(0.0, scale)));
+      }
+    }
+    return out;
+  };
+  plan.z1a = draw(scale1);
+  plan.z1b = draw(scale1);
+  plan.z2a = draw(scale2);
+  plan.z2b = draw(scale2);
+  return plan;
+}
+
+ConsensusProtocol::NoisePlan ConsensusProtocol::injected_noise(
+    double threshold_noise, std::span<const double> release_noise) const {
+  if (release_noise.size() != config_.num_classes) {
+    throw std::invalid_argument("release_noise must have num_classes entries");
+  }
+  NoisePlan plan;
+  const auto zeros = [&] {
+    return std::vector<std::vector<std::int64_t>>(
+        config_.num_users,
+        std::vector<std::int64_t>(config_.num_classes, 0));
+  };
+  plan.z1a = zeros();
+  plan.z1b = zeros();
+  plan.z2a = zeros();
+  plan.z2b = zeros();
+  // User 0 carries the entire injected noise; placement is irrelevant to
+  // correctness because only the aggregate enters any comparison.
+  for (std::size_t i = 0; i < config_.num_classes; ++i) {
+    plan.z1a[0][i] = encode_fixed(threshold_noise);
+    plan.z2a[0][i] = encode_fixed(release_noise[i]);
+  }
+  return plan;
+}
+
+ConsensusProtocol::QueryResult ConsensusProtocol::run_query(
+    const std::vector<std::vector<double>>& user_votes, Rng& rng) {
+  return run_internal(user_votes, draw_noise(rng), rng);
+}
+
+std::vector<ConsensusProtocol::QueryResult> ConsensusProtocol::run_batch(
+    const std::vector<std::vector<std::vector<double>>>& votes_per_instance,
+    Rng& rng) {
+  std::vector<QueryResult> out;
+  out.reserve(votes_per_instance.size());
+  for (const auto& votes : votes_per_instance) {
+    out.push_back(run_query(votes, rng));
+  }
+  return out;
+}
+
+ConsensusProtocol::QueryResult ConsensusProtocol::run_query_with_noise(
+    const std::vector<std::vector<double>>& user_votes, double threshold_noise,
+    std::span<const double> release_noise, Rng& rng) {
+  return run_internal(user_votes, injected_noise(threshold_noise,
+                                                 release_noise),
+                      rng);
+}
+
+std::size_t ConsensusProtocol::argmax_position(
+    Network& net, std::span<const std::int64_t> s1_seq,
+    std::span<const std::int64_t> s2_seq, Rng& rng) {
+  const DgkCompareContext ctx(dgk_.pk, dgk_.sk, config_.compare_bits);
+  const std::size_t k = s1_seq.size();
+  // Paper Eq. 7 in both strategies: c_p >= c_q  <=>
+  // (A_p - A_q) >= (B_q - B_p), because the opposite-sign masks cancel in
+  // the cross-server sum.
+  const auto geq = [&](std::size_t p, std::size_t q) {
+    const std::int64_t x = s1_seq[p] - s1_seq[q];  // S1's private input
+    const std::int64_t y = s2_seq[q] - s2_seq[p];  // S2's private input
+    return dgk_compare_geq(net, ctx, x, y, rng, rng);
+  };
+
+  if (config_.argmax_strategy == ArgmaxStrategy::kTournament) {
+    // Sequential champion: K-1 comparisons; ties keep the earlier position,
+    // matching the all-pairs winner exactly.
+    std::size_t champion = 0;
+    for (std::size_t p = 1; p < k; ++p) {
+      if (!geq(champion, p)) champion = p;
+    }
+    return champion;
+  }
+
+  std::vector<std::size_t> wins(k, 0);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t q = p + 1; q < k; ++q) {
+      if (geq(p, q)) {
+        ++wins[p];
+      } else {
+        ++wins[q];
+      }
+    }
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    if (wins[p] == k - 1) return p;
+  }
+  throw std::logic_error("argmax tournament produced no champion");
+}
+
+ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
+    const std::vector<std::vector<double>>& user_votes, const NoisePlan& noise,
+    Rng& rng) {
+  const std::size_t n_users = config_.num_users;
+  const std::size_t k = config_.num_classes;
+  if (user_votes.size() != n_users) {
+    throw std::invalid_argument("expected one vote vector per user");
+  }
+
+  Network net(&stats_);
+  net.record_transcript(capture_transcript_);
+  // Stash the transcript on every exit path (including the ⊥ return).
+  struct TranscriptStash {
+    ConsensusProtocol* self;
+    Network* net;
+    ~TranscriptStash() {
+      if (self->capture_transcript_) {
+        self->last_transcript_ = net->transcript();
+      }
+    }
+  } stash{this, &net};
+
+  // ---- Step 1: Setup (each user splits votes into shares). ---------------
+  // Fixed-point encode; |vote| <= 1 per class keeps everything far below the
+  // share-masking and Paillier bounds (checked in the constructor's params).
+  std::vector<std::vector<std::int64_t>> a(n_users), b(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    if (user_votes[u].size() != k) {
+      throw std::invalid_argument("vote vector has wrong length");
+    }
+    std::vector<std::int64_t> fixed(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!(user_votes[u][i] >= 0.0 && user_votes[u][i] <= 1.0)) {
+        throw std::invalid_argument("votes must lie in [0, 1]");
+      }
+      fixed[i] = encode_fixed(user_votes[u][i]);
+    }
+    ShareVector shares = split_vector(fixed, rng, config_.share_bits);
+    a[u] = std::move(shares.a);
+    b[u] = std::move(shares.b);
+  }
+
+  // Per-user threshold offsets: the a-side offsets sum to floor(T/2) and
+  // the b-side offsets to T - floor(T/2), so the threshold comparison sees
+  // exactly T (paper writes T/(2|U|) per user per side).
+  const std::int64_t t_fixed = encode_fixed(threshold_votes());
+  const auto split_offsets = [&](std::int64_t total) {
+    std::vector<std::int64_t> out(n_users, total / static_cast<std::int64_t>(
+                                               n_users));
+    std::int64_t rem = total % static_cast<std::int64_t>(n_users);
+    for (std::int64_t u = 0; u < rem; ++u) out[static_cast<std::size_t>(u)]++;
+    return out;
+  };
+  const std::vector<std::int64_t> t_a = split_offsets(t_fixed / 2);
+  const std::vector<std::int64_t> t_b = split_offsets(t_fixed - t_fixed / 2);
+
+  // ---- Step 2: Secure Sum of votes and threshold sequences. --------------
+  SecureSumResult votes_sum, thresh_sum;
+  {
+    StepScope scope(net, &stats_, "Secure Sum (2)");
+    std::vector<std::vector<std::int64_t>> ta(n_users), tb(n_users);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      ta[u].resize(k);
+      tb[u].resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        // S1 stream: a_u[i] - T/(2|U|) + z1a_u[i]
+        ta[u][i] = a[u][i] - t_a[u] + noise.z1a[u][i];
+        // S2 stream: T/(2|U|) - b_u[i] - z1b_u[i]
+        tb[u][i] = t_b[u] - b[u][i] - noise.z1b[u][i];
+      }
+    }
+    votes_sum = secure_sum(net, paillier_, a, b, rng);
+    thresh_sum = secure_sum(net, paillier_, ta, tb, rng);
+  }
+
+  // ---- Step 3: Blind-and-Permute both sequence pairs under one pi. -------
+  BlindPermuteSession bnp(net, paillier_, k, config_.share_bits, rng, rng);
+  BlindPermuteSession::Output votes_perm, thresh_perm;
+  {
+    StepScope scope(net, &stats_, "Blind-and-Permute (3)");
+    votes_perm = bnp.run(votes_sum.s1_aggregate, votes_sum.s2_aggregate,
+                         BlindPermuteSession::MaskMode::kOppositeSign);
+    thresh_perm = bnp.run(thresh_sum.s1_aggregate, thresh_sum.s2_aggregate,
+                          BlindPermuteSession::MaskMode::kSameSign);
+  }
+
+  // ---- Step 4: Secure Comparison — find pi(i*) (true argmax). ------------
+  std::size_t top_position = 0;
+  {
+    StepScope scope(net, &stats_, "Secure Comparison (4)");
+    top_position = argmax_position(net, votes_perm.s1_seq, votes_perm.s2_seq,
+                                   rng);
+  }
+
+  // ---- Step 5: Threshold Checking (paper Eq. 6 / SVT). --------------------
+  {
+    StepScope scope(net, &stats_, "Threshold Checking (5)");
+    const DgkCompareContext ctx(dgk_.pk, dgk_.sk, config_.compare_bits);
+    bool above_threshold = false;
+    if (config_.threshold_check_all_positions) {
+      // Paper-prototype cost model: one comparison per permuted position;
+      // only pi(i*)'s outcome decides (see ConsensusConfig).
+      for (std::size_t p = 0; p < k; ++p) {
+        const bool geq = dgk_compare_geq(net, ctx, thresh_perm.s1_seq[p],
+                                         thresh_perm.s2_seq[p], rng, rng);
+        if (p == top_position) above_threshold = geq;
+      }
+    } else {
+      // x - y == c_{i*} + z1_{i*} - T; the same-sign masks cancel.
+      above_threshold =
+          dgk_compare_geq(net, ctx, thresh_perm.s1_seq[top_position],
+                          thresh_perm.s2_seq[top_position], rng, rng);
+    }
+    if (!above_threshold) {
+      return {std::nullopt};  // ⊥ — no consensus.
+    }
+  }
+
+  // ---- Step 6: Secure Sum of noisy votes (Report Noisy Maximum). ---------
+  SecureSumResult noisy_sum;
+  {
+    StepScope scope(net, &stats_, "Secure Sum (6)");
+    std::vector<std::vector<std::int64_t>> na(n_users), nb(n_users);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      na[u].resize(k);
+      nb[u].resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        na[u][i] = a[u][i] + noise.z2a[u][i];
+        nb[u][i] = b[u][i] + noise.z2b[u][i];
+      }
+    }
+    noisy_sum = secure_sum(net, paillier_, na, nb, rng);
+  }
+
+  // ---- Step 7: Blind-and-Permute under a fresh pi'. ------------------------
+  BlindPermuteSession bnp2(net, paillier_, k, config_.share_bits, rng, rng);
+  BlindPermuteSession::Output noisy_perm;
+  {
+    StepScope scope(net, &stats_, "Blind-and-Permute (7)");
+    noisy_perm = bnp2.run(noisy_sum.s1_aggregate, noisy_sum.s2_aggregate,
+                          BlindPermuteSession::MaskMode::kOppositeSign);
+  }
+
+  // ---- Step 8: Secure Comparison — find pi'(i~*) (noisy argmax). ----------
+  std::size_t noisy_position = 0;
+  {
+    StepScope scope(net, &stats_, "Secure Comparison (8)");
+    noisy_position = argmax_position(net, noisy_perm.s1_seq,
+                                     noisy_perm.s2_seq, rng);
+  }
+
+  // ---- Step 9: Restoration — reveal only the original label index. --------
+  std::size_t label = 0;
+  {
+    StepScope scope(net, &stats_, "Restoration (9)");
+    label = bnp2.restore(noisy_position);
+  }
+
+  if (net.pending_total() != 0) {
+    throw std::logic_error("protocol finished with undelivered messages");
+  }
+  return {static_cast<int>(label)};
+}
+
+}  // namespace pcl

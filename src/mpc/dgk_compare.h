@@ -1,0 +1,66 @@
+// Two-party secure comparison via the DGK protocol (paper Sec. III-B,
+// used in Alg. 5 steps 4, 5 and 8 through Eqns. (6) and (7)).
+//
+// Setting: server S1 privately holds a signed integer x, server S2
+// privately holds y, and both must learn whether x >= y — but nothing else
+// about the other party's value.  S2 owns the DGK key pair.
+//
+// Protocol (the "most primitive" DGK variant the paper adopts, where the
+// output bit is revealed to both parties — safe in Alg. 5 because all
+// compared positions are blinded by the composed permutation):
+//   1. Both sides add the public offset 2^(ell-1), giving ell-bit
+//      non-negative d (at S1) and e (at S2).
+//   2. S2 sends DGK encryptions of e's bits.
+//   3. For every bit i (MSB to LSB), S1 homomorphically forms
+//        c_i = 1 + d_i - e_i + 3 * sum_{j more significant than i} (d_j XOR e_j),
+//      multiplicatively blinds each c_i by a random unit of Z_u*, permutes
+//      the sequence, and returns it.
+//   4. S2 zero-tests each ciphertext: some c_i == 0  iff  d < e.
+//      S2 reveals the bit; both output x >= y == !(d < e).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/dgk.h"
+#include "net/transport.h"
+
+namespace pcl {
+
+/// Validated parameters for a comparison session.  The plaintext space u
+/// must exceed 3*ell + 4 so no c_i wraps around mod u.
+struct DgkCompareContext {
+  DgkCompareContext(const DgkPublicKey& pk, const DgkPrivateKey& sk,
+                    std::size_t ell);
+
+  const DgkPublicKey* pk;
+  const DgkPrivateKey* sk;  ///< held by S2 only
+  std::size_t ell;
+};
+
+/// Runs the comparison over `net` between parties "S1" (holding x, using
+/// `s1_rng`) and "S2" (holding y and the private key, using `s2_rng`).
+/// Returns x >= y.  Throws std::out_of_range if |x| or |y| >= 2^(ell-1).
+[[nodiscard]] bool dgk_compare_geq(Network& net, const DgkCompareContext& ctx,
+                                   std::int64_t x, std::int64_t y,
+                                   Rng& s1_rng, Rng& s2_rng);
+
+/// Secret-shared-output variant (Veugen-style): neither party learns the
+/// comparison result.  S1 ends with share `s1_share`, S2 with `s2_share`,
+/// and  (x >= y) == s1_share XOR s2_share.
+///
+/// Construction: S1 draws a private orientation bit delta and compares
+/// d' = 2d+1 against e' = 2e (never equal, so strictness is unambiguous)
+/// in the delta-chosen direction; S2's zero-test result t then satisfies
+/// (x >= y) = t XOR delta XOR 1, so the shares are (delta XOR 1, t).  S2's
+/// view — a blinded, permuted sequence with at most one zero — is
+/// identically distributed under both orientations, hiding delta.
+/// Requires u > 3*(ell+1) + 4 (one extra bit for the doubling trick).
+struct SharedComparisonBit {
+  bool s1_share = false;  ///< known to S1 only
+  bool s2_share = false;  ///< known to S2 only
+};
+[[nodiscard]] SharedComparisonBit dgk_compare_geq_shared(
+    Network& net, const DgkCompareContext& ctx, std::int64_t x,
+    std::int64_t y, Rng& s1_rng, Rng& s2_rng);
+
+}  // namespace pcl

@@ -1,0 +1,70 @@
+#include "mpc/he_util.h"
+
+#include <stdexcept>
+
+namespace pcl {
+
+std::vector<PaillierCiphertext> encrypt_vector(
+    const PaillierPublicKey& pk, std::span<const std::int64_t> values,
+    Rng& rng) {
+  std::vector<PaillierCiphertext> out;
+  out.reserve(values.size());
+  for (const std::int64_t v : values) {
+    out.push_back(pk.encrypt(BigInt(v), rng));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> decrypt_vector(
+    const PaillierPrivateKey& sk, std::span<const PaillierCiphertext> cts) {
+  std::vector<std::int64_t> out;
+  out.reserve(cts.size());
+  for (const PaillierCiphertext& c : cts) {
+    out.push_back(sk.decrypt(c).to_int64());
+  }
+  return out;
+}
+
+std::vector<PaillierCiphertext> add_vectors(
+    const PaillierPublicKey& pk, std::span<const PaillierCiphertext> lhs,
+    std::span<const PaillierCiphertext> rhs) {
+  if (lhs.size() != rhs.size()) {
+    throw std::invalid_argument("ciphertext vector size mismatch");
+  }
+  std::vector<PaillierCiphertext> out;
+  out.reserve(lhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    out.push_back(pk.add(lhs[i], rhs[i]));
+  }
+  return out;
+}
+
+std::vector<PaillierCiphertext> add_plain_vector(
+    const PaillierPublicKey& pk, std::span<const PaillierCiphertext> cts,
+    std::span<const std::int64_t> delta, Rng& rng) {
+  if (cts.size() != delta.size()) {
+    throw std::invalid_argument("ciphertext/plaintext vector size mismatch");
+  }
+  std::vector<PaillierCiphertext> out;
+  out.reserve(cts.size());
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    out.push_back(pk.add(cts[i], pk.encrypt(BigInt(delta[i]), rng)));
+  }
+  return out;
+}
+
+void write_ciphertext_vector(MessageWriter& w,
+                             std::span<const PaillierCiphertext> cts) {
+  w.write_u64(cts.size());
+  for (const PaillierCiphertext& c : cts) w.write_bigint(c.value);
+}
+
+std::vector<PaillierCiphertext> read_ciphertext_vector(MessageReader& r) {
+  const std::uint64_t n = r.read_u64();
+  std::vector<PaillierCiphertext> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back({r.read_bigint()});
+  return out;
+}
+
+}  // namespace pcl

@@ -1,0 +1,38 @@
+// Vector helpers over Paillier ciphertexts shared by the MPC sub-protocols.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "net/message.h"
+
+namespace pcl {
+
+/// Encrypts each element of a signed vector.
+[[nodiscard]] std::vector<PaillierCiphertext> encrypt_vector(
+    const PaillierPublicKey& pk, std::span<const std::int64_t> values,
+    Rng& rng);
+
+/// Decrypts each element; throws std::overflow_error if any plaintext does
+/// not fit int64 (which would indicate a protocol bound violation).
+[[nodiscard]] std::vector<std::int64_t> decrypt_vector(
+    const PaillierPrivateKey& sk, std::span<const PaillierCiphertext> cts);
+
+/// Element-wise homomorphic sum (paper Eq. 1 applied per coordinate).
+[[nodiscard]] std::vector<PaillierCiphertext> add_vectors(
+    const PaillierPublicKey& pk, std::span<const PaillierCiphertext> lhs,
+    std::span<const PaillierCiphertext> rhs);
+
+/// Homomorphically adds a plaintext vector: out[i] = E[lhs_i + delta_i].
+[[nodiscard]] std::vector<PaillierCiphertext> add_plain_vector(
+    const PaillierPublicKey& pk, std::span<const PaillierCiphertext> cts,
+    std::span<const std::int64_t> delta, Rng& rng);
+
+void write_ciphertext_vector(MessageWriter& w,
+                             std::span<const PaillierCiphertext> cts);
+[[nodiscard]] std::vector<PaillierCiphertext> read_ciphertext_vector(
+    MessageReader& r);
+
+}  // namespace pcl

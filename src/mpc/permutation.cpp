@@ -1,0 +1,54 @@
+#include "mpc/permutation.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace pcl {
+
+Permutation::Permutation(std::size_t n) : map_(n) {
+  std::iota(map_.begin(), map_.end(), std::size_t{0});
+}
+
+Permutation::Permutation(std::vector<std::size_t> map) : map_(std::move(map)) {
+  std::vector<bool> seen(map_.size(), false);
+  for (const std::size_t i : map_) {
+    if (i >= map_.size() || seen[i]) {
+      throw std::invalid_argument("Permutation: index map is not a bijection");
+    }
+    seen[i] = true;
+  }
+}
+
+Permutation Permutation::random(std::size_t n, Rng& rng) {
+  Permutation p(n);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(p.map_[i - 1], p.map_[rng.index_below(i)]);
+  }
+  return p;
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<std::size_t> inv(map_.size());
+  for (std::size_t i = 0; i < map_.size(); ++i) inv[map_[i]] = i;
+  return Permutation(std::move(inv));
+}
+
+Permutation Permutation::compose_after(const Permutation& first) const {
+  // Resulting permutation q with apply_q(v) == apply_this(apply_first(v)):
+  // apply_first(v)[i] = v[first[i]]; apply_this(w)[i] = w[this[i]]
+  //   => out[i] = v[first[this[i]]].
+  if (first.size() != size()) {
+    throw std::invalid_argument("Permutation sizes differ");
+  }
+  std::vector<std::size_t> q(map_.size());
+  for (std::size_t i = 0; i < map_.size(); ++i) q[i] = first.map_[map_[i]];
+  return Permutation(std::move(q));
+}
+
+void Permutation::require_size(std::size_t n) const {
+  if (n != map_.size()) {
+    throw std::invalid_argument("Permutation/vector size mismatch");
+  }
+}
+
+}  // namespace pcl

@@ -1,0 +1,59 @@
+// Permutations as used by Blind-and-Permute (paper Alg. 2 / Alg. 3).
+//
+// Convention: applying permutation p to a vector v yields out[i] = v[p[i]].
+// Composing "apply p2 first, then p1" therefore gives the index map
+// composed[i] = p2[p1[i]], and the element at permuted position k
+// originated at index composed[k].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/rng.h"
+
+namespace pcl {
+
+class Permutation {
+ public:
+  /// Identity permutation of size n.
+  explicit Permutation(std::size_t n);
+  /// From an explicit index map (validated to be a bijection).
+  explicit Permutation(std::vector<std::size_t> map);
+  /// Uniform random permutation (Fisher–Yates).
+  static Permutation random(std::size_t n, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t operator[](std::size_t i) const { return map_[i]; }
+
+  /// out[i] = v[map[i]].
+  template <typename T>
+  [[nodiscard]] std::vector<T> apply(const std::vector<T>& v) const {
+    require_size(v.size());
+    std::vector<T> out;
+    out.reserve(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out.push_back(v[map_[i]]);
+    return out;
+  }
+
+  /// out[map[i]] = v[i]; apply(apply_inverse(v)) == v.
+  template <typename T>
+  [[nodiscard]] std::vector<T> apply_inverse(const std::vector<T>& v) const {
+    require_size(v.size());
+    std::vector<T> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[map_[i]] = v[i];
+    return out;
+  }
+
+  [[nodiscard]] Permutation inverse() const;
+  /// this->then(other): apply `this` first, then `other`;
+  /// result[i] = map_[other[i]] ... see class comment for the convention.
+  [[nodiscard]] Permutation compose_after(const Permutation& first) const;
+
+  friend bool operator==(const Permutation&, const Permutation&) = default;
+
+ private:
+  void require_size(std::size_t n) const;
+  std::vector<std::size_t> map_;
+};
+
+}  // namespace pcl

@@ -1,0 +1,45 @@
+// Secure sum (paper Alg. 5 steps 2 and 6).
+//
+// Every user sends one Paillier-encrypted share vector to each server:
+// the S1-bound vector is encrypted under S2's public key and vice versa, so
+// the server holding a ciphertext cannot decrypt it (paper Eq. 4 aggregation
+// happens under encryption; Eq. 1 makes the sum a ciphertext product).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/blind_permute.h"
+#include "net/transport.h"
+
+namespace pcl {
+
+struct SecureSumResult {
+  /// Aggregate of all users' S1-bound vectors; encrypted under pk2, held
+  /// by S1.
+  std::vector<PaillierCiphertext> s1_aggregate;
+  /// Aggregate of all users' S2-bound vectors; encrypted under pk1, held
+  /// by S2.
+  std::vector<PaillierCiphertext> s2_aggregate;
+};
+
+/// Runs one secure-sum round: user u submits `to_s1[u]` and `to_s2[u]`
+/// (plaintext share vectors, all the same length), each user encrypting with
+/// `users_rng`.  Servers aggregate homomorphically.
+[[nodiscard]] SecureSumResult secure_sum(
+    Network& net, const ServerPaillierKeys& keys,
+    const std::vector<std::vector<std::int64_t>>& to_s1,
+    const std::vector<std::vector<std::int64_t>>& to_s2, Rng& users_rng);
+
+/// Pool-backed variant (paper Sec. VI-A): user-side encryptions draw
+/// pre-computed randomizer powers instead of running a pow_mod each —
+/// `pool_s1` holds randomizers for pk2 (the S1-bound stream) and `pool_s2`
+/// for pk1.  Throws std::runtime_error if a pool runs dry.
+class PaillierRandomizerPool;
+[[nodiscard]] SecureSumResult secure_sum_pooled(
+    Network& net, const ServerPaillierKeys& keys,
+    const std::vector<std::vector<std::int64_t>>& to_s1,
+    const std::vector<std::vector<std::int64_t>>& to_s2,
+    PaillierRandomizerPool& pool_s1, PaillierRandomizerPool& pool_s2);
+
+}  // namespace pcl

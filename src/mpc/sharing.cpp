@@ -1,0 +1,43 @@
+#include "mpc/sharing.h"
+
+#include <stdexcept>
+
+namespace pcl {
+
+Share split_value(std::int64_t value, Rng& rng, std::size_t share_bits) {
+  if (share_bits == 0 || share_bits > 61) {
+    throw std::invalid_argument("share_bits must lie in [1, 61]");
+  }
+  const std::int64_t bound = std::int64_t{1} << share_bits;
+  // Uniform in [-bound, bound].
+  const BigInt mask = rng.uniform_in(BigInt(-bound), BigInt(bound));
+  const std::int64_t a = mask.to_int64();
+  return {a, value - a};
+}
+
+ShareVector split_vector(std::span<const std::int64_t> values, Rng& rng,
+                         std::size_t share_bits) {
+  ShareVector out;
+  out.a.reserve(values.size());
+  out.b.reserve(values.size());
+  for (const std::int64_t v : values) {
+    const Share s = split_value(v, rng, share_bits);
+    out.a.push_back(s.a);
+    out.b.push_back(s.b);
+  }
+  return out;
+}
+
+std::int64_t reconstruct(const Share& share) { return share.a + share.b; }
+
+std::vector<std::int64_t> reconstruct_vector(std::span<const std::int64_t> a,
+                                             std::span<const std::int64_t> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("share vectors must have equal length");
+  }
+  std::vector<std::int64_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+}  // namespace pcl

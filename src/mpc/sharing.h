@@ -1,0 +1,48 @@
+// Two-server additive secret sharing over the integers (paper Sec. IV-B).
+//
+// Each user splits its (fixed-point) value c into c = a + b, sending a to
+// server S1 and b to S2.  The share a is drawn uniformly from
+// [-2^share_bits, 2^share_bits], which statistically hides c as long as
+// 2^share_bits dwarfs |c| (the default leaves > 20 bits of slack above any
+// aggregate this protocol produces).  Shares live in plain int64 — Paillier
+// encryption wraps them into residues mod n at the transport boundary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigint/rng.h"
+
+namespace pcl {
+
+/// Default statistical-masking width.  Votes are 16.16 fixed point with
+/// magnitude <= 2^17 per user, so 2^40 gives >= 2^22 hiding slack.
+inline constexpr std::size_t kDefaultShareBits = 40;
+
+struct Share {
+  std::int64_t a = 0;  ///< S1's share
+  std::int64_t b = 0;  ///< S2's share
+};
+
+/// Splits `value` into uniformly masked additive shares.
+[[nodiscard]] Share split_value(std::int64_t value, Rng& rng,
+                                std::size_t share_bits = kDefaultShareBits);
+
+/// Element-wise split of a vector.
+struct ShareVector {
+  std::vector<std::int64_t> a;
+  std::vector<std::int64_t> b;
+};
+[[nodiscard]] ShareVector split_vector(std::span<const std::int64_t> values,
+                                       Rng& rng,
+                                       std::size_t share_bits =
+                                           kDefaultShareBits);
+
+/// Reconstruction (used by tests and by the servers after Blind-and-Permute,
+/// where the masks are arranged to cancel in exactly this sum).
+[[nodiscard]] std::int64_t reconstruct(const Share& share);
+[[nodiscard]] std::vector<std::int64_t> reconstruct_vector(
+    std::span<const std::int64_t> a, std::span<const std::int64_t> b);
+
+}  // namespace pcl

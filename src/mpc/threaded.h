@@ -1,0 +1,46 @@
+// Threaded party routines: each protocol party runs its own function on its
+// own thread against a BlockingNetwork, exactly as deployed endpoints
+// would.  The synchronous single-threaded implementations in
+// dgk_compare.h / secure_sum.h remain the reference; the tests assert both
+// compute the same results.
+//
+// Provided protocols:
+//   * dgk_compare_geq_threaded — the two-server comparison with S1 and S2
+//     as real threads;
+//   * secure_sum_threaded — |U| user threads submitting encrypted shares
+//     concurrently plus two server threads aggregating.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/blind_permute.h"
+#include "mpc/dgk_compare.h"
+#include "net/blocking_network.h"
+
+namespace pcl {
+
+/// Runs the DGK comparison with S1 (holding x) and S2 (holding y, the key)
+/// on separate threads; returns x >= y.  Each party derives an independent
+/// RNG from `seed`.
+[[nodiscard]] bool dgk_compare_geq_threaded(const DgkCompareContext& ctx,
+                                            std::int64_t x, std::int64_t y,
+                                            std::uint64_t seed);
+
+struct ThreadedSecureSumResult {
+  std::vector<std::int64_t> s1_totals;  ///< decrypted by S2's key... see note
+  std::vector<std::int64_t> s2_totals;
+  std::size_t bytes_on_wire = 0;
+};
+
+/// Runs one secure-sum round with every user on its own thread: user u
+/// encrypts `to_s1[u]` under pk2 and `to_s2[u]` under pk1 concurrently, the
+/// two server threads aggregate as submissions arrive, and (for test
+/// observability) each server's aggregate is decrypted by the key owner at
+/// the end.  Returns the decrypted per-coordinate totals.
+[[nodiscard]] ThreadedSecureSumResult secure_sum_threaded(
+    const ServerPaillierKeys& keys,
+    const std::vector<std::vector<std::int64_t>>& to_s1,
+    const std::vector<std::vector<std::int64_t>>& to_s2, std::uint64_t seed);
+
+}  // namespace pcl

@@ -1,0 +1,70 @@
+// Wire-format message buffers.
+//
+// Every value that crosses a party boundary in the protocol is serialized
+// into a Message, so the communication-cost accounting (paper Table II)
+// measures real byte counts rather than estimates.  The format is a simple
+// length-prefixed binary encoding: u32/u64 little-endian, BigInt as
+// sign byte + length-prefixed big-endian magnitude, vectors as count +
+// elements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace pcl {
+
+class MessageWriter {
+ public:
+  void write_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_double(double v);
+  void write_bigint(const BigInt& v);
+  void write_bytes(const std::vector<std::uint8_t>& v);
+  void write_string(const std::string& v);
+
+  template <typename T, typename Fn>
+  void write_vector(const std::vector<T>& v, Fn&& write_element) {
+    write_u64(v.size());
+    for (const T& e : v) write_element(*this, e);
+  }
+  void write_bigint_vector(const std::vector<BigInt>& v);
+  void write_i64_vector(const std::vector<std::int64_t>& v);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class MessageReader {
+ public:
+  explicit MessageReader(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] std::uint8_t read_u8();
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] std::int64_t read_i64();
+  [[nodiscard]] double read_double();
+  [[nodiscard]] BigInt read_bigint();
+  [[nodiscard]] std::vector<std::uint8_t> read_bytes();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::vector<BigInt> read_bigint_vector();
+  [[nodiscard]] std::vector<std::int64_t> read_i64_vector();
+
+  /// True when every byte has been consumed (protocol framing check).
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void require(std::size_t n) const;
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pcl

@@ -1,0 +1,40 @@
+#include "net/pki.h"
+
+#include <stdexcept>
+
+namespace pcl {
+
+void PublicKeyRegistry::register_key(const std::string& party,
+                                     const std::string& label,
+                                     std::vector<std::uint8_t> key_bytes) {
+  if (key_bytes.empty()) {
+    throw std::invalid_argument("PKI: refusing to register an empty key");
+  }
+  const auto key = std::make_pair(party, label);
+  const auto it = keys_.find(key);
+  if (it != keys_.end()) {
+    if (it->second != key_bytes) {
+      throw std::invalid_argument("PKI: conflicting key re-registration for " +
+                                  party + "/" + label);
+    }
+    return;  // idempotent re-registration of the identical key
+  }
+  keys_.emplace(key, std::move(key_bytes));
+}
+
+bool PublicKeyRegistry::has_key(const std::string& party,
+                                const std::string& label) const {
+  return keys_.count({party, label}) != 0;
+}
+
+const std::vector<std::uint8_t>& PublicKeyRegistry::fetch(
+    const std::string& party, const std::string& label) const {
+  const auto it = keys_.find({party, label});
+  if (it == keys_.end()) {
+    throw std::out_of_range("PKI: no key registered for " + party + "/" +
+                            label);
+  }
+  return it->second;
+}
+
+}  // namespace pcl

@@ -1,0 +1,41 @@
+// A minimal public-key infrastructure registry (paper Alg. 2/3 setup:
+// "All public keys are released by the PKI").
+//
+// Parties register serialized public keys under their party id; any party
+// fetches by id.  The registry stores opaque bytes, so it can hold Paillier
+// and DGK keys (or future types) side by side; callers parse with the
+// key_io codecs.  Registration is first-writer-wins: re-registering a
+// different key for the same (party, label) is rejected — the property a
+// real PKI's certificate pinning would provide against an equivocating
+// server.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pcl {
+
+class PublicKeyRegistry {
+ public:
+  /// Registers key bytes for (party, label), e.g. ("S1", "paillier").
+  /// Throws std::invalid_argument if a *different* key is already pinned.
+  void register_key(const std::string& party, const std::string& label,
+                    std::vector<std::uint8_t> key_bytes);
+
+  [[nodiscard]] bool has_key(const std::string& party,
+                             const std::string& label) const;
+
+  /// Fetches the pinned bytes; throws std::out_of_range if absent.
+  [[nodiscard]] const std::vector<std::uint8_t>& fetch(
+      const std::string& party, const std::string& label) const;
+
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, std::vector<std::uint8_t>>
+      keys_;
+};
+
+}  // namespace pcl

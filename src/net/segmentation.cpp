@@ -1,0 +1,42 @@
+#include "net/segmentation.h"
+
+#include <stdexcept>
+
+namespace pcl {
+
+std::vector<std::int64_t> segment_ciphertext(const BigInt& value) {
+  if (value.is_negative()) {
+    throw std::invalid_argument("segment_ciphertext: negative value");
+  }
+  std::vector<std::int64_t> out;
+  if (value.is_zero()) {
+    out.push_back(0);
+    return out;
+  }
+  const BigInt base(kSegmentBase);
+  BigInt rest = value;
+  while (!rest.is_zero()) {
+    const DivModResult qr = BigInt::div_mod(rest, base);
+    out.push_back(static_cast<std::int64_t>(qr.remainder.to_uint64()));
+    rest = qr.quotient;
+  }
+  return out;
+}
+
+BigInt recompose_ciphertext(std::span<const std::int64_t> segments) {
+  if (segments.empty()) {
+    throw std::invalid_argument("recompose_ciphertext: no segments");
+  }
+  const BigInt base(kSegmentBase);
+  BigInt out;
+  for (std::size_t i = segments.size(); i-- > 0;) {
+    const std::int64_t seg = segments[i];
+    if (seg < 0 || static_cast<std::uint64_t>(seg) >= kSegmentBase) {
+      throw std::invalid_argument("recompose_ciphertext: segment out of range");
+    }
+    out = out * base + BigInt(seg);
+  }
+  return out;
+}
+
+}  // namespace pcl

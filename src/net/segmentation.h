@@ -1,0 +1,35 @@
+// Ciphertext segmentation (paper Sec. VI-A, "Encrypted numbers converted to
+// tensors").
+//
+// The paper's prototype moved ciphertexts through torch.distributed tensor
+// channels, which could not hold a full Paillier ciphertext; their fix was
+// to split each ciphertext into 18-decimal-digit units (each fits a 64-bit
+// tensor element) and recompose on arrival.  We reproduce that interface:
+// a ciphertext value becomes a little-endian vector of base-10^18 segments.
+// Our own transport does not need it (Messages carry arbitrary bytes), but
+// the codec is part of the paper's system and is used by the tensor-channel
+// compatibility tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace pcl {
+
+/// 10^18 — the largest power of ten fitting a signed 64-bit tensor element.
+inline constexpr std::uint64_t kSegmentBase = 1000000000000000000ull;
+
+/// Splits a non-negative value into little-endian base-10^18 segments.
+/// Zero encodes as a single zero segment.  Throws on negative input
+/// (ciphertexts are residues, never negative).
+[[nodiscard]] std::vector<std::int64_t> segment_ciphertext(const BigInt& value);
+
+/// Inverse of segment_ciphertext.  Throws std::invalid_argument on an empty
+/// sequence or any segment outside [0, 10^18).
+[[nodiscard]] BigInt recompose_ciphertext(
+    std::span<const std::int64_t> segments);
+
+}  // namespace pcl

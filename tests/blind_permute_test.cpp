@@ -1,0 +1,167 @@
+// Blind-and-Permute (Alg. 2) and Restoration (Alg. 3) tests.
+#include "mpc/blind_permute.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mpc/he_util.h"
+
+namespace pcl {
+namespace {
+
+class BlindPermuteTest : public ::testing::Test {
+ protected:
+  BlindPermuteTest() : rng_(424242) {
+    keys_ = generate_server_paillier_keys(64, rng_);
+  }
+
+  /// Encrypts the complementary share vectors as the servers would hold
+  /// them after secure sum: S1 holds E_pk2[a], S2 holds E_pk1[b].
+  std::pair<std::vector<PaillierCiphertext>, std::vector<PaillierCiphertext>>
+  encrypt_pair(const std::vector<std::int64_t>& a,
+               const std::vector<std::int64_t>& b) {
+    return {encrypt_vector(keys_.s2.pk, a, rng_),
+            encrypt_vector(keys_.s1.pk, b, rng_)};
+  }
+
+  DeterministicRng rng_;
+  ServerPaillierKeys keys_;
+};
+
+TEST_F(BlindPermuteTest, OppositeSignMasksCancelInReconstruction) {
+  const std::vector<std::int64_t> a = {100, -200, 300, 4, -5};
+  const std::vector<std::int64_t> b = {7, 70, -700, 7000, 70000};
+  const auto [ea, eb] = encrypt_pair(a, b);
+
+  Network net;
+  BlindPermuteSession session(net, keys_, a.size(), 30, rng_, rng_);
+  const auto out =
+      session.run(ea, eb, BlindPermuteSession::MaskMode::kOppositeSign);
+
+  // (a+r)_i + (b-r)_i == c_i: the permuted reconstruction must be a
+  // permutation of the original sums.
+  std::vector<std::int64_t> reconstructed(a.size());
+  std::vector<std::int64_t> expected(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    reconstructed[i] = out.s1_seq[i] + out.s2_seq[i];
+    expected[i] = a[i] + b[i];
+  }
+  const Permutation pi = session.composed_permutation_for_testing();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(reconstructed[i], expected[pi[i]]);
+  }
+  EXPECT_EQ(net.pending_total(), 0u);
+}
+
+TEST_F(BlindPermuteTest, SameSignMasksCancelInCrossServerDifference) {
+  const std::vector<std::int64_t> x = {11, 22, 33, 44};
+  const std::vector<std::int64_t> y = {5, -6, 7, -8};
+  const auto [ex, ey] = encrypt_pair(x, y);
+
+  Network net;
+  BlindPermuteSession session(net, keys_, x.size(), 30, rng_, rng_);
+  const auto out = session.run(ex, ey,
+                               BlindPermuteSession::MaskMode::kSameSign);
+  // (x+r)_i - (y+r)_i == x_i - y_i at every permuted position.
+  const Permutation pi = session.composed_permutation_for_testing();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(out.s1_seq[i] - out.s2_seq[i], x[pi[i]] - y[pi[i]]);
+  }
+}
+
+TEST_F(BlindPermuteTest, SequencePairsShareOnePermutation) {
+  // The votes sequence and the threshold sequence must be aligned: run the
+  // same session on two pairs and verify the permutation is identical.
+  const std::vector<std::int64_t> a1 = {1, 2, 3, 4, 5, 6};
+  const std::vector<std::int64_t> b1 = {10, 20, 30, 40, 50, 60};
+  const std::vector<std::int64_t> a2 = {-1, -2, -3, -4, -5, -6};
+  const std::vector<std::int64_t> b2 = {0, 0, 0, 0, 0, 0};
+  const auto [ea1, eb1] = encrypt_pair(a1, b1);
+  const auto [ea2, eb2] = encrypt_pair(a2, b2);
+
+  Network net;
+  BlindPermuteSession session(net, keys_, 6, 30, rng_, rng_);
+  const auto out1 =
+      session.run(ea1, eb1, BlindPermuteSession::MaskMode::kOppositeSign);
+  const auto out2 =
+      session.run(ea2, eb2, BlindPermuteSession::MaskMode::kOppositeSign);
+  const Permutation pi = session.composed_permutation_for_testing();
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(out1.s1_seq[i] + out1.s2_seq[i], a1[pi[i]] + b1[pi[i]]);
+    EXPECT_EQ(out2.s1_seq[i] + out2.s2_seq[i], a2[pi[i]] + b2[pi[i]]);
+  }
+}
+
+TEST_F(BlindPermuteTest, MasksActuallyDistortIndividualSequences) {
+  // Neither server's output alone should equal the permuted input: the
+  // additive masks must be present (hiding), only the combination cancels.
+  const std::vector<std::int64_t> a = {0, 0, 0, 0, 0, 0, 0, 0};
+  const std::vector<std::int64_t> b = {0, 0, 0, 0, 0, 0, 0, 0};
+  const auto [ea, eb] = encrypt_pair(a, b);
+  Network net;
+  BlindPermuteSession session(net, keys_, 8, 30, rng_, rng_);
+  const auto out =
+      session.run(ea, eb, BlindPermuteSession::MaskMode::kOppositeSign);
+  // With all-zero inputs the outputs are +r and -r: non-zero with
+  // overwhelming probability, and exact negations of each other.
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    any_nonzero = any_nonzero || out.s1_seq[i] != 0;
+    EXPECT_EQ(out.s1_seq[i], -out.s2_seq[i]);
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST_F(BlindPermuteTest, RestorationRecoversOriginalIndex) {
+  const std::size_t k = 10;
+  std::vector<std::int64_t> a(k), b(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    a[i] = static_cast<std::int64_t>(i) * 100;
+    b[i] = static_cast<std::int64_t>(i);
+  }
+  const auto [ea, eb] = encrypt_pair(a, b);
+  Network net;
+  BlindPermuteSession session(net, keys_, k, 30, rng_, rng_);
+  (void)session.run(ea, eb, BlindPermuteSession::MaskMode::kOppositeSign);
+  const Permutation pi = session.composed_permutation_for_testing();
+  for (std::size_t pos = 0; pos < k; ++pos) {
+    EXPECT_EQ(session.restore(pos), pi[pos]);
+  }
+  EXPECT_EQ(net.pending_total(), 0u);
+}
+
+TEST_F(BlindPermuteTest, RestoreValidatesIndex) {
+  Network net;
+  BlindPermuteSession session(net, keys_, 4, 30, rng_, rng_);
+  EXPECT_THROW((void)session.restore(4), std::invalid_argument);
+}
+
+TEST_F(BlindPermuteTest, LengthMismatchRejected) {
+  const auto [ea, eb] = encrypt_pair({1, 2, 3}, {4, 5, 6});
+  Network net;
+  BlindPermuteSession session(net, keys_, 4, 30, rng_, rng_);
+  EXPECT_THROW((void)session.run(ea, eb,
+                                 BlindPermuteSession::MaskMode::kSameSign),
+               std::invalid_argument);
+  EXPECT_THROW(BlindPermuteSession(net, keys_, 0, 30, rng_, rng_),
+               std::invalid_argument);
+}
+
+TEST_F(BlindPermuteTest, PermutationIsNontrivialAcrossSessions) {
+  // Statistical: across many sessions of size 6, the composed permutation
+  // should not always be the identity.
+  Network net;
+  int identity_count = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    BlindPermuteSession session(net, keys_, 6, 30, rng_, rng_);
+    const Permutation pi = session.composed_permutation_for_testing();
+    bool is_identity = true;
+    for (std::size_t i = 0; i < 6; ++i) is_identity &= pi[i] == i;
+    identity_count += is_identity ? 1 : 0;
+  }
+  EXPECT_LT(identity_count, 3);
+}
+
+}  // namespace
+}  // namespace pcl

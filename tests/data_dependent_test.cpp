@@ -1,0 +1,116 @@
+#include "dp/data_dependent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcl {
+namespace {
+
+TEST(FlipProbability, StrongAgreementIsNearZero) {
+  // 95 of 100 users agree; gaps of ~92 counts at b = 20 (gamma 0.05).
+  const std::vector<double> votes = {95.0, 3.0, 1.0, 1.0};
+  const double q = lnmax_flip_probability(votes, 20.0);
+  EXPECT_LT(q, 0.1);
+  EXPECT_GT(q, 0.0);
+}
+
+TEST(FlipProbability, SplitVoteSaturates) {
+  const std::vector<double> votes = {34.0, 33.0, 33.0};
+  EXPECT_GT(lnmax_flip_probability(votes, 20.0), 0.5);
+}
+
+TEST(FlipProbability, TiesContributeHalf) {
+  const std::vector<double> votes = {10.0, 10.0};
+  EXPECT_DOUBLE_EQ(lnmax_flip_probability(votes, 5.0), 0.5);
+}
+
+TEST(FlipProbability, MonotoneInNoise) {
+  const std::vector<double> votes = {60.0, 25.0, 15.0};
+  EXPECT_LT(lnmax_flip_probability(votes, 2.0),
+            lnmax_flip_probability(votes, 40.0));
+}
+
+TEST(FlipProbability, Validation) {
+  EXPECT_THROW((void)lnmax_flip_probability(std::vector<double>{1.0}, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)lnmax_flip_probability(std::vector<double>{1.0, 2.0}, 0.0),
+      std::invalid_argument);
+}
+
+TEST(MomentBound, DataDependentBeatsIndependentAtSmallQ) {
+  const double b = 10.0;  // gamma = 0.1
+  const double gamma = 1.0 / b;
+  for (const std::size_t l : {1u, 4u, 16u}) {
+    const double independent =
+        2.0 * gamma * gamma * static_cast<double>(l) *
+        (static_cast<double>(l) + 1.0);
+    const double dependent = lnmax_moment_bound(1e-6, b, l);
+    EXPECT_LT(dependent, independent / 10.0) << "l=" << l;
+  }
+}
+
+TEST(MomentBound, FallsBackWhenQLarge) {
+  const double b = 10.0;
+  const double gamma = 1.0 / b;
+  const double independent = 2.0 * gamma * gamma * 2.0 * 3.0;
+  // q e^{2 gamma} >= 1 forces the data-independent branch.
+  EXPECT_DOUBLE_EQ(lnmax_moment_bound(0.99, b, 2), independent);
+}
+
+TEST(MomentBound, EdgeCases) {
+  EXPECT_DOUBLE_EQ(lnmax_moment_bound(0.0, 5.0, 8), 0.0);
+  EXPECT_THROW((void)lnmax_moment_bound(0.5, 5.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)lnmax_moment_bound(1.5, 5.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)lnmax_moment_bound(0.5, -1.0, 1), std::invalid_argument);
+  EXPECT_GE(lnmax_moment_bound(0.5, 5.0, 3), 0.0);
+}
+
+TEST(MomentsAccountantTest, AgreementSlashesComposedCost) {
+  // The PATE'17 headline: at strong agreement (gap >> b, so gamma*gap >> 1
+  // and the flip probability is ~1e-4), the data-dependent bill for
+  // hundreds of queries is a small fraction of the worst-case bill.
+  const double b = 10.0;
+  const std::vector<double> confident = {96.0, 2.0, 1.0, 1.0};
+  MomentsAccountant dependent;
+  MomentsAccountant independent;
+  for (int i = 0; i < 400; ++i) {
+    dependent.add_lnmax_query(confident, b);
+    independent.add_lnmax_query_data_independent(b);
+  }
+  EXPECT_EQ(dependent.queries(), 400u);
+  EXPECT_LT(dependent.epsilon(1e-6), independent.epsilon(1e-6) / 3.0);
+}
+
+TEST(MomentsAccountantTest, DisagreementCostsAtMostWorstCase) {
+  const double b = 25.0;
+  const std::vector<double> split = {35.0, 33.0, 32.0};
+  MomentsAccountant dependent;
+  MomentsAccountant independent;
+  for (int i = 0; i < 100; ++i) {
+    dependent.add_lnmax_query(split, b);
+    independent.add_lnmax_query_data_independent(b);
+  }
+  EXPECT_LE(dependent.epsilon(1e-6), independent.epsilon(1e-6) + 1e-9);
+}
+
+TEST(MomentsAccountantTest, MixedQueriesAccumulate) {
+  MomentsAccountant acc;
+  acc.add_lnmax_query(std::vector<double>{90.0, 10.0}, 20.0);
+  const double after_one = acc.epsilon(1e-6);
+  acc.add_lnmax_query(std::vector<double>{55.0, 45.0}, 20.0);
+  EXPECT_GT(acc.epsilon(1e-6), after_one);
+  acc.reset();
+  EXPECT_EQ(acc.queries(), 0u);
+}
+
+TEST(MomentsAccountantTest, Validation) {
+  EXPECT_THROW(MomentsAccountant(0), std::invalid_argument);
+  MomentsAccountant acc;
+  EXPECT_THROW((void)acc.epsilon(0.0), std::invalid_argument);
+  EXPECT_THROW((void)acc.epsilon(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,91 @@
+#include "crypto/encryption_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pcl {
+namespace {
+
+class EncryptionPoolTest : public ::testing::Test {
+ protected:
+  EncryptionPoolTest() : rng_(99) {
+    key_ = generate_paillier_key(64, rng_);
+  }
+  DeterministicRng rng_;
+  PaillierKeyPair key_;
+};
+
+TEST_F(EncryptionPoolTest, PooledEncryptionsDecryptCorrectly) {
+  PaillierRandomizerPool pool(key_.pk, 32, /*threads=*/2, /*seed=*/1);
+  EXPECT_EQ(pool.remaining(), 32u);
+  for (const std::int64_t m : {0ll, 1ll, -1ll, 424242ll, -99999ll}) {
+    EXPECT_EQ(key_.sk.decrypt(pool.encrypt(BigInt(m))), BigInt(m));
+  }
+  EXPECT_EQ(pool.remaining(), 27u);
+}
+
+TEST_F(EncryptionPoolTest, PoolExhaustionThrows) {
+  PaillierRandomizerPool pool(key_.pk, 2, 1, 2);
+  (void)pool.encrypt(BigInt(1));
+  (void)pool.encrypt(BigInt(2));
+  EXPECT_THROW((void)pool.encrypt(BigInt(3)), std::runtime_error);
+  EXPECT_EQ(pool.remaining(), 0u);
+}
+
+TEST_F(EncryptionPoolTest, PooledCiphertextsAreProbabilistic) {
+  PaillierRandomizerPool pool(key_.pk, 16, 4, 3);
+  std::set<std::string> seen;
+  for (int i = 0; i < 16; ++i) {
+    seen.insert(pool.encrypt(BigInt(7)).value.to_string(16));
+  }
+  EXPECT_EQ(seen.size(), 16u);  // all randomizers distinct
+}
+
+TEST_F(EncryptionPoolTest, BatchEncryptMatchesValues) {
+  PaillierRandomizerPool pool(key_.pk, 10, 2, 4);
+  const std::vector<std::int64_t> values = {5, -6, 7, 0, 123456789};
+  const auto cts = pool.encrypt_batch(values);
+  ASSERT_EQ(cts.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(key_.sk.decrypt(cts[i]).to_int64(), values[i]);
+  }
+  EXPECT_EQ(pool.remaining(), 5u);
+}
+
+TEST_F(EncryptionPoolTest, PooledCiphertextsComposeHomomorphically) {
+  PaillierRandomizerPool pool(key_.pk, 8, 2, 5);
+  const auto c1 = pool.encrypt(BigInt(1000));
+  const auto c2 = pool.encrypt(BigInt(-400));
+  EXPECT_EQ(key_.sk.decrypt(key_.pk.add(c1, c2)), BigInt(600));
+}
+
+TEST_F(EncryptionPoolTest, ParallelBatchPreservesOrderAndValues) {
+  std::vector<std::int64_t> values(200);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<std::int64_t>(i) * 37 - 1000;
+  }
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const auto cts = encrypt_batch_parallel(key_.pk, values, threads, 77);
+    ASSERT_EQ(cts.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); i += 17) {
+      EXPECT_EQ(key_.sk.decrypt(cts[i]).to_int64(), values[i]);
+    }
+  }
+}
+
+TEST_F(EncryptionPoolTest, ParallelBatchRejectsZeroThreads) {
+  const std::vector<std::int64_t> values = {1, 2};
+  EXPECT_THROW((void)encrypt_batch_parallel(key_.pk, values, 0, 1),
+               std::invalid_argument);
+}
+
+TEST_F(EncryptionPoolTest, EmptyBatch) {
+  const std::vector<std::int64_t> none;
+  EXPECT_TRUE(encrypt_batch_parallel(key_.pk, none, 4, 1).empty());
+  PaillierRandomizerPool pool(key_.pk, 0, 1, 1);
+  EXPECT_EQ(pool.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace pcl

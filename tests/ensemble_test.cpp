@@ -1,0 +1,143 @@
+#include "core/ensemble.h"
+
+#include <gtest/gtest.h>
+
+namespace pcl {
+namespace {
+
+class EnsembleTest : public ::testing::Test {
+ protected:
+  EnsembleTest() : rng_(2020) {
+    BlobsConfig config;
+    config.num_samples = 2400;
+    config.dims = 12;
+    config.num_classes = 5;
+    config.class_separation = 2.5;
+    const Dataset all = make_blobs(config, rng_);
+    const HeadTailSplit split = split_head(all, 400);
+    test_ = split.head;
+    pool_ = split.tail;
+    train_.epochs = 15;
+  }
+
+  DeterministicRng rng_;
+  Dataset pool_, test_;
+  TrainConfig train_;
+};
+
+TEST_F(EnsembleTest, TrainsOneTeacherPerShard) {
+  const auto shards = partition_even(pool_.size(), 8, rng_);
+  const TeacherEnsemble ensemble(pool_, shards, train_, rng_);
+  EXPECT_EQ(ensemble.num_users(), 8u);
+  EXPECT_GT(ensemble.average_user_accuracy(test_), 0.6);
+  EXPECT_THROW((void)ensemble.teacher(8), std::out_of_range);
+}
+
+TEST_F(EnsembleTest, OneHotVotesAreOneHot) {
+  const auto shards = partition_even(pool_.size(), 5, rng_);
+  const TeacherEnsemble ensemble(pool_, shards, train_, rng_);
+  const auto votes = ensemble.votes(test_.features.row(0), VoteType::kOneHot);
+  ASSERT_EQ(votes.size(), 5u);
+  for (const auto& v : votes) {
+    ASSERT_EQ(v.size(), 5u);
+    double sum = 0;
+    int ones = 0;
+    for (const double x : v) {
+      sum += x;
+      ones += x == 1.0 ? 1 : 0;
+      EXPECT_TRUE(x == 0.0 || x == 1.0);
+    }
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+    EXPECT_EQ(ones, 1);
+  }
+}
+
+TEST_F(EnsembleTest, SoftmaxVotesAreDistributions) {
+  const auto shards = partition_even(pool_.size(), 4, rng_);
+  const TeacherEnsemble ensemble(pool_, shards, train_, rng_);
+  const auto votes = ensemble.votes(test_.features.row(1),
+                                    VoteType::kSoftmax);
+  for (const auto& v : votes) {
+    double sum = 0;
+    for (const double x : v) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(EnsembleTest, HistogramSumsVotes) {
+  const auto shards = partition_even(pool_.size(), 6, rng_);
+  const TeacherEnsemble ensemble(pool_, shards, train_, rng_);
+  const auto hist = ensemble.vote_histogram(test_.features.row(2),
+                                            VoteType::kOneHot);
+  double total = 0;
+  for (const double h : hist) total += h;
+  EXPECT_DOUBLE_EQ(total, 6.0);  // one vote per user
+}
+
+TEST_F(EnsembleTest, MoreUsersMeansWeakerTeachers) {
+  // Fig. 2(a)'s core effect.
+  const auto acc_with_users = [&](std::size_t users) {
+    const auto shards = partition_even(pool_.size(), users, rng_);
+    const TeacherEnsemble ensemble(pool_, shards, train_, rng_);
+    return ensemble.average_user_accuracy(test_);
+  };
+  const double acc5 = acc_with_users(5);
+  const double acc80 = acc_with_users(80);
+  EXPECT_GT(acc5, acc80);
+}
+
+TEST_F(EnsembleTest, UnevenSplitOpensGroupGap) {
+  // Fig. 2(b)-(d): data-rich minority users outperform the data-poor
+  // majority.
+  const auto shards = partition_uneven(pool_.size(), 20, 0.2, rng_);
+  const TeacherEnsemble ensemble(pool_, shards, train_, rng_);
+  const auto groups = ensemble.group_accuracies(test_);
+  EXPECT_GT(groups.minority, groups.majority + 0.03);
+}
+
+TEST_F(EnsembleTest, EmptyShardRejected) {
+  std::vector<UserShard> shards = partition_even(pool_.size(), 4, rng_);
+  shards.push_back(UserShard{});
+  EXPECT_THROW(TeacherEnsemble(pool_, shards, train_, rng_),
+               std::invalid_argument);
+  EXPECT_THROW(TeacherEnsemble(pool_, {}, train_, rng_),
+               std::invalid_argument);
+}
+
+TEST(MultiLabelEnsembleTest, VotesAndAccuracies) {
+  DeterministicRng rng(9);
+  CelebaConfig config;
+  config.num_samples = 1600;
+  const MultiLabelDataset all = make_celeba_like(config, rng);
+  std::vector<std::size_t> test_idx, pool_idx;
+  for (std::size_t i = 0; i < 300; ++i) test_idx.push_back(i);
+  for (std::size_t i = 300; i < 1600; ++i) pool_idx.push_back(i);
+  const MultiLabelDataset test = all.subset(test_idx);
+  const MultiLabelDataset pool = all.subset(pool_idx);
+
+  const auto shards = partition_even(pool.size(), 6, rng);
+  TrainConfig train;
+  train.epochs = 12;
+  const MultiLabelEnsemble ensemble(pool, shards, train, rng);
+  EXPECT_EQ(ensemble.num_users(), 6u);
+  EXPECT_EQ(ensemble.num_attributes(), 40u);
+
+  const auto votes = ensemble.votes(test.features.row(0));
+  ASSERT_EQ(votes.size(), 6u);
+  const auto counts = ensemble.positive_vote_counts(test.features.row(0));
+  ASSERT_EQ(counts.size(), 40u);
+  for (std::size_t a = 0; a < 40; ++a) {
+    double manual = 0;
+    for (const auto& v : votes) manual += v[a];
+    EXPECT_DOUBLE_EQ(counts[a], manual);
+    EXPECT_LE(counts[a], 6.0);
+  }
+  EXPECT_GT(ensemble.average_user_accuracy(test), 0.8);
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,84 @@
+#include "crypto/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bigint/rng.h"
+
+namespace pcl {
+namespace {
+
+TEST(Eq8Codec, PaperExampleProperties) {
+  // Paper Eq. 8: R^I = R * 2^16 + 2^31 for R in [-2^15, 2^15).
+  EXPECT_EQ(encode_eq8(0.0), 2147483648u);
+  EXPECT_EQ(encode_eq8(1.0), 2147483648u + 65536u);
+  EXPECT_EQ(encode_eq8(-1.0), 2147483648u - 65536u);
+  EXPECT_DOUBLE_EQ(decode_eq8(encode_eq8(0.5)), 0.5);
+}
+
+TEST(Eq8Codec, RoundTripWithinResolution) {
+  DeterministicRng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = (rng.uniform_double() - 0.5) * 65535.0;
+    const double back = decode_eq8(encode_eq8(v));
+    // Truncation: error in [0, 2^-16).
+    EXPECT_GE(v, back);
+    EXPECT_LT(v - back, 1.0 / 65536.0 + 1e-12);
+  }
+}
+
+TEST(Eq8Codec, DomainEnforced) {
+  EXPECT_NO_THROW((void)encode_eq8(-32768.0));
+  EXPECT_NO_THROW((void)encode_eq8(32767.9999));
+  EXPECT_THROW((void)encode_eq8(32768.0), std::out_of_range);
+  EXPECT_THROW((void)encode_eq8(-32768.5), std::out_of_range);
+  EXPECT_THROW((void)encode_eq8(std::nan("")), std::out_of_range);
+}
+
+TEST(Eq8Codec, BoundaryValues) {
+  EXPECT_EQ(encode_eq8(-32768.0), 0u);
+  const std::uint32_t top = encode_eq8(32767.0 + 65535.0 / 65536.0);
+  EXPECT_EQ(top, 4294967295u);
+  EXPECT_DOUBLE_EQ(decode_eq8(0u), -32768.0);
+}
+
+TEST(FixedCodec, RoundTripNearest) {
+  DeterministicRng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = (rng.uniform_double() - 0.5) * 1e6;
+    const double back = decode_fixed(encode_fixed(v));
+    EXPECT_NEAR(v, back, 0.5 / 65536.0 + 1e-9);
+  }
+}
+
+TEST(FixedCodec, ExactIntegers) {
+  for (const std::int64_t v : {0ll, 1ll, -1ll, 100ll, -100ll, 32768ll}) {
+    EXPECT_EQ(encode_fixed(static_cast<double>(v)), v * kFixedOne);
+    EXPECT_DOUBLE_EQ(decode_fixed(v * kFixedOne), static_cast<double>(v));
+  }
+}
+
+TEST(FixedCodec, AdditivityIsExact) {
+  // The whole point of the signed scaled codec: sums of encodings equal
+  // encodings of sums (up to per-item rounding already accounted above).
+  DeterministicRng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::int64_t sum = 0;
+    double real_sum = 0;
+    for (int i = 0; i < 100; ++i) {
+      const double v = rng.uniform_double() - 0.5;
+      sum += encode_fixed(v);
+      real_sum += decode_fixed(encode_fixed(v));
+    }
+    EXPECT_DOUBLE_EQ(decode_fixed(sum), real_sum);
+  }
+}
+
+TEST(FixedCodec, OverflowRejected) {
+  EXPECT_THROW((void)encode_fixed(1e30), std::out_of_range);
+  EXPECT_THROW((void)encode_fixed(-1e30), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pcl

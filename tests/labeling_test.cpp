@@ -1,0 +1,98 @@
+#include "core/labeling.h"
+
+#include <gtest/gtest.h>
+
+namespace pcl {
+namespace {
+
+std::vector<std::vector<double>> one_hot_votes(const std::vector<int>& picks,
+                                               std::size_t classes) {
+  std::vector<std::vector<double>> votes;
+  for (const int p : picks) {
+    std::vector<double> v(classes, 0.0);
+    v[static_cast<std::size_t>(p)] = 1.0;
+    votes.push_back(std::move(v));
+  }
+  return votes;
+}
+
+TEST(PlaintextBackend, NonPrivateThresholds) {
+  DeterministicRng rng(1);
+  PlaintextBackend backend(AggregatorKind::kNonPrivate, 3.0, 1.0, 1.0);
+  EXPECT_EQ(backend.label(one_hot_votes({1, 1, 1, 0}, 3), rng).label,
+            std::optional<int>(1));
+  EXPECT_EQ(backend.label(one_hot_votes({1, 1, 0, 2}, 3), rng).label,
+            std::nullopt);
+}
+
+TEST(PlaintextBackend, BaselineAlwaysAnswers) {
+  DeterministicRng rng(2);
+  PlaintextBackend backend(AggregatorKind::kBaseline, 99.0, 1.0, 0.5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(
+        backend.label(one_hot_votes({0, 1, 2, 2}, 3), rng).consensus());
+  }
+}
+
+TEST(PlaintextBackend, ConsensusUsesNoise) {
+  DeterministicRng rng(3);
+  // Threshold 3.5 with top vote 3: small noise answers sometimes, not
+  // always.
+  PlaintextBackend backend(AggregatorKind::kConsensus, 3.5, 1.0, 0.5);
+  int answered = 0;
+  for (int i = 0; i < 300; ++i) {
+    answered +=
+        backend.label(one_hot_votes({2, 2, 2, 0}, 3), rng).consensus() ? 1
+                                                                       : 0;
+  }
+  EXPECT_GT(answered, 30);
+  EXPECT_LT(answered, 270);
+}
+
+TEST(PlaintextBackend, RaggedVotesRejected) {
+  DeterministicRng rng(4);
+  PlaintextBackend backend(AggregatorKind::kNonPrivate, 1.0, 1.0, 1.0);
+  std::vector<std::vector<double>> bad = {{1.0, 0.0}, {1.0, 0.0, 0.0}};
+  EXPECT_THROW((void)backend.label(bad, rng), std::invalid_argument);
+  EXPECT_THROW((void)backend.label({}, rng), std::invalid_argument);
+}
+
+TEST(MakePlaintextBackend, ScalesThresholdByUsers) {
+  DeterministicRng rng(5);
+  // threshold_fraction 0.6 * 5 users = 3 votes.
+  const auto backend = make_plaintext_backend(AggregatorKind::kNonPrivate, 5,
+                                              0.6, 1.0, 1.0);
+  EXPECT_TRUE(
+      backend->label(one_hot_votes({0, 0, 0, 1, 2}, 3), rng).consensus());
+  EXPECT_FALSE(
+      backend->label(one_hot_votes({0, 0, 1, 1, 2}, 3), rng).consensus());
+}
+
+TEST(CryptoBackendTest, ProducesLabelsEndToEnd) {
+  DeterministicRng rng(6);
+  ConsensusConfig config;
+  config.num_classes = 3;
+  config.num_users = 4;
+  config.threshold_fraction = 0.5;
+  config.sigma1 = 0.5;
+  config.sigma2 = 0.3;
+  config.share_bits = 30;
+  config.compare_bits = 44;
+  config.dgk_params.n_bits = 160;
+  config.dgk_params.v_bits = 30;
+  config.dgk_params.plaintext_bound = 160;
+  CryptoBackend backend(config, rng);
+  int correct = 0, answered = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto outcome = backend.label(one_hot_votes({2, 2, 2, 2}, 3), rng);
+    if (outcome.consensus()) {
+      ++answered;
+      correct += *outcome.label == 2 ? 1 : 0;
+    }
+  }
+  EXPECT_GE(answered, 4);
+  EXPECT_GE(correct * 3, answered * 2);
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,119 @@
+#include "dp/laplace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rdp_curve.h"
+
+namespace pcl {
+namespace {
+
+TEST(LaplaceSampler, Moments) {
+  DeterministicRng rng(1);
+  const double b = 2.5;
+  const int n = 40000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_laplace(b, rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(sum_sq / n, 2.0 * b * b, 0.5);  // Var = 2b^2
+}
+
+TEST(LaplaceSampler, Validation) {
+  DeterministicRng rng(2);
+  EXPECT_THROW((void)sample_laplace(0.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)sample_laplace(-1.0, rng), std::invalid_argument);
+}
+
+TEST(LaplaceRdp, ApproachesPureDpAtLargeAlpha) {
+  const double b = 3.0;
+  EXPECT_NEAR(laplace_rdp(5000.0, b), laplace_pure_dp(b), 5e-3);
+  EXPECT_LT(laplace_rdp(2.0, b), laplace_pure_dp(b));
+}
+
+TEST(LaplaceRdp, MonotoneInAlphaAndScale) {
+  for (double a = 1.5; a < 64.0; a *= 2.0) {
+    EXPECT_LE(laplace_rdp(a, 2.0), laplace_rdp(2.0 * a, 2.0) + 1e-12);
+    EXPECT_GT(laplace_rdp(a, 1.0), laplace_rdp(a, 4.0));
+  }
+  EXPECT_THROW((void)laplace_rdp(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)laplace_rdp(2.0, 0.0), std::invalid_argument);
+}
+
+TEST(LaplaceRdp, SmallAlphaLimitIsFinite) {
+  // alpha -> 1+: KL divergence of Laplace shifts = 1/b + e^{-1/b} - 1.
+  const double b = 2.0;
+  const double kl = 1.0 / b + std::exp(-1.0 / b) - 1.0;
+  EXPECT_NEAR(laplace_rdp(1.0 + 1e-6, b), kl, 1e-3);
+}
+
+TEST(Lnmax, ReleasesNoisyArgmax) {
+  DeterministicRng rng(3);
+  const std::vector<double> votes = {30.0, 2.0, 1.0};
+  int correct = 0;
+  for (int i = 0; i < 300; ++i) {
+    const AggregationOutcome out = aggregate_lnmax(votes, 1.0, rng);
+    ASSERT_TRUE(out.consensus());  // LNMax always answers
+    correct += *out.label == 0 ? 1 : 0;
+  }
+  EXPECT_GT(correct, 290);
+  EXPECT_THROW((void)aggregate_lnmax(votes, 0.0, rng), std::invalid_argument);
+}
+
+TEST(CurveAccountant, MatchesLinearClosedFormOnGaussians) {
+  CurveRdpAccountant curve;
+  RdpAccountant linear;
+  curve.add_svt(5.0, 100);
+  curve.add_noisy_max(2.0, 80);
+  linear.add_svt(5.0, 100);
+  linear.add_noisy_max(2.0, 80);
+  // Grid resolution costs a little tightness; must agree within 1%.
+  EXPECT_NEAR(curve.epsilon(1e-6), linear.epsilon(1e-6),
+              linear.epsilon(1e-6) * 0.01);
+}
+
+TEST(CurveAccountant, LaplaceBeatsNaivePureDpComposition) {
+  // Composing k eps-pure-DP Laplace releases naively costs k*eps; RDP
+  // composition must be strictly better for large k.
+  const double b = 8.0;
+  const std::size_t k = 400;
+  CurveRdpAccountant curve;
+  curve.add_laplace(b, k);
+  const double naive = static_cast<double>(k) * laplace_pure_dp(b);
+  EXPECT_LT(curve.epsilon(1e-6), naive);
+}
+
+TEST(CurveAccountant, MixedGaussianLaplaceComposition) {
+  CurveRdpAccountant curve;
+  curve.add_gaussian(4.0, 1.0, 50);
+  curve.add_laplace(6.0, 50);
+  const double both = curve.epsilon(1e-6);
+  CurveRdpAccountant only_gauss;
+  only_gauss.add_gaussian(4.0, 1.0, 50);
+  CurveRdpAccountant only_lap;
+  only_lap.add_laplace(6.0, 50);
+  EXPECT_GT(both, only_gauss.epsilon(1e-6));
+  EXPECT_GT(both, only_lap.epsilon(1e-6));
+  EXPECT_LT(both, only_gauss.epsilon(1e-6) + only_lap.epsilon(1e-6) + 1e-9);
+}
+
+TEST(CurveAccountant, GridValidation) {
+  EXPECT_THROW(CurveRdpAccountant(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(CurveRdpAccountant(std::vector<double>{0.5}),
+               std::invalid_argument);
+  CurveRdpAccountant acc;
+  EXPECT_THROW((void)acc.epsilon(0.0), std::invalid_argument);
+  EXPECT_EQ(acc.epsilon(1e-6) >= 0.0, true);
+  acc.add_laplace(2.0, 10);
+  acc.reset();
+  CurveRdpAccountant fresh;
+  EXPECT_NEAR(acc.epsilon(1e-6), fresh.epsilon(1e-6), 1e-12);
+}
+
+}  // namespace
+}  // namespace pcl

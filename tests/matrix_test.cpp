@@ -1,0 +1,80 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace pcl {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 3), std::out_of_range);
+  EXPECT_TRUE(Matrix().empty());
+}
+
+TEST(Matrix, RowSpanIsView) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 5.0);
+  EXPECT_THROW((void)m.row(2), std::out_of_range);
+}
+
+TEST(Matrix, Matmul) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double va = 1;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a.at(i, j) = va++;
+  double vb = 7;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b.at(i, j) = vb++;
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+  EXPECT_THROW((void)b.matmul(b), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m.at(0, 2) = 9.0;
+  m.at(1, 0) = -4.0;
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 9.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), -4.0);
+  EXPECT_EQ(t.transpose(), m);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 1.0);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 4.0);
+  EXPECT_THROW(a += Matrix(1, 2), std::invalid_argument);
+  EXPECT_THROW(a -= Matrix(2, 3), std::invalid_argument);
+}
+
+TEST(Matrix, SquaredNorm) {
+  Matrix m(1, 3);
+  m.at(0, 0) = 3.0;
+  m.at(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 25.0);
+  EXPECT_DOUBLE_EQ(Matrix(5, 5).squared_norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace pcl

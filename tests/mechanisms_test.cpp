@@ -1,0 +1,123 @@
+#include "dp/mechanisms.h"
+
+#include <gtest/gtest.h>
+
+namespace pcl {
+namespace {
+
+TEST(Argmax, BasicAndTies) {
+  EXPECT_EQ(argmax(std::vector<double>{1.0, 3.0, 2.0}), 1);
+  EXPECT_EQ(argmax(std::vector<double>{5.0}), 0);
+  // Ties break toward the smallest index.
+  EXPECT_EQ(argmax(std::vector<double>{2.0, 2.0, 1.0}), 0);
+  EXPECT_THROW((void)argmax(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(AggregatePlain, Algorithm1Semantics) {
+  const std::vector<double> votes = {1.0, 6.0, 3.0};
+  EXPECT_EQ(aggregate_plain(votes, 6.0).label, std::optional<int>(1));
+  EXPECT_EQ(aggregate_plain(votes, 6.1).label, std::nullopt);
+  EXPECT_TRUE(aggregate_plain(votes, 0.0).consensus());
+}
+
+TEST(AggregatePrivateWithNoise, ThresholdUsesTrueArgmaxPlusNoise) {
+  const std::vector<double> votes = {2.0, 7.0, 1.0};
+  const std::vector<double> zero_release = {0.0, 0.0, 0.0};
+  // 7 + 1.5 >= 8 -> accept, release argmax of unperturbed counts.
+  EXPECT_EQ(aggregate_private_with_noise(votes, 8.0, 1.5, zero_release).label,
+            std::optional<int>(1));
+  // 7 - 1.5 < 8 -> bottom.
+  EXPECT_EQ(aggregate_private_with_noise(votes, 8.0, -1.5, zero_release).label,
+            std::nullopt);
+}
+
+TEST(AggregatePrivateWithNoise, ReleaseIsNoisyArgmaxNotTrueArgmax) {
+  const std::vector<double> votes = {5.0, 4.0, 0.0};
+  // Release noise lifts label 1 above label 0.
+  const std::vector<double> release = {0.0, 2.0, 0.0};
+  const auto out = aggregate_private_with_noise(votes, 1.0, 0.0, release);
+  EXPECT_EQ(out.label, std::optional<int>(1));
+}
+
+TEST(AggregatePrivateWithNoise, SizesValidated) {
+  EXPECT_THROW((void)aggregate_private_with_noise(
+                   std::vector<double>{1.0, 2.0}, 1.0, 0.0,
+                   std::vector<double>{0.0}),
+               std::invalid_argument);
+}
+
+TEST(AggregatePrivate, NoiseScalesValidated) {
+  DeterministicRng rng(1);
+  const std::vector<double> votes = {1.0, 2.0};
+  EXPECT_THROW((void)aggregate_private(votes, 1.0, 0.0, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)aggregate_private(votes, 1.0, 1.0, -1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)aggregate_baseline(votes, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(AggregatePrivate, SmallNoiseMostlyCorrect) {
+  DeterministicRng rng(2);
+  const std::vector<double> votes = {20.0, 3.0, 2.0};
+  int correct = 0, answered = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto out = aggregate_private(votes, 15.0, 0.5, 0.5, rng);
+    if (out.consensus()) {
+      ++answered;
+      correct += (*out.label == 0) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(answered, 490);          // 20 vs threshold 15, sigma 0.5
+  EXPECT_GT(correct, answered - 5);  // 17-count margin, sigma 0.5
+}
+
+TEST(AggregatePrivate, LargeNoiseOftenRejects) {
+  DeterministicRng rng(3);
+  const std::vector<double> votes = {10.0, 9.0, 8.0};
+  int rejected = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (!aggregate_private(votes, 30.0, 5.0, 5.0, rng).consensus()) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 450);  // 10 vs threshold 30 at sigma1=5
+}
+
+TEST(AggregateBaseline, AlwaysAnswers) {
+  DeterministicRng rng(4);
+  const std::vector<double> votes = {0.0, 0.0, 1.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(aggregate_baseline(votes, 3.0, rng).consensus());
+  }
+}
+
+TEST(AggregateBaseline, HighNoiseDegradesAccuracy) {
+  DeterministicRng rng(5);
+  const std::vector<double> votes = {9.0, 1.0, 0.0, 0.0, 0.0,
+                                     0.0, 0.0, 0.0, 0.0, 0.0};
+  int correct_low = 0, correct_high = 0;
+  for (int i = 0; i < 400; ++i) {
+    correct_low += *aggregate_baseline(votes, 0.5, rng).label == 0 ? 1 : 0;
+    correct_high += *aggregate_baseline(votes, 20.0, rng).label == 0 ? 1 : 0;
+  }
+  EXPECT_GT(correct_low, 390);
+  EXPECT_LT(correct_high, 250);
+}
+
+TEST(ConsensusVsBaseline, ThresholdFiltersLowAgreementQueries) {
+  // The paper's core claim in miniature: when users disagree, the consensus
+  // mechanism abstains (protecting label quality) while the baseline guesses.
+  DeterministicRng rng(6);
+  const std::vector<double> split_votes = {4.0, 3.0, 3.0};  // 10 users
+  int consensus_answers = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (aggregate_private(split_votes, 6.0, 1.0, 1.0, rng).consensus()) {
+      ++consensus_answers;
+    }
+  }
+  EXPECT_LT(consensus_answers, 100);  // mostly abstains: top vote 4 << 6
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,91 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pcl {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  // truth 0: 2 right, 1 wrong (as 1); truth 1: 1 right; truth 2: 1 wrong
+  // (as 0).
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(2, 0), 1u);
+  EXPECT_EQ(cm.count(2, 2), 0u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // class 1: TP=3, FP=1, FN=2; class 0: TP=4.
+  for (int i = 0; i < 3; ++i) cm.add(1, 1);
+  cm.add(0, 1);
+  for (int i = 0; i < 2; ++i) cm.add(1, 0);
+  for (int i = 0; i < 4; ++i) cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 3.0 / 5.0);
+  const double f1 = 2.0 * 0.75 * 0.6 / (0.75 + 0.6);
+  EXPECT_NEAR(cm.f1(1), f1, 1e-12);
+  EXPECT_NEAR(cm.macro_precision(), (0.75 + 4.0 / 6.0) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, DegenerateClassesScoreZero) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);  // never predicted
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);     // never seen
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+  EXPECT_DOUBLE_EQ(ConfusionMatrix(2).accuracy(), 0.0);  // empty
+}
+
+TEST(ConfusionMatrixTest, BulkIngestionAndValidation) {
+  ConfusionMatrix cm(3);
+  const std::vector<int> truths = {0, 1, 2, 2};
+  const std::vector<int> preds = {0, 1, 2, 0};
+  cm.add_all(truths, preds);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_THROW(cm.add(3, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+  EXPECT_THROW(cm.add_all(truths, std::vector<int>{0}),
+               std::invalid_argument);
+  EXPECT_THROW(ConfusionMatrix(1), std::invalid_argument);
+  EXPECT_THROW((void)cm.count(5, 0), std::out_of_range);
+}
+
+TEST(PerClassRetention, ComputesFractions) {
+  const std::vector<int> truths = {0, 0, 0, 1, 1, 2};
+  const std::vector<bool> answered = {true, true, false, false, true, false};
+  const std::vector<double> retention =
+      per_class_retention(truths, answered, 3);
+  ASSERT_EQ(retention.size(), 3u);
+  EXPECT_NEAR(retention[0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(retention[1], 0.5);
+  EXPECT_DOUBLE_EQ(retention[2], 0.0);
+}
+
+TEST(PerClassRetention, Validation) {
+  EXPECT_THROW((void)per_class_retention(std::vector<int>{0},
+                                         std::vector<bool>{true, false}, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)per_class_retention(std::vector<int>{5},
+                                         std::vector<bool>{true}, 2),
+               std::out_of_range);
+  EXPECT_THROW((void)per_class_retention(std::vector<int>{0},
+                                         std::vector<bool>{true}, 1),
+               std::invalid_argument);
+  // Absent class retains 0 by convention.
+  const auto r = per_class_retention(std::vector<int>{0},
+                                     std::vector<bool>{true}, 2);
+  EXPECT_DOUBLE_EQ(r[1], 0.0);
+}
+
+}  // namespace
+}  // namespace pcl

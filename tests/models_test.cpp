@@ -1,0 +1,185 @@
+#include "ml/models.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ml/dataset.h"
+
+namespace pcl {
+namespace {
+
+TEST(Softmax, NormalizesAndIsStable) {
+  std::vector<double> logits = {1.0, 2.0, 3.0};
+  softmax_inplace(logits);
+  EXPECT_NEAR(logits[0] + logits[1] + logits[2], 1.0, 1e-12);
+  EXPECT_GT(logits[2], logits[1]);
+  EXPECT_GT(logits[1], logits[0]);
+  // Huge logits must not overflow.
+  std::vector<double> big = {1000.0, 1001.0};
+  softmax_inplace(big);
+  EXPECT_NEAR(big[0] + big[1], 1.0, 1e-12);
+  EXPECT_GT(big[1], big[0]);
+}
+
+TEST(LogisticModel, ShapeValidation) {
+  EXPECT_THROW(LogisticModel(0, 3), std::invalid_argument);
+  EXPECT_THROW(LogisticModel(5, 1), std::invalid_argument);
+  LogisticModel m(4, 3);
+  EXPECT_THROW((void)m.predict(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LogisticModel, LearnsSeparableData) {
+  DeterministicRng rng(1);
+  BlobsConfig config;
+  config.num_samples = 1500;
+  config.dims = 10;
+  config.num_classes = 4;
+  config.class_separation = 3.0;
+  const Dataset data = make_blobs(config, rng);
+  const HeadTailSplit split = split_head(data, 300);
+
+  LogisticModel model(data.dims(), data.num_classes);
+  TrainConfig train;
+  train.epochs = 25;
+  model.train(split.tail, train, rng);
+  EXPECT_GT(model.accuracy(split.head), 0.9);
+}
+
+TEST(LogisticModel, AccuracyGrowsWithData) {
+  // The property every Fig. 2 experiment relies on: smaller local datasets
+  // give weaker teachers.
+  DeterministicRng rng(2);
+  BlobsConfig config;
+  config.num_samples = 4000;
+  config.dims = 16;
+  config.num_classes = 10;
+  config.class_separation = 1.9;
+  const Dataset data = make_blobs(config, rng);
+  const HeadTailSplit split = split_head(data, 800);
+  TrainConfig train;
+  train.epochs = 20;
+
+  const auto accuracy_with = [&](std::size_t n) {
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    const Dataset small = split.tail.subset(idx);
+    LogisticModel model(data.dims(), data.num_classes);
+    model.train(small, train, rng);
+    return model.accuracy(split.head);
+  };
+  const double acc_tiny = accuracy_with(40);
+  const double acc_large = accuracy_with(3000);
+  EXPECT_GT(acc_large, acc_tiny + 0.05);
+  EXPECT_GT(acc_large, 0.5);
+}
+
+TEST(LogisticModel, ProbabilitiesSumToOne) {
+  DeterministicRng rng(3);
+  LogisticModel model(6, 5);
+  std::vector<double> x = {0.1, -2.0, 0.3, 4.0, 0.0, -1.0};
+  const std::vector<double> p = model.predict_proba(x);
+  EXPECT_EQ(p.size(), 5u);
+  double sum = 0;
+  for (const double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(LogisticModel, TrainValidation) {
+  DeterministicRng rng(4);
+  LogisticModel model(4, 3);
+  Dataset empty;
+  empty.num_classes = 3;
+  TrainConfig train;
+  EXPECT_THROW(model.train(empty, train, rng), std::invalid_argument);
+  BlobsConfig config;
+  config.num_samples = 20;
+  config.dims = 5;  // mismatch
+  config.num_classes = 3;
+  const Dataset bad = make_blobs(config, rng);
+  EXPECT_THROW(model.train(bad, train, rng), std::invalid_argument);
+}
+
+TEST(MlpModel, LearnsNonlinearBoundary) {
+  // XOR-like data that a linear model cannot fit.
+  DeterministicRng rng(5);
+  Dataset data;
+  data.num_classes = 2;
+  data.features = Matrix(800, 2);
+  data.labels.resize(800);
+  for (std::size_t i = 0; i < 800; ++i) {
+    const double x = rng.uniform_double() * 2.0 - 1.0;
+    const double y = rng.uniform_double() * 2.0 - 1.0;
+    data.features.at(i, 0) = x;
+    data.features.at(i, 1) = y;
+    data.labels[i] = (x * y > 0.0) ? 1 : 0;
+  }
+  const HeadTailSplit split = split_head(data, 200);
+
+  MlpModel mlp(2, 24, 2, rng);
+  TrainConfig train;
+  train.epochs = 150;
+  train.learning_rate = 0.3;
+  mlp.train(split.tail, train, rng);
+  EXPECT_GT(mlp.accuracy(split.head), 0.9);
+
+  LogisticModel linear(2, 2);
+  linear.train(split.tail, train, rng);
+  EXPECT_LT(linear.accuracy(split.head), 0.7);  // linear cannot fit XOR
+}
+
+TEST(MlpModel, ShapeValidation) {
+  DeterministicRng rng(6);
+  EXPECT_THROW(MlpModel(0, 4, 2, rng), std::invalid_argument);
+  EXPECT_THROW(MlpModel(4, 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(MlpModel(4, 4, 1, rng), std::invalid_argument);
+}
+
+TEST(MultiLabelModel, LearnsLatentAttributes) {
+  DeterministicRng rng(7);
+  CelebaConfig config;
+  config.num_samples = 2500;
+  const MultiLabelDataset data = make_celeba_like(config, rng);
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < 2000; ++i) train_idx.push_back(i);
+  for (std::size_t i = 2000; i < 2500; ++i) test_idx.push_back(i);
+  const MultiLabelDataset train = data.subset(train_idx);
+  const MultiLabelDataset test = data.subset(test_idx);
+
+  // All-negative baseline.
+  double positives = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    for (std::size_t a = 0; a < test.num_attributes(); ++a) {
+      positives += test.labels01.at(i, a);
+    }
+  }
+  const double baseline =
+      1.0 - positives / static_cast<double>(test.size() *
+                                            test.num_attributes());
+
+  MultiLabelModel model(data.features.cols(), data.num_attributes());
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  model.train(train, cfg, rng);
+  const double acc = model.accuracy(test);
+  EXPECT_GT(acc, baseline + 0.03);  // beats always-negative
+  EXPECT_GT(acc, 0.85);
+}
+
+TEST(MultiLabelModel, PredictionShapes) {
+  DeterministicRng rng(8);
+  MultiLabelModel model(5, 7);
+  const std::vector<double> x(5, 0.0);
+  EXPECT_EQ(model.predict_proba(x).size(), 7u);
+  EXPECT_EQ(model.predict(x).size(), 7u);
+  EXPECT_THROW((void)model.predict(std::vector<double>(4, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(MultiLabelModel(0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,140 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/rng.h"
+
+namespace pcl {
+namespace {
+
+class PaillierTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  PaillierTest() : rng_(GetParam() * 1000003 + 17) {
+    key_ = generate_paillier_key(GetParam(), rng_);
+  }
+  DeterministicRng rng_;
+  PaillierKeyPair key_;
+};
+
+TEST_P(PaillierTest, EncryptDecryptRoundTrip) {
+  const BigInt quarter = key_.pk.n() >> 2;
+  for (int i = 0; i < 20; ++i) {
+    const BigInt m = rng_.uniform_in(-quarter, quarter);
+    const PaillierCiphertext c = key_.pk.encrypt(m, rng_);
+    EXPECT_EQ(key_.sk.decrypt(c), m);
+  }
+}
+
+TEST_P(PaillierTest, ZeroAndUnits) {
+  EXPECT_EQ(key_.sk.decrypt(key_.pk.encrypt(BigInt(0), rng_)), BigInt(0));
+  EXPECT_EQ(key_.sk.decrypt(key_.pk.encrypt(BigInt(1), rng_)), BigInt(1));
+  EXPECT_EQ(key_.sk.decrypt(key_.pk.encrypt(BigInt(-1), rng_)), BigInt(-1));
+}
+
+TEST_P(PaillierTest, HomomorphicAdditionEq1) {
+  // Paper Eq. 1: E[m1 + m2] = E[m1] * E[m2].
+  const BigInt eighth = key_.pk.n() >> 3;
+  for (int i = 0; i < 15; ++i) {
+    const BigInt m1 = rng_.uniform_in(-eighth, eighth);
+    const BigInt m2 = rng_.uniform_in(-eighth, eighth);
+    const auto c1 = key_.pk.encrypt(m1, rng_);
+    const auto c2 = key_.pk.encrypt(m2, rng_);
+    EXPECT_EQ(key_.sk.decrypt(key_.pk.add(c1, c2)), m1 + m2);
+  }
+}
+
+TEST_P(PaillierTest, HomomorphicScalarMulEq2) {
+  // Paper Eq. 2: E[a * m] = E[m]^a, including negative scalars.
+  const BigInt small = key_.pk.n() >> 8;
+  for (const std::int64_t a : {0ll, 1ll, 2ll, 7ll, -1ll, -13ll, 100ll}) {
+    const BigInt m = rng_.uniform_in(-small, small);
+    const auto c = key_.pk.encrypt(m, rng_);
+    EXPECT_EQ(key_.sk.decrypt(key_.pk.scalar_mul(c, BigInt(a))),
+              m * BigInt(a))
+        << "a=" << a;
+  }
+}
+
+TEST_P(PaillierTest, Negate) {
+  const BigInt small = key_.pk.n() >> 8;
+  for (int i = 0; i < 10; ++i) {
+    const BigInt m = rng_.uniform_in(-small, small);
+    const auto c = key_.pk.encrypt(m, rng_);
+    EXPECT_EQ(key_.sk.decrypt(key_.pk.negate(c)), -m);
+  }
+}
+
+TEST_P(PaillierTest, RerandomizePreservesPlaintextChangesCiphertext) {
+  const BigInt m(123);
+  const auto c = key_.pk.encrypt(m, rng_);
+  const auto c2 = key_.pk.rerandomize(c, rng_);
+  EXPECT_NE(c.value, c2.value);
+  EXPECT_EQ(key_.sk.decrypt(c2), m);
+}
+
+TEST_P(PaillierTest, ProbabilisticEncryption) {
+  // Two encryptions of the same message must differ (IND-CPA smoke test).
+  const BigInt m(42);
+  const auto c1 = key_.pk.encrypt(m, rng_);
+  const auto c2 = key_.pk.encrypt(m, rng_);
+  EXPECT_NE(c1.value, c2.value);
+  EXPECT_EQ(key_.sk.decrypt(c1), key_.sk.decrypt(c2));
+}
+
+TEST_P(PaillierTest, LongAggregationChain) {
+  // Sum 50 signed values homomorphically — the protocol's secure-sum core.
+  BigInt expected(0);
+  PaillierCiphertext acc = key_.pk.encrypt(BigInt(0), rng_);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt m = rng_.uniform_in(BigInt(-1000), BigInt(1000));
+    expected += m;
+    acc = key_.pk.add(acc, key_.pk.encrypt(m, rng_));
+  }
+  EXPECT_EQ(key_.sk.decrypt(acc), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, PaillierTest,
+                         ::testing::Values(32u, 64u, 128u, 256u, 512u));
+
+TEST(PaillierEdge, KeyBitsValidated) {
+  DeterministicRng rng(1);
+  EXPECT_THROW((void)generate_paillier_key(8, rng), std::invalid_argument);
+}
+
+TEST(PaillierEdge, KeyHasRequestedSize) {
+  DeterministicRng rng(2);
+  for (const std::size_t bits : {40u, 64u, 100u}) {
+    const auto key = generate_paillier_key(bits, rng);
+    EXPECT_EQ(key.pk.key_bits(), bits);
+  }
+}
+
+TEST(PaillierEdge, CiphertextRangeValidated) {
+  DeterministicRng rng(3);
+  const auto key = generate_paillier_key(64, rng);
+  EXPECT_THROW((void)key.sk.decrypt({key.pk.n_squared()}),
+               std::invalid_argument);
+  EXPECT_THROW((void)key.sk.decrypt({BigInt(-1)}), std::invalid_argument);
+}
+
+TEST(PaillierEdge, DeterministicEncryptionWithFixedRandomness) {
+  DeterministicRng rng(4);
+  const auto key = generate_paillier_key(64, rng);
+  const BigInt r(12345);
+  const auto c1 = key.pk.encrypt_with_randomness(BigInt(7), r);
+  const auto c2 = key.pk.encrypt_with_randomness(BigInt(7), r);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(key.sk.decrypt(c1), BigInt(7));
+}
+
+TEST(PaillierEdge, WrongPrivateKeyRejected) {
+  DeterministicRng rng(5);
+  const auto key1 = generate_paillier_key(64, rng);
+  const auto key2 = generate_paillier_key(64, rng);
+  // Constructing a private key whose p*q does not match the public modulus.
+  EXPECT_THROW(PaillierPrivateKey(key1.pk, key2.pk.n(), BigInt(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcl

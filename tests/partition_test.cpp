@@ -1,0 +1,146 @@
+#include "ml/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pcl {
+namespace {
+
+std::size_t total_size(const std::vector<UserShard>& shards) {
+  std::size_t n = 0;
+  for (const UserShard& s : shards) n += s.indices.size();
+  return n;
+}
+
+void expect_disjoint_cover(const std::vector<UserShard>& shards,
+                           std::size_t n) {
+  std::set<std::size_t> seen;
+  for (const UserShard& s : shards) {
+    for (const std::size_t i : s.indices) {
+      EXPECT_LT(i, n);
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(PartitionEven, CoversAllIndicesDisjointly) {
+  DeterministicRng rng(1);
+  for (const std::size_t users : {1u, 3u, 10u, 100u}) {
+    const auto shards = partition_even(1000, users, rng);
+    ASSERT_EQ(shards.size(), users);
+    expect_disjoint_cover(shards, 1000);
+    for (const UserShard& s : shards) {
+      EXPECT_FALSE(s.minority);
+      EXPECT_GE(s.indices.size(), 1000 / users);
+      EXPECT_LE(s.indices.size(), 1000 / users + 1);
+    }
+  }
+}
+
+TEST(PartitionEven, Validation) {
+  DeterministicRng rng(2);
+  EXPECT_THROW((void)partition_even(10, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)partition_even(5, 10, rng), std::invalid_argument);
+}
+
+TEST(PartitionUneven, Division28Semantics) {
+  // 2-8: 20% of the data spread over 80% of the users; the remaining 20%
+  // of users (the minority) hold 80% of the data.
+  DeterministicRng rng(3);
+  const std::size_t n = 10000, users = 50;
+  const auto shards = partition_uneven(n, users, 0.2, rng);
+  ASSERT_EQ(shards.size(), users);
+  expect_disjoint_cover(shards, n);
+
+  std::size_t minority_users = 0, minority_data = 0, majority_data = 0;
+  for (const UserShard& s : shards) {
+    if (s.minority) {
+      ++minority_users;
+      minority_data += s.indices.size();
+    } else {
+      majority_data += s.indices.size();
+    }
+  }
+  EXPECT_EQ(minority_users, 10u);  // 20% of 50
+  EXPECT_NEAR(static_cast<double>(minority_data) / n, 0.8, 0.02);
+  EXPECT_NEAR(static_cast<double>(majority_data) / n, 0.2, 0.02);
+  // Each data-rich user holds far more than each data-poor user.
+  std::size_t max_majority = 0, min_minority = n;
+  for (const UserShard& s : shards) {
+    if (s.minority) {
+      min_minority = std::min(min_minority, s.indices.size());
+    } else {
+      max_majority = std::max(max_majority, s.indices.size());
+    }
+  }
+  EXPECT_GT(min_minority, 3 * max_majority);
+}
+
+TEST(PartitionUneven, AllDivisionsCoverData) {
+  DeterministicRng rng(4);
+  for (const int division : {2, 3, 4}) {
+    const auto shards = partition_division(5000, 20, division, rng);
+    expect_disjoint_cover(shards, 5000);
+    // Gap narrows as the division approaches even (4-6 vs 2-8).
+  }
+}
+
+TEST(PartitionUneven, GapShrinksTowardEven) {
+  DeterministicRng rng(5);
+  const auto imbalance = [&](int division) {
+    const auto shards = partition_division(10000, 50, division, rng);
+    std::size_t minority_data = 0;
+    for (const UserShard& s : shards) {
+      if (s.minority) minority_data += s.indices.size();
+    }
+    return static_cast<double>(minority_data) / 10000.0;
+  };
+  const double d2 = imbalance(2);  // minority holds ~80%
+  const double d3 = imbalance(3);  // ~70%
+  const double d4 = imbalance(4);  // ~60%
+  EXPECT_GT(d2, d3);
+  EXPECT_GT(d3, d4);
+  EXPECT_GT(d4, 0.5);
+}
+
+TEST(PartitionUneven, Validation) {
+  DeterministicRng rng(6);
+  EXPECT_THROW((void)partition_uneven(100, 1, 0.2, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)partition_uneven(100, 10, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)partition_uneven(100, 10, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)partition_uneven(5, 10, 0.2, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)partition_division(100, 10, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)partition_division(100, 10, 10, rng),
+               std::invalid_argument);
+}
+
+TEST(PartitionUneven, EveryUserGetsData) {
+  DeterministicRng rng(7);
+  for (const std::size_t users : {10u, 25u, 50u, 75u, 100u}) {
+    for (const int division : {2, 3, 4}) {
+      const auto shards = partition_division(20000, users, division, rng);
+      EXPECT_EQ(total_size(shards), 20000u);
+      for (const UserShard& s : shards) {
+        EXPECT_FALSE(s.indices.empty())
+            << "users=" << users << " division=" << division;
+      }
+    }
+  }
+}
+
+TEST(PartitionEven, ShufflesAcrossCalls) {
+  DeterministicRng rng(8);
+  const auto a = partition_even(100, 4, rng);
+  const auto b = partition_even(100, 4, rng);
+  EXPECT_NE(a[0].indices, b[0].indices);
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,111 @@
+#include "mpc/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+namespace pcl {
+namespace {
+
+TEST(Permutation, IdentityLeavesVectorUnchanged) {
+  const Permutation id(5);
+  const std::vector<int> v = {10, 20, 30, 40, 50};
+  EXPECT_EQ(id.apply(v), v);
+  EXPECT_EQ(id.apply_inverse(v), v);
+}
+
+TEST(Permutation, ExplicitMapApplied) {
+  const Permutation p(std::vector<std::size_t>{2, 0, 1});
+  const std::vector<int> v = {10, 20, 30};
+  // out[i] = v[p[i]]
+  EXPECT_EQ(p.apply(v), (std::vector<int>{30, 10, 20}));
+}
+
+TEST(Permutation, NonBijectionRejected) {
+  EXPECT_THROW(Permutation(std::vector<std::size_t>{0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(Permutation(std::vector<std::size_t>{0, 3}),
+               std::invalid_argument);
+}
+
+TEST(Permutation, ApplyInverseUndoesApply) {
+  DeterministicRng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.index_below(30);
+    const Permutation p = Permutation::random(n, rng);
+    std::vector<int> v(n);
+    std::iota(v.begin(), v.end(), 100);
+    EXPECT_EQ(p.apply_inverse(p.apply(v)), v);
+    EXPECT_EQ(p.apply(p.apply_inverse(v)), v);
+  }
+}
+
+TEST(Permutation, InversePermutation) {
+  DeterministicRng rng(2);
+  const Permutation p = Permutation::random(12, rng);
+  const Permutation inv = p.inverse();
+  std::vector<int> v(12);
+  std::iota(v.begin(), v.end(), 0);
+  EXPECT_EQ(inv.apply(p.apply(v)), v);
+}
+
+TEST(Permutation, ComposeAfterMatchesSequentialApplication) {
+  DeterministicRng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.index_below(20);
+    const Permutation first = Permutation::random(n, rng);
+    const Permutation second = Permutation::random(n, rng);
+    const Permutation composed = second.compose_after(first);
+    std::vector<int> v(n);
+    std::iota(v.begin(), v.end(), 0);
+    EXPECT_EQ(composed.apply(v), second.apply(first.apply(v)));
+  }
+}
+
+TEST(Permutation, ComposedIndexTracksElementOrigin) {
+  // The element at permuted position k originated at composed[k] — the
+  // property Restoration (Alg. 3) relies on.
+  DeterministicRng rng(4);
+  const std::size_t n = 10;
+  const Permutation p2 = Permutation::random(n, rng);
+  const Permutation p1 = Permutation::random(n, rng);
+  const Permutation composed = p1.compose_after(p2);
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 1000);
+  const std::vector<int> permuted = p1.apply(p2.apply(v));
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(permuted[k], v[composed[k]]);
+  }
+}
+
+TEST(Permutation, SizeMismatchThrows) {
+  const Permutation p(3);
+  EXPECT_THROW((void)p.apply(std::vector<int>{1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)p.compose_after(Permutation(4)), std::invalid_argument);
+}
+
+TEST(Permutation, RandomIsRoughlyUniform) {
+  DeterministicRng rng(5);
+  std::map<std::vector<std::size_t>, int> counts;
+  const int trials = 6000;
+  for (int t = 0; t < trials; ++t) {
+    const Permutation p = Permutation::random(3, rng);
+    std::vector<std::size_t> key = {p[0], p[1], p[2]};
+    counts[key]++;
+  }
+  EXPECT_EQ(counts.size(), 6u);  // all 3! permutations occur
+  for (const auto& [key, count] : counts) {
+    EXPECT_GT(count, trials / 6 / 2);
+    EXPECT_LT(count, trials / 6 * 2);
+  }
+}
+
+TEST(Permutation, SizeOne) {
+  DeterministicRng rng(6);
+  const Permutation p = Permutation::random(1, rng);
+  EXPECT_EQ(p.apply(std::vector<int>{7}), (std::vector<int>{7}));
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,261 @@
+// Integration tests of the experiment pipeline, including the paper's
+// headline qualitative claims in miniature and the crypto-backed end-to-end
+// path.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace pcl {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : rng_(77) {
+    BlobsConfig config;
+    config.num_samples = 3600;
+    config.dims = 12;
+    config.num_classes = 6;
+    config.class_separation = 2.4;
+    const Dataset all = make_blobs(config, rng_);
+    const HeadTailSplit test_split = split_head(all, 500);
+    test_ = test_split.head;
+    const HeadTailSplit query_split = split_head(test_split.tail, 600);
+    query_pool_ = query_split.head;
+    user_pool_ = query_split.tail;
+    teacher_train_.epochs = 15;
+  }
+
+  TeacherEnsemble make_ensemble(std::size_t users) {
+    const auto shards = partition_even(user_pool_.size(), users, rng_);
+    return TeacherEnsemble(user_pool_, shards, teacher_train_, rng_);
+  }
+
+  DeterministicRng rng_;
+  Dataset user_pool_, query_pool_, test_;
+  TrainConfig teacher_train_;
+};
+
+TEST_F(PipelineTest, NonPrivateAggregatorIsAccurate) {
+  const TeacherEnsemble ensemble = make_ensemble(10);
+  PipelineConfig config;
+  config.aggregator = AggregatorKind::kNonPrivate;
+  config.num_queries = 300;
+  const PipelineResult result =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  EXPECT_GT(result.retention, 0.4);
+  EXPECT_GT(result.label_accuracy, 0.85);
+  EXPECT_GT(result.aggregator_accuracy, 0.6);
+  EXPECT_TRUE(std::isinf(result.epsilon));
+  EXPECT_EQ(result.queries, 300u);
+}
+
+TEST_F(PipelineTest, ConsensusBeatsBaselineUnderNoise) {
+  // The paper's Fig. 3 claim in miniature: at equal noise, thresholded
+  // consensus labels are more accurate than always-release noisy max.
+  const TeacherEnsemble ensemble = make_ensemble(20);
+  PipelineConfig config;
+  config.num_queries = 400;
+  config.sigma1 = 3.0;
+  config.sigma2 = 3.0;
+
+  config.aggregator = AggregatorKind::kConsensus;
+  const PipelineResult consensus =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  config.aggregator = AggregatorKind::kBaseline;
+  const PipelineResult baseline =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+
+  EXPECT_GT(consensus.label_accuracy, baseline.label_accuracy);
+  EXPECT_EQ(baseline.retention, 1.0);  // baseline always answers
+  EXPECT_LT(consensus.retention, 1.0);
+}
+
+TEST_F(PipelineTest, LowerNoiseImprovesLabelAccuracy) {
+  const TeacherEnsemble ensemble = make_ensemble(15);
+  PipelineConfig config;
+  config.num_queries = 300;
+  const auto run_at = [&](double sigma) {
+    config.sigma1 = sigma;
+    config.sigma2 = sigma;
+    return run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  };
+  const PipelineResult quiet = run_at(0.5);
+  const PipelineResult loud = run_at(12.0);
+  EXPECT_GT(quiet.label_accuracy, loud.label_accuracy);
+  EXPECT_LT(quiet.epsilon, 1e9);
+  EXPECT_GT(quiet.epsilon, loud.epsilon);  // less noise costs more privacy
+}
+
+TEST_F(PipelineTest, EpsilonAccountsSvtPlusAnsweredRnm) {
+  const TeacherEnsemble ensemble = make_ensemble(10);
+  PipelineConfig config;
+  config.num_queries = 100;
+  config.sigma1 = 5.0;
+  config.sigma2 = 2.0;
+  const PipelineResult result =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  RdpAccountant acc;
+  acc.add_svt(config.sigma1, result.queries);
+  acc.add_noisy_max(config.sigma2, result.answered);
+  EXPECT_NEAR(result.epsilon, acc.epsilon(config.delta), 1e-12);
+}
+
+TEST_F(PipelineTest, EmptyQueryPoolRejected) {
+  const TeacherEnsemble ensemble = make_ensemble(5);
+  PipelineConfig config;
+  EXPECT_THROW(
+      (void)run_pipeline(ensemble, Dataset{}, test_, config, rng_),
+      std::invalid_argument);
+}
+
+TEST_F(PipelineTest, HighThresholdCollapsesRetention) {
+  const TeacherEnsemble ensemble = make_ensemble(25);
+  PipelineConfig config;
+  config.num_queries = 200;
+  config.sigma1 = 1.0;
+  config.sigma2 = 1.0;
+  config.threshold_fraction = 0.99;
+  const PipelineResult strict =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  config.threshold_fraction = 0.3;
+  const PipelineResult lax =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  EXPECT_LT(strict.retention, lax.retention);
+}
+
+TEST_F(PipelineTest, CryptoBackendMatchesPlaintextStatistically) {
+  // Same teachers, same mechanism parameters; the crypto backend must land
+  // in the same accuracy regime (exact equality holds only under shared
+  // noise draws, which consensus_test covers).
+  const TeacherEnsemble ensemble = make_ensemble(5);
+  PipelineConfig config;
+  config.num_queries = 15;
+  config.sigma1 = 0.7;
+  config.sigma2 = 0.4;
+
+  ConsensusConfig crypto_config;
+  crypto_config.num_classes = 6;
+  crypto_config.num_users = 5;
+  crypto_config.sigma1 = config.sigma1;
+  crypto_config.sigma2 = config.sigma2;
+  crypto_config.threshold_fraction = config.threshold_fraction;
+  crypto_config.share_bits = 30;
+  crypto_config.compare_bits = 44;
+  crypto_config.dgk_params.n_bits = 160;
+  crypto_config.dgk_params.v_bits = 30;
+  crypto_config.dgk_params.plaintext_bound = 160;
+  CryptoBackend crypto(crypto_config, rng_);
+
+  const PipelineResult crypto_result =
+      run_pipeline(ensemble, query_pool_, test_, config, crypto, rng_);
+  const PipelineResult plain_result =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  EXPECT_EQ(crypto_result.queries, 15u);
+  // Both should answer most queries and be mostly correct at this noise.
+  EXPECT_GT(crypto_result.retention, 0.4);
+  EXPECT_GT(crypto_result.label_accuracy, 0.6);
+  EXPECT_NEAR(crypto_result.label_accuracy, plain_result.label_accuracy, 0.4);
+  // The crypto run must have exercised every protocol step.
+  EXPECT_GT(crypto.protocol().stats().bytes_for("Secure Comparison (4)"), 0u);
+}
+
+TEST_F(PipelineTest, StudentVariantsProduceReasonableAccuracy) {
+  const TeacherEnsemble ensemble = make_ensemble(10);
+  PipelineConfig config;
+  config.num_queries = 250;
+  config.sigma1 = 1.0;
+  config.sigma2 = 0.5;
+  config.student_train.epochs = 40;
+
+  config.student = StudentKind::kMlp;
+  config.mlp_hidden = 16;
+  const PipelineResult mlp =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  EXPECT_GT(mlp.aggregator_accuracy, 0.5);
+
+  config.student = StudentKind::kLogistic;
+  config.semi_supervised = true;
+  const PipelineResult semi =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  EXPECT_GT(semi.aggregator_accuracy, 0.5);
+  // Pseudo-labeling must not catastrophically hurt relative to supervised.
+  config.semi_supervised = false;
+  const PipelineResult plain =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  EXPECT_GT(semi.aggregator_accuracy, plain.aggregator_accuracy - 0.1);
+}
+
+TEST_F(PipelineTest, LnMaxAggregatorRunsEndToEnd) {
+  const TeacherEnsemble ensemble = make_ensemble(10);
+  PipelineConfig config;
+  config.num_queries = 200;
+  config.aggregator = AggregatorKind::kLnMax;
+  config.laplace_b = 1.0;
+  const PipelineResult result =
+      run_pipeline(ensemble, query_pool_, test_, config, rng_);
+  EXPECT_EQ(result.retention, 1.0);  // LNMax always answers
+  EXPECT_GT(result.label_accuracy, 0.5);
+  EXPECT_GT(result.epsilon, 0.0);
+  EXPECT_FALSE(std::isinf(result.epsilon));
+}
+
+class CelebaPipelineTest : public ::testing::Test {
+ protected:
+  CelebaPipelineTest() : rng_(88) {
+    CelebaConfig config;
+    config.num_samples = 2200;
+    const MultiLabelDataset all = make_celeba_like(config, rng_);
+    std::vector<std::size_t> test_idx, query_idx, pool_idx;
+    for (std::size_t i = 0; i < 300; ++i) test_idx.push_back(i);
+    for (std::size_t i = 300; i < 600; ++i) query_idx.push_back(i);
+    for (std::size_t i = 600; i < 2200; ++i) pool_idx.push_back(i);
+    test_ = all.subset(test_idx);
+    query_pool_ = all.subset(query_idx);
+    user_pool_ = all.subset(pool_idx);
+    teacher_train_.epochs = 12;
+  }
+  DeterministicRng rng_;
+  MultiLabelDataset user_pool_, query_pool_, test_;
+  TrainConfig teacher_train_;
+};
+
+TEST_F(CelebaPipelineTest, EvenSplitProducesUsefulLabels) {
+  const auto shards = partition_even(user_pool_.size(), 10, rng_);
+  const MultiLabelEnsemble ensemble(user_pool_, shards, teacher_train_, rng_);
+  CelebaPipelineConfig config;
+  config.num_queries = 150;
+  config.sigma1 = 1.0;
+  config.sigma2 = 0.5;
+  const CelebaPipelineResult result =
+      run_celeba_pipeline(ensemble, query_pool_, test_, config, rng_);
+  EXPECT_GT(result.retention, 0.5);
+  EXPECT_GT(result.label_accuracy, 0.8);
+  EXPECT_GT(result.aggregator_accuracy, 0.7);
+  EXPECT_GT(result.positive_rate, 0.01);
+  EXPECT_GT(result.epsilon, 0.0);
+}
+
+TEST_F(CelebaPipelineTest, UnevenSplitSuppressesPositives) {
+  // The paper's CelebA observation: under 2-8 division the sparse positive
+  // attributes fail consensus and the released labels collapse toward
+  // all-negative.
+  const auto even_shards = partition_even(user_pool_.size(), 20, rng_);
+  const auto uneven_shards =
+      partition_uneven(user_pool_.size(), 20, 0.2, rng_);
+  const MultiLabelEnsemble even(user_pool_, even_shards, teacher_train_,
+                                rng_);
+  const MultiLabelEnsemble uneven(user_pool_, uneven_shards, teacher_train_,
+                                  rng_);
+  CelebaPipelineConfig config;
+  config.num_queries = 120;
+  config.sigma1 = 1.2;
+  config.sigma2 = 0.6;
+  const CelebaPipelineResult even_result =
+      run_celeba_pipeline(even, query_pool_, test_, config, rng_);
+  const CelebaPipelineResult uneven_result =
+      run_celeba_pipeline(uneven, query_pool_, test_, config, rng_);
+  EXPECT_LE(uneven_result.positive_rate, even_result.positive_rate + 0.02);
+}
+
+}  // namespace
+}  // namespace pcl

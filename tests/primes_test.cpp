@@ -1,0 +1,100 @@
+#include "bigint/primes.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/rng.h"
+
+namespace pcl {
+namespace {
+
+TEST(Primes, KnownSmallPrimes) {
+  DeterministicRng rng(1);
+  for (const std::uint64_t p :
+       {2ull, 3ull, 5ull, 7ull, 11ull, 101ull, 7919ull, 104729ull}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(Primes, KnownComposites) {
+  DeterministicRng rng(2);
+  for (const std::uint64_t c : {0ull, 1ull, 4ull, 6ull, 9ull, 100ull,
+                                7917ull, 1000000ull}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(Primes, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes to many bases; Miller–Rabin must reject them.
+  DeterministicRng rng(3);
+  for (const std::uint64_t c :
+       {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull, 8911ull,
+        10585ull, 825265ull, 321197185ull}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(Primes, LargeKnownPrime) {
+  DeterministicRng rng(4);
+  // 2^89 - 1 is a Mersenne prime.
+  const BigInt m89 = BigInt::pow(BigInt(2), 89) - BigInt(1);
+  EXPECT_TRUE(is_probable_prime(m89, rng));
+  // 2^67 - 1 is famously composite (193707721 * 761838257287).
+  const BigInt m67 = BigInt::pow(BigInt(2), 67) - BigInt(1);
+  EXPECT_FALSE(is_probable_prime(m67, rng));
+}
+
+class RandomPrimeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomPrimeTest, HasExactBitLengthAndIsPrime) {
+  DeterministicRng rng(GetParam() * 7919 + 1);
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 3; ++i) {
+    const BigInt p = random_prime(bits, rng);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSizes, RandomPrimeTest,
+                         ::testing::Values(8u, 16u, 24u, 32u, 48u, 64u, 96u,
+                                           128u));
+
+TEST(Primes, RandomPrimeWithFactor) {
+  DeterministicRng rng(6);
+  const BigInt factor(3 * 5 * 7 * 11);
+  for (const std::size_t bits : {48u, 64u, 96u}) {
+    const BigInt p = random_prime_with_factor(bits, factor, rng);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+    EXPECT_EQ((p - BigInt(1)).mod(factor), BigInt(0));
+  }
+}
+
+TEST(Primes, RandomPrimeWithFactorRejectsBadArgs) {
+  DeterministicRng rng(7);
+  EXPECT_THROW((void)random_prime_with_factor(8, BigInt(1) << 16, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_prime_with_factor(32, BigInt(0), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_prime_with_factor(32, BigInt(-3), rng),
+               std::invalid_argument);
+}
+
+TEST(Primes, NextPrime) {
+  DeterministicRng rng(8);
+  EXPECT_EQ(next_prime(BigInt(0), rng), BigInt(2));
+  EXPECT_EQ(next_prime(BigInt(2), rng), BigInt(3));
+  EXPECT_EQ(next_prime(BigInt(3), rng), BigInt(5));
+  EXPECT_EQ(next_prime(BigInt(14), rng), BigInt(17));
+  EXPECT_EQ(next_prime(BigInt(100), rng), BigInt(101));
+  EXPECT_EQ(next_prime(BigInt(7919), rng), BigInt(7927));
+}
+
+TEST(Primes, TinyBitsRejected) {
+  DeterministicRng rng(9);
+  EXPECT_THROW((void)random_prime(1, rng), std::invalid_argument);
+  EXPECT_THROW((void)random_prime(0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcl

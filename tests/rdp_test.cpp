@@ -1,0 +1,155 @@
+#include "dp/rdp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcl {
+namespace {
+
+TEST(RdpFormulas, GaussianMatchesTheorem1) {
+  // (alpha, alpha * Delta^2 / (2 sigma^2))-RDP.
+  EXPECT_DOUBLE_EQ(gaussian_rdp(2.0, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gaussian_rdp(3.0, 2.0, 1.0), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(gaussian_rdp(2.0, 1.0, 2.0), 4.0);
+}
+
+TEST(RdpFormulas, SvtMatchesLemma1) {
+  EXPECT_DOUBLE_EQ(svt_rdp(2.0, 3.0), 9.0 * 2.0 / (2.0 * 9.0));
+  EXPECT_DOUBLE_EQ(svt_rdp(5.0, 1.0), 22.5);
+}
+
+TEST(RdpFormulas, NoisyMaxMatchesLemma2) {
+  EXPECT_DOUBLE_EQ(noisy_max_rdp(2.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(noisy_max_rdp(7.0, 1.0), 7.0);
+}
+
+TEST(RdpFormulas, InputValidation) {
+  EXPECT_THROW((void)gaussian_rdp(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)gaussian_rdp(2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)svt_rdp(2.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)theorem5_epsilon(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)theorem5_epsilon(1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Theorem5, ClosedFormMatchesAccountant) {
+  // The accountant's analytic optimum must coincide with the paper's
+  // Theorem 5 formula for a single query.
+  for (const double sigma1 : {2.0, 5.0, 10.0, 50.0}) {
+    for (const double sigma2 : {1.0, 3.0, 20.0}) {
+      for (const double delta : {1e-5, 1e-6, 1e-8}) {
+        RdpAccountant acc;
+        acc.add_consensus_query(sigma1, sigma2);
+        EXPECT_NEAR(acc.epsilon(delta),
+                    theorem5_epsilon(sigma1, sigma2, delta), 1e-9)
+            << sigma1 << " " << sigma2 << " " << delta;
+      }
+    }
+  }
+}
+
+TEST(Theorem5, OptimalAlphaMatchesPaperFormula) {
+  const double sigma1 = 4.0, sigma2 = 2.0, delta = 1e-6;
+  RdpAccountant acc;
+  acc.add_consensus_query(sigma1, sigma2);
+  EXPECT_NEAR(acc.optimal_alpha(delta),
+              theorem5_optimal_alpha(sigma1, sigma2, delta), 1e-9);
+  // Verify the formula structure directly.
+  const double a = 9.0 / (sigma1 * sigma1) + 2.0 / (sigma2 * sigma2);
+  EXPECT_NEAR(theorem5_optimal_alpha(sigma1, sigma2, delta),
+              1.0 + std::sqrt(2.0 * std::log(1.0 / delta) / a), 1e-12);
+}
+
+TEST(Theorem5, GridSearchCannotBeatClosedForm) {
+  // eps(alpha) = s*alpha + log(1/delta)/(alpha-1) evaluated on a fine grid
+  // must never fall below the analytic optimum (sanity of the minimization).
+  const double sigma1 = 6.0, sigma2 = 3.0, delta = 1e-6;
+  RdpAccountant acc;
+  acc.add_consensus_query(sigma1, sigma2, 10);
+  const double best = acc.epsilon(delta);
+  const double s = acc.slope();
+  for (double alpha = 1.01; alpha < 500.0; alpha *= 1.01) {
+    const double eps = s * alpha + std::log(1.0 / delta) / (alpha - 1.0);
+    EXPECT_GE(eps + 1e-9, best);
+  }
+}
+
+TEST(Accountant, CompositionIsAdditiveInSlope) {
+  RdpAccountant one;
+  one.add_consensus_query(3.0, 1.5);
+  RdpAccountant many;
+  many.add_consensus_query(3.0, 1.5, 100);
+  EXPECT_NEAR(many.slope(), 100.0 * one.slope(), 1e-12);
+  // Epsilon grows sublinearly (sqrt) in the number of queries.
+  const double e1 = one.epsilon(1e-6);
+  const double e100 = many.epsilon(1e-6);
+  EXPECT_GT(e100, e1);
+  EXPECT_LT(e100, 100.0 * e1);
+}
+
+TEST(Accountant, MixedMechanisms) {
+  RdpAccountant acc;
+  acc.add_gaussian(2.0, 1.0, 3);
+  acc.add_svt(3.0, 2);
+  acc.add_noisy_max(1.5, 4);
+  const double expected = 3.0 / (2.0 * 4.0) + 2.0 * 9.0 / (2.0 * 9.0) +
+                          4.0 / (1.5 * 1.5);
+  EXPECT_NEAR(acc.slope(), expected, 1e-12);
+}
+
+TEST(Accountant, EmptyIsZeroEpsilon) {
+  const RdpAccountant acc;
+  EXPECT_EQ(acc.epsilon(1e-6), 0.0);
+}
+
+TEST(Accountant, ResetClears) {
+  RdpAccountant acc;
+  acc.add_svt(1.0, 10);
+  acc.reset();
+  EXPECT_EQ(acc.slope(), 0.0);
+}
+
+TEST(Accountant, MonotoneInDelta) {
+  RdpAccountant acc;
+  acc.add_consensus_query(5.0, 2.0, 20);
+  EXPECT_GT(acc.epsilon(1e-8), acc.epsilon(1e-6));
+  EXPECT_GT(acc.epsilon(1e-6), acc.epsilon(1e-4));
+}
+
+TEST(Calibration, HitsTargetEpsilon) {
+  for (const double target : {1.0, 8.19, 20.0}) {
+    for (const std::size_t queries : {std::size_t{1}, std::size_t{100},
+                                      std::size_t{2000}}) {
+      const NoiseCalibration cal = calibrate_noise(target, 1e-6, queries);
+      EXPECT_NEAR(cal.achieved_epsilon, target, target * 1e-9);
+      EXPECT_GT(cal.sigma1, 0.0);
+      EXPECT_GT(cal.sigma2, 0.0);
+      // Balanced split: sigma1 = 3*sigma2/sqrt(2).
+      EXPECT_NEAR(cal.sigma1, 3.0 * cal.sigma2 / std::sqrt(2.0), 1e-9);
+    }
+  }
+}
+
+TEST(Calibration, MoreQueriesNeedMoreNoise) {
+  const NoiseCalibration few = calibrate_noise(8.19, 1e-6, 100);
+  const NoiseCalibration lots = calibrate_noise(8.19, 1e-6, 1000);
+  EXPECT_GT(lots.sigma1, few.sigma1);
+  EXPECT_GT(lots.sigma2, few.sigma2);
+  // Noise scales as sqrt(queries).
+  EXPECT_NEAR(lots.sigma1 / few.sigma1, std::sqrt(10.0), 0.01);
+}
+
+TEST(Calibration, TighterPrivacyNeedsMoreNoise) {
+  const NoiseCalibration loose = calibrate_noise(10.0, 1e-6, 500);
+  const NoiseCalibration tight = calibrate_noise(2.0, 1e-6, 500);
+  EXPECT_GT(tight.sigma1, loose.sigma1);
+}
+
+TEST(Calibration, Validation) {
+  EXPECT_THROW((void)calibrate_noise(0.0, 1e-6, 10), std::invalid_argument);
+  EXPECT_THROW((void)calibrate_noise(1.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW((void)calibrate_noise(1.0, 1e-6, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcl

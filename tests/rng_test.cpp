@@ -1,0 +1,122 @@
+#include "bigint/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace pcl {
+namespace {
+
+TEST(Rng, Deterministic) {
+  DeterministicRng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  // Different seeds diverge (overwhelmingly likely within a few draws).
+  bool diverged = false;
+  DeterministicRng a2(42);
+  for (int i = 0; i < 10 && !diverged; ++i) {
+    diverged = a2.next_u64() != c.next_u64();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformBelowInRange) {
+  DeterministicRng rng(1);
+  const BigInt bound = BigInt::from_string("98765432109876543210");
+  for (int i = 0; i < 200; ++i) {
+    const BigInt v = rng.uniform_below(bound);
+    EXPECT_FALSE(v.is_negative());
+    EXPECT_LT(v, bound);
+  }
+  EXPECT_THROW((void)rng.uniform_below(BigInt(0)), std::invalid_argument);
+  EXPECT_THROW((void)rng.uniform_below(BigInt(-5)), std::invalid_argument);
+}
+
+TEST(Rng, UniformBelowOneIsZero) {
+  DeterministicRng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(rng.uniform_below(BigInt(1)).is_zero());
+  }
+}
+
+TEST(Rng, UniformInBounds) {
+  DeterministicRng rng(3);
+  const BigInt lo(-50), hi(50);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 300; ++i) {
+    const BigInt v = rng.uniform_in(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    saw_negative = saw_negative || v.is_negative();
+    saw_positive = saw_positive || (!v.is_negative() && !v.is_zero());
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  EXPECT_THROW((void)rng.uniform_in(BigInt(2), BigInt(1)),
+               std::invalid_argument);
+}
+
+TEST(Rng, RandomBitsWidth) {
+  DeterministicRng rng(4);
+  for (const std::size_t bits : {1u, 7u, 8u, 9u, 31u, 32u, 33u, 64u, 65u,
+                                 100u, 256u}) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_LE(rng.random_bits(bits).bit_length(), bits);
+      EXPECT_EQ(rng.random_bits_exact(bits).bit_length(), bits);
+    }
+  }
+  EXPECT_TRUE(rng.random_bits(0).is_zero());
+  EXPECT_THROW((void)rng.random_bits_exact(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformDoubleRange) {
+  DeterministicRng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  DeterministicRng rng(6);
+  const int n = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(Rng, IndexBelowCoversRange) {
+  DeterministicRng rng(7);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 6000; ++i) counts[rng.index_below(6)]++;
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [idx, count] : counts) {
+    EXPECT_LT(idx, 6u);
+    EXPECT_GT(count, 700);  // roughly uniform
+  }
+  EXPECT_THROW((void)rng.index_below(0), std::invalid_argument);
+}
+
+TEST(Rng, SystemRngProducesVariedOutput) {
+  SystemRng rng;
+  const std::uint64_t a = rng.next_u64();
+  bool varied = false;
+  for (int i = 0; i < 5 && !varied; ++i) varied = rng.next_u64() != a;
+  EXPECT_TRUE(varied);
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,65 @@
+#include "net/segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/rng.h"
+#include "crypto/paillier.h"
+
+namespace pcl {
+namespace {
+
+TEST(Segmentation, SmallValues) {
+  EXPECT_EQ(segment_ciphertext(BigInt(0)), (std::vector<std::int64_t>{0}));
+  EXPECT_EQ(segment_ciphertext(BigInt(42)), (std::vector<std::int64_t>{42}));
+  // One full segment boundary.
+  const BigInt base(kSegmentBase);
+  EXPECT_EQ(segment_ciphertext(base), (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(segment_ciphertext(base - BigInt(1)),
+            (std::vector<std::int64_t>{
+                static_cast<std::int64_t>(kSegmentBase - 1)}));
+}
+
+TEST(Segmentation, RoundTripRandom) {
+  DeterministicRng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const BigInt v = rng.random_bits(1 + (i * 13) % 600);
+    EXPECT_EQ(recompose_ciphertext(segment_ciphertext(v)), v);
+  }
+}
+
+TEST(Segmentation, SegmentsFitTensorElements) {
+  DeterministicRng rng(2);
+  const BigInt v = rng.random_bits(512);
+  for (const std::int64_t seg : segment_ciphertext(v)) {
+    EXPECT_GE(seg, 0);
+    EXPECT_LT(static_cast<std::uint64_t>(seg), kSegmentBase);
+  }
+}
+
+TEST(Segmentation, RealCiphertextRoundTrip) {
+  DeterministicRng rng(3);
+  const PaillierKeyPair key = generate_paillier_key(64, rng);
+  const PaillierCiphertext c = key.pk.encrypt(BigInt(123456), rng);
+  const std::vector<std::int64_t> wire = segment_ciphertext(c.value);
+  const PaillierCiphertext restored{recompose_ciphertext(wire)};
+  EXPECT_EQ(key.sk.decrypt(restored), BigInt(123456));
+}
+
+TEST(Segmentation, Validation) {
+  EXPECT_THROW((void)segment_ciphertext(BigInt(-1)), std::invalid_argument);
+  EXPECT_THROW((void)recompose_ciphertext(std::vector<std::int64_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)recompose_ciphertext(std::vector<std::int64_t>{-1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)recompose_ciphertext(std::vector<std::int64_t>{
+                   static_cast<std::int64_t>(kSegmentBase)}),
+               std::invalid_argument);
+}
+
+TEST(Segmentation, LeadingZeroSegmentsTolerated) {
+  // {5, 0} is a non-canonical encoding of 5; recomposition accepts it.
+  EXPECT_EQ(recompose_ciphertext(std::vector<std::int64_t>{5, 0}), BigInt(5));
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,87 @@
+#include "mpc/sharing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcl {
+namespace {
+
+TEST(Sharing, ReconstructionIdentity) {
+  DeterministicRng rng(1);
+  for (const std::int64_t v : {0ll, 1ll, -1ll, 65536ll, -65536ll,
+                               (1ll << 30), -(1ll << 30)}) {
+    for (int i = 0; i < 20; ++i) {
+      const Share s = split_value(v, rng);
+      EXPECT_EQ(reconstruct(s), v);
+    }
+  }
+}
+
+TEST(Sharing, ShareBitsValidated) {
+  DeterministicRng rng(2);
+  EXPECT_THROW((void)split_value(5, rng, 0), std::invalid_argument);
+  EXPECT_THROW((void)split_value(5, rng, 62), std::invalid_argument);
+  EXPECT_NO_THROW((void)split_value(5, rng, 61));
+}
+
+TEST(Sharing, SharesBoundedByMask) {
+  DeterministicRng rng(3);
+  const std::int64_t bound = std::int64_t{1} << 20;
+  for (int i = 0; i < 200; ++i) {
+    const Share s = split_value(100, rng, 20);
+    EXPECT_LE(std::abs(s.a), bound);
+    EXPECT_LE(std::abs(s.b), bound + 100);
+  }
+}
+
+TEST(Sharing, SharesLookUniform) {
+  // The a-share distribution must not depend on the secret: compare means
+  // for two very different secrets.
+  DeterministicRng rng(4);
+  double mean_small = 0, mean_large = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    mean_small += static_cast<double>(split_value(0, rng, 30).a);
+    mean_large += static_cast<double>(split_value(1 << 16, rng, 30).a);
+  }
+  const double scale = static_cast<double>(1ll << 30);
+  EXPECT_NEAR(mean_small / n / scale, 0.0, 0.02);
+  EXPECT_NEAR(mean_large / n / scale, 0.0, 0.02);
+}
+
+TEST(Sharing, VectorSplitAndReconstruct) {
+  DeterministicRng rng(5);
+  const std::vector<std::int64_t> values = {0, 65536, -123456, 1, 99999};
+  const ShareVector sv = split_vector(values, rng);
+  ASSERT_EQ(sv.a.size(), values.size());
+  ASSERT_EQ(sv.b.size(), values.size());
+  EXPECT_EQ(reconstruct_vector(sv.a, sv.b), values);
+}
+
+TEST(Sharing, ReconstructSizeMismatchThrows) {
+  EXPECT_THROW((void)reconstruct_vector(std::vector<std::int64_t>{1, 2},
+                                        std::vector<std::int64_t>{1}),
+               std::invalid_argument);
+}
+
+TEST(Sharing, AggregateOfSharesEqualsAggregateOfValues) {
+  // Paper Eq. 4: summing shares server-side reconstructs the vote totals.
+  DeterministicRng rng(6);
+  const std::size_t users = 50, k = 10;
+  std::vector<std::int64_t> total_a(k, 0), total_b(k, 0), expected(k, 0);
+  for (std::size_t u = 0; u < users; ++u) {
+    std::vector<std::int64_t> votes(k, 0);
+    votes[rng.index_below(k)] = 65536;
+    const ShareVector sv = split_vector(votes, rng);
+    for (std::size_t i = 0; i < k; ++i) {
+      total_a[i] += sv.a[i];
+      total_b[i] += sv.b[i];
+      expected[i] += votes[i];
+    }
+  }
+  EXPECT_EQ(reconstruct_vector(total_a, total_b), expected);
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,139 @@
+// Threaded party-routine tests: the concurrent deployment path must compute
+// exactly what the synchronous reference implementations compute.
+#include "mpc/threaded.h"
+
+#include <gtest/gtest.h>
+
+#include "mpc/sharing.h"
+
+namespace pcl {
+namespace {
+
+class ThreadedTest : public ::testing::Test {
+ protected:
+  ThreadedTest() : rng_(2718) {
+    DgkParams params;
+    params.n_bits = 160;
+    params.v_bits = 30;
+    params.plaintext_bound = 200;
+    dgk_ = generate_dgk_key(params, rng_);
+    paillier_ = generate_server_paillier_keys(64, rng_);
+  }
+  DeterministicRng rng_;
+  DgkKeyPair dgk_;
+  ServerPaillierKeys paillier_;
+};
+
+TEST_F(ThreadedTest, CompareMatchesOracleOnSweep) {
+  const DgkCompareContext ctx(dgk_.pk, dgk_.sk, 20);
+  DeterministicRng vals(5);
+  for (int i = 0; i < 20; ++i) {
+    const std::int64_t x =
+        vals.uniform_in(BigInt(-500000), BigInt(500000)).to_int64();
+    const std::int64_t y =
+        vals.uniform_in(BigInt(-500000), BigInt(500000)).to_int64();
+    EXPECT_EQ(dgk_compare_geq_threaded(ctx, x, y, 1000 + i), x >= y)
+        << x << " vs " << y;
+  }
+}
+
+TEST_F(ThreadedTest, CompareEdgeCases) {
+  const DgkCompareContext ctx(dgk_.pk, dgk_.sk, 10);
+  EXPECT_TRUE(dgk_compare_geq_threaded(ctx, 7, 7, 1));
+  EXPECT_TRUE(dgk_compare_geq_threaded(ctx, -511, -512, 2));
+  EXPECT_FALSE(dgk_compare_geq_threaded(ctx, -512, 511, 3));
+  EXPECT_THROW((void)dgk_compare_geq_threaded(ctx, 512, 0, 4),
+               std::out_of_range);
+  EXPECT_THROW((void)dgk_compare_geq_threaded(ctx, 0, -513, 5),
+               std::out_of_range);
+}
+
+TEST_F(ThreadedTest, SecureSumMatchesPlainTotals) {
+  const std::size_t users = 8, k = 5;
+  DeterministicRng vals(7);
+  std::vector<std::vector<std::int64_t>> to_s1(users), to_s2(users);
+  std::vector<std::int64_t> expect_a(k, 0), expect_b(k, 0);
+  for (std::size_t u = 0; u < users; ++u) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::int64_t va =
+          vals.uniform_in(BigInt(-100000), BigInt(100000)).to_int64();
+      const std::int64_t vb =
+          vals.uniform_in(BigInt(-100000), BigInt(100000)).to_int64();
+      to_s1[u].push_back(va);
+      to_s2[u].push_back(vb);
+      expect_a[i] += va;
+      expect_b[i] += vb;
+    }
+  }
+  const ThreadedSecureSumResult result =
+      secure_sum_threaded(paillier_, to_s1, to_s2, 99);
+  EXPECT_EQ(result.s1_totals, expect_a);
+  EXPECT_EQ(result.s2_totals, expect_b);
+  EXPECT_GT(result.bytes_on_wire, users * k * 12);
+}
+
+TEST_F(ThreadedTest, SecureSumReconstructsSharedVotes) {
+  // Full flow: users split one-hot votes, threaded secure sum, and the two
+  // aggregates recombine to the histogram.
+  const std::size_t users = 12, k = 4;
+  DeterministicRng vals(9);
+  std::vector<std::vector<std::int64_t>> to_s1(users), to_s2(users);
+  std::vector<std::int64_t> histogram(k, 0);
+  for (std::size_t u = 0; u < users; ++u) {
+    std::vector<std::int64_t> votes(k, 0);
+    votes[vals.index_below(k)] = 1;
+    for (std::size_t i = 0; i < k; ++i) histogram[i] += votes[i];
+    const ShareVector sv = split_vector(votes, vals, 30);
+    to_s1[u] = sv.a;
+    to_s2[u] = sv.b;
+  }
+  const ThreadedSecureSumResult result =
+      secure_sum_threaded(paillier_, to_s1, to_s2, 123);
+  EXPECT_EQ(reconstruct_vector(result.s1_totals, result.s2_totals),
+            histogram);
+}
+
+TEST_F(ThreadedTest, SecureSumValidation) {
+  EXPECT_THROW((void)secure_sum_threaded(paillier_, {}, {}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)secure_sum_threaded(paillier_, {{1, 2}}, {{1}}, 1),
+      std::invalid_argument);
+}
+
+TEST(BlockingNetworkTest, RecvBlocksUntilSend) {
+  BlockingNetwork net;
+  std::int64_t received = 0;
+  std::thread reader([&] {
+    MessageReader msg = net.recv("B", "A");
+    received = msg.read_i64();
+  });
+  // Give the reader a chance to block first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  MessageWriter w;
+  w.write_i64(4242);
+  net.send("A", "B", std::move(w));
+  reader.join();
+  EXPECT_EQ(received, 4242);
+  EXPECT_EQ(net.pending_total(), 0u);
+}
+
+TEST(BlockingNetworkTest, RecvTimesOutOnMissingSend) {
+  BlockingNetwork net(std::chrono::milliseconds(50));
+  EXPECT_THROW((void)net.recv("B", "A"), std::runtime_error);
+}
+
+TEST(BlockingNetworkTest, FifoPerLink) {
+  BlockingNetwork net;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    MessageWriter w;
+    w.write_i64(i);
+    net.send("A", "B", std::move(w));
+  }
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(net.recv("B", "A").read_i64(), i);
+  }
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,139 @@
+// Traffic-analysis resistance: the protocol's observable communication
+// pattern — which parties talk, in what order, with what message sizes —
+// must not depend on the secret votes.  (Payload bytes differ, of course;
+// they are ciphertexts.)  One legitimate exception exists by design: the
+// threshold decision itself changes the pattern, because a ⊥ query stops
+// after step 5 — the paper's output includes that bit.
+#include <gtest/gtest.h>
+
+#include "mpc/consensus.h"
+
+namespace pcl {
+namespace {
+
+ConsensusConfig small_config() {
+  ConsensusConfig cfg;
+  cfg.num_classes = 4;
+  cfg.num_users = 5;
+  cfg.threshold_fraction = 0.6;
+  cfg.sigma1 = 1.0;
+  cfg.sigma2 = 0.5;
+  cfg.share_bits = 30;
+  cfg.compare_bits = 44;
+  cfg.dgk_params.n_bits = 160;
+  cfg.dgk_params.v_bits = 30;
+  cfg.dgk_params.plaintext_bound = 160;
+  return cfg;
+}
+
+std::vector<std::vector<double>> one_hot_votes(const std::vector<int>& picks,
+                                               std::size_t classes) {
+  std::vector<std::vector<double>> votes;
+  for (const int p : picks) {
+    std::vector<double> v(classes, 0.0);
+    v[static_cast<std::size_t>(p)] = 1.0;
+    votes.push_back(std::move(v));
+  }
+  return votes;
+}
+
+/// Metadata shape only: (step, from, to) sequence without byte counts.
+std::vector<std::string> shape_of(const std::vector<TranscriptEntry>& t) {
+  std::vector<std::string> out;
+  out.reserve(t.size());
+  for (const TranscriptEntry& e : t) {
+    out.push_back(e.step + "|" + e.from + "|" + e.to);
+  }
+  return out;
+}
+
+TEST(Transcript, ShapeIndependentOfVoteContents) {
+  DeterministicRng rng(1);
+  ConsensusProtocol protocol(small_config(), rng);
+  protocol.set_transcript_capture(true);
+  const std::vector<double> release(4, 0.0);
+
+  // Two very different answered vote patterns (both pass the threshold).
+  (void)protocol.run_query_with_noise(one_hot_votes({0, 0, 0, 0, 0}, 4), 1.0,
+                                      release, rng);
+  const auto unanimous = shape_of(protocol.last_transcript());
+  (void)protocol.run_query_with_noise(one_hot_votes({3, 3, 3, 1, 2}, 4), 1.0,
+                                      release, rng);
+  const auto contested = shape_of(protocol.last_transcript());
+  EXPECT_EQ(unanimous, contested);
+  EXPECT_FALSE(unanimous.empty());
+}
+
+TEST(Transcript, MessageSizesIndependentOfVoteContents) {
+  DeterministicRng rng(2);
+  ConsensusProtocol protocol(small_config(), rng);
+  protocol.set_transcript_capture(true);
+  const std::vector<double> release(4, 0.0);
+
+  (void)protocol.run_query_with_noise(one_hot_votes({0, 0, 0, 0, 0}, 4), 1.0,
+                                      release, rng);
+  const auto a = protocol.last_transcript();
+  (void)protocol.run_query_with_noise(one_hot_votes({2, 2, 2, 1, 0}, 4), 1.0,
+                                      release, rng);
+  const auto b = protocol.last_transcript();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Paillier/DGK ciphertexts have value-dependent leading-zero bytes, so
+    // individual sizes may wobble by a few bytes; anything larger would be
+    // a structural leak.
+    const auto diff = static_cast<std::int64_t>(a[i].bytes) -
+                      static_cast<std::int64_t>(b[i].bytes);
+    EXPECT_LE(std::abs(diff), 64) << "message " << i << " step "
+                                  << a[i].step;
+  }
+}
+
+TEST(Transcript, RejectedQueriesStopAfterThresholdCheck) {
+  DeterministicRng rng(3);
+  ConsensusProtocol protocol(small_config(), rng);
+  protocol.set_transcript_capture(true);
+  const std::vector<double> release(4, 0.0);
+
+  (void)protocol.run_query_with_noise(one_hot_votes({0, 1, 2, 3, 0}, 4), -5.0,
+                                      release, rng);
+  const auto rejected = protocol.last_transcript();
+  ASSERT_FALSE(rejected.empty());
+  for (const TranscriptEntry& e : rejected) {
+    EXPECT_NE(e.step, "Secure Sum (6)");
+    EXPECT_NE(e.step, "Restoration (9)");
+  }
+  // The answered path is strictly longer.
+  (void)protocol.run_query_with_noise(one_hot_votes({0, 0, 0, 0, 0}, 4), 5.0,
+                                      release, rng);
+  EXPECT_GT(protocol.last_transcript().size(), rejected.size());
+}
+
+TEST(Transcript, UsersOnlySendNeverReceive) {
+  // Users push shares; nothing in the protocol flows back to them except
+  // the public output (which is out-of-band).  Any server->user message
+  // would contradict the paper's model.
+  DeterministicRng rng(4);
+  ConsensusProtocol protocol(small_config(), rng);
+  protocol.set_transcript_capture(true);
+  const std::vector<double> release(4, 0.0);
+  (void)protocol.run_query_with_noise(one_hot_votes({1, 1, 1, 1, 1}, 4), 1.0,
+                                      release, rng);
+  for (const TranscriptEntry& e : protocol.last_transcript()) {
+    EXPECT_NE(e.to.rfind("user", 0), 0u) << e.from << " -> " << e.to;
+    if (e.from.rfind("user", 0) == 0) {
+      EXPECT_TRUE(e.to == "S1" || e.to == "S2");
+    }
+  }
+}
+
+TEST(Transcript, CaptureOffByDefault) {
+  DeterministicRng rng(5);
+  ConsensusProtocol protocol(small_config(), rng);
+  const std::vector<double> release(4, 0.0);
+  (void)protocol.run_query_with_noise(one_hot_votes({1, 1, 1, 1, 1}, 4), 1.0,
+                                      release, rng);
+  EXPECT_TRUE(protocol.last_transcript().empty());
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,118 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+namespace pcl {
+namespace {
+
+MessageWriter make_message(std::size_t payload_bytes) {
+  MessageWriter w;
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    w.write_u8(static_cast<std::uint8_t>(i));
+  }
+  return w;
+}
+
+TEST(Network, SendRecvFifoOrder) {
+  Network net;
+  MessageWriter m1;
+  m1.write_u32(1);
+  MessageWriter m2;
+  m2.write_u32(2);
+  net.send("S1", "S2", std::move(m1));
+  net.send("S1", "S2", std::move(m2));
+  EXPECT_EQ(net.recv("S2", "S1").read_u32(), 1u);
+  EXPECT_EQ(net.recv("S2", "S1").read_u32(), 2u);
+}
+
+TEST(Network, RecvWithoutSendThrows) {
+  Network net;
+  EXPECT_THROW((void)net.recv("S2", "S1"), std::logic_error);
+}
+
+TEST(Network, LinksAreDirectional) {
+  Network net;
+  net.send("S1", "S2", make_message(4));
+  EXPECT_TRUE(net.has_pending("S2", "S1"));
+  EXPECT_FALSE(net.has_pending("S1", "S2"));
+  EXPECT_THROW((void)net.recv("S1", "S2"), std::logic_error);
+}
+
+TEST(Network, PendingTotal) {
+  Network net;
+  EXPECT_EQ(net.pending_total(), 0u);
+  net.send("user:0", "S1", make_message(1));
+  net.send("user:1", "S1", make_message(1));
+  net.send("S1", "S2", make_message(1));
+  EXPECT_EQ(net.pending_total(), 3u);
+  (void)net.recv("S1", "user:0");
+  EXPECT_EQ(net.pending_total(), 2u);
+}
+
+TEST(TrafficStats, BytesPerStepAndCategory) {
+  TrafficStats stats;
+  Network net(&stats);
+  net.set_step("Secure Sum (2)");
+  net.send("user:0", "S1", make_message(100));
+  net.send("user:1", "S2", make_message(50));
+  net.set_step("Blind-and-Permute (3)");
+  net.send("S1", "S2", make_message(200));
+  net.send("S2", "S1", make_message(300));
+
+  EXPECT_EQ(stats.bytes_for("Secure Sum (2)"), 150u);
+  EXPECT_EQ(stats.bytes_for("Secure Sum (2)", "user"), 150u);
+  EXPECT_EQ(stats.bytes_for("Secure Sum (2)", "user", "S1"), 100u);
+  EXPECT_EQ(stats.bytes_for("Secure Sum (2)", "S"), 0u);
+  EXPECT_EQ(stats.bytes_for("Blind-and-Permute (3)", "S", "S"), 500u);
+  EXPECT_EQ(stats.messages_for("Blind-and-Permute (3)"), 2u);
+  EXPECT_EQ(stats.bytes_for("no such step"), 0u);
+}
+
+TEST(TrafficStats, TimingAccumulates) {
+  TrafficStats stats;
+  stats.add_time("step A", std::chrono::milliseconds(10));
+  stats.add_time("step A", std::chrono::milliseconds(5));
+  stats.add_time("step B", std::chrono::milliseconds(1));
+  EXPECT_NEAR(stats.seconds_for("step A"), 0.015, 1e-9);
+  EXPECT_NEAR(stats.total_seconds(), 0.016, 1e-9);
+  EXPECT_EQ(stats.seconds_for("missing"), 0.0);
+}
+
+TEST(TrafficStats, StepsListsBothTimeAndTraffic) {
+  TrafficStats stats;
+  Network net(&stats);
+  net.set_step("traffic only");
+  net.send("a", "b", make_message(1));
+  stats.add_time("time only", std::chrono::milliseconds(1));
+  const auto steps = stats.steps();
+  EXPECT_NE(std::find(steps.begin(), steps.end(), "traffic only"), steps.end());
+  EXPECT_NE(std::find(steps.begin(), steps.end(), "time only"), steps.end());
+}
+
+TEST(TrafficStats, ClearResets) {
+  TrafficStats stats;
+  Network net(&stats);
+  net.set_step("s");
+  net.send("a", "b", make_message(10));
+  stats.add_time("s", std::chrono::seconds(1));
+  stats.clear();
+  EXPECT_EQ(stats.bytes_for("s"), 0u);
+  EXPECT_EQ(stats.total_seconds(), 0.0);
+}
+
+TEST(StepScope, RestoresPreviousStepAndRecordsTime) {
+  TrafficStats stats;
+  Network net(&stats);
+  net.set_step("outer");
+  {
+    StepScope scope(net, &stats, "inner");
+    EXPECT_EQ(net.step(), "inner");
+    net.send("S1", "S2", make_message(8));
+  }
+  EXPECT_EQ(net.step(), "outer");
+  EXPECT_EQ(stats.bytes_for("inner"), 8u);
+  EXPECT_GT(stats.seconds_for("inner"), 0.0);
+}
+
+}  // namespace
+}  // namespace pcl
