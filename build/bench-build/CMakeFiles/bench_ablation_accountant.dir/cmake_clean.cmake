@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_accountant"
+  "../bench/bench_ablation_accountant.pdb"
+  "CMakeFiles/bench_ablation_accountant.dir/bench_ablation_accountant.cpp.o"
+  "CMakeFiles/bench_ablation_accountant.dir/bench_ablation_accountant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_accountant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_argmax"
+  "../bench/bench_ablation_argmax.pdb"
+  "CMakeFiles/bench_ablation_argmax.dir/bench_ablation_argmax.cpp.o"
+  "CMakeFiles/bench_ablation_argmax.dir/bench_ablation_argmax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_argmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

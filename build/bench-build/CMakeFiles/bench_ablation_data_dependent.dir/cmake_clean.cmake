@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_data_dependent"
+  "../bench/bench_ablation_data_dependent.pdb"
+  "CMakeFiles/bench_ablation_data_dependent.dir/bench_ablation_data_dependent.cpp.o"
+  "CMakeFiles/bench_ablation_data_dependent.dir/bench_ablation_data_dependent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_data_dependent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_encryption"
+  "../bench/bench_ablation_encryption.pdb"
+  "CMakeFiles/bench_ablation_encryption.dir/bench_ablation_encryption.cpp.o"
+  "CMakeFiles/bench_ablation_encryption.dir/bench_ablation_encryption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

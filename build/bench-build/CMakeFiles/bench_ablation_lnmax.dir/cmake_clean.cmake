@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lnmax"
+  "../bench/bench_ablation_lnmax.pdb"
+  "CMakeFiles/bench_ablation_lnmax.dir/bench_ablation_lnmax.cpp.o"
+  "CMakeFiles/bench_ablation_lnmax.dir/bench_ablation_lnmax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lnmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

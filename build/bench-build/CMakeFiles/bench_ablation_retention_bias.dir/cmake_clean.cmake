@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_retention_bias"
+  "../bench/bench_ablation_retention_bias.pdb"
+  "CMakeFiles/bench_ablation_retention_bias.dir/bench_ablation_retention_bias.cpp.o"
+  "CMakeFiles/bench_ablation_retention_bias.dir/bench_ablation_retention_bias.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_retention_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

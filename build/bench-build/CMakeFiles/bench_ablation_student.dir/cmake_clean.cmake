@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_student"
+  "../bench/bench_ablation_student.pdb"
+  "CMakeFiles/bench_ablation_student.dir/bench_ablation_student.cpp.o"
+  "CMakeFiles/bench_ablation_student.dir/bench_ablation_student.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_student.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_label_agg_accuracy.cpp" "bench-build/CMakeFiles/bench_fig3_label_agg_accuracy.dir/bench_fig3_label_agg_accuracy.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig3_label_agg_accuracy.dir/bench_fig3_label_agg_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pcl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/pcl_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/pcl_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pcl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pcl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pcl_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

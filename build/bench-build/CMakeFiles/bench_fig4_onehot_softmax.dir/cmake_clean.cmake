@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_onehot_softmax"
+  "../bench/bench_fig4_onehot_softmax.pdb"
+  "CMakeFiles/bench_fig4_onehot_softmax.dir/bench_fig4_onehot_softmax.cpp.o"
+  "CMakeFiles/bench_fig4_onehot_softmax.dir/bench_fig4_onehot_softmax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_onehot_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

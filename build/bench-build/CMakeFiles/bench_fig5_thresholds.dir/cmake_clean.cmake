@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_thresholds"
+  "../bench/bench_fig5_thresholds.pdb"
+  "CMakeFiles/bench_fig5_thresholds.dir/bench_fig5_thresholds.cpp.o"
+  "CMakeFiles/bench_fig5_thresholds.dir/bench_fig5_thresholds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_celeba"
+  "../bench/bench_fig6_celeba.pdb"
+  "CMakeFiles/bench_fig6_celeba.dir/bench_fig6_celeba.cpp.o"
+  "CMakeFiles/bench_fig6_celeba.dir/bench_fig6_celeba.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_celeba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_compute"
+  "../bench/bench_table1_compute.pdb"
+  "CMakeFiles/bench_table1_compute.dir/bench_table1_compute.cpp.o"
+  "CMakeFiles/bench_table1_compute.dir/bench_table1_compute.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_comm"
+  "../bench/bench_table2_comm.pdb"
+  "CMakeFiles/bench_table2_comm.dir/bench_table2_comm.cpp.o"
+  "CMakeFiles/bench_table2_comm.dir/bench_table2_comm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

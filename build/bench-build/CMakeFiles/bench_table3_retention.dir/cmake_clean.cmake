@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_retention"
+  "../bench/bench_table3_retention.pdb"
+  "CMakeFiles/bench_table3_retention.dir/bench_table3_retention.cpp.o"
+  "CMakeFiles/bench_table3_retention.dir/bench_table3_retention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

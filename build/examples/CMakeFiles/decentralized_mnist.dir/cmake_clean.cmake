@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_mnist.dir/decentralized_mnist.cpp.o"
+  "CMakeFiles/decentralized_mnist.dir/decentralized_mnist.cpp.o.d"
+  "decentralized_mnist"
+  "decentralized_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for decentralized_mnist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for decentralized_mnist.
+# This may be replaced when dependencies are built.

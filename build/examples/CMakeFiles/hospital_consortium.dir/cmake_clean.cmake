@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_consortium.dir/hospital_consortium.cpp.o"
+  "CMakeFiles/hospital_consortium.dir/hospital_consortium.cpp.o.d"
+  "hospital_consortium"
+  "hospital_consortium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_consortium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hospital_consortium.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hospital_consortium.
+# This may be replaced when dependencies are built.

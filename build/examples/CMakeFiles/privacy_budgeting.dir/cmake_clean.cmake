@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_budgeting.dir/privacy_budgeting.cpp.o"
+  "CMakeFiles/privacy_budgeting.dir/privacy_budgeting.cpp.o.d"
+  "privacy_budgeting"
+  "privacy_budgeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_budgeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

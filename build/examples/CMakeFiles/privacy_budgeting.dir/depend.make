@@ -1,0 +1,2 @@
+# Empty dependencies file for privacy_budgeting.
+# This may be replaced when dependencies are built.

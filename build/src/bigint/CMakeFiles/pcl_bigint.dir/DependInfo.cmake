@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/bigint.cpp" "src/bigint/CMakeFiles/pcl_bigint.dir/bigint.cpp.o" "gcc" "src/bigint/CMakeFiles/pcl_bigint.dir/bigint.cpp.o.d"
+  "/root/repo/src/bigint/montgomery.cpp" "src/bigint/CMakeFiles/pcl_bigint.dir/montgomery.cpp.o" "gcc" "src/bigint/CMakeFiles/pcl_bigint.dir/montgomery.cpp.o.d"
+  "/root/repo/src/bigint/primes.cpp" "src/bigint/CMakeFiles/pcl_bigint.dir/primes.cpp.o" "gcc" "src/bigint/CMakeFiles/pcl_bigint.dir/primes.cpp.o.d"
+  "/root/repo/src/bigint/rng.cpp" "src/bigint/CMakeFiles/pcl_bigint.dir/rng.cpp.o" "gcc" "src/bigint/CMakeFiles/pcl_bigint.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

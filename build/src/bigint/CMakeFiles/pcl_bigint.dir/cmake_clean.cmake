@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcl_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/pcl_bigint.dir/bigint.cpp.o.d"
+  "CMakeFiles/pcl_bigint.dir/montgomery.cpp.o"
+  "CMakeFiles/pcl_bigint.dir/montgomery.cpp.o.d"
+  "CMakeFiles/pcl_bigint.dir/primes.cpp.o"
+  "CMakeFiles/pcl_bigint.dir/primes.cpp.o.d"
+  "CMakeFiles/pcl_bigint.dir/rng.cpp.o"
+  "CMakeFiles/pcl_bigint.dir/rng.cpp.o.d"
+  "libpcl_bigint.a"
+  "libpcl_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcl_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pcl_bigint.
+# This may be replaced when dependencies are built.

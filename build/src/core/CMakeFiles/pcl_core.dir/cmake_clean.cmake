@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcl_core.dir/ensemble.cpp.o"
+  "CMakeFiles/pcl_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/pcl_core.dir/labeling.cpp.o"
+  "CMakeFiles/pcl_core.dir/labeling.cpp.o.d"
+  "CMakeFiles/pcl_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pcl_core.dir/pipeline.cpp.o.d"
+  "libpcl_core.a"
+  "libpcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

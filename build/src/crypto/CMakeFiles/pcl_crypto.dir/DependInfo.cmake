@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/dgk.cpp" "src/crypto/CMakeFiles/pcl_crypto.dir/dgk.cpp.o" "gcc" "src/crypto/CMakeFiles/pcl_crypto.dir/dgk.cpp.o.d"
+  "/root/repo/src/crypto/encryption_pool.cpp" "src/crypto/CMakeFiles/pcl_crypto.dir/encryption_pool.cpp.o" "gcc" "src/crypto/CMakeFiles/pcl_crypto.dir/encryption_pool.cpp.o.d"
+  "/root/repo/src/crypto/fixed_point.cpp" "src/crypto/CMakeFiles/pcl_crypto.dir/fixed_point.cpp.o" "gcc" "src/crypto/CMakeFiles/pcl_crypto.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/crypto/key_io.cpp" "src/crypto/CMakeFiles/pcl_crypto.dir/key_io.cpp.o" "gcc" "src/crypto/CMakeFiles/pcl_crypto.dir/key_io.cpp.o.d"
+  "/root/repo/src/crypto/paillier.cpp" "src/crypto/CMakeFiles/pcl_crypto.dir/paillier.cpp.o" "gcc" "src/crypto/CMakeFiles/pcl_crypto.dir/paillier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/pcl_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pcl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

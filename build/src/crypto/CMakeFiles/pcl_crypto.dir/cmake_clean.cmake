@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcl_crypto.dir/dgk.cpp.o"
+  "CMakeFiles/pcl_crypto.dir/dgk.cpp.o.d"
+  "CMakeFiles/pcl_crypto.dir/encryption_pool.cpp.o"
+  "CMakeFiles/pcl_crypto.dir/encryption_pool.cpp.o.d"
+  "CMakeFiles/pcl_crypto.dir/fixed_point.cpp.o"
+  "CMakeFiles/pcl_crypto.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/pcl_crypto.dir/key_io.cpp.o"
+  "CMakeFiles/pcl_crypto.dir/key_io.cpp.o.d"
+  "CMakeFiles/pcl_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/pcl_crypto.dir/paillier.cpp.o.d"
+  "libpcl_crypto.a"
+  "libpcl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/data_dependent.cpp" "src/dp/CMakeFiles/pcl_dp.dir/data_dependent.cpp.o" "gcc" "src/dp/CMakeFiles/pcl_dp.dir/data_dependent.cpp.o.d"
+  "/root/repo/src/dp/laplace.cpp" "src/dp/CMakeFiles/pcl_dp.dir/laplace.cpp.o" "gcc" "src/dp/CMakeFiles/pcl_dp.dir/laplace.cpp.o.d"
+  "/root/repo/src/dp/mechanisms.cpp" "src/dp/CMakeFiles/pcl_dp.dir/mechanisms.cpp.o" "gcc" "src/dp/CMakeFiles/pcl_dp.dir/mechanisms.cpp.o.d"
+  "/root/repo/src/dp/rdp.cpp" "src/dp/CMakeFiles/pcl_dp.dir/rdp.cpp.o" "gcc" "src/dp/CMakeFiles/pcl_dp.dir/rdp.cpp.o.d"
+  "/root/repo/src/dp/rdp_curve.cpp" "src/dp/CMakeFiles/pcl_dp.dir/rdp_curve.cpp.o" "gcc" "src/dp/CMakeFiles/pcl_dp.dir/rdp_curve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/pcl_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

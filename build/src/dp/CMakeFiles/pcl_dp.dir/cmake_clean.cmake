@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcl_dp.dir/data_dependent.cpp.o"
+  "CMakeFiles/pcl_dp.dir/data_dependent.cpp.o.d"
+  "CMakeFiles/pcl_dp.dir/laplace.cpp.o"
+  "CMakeFiles/pcl_dp.dir/laplace.cpp.o.d"
+  "CMakeFiles/pcl_dp.dir/mechanisms.cpp.o"
+  "CMakeFiles/pcl_dp.dir/mechanisms.cpp.o.d"
+  "CMakeFiles/pcl_dp.dir/rdp.cpp.o"
+  "CMakeFiles/pcl_dp.dir/rdp.cpp.o.d"
+  "CMakeFiles/pcl_dp.dir/rdp_curve.cpp.o"
+  "CMakeFiles/pcl_dp.dir/rdp_curve.cpp.o.d"
+  "libpcl_dp.a"
+  "libpcl_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcl_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcl_dp.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/csv.cpp" "src/ml/CMakeFiles/pcl_ml.dir/csv.cpp.o" "gcc" "src/ml/CMakeFiles/pcl_ml.dir/csv.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/pcl_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/pcl_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/pcl_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/pcl_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/pcl_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/pcl_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/models.cpp" "src/ml/CMakeFiles/pcl_ml.dir/models.cpp.o" "gcc" "src/ml/CMakeFiles/pcl_ml.dir/models.cpp.o.d"
+  "/root/repo/src/ml/partition.cpp" "src/ml/CMakeFiles/pcl_ml.dir/partition.cpp.o" "gcc" "src/ml/CMakeFiles/pcl_ml.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/pcl_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcl_ml.dir/csv.cpp.o"
+  "CMakeFiles/pcl_ml.dir/csv.cpp.o.d"
+  "CMakeFiles/pcl_ml.dir/dataset.cpp.o"
+  "CMakeFiles/pcl_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/pcl_ml.dir/matrix.cpp.o"
+  "CMakeFiles/pcl_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/pcl_ml.dir/metrics.cpp.o"
+  "CMakeFiles/pcl_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/pcl_ml.dir/models.cpp.o"
+  "CMakeFiles/pcl_ml.dir/models.cpp.o.d"
+  "CMakeFiles/pcl_ml.dir/partition.cpp.o"
+  "CMakeFiles/pcl_ml.dir/partition.cpp.o.d"
+  "libpcl_ml.a"
+  "libpcl_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcl_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/blind_permute.cpp" "src/mpc/CMakeFiles/pcl_mpc.dir/blind_permute.cpp.o" "gcc" "src/mpc/CMakeFiles/pcl_mpc.dir/blind_permute.cpp.o.d"
+  "/root/repo/src/mpc/consensus.cpp" "src/mpc/CMakeFiles/pcl_mpc.dir/consensus.cpp.o" "gcc" "src/mpc/CMakeFiles/pcl_mpc.dir/consensus.cpp.o.d"
+  "/root/repo/src/mpc/dgk_compare.cpp" "src/mpc/CMakeFiles/pcl_mpc.dir/dgk_compare.cpp.o" "gcc" "src/mpc/CMakeFiles/pcl_mpc.dir/dgk_compare.cpp.o.d"
+  "/root/repo/src/mpc/he_util.cpp" "src/mpc/CMakeFiles/pcl_mpc.dir/he_util.cpp.o" "gcc" "src/mpc/CMakeFiles/pcl_mpc.dir/he_util.cpp.o.d"
+  "/root/repo/src/mpc/permutation.cpp" "src/mpc/CMakeFiles/pcl_mpc.dir/permutation.cpp.o" "gcc" "src/mpc/CMakeFiles/pcl_mpc.dir/permutation.cpp.o.d"
+  "/root/repo/src/mpc/secure_sum.cpp" "src/mpc/CMakeFiles/pcl_mpc.dir/secure_sum.cpp.o" "gcc" "src/mpc/CMakeFiles/pcl_mpc.dir/secure_sum.cpp.o.d"
+  "/root/repo/src/mpc/sharing.cpp" "src/mpc/CMakeFiles/pcl_mpc.dir/sharing.cpp.o" "gcc" "src/mpc/CMakeFiles/pcl_mpc.dir/sharing.cpp.o.d"
+  "/root/repo/src/mpc/threaded.cpp" "src/mpc/CMakeFiles/pcl_mpc.dir/threaded.cpp.o" "gcc" "src/mpc/CMakeFiles/pcl_mpc.dir/threaded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/pcl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pcl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pcl_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcl_mpc.dir/blind_permute.cpp.o"
+  "CMakeFiles/pcl_mpc.dir/blind_permute.cpp.o.d"
+  "CMakeFiles/pcl_mpc.dir/consensus.cpp.o"
+  "CMakeFiles/pcl_mpc.dir/consensus.cpp.o.d"
+  "CMakeFiles/pcl_mpc.dir/dgk_compare.cpp.o"
+  "CMakeFiles/pcl_mpc.dir/dgk_compare.cpp.o.d"
+  "CMakeFiles/pcl_mpc.dir/he_util.cpp.o"
+  "CMakeFiles/pcl_mpc.dir/he_util.cpp.o.d"
+  "CMakeFiles/pcl_mpc.dir/permutation.cpp.o"
+  "CMakeFiles/pcl_mpc.dir/permutation.cpp.o.d"
+  "CMakeFiles/pcl_mpc.dir/secure_sum.cpp.o"
+  "CMakeFiles/pcl_mpc.dir/secure_sum.cpp.o.d"
+  "CMakeFiles/pcl_mpc.dir/sharing.cpp.o"
+  "CMakeFiles/pcl_mpc.dir/sharing.cpp.o.d"
+  "CMakeFiles/pcl_mpc.dir/threaded.cpp.o"
+  "CMakeFiles/pcl_mpc.dir/threaded.cpp.o.d"
+  "libpcl_mpc.a"
+  "libpcl_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcl_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

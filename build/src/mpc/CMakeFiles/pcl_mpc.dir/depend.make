@@ -1,0 +1,2 @@
+# Empty dependencies file for pcl_mpc.
+# This may be replaced when dependencies are built.

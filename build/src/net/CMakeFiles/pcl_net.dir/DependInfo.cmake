@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/blocking_network.cpp" "src/net/CMakeFiles/pcl_net.dir/blocking_network.cpp.o" "gcc" "src/net/CMakeFiles/pcl_net.dir/blocking_network.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/pcl_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/pcl_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/pki.cpp" "src/net/CMakeFiles/pcl_net.dir/pki.cpp.o" "gcc" "src/net/CMakeFiles/pcl_net.dir/pki.cpp.o.d"
+  "/root/repo/src/net/segmentation.cpp" "src/net/CMakeFiles/pcl_net.dir/segmentation.cpp.o" "gcc" "src/net/CMakeFiles/pcl_net.dir/segmentation.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/pcl_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/pcl_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/pcl_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcl_net.dir/blocking_network.cpp.o"
+  "CMakeFiles/pcl_net.dir/blocking_network.cpp.o.d"
+  "CMakeFiles/pcl_net.dir/message.cpp.o"
+  "CMakeFiles/pcl_net.dir/message.cpp.o.d"
+  "CMakeFiles/pcl_net.dir/pki.cpp.o"
+  "CMakeFiles/pcl_net.dir/pki.cpp.o.d"
+  "CMakeFiles/pcl_net.dir/segmentation.cpp.o"
+  "CMakeFiles/pcl_net.dir/segmentation.cpp.o.d"
+  "CMakeFiles/pcl_net.dir/transport.cpp.o"
+  "CMakeFiles/pcl_net.dir/transport.cpp.o.d"
+  "libpcl_net.a"
+  "libpcl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

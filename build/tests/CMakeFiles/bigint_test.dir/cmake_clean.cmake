@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigint_test.dir/bigint_test.cpp.o"
+  "CMakeFiles/bigint_test.dir/bigint_test.cpp.o.d"
+  "bigint_test"
+  "bigint_test.pdb"
+  "bigint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

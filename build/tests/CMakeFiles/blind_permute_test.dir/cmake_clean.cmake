@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blind_permute_test.dir/blind_permute_test.cpp.o"
+  "CMakeFiles/blind_permute_test.dir/blind_permute_test.cpp.o.d"
+  "blind_permute_test"
+  "blind_permute_test.pdb"
+  "blind_permute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blind_permute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

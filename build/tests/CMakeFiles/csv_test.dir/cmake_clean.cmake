@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_test.dir/csv_test.cpp.o"
+  "CMakeFiles/csv_test.dir/csv_test.cpp.o.d"
+  "csv_test"
+  "csv_test.pdb"
+  "csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

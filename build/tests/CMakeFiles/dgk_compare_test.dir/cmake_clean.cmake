@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgk_compare_test.dir/dgk_compare_test.cpp.o"
+  "CMakeFiles/dgk_compare_test.dir/dgk_compare_test.cpp.o.d"
+  "dgk_compare_test"
+  "dgk_compare_test.pdb"
+  "dgk_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgk_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgk_test.dir/dgk_test.cpp.o"
+  "CMakeFiles/dgk_test.dir/dgk_test.cpp.o.d"
+  "dgk_test"
+  "dgk_test.pdb"
+  "dgk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

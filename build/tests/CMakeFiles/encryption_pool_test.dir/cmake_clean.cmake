@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encryption_pool_test.dir/encryption_pool_test.cpp.o"
+  "CMakeFiles/encryption_pool_test.dir/encryption_pool_test.cpp.o.d"
+  "encryption_pool_test"
+  "encryption_pool_test.pdb"
+  "encryption_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encryption_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_test.dir/ensemble_test.cpp.o"
+  "CMakeFiles/ensemble_test.dir/ensemble_test.cpp.o.d"
+  "ensemble_test"
+  "ensemble_test.pdb"
+  "ensemble_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_point_test.dir/fixed_point_test.cpp.o"
+  "CMakeFiles/fixed_point_test.dir/fixed_point_test.cpp.o.d"
+  "fixed_point_test"
+  "fixed_point_test.pdb"
+  "fixed_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_io_test.dir/key_io_test.cpp.o"
+  "CMakeFiles/key_io_test.dir/key_io_test.cpp.o.d"
+  "key_io_test"
+  "key_io_test.pdb"
+  "key_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeling_test.dir/labeling_test.cpp.o"
+  "CMakeFiles/labeling_test.dir/labeling_test.cpp.o.d"
+  "labeling_test"
+  "labeling_test.pdb"
+  "labeling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplace_test.dir/laplace_test.cpp.o"
+  "CMakeFiles/laplace_test.dir/laplace_test.cpp.o.d"
+  "laplace_test"
+  "laplace_test.pdb"
+  "laplace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

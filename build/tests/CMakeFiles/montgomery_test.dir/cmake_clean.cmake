@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montgomery_test.dir/montgomery_test.cpp.o"
+  "CMakeFiles/montgomery_test.dir/montgomery_test.cpp.o.d"
+  "montgomery_test"
+  "montgomery_test.pdb"
+  "montgomery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montgomery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primes_test.dir/primes_test.cpp.o"
+  "CMakeFiles/primes_test.dir/primes_test.cpp.o.d"
+  "primes_test"
+  "primes_test.pdb"
+  "primes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

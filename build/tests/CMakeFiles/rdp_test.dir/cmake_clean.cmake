@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_test.dir/rdp_test.cpp.o"
+  "CMakeFiles/rdp_test.dir/rdp_test.cpp.o.d"
+  "rdp_test"
+  "rdp_test.pdb"
+  "rdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

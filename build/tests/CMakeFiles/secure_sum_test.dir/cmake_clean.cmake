@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_sum_test.dir/secure_sum_test.cpp.o"
+  "CMakeFiles/secure_sum_test.dir/secure_sum_test.cpp.o.d"
+  "secure_sum_test"
+  "secure_sum_test.pdb"
+  "secure_sum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_sum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

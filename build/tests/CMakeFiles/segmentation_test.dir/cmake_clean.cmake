@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmentation_test.dir/segmentation_test.cpp.o"
+  "CMakeFiles/segmentation_test.dir/segmentation_test.cpp.o.d"
+  "segmentation_test"
+  "segmentation_test.pdb"
+  "segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcript_test.dir/transcript_test.cpp.o"
+  "CMakeFiles/transcript_test.dir/transcript_test.cpp.o.d"
+  "transcript_test"
+  "transcript_test.pdb"
+  "transcript_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcript_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_test.dir/transport_test.cpp.o"
+  "CMakeFiles/transport_test.dir/transport_test.cpp.o.d"
+  "transport_test"
+  "transport_test.pdb"
+  "transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
