@@ -481,6 +481,19 @@ BigInt BigInt::from_limbs(std::vector<std::uint32_t> limbs) {
   return out;
 }
 
+void BigInt::zeroize() {
+  if (!limbs_.empty()) {
+    // Volatile writes so the compiler cannot elide the wipe as a dead store
+    // ahead of the clear().  Only this allocation is scrubbed; temporaries
+    // from earlier arithmetic are out of reach by design.
+    volatile std::uint32_t* p = limbs_.data();
+    for (std::size_t i = 0; i < limbs_.size(); ++i) p[i] = 0;
+  }
+  limbs_.clear();
+  limbs_.shrink_to_fit();
+  negative_ = false;
+}
+
 BigInt BigInt::pow_mod(const BigInt& base, const BigInt& exp, const BigInt& m) {
   if (m.is_zero() || m.is_negative()) {
     throw std::domain_error("pow_mod requires a positive modulus");

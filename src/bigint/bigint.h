@@ -78,6 +78,11 @@ class BigInt {
   /// Inverse of to_limbs (magnitude only; trailing zeros are trimmed).
   [[nodiscard]] static BigInt from_limbs(std::vector<std::uint32_t> limbs);
 
+  /// Overwrites the limb storage with zeros (through a volatile pointer so
+  /// the wipe survives dead-store elimination), then resets to zero.  Used
+  /// by private-key types to scrub key material before the memory is freed.
+  void zeroize();
+
   // --- arithmetic -----------------------------------------------------------
   [[nodiscard]] BigInt operator-() const;
   [[nodiscard]] BigInt abs() const;

@@ -72,9 +72,21 @@ DgkPrivateKey::DgkPrivateKey(DgkPublicKey pk, BigInt p, BigInt vp)
   }
 }
 
+void DgkPrivateKey::zeroize() {
+  p_.zeroize();
+  vp_.zeroize();
+  gvp_.zeroize();
+  // The table's keys are powers of the secret subgroup generator; clearing
+  // releases them without a byte-level wipe (std::string storage cannot be
+  // scrubbed in place through the map's const keys).
+  dlog_table_.clear();
+}
+
 bool DgkPrivateKey::is_zero(const DgkCiphertext& c) const {
   // E(m)^vp mod p = (g^vp)^m mod p since h has order vp mod p; the result is
   // 1 iff m == 0 (mod u).
+  // The zero-test bit IS the protocol's defined output for S2 (the released
+  // comparison result); modexp timing depends only on public sizes.  ct-ok
   return BigInt::pow_mod(c.value.mod(p_), vp_, p_) == BigInt(1);
 }
 

@@ -77,6 +77,15 @@ class DgkPrivateKey {
  public:
   DgkPrivateKey() = default;
   DgkPrivateKey(DgkPublicKey pk, BigInt p, BigInt vp);
+  DgkPrivateKey(const DgkPrivateKey&) = default;
+  DgkPrivateKey(DgkPrivateKey&&) = default;
+  DgkPrivateKey& operator=(const DgkPrivateKey&) = default;
+  DgkPrivateKey& operator=(DgkPrivateKey&&) = default;
+  ~DgkPrivateKey() { zeroize(); }
+
+  /// Wipes p, vp and the subgroup dlog table (lint rule PC003).  The key is
+  /// unusable afterwards; called automatically on destruction.
+  void zeroize();
 
   /// True iff c encrypts 0 (mod u).  This is the only decryption operation
   /// the comparison protocol needs.

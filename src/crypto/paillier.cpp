@@ -62,6 +62,7 @@ BigInt PaillierPublicKey::decode_signed(const BigInt& residue) const {
 PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pk, BigInt p,
                                        BigInt q)
     : pk_(pk), p_(std::move(p)), q_(std::move(q)) {
+  // ct-ok: one-time key-construction validation, not an online secret branch.
   if (p_ * q_ != pk_.n()) {
     throw std::invalid_argument("Paillier private key does not match modulus");
   }
@@ -70,6 +71,16 @@ PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pk, BigInt p,
   lambda_ = BigInt::lcm(p_ - BigInt(1), q_ - BigInt(1));
   mu_ = BigInt::invert_mod(lambda_, pk_.n());
   q_sq_inv_p_ = BigInt::invert_mod(q_squared_, p_squared_);
+}
+
+void PaillierPrivateKey::zeroize() {
+  p_.zeroize();
+  q_.zeroize();
+  p_squared_.zeroize();
+  q_squared_.zeroize();
+  lambda_.zeroize();
+  mu_.zeroize();
+  q_sq_inv_p_.zeroize();
 }
 
 namespace {

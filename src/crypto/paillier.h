@@ -72,6 +72,11 @@ class PaillierPrivateKey {
  public:
   PaillierPrivateKey() = default;
   PaillierPrivateKey(const PaillierPublicKey& pk, BigInt p, BigInt q);
+  PaillierPrivateKey(const PaillierPrivateKey&) = default;
+  PaillierPrivateKey(PaillierPrivateKey&&) = default;
+  PaillierPrivateKey& operator=(const PaillierPrivateKey&) = default;
+  PaillierPrivateKey& operator=(PaillierPrivateKey&&) = default;
+  ~PaillierPrivateKey() { zeroize(); }
 
   /// Signed decryption: result in (-n/2, n/2].
   [[nodiscard]] BigInt decrypt(const PaillierCiphertext& c) const;
@@ -79,6 +84,10 @@ class PaillierPrivateKey {
   [[nodiscard]] BigInt decrypt_raw(const PaillierCiphertext& c) const;
 
   [[nodiscard]] const PaillierPublicKey& public_key() const { return pk_; }
+
+  /// Wipes the factorization and CRT secrets (lint rule PC003).  The key is
+  /// unusable afterwards; called automatically on destruction.
+  void zeroize();
 
  private:
   [[nodiscard]] BigInt decrypt_crt(const PaillierCiphertext& c) const;

@@ -1,0 +1,16 @@
+// Known-good fixture: must produce zero findings even with every rule
+// forced in scope.  Mentions of std::rand or lambda_ in comments and
+// "string literals with srand inside" must NOT trigger anything.
+#include <cstdint>
+
+namespace pcl_fixture {
+
+// ct-ok: this annotated comparison below exercises the suppression path.
+inline bool annotated_compare(std::int64_t lambda_) { return lambda_ == 0; }
+
+inline std::int64_t answer() {
+  const char* doc = "call srand() and std::random_device here";  // in a string
+  return doc != nullptr ? 42 : 0;
+}
+
+}  // namespace pcl_fixture

@@ -1,0 +1,10 @@
+// Known-bad fixture: every use of the C/std random machinery outside
+// src/bigint/rng.* must fire PC001.
+#include <cstdlib>
+#include <random>
+
+int roll_dice() {
+  srand(42);
+  std::random_device rd;
+  return std::rand() + static_cast<int>(rd());
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture: branching on private-key material must fire PC002.
+struct Key {
+  long lambda_ = 0;
+  long mu_ = 0;
+};
+
+long leaky_decrypt(const Key& sk, long c) {
+  if (sk.lambda_ == 0) {
+    return 0;
+  }
+  long acc = c;
+  while (acc != sk.mu_) {
+    acc -= 1;
+  }
+  return acc;
+}

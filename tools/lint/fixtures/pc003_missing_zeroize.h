@@ -1,0 +1,10 @@
+// Known-bad fixture: a *PrivateKey type with no zeroize() must fire PC003.
+#pragma once
+
+class ToyPrivateKey {
+ public:
+  long exponent() const { return d_; }
+
+ private:
+  long d_ = 0;
+};

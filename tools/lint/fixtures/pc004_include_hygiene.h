@@ -1,0 +1,8 @@
+// Known-bad fixture: missing #pragma once, kitchen-sink include,
+// parent-relative include, and using-namespace in a header all fire PC004.
+#include <bits/stdc++.h>
+#include "../secret/internals.h"
+
+using namespace std;
+
+inline int answer() { return 42; }

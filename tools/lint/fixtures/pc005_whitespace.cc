@@ -1,0 +1,4 @@
+// Known-bad fixture: trailing whitespace, tab indent, no final newline.
+int answer() {   
+	return 42;
+}

@@ -1,0 +1,482 @@
+// pc_lint — project-specific crypto-invariant checker.
+//
+// Generic tools (clang-tidy, sanitizers) cannot know which identifiers in
+// this codebase are *secrets*; this tool encodes that knowledge as five
+// mechanical rules and runs as a ctest case on every configuration:
+//
+//   PC001 banned-rng        std::rand/srand/std::random_device anywhere but
+//                           src/bigint/rng.* — all randomness must flow
+//                           through the Rng interface so crypto randomness
+//                           is auditable in one place.
+//   PC002 secret-branch     comparison (==/!=) or branch (if/while/ternary)
+//                           whose text references private-key or share
+//                           material, in src/crypto or src/mpc.  Branching
+//                           on secrets is a timing side channel; the
+//                           two-server model assumes the released label is
+//                           the ONLY leakage.  Suppress a reviewed site with
+//                           a `ct-ok:` comment on the same or previous line.
+//   PC003 missing-zeroize   a `class`/`struct` whose name ends in PrivateKey
+//                           must declare zeroize() in the same file, so key
+//                           material is wiped rather than left in freed heap
+//                           pages.
+//   PC004 include-hygiene   headers must use #pragma once; <bits/stdc++.h>
+//                           and `using namespace std` in headers and
+//                           parent-relative includes ("../") are banned.
+//   PC005 whitespace        no trailing whitespace, no tab indentation, no
+//                           CR line endings, file ends with a newline.
+//
+// Usage:
+//   pc_lint --root <repo-root> [subdir...]    scan (default subdir: src)
+//   pc_lint --self-test <fixtures-dir>        assert each rule fires on its
+//                                             known-bad fixture and that the
+//                                             good fixture is clean
+//
+// Exit codes: 0 clean / self-test passed, 1 findings / self-test failure,
+// 2 usage or I/O error.
+//
+// The scanner is deliberately line-based and heuristic: it strips comments
+// and string literals before matching so documentation cannot trigger
+// PC001/PC002, but it does not parse C++.  False positives are expected to
+// be rare and are silenced with an explanatory `ct-ok:` annotation, which
+// doubles as in-code documentation of why the branch is safe.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based; 0 means whole-file
+  std::string rule;
+  std::string message;
+};
+
+struct FileText {
+  std::vector<std::string> raw;       // lines as read (no trailing '\n')
+  std::vector<std::string> stripped;  // comments and string literals blanked
+  bool ends_with_newline = true;
+};
+
+// Identifiers that name private-key or share material.  Matched as whole
+// identifiers against the comment/string-stripped line text.
+const std::set<std::string, std::less<>> kSecretIdentifiers = {
+    "p_",  "q_",     "vp_",        "vq_",     "lambda_", "mu_",
+    "sk",  "sk_",    "gvp_",       "secret",  "secret_", "secret_key",
+    "priv_", "private_key_", "share_secret",
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Blanks comments and string/char literals, preserving line lengths where
+// convenient (content replaced by spaces).  `in_block_comment` carries /* */
+// state across lines.
+std::string strip_code_line(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_string = false, in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '/' && next == '/') break;  // line comment: drop the rest
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      out.push_back(' ');
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out.push_back(' ');
+      continue;
+    }
+    // Apostrophe: only treat as char literal when not a digit separator
+    // (1'000'000) and not part of an identifier.
+    if (c == '\'') {
+      const bool digit_sep =
+          i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1])) != 0 &&
+          std::isalnum(static_cast<unsigned char>(next)) != 0;
+      if (!digit_sep) {
+        in_char = true;
+        out.push_back(' ');
+        continue;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+FileText read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  FileText ft;
+  ft.ends_with_newline = text.empty() || text.back() == '\n';
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) ft.raw.push_back(text.substr(start));
+      break;
+    }
+    ft.raw.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  bool in_block = false;
+  ft.stripped.reserve(ft.raw.size());
+  for (const std::string& line : ft.raw) {
+    ft.stripped.push_back(strip_code_line(line, in_block));
+  }
+  return ft;
+}
+
+bool contains_identifier(const std::string& line, std::string_view ident) {
+  std::size_t pos = 0;
+  while ((pos = line.find(ident, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+std::vector<std::string> secret_identifiers_in(const std::string& line) {
+  std::vector<std::string> hits;
+  for (const std::string& ident : kSecretIdentifiers) {
+    if (contains_identifier(line, ident)) hits.push_back(ident);
+  }
+  return hits;
+}
+
+std::string ltrim(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return s.substr(i);
+}
+
+bool line_is_annotated_ct_ok(const FileText& ft, std::size_t idx) {
+  const auto has = [&](std::size_t i) {
+    return i < ft.raw.size() && ft.raw[i].find("ct-ok") != std::string::npos;
+  };
+  return has(idx) || (idx > 0 && has(idx - 1));
+}
+
+// Matching against a path uses generic (forward-slash) form so rules behave
+// identically regardless of platform.
+std::string generic_rel(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+// --- rules -----------------------------------------------------------------
+
+// PC001: all randomness flows through src/bigint/rng.*.
+void rule_banned_rng(const std::string& rel, const FileText& ft,
+                     std::vector<Finding>& out) {
+  if (rel == "src/bigint/rng.cpp" || rel == "src/bigint/rng.h") return;
+  static const std::vector<std::string> banned = {"rand", "srand",
+                                                  "random_device"};
+  for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
+    for (const std::string& b : banned) {
+      if (!contains_identifier(ft.stripped[i], b)) continue;
+      out.push_back({rel, i + 1, "PC001",
+                     "banned RNG primitive '" + b +
+                         "' — use the pcl::Rng interface (src/bigint/rng.h)"});
+    }
+  }
+}
+
+// PC002: no secret-dependent branches/comparisons in crypto or MPC code.
+void rule_secret_branch(const std::string& rel, const FileText& ft,
+                        bool force_in_scope, std::vector<Finding>& out) {
+  const bool in_scope = force_in_scope ||
+                        rel.rfind("src/crypto/", 0) == 0 ||
+                        rel.rfind("src/mpc/", 0) == 0;
+  if (!in_scope) return;
+  for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
+    const std::string& line = ft.stripped[i];
+    const std::string trimmed = ltrim(line);
+    const bool has_compare = line.find("==") != std::string::npos ||
+                             line.find("!=") != std::string::npos;
+    const bool has_branch = trimmed.rfind("if ", 0) == 0 ||
+                            trimmed.rfind("if(", 0) == 0 ||
+                            trimmed.rfind("while ", 0) == 0 ||
+                            trimmed.rfind("while(", 0) == 0 ||
+                            trimmed.rfind("} else if", 0) == 0;
+    if (!has_compare && !has_branch) continue;
+    const std::vector<std::string> secrets = secret_identifiers_in(line);
+    if (secrets.empty()) continue;
+    if (line_is_annotated_ct_ok(ft, i)) continue;
+    std::string joined;
+    for (const std::string& s : secrets) {
+      if (!joined.empty()) joined += ", ";
+      joined += s;
+    }
+    out.push_back({rel, i + 1, "PC002",
+                   "possible secret-dependent branch/comparison on [" + joined +
+                       "] — make it constant-time or annotate `// ct-ok: "
+                       "<reason>` after review"});
+  }
+}
+
+// PC003: private-key classes must support zeroization.
+void rule_missing_zeroize(const std::string& rel, const FileText& ft,
+                          std::vector<Finding>& out) {
+  bool declares_private_key = false;
+  std::size_t decl_line = 0;
+  bool has_zeroize = false;
+  for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
+    const std::string& line = ft.stripped[i];
+    for (const char* kw : {"class ", "struct "}) {
+      const std::size_t pos = line.find(kw);
+      if (pos == std::string::npos) continue;
+      std::size_t j = pos + std::string_view(kw).size();
+      std::size_t start = j;
+      while (j < line.size() && is_ident_char(line[j])) ++j;
+      const std::string name = line.substr(start, j - start);
+      if (name.size() > 10 &&
+          name.compare(name.size() - 10, 10, "PrivateKey") == 0 &&
+          !declares_private_key) {
+        declares_private_key = true;
+        decl_line = i + 1;
+      }
+    }
+    if (contains_identifier(line, "zeroize")) has_zeroize = true;
+  }
+  if (declares_private_key && !has_zeroize) {
+    out.push_back({rel, decl_line, "PC003",
+                   "private-key type without zeroize() — key material must be "
+                   "wiped on destruction"});
+  }
+}
+
+// PC004: include hygiene.
+void rule_include_hygiene(const std::string& rel, const FileText& ft,
+                          std::vector<Finding>& out) {
+  const bool header = rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
+  bool has_pragma_once = false;
+  for (std::size_t i = 0; i < ft.raw.size(); ++i) {
+    const std::string& raw = ft.raw[i];
+    const std::string& line = ft.stripped[i];
+    if (raw.find("#pragma once") != std::string::npos) has_pragma_once = true;
+    if (raw.find("bits/stdc++.h") != std::string::npos) {
+      out.push_back({rel, i + 1, "PC004",
+                     "<bits/stdc++.h> is non-portable and bans precise "
+                     "include auditing"});
+    }
+    if (raw.find("#include \"../") != std::string::npos) {
+      out.push_back({rel, i + 1, "PC004",
+                     "parent-relative include — include project headers "
+                     "rooted at src/ (e.g. \"bigint/bigint.h\")"});
+    }
+    if (header && line.find("using namespace std") != std::string::npos) {
+      out.push_back({rel, i + 1, "PC004",
+                     "`using namespace std` in a header pollutes every "
+                     "includer"});
+    }
+  }
+  if (header && !has_pragma_once && !ft.raw.empty()) {
+    out.push_back({rel, 1, "PC004", "header missing #pragma once"});
+  }
+}
+
+// PC005: whitespace hygiene (also serves as the no-clang-format fallback).
+void rule_whitespace(const std::string& rel, const FileText& ft,
+                     std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ft.raw.size(); ++i) {
+    const std::string& raw = ft.raw[i];
+    if (!raw.empty() && raw.back() == '\r') {
+      out.push_back({rel, i + 1, "PC005", "CR line ending"});
+      continue;
+    }
+    if (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t')) {
+      out.push_back({rel, i + 1, "PC005", "trailing whitespace"});
+    }
+    const std::size_t first_nonspace = raw.find_first_not_of(" \t");
+    const std::size_t limit =
+        first_nonspace == std::string::npos ? raw.size() : first_nonspace;
+    if (raw.find('\t') < limit) {
+      out.push_back({rel, i + 1, "PC005", "tab indentation (use spaces)"});
+    }
+  }
+  if (!ft.raw.empty() && !ft.ends_with_newline) {
+    out.push_back({rel, ft.raw.size(), "PC005",
+                   "file does not end with a newline"});
+  }
+}
+
+std::vector<Finding> scan_file(const std::string& rel, const fs::path& path,
+                               bool force_all_rules) {
+  const FileText ft = read_file(path);
+  std::vector<Finding> findings;
+  rule_banned_rng(rel, ft, findings);
+  rule_secret_branch(rel, ft, force_all_rules, findings);
+  rule_missing_zeroize(rel, ft, findings);
+  rule_include_hygiene(rel, ft, findings);
+  rule_whitespace(rel, ft, findings);
+  return findings;
+}
+
+int run_scan(const fs::path& root, const std::vector<std::string>& subdirs) {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) {
+      std::cerr << "pc_lint: no such directory: " << dir << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !is_source_file(entry.path())) continue;
+      const std::string rel = generic_rel(root, entry.path());
+      ++files_scanned;
+      std::vector<Finding> f = scan_file(rel, entry.path(), false);
+      findings.insert(findings.end(), f.begin(), f.end());
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  std::cout << "pc_lint: " << files_scanned << " files scanned, "
+            << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
+
+// Self-test: every fixture named pcNNN_*.{h,cc,cpp} must trigger rule PCNNN;
+// every fixture named good_* must be completely clean.
+int run_self_test(const fs::path& fixtures) {
+  if (!fs::exists(fixtures)) {
+    std::cerr << "pc_lint: no such fixtures directory: " << fixtures << "\n";
+    return 2;
+  }
+  std::size_t checked = 0, failures = 0;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(fixtures)) {
+    if (entry.is_regular_file() && is_source_file(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    const std::string name = path.filename().string();
+    const std::string rel = "fixture/" + name;
+    const std::vector<Finding> findings = scan_file(rel, path, true);
+    ++checked;
+    if (name.rfind("good_", 0) == 0) {
+      if (!findings.empty()) {
+        ++failures;
+        std::cout << "FAIL " << name << ": expected clean, got "
+                  << findings.size() << " finding(s):\n";
+        for (const Finding& f : findings) {
+          std::cout << "    " << f.file << ":" << f.line << ": [" << f.rule
+                    << "] " << f.message << "\n";
+        }
+      } else {
+        std::cout << "ok   " << name << " (clean as expected)\n";
+      }
+      continue;
+    }
+    if (name.size() < 5 || name.rfind("pc", 0) != 0) {
+      std::cout << "skip " << name << " (no pcNNN_/good_ prefix)\n";
+      continue;
+    }
+    std::string expected_rule = "PC" + name.substr(2, 3);
+    std::transform(expected_rule.begin(), expected_rule.end(),
+                   expected_rule.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    const bool fired = std::any_of(
+        findings.begin(), findings.end(),
+        [&](const Finding& f) { return f.rule == expected_rule; });
+    if (fired) {
+      std::cout << "ok   " << name << " (" << expected_rule << " fired)\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL " << name << ": expected " << expected_rule
+                << " to fire; findings were:\n";
+      for (const Finding& f : findings) {
+        std::cout << "    " << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+      }
+    }
+  }
+  std::cout << "pc_lint self-test: " << checked << " fixture(s), " << failures
+            << " failure(s)\n";
+  if (checked == 0) {
+    std::cerr << "pc_lint: fixtures directory is empty\n";
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() >= 2 && args[0] == "--self-test") {
+    return run_self_test(fs::path(args[1]));
+  }
+  if (args.size() >= 2 && args[0] == "--root") {
+    std::vector<std::string> subdirs(args.begin() + 2, args.end());
+    if (subdirs.empty()) subdirs.emplace_back("src");
+    return run_scan(fs::path(args[1]), subdirs);
+  }
+  std::cerr << "usage: pc_lint --root <repo-root> [subdir...]\n"
+            << "       pc_lint --self-test <fixtures-dir>\n";
+  return 2;
+}
