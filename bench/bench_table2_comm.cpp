@@ -8,13 +8,78 @@
 // messages are a small multiple of the plaintext size (ciphertext
 // expansion).
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "mpc/consensus.h"
 
 using namespace pclbench;
 
+namespace {
+
+// `--smoke`: CI-sized cross-transport check.  One seeded query on the
+// deterministic in-process transport and one on real threads must leave
+// byte-identical per-step traffic behind — the party-program architecture's
+// core guarantee, asserted on the exact counters this bench reports.
+int run_smoke() {
+  ConsensusConfig config;
+  config.num_classes = 4;
+  config.num_users = 5;
+  config.share_bits = 30;
+  config.compare_bits = 44;
+  config.sigma1 = 1.0;
+  config.sigma2 = 0.5;
+  config.dgk_params.n_bits = 160;
+  config.dgk_params.v_bits = 30;
+  config.dgk_params.plaintext_bound = 160;
+
+  DeterministicRng rng(424242);
+  ConsensusProtocol protocol(config, rng);
+  std::vector<std::vector<double>> votes(config.num_users,
+                                         std::vector<double>(4, 0.0));
+  for (std::size_t u = 0; u < config.num_users; ++u) votes[u][1] = 1.0;
+  const std::uint64_t seed = 20200706;  // ICDCS'20 first day
+
+  const auto in_process = protocol.run_query_seeded(
+      votes, seed, ConsensusTransport::kInProcess);
+  const auto reference = protocol.stats().traffic_entries();
+  protocol.stats().clear();
+  const auto threaded =
+      protocol.run_query_seeded(votes, seed, ConsensusTransport::kThreaded);
+  const auto actual = protocol.stats().traffic_entries();
+
+  std::printf("bench_table2_comm --smoke: %zu classes, %zu users, seed %llu\n",
+              config.num_classes, config.num_users,
+              static_cast<unsigned long long>(seed));
+  std::printf("%-26s %14s %14s\n", "Step", "in-process B", "threaded B");
+  bool ok = in_process.label == threaded.label;
+  for (const char* step :
+       {"Secure Sum (2)", "Blind-and-Permute (3)", "Secure Comparison (4)",
+        "Threshold Checking (5)", "Secure Sum (6)", "Blind-and-Permute (7)",
+        "Secure Comparison (8)", "Restoration (9)"}) {
+    std::size_t ref_bytes = 0, act_bytes = 0;
+    for (const auto& e : reference) {
+      if (e.step == step) ref_bytes += e.bytes;
+    }
+    for (const auto& e : actual) {
+      if (e.step == step) act_bytes += e.bytes;
+    }
+    std::printf("%-26s %14zu %14zu%s\n", step, ref_bytes, act_bytes,
+                ref_bytes == act_bytes ? "" : "  MISMATCH");
+    if (ref_bytes == 0) ok = false;  // a silent all-zero pass is no pass
+  }
+  if (actual != reference) ok = false;
+  std::printf("%s: per-step traffic %s across transports\n",
+              ok ? "PASS" : "FAIL", ok ? "identical" : "DIFFERS");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return run_smoke();
+  }
   const std::size_t instances = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
                                          : 4;
   DeterministicRng rng(424242);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "mpc/he_util.h"
+#include "net/party_runner.h"
 
 namespace pcl {
 
@@ -25,6 +26,11 @@ std::vector<std::int64_t> negated(std::vector<std::int64_t> v) {
   return v;
 }
 
+std::size_t validated_length(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("BlindPermute: empty sequence");
+  return k;
+}
+
 }  // namespace
 
 ServerPaillierKeys generate_server_paillier_keys(std::size_t key_bits,
@@ -35,210 +41,248 @@ ServerPaillierKeys generate_server_paillier_keys(std::size_t key_bits,
   return keys;
 }
 
+BlindPermuteS1::BlindPermuteS1(const PaillierKeyPair& own,
+                               const PaillierPublicKey& peer_pk, std::size_t k,
+                               std::size_t mask_bits, Rng& rng)
+    : own_(own),
+      peer_pk_(peer_pk),
+      k_(validated_length(k)),
+      mask_bits_(mask_bits),
+      rng_(rng),
+      pi_(Permutation::random(k, rng)) {}
+
+std::vector<std::int64_t> BlindPermuteS1::run(
+    Channel& chan, const std::vector<PaillierCiphertext>& holds,
+    BlindPermuteMaskMode mode) {
+  if (holds.size() != k_) {
+    throw std::invalid_argument("BlindPermute: sequence length mismatch");
+  }
+  // Masks are drawn fresh per run; the permutation persists for the session.
+  const std::vector<std::int64_t> r1 =
+      random_mask_vector(k_, mask_bits_, rng_);
+
+  // -- Step 1: send E_pk2[a + r1]. -------------------------------------------
+  {
+    const auto masked = add_plain_vector(peer_pk_, holds, r1, rng_);
+    MessageWriter msg;
+    write_ciphertext_vector(msg, masked);
+    chan.send("S2", std::move(msg));
+  }
+
+  // -- Step 3: permute with pi1 -> pi(a + r); send E_pk1[±r1]. ---------------
+  std::vector<std::int64_t> out_seq;
+  {
+    MessageReader msg = chan.recv("S2");
+    out_seq = pi_.apply(msg.read_i64_vector());
+    const std::vector<std::int64_t> signed_r1 =
+        mode == BlindPermuteMaskMode::kOppositeSign ? negated(r1) : r1;
+    MessageWriter mask_msg;
+    write_ciphertext_vector(mask_msg,
+                            encrypt_vector(own_.pk, signed_r1, rng_));
+    chan.send("S2", std::move(mask_msg));
+  }
+
+  // -- Step 5: decrypt, re-encrypt under pk2, strip r3, permute. -------------
+  {
+    MessageReader msg = chan.recv("S2");
+    const std::vector<std::int64_t> blinded =
+        decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+    const std::vector<PaillierCiphertext> enc_neg_r3 =
+        read_ciphertext_vector(msg);
+    std::vector<PaillierCiphertext> reenc =
+        encrypt_vector(peer_pk_, blinded, rng_);
+    reenc = add_vectors(peer_pk_, reenc, enc_neg_r3);
+    reenc = pi_.apply(reenc);
+    MessageWriter reply;
+    write_ciphertext_vector(reply, reenc);
+    chan.send("S2", std::move(reply));
+  }
+  return out_seq;
+}
+
+std::size_t BlindPermuteS1::restore(Channel& chan) {
+  // -- Step 2: undo pi1, add mask r1. ----------------------------------------
+  std::vector<std::int64_t> r1;  // S1's secret
+  {
+    MessageReader msg = chan.recv("S2");
+    std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
+    seq = pi_.apply_inverse(seq);
+    r1 = random_mask_vector(k_, mask_bits_, rng_);
+    seq = add_plain_vector(peer_pk_, seq, r1, rng_);
+    MessageWriter reply;
+    write_ciphertext_vector(reply, seq);
+    chan.send("S2", std::move(reply));
+  }
+
+  // -- Step 4: strip r1, re-encrypt under pk1. -------------------------------
+  {
+    MessageReader msg = chan.recv("S2");
+    std::vector<std::int64_t> seq = msg.read_i64_vector();
+    for (std::size_t i = 0; i < k_; ++i) seq[i] -= r1[i];
+    MessageWriter reply;
+    write_ciphertext_vector(reply, encrypt_vector(own_.pk, seq, rng_));
+    chan.send("S2", std::move(reply));
+  }
+
+  // -- Step 6: decrypt and return the masked one-hot. ------------------------
+  {
+    MessageReader msg = chan.recv("S2");
+    const std::vector<std::int64_t> masked =
+        decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+    MessageWriter reply;
+    reply.write_i64_vector(masked);
+    chan.send("S2", std::move(reply));
+  }
+
+  // -- Step 7 (S2 side) reveals the original index. --------------------------
+  MessageReader msg = chan.recv("S2");
+  return msg.read_u64();
+}
+
+BlindPermuteS2::BlindPermuteS2(const PaillierKeyPair& own,
+                               const PaillierPublicKey& peer_pk, std::size_t k,
+                               std::size_t mask_bits, Rng& rng)
+    : own_(own),
+      peer_pk_(peer_pk),
+      k_(validated_length(k)),
+      mask_bits_(mask_bits),
+      rng_(rng),
+      pi_(Permutation::random(k, rng)) {}
+
+std::vector<std::int64_t> BlindPermuteS2::run(
+    Channel& chan, const std::vector<PaillierCiphertext>& holds,
+    BlindPermuteMaskMode mode) {
+  if (holds.size() != k_) {
+    throw std::invalid_argument("BlindPermute: sequence length mismatch");
+  }
+  std::vector<std::int64_t> r2;  // S2's secret, drawn in step 2
+
+  // -- Step 2: decrypt, add r2, permute with pi2, return plaintext. ----------
+  {
+    MessageReader msg = chan.recv("S1");
+    std::vector<std::int64_t> seq =
+        decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+    r2 = random_mask_vector(k_, mask_bits_, rng_);
+    for (std::size_t i = 0; i < k_; ++i) seq[i] += r2[i];
+    const std::vector<std::int64_t> permuted = pi_.apply(seq);
+    MessageWriter reply;
+    reply.write_i64_vector(permuted);
+    chan.send("S1", std::move(reply));
+  }
+
+  // -- Step 4: E_pk1[b ± r1 ± r2], permute by pi2, blind with r3. ------------
+  {
+    MessageReader msg = chan.recv("S1");
+    const std::vector<PaillierCiphertext> enc_r1 = read_ciphertext_vector(msg);
+    std::vector<PaillierCiphertext> seq = add_vectors(peer_pk_, holds, enc_r1);
+    const std::vector<std::int64_t> signed_r2 =
+        mode == BlindPermuteMaskMode::kOppositeSign ? negated(r2) : r2;
+    seq = add_plain_vector(peer_pk_, seq, signed_r2, rng_);
+    seq = pi_.apply(seq);
+    const std::vector<std::int64_t> r3 =
+        random_mask_vector(k_, mask_bits_, rng_);
+    seq = add_plain_vector(peer_pk_, seq, r3, rng_);
+    MessageWriter reply;
+    write_ciphertext_vector(reply, seq);
+    write_ciphertext_vector(reply, encrypt_vector(own_.pk, negated(r3), rng_));
+    chan.send("S1", std::move(reply));
+  }
+
+  // -- Step 6: decrypt -> pi(b ± r). -----------------------------------------
+  MessageReader msg = chan.recv("S1");
+  return decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+}
+
+std::size_t BlindPermuteS2::restore(Channel& chan,
+                                    std::size_t permuted_index) {
+  if (permuted_index >= k_) {
+    throw std::invalid_argument("restore: index out of range");
+  }
+
+  // -- Step 1: one-hot in permuted coordinates, encrypted under pk2. ---------
+  {
+    std::vector<std::int64_t> onehot(k_, 0);
+    onehot[permuted_index] = 1;
+    MessageWriter msg;
+    write_ciphertext_vector(msg, encrypt_vector(own_.pk, onehot, rng_));
+    chan.send("S1", std::move(msg));
+  }
+
+  // -- Step 3: decrypt the masked vector, return it in plaintext. ------------
+  {
+    MessageReader msg = chan.recv("S1");
+    const std::vector<std::int64_t> masked =
+        decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+    MessageWriter reply;
+    reply.write_i64_vector(masked);
+    chan.send("S1", std::move(reply));
+  }
+
+  // -- Step 5: undo pi2, add mask r2. ----------------------------------------
+  std::vector<std::int64_t> r2;  // S2's secret
+  {
+    MessageReader msg = chan.recv("S1");
+    std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
+    seq = pi_.apply_inverse(seq);
+    r2 = random_mask_vector(k_, mask_bits_, rng_);
+    seq = add_plain_vector(peer_pk_, seq, r2, rng_);
+    MessageWriter reply;
+    write_ciphertext_vector(reply, seq);
+    chan.send("S1", std::move(reply));
+  }
+
+  // -- Step 7: strip r2, locate the 1, broadcast the index. ------------------
+  std::size_t index = k_;
+  MessageReader msg = chan.recv("S1");
+  std::vector<std::int64_t> onehot = msg.read_i64_vector();
+  for (std::size_t i = 0; i < k_; ++i) {
+    onehot[i] -= r2[i];
+    if (onehot[i] == 1) index = i;
+  }
+  if (index == k_) throw std::logic_error("restore: one-hot lost");
+  MessageWriter reply;
+  reply.write_u64(index);
+  chan.send("S1", std::move(reply));
+  return index;
+}
+
 BlindPermuteSession::BlindPermuteSession(Network& net,
                                          const ServerPaillierKeys& keys,
                                          std::size_t k, std::size_t mask_bits,
                                          Rng& s1_rng, Rng& s2_rng)
     : net_(net),
-      keys_(keys),
-      k_(k),
-      mask_bits_(mask_bits),
-      s1_rng_(s1_rng),
-      s2_rng_(s2_rng),
-      pi1_(Permutation::random(k, s1_rng)),
-      pi2_(Permutation::random(k, s2_rng)) {
-  if (k == 0) throw std::invalid_argument("BlindPermute: empty sequence");
-}
+      s1_(keys.s1, keys.s2.pk, k, mask_bits, s1_rng),
+      s2_(keys.s2, keys.s1.pk, k, mask_bits, s2_rng) {}
 
 BlindPermuteSession::Output BlindPermuteSession::run(
     const std::vector<PaillierCiphertext>& s1_holds,
     const std::vector<PaillierCiphertext>& s2_holds, MaskMode mode) {
-  if (s1_holds.size() != k_ || s2_holds.size() != k_) {
-    throw std::invalid_argument("BlindPermute: sequence length mismatch");
-  }
-  const PaillierPublicKey& pk1 = keys_.s1.pk;
-  const PaillierPublicKey& pk2 = keys_.s2.pk;
-  const std::int64_t mask_sign =
-      mode == MaskMode::kOppositeSign ? -1 : +1;
-
   Output out;
-
-  // Masks are drawn fresh per run; the permutations persist for the session.
-  const std::vector<std::int64_t> r1 =
-      random_mask_vector(k_, mask_bits_, s1_rng_);  // S1's secret
-  std::vector<std::int64_t> r2;                     // S2's secret, step 2
-
-  // -- Step 1 (S1): send E_pk2[a + r1]. ------------------------------------
-  {
-    const auto masked = add_plain_vector(pk2, s1_holds, r1, s1_rng_);
-    MessageWriter msg;
-    write_ciphertext_vector(msg, masked);
-    net_.send("S1", "S2", std::move(msg));
-  }
-
-  // -- Step 2 (S2): decrypt, add r2, permute with pi2, return plaintext. ---
-  {
-    MessageReader msg = net_.recv("S2", "S1");
-    std::vector<std::int64_t> seq =
-        decrypt_vector(keys_.s2.sk, read_ciphertext_vector(msg));
-    r2 = random_mask_vector(k_, mask_bits_, s2_rng_);
-    for (std::size_t i = 0; i < k_; ++i) seq[i] += r2[i];
-    const std::vector<std::int64_t> permuted = pi2_.apply(seq);
-    MessageWriter reply;
-    reply.write_i64_vector(permuted);
-    net_.send("S2", "S1", std::move(reply));
-  }
-
-  // -- Step 3 (S1): permute with pi1 -> pi(a + r); send E_pk1[±r1]. --------
-  {
-    MessageReader msg = net_.recv("S1", "S2");
-    out.s1_seq = pi1_.apply(msg.read_i64_vector());
-    const std::vector<std::int64_t> signed_r1 =
-        mask_sign < 0 ? negated(r1) : r1;
-    MessageWriter mask_msg;
-    write_ciphertext_vector(mask_msg,
-                            encrypt_vector(pk1, signed_r1, s1_rng_));
-    net_.send("S1", "S2", std::move(mask_msg));
-  }
-
-  // -- Step 4 (S2): E_pk1[b ± r1 ± r2], permute by pi2, blind with r3. -----
-  {
-    MessageReader msg = net_.recv("S2", "S1");
-    const std::vector<PaillierCiphertext> enc_r1 = read_ciphertext_vector(msg);
-    std::vector<PaillierCiphertext> seq = add_vectors(pk1, s2_holds, enc_r1);
-    const std::vector<std::int64_t> signed_r2 =
-        mask_sign < 0 ? negated(r2) : r2;
-    seq = add_plain_vector(pk1, seq, signed_r2, s2_rng_);
-    seq = pi2_.apply(seq);
-    const std::vector<std::int64_t> r3 =
-        random_mask_vector(k_, mask_bits_, s2_rng_);
-    seq = add_plain_vector(pk1, seq, r3, s2_rng_);
-    MessageWriter reply;
-    write_ciphertext_vector(reply, seq);
-    write_ciphertext_vector(reply,
-                            encrypt_vector(pk2, negated(r3), s2_rng_));
-    net_.send("S2", "S1", std::move(reply));
-  }
-
-  // -- Step 5 (S1): decrypt, re-encrypt under pk2, strip r3, permute. ------
-  {
-    MessageReader msg = net_.recv("S1", "S2");
-    const std::vector<std::int64_t> blinded =
-        decrypt_vector(keys_.s1.sk, read_ciphertext_vector(msg));
-    const std::vector<PaillierCiphertext> enc_neg_r3 =
-        read_ciphertext_vector(msg);
-    std::vector<PaillierCiphertext> reenc =
-        encrypt_vector(pk2, blinded, s1_rng_);
-    reenc = add_vectors(pk2, reenc, enc_neg_r3);
-    reenc = pi1_.apply(reenc);
-    MessageWriter reply;
-    write_ciphertext_vector(reply, reenc);
-    net_.send("S1", "S2", std::move(reply));
-  }
-
-  // -- Step 6 (S2): decrypt -> pi(b ± r). ----------------------------------
-  {
-    MessageReader msg = net_.recv("S2", "S1");
-    out.s2_seq = decrypt_vector(keys_.s2.sk, read_ciphertext_vector(msg));
-  }
+  const Party parties[] = {
+      {"S1",
+       [&](Channel& chan) { out.s1_seq = s1_.run(chan, s1_holds, mode); }},
+      {"S2",
+       [&](Channel& chan) { out.s2_seq = s2_.run(chan, s2_holds, mode); }},
+  };
+  run_parties_deterministic(net_, parties);
   return out;
 }
 
 std::size_t BlindPermuteSession::restore(std::size_t permuted_index) {
-  if (permuted_index >= k_) {
-    throw std::invalid_argument("restore: index out of range");
-  }
-  const PaillierPublicKey& pk1 = keys_.s1.pk;
-  const PaillierPublicKey& pk2 = keys_.s2.pk;
-
-  // -- Step 1 (S2): one-hot in permuted coordinates, encrypted under pk2. --
-  {
-    std::vector<std::int64_t> onehot(k_, 0);
-    onehot[permuted_index] = 1;
-    MessageWriter msg;
-    write_ciphertext_vector(msg, encrypt_vector(pk2, onehot, s2_rng_));
-    net_.send("S2", "S1", std::move(msg));
-  }
-
-  // -- Step 2 (S1): undo pi1, add mask r1. ----------------------------------
-  std::vector<std::int64_t> r1;  // S1's secret
-  {
-    MessageReader msg = net_.recv("S1", "S2");
-    std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
-    seq = pi1_.apply_inverse(seq);
-    r1 = random_mask_vector(k_, mask_bits_, s1_rng_);
-    seq = add_plain_vector(pk2, seq, r1, s1_rng_);
-    MessageWriter reply;
-    write_ciphertext_vector(reply, seq);
-    net_.send("S1", "S2", std::move(reply));
-  }
-
-  // -- Step 3 (S2): decrypt the masked vector, return it in plaintext. -----
-  {
-    MessageReader msg = net_.recv("S2", "S1");
-    const std::vector<std::int64_t> masked =
-        decrypt_vector(keys_.s2.sk, read_ciphertext_vector(msg));
-    MessageWriter reply;
-    reply.write_i64_vector(masked);
-    net_.send("S2", "S1", std::move(reply));
-  }
-
-  // -- Step 4 (S1): strip r1, re-encrypt under pk1. -------------------------
-  {
-    MessageReader msg = net_.recv("S1", "S2");
-    std::vector<std::int64_t> seq = msg.read_i64_vector();
-    for (std::size_t i = 0; i < k_; ++i) seq[i] -= r1[i];
-    MessageWriter reply;
-    write_ciphertext_vector(reply, encrypt_vector(pk1, seq, s1_rng_));
-    net_.send("S1", "S2", std::move(reply));
-  }
-
-  // -- Step 5 (S2): undo pi2, add mask r2. ----------------------------------
-  std::vector<std::int64_t> r2;  // S2's secret
-  {
-    MessageReader msg = net_.recv("S2", "S1");
-    std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
-    seq = pi2_.apply_inverse(seq);
-    r2 = random_mask_vector(k_, mask_bits_, s2_rng_);
-    seq = add_plain_vector(pk1, seq, r2, s2_rng_);
-    MessageWriter reply;
-    write_ciphertext_vector(reply, seq);
-    net_.send("S2", "S1", std::move(reply));
-  }
-
-  // -- Step 6 (S1): decrypt and return the masked one-hot. ------------------
-  {
-    MessageReader msg = net_.recv("S1", "S2");
-    const std::vector<std::int64_t> masked =
-        decrypt_vector(keys_.s1.sk, read_ciphertext_vector(msg));
-    MessageWriter reply;
-    reply.write_i64_vector(masked);
-    net_.send("S1", "S2", std::move(reply));
-  }
-
-  // -- Step 7 (S2): strip r2, locate the 1, broadcast the index. ------------
-  std::size_t index = k_;
-  {
-    MessageReader msg = net_.recv("S2", "S1");
-    std::vector<std::int64_t> onehot = msg.read_i64_vector();
-    for (std::size_t i = 0; i < k_; ++i) {
-      onehot[i] -= r2[i];
-      if (onehot[i] == 1) index = i;
-    }
-    if (index == k_) throw std::logic_error("restore: one-hot lost");
-    MessageWriter reply;
-    reply.write_u64(index);
-    net_.send("S2", "S1", std::move(reply));
-  }
-  {
-    MessageReader msg = net_.recv("S1", "S2");
-    if (msg.read_u64() != index) throw std::logic_error("restore desync");
-  }
-  return index;
+  std::size_t s1_index = 0;
+  std::size_t s2_index = 0;
+  const Party parties[] = {
+      {"S1", [&](Channel& chan) { s1_index = s1_.restore(chan); }},
+      {"S2",
+       [&](Channel& chan) { s2_index = s2_.restore(chan, permuted_index); }},
+  };
+  run_parties_deterministic(net_, parties);
+  if (s1_index != s2_index) throw std::logic_error("restore desync");
+  return s1_index;
 }
 
 Permutation BlindPermuteSession::composed_permutation_for_testing() const {
-  return pi1_.compose_after(pi2_);
+  return s1_.pi().compose_after(s2_.pi());
 }
 
 }  // namespace pcl

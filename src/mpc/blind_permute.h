@@ -16,10 +16,13 @@
 //                     where the comparison subtracts S2's value at the same
 //                     position and a same-sign mask cancels).
 //
-// The session object retains pi1 (S1's secret) and pi2 (S2's secret) so the
-// same composed permutation can be applied to multiple sequence pairs (the
-// vote sequence and the threshold sequence must be aligned) and so
-// Restoration can unwind it afterwards.
+// The protocol is implemented once as two role classes over `Channel` —
+// BlindPermuteS1 and BlindPermuteS2 — each constructed from that server's
+// own key material and Rng only.  A role object retains its private
+// permutation so the same composed pi can be applied to multiple sequence
+// pairs (the vote sequence and the threshold sequence must stay aligned)
+// and so Restoration can unwind it afterwards.  BlindPermuteSession is the
+// synchronous reference driver pairing both roles over a `Network`.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +30,7 @@
 
 #include "crypto/paillier.h"
 #include "mpc/permutation.h"
+#include "net/channel.h"
 #include "net/transport.h"
 
 namespace pcl {
@@ -42,9 +46,69 @@ struct ServerPaillierKeys {
 [[nodiscard]] ServerPaillierKeys generate_server_paillier_keys(
     std::size_t key_bits, Rng& rng);
 
+enum class BlindPermuteMaskMode { kOppositeSign, kSameSign };
+
+// --- Per-party roles -------------------------------------------------------
+
+/// S1's half of Alg. 2 / Alg. 3.  Draws and retains the private pi1.
+class BlindPermuteS1 {
+ public:
+  /// `own` is S1's key pair, `peer_pk` is S2's public key.
+  BlindPermuteS1(const PaillierKeyPair& own, const PaillierPublicKey& peer_pk,
+                 std::size_t k, std::size_t mask_bits, Rng& rng);
+
+  /// Alg. 2 on one sequence pair (fresh masks, persistent pi1): returns
+  /// pi(a + r), known to S1 only.
+  [[nodiscard]] std::vector<std::int64_t> run(
+      Channel& chan, const std::vector<PaillierCiphertext>& holds,
+      BlindPermuteMaskMode mode);
+
+  /// Alg. 3, S1 side: learns the restored original index from S2.
+  [[nodiscard]] std::size_t restore(Channel& chan);
+
+  [[nodiscard]] const Permutation& pi() const { return pi_; }
+
+ private:
+  const PaillierKeyPair& own_;
+  const PaillierPublicKey& peer_pk_;
+  std::size_t k_;
+  std::size_t mask_bits_;
+  Rng& rng_;
+  Permutation pi_;
+};
+
+/// S2's half of Alg. 2 / Alg. 3.  Draws and retains the private pi2.
+class BlindPermuteS2 {
+ public:
+  /// `own` is S2's key pair, `peer_pk` is S1's public key.
+  BlindPermuteS2(const PaillierKeyPair& own, const PaillierPublicKey& peer_pk,
+                 std::size_t k, std::size_t mask_bits, Rng& rng);
+
+  /// Alg. 2: returns pi(b ± r), known to S2 only.
+  [[nodiscard]] std::vector<std::int64_t> run(
+      Channel& chan, const std::vector<PaillierCiphertext>& holds,
+      BlindPermuteMaskMode mode);
+
+  /// Alg. 3, S2 side: maps `permuted_index` back to the original index and
+  /// broadcasts it (only that index is revealed to both servers).
+  [[nodiscard]] std::size_t restore(Channel& chan, std::size_t permuted_index);
+
+  [[nodiscard]] const Permutation& pi() const { return pi_; }
+
+ private:
+  const PaillierKeyPair& own_;
+  const PaillierPublicKey& peer_pk_;
+  std::size_t k_;
+  std::size_t mask_bits_;
+  Rng& rng_;
+  Permutation pi_;
+};
+
+// --- Synchronous reference driver ------------------------------------------
+
 class BlindPermuteSession {
  public:
-  enum class MaskMode { kOppositeSign, kSameSign };
+  using MaskMode = BlindPermuteMaskMode;
 
   /// Draws pi1 from s1_rng and pi2 from s2_rng for sequences of length k.
   BlindPermuteSession(Network& net, const ServerPaillierKeys& keys,
@@ -72,13 +136,8 @@ class BlindPermuteSession {
 
  private:
   Network& net_;
-  const ServerPaillierKeys& keys_;
-  std::size_t k_;
-  std::size_t mask_bits_;
-  Rng& s1_rng_;
-  Rng& s2_rng_;
-  Permutation pi1_;  // S1's secret
-  Permutation pi2_;  // S2's secret
+  BlindPermuteS1 s1_;
+  BlindPermuteS2 s2_;
 };
 
 }  // namespace pcl

@@ -2,11 +2,12 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "crypto/fixed_point.h"
 #include "mpc/dgk_compare.h"
-#include "mpc/secure_sum.h"
-#include "mpc/sharing.h"
+#include "net/party_runner.h"
 
 namespace pcl {
 
@@ -89,7 +90,19 @@ ConsensusProtocol::NoisePlan ConsensusProtocol::injected_noise(
 
 ConsensusProtocol::QueryResult ConsensusProtocol::run_query(
     const std::vector<std::vector<double>>& user_votes, Rng& rng) {
-  return run_internal(user_votes, draw_noise(rng), rng);
+  NoisePlan noise = draw_noise(rng);
+  return run_internal(user_votes, noise, rng.next_u64(),
+                      ConsensusTransport::kInProcess);
+}
+
+ConsensusProtocol::QueryResult ConsensusProtocol::run_query_seeded(
+    const std::vector<std::vector<double>>& user_votes, std::uint64_t seed,
+    ConsensusTransport transport) {
+  // The noise stream is one past the last party index (S1=0, S2=1, users
+  // 2..), so it never collides with a party's derived seed.
+  DeterministicRng noise_rng(
+      derive_party_seed(seed, 2 + config_.num_users));
+  return run_internal(user_votes, draw_noise(noise_rng), seed, transport);
 }
 
 std::vector<ConsensusProtocol::QueryResult> ConsensusProtocol::run_batch(
@@ -106,91 +119,44 @@ std::vector<ConsensusProtocol::QueryResult> ConsensusProtocol::run_batch(
 ConsensusProtocol::QueryResult ConsensusProtocol::run_query_with_noise(
     const std::vector<std::vector<double>>& user_votes, double threshold_noise,
     std::span<const double> release_noise, Rng& rng) {
-  return run_internal(user_votes, injected_noise(threshold_noise,
-                                                 release_noise),
-                      rng);
+  return run_internal(user_votes,
+                      injected_noise(threshold_noise, release_noise),
+                      rng.next_u64(), ConsensusTransport::kInProcess);
 }
 
-std::size_t ConsensusProtocol::argmax_position(
-    Network& net, std::span<const std::int64_t> s1_seq,
-    std::span<const std::int64_t> s2_seq, Rng& rng) {
-  const DgkCompareContext ctx(dgk_.pk, dgk_.sk, config_.compare_bits);
-  const std::size_t k = s1_seq.size();
-  // Paper Eq. 7 in both strategies: c_p >= c_q  <=>
-  // (A_p - A_q) >= (B_q - B_p), because the opposite-sign masks cancel in
-  // the cross-server sum.
-  const auto geq = [&](std::size_t p, std::size_t q) {
-    const std::int64_t x = s1_seq[p] - s1_seq[q];  // S1's private input
-    const std::int64_t y = s2_seq[q] - s2_seq[p];  // S2's private input
-    return dgk_compare_geq(net, ctx, x, y, rng, rng);
-  };
-
-  if (config_.argmax_strategy == ArgmaxStrategy::kTournament) {
-    // Sequential champion: K-1 comparisons; ties keep the earlier position,
-    // matching the all-pairs winner exactly.
-    std::size_t champion = 0;
-    for (std::size_t p = 1; p < k; ++p) {
-      if (!geq(champion, p)) champion = p;
-    }
-    return champion;
-  }
-
-  std::vector<std::size_t> wins(k, 0);
-  for (std::size_t p = 0; p < k; ++p) {
-    for (std::size_t q = p + 1; q < k; ++q) {
-      if (geq(p, q)) {
-        ++wins[p];
-      } else {
-        ++wins[q];
-      }
-    }
-  }
-  for (std::size_t p = 0; p < k; ++p) {
-    if (wins[p] == k - 1) return p;
-  }
-  throw std::logic_error("argmax tournament produced no champion");
+ConsensusProtocol::QueryResult ConsensusProtocol::run_query_with_noise_seeded(
+    const std::vector<std::vector<double>>& user_votes, double threshold_noise,
+    std::span<const double> release_noise, std::uint64_t seed,
+    ConsensusTransport transport) {
+  return run_internal(user_votes,
+                      injected_noise(threshold_noise, release_noise), seed,
+                      transport);
 }
 
 ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
     const std::vector<std::vector<double>>& user_votes, const NoisePlan& noise,
-    Rng& rng) {
+    std::uint64_t seed, ConsensusTransport transport) {
   const std::size_t n_users = config_.num_users;
   const std::size_t k = config_.num_classes;
   if (user_votes.size() != n_users) {
     throw std::invalid_argument("expected one vote vector per user");
   }
 
-  Network net(&stats_);
-  net.record_transcript(capture_transcript_);
-  // Stash the transcript on every exit path (including the ⊥ return).
-  struct TranscriptStash {
-    ConsensusProtocol* self;
-    Network* net;
-    ~TranscriptStash() {
-      if (self->capture_transcript_) {
-        self->last_transcript_ = net->transcript();
-      }
-    }
-  } stash{this, &net};
-
-  // ---- Step 1: Setup (each user splits votes into shares). ---------------
-  // Fixed-point encode; |vote| <= 1 per class keeps everything far below the
-  // share-masking and Paillier bounds (checked in the constructor's params).
-  std::vector<std::vector<std::int64_t>> a(n_users), b(n_users);
+  // ---- Step 1 prep: validate and fixed-point encode every vote vector.
+  // |vote| <= 1 per class keeps everything far below the share-masking and
+  // Paillier bounds (checked in the constructor's params).
+  std::vector<std::vector<std::int64_t>> votes_fixed(n_users);
   for (std::size_t u = 0; u < n_users; ++u) {
     if (user_votes[u].size() != k) {
       throw std::invalid_argument("vote vector has wrong length");
     }
-    std::vector<std::int64_t> fixed(k);
+    votes_fixed[u].resize(k);
     for (std::size_t i = 0; i < k; ++i) {
       if (!(user_votes[u][i] >= 0.0 && user_votes[u][i] <= 1.0)) {
         throw std::invalid_argument("votes must lie in [0, 1]");
       }
-      fixed[i] = encode_fixed(user_votes[u][i]);
+      votes_fixed[u][i] = encode_fixed(user_votes[u][i]);
     }
-    ShareVector shares = split_vector(fixed, rng, config_.share_bits);
-    a[u] = std::move(shares.a);
-    b[u] = std::move(shares.b);
   }
 
   // Per-user threshold offsets: the a-side offsets sum to floor(T/2) and
@@ -207,112 +173,68 @@ ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
   const std::vector<std::int64_t> t_a = split_offsets(t_fixed / 2);
   const std::vector<std::int64_t> t_b = split_offsets(t_fixed - t_fixed / 2);
 
-  // ---- Step 2: Secure Sum of votes and threshold sequences. --------------
-  SecureSumResult votes_sum, thresh_sum;
-  {
-    StepScope scope(net, &stats_, "Secure Sum (2)");
-    std::vector<std::vector<std::int64_t>> ta(n_users), tb(n_users);
-    for (std::size_t u = 0; u < n_users; ++u) {
-      ta[u].resize(k);
-      tb[u].resize(k);
-      for (std::size_t i = 0; i < k; ++i) {
-        // S1 stream: a_u[i] - T/(2|U|) + z1a_u[i]
-        ta[u][i] = a[u][i] - t_a[u] + noise.z1a[u][i];
-        // S2 stream: T/(2|U|) - b_u[i] - z1b_u[i]
-        tb[u][i] = t_b[u] - b[u][i] - noise.z1b[u][i];
-      }
-    }
-    votes_sum = secure_sum(net, paillier_, a, b, rng);
-    thresh_sum = secure_sum(net, paillier_, ta, tb, rng);
+  const ConsensusQueryParams params{
+      k,
+      n_users,
+      config_.share_bits,
+      config_.compare_bits,
+      config_.threshold_check_all_positions,
+      config_.argmax_strategy,
+  };
+
+  // Every party gets its own Rng derived from the query seed (S1 = 0,
+  // S2 = 1, user u = 2 + u) — the basis of cross-transport byte-identity.
+  std::vector<DeterministicRng> rngs;
+  rngs.reserve(2 + n_users);
+  for (std::size_t i = 0; i < 2 + n_users; ++i) {
+    rngs.emplace_back(derive_party_seed(seed, i));
   }
 
-  // ---- Step 3: Blind-and-Permute both sequence pairs under one pi. -------
-  BlindPermuteSession bnp(net, paillier_, k, config_.share_bits, rng, rng);
-  BlindPermuteSession::Output votes_perm, thresh_perm;
-  {
-    StepScope scope(net, &stats_, "Blind-and-Permute (3)");
-    votes_perm = bnp.run(votes_sum.s1_aggregate, votes_sum.s2_aggregate,
-                         BlindPermuteSession::MaskMode::kOppositeSign);
-    thresh_perm = bnp.run(thresh_sum.s1_aggregate, thresh_sum.s2_aggregate,
-                          BlindPermuteSession::MaskMode::kSameSign);
+  ConsensusS1Program s1(params, paillier_.s1, paillier_.s2.pk, dgk_.pk,
+                        rngs[0]);
+  ConsensusS2Program s2(params, paillier_.s2, paillier_.s1.pk, dgk_, rngs[1]);
+  std::vector<ConsensusUserProgram> users;
+  users.reserve(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    users.emplace_back(params,
+                       ConsensusUserProgram::Inputs{
+                           std::move(votes_fixed[u]),
+                           t_a[u],
+                           t_b[u],
+                           noise.z1a[u],
+                           noise.z1b[u],
+                           noise.z2a[u],
+                           noise.z2b[u],
+                       },
+                       paillier_.s1.pk, paillier_.s2.pk, rngs[2 + u]);
   }
 
-  // ---- Step 4: Secure Comparison — find pi(i*) (true argmax). ------------
-  std::size_t top_position = 0;
-  {
-    StepScope scope(net, &stats_, "Secure Comparison (4)");
-    top_position = argmax_position(net, votes_perm.s1_seq, votes_perm.s2_seq,
-                                   rng);
+  std::optional<std::size_t> s1_label, s2_label;
+  std::vector<Party> parties;
+  parties.push_back({"S1", [&](Channel& chan) { s1_label = s1.run(chan); }});
+  parties.push_back({"S2", [&](Channel& chan) { s2_label = s2.run(chan); }});
+  for (std::size_t u = 0; u < n_users; ++u) {
+    parties.push_back({"user:" + std::to_string(u),
+                       [&users, u](Channel& chan) { users[u].run(chan); }});
   }
 
-  // ---- Step 5: Threshold Checking (paper Eq. 6 / SVT). --------------------
-  {
-    StepScope scope(net, &stats_, "Threshold Checking (5)");
-    const DgkCompareContext ctx(dgk_.pk, dgk_.sk, config_.compare_bits);
-    bool above_threshold = false;
-    if (config_.threshold_check_all_positions) {
-      // Paper-prototype cost model: one comparison per permuted position;
-      // only pi(i*)'s outcome decides (see ConsensusConfig).
-      for (std::size_t p = 0; p < k; ++p) {
-        const bool geq = dgk_compare_geq(net, ctx, thresh_perm.s1_seq[p],
-                                         thresh_perm.s2_seq[p], rng, rng);
-        if (p == top_position) above_threshold = geq;
-      }
-    } else {
-      // x - y == c_{i*} + z1_{i*} - T; the same-sign masks cancel.
-      above_threshold =
-          dgk_compare_geq(net, ctx, thresh_perm.s1_seq[top_position],
-                          thresh_perm.s2_seq[top_position], rng, rng);
-    }
-    if (!above_threshold) {
-      return {std::nullopt};  // ⊥ — no consensus.
-    }
-  }
+  const bool deterministic = transport == ConsensusTransport::kInProcess;
+  PartyRunOptions options;
+  options.transport = deterministic ? PartyTransport::kDeterministic
+                                    : PartyTransport::kThreaded;
+  options.stats = &stats_;
+  options.record_transcript = capture_transcript_ && deterministic;
+  const PartyRunReport report = run_parties(parties, options);
+  if (options.record_transcript) last_transcript_ = report.transcript;
 
-  // ---- Step 6: Secure Sum of noisy votes (Report Noisy Maximum). ---------
-  SecureSumResult noisy_sum;
-  {
-    StepScope scope(net, &stats_, "Secure Sum (6)");
-    std::vector<std::vector<std::int64_t>> na(n_users), nb(n_users);
-    for (std::size_t u = 0; u < n_users; ++u) {
-      na[u].resize(k);
-      nb[u].resize(k);
-      for (std::size_t i = 0; i < k; ++i) {
-        na[u][i] = a[u][i] + noise.z2a[u][i];
-        nb[u][i] = b[u][i] + noise.z2b[u][i];
-      }
-    }
-    noisy_sum = secure_sum(net, paillier_, na, nb, rng);
+  if (s1_label != s2_label) {
+    throw std::logic_error("consensus: server results disagree");
   }
-
-  // ---- Step 7: Blind-and-Permute under a fresh pi'. ------------------------
-  BlindPermuteSession bnp2(net, paillier_, k, config_.share_bits, rng, rng);
-  BlindPermuteSession::Output noisy_perm;
-  {
-    StepScope scope(net, &stats_, "Blind-and-Permute (7)");
-    noisy_perm = bnp2.run(noisy_sum.s1_aggregate, noisy_sum.s2_aggregate,
-                          BlindPermuteSession::MaskMode::kOppositeSign);
-  }
-
-  // ---- Step 8: Secure Comparison — find pi'(i~*) (noisy argmax). ----------
-  std::size_t noisy_position = 0;
-  {
-    StepScope scope(net, &stats_, "Secure Comparison (8)");
-    noisy_position = argmax_position(net, noisy_perm.s1_seq,
-                                     noisy_perm.s2_seq, rng);
-  }
-
-  // ---- Step 9: Restoration — reveal only the original label index. --------
-  std::size_t label = 0;
-  {
-    StepScope scope(net, &stats_, "Restoration (9)");
-    label = bnp2.restore(noisy_position);
-  }
-
-  if (net.pending_total() != 0) {
+  if (report.undelivered != 0) {
     throw std::logic_error("protocol finished with undelivered messages");
   }
-  return {static_cast<int>(label)};
+  if (!s1_label.has_value()) return {std::nullopt};
+  return {static_cast<int>(*s1_label)};
 }
 
 }  // namespace pcl

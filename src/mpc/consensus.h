@@ -20,6 +20,13 @@
 // Nothing else is revealed: not the vote counts, not the ranking of losing
 // labels, not the true (pre-noise) argmax.
 //
+// The per-party protocol logic lives in mpc/consensus_party.h; this class
+// is the query harness: it owns the key material, prepares each party's
+// inputs, derives each party a private Rng from one query seed, and runs
+// the programs over the chosen transport.  With the same seed, the
+// deterministic in-process transport and the threaded transport produce
+// byte-identical per-step traffic.
+//
 // Noise placement (see DESIGN.md): every user adds an independent
 // N(0, sigma^2 / (2|U|)) component to each of its two share streams, so the
 // aggregate threshold noise is exactly N(0, sigma1^2) and each label's
@@ -33,21 +40,16 @@
 
 #include "crypto/dgk.h"
 #include "mpc/blind_permute.h"
+#include "mpc/consensus_party.h"
 #include "net/transport.h"
 
 namespace pcl {
 
-/// How steps (4)/(8) locate the maximum among the K permuted positions.
-enum class ArgmaxStrategy {
-  /// The paper's reading of Alg. 5 ("for each pair i, j"): all K(K-1)/2
-  /// pairwise comparisons.  This is what makes secure comparison dominate
-  /// Tables I and II.
-  kAllPairs,
-  /// Sequential-champion tournament: K-1 comparisons, provably the same
-  /// winner (comparisons are consistent — they reflect the true counts).
-  /// Cuts the dominant cost ~K/2-fold; see bench_ablation_argmax.
-  kTournament,
-};
+/// Which transport a query runs over.  Results and per-step traffic are
+/// identical; kThreaded runs every party on its own OS thread over a
+/// BlockingNetwork (the deployment shape), kInProcess under the
+/// deterministic baton scheduler (the reference shape).
+enum class ConsensusTransport { kInProcess, kThreaded };
 
 struct ConsensusConfig {
   std::size_t num_classes = 10;
@@ -85,10 +87,18 @@ class ConsensusProtocol {
   };
 
   /// Runs one full Alg. 5 query.  `user_votes[u]` is user u's prediction
-  /// vector (one-hot or softmax, length num_classes); noise is drawn from
-  /// `rng` exactly as the distributed mechanism prescribes.
+  /// vector (one-hot or softmax, length num_classes); noise is drawn
+  /// exactly as the distributed mechanism prescribes, and the query seed is
+  /// drawn from `rng`.
   [[nodiscard]] QueryResult run_query(
       const std::vector<std::vector<double>>& user_votes, Rng& rng);
+
+  /// Fully seeded variant: every party's Rng (and the noise) derives from
+  /// `seed`, so the same seed replays the identical query — including
+  /// byte-identical per-step traffic — on either transport.
+  [[nodiscard]] QueryResult run_query_seeded(
+      const std::vector<std::vector<double>>& user_votes, std::uint64_t seed,
+      ConsensusTransport transport = ConsensusTransport::kInProcess);
 
   /// Labels a batch of instances (the paper evaluates 1000 per run); one
   /// independent Alg. 5 execution per instance, fresh permutations, masks
@@ -106,6 +116,13 @@ class ConsensusProtocol {
       const std::vector<std::vector<double>>& user_votes,
       double threshold_noise, std::span<const double> release_noise, Rng& rng);
 
+  /// Seeded variant of the fixed-noise hook (see run_query_seeded).
+  [[nodiscard]] QueryResult run_query_with_noise_seeded(
+      const std::vector<std::vector<double>>& user_votes,
+      double threshold_noise, std::span<const double> release_noise,
+      std::uint64_t seed,
+      ConsensusTransport transport = ConsensusTransport::kInProcess);
+
   /// Per-step traffic and timing, accumulated over all queries since the
   /// last clear(); step labels match the paper's Tables I and II.
   [[nodiscard]] TrafficStats& stats() { return stats_; }
@@ -115,7 +132,8 @@ class ConsensusProtocol {
 
   /// Test hook: capture per-message transcripts (metadata only) of each
   /// query; used by the traffic-analysis tests to verify that message
-  /// counts and sizes are independent of the secret votes.
+  /// counts and sizes are independent of the secret votes.  Only the
+  /// in-process transport records transcripts.
   void set_transcript_capture(bool enable) { capture_transcript_ = enable; }
   [[nodiscard]] const std::vector<TranscriptEntry>& last_transcript() const {
     return last_transcript_;
@@ -132,12 +150,8 @@ class ConsensusProtocol {
       double threshold_noise, std::span<const double> release_noise) const;
   [[nodiscard]] QueryResult run_internal(
       const std::vector<std::vector<double>>& user_votes,
-      const NoisePlan& noise, Rng& rng);
-  /// All-pairs DGK tournament over permuted share sequences; returns the
-  /// permuted position holding the maximum (paper Eq. 7).
-  [[nodiscard]] std::size_t argmax_position(
-      Network& net, std::span<const std::int64_t> s1_seq,
-      std::span<const std::int64_t> s2_seq, Rng& rng);
+      const NoisePlan& noise, std::uint64_t seed,
+      ConsensusTransport transport);
 
   ConsensusConfig config_;
   ServerPaillierKeys paillier_;

@@ -1,0 +1,257 @@
+#include "mpc/consensus_party.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "mpc/dgk_compare.h"
+#include "mpc/secure_sum.h"
+#include "mpc/sharing.h"
+
+namespace pcl {
+
+ConsensusS1Program::ConsensusS1Program(const ConsensusQueryParams& params,
+                                       const PaillierKeyPair& own,
+                                       const PaillierPublicKey& peer_pk,
+                                       const DgkPublicKey& dgk_pk, Rng& rng)
+    : params_(params),
+      own_(own),
+      peer_pk_(peer_pk),
+      dgk_pk_(dgk_pk),
+      rng_(rng) {}
+
+std::optional<std::size_t> ConsensusS1Program::run(Channel& chan) {
+  const std::size_t k = params_.num_classes;
+  const std::size_t n = params_.num_users;
+  using Timing = ChannelStepScope::Timing;
+
+  // ---- Step 2: Secure Sum of votes and threshold sequences. ---------------
+  std::vector<PaillierCiphertext> votes_agg, thresh_agg;
+  {
+    ChannelStepScope scope(chan, "Secure Sum (2)", Timing::kTimed);
+    votes_agg = secure_sum_collect(chan, peer_pk_, n);
+    thresh_agg = secure_sum_collect(chan, peer_pk_, n);
+  }
+
+  // ---- Step 3: Blind-and-Permute both sequence pairs under one pi1. -------
+  BlindPermuteS1 bnp(own_, peer_pk_, k, params_.share_bits, rng_);
+  std::vector<std::int64_t> votes_seq, thresh_seq;
+  {
+    ChannelStepScope scope(chan, "Blind-and-Permute (3)", Timing::kTimed);
+    votes_seq = bnp.run(chan, votes_agg, BlindPermuteMaskMode::kOppositeSign);
+    thresh_seq = bnp.run(chan, thresh_agg, BlindPermuteMaskMode::kSameSign);
+  }
+
+  // ---- Step 4: Secure Comparison — find pi(i*) (true argmax). -------------
+  // Paper Eq. 7: c_p >= c_q  <=>  (A_p - A_q) >= (B_q - B_p), because the
+  // opposite-sign masks cancel in the cross-server sum.
+  std::size_t top_position = 0;
+  {
+    ChannelStepScope scope(chan, "Secure Comparison (4)", Timing::kTimed);
+    top_position = argmax_schedule(
+        k, params_.argmax_strategy, [&](std::size_t p, std::size_t q) {
+          return dgk_compare_s1_geq(chan, dgk_pk_, params_.compare_bits,
+                                    votes_seq[p] - votes_seq[q], rng_);
+        });
+  }
+
+  // ---- Step 5: Threshold Checking (paper Eq. 6 / SVT). --------------------
+  bool above_threshold = false;
+  {
+    ChannelStepScope scope(chan, "Threshold Checking (5)", Timing::kTimed);
+    if (params_.threshold_check_all_positions) {
+      // Paper-prototype cost model: one comparison per permuted position;
+      // only pi(i*)'s outcome decides (see ConsensusConfig).
+      for (std::size_t p = 0; p < k; ++p) {
+        const bool geq = dgk_compare_s1_geq(chan, dgk_pk_,
+                                            params_.compare_bits,
+                                            thresh_seq[p], rng_);
+        if (p == top_position) above_threshold = geq;
+      }
+    } else {
+      // x - y == c_{i*} + z1_{i*} - T; the same-sign masks cancel.
+      above_threshold = dgk_compare_s1_geq(
+          chan, dgk_pk_, params_.compare_bits, thresh_seq[top_position], rng_);
+    }
+    // The verdict is public protocol output; users read it off the bulletin
+    // (servers never message users).
+    chan.post_public(above_threshold ? 1 : 0);
+    if (!above_threshold) {
+      return std::nullopt;  // ⊥ — no consensus.
+    }
+  }
+
+  // ---- Step 6: Secure Sum of noisy votes (Report Noisy Maximum). ----------
+  std::vector<PaillierCiphertext> noisy_agg;
+  {
+    ChannelStepScope scope(chan, "Secure Sum (6)", Timing::kTimed);
+    noisy_agg = secure_sum_collect(chan, peer_pk_, n);
+  }
+
+  // ---- Step 7: Blind-and-Permute under a fresh pi'. -----------------------
+  BlindPermuteS1 bnp2(own_, peer_pk_, k, params_.share_bits, rng_);
+  std::vector<std::int64_t> noisy_seq;
+  {
+    ChannelStepScope scope(chan, "Blind-and-Permute (7)", Timing::kTimed);
+    noisy_seq =
+        bnp2.run(chan, noisy_agg, BlindPermuteMaskMode::kOppositeSign);
+  }
+
+  // ---- Step 8: Secure Comparison — find pi'(i~*) (noisy argmax). ----------
+  // S1 learns the same champion from the revealed bits; S2 is the side that
+  // feeds it into Restoration, so S1's copy is not consumed further.
+  {
+    ChannelStepScope scope(chan, "Secure Comparison (8)", Timing::kTimed);
+    (void)argmax_schedule(
+        k, params_.argmax_strategy, [&](std::size_t p, std::size_t q) {
+          return dgk_compare_s1_geq(chan, dgk_pk_, params_.compare_bits,
+                                    noisy_seq[p] - noisy_seq[q], rng_);
+        });
+  }
+
+  // ---- Step 9: Restoration — reveal only the original label index. --------
+  ChannelStepScope scope(chan, "Restoration (9)", Timing::kTimed);
+  return bnp2.restore(chan);
+}
+
+ConsensusS2Program::ConsensusS2Program(const ConsensusQueryParams& params,
+                                       const PaillierKeyPair& own,
+                                       const PaillierPublicKey& peer_pk,
+                                       const DgkKeyPair& dgk, Rng& rng)
+    : params_(params), own_(own), peer_pk_(peer_pk), dgk_(dgk), rng_(rng) {}
+
+std::optional<std::size_t> ConsensusS2Program::run(Channel& chan) {
+  const std::size_t k = params_.num_classes;
+  const std::size_t n = params_.num_users;
+  using Timing = ChannelStepScope::Timing;
+  const DgkCompareContext ctx(dgk_.pk, dgk_.sk, params_.compare_bits);
+
+  // S1 times every step; S2's scopes only label its own sends.
+  std::vector<PaillierCiphertext> votes_agg, thresh_agg;
+  {
+    ChannelStepScope scope(chan, "Secure Sum (2)", Timing::kUntimed);
+    votes_agg = secure_sum_collect(chan, peer_pk_, n);
+    thresh_agg = secure_sum_collect(chan, peer_pk_, n);
+  }
+
+  BlindPermuteS2 bnp(own_, peer_pk_, k, params_.share_bits, rng_);
+  std::vector<std::int64_t> votes_seq, thresh_seq;
+  {
+    ChannelStepScope scope(chan, "Blind-and-Permute (3)", Timing::kUntimed);
+    votes_seq = bnp.run(chan, votes_agg, BlindPermuteMaskMode::kOppositeSign);
+    thresh_seq = bnp.run(chan, thresh_agg, BlindPermuteMaskMode::kSameSign);
+  }
+
+  std::size_t top_position = 0;
+  {
+    ChannelStepScope scope(chan, "Secure Comparison (4)", Timing::kUntimed);
+    top_position = argmax_schedule(
+        k, params_.argmax_strategy, [&](std::size_t p, std::size_t q) {
+          return dgk_compare_s2_geq(chan, ctx, votes_seq[q] - votes_seq[p],
+                                    rng_);
+        });
+  }
+
+  bool above_threshold = false;
+  {
+    ChannelStepScope scope(chan, "Threshold Checking (5)", Timing::kUntimed);
+    if (params_.threshold_check_all_positions) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const bool geq = dgk_compare_s2_geq(chan, ctx, thresh_seq[p], rng_);
+        if (p == top_position) above_threshold = geq;
+      }
+    } else {
+      above_threshold =
+          dgk_compare_s2_geq(chan, ctx, thresh_seq[top_position], rng_);
+    }
+    // S2 learned the verdict from the comparison itself; S1 posts it.
+    if (!above_threshold) {
+      return std::nullopt;
+    }
+  }
+
+  std::vector<PaillierCiphertext> noisy_agg;
+  {
+    ChannelStepScope scope(chan, "Secure Sum (6)", Timing::kUntimed);
+    noisy_agg = secure_sum_collect(chan, peer_pk_, n);
+  }
+
+  BlindPermuteS2 bnp2(own_, peer_pk_, k, params_.share_bits, rng_);
+  std::vector<std::int64_t> noisy_seq;
+  {
+    ChannelStepScope scope(chan, "Blind-and-Permute (7)", Timing::kUntimed);
+    noisy_seq =
+        bnp2.run(chan, noisy_agg, BlindPermuteMaskMode::kOppositeSign);
+  }
+
+  std::size_t noisy_position = 0;
+  {
+    ChannelStepScope scope(chan, "Secure Comparison (8)", Timing::kUntimed);
+    noisy_position = argmax_schedule(
+        k, params_.argmax_strategy, [&](std::size_t p, std::size_t q) {
+          return dgk_compare_s2_geq(chan, ctx, noisy_seq[q] - noisy_seq[p],
+                                    rng_);
+        });
+  }
+
+  ChannelStepScope scope(chan, "Restoration (9)", Timing::kUntimed);
+  return bnp2.restore(chan, noisy_position);
+}
+
+ConsensusUserProgram::ConsensusUserProgram(const ConsensusQueryParams& params,
+                                           Inputs inputs,
+                                           const PaillierPublicKey& pk1,
+                                           const PaillierPublicKey& pk2,
+                                           Rng& rng)
+    : params_(params),
+      inputs_(std::move(inputs)),
+      pk1_(pk1),
+      pk2_(pk2),
+      rng_(rng) {
+  const std::size_t k = params_.num_classes;
+  if (inputs_.votes_fixed.size() != k || inputs_.z1a.size() != k ||
+      inputs_.z1b.size() != k || inputs_.z2a.size() != k ||
+      inputs_.z2b.size() != k) {
+    throw std::invalid_argument("consensus user inputs have wrong length");
+  }
+}
+
+void ConsensusUserProgram::run(Channel& chan) {
+  const std::size_t k = params_.num_classes;
+  using Timing = ChannelStepScope::Timing;
+
+  // ---- Step 1: split the vote vector into additive shares. ----------------
+  ShareVector shares =
+      split_vector(inputs_.votes_fixed, rng_, params_.share_bits);
+
+  // Threshold-offset streams (paper writes T/(2|U|) per user per side):
+  //   S1 stream: a_u[i] - t_a + z1a_u[i]
+  //   S2 stream: t_b - b_u[i] - z1b_u[i]
+  std::vector<std::int64_t> ta(k), tb(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ta[i] = shares.a[i] - inputs_.t_a + inputs_.z1a[i];
+    tb[i] = inputs_.t_b - shares.b[i] - inputs_.z1b[i];
+  }
+
+  // ---- Step 2: submit the vote pair, then the threshold pair. -------------
+  {
+    ChannelStepScope scope(chan, "Secure Sum (2)", Timing::kUntimed);
+    secure_sum_submit(chan, pk2_, pk1_, shares.a, shares.b, rng_);
+    secure_sum_submit(chan, pk2_, pk1_, ta, tb, rng_);
+  }
+
+  // ---- Step 5 verdict: read the public threshold decision. ----------------
+  if (chan.await_public() == 0) {
+    return;  // ⊥ — the query stops; nothing more to contribute.
+  }
+
+  // ---- Step 6: submit the noisy vote pair (Report Noisy Maximum). ---------
+  std::vector<std::int64_t> na(k), nb(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    na[i] = shares.a[i] + inputs_.z2a[i];
+    nb[i] = shares.b[i] + inputs_.z2b[i];
+  }
+  ChannelStepScope scope(chan, "Secure Sum (6)", Timing::kUntimed);
+  secure_sum_submit(chan, pk2_, pk1_, na, nb, rng_);
+}
+
+}  // namespace pcl

@@ -1,0 +1,156 @@
+// Per-party programs for the Private Consensus Protocol (paper Alg. 5).
+//
+// Each program owns exactly one party's view of the query: its secrets, its
+// key material and its Rng.  It talks to the other parties through a
+// `Channel` only, so the same program text runs unchanged under the
+// deterministic in-process runner (the reference driver inside
+// ConsensusProtocol) and on real threads over a BlockingNetwork
+// (ConsensusTransport::kThreaded).  See DESIGN.md §8 for the layering.
+//
+//   S1  — collects share aggregates, runs the S1 side of Blind-and-Permute,
+//         DGK comparison and Restoration; posts the step-5 threshold verdict
+//         on the public bulletin; records step wall-times (it is the only
+//         party that does, so per-step times are not double-counted).
+//   S2  — the mirror image; holds the DGK private key.
+//   user— submits its share vectors for steps 2 and 6 and reads the
+//         threshold verdict from the bulletin.  Users never receive a
+//         direct message from either server (paper model; enforced by the
+//         transcript tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/dgk.h"
+#include "mpc/blind_permute.h"
+#include "net/channel.h"
+
+namespace pcl {
+
+/// How steps (4)/(8) locate the maximum among the K permuted positions.
+enum class ArgmaxStrategy {
+  /// The paper's reading of Alg. 5 ("for each pair i, j"): all K(K-1)/2
+  /// pairwise comparisons.  This is what makes secure comparison dominate
+  /// Tables I and II.
+  kAllPairs,
+  /// Sequential-champion tournament: K-1 comparisons, provably the same
+  /// winner (comparisons are consistent — they reflect the true counts).
+  /// Cuts the dominant cost ~K/2-fold; see bench_ablation_argmax.
+  kTournament,
+};
+
+/// The public, query-wide parameters every party agrees on up front.
+struct ConsensusQueryParams {
+  std::size_t num_classes = 0;
+  std::size_t num_users = 0;
+  std::size_t share_bits = 0;
+  std::size_t compare_bits = 0;
+  bool threshold_check_all_positions = false;
+  ArgmaxStrategy argmax_strategy = ArgmaxStrategy::kAllPairs;
+};
+
+/// Comparison schedule shared by both servers in steps (4) and (8): each
+/// server supplies its own role's half of the DGK comparison as `geq(p, q)`
+/// (the revealed bit is the same on both sides, so both servers walk the
+/// identical schedule and land on the identical champion).
+template <typename GeqFn>
+[[nodiscard]] std::size_t argmax_schedule(std::size_t k,
+                                          ArgmaxStrategy strategy,
+                                          GeqFn&& geq) {
+  if (strategy == ArgmaxStrategy::kTournament) {
+    // Sequential champion: K-1 comparisons; ties keep the earlier position,
+    // matching the all-pairs winner exactly.
+    std::size_t champion = 0;
+    for (std::size_t p = 1; p < k; ++p) {
+      if (!geq(champion, p)) champion = p;
+    }
+    return champion;
+  }
+  std::vector<std::size_t> wins(k, 0);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t q = p + 1; q < k; ++q) {
+      if (geq(p, q)) {
+        ++wins[p];
+      } else {
+        ++wins[q];
+      }
+    }
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    if (wins[p] == k - 1) return p;
+  }
+  throw std::logic_error("argmax tournament produced no champion");
+}
+
+/// Server S1's program for one Alg. 5 query.
+class ConsensusS1Program {
+ public:
+  /// `own` is S1's Paillier pair, `peer_pk` S2's public key, `dgk_pk` the
+  /// (public) DGK key owned by S2.
+  ConsensusS1Program(const ConsensusQueryParams& params,
+                     const PaillierKeyPair& own,
+                     const PaillierPublicKey& peer_pk,
+                     const DgkPublicKey& dgk_pk, Rng& rng);
+
+  /// Returns the restored label index, or nullopt for the paper's ⊥.
+  [[nodiscard]] std::optional<std::size_t> run(Channel& chan);
+
+ private:
+  const ConsensusQueryParams& params_;
+  const PaillierKeyPair& own_;
+  const PaillierPublicKey& peer_pk_;
+  const DgkPublicKey& dgk_pk_;
+  Rng& rng_;
+};
+
+/// Server S2's program for one Alg. 5 query.
+class ConsensusS2Program {
+ public:
+  /// `own` is S2's Paillier pair, `peer_pk` S1's public key, `dgk` the full
+  /// DGK key pair (S2 owns the private key).
+  ConsensusS2Program(const ConsensusQueryParams& params,
+                     const PaillierKeyPair& own,
+                     const PaillierPublicKey& peer_pk, const DgkKeyPair& dgk,
+                     Rng& rng);
+
+  [[nodiscard]] std::optional<std::size_t> run(Channel& chan);
+
+ private:
+  const ConsensusQueryParams& params_;
+  const PaillierKeyPair& own_;
+  const PaillierPublicKey& peer_pk_;
+  const DgkKeyPair& dgk_;
+  Rng& rng_;
+};
+
+/// One user's program: fixed-point vote vector plus this user's noise
+/// components and threshold offsets, all prepared before the query starts.
+class ConsensusUserProgram {
+ public:
+  struct Inputs {
+    std::vector<std::int64_t> votes_fixed;  ///< encode_fixed votes, length K
+    std::int64_t t_a = 0;  ///< this user's a-side threshold offset
+    std::int64_t t_b = 0;  ///< this user's b-side threshold offset
+    std::vector<std::int64_t> z1a, z1b;  ///< threshold-noise components
+    std::vector<std::int64_t> z2a, z2b;  ///< release-noise components
+  };
+
+  /// `pk1`/`pk2` are the servers' public keys: S2-bound shares travel under
+  /// pk1 and S1-bound shares under pk2, so neither server can decrypt what
+  /// it aggregates.
+  ConsensusUserProgram(const ConsensusQueryParams& params, Inputs inputs,
+                       const PaillierPublicKey& pk1,
+                       const PaillierPublicKey& pk2, Rng& rng);
+
+  void run(Channel& chan);
+
+ private:
+  const ConsensusQueryParams& params_;
+  Inputs inputs_;
+  const PaillierPublicKey& pk1_;
+  const PaillierPublicKey& pk2_;
+  Rng& rng_;
+};
+
+}  // namespace pcl

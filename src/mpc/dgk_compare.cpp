@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "mpc/permutation.h"
+#include "net/party_runner.h"
 
 namespace pcl {
 
@@ -30,164 +31,173 @@ std::uint64_t to_offset_domain(std::int64_t v, std::size_t ell) {
   return static_cast<std::uint64_t>(v + half);
 }
 
+/// S2 -> S1: the bits of e, each DGK-encrypted, batched into one message.
+void send_encrypted_bits(Channel& chan, const std::string& to,
+                         const DgkPublicKey& pk, std::uint64_t e,
+                         std::size_t width, Rng& rng) {
+  MessageWriter msg;
+  msg.write_u64(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    msg.write_bigint(pk.encrypt((e >> i) & 1u, rng).value);
+  }
+  chan.send(to, std::move(msg));
+}
+
+std::vector<DgkCiphertext> recv_ciphertext_batch(Channel& chan,
+                                                 const std::string& from,
+                                                 std::size_t expected) {
+  MessageReader msg = chan.recv(from);
+  const std::uint64_t count = msg.read_u64();
+  if (expected != 0 && count != expected) {
+    throw std::logic_error("DGK bit count mismatch");
+  }
+  std::vector<DgkCiphertext> out(count);
+  for (std::uint64_t i = 0; i < count; ++i) out[i] = {msg.read_bigint()};
+  return out;
+}
+
+/// S1's core: the blinded, permuted c-sequence.  `flipped` selects the
+/// comparison direction (the shared variant's delta == 1 orientation):
+///   flipped == false: c_i = 1 + d_i - e_i + 3W  (tests d < e)
+///   flipped == true:  c_i = 1 - d_i + e_i + 3W  (tests e < d)
+std::vector<DgkCiphertext> build_blinded_sequence(
+    const DgkPublicKey& pk, std::uint64_t d,
+    const std::vector<DgkCiphertext>& e_bits, bool flipped, Rng& rng) {
+  const std::size_t width = e_bits.size();
+  const DgkCiphertext enc_one = pk.encrypt(std::uint64_t{1}, rng);
+
+  // Running homomorphic sum of w_j = d_j XOR e_j over bits more
+  // significant than the current one (we iterate MSB -> LSB).
+  DgkCiphertext w_sum = pk.encrypt(std::uint64_t{0}, rng);
+  std::vector<DgkCiphertext> c_seq;
+  c_seq.reserve(width);
+  for (std::size_t idx = width; idx-- > 0;) {
+    const std::uint64_t d_bit = (d >> idx) & 1u;
+    DgkCiphertext c =
+        flipped ? pk.add(pk.encrypt(1 - d_bit, rng), e_bits[idx])
+                : pk.add(pk.encrypt(1 + d_bit, rng), pk.negate(e_bits[idx]));
+    c = pk.add(c, pk.scalar_mul(w_sum, BigInt(3)));
+    c_seq.push_back(pk.blind_multiplicative(c, rng));
+    // w_idx = d_idx XOR e_idx = d_idx + e_idx - 2*d_idx*e_idx; with d_idx
+    // known in plaintext this is e_idx when d_idx == 0, else 1 - e_idx.
+    const DgkCiphertext w =
+        d_bit == 0 ? e_bits[idx] : pk.add(enc_one, pk.negate(e_bits[idx]));
+    w_sum = pk.add(w_sum, w);
+  }
+  const Permutation shuffle = Permutation::random(width, rng);
+  return shuffle.apply(c_seq);
+}
+
+void send_ciphertext_batch(Channel& chan, const std::string& to,
+                           const std::vector<DgkCiphertext>& cts) {
+  MessageWriter msg;
+  msg.write_u64(cts.size());
+  for (const DgkCiphertext& c : cts) msg.write_bigint(c.value);
+  chan.send(to, std::move(msg));
+}
+
+/// S2's core: zero-test the returned sequence; some c_i == 0 iff d < e.
+bool any_zero_test(const DgkPrivateKey& sk,
+                   const std::vector<DgkCiphertext>& cts) {
+  bool any_zero = false;
+  for (const DgkCiphertext& c : cts) {
+    any_zero = sk.is_zero(c) || any_zero;
+  }
+  return any_zero;
+}
+
+void require_shared_width(const DgkPublicKey& pk, std::size_t width) {
+  if (pk.u_value() <= 3 * width + 4) {
+    throw std::invalid_argument(
+        "DGK shared comparison: need u > 3*(ell+1) + 4");
+  }
+}
+
 }  // namespace
+
+bool dgk_compare_s1_geq(Channel& chan, const DgkPublicKey& pk,
+                        std::size_t ell, std::int64_t x, Rng& rng) {
+  const std::uint64_t d = to_offset_domain(x, ell);
+  const std::vector<DgkCiphertext> e_bits =
+      recv_ciphertext_batch(chan, "S2", ell);
+  send_ciphertext_batch(
+      chan, "S2", build_blinded_sequence(pk, d, e_bits, /*flipped=*/false,
+                                         rng));
+  MessageReader result = chan.recv("S2");
+  return result.read_u8() != 0;
+}
+
+bool dgk_compare_s2_geq(Channel& chan, const DgkCompareContext& ctx,
+                        std::int64_t y, Rng& rng) {
+  const std::uint64_t e = to_offset_domain(y, ctx.ell);
+  send_encrypted_bits(chan, "S1", *ctx.pk, e, ctx.ell, rng);
+  const std::vector<DgkCiphertext> blinded =
+      recv_ciphertext_batch(chan, "S1", 0);
+  const bool x_geq_y = !any_zero_test(*ctx.sk, blinded);
+  MessageWriter out;
+  out.write_u8(x_geq_y ? 1 : 0);
+  chan.send("S1", std::move(out));
+  return x_geq_y;
+}
+
+bool dgk_compare_shared_s1(Channel& chan, const DgkPublicKey& pk,
+                           std::size_t ell, std::int64_t x, Rng& rng) {
+  const std::size_t width = ell + 1;
+  require_shared_width(pk, width);
+  const std::uint64_t d_prime = 2 * to_offset_domain(x, ell) + 1;
+  const bool delta = (rng.next_u64() & 1u) != 0;
+  const std::vector<DgkCiphertext> e_bits =
+      recv_ciphertext_batch(chan, "S2", width);
+  send_ciphertext_batch(
+      chan, "S2", build_blinded_sequence(pk, d_prime, e_bits, delta, rng));
+  return !delta;  // (x >= y) = t XOR delta XOR 1
+}
+
+bool dgk_compare_shared_s2(Channel& chan, const DgkCompareContext& ctx,
+                           std::int64_t y, Rng& rng) {
+  const std::size_t width = ctx.ell + 1;
+  require_shared_width(*ctx.pk, width);
+  const std::uint64_t e_prime = 2 * to_offset_domain(y, ctx.ell);
+  send_encrypted_bits(chan, "S1", *ctx.pk, e_prime, width, rng);
+  const std::vector<DgkCiphertext> blinded =
+      recv_ciphertext_batch(chan, "S1", 0);
+  return any_zero_test(*ctx.sk, blinded);  // t: kept private
+}
 
 bool dgk_compare_geq(Network& net, const DgkCompareContext& ctx,
                      std::int64_t x, std::int64_t y, Rng& s1_rng,
                      Rng& s2_rng) {
-  const DgkPublicKey& pk = *ctx.pk;
-  const std::size_t ell = ctx.ell;
-
-  // --- S2: encrypt the bits of e = y + 2^(ell-1) and send them to S1. ----
-  {
-    const std::uint64_t e = to_offset_domain(y, ell);
-    MessageWriter msg;
-    msg.write_u64(ell);
-    for (std::size_t i = 0; i < ell; ++i) {
-      const std::uint64_t bit = (e >> i) & 1u;
-      msg.write_bigint(pk.encrypt(bit, s2_rng).value);
-    }
-    net.send("S2", "S1", std::move(msg));
-  }
-
-  // --- S1: form the blinded, permuted DGK sequence. -----------------------
-  {
-    MessageReader msg = net.recv("S1", "S2");
-    const std::uint64_t count = msg.read_u64();
-    if (count != ell) throw std::logic_error("DGK bit count mismatch");
-    std::vector<DgkCiphertext> e_bits(ell);
-    for (std::size_t i = 0; i < ell; ++i) e_bits[i] = {msg.read_bigint()};
-
-    const std::uint64_t d = to_offset_domain(x, ell);
-    const DgkCiphertext enc_one = pk.encrypt(std::uint64_t{1}, s1_rng);
-
-    // Running homomorphic sum of w_j = d_j XOR e_j over bits more
-    // significant than the current one (we iterate MSB -> LSB).
-    DgkCiphertext w_sum = pk.encrypt(std::uint64_t{0}, s1_rng);
-    std::vector<DgkCiphertext> c_seq;
-    c_seq.reserve(ell);
-    for (std::size_t idx = ell; idx-- > 0;) {
-      const std::uint64_t d_bit = (d >> idx) & 1u;
-      // c_idx = 1 + d_idx - e_idx + 3 * w_sum.
-      DgkCiphertext c = pk.encrypt(1 + d_bit, s1_rng);
-      c = pk.add(c, pk.negate(e_bits[idx]));
-      c = pk.add(c, pk.scalar_mul(w_sum, BigInt(3)));
-      c_seq.push_back(pk.blind_multiplicative(c, s1_rng));
-      // w_idx = d_idx XOR e_idx = d_idx + e_idx - 2*d_idx*e_idx; with d_idx
-      // known in plaintext this is e_idx when d_idx == 0, else 1 - e_idx.
-      const DgkCiphertext w =
-          d_bit == 0 ? e_bits[idx] : pk.add(enc_one, pk.negate(e_bits[idx]));
-      w_sum = pk.add(w_sum, w);
-    }
-
-    const Permutation shuffle = Permutation::random(ell, s1_rng);
-    const std::vector<DgkCiphertext> shuffled = shuffle.apply(c_seq);
-    MessageWriter out;
-    out.write_u64(ell);
-    for (const DgkCiphertext& c : shuffled) out.write_bigint(c.value);
-    net.send("S1", "S2", std::move(out));
-  }
-
-  // --- S2: zero-test; some c_i == 0 iff d < e.  Reveal the bit. -----------
-  bool x_geq_y = false;
-  {
-    MessageReader msg = net.recv("S2", "S1");
-    const std::uint64_t count = msg.read_u64();
-    bool any_zero = false;
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const DgkCiphertext c{msg.read_bigint()};
-      any_zero = ctx.sk->is_zero(c) || any_zero;
-    }
-    x_geq_y = !any_zero;
-    MessageWriter out;
-    out.write_u8(x_geq_y ? 1 : 0);
-    net.send("S2", "S1", std::move(out));
-  }
-
-  // --- S1: receive the result bit (both parties now know it). -------------
-  {
-    MessageReader msg = net.recv("S1", "S2");
-    const bool bit = msg.read_u8() != 0;
-    if (bit != x_geq_y) throw std::logic_error("DGK result desync");
-  }
-  return x_geq_y;
+  bool s1 = false, s2 = false;
+  const Party parties[] = {
+      {"S1",
+       [&](Channel& chan) {
+         s1 = dgk_compare_s1_geq(chan, *ctx.pk, ctx.ell, x, s1_rng);
+       }},
+      {"S2",
+       [&](Channel& chan) { s2 = dgk_compare_s2_geq(chan, ctx, y, s2_rng); }},
+  };
+  run_parties_deterministic(net, parties);
+  if (s1 != s2) throw std::logic_error("DGK result desync");
+  return s2;
 }
 
 SharedComparisonBit dgk_compare_geq_shared(Network& net,
                                            const DgkCompareContext& ctx,
                                            std::int64_t x, std::int64_t y,
                                            Rng& s1_rng, Rng& s2_rng) {
-  const DgkPublicKey& pk = *ctx.pk;
-  const std::size_t ell = ctx.ell;
-  // One extra bit for the 2d+1 / 2e doubling trick.
-  const std::size_t width = ell + 1;
-  if (pk.u_value() <= 3 * width + 4) {
-    throw std::invalid_argument(
-        "DGK shared comparison: need u > 3*(ell+1) + 4");
-  }
-
-  // --- S2: encrypt the bits of e' = 2 * (y + offset). ---------------------
-  {
-    const std::uint64_t e_prime = 2 * to_offset_domain(y, ell);
-    MessageWriter msg;
-    msg.write_u64(width);
-    for (std::size_t i = 0; i < width; ++i) {
-      msg.write_bigint(pk.encrypt((e_prime >> i) & 1u, s2_rng).value);
-    }
-    net.send("S2", "S1", std::move(msg));
-  }
-
-  // --- S1: orientation bit delta; form c-sequence in that direction. ------
   SharedComparisonBit shares;
-  {
-    const bool delta = (s1_rng.next_u64() & 1u) != 0;
-    shares.s1_share = !delta;  // (x >= y) = t XOR delta XOR 1
-
-    MessageReader msg = net.recv("S1", "S2");
-    const std::uint64_t count = msg.read_u64();
-    if (count != width) throw std::logic_error("DGK bit count mismatch");
-    std::vector<DgkCiphertext> e_bits(width);
-    for (std::size_t i = 0; i < width; ++i) e_bits[i] = {msg.read_bigint()};
-
-    const std::uint64_t d_prime = 2 * to_offset_domain(x, ell) + 1;
-    const DgkCiphertext enc_one = pk.encrypt(std::uint64_t{1}, s1_rng);
-
-    DgkCiphertext w_sum = pk.encrypt(std::uint64_t{0}, s1_rng);
-    std::vector<DgkCiphertext> c_seq;
-    c_seq.reserve(width);
-    for (std::size_t idx = width; idx-- > 0;) {
-      const std::uint64_t d_bit = (d_prime >> idx) & 1u;
-      // delta == 0: c = 1 + d_i - e_i + 3W  (tests d' < e')
-      // delta == 1: c = 1 - d_i + e_i + 3W  (tests e' < d')
-      DgkCiphertext c =
-          delta ? pk.add(pk.encrypt(1 - d_bit, s1_rng), e_bits[idx])
-                : pk.add(pk.encrypt(1 + d_bit, s1_rng),
-                         pk.negate(e_bits[idx]));
-      c = pk.add(c, pk.scalar_mul(w_sum, BigInt(3)));
-      c_seq.push_back(pk.blind_multiplicative(c, s1_rng));
-      const DgkCiphertext w =
-          d_bit == 0 ? e_bits[idx] : pk.add(enc_one, pk.negate(e_bits[idx]));
-      w_sum = pk.add(w_sum, w);
-    }
-    const Permutation shuffle = Permutation::random(width, s1_rng);
-    const std::vector<DgkCiphertext> shuffled = shuffle.apply(c_seq);
-    MessageWriter out;
-    out.write_u64(width);
-    for (const DgkCiphertext& c : shuffled) out.write_bigint(c.value);
-    net.send("S1", "S2", std::move(out));
-  }
-
-  // --- S2: zero-test; keep t private (this is its output share). ----------
-  {
-    MessageReader msg = net.recv("S2", "S1");
-    const std::uint64_t count = msg.read_u64();
-    bool any_zero = false;
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const DgkCiphertext c{msg.read_bigint()};
-      any_zero = ctx.sk->is_zero(c) || any_zero;
-    }
-    shares.s2_share = any_zero;  // t
-  }
+  const Party parties[] = {
+      {"S1",
+       [&](Channel& chan) {
+         shares.s1_share =
+             dgk_compare_shared_s1(chan, *ctx.pk, ctx.ell, x, s1_rng);
+       }},
+      {"S2",
+       [&](Channel& chan) {
+         shares.s2_share = dgk_compare_shared_s2(chan, ctx, y, s2_rng);
+       }},
+  };
+  run_parties_deterministic(net, parties);
   return shares;
 }
 

@@ -10,18 +10,26 @@
 // compared positions are blinded by the composed permutation):
 //   1. Both sides add the public offset 2^(ell-1), giving ell-bit
 //      non-negative d (at S1) and e (at S2).
-//   2. S2 sends DGK encryptions of e's bits.
+//   2. S2 sends DGK encryptions of e's bits — all ell bit-ciphertexts
+//      batched into ONE message on the channel.
 //   3. For every bit i (MSB to LSB), S1 homomorphically forms
 //        c_i = 1 + d_i - e_i + 3 * sum_{j more significant than i} (d_j XOR e_j),
 //      multiplicatively blinds each c_i by a random unit of Z_u*, permutes
-//      the sequence, and returns it.
+//      the sequence, and returns it (again one batched message).
 //   4. S2 zero-tests each ciphertext: some c_i == 0  iff  d < e.
 //      S2 reveals the bit; both output x >= y == !(d < e).
+//
+// The protocol is implemented ONCE, as the per-party role functions below
+// written against `Channel` (party names follow the repo-wide convention:
+// the roles talk to "S1"/"S2").  The `Network`-based entry points are thin
+// wrappers that drive both roles through the deterministic party runner;
+// mpc/threaded.h wires the very same roles to real threads.
 #pragma once
 
 #include <cstdint>
 
 #include "crypto/dgk.h"
+#include "net/channel.h"
 #include "net/transport.h"
 
 namespace pcl {
@@ -36,6 +44,32 @@ struct DgkCompareContext {
   const DgkPrivateKey* sk;  ///< held by S2 only
   std::size_t ell;
 };
+
+// --- Per-party roles (each takes only the party's own secrets) -------------
+
+/// S1's role: holds x and the public key only.  Receives S2's encrypted
+/// bits, returns the blinded permuted sequence, receives the revealed bit.
+/// Returns x >= y.
+[[nodiscard]] bool dgk_compare_s1_geq(Channel& chan, const DgkPublicKey& pk,
+                                      std::size_t ell, std::int64_t x,
+                                      Rng& rng);
+
+/// S2's role: holds y and the private key.  Returns x >= y.
+[[nodiscard]] bool dgk_compare_s2_geq(Channel& chan,
+                                      const DgkCompareContext& ctx,
+                                      std::int64_t y, Rng& rng);
+
+/// Shared-output roles (see dgk_compare_geq_shared below): S1's role
+/// returns its share (!delta), S2's role returns its share (t).
+[[nodiscard]] bool dgk_compare_shared_s1(Channel& chan,
+                                         const DgkPublicKey& pk,
+                                         std::size_t ell, std::int64_t x,
+                                         Rng& rng);
+[[nodiscard]] bool dgk_compare_shared_s2(Channel& chan,
+                                         const DgkCompareContext& ctx,
+                                         std::int64_t y, Rng& rng);
+
+// --- Synchronous reference drivers -----------------------------------------
 
 /// Runs the comparison over `net` between parties "S1" (holding x, using
 /// `s1_rng`) and "S2" (holding y and the private key, using `s2_rng`).

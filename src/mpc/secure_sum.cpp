@@ -1,57 +1,103 @@
 #include "mpc/secure_sum.h"
 
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "crypto/encryption_pool.h"
 #include "mpc/he_util.h"
+#include "net/party_runner.h"
 
 namespace pcl {
+
+void secure_sum_submit(Channel& chan, const PaillierPublicKey& s1_stream_pk,
+                       const PaillierPublicKey& s2_stream_pk,
+                       const std::vector<std::int64_t>& to_s1,
+                       const std::vector<std::int64_t>& to_s2, Rng& rng) {
+  MessageWriter m1;
+  write_ciphertext_vector(m1, encrypt_vector(s1_stream_pk, to_s1, rng));
+  chan.send("S1", std::move(m1));
+  MessageWriter m2;
+  write_ciphertext_vector(m2, encrypt_vector(s2_stream_pk, to_s2, rng));
+  chan.send("S2", std::move(m2));
+}
+
+void secure_sum_submit_pooled(Channel& chan, PaillierRandomizerPool& pool_s1,
+                              PaillierRandomizerPool& pool_s2,
+                              const std::vector<std::int64_t>& to_s1,
+                              const std::vector<std::int64_t>& to_s2) {
+  MessageWriter m1;
+  write_ciphertext_vector(m1, pool_s1.encrypt_batch(to_s1));
+  chan.send("S1", std::move(m1));
+  MessageWriter m2;
+  write_ciphertext_vector(m2, pool_s2.encrypt_batch(to_s2));
+  chan.send("S2", std::move(m2));
+}
+
+std::vector<PaillierCiphertext> secure_sum_collect(Channel& chan,
+                                                   const PaillierPublicKey& pk,
+                                                   std::size_t n_users) {
+  std::vector<PaillierCiphertext> aggregate;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    MessageReader msg = chan.recv("user:" + std::to_string(u));
+    std::vector<PaillierCiphertext> shares = read_ciphertext_vector(msg);
+    aggregate =
+        u == 0 ? std::move(shares) : add_vectors(pk, aggregate, shares);
+  }
+  return aggregate;
+}
+
+namespace {
+
+void validate_share_matrix(
+    const std::vector<std::vector<std::int64_t>>& to_s1,
+    const std::vector<std::vector<std::int64_t>>& to_s2) {
+  if (to_s1.empty() || to_s1.size() != to_s2.size()) {
+    throw std::invalid_argument("secure_sum: need equal, non-empty user sets");
+  }
+  const std::size_t k = to_s1.front().size();
+  for (std::size_t u = 0; u < to_s1.size(); ++u) {
+    if (to_s1[u].size() != k || to_s2[u].size() != k) {
+      throw std::invalid_argument("secure_sum: ragged share vectors");
+    }
+  }
+}
+
+/// Shared driver skeleton: servers collect, each user runs `submit(chan, u)`.
+SecureSumResult drive_secure_sum(
+    Network& net, const ServerPaillierKeys& keys, std::size_t n_users,
+    const std::function<void(Channel&, std::size_t)>& submit) {
+  SecureSumResult out;
+  std::vector<Party> parties;
+  parties.push_back({"S1", [&](Channel& chan) {
+                       out.s1_aggregate =
+                           secure_sum_collect(chan, keys.s2.pk, n_users);
+                     }});
+  parties.push_back({"S2", [&](Channel& chan) {
+                       out.s2_aggregate =
+                           secure_sum_collect(chan, keys.s1.pk, n_users);
+                     }});
+  for (std::size_t u = 0; u < n_users; ++u) {
+    parties.push_back({"user:" + std::to_string(u),
+                       [&submit, u](Channel& chan) { submit(chan, u); }});
+  }
+  run_parties_deterministic(net, parties);
+  return out;
+}
+
+}  // namespace
 
 SecureSumResult secure_sum(Network& net, const ServerPaillierKeys& keys,
                            const std::vector<std::vector<std::int64_t>>& to_s1,
                            const std::vector<std::vector<std::int64_t>>& to_s2,
                            Rng& users_rng) {
-  if (to_s1.empty() || to_s1.size() != to_s2.size()) {
-    throw std::invalid_argument("secure_sum: need equal, non-empty user sets");
-  }
-  const std::size_t k = to_s1.front().size();
-
-  // Users encrypt and submit.  S1-bound shares are hidden from S1's peer
-  // inspection by Paillier under pk2 (only S2 could decrypt, but S2 never
-  // sees them: they travel on the user->S1 link and stay at S1).
-  for (std::size_t u = 0; u < to_s1.size(); ++u) {
-    if (to_s1[u].size() != k || to_s2[u].size() != k) {
-      throw std::invalid_argument("secure_sum: ragged share vectors");
-    }
-    const std::string name = "user:" + std::to_string(u);
-    MessageWriter m1;
-    write_ciphertext_vector(m1, encrypt_vector(keys.s2.pk, to_s1[u],
-                                               users_rng));
-    net.send(name, "S1", std::move(m1));
-    MessageWriter m2;
-    write_ciphertext_vector(m2, encrypt_vector(keys.s1.pk, to_s2[u],
-                                               users_rng));
-    net.send(name, "S2", std::move(m2));
-  }
-
-  // Servers aggregate by ciphertext multiplication (paper Eq. 1).
-  SecureSumResult out;
-  for (std::size_t u = 0; u < to_s1.size(); ++u) {
-    const std::string name = "user:" + std::to_string(u);
-    MessageReader m1 = net.recv("S1", name);
-    std::vector<PaillierCiphertext> c1 = read_ciphertext_vector(m1);
-    MessageReader m2 = net.recv("S2", name);
-    std::vector<PaillierCiphertext> c2 = read_ciphertext_vector(m2);
-    if (u == 0) {
-      out.s1_aggregate = std::move(c1);
-      out.s2_aggregate = std::move(c2);
-    } else {
-      out.s1_aggregate = add_vectors(keys.s2.pk, out.s1_aggregate, c1);
-      out.s2_aggregate = add_vectors(keys.s1.pk, out.s2_aggregate, c2);
-    }
-  }
-  return out;
+  validate_share_matrix(to_s1, to_s2);
+  return drive_secure_sum(
+      net, keys, to_s1.size(), [&](Channel& chan, std::size_t u) {
+        secure_sum_submit(chan, keys.s2.pk, keys.s1.pk, to_s1[u], to_s2[u],
+                          users_rng);
+      });
 }
 
 SecureSumResult secure_sum_pooled(
@@ -59,39 +105,11 @@ SecureSumResult secure_sum_pooled(
     const std::vector<std::vector<std::int64_t>>& to_s1,
     const std::vector<std::vector<std::int64_t>>& to_s2,
     PaillierRandomizerPool& pool_s1, PaillierRandomizerPool& pool_s2) {
-  if (to_s1.empty() || to_s1.size() != to_s2.size()) {
-    throw std::invalid_argument("secure_sum: need equal, non-empty user sets");
-  }
-  const std::size_t k = to_s1.front().size();
-  for (std::size_t u = 0; u < to_s1.size(); ++u) {
-    if (to_s1[u].size() != k || to_s2[u].size() != k) {
-      throw std::invalid_argument("secure_sum: ragged share vectors");
-    }
-    const std::string name = "user:" + std::to_string(u);
-    MessageWriter m1;
-    write_ciphertext_vector(m1, pool_s1.encrypt_batch(to_s1[u]));
-    net.send(name, "S1", std::move(m1));
-    MessageWriter m2;
-    write_ciphertext_vector(m2, pool_s2.encrypt_batch(to_s2[u]));
-    net.send(name, "S2", std::move(m2));
-  }
-
-  SecureSumResult out;
-  for (std::size_t u = 0; u < to_s1.size(); ++u) {
-    const std::string name = "user:" + std::to_string(u);
-    MessageReader m1 = net.recv("S1", name);
-    std::vector<PaillierCiphertext> c1 = read_ciphertext_vector(m1);
-    MessageReader m2 = net.recv("S2", name);
-    std::vector<PaillierCiphertext> c2 = read_ciphertext_vector(m2);
-    if (u == 0) {
-      out.s1_aggregate = std::move(c1);
-      out.s2_aggregate = std::move(c2);
-    } else {
-      out.s1_aggregate = add_vectors(keys.s2.pk, out.s1_aggregate, c1);
-      out.s2_aggregate = add_vectors(keys.s1.pk, out.s2_aggregate, c2);
-    }
-  }
-  return out;
+  validate_share_matrix(to_s1, to_s2);
+  return drive_secure_sum(
+      net, keys, to_s1.size(), [&](Channel& chan, std::size_t u) {
+        secure_sum_submit_pooled(chan, pool_s1, pool_s2, to_s1[u], to_s2[u]);
+      });
 }
 
 }  // namespace pcl

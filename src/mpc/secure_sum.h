@@ -4,15 +4,50 @@
 // the S1-bound vector is encrypted under S2's public key and vice versa, so
 // the server holding a ciphertext cannot decrypt it (paper Eq. 4 aggregation
 // happens under encryption; Eq. 1 makes the sum a ciphertext product).
+//
+// The round is implemented once as per-party roles over `Channel`: users run
+// a submit role, servers run a collect role.  The `Network` entry points
+// below drive all parties through the deterministic runner; the threaded
+// deployment (mpc/threaded.h) runs the same roles on real threads.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "mpc/blind_permute.h"
+#include "net/channel.h"
 #include "net/transport.h"
 
 namespace pcl {
+
+class PaillierRandomizerPool;
+
+// --- Per-party roles -------------------------------------------------------
+
+/// User role: encrypts `to_s1` under `s1_stream_pk` (= S2's key, so S1
+/// cannot decrypt what it aggregates) and sends it to "S1"; symmetrically
+/// for `to_s2` under `s2_stream_pk` (= S1's key).
+void secure_sum_submit(Channel& chan, const PaillierPublicKey& s1_stream_pk,
+                       const PaillierPublicKey& s2_stream_pk,
+                       const std::vector<std::int64_t>& to_s1,
+                       const std::vector<std::int64_t>& to_s2, Rng& rng);
+
+/// Pool-backed user role (paper Sec. VI-A): draws pre-computed randomizer
+/// powers instead of running a pow_mod per entry.  `pool_s1` must hold
+/// randomizers for the S1-bound stream's key and `pool_s2` for the
+/// S2-bound stream's key.  Throws std::runtime_error if a pool runs dry.
+void secure_sum_submit_pooled(Channel& chan, PaillierRandomizerPool& pool_s1,
+                              PaillierRandomizerPool& pool_s2,
+                              const std::vector<std::int64_t>& to_s1,
+                              const std::vector<std::int64_t>& to_s2);
+
+/// Server role: receives one ciphertext vector from each of
+/// "user:0" .. "user:<n_users-1>" in index order and aggregates them by
+/// ciphertext multiplication under `pk` (paper Eq. 1).
+[[nodiscard]] std::vector<PaillierCiphertext> secure_sum_collect(
+    Channel& chan, const PaillierPublicKey& pk, std::size_t n_users);
+
+// --- Synchronous reference drivers -----------------------------------------
 
 struct SecureSumResult {
   /// Aggregate of all users' S1-bound vectors; encrypted under pk2, held
@@ -31,11 +66,7 @@ struct SecureSumResult {
     const std::vector<std::vector<std::int64_t>>& to_s1,
     const std::vector<std::vector<std::int64_t>>& to_s2, Rng& users_rng);
 
-/// Pool-backed variant (paper Sec. VI-A): user-side encryptions draw
-/// pre-computed randomizer powers instead of running a pow_mod each —
-/// `pool_s1` holds randomizers for pk2 (the S1-bound stream) and `pool_s2`
-/// for pk1.  Throws std::runtime_error if a pool runs dry.
-class PaillierRandomizerPool;
+/// Pool-backed variant of the driver: all users share the two pools.
 [[nodiscard]] SecureSumResult secure_sum_pooled(
     Network& net, const ServerPaillierKeys& keys,
     const std::vector<std::vector<std::int64_t>>& to_s1,

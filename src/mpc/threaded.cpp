@@ -1,92 +1,13 @@
 #include "mpc/threaded.h"
 
 #include <stdexcept>
-#include <thread>
+#include <string>
 
 #include "mpc/he_util.h"
-#include "mpc/permutation.h"
+#include "mpc/secure_sum.h"
+#include "net/party_runner.h"
 
 namespace pcl {
-
-namespace {
-
-/// S1's half of the comparison: receive encrypted bits, build the blinded
-/// permuted DGK sequence, send it back, receive the result bit.
-bool compare_s1_routine(BlockingNetwork& net, const DgkCompareContext& ctx,
-                        std::int64_t x, Rng& rng) {
-  const DgkPublicKey& pk = *ctx.pk;
-  const std::size_t ell = ctx.ell;
-  const std::int64_t half = std::int64_t{1} << (ell - 1);
-  if (x < -half || x >= half) {
-    throw std::out_of_range("threaded compare: x outside domain");
-  }
-  const std::uint64_t d = static_cast<std::uint64_t>(x + half);
-
-  MessageReader msg = net.recv("S1", "S2");
-  const std::uint64_t count = msg.read_u64();
-  if (count != ell) throw std::logic_error("threaded compare: bit count");
-  std::vector<DgkCiphertext> e_bits(ell);
-  for (std::size_t i = 0; i < ell; ++i) e_bits[i] = {msg.read_bigint()};
-
-  const DgkCiphertext enc_one = pk.encrypt(std::uint64_t{1}, rng);
-  DgkCiphertext w_sum = pk.encrypt(std::uint64_t{0}, rng);
-  std::vector<DgkCiphertext> c_seq;
-  c_seq.reserve(ell);
-  for (std::size_t idx = ell; idx-- > 0;) {
-    const std::uint64_t d_bit = (d >> idx) & 1u;
-    DgkCiphertext c = pk.encrypt(1 + d_bit, rng);
-    c = pk.add(c, pk.negate(e_bits[idx]));
-    c = pk.add(c, pk.scalar_mul(w_sum, BigInt(3)));
-    c_seq.push_back(pk.blind_multiplicative(c, rng));
-    const DgkCiphertext w =
-        d_bit == 0 ? e_bits[idx] : pk.add(enc_one, pk.negate(e_bits[idx]));
-    w_sum = pk.add(w_sum, w);
-  }
-  const Permutation shuffle = Permutation::random(ell, rng);
-  const std::vector<DgkCiphertext> shuffled = shuffle.apply(c_seq);
-  MessageWriter out;
-  out.write_u64(ell);
-  for (const DgkCiphertext& c : shuffled) out.write_bigint(c.value);
-  net.send("S1", "S2", std::move(out));
-
-  MessageReader result = net.recv("S1", "S2");
-  return result.read_u8() != 0;
-}
-
-/// S2's half: send encrypted bits of its value, zero-test the returned
-/// sequence, broadcast the result bit.
-bool compare_s2_routine(BlockingNetwork& net, const DgkCompareContext& ctx,
-                        std::int64_t y, Rng& rng) {
-  const DgkPublicKey& pk = *ctx.pk;
-  const std::size_t ell = ctx.ell;
-  const std::int64_t half = std::int64_t{1} << (ell - 1);
-  if (y < -half || y >= half) {
-    throw std::out_of_range("threaded compare: y outside domain");
-  }
-  const std::uint64_t e = static_cast<std::uint64_t>(y + half);
-
-  MessageWriter msg;
-  msg.write_u64(ell);
-  for (std::size_t i = 0; i < ell; ++i) {
-    msg.write_bigint(pk.encrypt((e >> i) & 1u, rng).value);
-  }
-  net.send("S2", "S1", std::move(msg));
-
-  MessageReader blinded = net.recv("S2", "S1");
-  const std::uint64_t count = blinded.read_u64();
-  bool any_zero = false;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const DgkCiphertext c{blinded.read_bigint()};
-    any_zero = ctx.sk->is_zero(c) || any_zero;
-  }
-  const bool x_geq_y = !any_zero;
-  MessageWriter out;
-  out.write_u8(x_geq_y ? 1 : 0);
-  net.send("S2", "S1", std::move(out));
-  return x_geq_y;
-}
-
-}  // namespace
 
 bool dgk_compare_geq_threaded(const DgkCompareContext& ctx, std::int64_t x,
                               std::int64_t y, std::uint64_t seed) {
@@ -96,32 +17,23 @@ bool dgk_compare_geq_threaded(const DgkCompareContext& ctx, std::int64_t x,
   if (x < -half || x >= half || y < -half || y >= half) {
     throw std::out_of_range("threaded compare: input outside domain");
   }
-  BlockingNetwork net;
-  bool s1_result = false, s2_result = false;
-  std::exception_ptr s1_error, s2_error;
 
-  std::thread s1([&] {
-    try {
-      DeterministicRng rng(seed ^ 0x51515151ull);
-      s1_result = compare_s1_routine(net, ctx, x, rng);
-    } catch (...) {
-      s1_error = std::current_exception();
-    }
-  });
-  std::thread s2([&] {
-    try {
-      DeterministicRng rng(seed ^ 0x52525252ull);
-      s2_result = compare_s2_routine(net, ctx, y, rng);
-    } catch (...) {
-      s2_error = std::current_exception();
-    }
-  });
-  s1.join();
-  s2.join();
-  // S2 acts first in this protocol; its failure is the root cause when
-  // both threads error (S1 then merely times out).
-  if (s2_error) std::rethrow_exception(s2_error);
-  if (s1_error) std::rethrow_exception(s1_error);
+  bool s1_result = false, s2_result = false;
+  const Party parties[] = {
+      {"S1",
+       [&](Channel& chan) {
+         DeterministicRng rng(derive_party_seed(seed, 0));
+         s1_result = dgk_compare_s1_geq(chan, *ctx.pk, ctx.ell, x, rng);
+       }},
+      {"S2",
+       [&](Channel& chan) {
+         DeterministicRng rng(derive_party_seed(seed, 1));
+         s2_result = dgk_compare_s2_geq(chan, ctx, y, rng);
+       }},
+  };
+  PartyRunOptions options;
+  options.transport = PartyTransport::kThreaded;
+  (void)run_parties(parties, options);
   if (s1_result != s2_result) {
     throw std::logic_error("threaded compare: party results disagree");
   }
@@ -143,70 +55,32 @@ ThreadedSecureSumResult secure_sum_threaded(
     }
   }
 
-  BlockingNetwork net;
-  std::vector<std::exception_ptr> errors(users + 2);
-
-  // User threads: encrypt and submit concurrently (each with its own RNG —
-  // the paper's Sec. VI-A lesson baked into the architecture).
-  std::vector<std::thread> user_threads;
-  user_threads.reserve(users);
-  for (std::size_t u = 0; u < users; ++u) {
-    user_threads.emplace_back([&, u] {
-      try {
-        DeterministicRng rng(seed ^ (0x9e3779b97f4a7c15ull * (u + 1)));
-        const std::string name = "user:" + std::to_string(u);
-        MessageWriter m1;
-        write_ciphertext_vector(m1,
-                                encrypt_vector(keys.s2.pk, to_s1[u], rng));
-        net.send(name, "S1", std::move(m1));
-        MessageWriter m2;
-        write_ciphertext_vector(m2,
-                                encrypt_vector(keys.s1.pk, to_s2[u], rng));
-        net.send(name, "S2", std::move(m2));
-      } catch (...) {
-        errors[u] = std::current_exception();
-      }
-    });
-  }
-
-  // Server threads: aggregate submissions as they arrive.
   std::vector<PaillierCiphertext> s1_agg, s2_agg;
-  std::thread s1([&] {
-    try {
-      for (std::size_t u = 0; u < users; ++u) {
-        MessageReader msg = net.recv("S1", "user:" + std::to_string(u));
-        std::vector<PaillierCiphertext> c = read_ciphertext_vector(msg);
-        s1_agg = s1_agg.empty() ? std::move(c)
-                                : add_vectors(keys.s2.pk, s1_agg, c);
-      }
-    } catch (...) {
-      errors[users] = std::current_exception();
-    }
-  });
-  std::thread s2([&] {
-    try {
-      for (std::size_t u = 0; u < users; ++u) {
-        MessageReader msg = net.recv("S2", "user:" + std::to_string(u));
-        std::vector<PaillierCiphertext> c = read_ciphertext_vector(msg);
-        s2_agg = s2_agg.empty() ? std::move(c)
-                                : add_vectors(keys.s1.pk, s2_agg, c);
-      }
-    } catch (...) {
-      errors[users + 1] = std::current_exception();
-    }
-  });
-
-  for (std::thread& t : user_threads) t.join();
-  s1.join();
-  s2.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  std::vector<Party> parties;
+  parties.push_back({"S1", [&](Channel& chan) {
+                       s1_agg = secure_sum_collect(chan, keys.s2.pk, users);
+                     }});
+  parties.push_back({"S2", [&](Channel& chan) {
+                       s2_agg = secure_sum_collect(chan, keys.s1.pk, users);
+                     }});
+  for (std::size_t u = 0; u < users; ++u) {
+    // Each user thread encrypts with its own RNG — the paper's Sec. VI-A
+    // lesson baked into the architecture.
+    parties.push_back({"user:" + std::to_string(u), [&, u](Channel& chan) {
+                         DeterministicRng rng(derive_party_seed(seed, 2 + u));
+                         secure_sum_submit(chan, keys.s2.pk, keys.s1.pk,
+                                           to_s1[u], to_s2[u], rng);
+                       }});
   }
+
+  PartyRunOptions options;
+  options.transport = PartyTransport::kThreaded;
+  const PartyRunReport report = run_parties(parties, options);
 
   ThreadedSecureSumResult result;
-  result.s1_totals = decrypt_vector(keys.s2.sk, s1_agg);
-  result.s2_totals = decrypt_vector(keys.s1.sk, s2_agg);
-  result.bytes_on_wire = net.bytes_sent();
+  result.s2_key_totals = decrypt_vector(keys.s2.sk, s1_agg);
+  result.s1_key_totals = decrypt_vector(keys.s1.sk, s2_agg);
+  result.bytes_on_wire = report.bytes_sent;
   return result;
 }
 

@@ -1,14 +1,20 @@
-// Threaded party routines: each protocol party runs its own function on its
-// own thread against a BlockingNetwork, exactly as deployed endpoints
-// would.  The synchronous single-threaded implementations in
-// dgk_compare.h / secure_sum.h remain the reference; the tests assert both
-// compute the same results.
+// Threaded deployment entry points: each protocol party runs on its own OS
+// thread against a BlockingNetwork, exactly as deployed endpoints would.
+//
+// There is no threaded protocol logic here — the per-party role programs
+// (dgk_compare.h, secure_sum.h) are the single implementation, and these
+// wrappers only bind them to the threaded transport via the party runner
+// (net/party_runner.h).  The synchronous drivers remain the reference; the
+// tests assert both transports compute the same results.
 //
 // Provided protocols:
 //   * dgk_compare_geq_threaded — the two-server comparison with S1 and S2
 //     as real threads;
 //   * secure_sum_threaded — |U| user threads submitting encrypted shares
 //     concurrently plus two server threads aggregating.
+//
+// (The full consensus query also runs threaded — see
+// ConsensusProtocol::run_query_seeded with ConsensusTransport::kThreaded.)
 #pragma once
 
 #include <cstdint>
@@ -28,16 +34,22 @@ namespace pcl {
                                             std::uint64_t seed);
 
 struct ThreadedSecureSumResult {
-  std::vector<std::int64_t> s1_totals;  ///< decrypted by S2's key... see note
-  std::vector<std::int64_t> s2_totals;
+  /// The aggregate S1 held (every user's S1-bound share vector, summed),
+  /// decrypted with S2's key — in the deployment only S2 could open it, and
+  /// only after S1 hands the ciphertext over.  Decrypted here for test
+  /// observability.
+  std::vector<std::int64_t> s2_key_totals;
+  /// The aggregate S2 held, decrypted with S1's key (mirror of the above).
+  std::vector<std::int64_t> s1_key_totals;
+  /// Total bytes that crossed the BlockingNetwork.
   std::size_t bytes_on_wire = 0;
 };
 
 /// Runs one secure-sum round with every user on its own thread: user u
 /// encrypts `to_s1[u]` under pk2 and `to_s2[u]` under pk1 concurrently, the
-/// two server threads aggregate as submissions arrive, and (for test
-/// observability) each server's aggregate is decrypted by the key owner at
-/// the end.  Returns the decrypted per-coordinate totals.
+/// two server threads aggregate as submissions arrive, and each server's
+/// aggregate is decrypted by the key owner at the end.  Returns the
+/// decrypted per-coordinate totals.
 [[nodiscard]] ThreadedSecureSumResult secure_sum_threaded(
     const ServerPaillierKeys& keys,
     const std::vector<std::vector<std::int64_t>>& to_s1,

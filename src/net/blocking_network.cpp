@@ -21,8 +21,8 @@ MessageReader BlockingNetwork::recv(const std::string& to,
   auto& queue = queues_[{from, to}];
   if (!cv_.wait_for(lock, recv_timeout_,
                     [&queue] { return !queue.empty(); })) {
-    throw std::runtime_error("BlockingNetwork::recv timed out waiting for '" +
-                             from + "' -> '" + to + "'");
+    throw RecvTimeoutError("BlockingNetwork::recv timed out waiting for '" +
+                           from + "' -> '" + to + "'");
   }
   std::vector<std::uint8_t> bytes = std::move(queue.front());
   queue.pop_front();

@@ -14,12 +14,22 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "net/message.h"
 
 namespace pcl {
+
+/// Thrown when a blocking recv (or a bulletin await) exceeds its deadline.
+/// A distinct type so runners can tell a starved peer (collateral damage)
+/// from the root-cause failure; still a std::runtime_error for callers that
+/// only care that the protocol died.
+class RecvTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class BlockingNetwork {
  public:
@@ -31,7 +41,7 @@ class BlockingNetwork {
             MessageWriter message);
 
   /// Blocks until a message is available on (from -> to); throws
-  /// std::runtime_error on timeout (protocol deadlock / missing send).
+  /// RecvTimeoutError on timeout (protocol deadlock / missing send).
   [[nodiscard]] MessageReader recv(const std::string& to,
                                    const std::string& from);
 

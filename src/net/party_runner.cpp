@@ -1,0 +1,340 @@
+#include "net/party_runner.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "net/blocking_network.h"
+
+namespace pcl {
+
+namespace {
+
+/// Thrown through a party program when the deterministic scheduler aborts
+/// the run (deadlock, or a peer failed and the party would wait forever).
+/// Never escapes the runner.
+struct AbortRun {};
+
+constexpr int kScheduler = -1;
+
+/// Cooperative baton scheduler: party programs run on real threads, but a
+/// single mutex/condition-variable pair guarantees at most one is ever
+/// runnable, and the handoff policy (lowest-index runnable party) is
+/// deterministic.  See the header comment for why.
+class DeterministicEngine {
+ public:
+  DeterministicEngine(Network& net, std::span<const Party> parties,
+                      TrafficStats* timing_stats)
+      : net_(net),
+        parties_(parties),
+        timing_stats_(timing_stats),
+        states_(parties.size()) {}
+
+  void run() {
+    std::vector<std::thread> threads;
+    threads.reserve(parties_.size());
+    for (std::size_t i = 0; i < parties_.size(); ++i) {
+      threads.emplace_back([this, i] { party_main(i); });
+    }
+    schedule();
+    for (std::thread& t : threads) t.join();
+    rethrow_outcome();
+  }
+
+  [[nodiscard]] std::size_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct PartyState {
+    bool done = false;
+    bool blocked_on_link = false;
+    bool blocked_on_public = false;
+    std::string waiting_from;
+    std::exception_ptr error;
+    std::size_t error_seq = 0;
+  };
+
+  void party_main(std::size_t i) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock,
+               [&] { return active_ == static_cast<int>(i) || aborting_; });
+      if (aborting_) {
+        states_[i].done = true;
+        cv_.notify_all();
+        return;
+      }
+    }
+    NetworkChannel chan(net_, parties_[i].name, timing_stats_);
+    chan.set_byte_counter(&bytes_sent_);
+    chan.set_wait_hook(
+        [this, i](const std::string& from) { wait_for_message(i, from); });
+    chan.set_public_hooks(
+        [this](std::int64_t value) { post_public(value); },
+        [this, i] { return await_public(i); });
+    try {
+      parties_[i].run(chan);
+    } catch (const AbortRun&) {
+      // Scheduler-induced unwind after a peer failure or deadlock; the
+      // root cause is reported by rethrow_outcome().
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      states_[i].error = std::current_exception();
+      states_[i].error_seq = next_error_seq_++;
+      // One failed party dooms the run (its peers would wait forever, and
+      // any message they still sent would outlive the protocol); unwind
+      // everyone now so no stale traffic is left behind.
+      aborting_ = true;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      states_[i].done = true;
+      if (active_ == static_cast<int>(i)) active_ = kScheduler;
+    }
+    cv_.notify_all();
+  }
+
+  /// Channel wait hook: yield the baton until (from -> self) has a message.
+  void wait_for_message(std::size_t i, const std::string& from) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    PartyState& st = states_[i];
+    while (!net_.has_pending(parties_[i].name, from)) {
+      st.blocked_on_link = true;
+      st.waiting_from = from;
+      active_ = kScheduler;
+      cv_.notify_all();
+      cv_.wait(lock,
+               [&] { return active_ == static_cast<int>(i) || aborting_; });
+      if (aborting_) throw AbortRun{};
+      st.blocked_on_link = false;
+    }
+  }
+
+  void post_public(std::int64_t value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (public_posted_) {
+      throw std::logic_error("party runner: public signal posted twice");
+    }
+    public_posted_ = true;
+    public_value_ = value;
+  }
+
+  [[nodiscard]] std::int64_t await_public(std::size_t i) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    PartyState& st = states_[i];
+    while (!public_posted_) {
+      st.blocked_on_public = true;
+      active_ = kScheduler;
+      cv_.notify_all();
+      cv_.wait(lock,
+               [&] { return active_ == static_cast<int>(i) || aborting_; });
+      if (aborting_) throw AbortRun{};
+      st.blocked_on_public = false;
+    }
+    return public_value_;
+  }
+
+  [[nodiscard]] bool runnable(std::size_t i) const {
+    const PartyState& st = states_[i];
+    if (st.done) return false;
+    if (st.blocked_on_link) {
+      return net_.has_pending(parties_[i].name, st.waiting_from);
+    }
+    if (st.blocked_on_public) return public_posted_;
+    return true;  // not yet started, or ready at a handoff point
+  }
+
+  [[nodiscard]] bool all_done() const {
+    for (const PartyState& st : states_) {
+      if (!st.done) return false;
+    }
+    return true;
+  }
+
+  void schedule() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (all_done()) return;
+      if (aborting_) {
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return all_done(); });
+        return;
+      }
+      int pick = kScheduler;
+      for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (runnable(i)) {
+          pick = static_cast<int>(i);
+          break;
+        }
+      }
+      if (pick == kScheduler) {
+        // Every live party waits on a message or signal that will never
+        // arrive.  Record the wait graph, then unwind everyone.
+        deadlock_description_ = "party runner deadlock:";
+        for (std::size_t i = 0; i < states_.size(); ++i) {
+          const PartyState& st = states_[i];
+          if (st.done) continue;
+          deadlock_description_ += " [" + parties_[i].name + " awaits " +
+                                   (st.blocked_on_public ? "public signal"
+                                                         : st.waiting_from) +
+                                   "]";
+        }
+        aborting_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return all_done(); });
+        return;
+      }
+      active_ = pick;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return active_ == kScheduler; });
+    }
+  }
+
+  /// After join: surface the earliest party error (schedule order), else a
+  /// deadlock diagnosis.
+  void rethrow_outcome() {
+    const PartyState* first = nullptr;
+    for (const PartyState& st : states_) {
+      if (st.error &&
+          (first == nullptr || st.error_seq < first->error_seq)) {
+        first = &st;
+      }
+    }
+    if (first != nullptr) std::rethrow_exception(first->error);
+    if (!deadlock_description_.empty()) {
+      throw std::logic_error(deadlock_description_);
+    }
+  }
+
+  Network& net_;
+  std::span<const Party> parties_;
+  TrafficStats* timing_stats_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int active_ = kScheduler;
+  bool aborting_ = false;
+  bool public_posted_ = false;
+  std::int64_t public_value_ = 0;
+  std::size_t next_error_seq_ = 0;
+  std::vector<PartyState> states_;
+  std::string deadlock_description_;
+  std::size_t bytes_sent_ = 0;  // written only by the active party
+};
+
+/// One-shot bulletin for the threaded transport.
+class SharedPublicSignal {
+ public:
+  explicit SharedPublicSignal(std::chrono::milliseconds timeout)
+      : timeout_(timeout) {}
+
+  void post(std::int64_t value) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (posted_) {
+        throw std::logic_error("party runner: public signal posted twice");
+      }
+      posted_ = true;
+      value_ = value;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::int64_t await() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout_, [&] { return posted_; })) {
+      throw RecvTimeoutError(
+          "party runner: timed out awaiting the public signal");
+    }
+    return value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool posted_ = false;
+  std::int64_t value_ = 0;
+  std::chrono::milliseconds timeout_;
+};
+
+[[nodiscard]] bool is_timeout_error(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const RecvTimeoutError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+PartyRunReport run_threaded(std::span<const Party> parties,
+                            const PartyRunOptions& options) {
+  BlockingNetwork net(options.recv_timeout);
+  std::mutex stats_mutex;
+  SharedPublicSignal signal(options.recv_timeout);
+  std::vector<std::exception_ptr> errors(parties.size());
+
+  std::vector<std::thread> threads;
+  threads.reserve(parties.size());
+  for (std::size_t i = 0; i < parties.size(); ++i) {
+    threads.emplace_back([&, i] {
+      BlockingChannel chan(net, parties[i].name, options.stats, &stats_mutex);
+      chan.set_public_hooks(
+          [&signal](std::int64_t value) { signal.post(value); },
+          [&signal] { return signal.await(); });
+      try {
+        parties[i].run(chan);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // A party that dies mid-protocol starves its peers into recv timeouts;
+  // prefer the non-timeout error as the root cause.
+  for (const std::exception_ptr& error : errors) {
+    if (error && !is_timeout_error(error)) std::rethrow_exception(error);
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  PartyRunReport report;
+  report.undelivered = net.pending_total();
+  report.bytes_sent = net.bytes_sent();
+  return report;
+}
+
+}  // namespace
+
+PartyRunReport run_parties(std::span<const Party> parties,
+                           const PartyRunOptions& options) {
+  if (options.transport == PartyTransport::kThreaded) {
+    return run_threaded(parties, options);
+  }
+  Network net(options.stats);
+  net.record_transcript(options.record_transcript);
+  DeterministicEngine engine(net, parties, options.stats);
+  engine.run();
+  PartyRunReport report;
+  report.transcript = net.transcript();
+  report.undelivered = net.pending_total();
+  report.bytes_sent = engine.bytes_sent();
+  return report;
+}
+
+void run_parties_deterministic(Network& net, std::span<const Party> parties) {
+  DeterministicEngine engine(net, parties, nullptr);
+  engine.run();
+}
+
+std::uint64_t derive_party_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace pcl

@@ -1,0 +1,89 @@
+// Party runner — executes a set of per-party protocol programs over either
+// transport.
+//
+// A `Party` is a name plus a program written against `Channel` (see
+// net/channel.h).  The runner owns everything deployment-shaped that the
+// programs must not contain: transport construction, scheduling, the public
+// bulletin, error collection, and traffic/transcript reporting.  Protocol
+// code never constructs a `Network` or `BlockingNetwork` itself (lint rule
+// PC006 enforces this outside src/net/ and the thin runner files).
+//
+// Deterministic transport (`kDeterministic`): parties run as cooperative
+// threads over the in-process `Network`, serialized by a single baton — at
+// most one party executes at any instant, and when a party blocks (recv on
+// an empty link, or awaiting the bulletin) the runnable party with the
+// lowest index resumes.  This makes the interleaving — and therefore the
+// transcript order and every shared-Rng consumption order — a pure function
+// of the protocol, reproducing the synchronous reference drivers exactly
+// while running genuinely unmodified party programs.  The mutex handoffs
+// give every cross-party access a happens-before edge, so the same code is
+// TSan-clean.
+//
+// Threaded transport (`kThreaded`): one preemptive thread per party over
+// `BlockingNetwork`, interleaving driven by data availability exactly as
+// TCP endpoints would.  Per-step traffic totals are byte-identical to the
+// deterministic transport for the same party programs and seeds (totals are
+// order-independent; payloads depend only on each party's own Rng stream).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/transport.h"
+
+namespace pcl {
+
+/// One protocol party: a name and a program run against its channel.
+struct Party {
+  std::string name;
+  std::function<void(Channel&)> run;
+};
+
+enum class PartyTransport { kDeterministic, kThreaded };
+
+struct PartyRunOptions {
+  PartyTransport transport = PartyTransport::kDeterministic;
+  /// Receives per-step traffic (both transports) and add_step_time calls.
+  TrafficStats* stats = nullptr;
+  /// Capture per-message metadata (deterministic transport only).
+  bool record_transcript = false;
+  /// Per-recv deadline for the threaded transport.
+  std::chrono::milliseconds recv_timeout = std::chrono::seconds(30);
+};
+
+struct PartyRunReport {
+  /// Send-ordered metadata (deterministic transport with record_transcript).
+  std::vector<TranscriptEntry> transcript;
+  /// Messages still queued after every party returned (0 for a complete
+  /// protocol).
+  std::size_t undelivered = 0;
+  /// Total bytes sent across all links.
+  std::size_t bytes_sent = 0;
+};
+
+/// Runs the parties over a runner-owned transport chosen by `options`.
+/// Rethrows the root-cause party error if any program throws: on the
+/// deterministic transport the first error in schedule order, on the
+/// threaded transport preferring a non-timeout error (a party that dies
+/// mid-protocol surfaces as its peers' recv timeouts).  Throws
+/// std::logic_error on deadlock (deterministic transport).
+PartyRunReport run_parties(std::span<const Party> parties,
+                           const PartyRunOptions& options);
+
+/// Same deterministic engine over a caller-owned Network: the form the
+/// synchronous reference drivers (dgk_compare_geq, secure_sum,
+/// BlindPermuteSession) use, so existing call sites keep their Network,
+/// its ambient step label, and its attached TrafficStats.
+void run_parties_deterministic(Network& net, std::span<const Party> parties);
+
+/// Splitmix64-style derivation of one party's seed from a query seed; used
+/// so every transport hands party `index` an identical Rng stream.
+[[nodiscard]] std::uint64_t derive_party_seed(std::uint64_t seed,
+                                              std::uint64_t index);
+
+}  // namespace pcl

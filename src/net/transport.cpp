@@ -73,6 +73,15 @@ std::vector<std::string> TrafficStats::steps() const {
   return out;
 }
 
+std::vector<TrafficStats::Entry> TrafficStats::traffic_entries() const {
+  std::vector<Entry> out;
+  out.reserve(traffic_.size());
+  for (const auto& [key, totals] : traffic_) {
+    out.push_back({key.step, key.from, key.to, totals.bytes, totals.messages});
+  }
+  return out;
+}
+
 void TrafficStats::clear() {
   traffic_.clear();
   time_.clear();

@@ -44,6 +44,17 @@ class TrafficStats {
   [[nodiscard]] double total_seconds() const;
   [[nodiscard]] std::vector<std::string> steps() const;
 
+  /// One traffic row per (step, from, to) link, in deterministic (sorted)
+  /// order.  Comparing two runs' entries checks byte-identical per-step
+  /// traffic — e.g. the in-process vs threaded consensus runners.
+  struct Entry {
+    std::string step, from, to;
+    std::size_t bytes = 0;
+    std::size_t messages = 0;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  [[nodiscard]] std::vector<Entry> traffic_entries() const;
+
   void clear();
 
  private:

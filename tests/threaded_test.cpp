@@ -67,8 +67,8 @@ TEST_F(ThreadedTest, SecureSumMatchesPlainTotals) {
   }
   const ThreadedSecureSumResult result =
       secure_sum_threaded(paillier_, to_s1, to_s2, 99);
-  EXPECT_EQ(result.s1_totals, expect_a);
-  EXPECT_EQ(result.s2_totals, expect_b);
+  EXPECT_EQ(result.s2_key_totals, expect_a);
+  EXPECT_EQ(result.s1_key_totals, expect_b);
   EXPECT_GT(result.bytes_on_wire, users * k * 12);
 }
 
@@ -89,7 +89,7 @@ TEST_F(ThreadedTest, SecureSumReconstructsSharedVotes) {
   }
   const ThreadedSecureSumResult result =
       secure_sum_threaded(paillier_, to_s1, to_s2, 123);
-  EXPECT_EQ(reconstruct_vector(result.s1_totals, result.s2_totals),
+  EXPECT_EQ(reconstruct_vector(result.s2_key_totals, result.s1_key_totals),
             histogram);
 }
 

@@ -100,6 +100,74 @@ TEST(TrafficStats, ClearResets) {
   EXPECT_EQ(stats.total_seconds(), 0.0);
 }
 
+TEST(Network, RecvErrorNamesBothEndpoints) {
+  // A protocol desync is debugged from this message alone, so it must name
+  // the exact link: who was expected to have sent, and who was receiving.
+  Network net;
+  net.send("S1", "S2", make_message(4));  // only link with traffic
+  try {
+    (void)net.recv("S1", "S2");
+    FAIL() << "recv on an empty link must throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'S2'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'S1'"), std::string::npos) << what;
+  }
+}
+
+TEST(TrafficStats, EmptyCategoryMatchesEveryParty) {
+  TrafficStats stats;
+  Network net(&stats);
+  net.set_step("s");
+  net.send("user:0", "S1", make_message(10));
+  net.send("user:12", "S1", make_message(20));
+  net.send("S2", "S1", make_message(40));
+  EXPECT_EQ(stats.bytes_for("s"), 70u);
+  EXPECT_EQ(stats.bytes_for("s", "", ""), 70u);
+  EXPECT_EQ(stats.messages_for("s"), 3u);
+}
+
+TEST(TrafficStats, ExactPartyIdIsItsOwnCategory) {
+  TrafficStats stats;
+  Network net(&stats);
+  net.set_step("s");
+  net.send("user:0", "S1", make_message(10));
+  net.send("user:12", "S1", make_message(20));
+  EXPECT_EQ(stats.bytes_for("s", "user:0"), 10u);
+  EXPECT_EQ(stats.messages_for("s", "user:0"), 1u);
+  // Matching is by prefix, so "user:1" also covers "user:12" — callers
+  // wanting one party must pass an id no other id extends.
+  EXPECT_EQ(stats.bytes_for("s", "user:1"), 20u);
+}
+
+TEST(TrafficStats, UserPrefixAggregatesAllUsers) {
+  TrafficStats stats;
+  Network net(&stats);
+  net.set_step("s");
+  net.send("user:0", "S1", make_message(10));
+  net.send("user:12", "S2", make_message(20));
+  net.send("S2", "S1", make_message(40));
+  EXPECT_EQ(stats.bytes_for("s", "user"), 30u);
+  EXPECT_EQ(stats.messages_for("s", "user"), 2u);
+  EXPECT_EQ(stats.bytes_for("s", "user", "S1"), 10u);
+  EXPECT_EQ(stats.bytes_for("s", "S2"), 40u);
+  EXPECT_EQ(stats.bytes_for("s", "nobody"), 0u);
+}
+
+TEST(TrafficStats, TrafficEntriesAreDeterministicAndComparable) {
+  // traffic_entries() underpins the cross-transport byte-identity checks:
+  // same sends in a different arrival order must compare equal.
+  TrafficStats a, b;
+  a.record_send("s", "S1", "S2", 10);
+  a.record_send("s", "user:0", "S1", 20);
+  b.record_send("s", "user:0", "S1", 20);
+  b.record_send("s", "S1", "S2", 10);
+  EXPECT_EQ(a.traffic_entries(), b.traffic_entries());
+  ASSERT_EQ(a.traffic_entries().size(), 2u);
+  b.record_send("s", "S1", "S2", 1);
+  EXPECT_NE(a.traffic_entries(), b.traffic_entries());
+}
+
 TEST(StepScope, RestoresPreviousStepAndRecordsTime) {
   TrafficStats stats;
   Network net(&stats);

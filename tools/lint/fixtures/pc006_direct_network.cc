@@ -1,0 +1,26 @@
+// Fixture: PC006 must flag protocol code that builds its own transport.
+#include <chrono>
+
+namespace pcl {
+class Network {};
+class BlockingNetwork {
+ public:
+  explicit BlockingNetwork(std::chrono::milliseconds) {}
+};
+
+void forbidden_local_transport() {
+  Network net;
+  BlockingNetwork blocking(std::chrono::milliseconds(10));
+  Network* heap = new Network();
+  delete heap;
+  (void)net;
+  (void)blocking;
+}
+
+// Taking an existing transport by reference is allowed — only construction
+// is the runner's privilege.
+void allowed_reference(Network& net, const BlockingNetwork& blocking) {
+  (void)net;
+  (void)blocking;
+}
+}  // namespace pcl

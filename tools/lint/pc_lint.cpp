@@ -1,7 +1,7 @@
 // pc_lint — project-specific crypto-invariant checker.
 //
 // Generic tools (clang-tidy, sanitizers) cannot know which identifiers in
-// this codebase are *secrets*; this tool encodes that knowledge as five
+// this codebase are *secrets*; this tool encodes that knowledge as six
 // mechanical rules and runs as a ctest case on every configuration:
 //
 //   PC001 banned-rng        std::rand/srand/std::random_device anywhere but
@@ -24,6 +24,12 @@
 //                           parent-relative includes ("../") are banned.
 //   PC005 whitespace        no trailing whitespace, no tab indentation, no
 //                           CR line endings, file ends with a newline.
+//   PC006 transport-owner   constructing `Network`/`BlockingNetwork` outside
+//                           src/net/ — protocol code must be written against
+//                           `Channel` and let the party runner own transport
+//                           construction, so every protocol runs unchanged
+//                           on both transports.  Taking a `Network&` is fine;
+//                           building one is not.
 //
 // Usage:
 //   pc_lint --root <repo-root> [subdir...]    scan (default subdir: src)
@@ -355,6 +361,83 @@ void rule_whitespace(const std::string& rel, const FileText& ft,
   }
 }
 
+// PC006: only src/net/ (the transports and the party runner) may construct
+// a Network or BlockingNetwork; protocol code takes a Channel& (or, for the
+// synchronous reference drivers, a caller's Network&) and stays
+// transport-agnostic.
+void rule_direct_network_construction(const std::string& rel,
+                                      const FileText& ft, bool force_in_scope,
+                                      std::vector<Finding>& out) {
+  const bool in_scope = force_in_scope || (rel.rfind("src/", 0) == 0 &&
+                                           rel.rfind("src/net/", 0) != 0);
+  if (!in_scope) return;
+  static const std::vector<std::string> kTypes = {"BlockingNetwork",
+                                                  "Network"};
+  const auto skip_spaces = [](const std::string& s, std::size_t j) {
+    while (j < s.size() && s[j] == ' ') ++j;
+    return j;
+  };
+  for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
+    const std::string& line = ft.stripped[i];
+    for (const std::string& type : kTypes) {
+      std::size_t pos = 0;
+      bool flagged = false;
+      while (!flagged && (pos = line.find(type, pos)) != std::string::npos) {
+        const std::size_t end = pos + type.size();
+        const bool whole = (pos == 0 || !is_ident_char(line[pos - 1])) &&
+                           (end >= line.size() || !is_ident_char(line[end]));
+        if (!whole) {
+          pos = end;
+          continue;
+        }
+        // Preceding context: forward declarations and `new` expressions.
+        const std::string before = ltrim(line.substr(0, pos));
+        std::string prev_word;
+        if (!before.empty()) {
+          std::size_t w = before.size();
+          while (w > 0 && before[w - 1] == ' ') --w;
+          std::size_t ws = w;
+          while (ws > 0 && is_ident_char(before[ws - 1])) --ws;
+          prev_word = before.substr(ws, w - ws);
+        }
+        if (prev_word == "class" || prev_word == "struct" ||
+            prev_word == "friend" || prev_word == "enum") {
+          pos = end;
+          continue;
+        }
+        bool constructs = prev_word == "new";
+        if (!constructs) {
+          // `Network(` / `Network{`: temporary or member-init construction.
+          std::size_t j = skip_spaces(line, end);
+          if (j < line.size() && (line[j] == '(' || line[j] == '{')) {
+            constructs = true;
+          } else if (j < line.size() && is_ident_char(line[j])) {
+            // `Network name...`: a declaration; it constructs unless the
+            // declarator turns out to be a reference/pointer (those were
+            // already skipped because '&'/'*' precede the name).
+            while (j < line.size() && is_ident_char(line[j])) ++j;
+            j = skip_spaces(line, j);
+            if (j >= line.size() || line[j] == '(' || line[j] == '{' ||
+                line[j] == ';' || line[j] == '=') {
+              constructs = true;
+            }
+          }
+        }
+        if (constructs) {
+          out.push_back(
+              {rel, i + 1, "PC006",
+               "direct " + type +
+                   " construction — protocol code must take a Channel& and "
+                   "let the party runner (src/net/party_runner.h) own the "
+                   "transport"});
+          flagged = true;
+        }
+        pos = end;
+      }
+    }
+  }
+}
+
 std::vector<Finding> scan_file(const std::string& rel, const fs::path& path,
                                bool force_all_rules) {
   const FileText ft = read_file(path);
@@ -364,6 +447,7 @@ std::vector<Finding> scan_file(const std::string& rel, const fs::path& path,
   rule_missing_zeroize(rel, ft, findings);
   rule_include_hygiene(rel, ft, findings);
   rule_whitespace(rel, ft, findings);
+  rule_direct_network_construction(rel, ft, force_all_rules, findings);
   return findings;
 }
 
