@@ -8,9 +8,15 @@
 
 #include "dp/rdp.h"
 
+#include "bench_util.h"
+
 using namespace pcl;
 
-int main() {
+int main(int argc, char** argv) {
+  const pclbench::BenchCli cli = pclbench::parse_bench_cli(argc, argv);
+  pclbench::BenchRecorder recorder("bench_ablation_accountant");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   std::printf("Accountant ablation\n");
 
   std::printf("\n--- Theorem 5 closed form vs accountant optimum ---\n");
@@ -59,5 +65,7 @@ int main() {
   }
   std::printf("(ratio 2.121 = 3/sqrt(2) is the balanced split the "
               "calibrator uses)\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

@@ -12,7 +12,11 @@
 
 using namespace pclbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_ablation_argmax");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   const std::size_t instances = 3;
   std::printf("Argmax strategy ablation (Alg. 5, 10 classes, 20 users)\n\n");
   std::printf("%-14s %14s %14s %14s %16s\n", "strategy", "step4 (s)",
@@ -59,5 +63,7 @@ int main() {
   std::printf("\nshape check: tournament cuts the comparison steps ~(K-1)/"
               "(K(K-1)/2) = 2/K of the all-pairs cost (K=10: 5x) with "
               "identical outputs\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

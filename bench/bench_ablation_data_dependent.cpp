@@ -16,7 +16,11 @@
 
 using namespace pclbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_ablation_data_dependent");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(1001);
   const TrainConfig train = teacher_train_config();
   const double b = 10.0;  // Laplace scale (counts)
@@ -77,5 +81,7 @@ int main() {
               "passing queries (high agreement, low flip probability) are "
               "the cheap ones — thresholding and tight accounting are "
               "complementary\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_util.h"
 #include "crypto/encryption_pool.h"
 
 using namespace pcl;
@@ -25,8 +26,13 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const pclbench::BenchCli cli = pclbench::parse_bench_cli(argc, argv);
+  pclbench::BenchRecorder recorder("bench_ablation_encryption");
+  const obs::ObserverScope obs_scope(&recorder.trace(), &recorder.metrics(),
+                                     "bench");
   const std::size_t count =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
+      std::strtoul(cli.positional_or(0, "4000").c_str(), nullptr, 10);
+  recorder.set_param("count", static_cast<double>(count));
   DeterministicRng rng(11);
   const PaillierKeyPair key = generate_paillier_key(64, rng);
 
@@ -84,5 +90,7 @@ int main(int argc, char** argv) {
               "the pow_mod moved into precomputation — mirroring the "
               "paper's randomness-table fix\n",
               std::thread::hardware_concurrency());
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

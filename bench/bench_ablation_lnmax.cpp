@@ -46,7 +46,11 @@ double baseline_sigma(double eps, double delta) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_ablation_lnmax");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(808);
   const double delta = 1e-6;
   const std::size_t queries = 400;
@@ -118,5 +122,7 @@ int main() {
               "LNMax label accuracy at equal per-query privacy, and compose "
               "to a smaller total epsilon — the reason the paper (like "
               "PATE'18) moved to Gaussian noise\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

@@ -15,7 +15,11 @@
 
 using namespace pclbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_ablation_retention_bias");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(1102);
   const TrainConfig train = teacher_train_config();
   const NoiseCalibration cal = calibrate_noise(8.19, 1e-6, 1);
@@ -66,5 +70,7 @@ int main() {
               "overlapping classes are filtered more), while precision on "
               "the released labels stays uniformly high — the filter trades "
               "coverage, not correctness\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

@@ -13,7 +13,11 @@
 
 using namespace pclbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_ablation_student");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(909);
   const TrainConfig train = teacher_train_config();
   const NoiseCalibration cal = calibrate_noise(8.19, 1e-6, 1);
@@ -54,5 +58,7 @@ int main() {
               "high retention (it matters when few labels are released); "
               "the MLP matches the linear student on these near-linear "
               "corpora\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

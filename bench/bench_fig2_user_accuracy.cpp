@@ -10,7 +10,11 @@
 
 using namespace pclbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_fig2_user_accuracy");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(101);
   const std::vector<std::size_t> user_counts = {10, 25, 50, 75, 100};
   const TrainConfig train = teacher_train_config();
@@ -102,5 +106,7 @@ int main() {
 
   std::printf("\nshape check: (a) accuracy decreases with #users; "
               "(b)-(d) minority > majority, gap widens 4-6 -> 2-8\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

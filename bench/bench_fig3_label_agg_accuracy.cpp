@@ -28,7 +28,11 @@ double baseline_sigma(double eps, double delta, std::size_t queries) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_fig3_label_agg_accuracy");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(303);
   const std::vector<std::size_t> user_counts = {25, 50, 75, 100};
   const std::vector<double> epsilons = {2.0, 4.0, 8.19, 16.0};
@@ -84,5 +88,7 @@ int main() {
   std::printf("\nshape check: consensus >= baseline at moderate/large user "
               "counts (paper allows a slight inversion at 25 users); both "
               "rise with epsilon; baseline degrades faster as users grow\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

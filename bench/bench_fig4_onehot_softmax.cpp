@@ -9,7 +9,11 @@
 
 using namespace pclbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_fig4_onehot_softmax");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(404);
   const std::vector<std::size_t> user_counts = {25, 50, 75, 100};
   const double delta = 1e-6;
@@ -56,5 +60,7 @@ int main() {
   std::printf("\nshape check: softmax provides no meaningful advantage "
               "over one-hot (the paper finds it can even hurt) — one-hot "
               "votes suffice for majority voting\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

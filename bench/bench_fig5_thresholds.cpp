@@ -10,7 +10,11 @@
 
 using namespace pclbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_fig5_thresholds");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(505);
   const double delta = 1e-6;
   const std::size_t queries = 400;
@@ -78,5 +82,7 @@ int main() {
 
   std::printf("\nshape check: (a)(b) peak at mid thresholds, not 30%% or "
               "90%%; (c)(d) more-even divisions score higher\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

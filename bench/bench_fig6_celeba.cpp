@@ -13,7 +13,11 @@
 
 using namespace pclbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_fig6_celeba");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(707);
   const std::vector<std::size_t> user_counts = {10, 25, 50, 75, 100};
   const std::size_t queries = 250;
@@ -67,5 +71,7 @@ int main() {
   std::printf("\nshape check: uneven split suppresses the released positive "
               "rate (labels collapse toward all-negative) and aggregator "
               "accuracy trends down as users grow\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

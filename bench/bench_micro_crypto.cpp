@@ -5,6 +5,7 @@
 // bignum primitives underneath.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "bigint/primes.h"
 #include "crypto/dgk.h"
 #include "crypto/paillier.h"
@@ -167,4 +168,21 @@ BENCHMARK(BM_DgkCompareShared)->Arg(16)->Arg(32)->Arg(52)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the uniform bench flags (--json) are
+// stripped before google-benchmark sees the command line.
+int main(int argc, char** argv) {
+  pclbench::BenchCli cli = pclbench::parse_bench_cli(argc, argv);
+  pclbench::BenchRecorder recorder("bench_micro_crypto");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
+  int bench_argc = static_cast<int>(cli.passthrough_argv.size());
+  benchmark::Initialize(&bench_argc, cli.passthrough_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             cli.passthrough_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
+  return 0;
+}

@@ -12,8 +12,9 @@
 using namespace pclbench;
 
 int main(int argc, char** argv) {
-  const std::size_t instances = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
-                                         : 4;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  const std::size_t instances =
+      std::strtoul(cli.positional_or(0, "4").c_str(), nullptr, 10);
   DeterministicRng rng(20200706);
 
   ConsensusConfig config;
@@ -40,6 +41,13 @@ int main(int argc, char** argv) {
               config.compare_bits);
 
   ConsensusProtocol protocol(config, rng);
+  BenchRecorder recorder("bench_table1_compute");
+  recorder.set_param("instances", static_cast<double>(instances));
+  recorder.set_param("classes", static_cast<double>(config.num_classes));
+  recorder.set_param("users", static_cast<double>(config.num_users));
+  recorder.set_param("paillier_bits",
+                     static_cast<double>(config.paillier_bits));
+  protocol.set_observer(&recorder.trace(), &recorder.metrics());
 
   // One-hot votes with a clear majority so every instance passes the
   // threshold and exercises all nine steps.
@@ -75,5 +83,13 @@ int main(int argc, char** argv) {
   std::printf("\nanswered %zu/%zu queries; paper shape check: steps (4)(8) "
               "dominate, then (5); BnP and Restoration are cheap\n",
               answered, instances);
+
+  std::uint64_t total_bytes = 0;
+  for (const auto& e : stats.traffic_entries()) total_bytes += e.bytes;
+  recorder.set_bytes(total_bytes);
+  if (!cli.trace_path.empty()) {
+    recorder.write_trace(cli.trace_path, stats.by_step());
+  }
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

@@ -20,8 +20,11 @@ namespace {
 // `--smoke`: CI-sized cross-transport check.  One seeded query on the
 // deterministic in-process transport and one on real threads must leave
 // byte-identical per-step traffic behind — the party-program architecture's
-// core guarantee, asserted on the exact counters this bench reports.
-int run_smoke() {
+// core guarantee, asserted on the exact counters this bench reports.  Both
+// queries run with the tracer and metrics attached, so the check also
+// covers the obs layer's non-perturbation guarantee, and `--trace` /
+// `--json` emit the observability files CI validates with pc_trace.
+int run_smoke(const BenchCli& cli) {
   ConsensusConfig config;
   config.num_classes = 4;
   config.num_users = 5;
@@ -35,10 +38,15 @@ int run_smoke() {
 
   DeterministicRng rng(424242);
   ConsensusProtocol protocol(config, rng);
+  BenchRecorder recorder("bench_table2_comm --smoke");
+  recorder.set_param("classes", static_cast<double>(config.num_classes));
+  recorder.set_param("users", static_cast<double>(config.num_users));
+  protocol.set_observer(&recorder.trace(), &recorder.metrics());
   std::vector<std::vector<double>> votes(config.num_users,
                                          std::vector<double>(4, 0.0));
   for (std::size_t u = 0; u < config.num_users; ++u) votes[u][1] = 1.0;
   const std::uint64_t seed = 20200706;  // ICDCS'20 first day
+  recorder.set_param("seed", static_cast<double>(seed));
 
   const auto in_process = protocol.run_query_seeded(
       votes, seed, ConsensusTransport::kInProcess);
@@ -71,17 +79,24 @@ int run_smoke() {
   if (actual != reference) ok = false;
   std::printf("%s: per-step traffic %s across transports\n",
               ok ? "PASS" : "FAIL", ok ? "identical" : "DIFFERS");
+
+  std::uint64_t total_bytes = 0;
+  for (const auto& e : actual) total_bytes += e.bytes;
+  recorder.set_bytes(total_bytes);
+  if (!cli.trace_path.empty()) {
+    recorder.write_trace(cli.trace_path, protocol.stats().by_step());
+  }
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return ok ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
-    return run_smoke();
-  }
-  const std::size_t instances = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
-                                         : 4;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  if (cli.smoke) return run_smoke(cli);
+  const std::size_t instances =
+      std::strtoul(cli.positional_or(0, "4").c_str(), nullptr, 10);
   DeterministicRng rng(424242);
 
   ConsensusConfig config;
@@ -100,6 +115,11 @@ int main(int argc, char** argv) {
   config.threshold_check_all_positions = true;
 
   ConsensusProtocol protocol(config, rng);
+  BenchRecorder recorder("bench_table2_comm");
+  recorder.set_param("instances", static_cast<double>(instances));
+  recorder.set_param("classes", static_cast<double>(config.num_classes));
+  recorder.set_param("users", static_cast<double>(config.num_users));
+  protocol.set_observer(&recorder.trace(), &recorder.metrics());
   std::vector<std::vector<double>> votes(config.num_users,
                                          std::vector<double>(10, 0.0));
   for (std::size_t i = 0; i < instances; ++i) {
@@ -146,5 +166,13 @@ int main(int argc, char** argv) {
               "comparisons; set threshold_check_all_positions=false for "
               "the single-comparison Alg. 5 reading, ratio 45)\n",
               thr > 0 ? cmp / thr : 0.0);
+
+  std::uint64_t total_bytes = 0;
+  for (const auto& e : stats.traffic_entries()) total_bytes += e.bytes;
+  recorder.set_bytes(total_bytes);
+  if (!cli.trace_path.empty()) {
+    recorder.write_trace(cli.trace_path, stats.by_step());
+  }
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

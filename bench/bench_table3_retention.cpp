@@ -10,7 +10,11 @@
 
 using namespace pclbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchRecorder recorder("bench_table3_retention");
+  const pcl::obs::ObserverScope obs_scope(&recorder.trace(),
+                                          &recorder.metrics(), "bench");
   DeterministicRng rng(606);
   const std::vector<std::size_t> user_counts = {10, 25, 50, 75, 100};
   const std::size_t queries = 400;
@@ -47,5 +51,7 @@ int main() {
   std::printf("\nshape check: label accuracy ~flat across divisions and "
               "rising with users; retention ordered by evenness "
               "(2-8 < 3-7 < 4-6)\n");
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
   return 0;
 }

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -12,10 +14,115 @@
 #include "core/pipeline.h"
 #include "ml/dataset.h"
 #include "ml/partition.h"
+#include "obs/clock.h"
+#include "obs/export.h"
 
 namespace pclbench {
 
 using namespace pcl;
+
+/// Uniform bench command line: `--json <path>` / `--trace <path>` /
+/// `--smoke` are stripped wherever they appear; everything else stays a
+/// positional argument (and in `passthrough_argv`, for binaries that hand
+/// their argv on to another framework, e.g. google-benchmark).
+struct BenchCli {
+  std::vector<std::string> positional;
+  std::string json_path;   ///< empty = no JSON output requested
+  std::string trace_path;  ///< empty = no trace output requested
+  bool smoke = false;
+  std::vector<char*> passthrough_argv;  ///< argv[0] + non-obs arguments
+
+  [[nodiscard]] const std::string& positional_or(std::size_t i,
+                                                 const std::string& fallback)
+      const {
+    return i < positional.size() ? positional[i] : fallback;
+  }
+};
+
+inline BenchCli parse_bench_cli(int argc, char** argv) {
+  BenchCli cli;
+  if (argc > 0) cli.passthrough_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto take_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a path argument\n",
+                     argc > 0 ? argv[0] : "bench", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--json") == 0) {
+      cli.json_path = take_value("--json");
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      cli.trace_path = take_value("--trace");
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      cli.smoke = true;
+    } else {
+      cli.positional.emplace_back(arg);
+      cli.passthrough_argv.push_back(argv[i]);
+    }
+  }
+  return cli;
+}
+
+/// Records one bench run into the shared "pc-bench-v1" schema.  Owns a
+/// MetricsRegistry and a TraceSink the bench can attach to its protocol
+/// (ConsensusProtocol::set_observer, PartyRunOptions, or an ObserverScope
+/// around synchronous work); the wall-clock starts at construction.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string bench)
+      : bench_(std::move(bench)), start_ns_(obs::monotonic_time_ns()) {}
+
+  void set_param(const std::string& name, double value) {
+    params_[name] = value;
+  }
+  void set_bytes(std::uint64_t bytes) { bytes_ = bytes; }
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] obs::TraceSink& trace() { return trace_; }
+
+  [[nodiscard]] double wall_ms() const {
+    return static_cast<double>(obs::monotonic_time_ns() - start_ns_) / 1e6;
+  }
+
+  /// Aggregates the registry into per-op totals (step attribution collapses
+  /// for the bench schema; the trace file keeps the per-step split).
+  [[nodiscard]] std::map<std::string, std::uint64_t> op_totals() const {
+    std::map<std::string, std::uint64_t> ops;
+    for (const auto& entry : metrics_.entries()) {
+      ops[obs::op_name(entry.op)] += entry.count;
+    }
+    return ops;
+  }
+
+  /// Writes the "pc-bench-v1" record (pretty-printed, trailing newline).
+  void write_json(const std::string& path) const {
+    const obs::JsonValue doc = obs::build_bench_json(bench_, params_,
+                                                     wall_ms(), bytes_,
+                                                     op_totals());
+    obs::write_text_file(path, doc.dump(2) + "\n");
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  /// Writes the "pc-trace-v1" Chrome trace with per-step traffic totals.
+  void write_trace(const std::string& path,
+                   const obs::TrafficByStep& traffic) const {
+    const obs::JsonValue doc =
+        obs::build_trace_json(trace_, traffic, &metrics_);
+    obs::write_text_file(path, doc.dump(2) + "\n");
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::uint64_t start_ns_;
+  std::map<std::string, double> params_;
+  std::uint64_t bytes_ = 0;
+  obs::MetricsRegistry metrics_;
+  obs::TraceSink trace_;
+};
 
 /// The paper sets aside a fixed aggregator pool (9000 samples on the real
 /// datasets); we scale everything down ~5x to keep every bench under a

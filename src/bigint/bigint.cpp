@@ -1,6 +1,7 @@
 #include "bigint/bigint.h"
 
 #include "bigint/montgomery.h"
+#include "obs/trace.h"
 
 #include <algorithm>
 #include <cctype>
@@ -502,6 +503,7 @@ BigInt BigInt::pow_mod(const BigInt& base, const BigInt& exp, const BigInt& m) {
     throw std::domain_error("pow_mod requires a non-negative exponent");
   }
   if (m == BigInt(1)) return BigInt(0);
+  obs::count(obs::Op::kBigIntModExp);
   // Montgomery kernel for odd moduli when the exponent is long enough to
   // amortize the context setup (one division for R^2 mod m).
   if (m.is_odd() && exp.bit_length() > 4) {
@@ -513,6 +515,7 @@ BigInt BigInt::pow_mod(const BigInt& base, const BigInt& exp, const BigInt& m) {
   for (std::size_t i = 0; i < nbits; ++i) {
     if (exp.bit(i)) result = (result * b).mod(m);
     b = (b * b).mod(m);
+    obs::count(obs::Op::kBigIntModMul, exp.bit(i) ? 2 : 1);
   }
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace pcl {
 
 MontgomeryContext::MontgomeryContext(BigInt modulus)
@@ -29,6 +31,7 @@ MontgomeryContext::MontgomeryContext(BigInt modulus)
 }
 
 BigInt MontgomeryContext::redc(std::vector<std::uint32_t> t) const {
+  obs::count(obs::Op::kBigIntModMul);
   const std::vector<std::uint32_t> m = modulus_.to_limbs();
   const std::size_t k = limb_count_;
   t.resize(2 * k + 1, 0);

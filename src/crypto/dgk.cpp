@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bigint/primes.h"
+#include "obs/trace.h"
 
 namespace pcl {
 
@@ -21,6 +22,7 @@ DgkCiphertext DgkPublicKey::encrypt(const BigInt& m, Rng& rng) const {
   if (m.is_negative() || m >= u_) {
     throw std::invalid_argument("DGK plaintext outside [0, u)");
   }
+  obs::count(obs::Op::kDgkEncrypt);
   const BigInt r = rng.random_bits(randomizer_bits_);
   const BigInt gm = BigInt::pow_mod(g_, m, n_);
   const BigInt hr = BigInt::pow_mod(h_, r, n_);
@@ -83,6 +85,7 @@ void DgkPrivateKey::zeroize() {
 }
 
 bool DgkPrivateKey::is_zero(const DgkCiphertext& c) const {
+  obs::count(obs::Op::kDgkZeroTest);
   // E(m)^vp mod p = (g^vp)^m mod p since h has order vp mod p; the result is
   // 1 iff m == 0 (mod u).
   // The zero-test bit IS the protocol's defined output for S2 (the released

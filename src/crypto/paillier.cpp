@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "bigint/primes.h"
+#include "obs/trace.h"
 
 namespace pcl {
 
@@ -16,6 +17,7 @@ PaillierPublicKey::PaillierPublicKey(BigInt n)
 
 PaillierCiphertext PaillierPublicKey::encrypt_with_randomness(
     const BigInt& m, const BigInt& r) const {
+  obs::count(obs::Op::kPaillierEncrypt);
   const BigInt m_mod = m.mod(n_);
   // With g = n + 1: g^m = 1 + m*n (mod n^2), avoiding one exponentiation.
   const BigInt g_to_m = (BigInt(1) + m_mod * n_).mod(n_squared_);
@@ -34,11 +36,13 @@ PaillierCiphertext PaillierPublicKey::encrypt(const BigInt& m,
 
 PaillierCiphertext PaillierPublicKey::add(const PaillierCiphertext& c1,
                                           const PaillierCiphertext& c2) const {
+  obs::count(obs::Op::kPaillierAdd);
   return {(c1.value * c2.value).mod(n_squared_)};
 }
 
 PaillierCiphertext PaillierPublicKey::scalar_mul(const PaillierCiphertext& c,
                                                  const BigInt& a) const {
+  obs::count(obs::Op::kPaillierScalarMul);
   return {BigInt::pow_mod(c.value, a.mod(n_), n_squared_)};
 }
 
@@ -105,6 +109,7 @@ BigInt PaillierPrivateKey::decrypt_raw(const PaillierCiphertext& c) const {
   if (c.value.is_negative() || c.value >= pk_.n_squared()) {
     throw std::invalid_argument("Paillier ciphertext out of range");
   }
+  obs::count(obs::Op::kPaillierDecrypt);
   const BigInt x = decrypt_crt(c);
   return (l_function(x, pk_.n()) * mu_).mod(pk_.n());
 }

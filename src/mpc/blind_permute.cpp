@@ -4,6 +4,7 @@
 
 #include "mpc/he_util.h"
 #include "net/party_runner.h"
+#include "obs/trace.h"
 
 namespace pcl {
 
@@ -57,6 +58,7 @@ std::vector<std::int64_t> BlindPermuteS1::run(
   if (holds.size() != k_) {
     throw std::invalid_argument("BlindPermute: sequence length mismatch");
   }
+  obs::count(obs::Op::kBlindPermuteRound);
   // Masks are drawn fresh per run; the permutation persists for the session.
   const std::vector<std::int64_t> r1 =
       random_mask_vector(k_, mask_bits_, rng_);
@@ -101,6 +103,7 @@ std::vector<std::int64_t> BlindPermuteS1::run(
 }
 
 std::size_t BlindPermuteS1::restore(Channel& chan) {
+  obs::count(obs::Op::kRestorationReveal);
   // -- Step 2: undo pi1, add mask r1. ----------------------------------------
   std::vector<std::int64_t> r1;  // S1's secret
   {

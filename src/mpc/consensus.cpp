@@ -224,6 +224,12 @@ ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
                                     : PartyTransport::kThreaded;
   options.stats = &stats_;
   options.record_transcript = capture_transcript_ && deterministic;
+  options.trace = trace_;
+  options.metrics = metrics_;
+  // The driver's own span brackets the whole query, so a trace shows each
+  // party's step spans nested inside one "Consensus Query" envelope.
+  const obs::ObserverScope driver_scope(trace_, metrics_, "driver");
+  const obs::Span query_span("Consensus Query");
   const PartyRunReport report = run_parties(parties, options);
   if (options.record_transcript) last_transcript_ = report.transcript;
 

@@ -139,6 +139,14 @@ class ConsensusProtocol {
     return last_transcript_;
   }
 
+  /// Attaches an observer to subsequent queries: every party thread records
+  /// step spans into `trace` and crypto-op counters into `metrics` (either
+  /// may be null).  Passive — attaching never changes protocol traffic.
+  void set_observer(obs::TraceSink* trace, obs::MetricsRegistry* metrics) {
+    trace_ = trace;
+    metrics_ = metrics;
+  }
+
  private:
   struct NoisePlan {
     // Per-user, per-class fixed-point noise components for each stream.
@@ -159,6 +167,8 @@ class ConsensusProtocol {
   TrafficStats stats_;
   bool capture_transcript_ = false;
   std::vector<TranscriptEntry> last_transcript_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace pcl

@@ -6,6 +6,7 @@
 #include "mpc/dgk_compare.h"
 #include "mpc/secure_sum.h"
 #include "mpc/sharing.h"
+#include "obs/trace.h"
 
 namespace pcl {
 
@@ -110,7 +111,9 @@ std::optional<std::size_t> ConsensusS1Program::run(Channel& chan) {
 
   // ---- Step 9: Restoration — reveal only the original label index. --------
   ChannelStepScope scope(chan, "Restoration (9)", Timing::kTimed);
-  return bnp2.restore(chan);
+  const std::size_t label = bnp2.restore(chan);
+  obs::count(obs::Op::kNoisyMaxRelease);
+  return label;
 }
 
 ConsensusS2Program::ConsensusS2Program(const ConsensusQueryParams& params,

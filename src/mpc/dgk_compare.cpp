@@ -5,6 +5,7 @@
 
 #include "mpc/permutation.h"
 #include "net/party_runner.h"
+#include "obs/trace.h"
 
 namespace pcl {
 
@@ -35,6 +36,7 @@ std::uint64_t to_offset_domain(std::int64_t v, std::size_t ell) {
 void send_encrypted_bits(Channel& chan, const std::string& to,
                          const DgkPublicKey& pk, std::uint64_t e,
                          std::size_t width, Rng& rng) {
+  obs::count(obs::Op::kDgkCompareBit, width);
   MessageWriter msg;
   msg.write_u64(width);
   for (std::size_t i = 0; i < width; ++i) {
@@ -117,6 +119,7 @@ void require_shared_width(const DgkPublicKey& pk, std::size_t width) {
 
 bool dgk_compare_s1_geq(Channel& chan, const DgkPublicKey& pk,
                         std::size_t ell, std::int64_t x, Rng& rng) {
+  obs::count(obs::Op::kDgkCompare);
   const std::uint64_t d = to_offset_domain(x, ell);
   const std::vector<DgkCiphertext> e_bits =
       recv_ciphertext_batch(chan, "S2", ell);
@@ -142,6 +145,7 @@ bool dgk_compare_s2_geq(Channel& chan, const DgkCompareContext& ctx,
 
 bool dgk_compare_shared_s1(Channel& chan, const DgkPublicKey& pk,
                            std::size_t ell, std::int64_t x, Rng& rng) {
+  obs::count(obs::Op::kDgkCompare);
   const std::size_t width = ell + 1;
   require_shared_width(pk, width);
   const std::uint64_t d_prime = 2 * to_offset_domain(x, ell) + 1;

@@ -8,6 +8,7 @@
 #include "crypto/encryption_pool.h"
 #include "mpc/he_util.h"
 #include "net/party_runner.h"
+#include "obs/trace.h"
 
 namespace pcl {
 
@@ -15,6 +16,7 @@ void secure_sum_submit(Channel& chan, const PaillierPublicKey& s1_stream_pk,
                        const PaillierPublicKey& s2_stream_pk,
                        const std::vector<std::int64_t>& to_s1,
                        const std::vector<std::int64_t>& to_s2, Rng& rng) {
+  obs::count(obs::Op::kSecureSumSubmit);
   MessageWriter m1;
   write_ciphertext_vector(m1, encrypt_vector(s1_stream_pk, to_s1, rng));
   chan.send("S1", std::move(m1));
@@ -27,6 +29,7 @@ void secure_sum_submit_pooled(Channel& chan, PaillierRandomizerPool& pool_s1,
                               PaillierRandomizerPool& pool_s2,
                               const std::vector<std::int64_t>& to_s1,
                               const std::vector<std::int64_t>& to_s2) {
+  obs::count(obs::Op::kSecureSumSubmit);
   MessageWriter m1;
   write_ciphertext_vector(m1, pool_s1.encrypt_batch(to_s1));
   chan.send("S1", std::move(m1));
@@ -38,6 +41,7 @@ void secure_sum_submit_pooled(Channel& chan, PaillierRandomizerPool& pool_s1,
 std::vector<PaillierCiphertext> secure_sum_collect(Channel& chan,
                                                    const PaillierPublicKey& pk,
                                                    std::size_t n_users) {
+  obs::count(obs::Op::kSecureSumCollect);
   std::vector<PaillierCiphertext> aggregate;
   for (std::size_t u = 0; u < n_users; ++u) {
     MessageReader msg = chan.recv("user:" + std::to_string(u));

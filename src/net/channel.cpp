@@ -16,13 +16,15 @@ ChannelStepScope::ChannelStepScope(Channel& chan, std::string step,
       step_(std::move(step)),
       previous_step_(chan.step()),
       timing_(timing),
-      start_(std::chrono::steady_clock::now()) {
+      start_ns_(obs::monotonic_time_ns()),
+      span_(step_.c_str()) {
   chan_.set_step(step_);
 }
 
 ChannelStepScope::~ChannelStepScope() {
   if (timing_ == Timing::kTimed) {
-    chan_.add_step_time(step_, std::chrono::steady_clock::now() - start_);
+    chan_.add_step_time(step_, std::chrono::nanoseconds(
+                                   obs::monotonic_time_ns() - start_ns_));
   }
   chan_.set_step(previous_step_);
 }
@@ -79,11 +81,8 @@ std::int64_t NetworkChannel::await_public() {
 }
 
 BlockingChannel::BlockingChannel(BlockingNetwork& net, std::string self,
-                                 TrafficStats* stats, std::mutex* stats_mutex)
-    : net_(net),
-      self_(std::move(self)),
-      stats_(stats),
-      stats_mutex_(stats_mutex) {}
+                                 TrafficStats* stats)
+    : net_(net), self_(std::move(self)), stats_(stats) {}
 
 void BlockingChannel::set_public_hooks(std::function<void(std::int64_t)> post,
                                        std::function<std::int64_t()> await) {
@@ -94,7 +93,6 @@ void BlockingChannel::set_public_hooks(std::function<void(std::int64_t)> post,
 void BlockingChannel::send(const std::string& to, MessageWriter message) {
   if (stats_ != nullptr) {
     const std::string& label = step_.empty() ? kUnsetStep : step_;
-    const std::lock_guard<std::mutex> lock(*stats_mutex_);
     stats_->record_send(label, self_, to, message.size());
   }
   net_.send(self_, to, std::move(message));
@@ -106,10 +104,7 @@ MessageReader BlockingChannel::recv(const std::string& from) {
 
 void BlockingChannel::add_step_time(const std::string& step,
                                     std::chrono::nanoseconds elapsed) {
-  if (stats_ != nullptr) {
-    const std::lock_guard<std::mutex> lock(*stats_mutex_);
-    stats_->add_time(step, elapsed);
-  }
+  if (stats_ != nullptr) stats_->add_time(step, elapsed);
 }
 
 void BlockingChannel::post_public(std::int64_t value) {

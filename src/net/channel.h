@@ -12,8 +12,8 @@
 //     empty link yields to the peer instead of throwing; standalone (no
 //     hook) it inherits Network's sends-precede-recvs discipline.
 //   * BlockingChannel — over `BlockingNetwork`, for parties on real
-//     threads.  Traffic accounting is mutex-guarded because sends from
-//     different parties race.
+//     threads.  Sends from different parties race, which TrafficStats'
+//     internal lock absorbs.
 //
 // The one piece of Alg. 5 that is NOT point-to-point is the step-5 verdict:
 // the threshold decision (proceed vs ⊥) is public protocol output, and users
@@ -25,12 +25,12 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
 #include "net/blocking_network.h"
 #include "net/message.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 
 namespace pcl {
 
@@ -64,6 +64,10 @@ class Channel {
 
 /// RAII step label: sets the channel's step, restores the previous one on
 /// exit, and (for kTimed) accumulates the elapsed wall time into the stats.
+/// Also opens an obs::Span named after the step, so a run with a tracer
+/// attached gets per-party, per-step events (and per-step crypto-op
+/// attribution) for free — every party opens its span, while step *timing*
+/// stays single-party via kTimed.
 class ChannelStepScope {
  public:
   enum class Timing { kUntimed, kTimed };
@@ -79,7 +83,8 @@ class ChannelStepScope {
   std::string step_;
   std::string previous_step_;
   Timing timing_;
-  std::chrono::steady_clock::time_point start_;
+  std::uint64_t start_ns_;
+  obs::Span span_;  // after step_: named by it, closed while it is alive
 };
 
 /// Channel over the deterministic in-process Network.
@@ -124,12 +129,12 @@ class NetworkChannel final : public Channel {
 
 /// Channel over BlockingNetwork for parties on real threads.  Step-tagged
 /// traffic accounting happens here (BlockingNetwork itself only counts raw
-/// bytes), guarded by a caller-supplied mutex shared by all parties.
+/// bytes); TrafficStats is internally locked, so concurrent channels may
+/// share one stats object directly.
 class BlockingChannel final : public Channel {
  public:
   BlockingChannel(BlockingNetwork& net, std::string self,
-                  TrafficStats* stats = nullptr,
-                  std::mutex* stats_mutex = nullptr);
+                  TrafficStats* stats = nullptr);
 
   /// Installed by the party runner: the shared public bulletin.
   void set_public_hooks(std::function<void(std::int64_t)> post,
@@ -150,7 +155,6 @@ class BlockingChannel final : public Channel {
   std::string self_;
   std::string step_;
   TrafficStats* stats_;
-  std::mutex* stats_mutex_;
   std::function<void(std::int64_t)> post_hook_;
   std::function<std::int64_t()> await_hook_;
 };

@@ -26,10 +26,14 @@ constexpr int kScheduler = -1;
 class DeterministicEngine {
  public:
   DeterministicEngine(Network& net, std::span<const Party> parties,
-                      TrafficStats* timing_stats)
+                      TrafficStats* timing_stats,
+                      obs::TraceSink* trace = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr)
       : net_(net),
         parties_(parties),
         timing_stats_(timing_stats),
+        trace_(trace),
+        metrics_(metrics),
         states_(parties.size()) {}
 
   void run() {
@@ -66,6 +70,7 @@ class DeterministicEngine {
         return;
       }
     }
+    const obs::ObserverScope obs_scope(trace_, metrics_, parties_[i].name);
     NetworkChannel chan(net_, parties_[i].name, timing_stats_);
     chan.set_byte_counter(&bytes_sent_);
     chan.set_wait_hook(
@@ -210,6 +215,8 @@ class DeterministicEngine {
   Network& net_;
   std::span<const Party> parties_;
   TrafficStats* timing_stats_;
+  obs::TraceSink* trace_;
+  obs::MetricsRegistry* metrics_;
 
   std::mutex mutex_;
   std::condition_variable cv_;
@@ -271,7 +278,6 @@ class SharedPublicSignal {
 PartyRunReport run_threaded(std::span<const Party> parties,
                             const PartyRunOptions& options) {
   BlockingNetwork net(options.recv_timeout);
-  std::mutex stats_mutex;
   SharedPublicSignal signal(options.recv_timeout);
   std::vector<std::exception_ptr> errors(parties.size());
 
@@ -279,7 +285,9 @@ PartyRunReport run_threaded(std::span<const Party> parties,
   threads.reserve(parties.size());
   for (std::size_t i = 0; i < parties.size(); ++i) {
     threads.emplace_back([&, i] {
-      BlockingChannel chan(net, parties[i].name, options.stats, &stats_mutex);
+      const obs::ObserverScope obs_scope(options.trace, options.metrics,
+                                         parties[i].name);
+      BlockingChannel chan(net, parties[i].name, options.stats);
       chan.set_public_hooks(
           [&signal](std::int64_t value) { signal.post(value); },
           [&signal] { return signal.await(); });
@@ -316,7 +324,8 @@ PartyRunReport run_parties(std::span<const Party> parties,
   }
   Network net(options.stats);
   net.record_transcript(options.record_transcript);
-  DeterministicEngine engine(net, parties, options.stats);
+  DeterministicEngine engine(net, parties, options.stats, options.trace,
+                             options.metrics);
   engine.run();
   PartyRunReport report;
   report.transcript = net.transcript();

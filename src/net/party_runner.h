@@ -35,6 +35,7 @@
 
 #include "net/channel.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 
 namespace pcl {
 
@@ -54,6 +55,12 @@ struct PartyRunOptions {
   bool record_transcript = false;
   /// Per-recv deadline for the threaded transport.
   std::chrono::milliseconds recv_timeout = std::chrono::seconds(30);
+  /// Optional observability: each party's thread is bound to these for the
+  /// duration of its program, so ChannelStepScope spans and obs::count()
+  /// calls are recorded per party.  Purely passive — attaching them never
+  /// changes protocol traffic (obs code touches no Rng stream).
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct PartyRunReport {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/clock.h"
+
 namespace pcl {
 
 namespace {
@@ -14,6 +16,7 @@ bool matches_category(const std::string& party, const std::string& category) {
 
 void TrafficStats::record_send(const std::string& step, const std::string& from,
                                const std::string& to, std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   LinkTotals& totals = traffic_[Key{step, from, to}];
   totals.bytes += bytes;
   totals.messages += 1;
@@ -21,12 +24,14 @@ void TrafficStats::record_send(const std::string& step, const std::string& from,
 
 void TrafficStats::add_time(const std::string& step,
                             std::chrono::nanoseconds elapsed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   time_[step] += elapsed;
 }
 
 std::size_t TrafficStats::bytes_for(const std::string& step,
                                     const std::string& from_category,
                                     const std::string& to_category) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [key, totals] : traffic_) {
     if (key.step == step && matches_category(key.from, from_category) &&
@@ -40,6 +45,7 @@ std::size_t TrafficStats::bytes_for(const std::string& step,
 std::size_t TrafficStats::messages_for(const std::string& step,
                                        const std::string& from_category,
                                        const std::string& to_category) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [key, totals] : traffic_) {
     if (key.step == step && matches_category(key.from, from_category) &&
@@ -51,18 +57,21 @@ std::size_t TrafficStats::messages_for(const std::string& step,
 }
 
 double TrafficStats::seconds_for(const std::string& step) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = time_.find(step);
   if (it == time_.end()) return 0.0;
   return std::chrono::duration<double>(it->second).count();
 }
 
 double TrafficStats::total_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::chrono::nanoseconds total{0};
   for (const auto& [step, elapsed] : time_) total += elapsed;
   return std::chrono::duration<double>(total).count();
 }
 
 std::vector<std::string> TrafficStats::steps() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [step, elapsed] : time_) out.push_back(step);
   for (const auto& [key, totals] : traffic_) {
@@ -74,6 +83,7 @@ std::vector<std::string> TrafficStats::steps() const {
 }
 
 std::vector<TrafficStats::Entry> TrafficStats::traffic_entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Entry> out;
   out.reserve(traffic_.size());
   for (const auto& [key, totals] : traffic_) {
@@ -82,7 +92,19 @@ std::vector<TrafficStats::Entry> TrafficStats::traffic_entries() const {
   return out;
 }
 
+obs::TrafficByStep TrafficStats::by_step() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  obs::TrafficByStep out;
+  for (const auto& [key, totals] : traffic_) {
+    obs::StepTraffic& step = out[key.step];
+    step.bytes += totals.bytes;
+    step.messages += totals.messages;
+  }
+  return out;
+}
+
 void TrafficStats::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   traffic_.clear();
   time_.clear();
 }
@@ -125,13 +147,14 @@ StepScope::StepScope(Network& net, TrafficStats* stats, std::string step)
       stats_(stats),
       step_(std::move(step)),
       previous_step_(net.step()),
-      start_(std::chrono::steady_clock::now()) {
+      start_ns_(obs::monotonic_time_ns()) {
   net_.set_step(step_);
 }
 
 StepScope::~StepScope() {
   if (stats_ != nullptr) {
-    stats_->add_time(step_, std::chrono::steady_clock::now() - start_);
+    stats_->add_time(step_, std::chrono::nanoseconds(
+                                obs::monotonic_time_ns() - start_ns_));
   }
   net_.set_step(previous_step_);
 }

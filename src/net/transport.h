@@ -12,14 +12,18 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/message.h"
+#include "obs/export.h"
 
 namespace pcl {
 
-/// Aggregated traffic and timing per protocol step.
+/// Aggregated traffic and timing per protocol step.  Internally locked:
+/// writers on the threaded transport race each other and readers (a bench
+/// polling totals, a reporting thread), so every accessor takes the mutex.
 class TrafficStats {
  public:
   struct LinkTotals {
@@ -55,6 +59,11 @@ class TrafficStats {
   };
   [[nodiscard]] std::vector<Entry> traffic_entries() const;
 
+  /// Per-step {bytes, messages} totals in the obs-layer shape consumed by
+  /// obs::build_trace_json (obs cannot depend on net, so traffic crosses
+  /// the boundary as this plain map).
+  [[nodiscard]] obs::TrafficByStep by_step() const;
+
   void clear();
 
  private:
@@ -62,6 +71,7 @@ class TrafficStats {
     std::string step, from, to;
     auto operator<=>(const Key&) const = default;
   };
+  mutable std::mutex mutex_;
   std::map<Key, LinkTotals> traffic_;
   std::map<std::string, std::chrono::nanoseconds> time_;
 };
@@ -125,7 +135,7 @@ class StepScope {
   TrafficStats* stats_;
   std::string step_;
   std::string previous_step_;
-  std::chrono::steady_clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace pcl

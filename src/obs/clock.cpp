@@ -1,0 +1,15 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace pcl::obs {
+
+std::uint64_t monotonic_time_ns() {
+  // ct-ok: clock reads are public scheduling metadata, never secret data.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace pcl::obs

@@ -1,0 +1,17 @@
+// Monotonic time source for the observability layer.
+//
+// This is the ONE place in src/ that may read a raw clock (lint rule PC007
+// bans steady_clock/system_clock/clock_gettime everywhere else under src/):
+// every span, step timer and bench stopwatch goes through monotonic_time_ns,
+// so all timing in the tree is uniform, greppable and mockable in one spot.
+#pragma once
+
+#include <cstdint>
+
+namespace pcl::obs {
+
+/// Nanoseconds on a monotonic clock with an arbitrary epoch.  Differences
+/// are meaningful; absolute values are not.
+[[nodiscard]] std::uint64_t monotonic_time_ns();
+
+}  // namespace pcl::obs

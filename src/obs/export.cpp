@@ -1,0 +1,263 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcl::obs {
+namespace {
+
+/// Stable pid/tid assignment: pid 1 for the whole run, tids in order of
+/// first appearance so the Perfetto track order matches protocol order.
+std::map<std::string, int> assign_tids(const std::vector<TraceEvent>& events) {
+  std::map<std::string, int> tids;
+  int next = 1;
+  for (const TraceEvent& e : events) {
+    if (tids.emplace(e.party, next).second) ++next;
+  }
+  return tids;
+}
+
+JsonValue ops_object(const std::map<std::string, std::uint64_t>& ops) {
+  JsonValue::Object out;
+  for (const auto& [name, count] : ops) out[name] = JsonValue(count);
+  return JsonValue(std::move(out));
+}
+
+}  // namespace
+
+JsonValue build_trace_json(const TraceSink& sink, const TrafficByStep& traffic,
+                           const MetricsRegistry* metrics) {
+  const std::vector<TraceEvent> events = sink.events();
+
+  std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
+  for (const TraceEvent& e : events) epoch = std::min(epoch, e.start_ns);
+  if (events.empty()) epoch = 0;
+
+  const std::map<std::string, int> tids = assign_tids(events);
+
+  JsonValue::Array trace_events;
+  for (const auto& [party, tid] : tids) {
+    JsonValue::Object meta;
+    meta["ph"] = "M";
+    meta["name"] = "thread_name";
+    meta["pid"] = 1;
+    meta["tid"] = tid;
+    meta["args"] = JsonValue(JsonValue::Object{{"name", JsonValue(party)}});
+    trace_events.emplace_back(std::move(meta));
+  }
+  for (const TraceEvent& e : events) {
+    JsonValue::Object x;
+    x["ph"] = "X";
+    x["name"] = e.name;
+    x["pid"] = 1;
+    x["tid"] = tids.at(e.party);
+    x["ts"] = static_cast<double>(e.start_ns - epoch) / 1000.0;
+    x["dur"] = static_cast<double>(e.duration_ns) / 1000.0;
+    x["args"] = JsonValue(JsonValue::Object{{"depth", JsonValue(e.depth)}});
+    trace_events.emplace_back(std::move(x));
+  }
+
+  // Machine-readable per-step summary: union of steps seen in traffic and
+  // in the metrics registry, so compute-only steps still appear.
+  JsonValue::Object steps;
+  for (const auto& [step, t] : traffic) {
+    JsonValue::Object s;
+    s["bytes"] = JsonValue(t.bytes);
+    s["messages"] = JsonValue(t.messages);
+    s["ops"] = JsonValue(JsonValue::Object{});
+    steps[step] = JsonValue(std::move(s));
+  }
+  std::uint64_t total_ops = 0;
+  if (metrics != nullptr) {
+    for (const MetricsRegistry::Entry& e : metrics->entries()) {
+      JsonValue& step = steps[e.step];
+      if (!step.is_object()) {
+        step = JsonValue(JsonValue::Object{{"bytes", JsonValue(0)},
+                                           {"messages", JsonValue(0)},
+                                           {"ops", JsonValue(JsonValue::Object{})}});
+      }
+      step.as_object()["ops"].as_object()[op_name(e.op)] = JsonValue(e.count);
+      total_ops += e.count;
+    }
+  }
+
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+  for (const auto& [step, t] : traffic) {
+    total_bytes += t.bytes;
+    total_messages += t.messages;
+  }
+
+  JsonValue::Object pc;
+  pc["schema"] = kTraceSchema;
+  pc["steps"] = JsonValue(std::move(steps));
+  pc["totals"] = JsonValue(JsonValue::Object{
+      {"bytes", JsonValue(total_bytes)},
+      {"messages", JsonValue(total_messages)},
+      {"ops", JsonValue(total_ops)},
+      {"spans", JsonValue(static_cast<std::uint64_t>(events.size()))}});
+
+  JsonValue::Object root;
+  root["traceEvents"] = JsonValue(std::move(trace_events));
+  root["displayTimeUnit"] = "ms";
+  root["pc"] = JsonValue(std::move(pc));
+  return JsonValue(std::move(root));
+}
+
+JsonValue build_bench_json(const std::string& bench,
+                           const std::map<std::string, double>& params,
+                           double wall_ms, std::uint64_t bytes,
+                           const std::map<std::string, std::uint64_t>& ops) {
+  JsonValue::Object params_obj;
+  for (const auto& [name, value] : params) params_obj[name] = JsonValue(value);
+
+  JsonValue::Object root;
+  root["schema"] = kBenchSchema;
+  root["bench"] = bench;
+  root["params"] = JsonValue(std::move(params_obj));
+  root["wall_ms"] = JsonValue(wall_ms);
+  root["bytes"] = JsonValue(bytes);
+  root["ops"] = ops_object(ops);
+  return JsonValue(std::move(root));
+}
+
+std::string metrics_to_jsonl(const MetricsRegistry& metrics) {
+  std::string out;
+  for (const MetricsRegistry::Entry& e : metrics.entries()) {
+    JsonValue::Object line;
+    line["step"] = e.step;
+    line["op"] = op_name(e.op);
+    line["count"] = JsonValue(e.count);
+    out += JsonValue(std::move(line)).dump();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void require(std::vector<std::string>& problems, bool ok, const char* what) {
+  if (!ok) problems.emplace_back(what);
+}
+
+}  // namespace
+
+std::vector<std::string> validate_trace_json(const JsonValue& v) {
+  std::vector<std::string> problems;
+  if (!v.is_object()) return {"document is not a JSON object"};
+
+  const JsonValue* events = v.find("traceEvents");
+  require(problems, events != nullptr && events->is_array(),
+          "missing or non-array \"traceEvents\"");
+  if (events != nullptr && events->is_array()) {
+    std::size_t i = 0;
+    for (const JsonValue& e : events->as_array()) {
+      const JsonValue* ph = e.find("ph");
+      if (ph == nullptr || !ph->is_string()) {
+        problems.push_back("traceEvents[" + std::to_string(i) +
+                           "]: missing \"ph\"");
+      } else if (ph->as_string() == "X") {
+        for (const char* key : {"ts", "dur"}) {
+          const JsonValue* f = e.find(key);
+          if (f == nullptr || !f->is_number() || f->as_number() < 0) {
+            problems.push_back("traceEvents[" + std::to_string(i) +
+                               "]: bad \"" + key + "\"");
+          }
+        }
+        const JsonValue* name = e.find("name");
+        if (name == nullptr || !name->is_string()) {
+          problems.push_back("traceEvents[" + std::to_string(i) +
+                             "]: missing \"name\"");
+        }
+      }
+      ++i;
+    }
+  }
+
+  const JsonValue* pc = v.find("pc");
+  if (pc == nullptr || !pc->is_object()) {
+    problems.emplace_back("missing or non-object \"pc\"");
+    return problems;
+  }
+  const JsonValue* schema = pc->find("schema");
+  require(problems,
+          schema != nullptr && schema->is_string() &&
+              schema->as_string() == kTraceSchema,
+          "\"pc.schema\" is not \"pc-trace-v1\"");
+  const JsonValue* steps = pc->find("steps");
+  require(problems, steps != nullptr && steps->is_object(),
+          "missing or non-object \"pc.steps\"");
+  if (steps != nullptr && steps->is_object()) {
+    for (const auto& [name, step] : steps->as_object()) {
+      for (const char* key : {"bytes", "messages"}) {
+        const JsonValue* f = step.find(key);
+        if (f == nullptr || !f->is_number() || f->as_number() < 0) {
+          problems.push_back("pc.steps[\"" + name + "\"]: bad \"" + key + "\"");
+        }
+      }
+      const JsonValue* ops = step.find("ops");
+      if (ops == nullptr || !ops->is_object()) {
+        problems.push_back("pc.steps[\"" + name + "\"]: missing \"ops\"");
+      }
+    }
+  }
+  const JsonValue* totals = pc->find("totals");
+  require(problems, totals != nullptr && totals->is_object(),
+          "missing or non-object \"pc.totals\"");
+  return problems;
+}
+
+std::vector<std::string> validate_bench_json(const JsonValue& v) {
+  std::vector<std::string> problems;
+  if (!v.is_object()) return {"document is not a JSON object"};
+  const JsonValue* schema = v.find("schema");
+  require(problems,
+          schema != nullptr && schema->is_string() &&
+              schema->as_string() == kBenchSchema,
+          "\"schema\" is not \"pc-bench-v1\"");
+  const JsonValue* bench = v.find("bench");
+  require(problems, bench != nullptr && bench->is_string(),
+          "missing or non-string \"bench\"");
+  const JsonValue* params = v.find("params");
+  require(problems, params != nullptr && params->is_object(),
+          "missing or non-object \"params\"");
+  const JsonValue* wall = v.find("wall_ms");
+  require(problems, wall != nullptr && wall->is_number() &&
+                        wall->as_number() >= 0,
+          "missing or negative \"wall_ms\"");
+  const JsonValue* bytes = v.find("bytes");
+  require(problems, bytes != nullptr && bytes->is_number() &&
+                        bytes->as_number() >= 0,
+          "missing or negative \"bytes\"");
+  const JsonValue* ops = v.find("ops");
+  require(problems, ops != nullptr && ops->is_object(),
+          "missing or non-object \"ops\"");
+  if (ops != nullptr && ops->is_object()) {
+    for (const auto& [name, count] : ops->as_object()) {
+      if (!count.is_number() || count.as_number() < 0) {
+        problems.push_back("ops[\"" + name + "\"] is not a non-negative number");
+      }
+    }
+  }
+  return problems;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << text;
+  if (!out.flush()) throw std::runtime_error("write failed: " + path);
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace pcl::obs

@@ -1,0 +1,70 @@
+// Machine-readable export of traces and metrics.
+//
+// Two file schemas leave this layer:
+//
+//  * "pc-trace-v1" — a Chrome trace-event JSON file (loadable in
+//    chrome://tracing / Perfetto: "traceEvents" with one complete "X" event
+//    per span and "M" thread_name metadata per party) extended with a
+//    top-level "pc" object that carries the machine-readable per-step
+//    summary (bytes, messages, op counters) that pc_trace renders.
+//  * "pc-bench-v1" — one object per bench run: name, params, wall_ms,
+//    bytes, op counters.  bench/bench_util.h writes these; pc_trace
+//    validates them; BENCH_*.json at the repo root accumulate them.
+//
+// This header must not depend on src/net (net depends on obs), so traffic
+// crosses the boundary as the plain TrafficByStep map that
+// TrafficStats::by_step() produces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pcl::obs {
+
+inline constexpr const char* kTraceSchema = "pc-trace-v1";
+inline constexpr const char* kBenchSchema = "pc-bench-v1";
+
+struct StepTraffic {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Per-step traffic totals, keyed by Channel step tag.  Produced by
+/// TrafficStats::by_step() on the net side of the dependency boundary.
+using TrafficByStep = std::map<std::string, StepTraffic>;
+
+/// Builds the full "pc-trace-v1" document from recorded spans plus the
+/// per-step traffic and (optionally) metrics gathered over the same run.
+/// Timestamps are rebased to the earliest span so files start near t=0.
+[[nodiscard]] JsonValue build_trace_json(const TraceSink& sink,
+                                         const TrafficByStep& traffic,
+                                         const MetricsRegistry* metrics);
+
+/// Builds one "pc-bench-v1" record.  `params` and `ops` become objects with
+/// number values; wall_ms is fractional milliseconds.
+[[nodiscard]] JsonValue build_bench_json(
+    const std::string& bench, const std::map<std::string, double>& params,
+    double wall_ms, std::uint64_t bytes,
+    const std::map<std::string, std::uint64_t>& ops);
+
+/// One JSONL line per non-zero counter: {"step":...,"op":...,"count":...}.
+[[nodiscard]] std::string metrics_to_jsonl(const MetricsRegistry& metrics);
+
+/// Schema validators; return a list of human-readable problems (empty ==
+/// valid).  Used by `pc_trace --check` and the obs unit tests.
+[[nodiscard]] std::vector<std::string> validate_trace_json(const JsonValue& v);
+[[nodiscard]] std::vector<std::string> validate_bench_json(const JsonValue& v);
+
+/// Writes `text` to `path`, throwing std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, const std::string& text);
+
+/// Reads a whole file, throwing std::runtime_error if unreadable.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+}  // namespace pcl::obs

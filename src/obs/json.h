@@ -1,0 +1,72 @@
+// Minimal JSON value / parser / printer for the observability exports.
+//
+// Scope is deliberately small: enough to emit Chrome trace-event files and
+// the bench schema, and to parse them back in pc_trace for validation.  No
+// external dependency; numbers are doubles (every count we emit fits a
+// double exactly up to 2^53, far beyond any op counter in a bench run);
+// object keys are kept sorted (std::map) so output is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pcl::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;                       // null
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  JsonValue(std::uint64_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(int n) : type_(Type::kNumber), number_(n) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  JsonValue(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::logic_error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Serialize.  `indent` <= 0 means compact one-line output; > 0 pretty-
+  /// prints with that many spaces per level.  Keys come out sorted.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; throws std::invalid_argument with a
+  /// byte offset on malformed input or trailing garbage.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace pcl::obs

@@ -1,0 +1,72 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace pcl::obs {
+
+void TraceSink::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceSink::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceSink::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+namespace detail {
+
+ThreadObserver& tls_observer() {
+  thread_local ThreadObserver observer;
+  return observer;
+}
+
+}  // namespace detail
+
+ObserverScope::ObserverScope(TraceSink* sink, MetricsRegistry* metrics,
+                             std::string party)
+    : party_(std::move(party)), saved_(detail::tls_observer()) {
+  detail::ThreadObserver& obs = detail::tls_observer();
+  obs.sink = sink;
+  obs.metrics = metrics;
+  obs.slot = metrics != nullptr
+                 ? &metrics->counters_for(kUnattributedStep)
+                 : nullptr;
+  obs.party = party_.c_str();
+  obs.depth = 0;
+}
+
+ObserverScope::~ObserverScope() { detail::tls_observer() = saved_; }
+
+Span::Span(const char* name) : name_(name) {
+  detail::ThreadObserver& obs = detail::tls_observer();
+  if (obs.sink == nullptr && obs.metrics == nullptr) return;
+  active_ = true;
+  saved_slot_ = obs.slot;
+  if (obs.metrics != nullptr) obs.slot = &obs.metrics->counters_for(name_);
+  ++obs.depth;
+  if (obs.sink != nullptr) start_ns_ = monotonic_time_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  detail::ThreadObserver& obs = detail::tls_observer();
+  --obs.depth;
+  if (obs.sink != nullptr) {
+    obs.sink->record(TraceEvent{name_, obs.party, start_ns_,
+                                monotonic_time_ns() - start_ns_, obs.depth});
+  }
+  obs.slot = saved_slot_;
+}
+
+}  // namespace pcl::obs

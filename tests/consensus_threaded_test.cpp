@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mpc/consensus.h"
+#include "obs/trace.h"
 
 namespace pcl {
 namespace {
@@ -118,6 +119,64 @@ TEST(ConsensusThreaded, DifferentSeedsAgreeAcrossTransports) {
     EXPECT_EQ(protocol.stats().traffic_entries(), reference)
         << "seed " << seed;
   }
+}
+
+TEST(ConsensusThreaded, TracingAndMetricsDoNotPerturbTraffic) {
+  // The obs layer's core guarantee: attaching the tracer and the metrics
+  // registry must leave the protocol's bytes untouched — same label, same
+  // per-step traffic, for the same seed, on BOTH transports.  Under the
+  // tsan preset the threaded leg doubles as the race check for concurrent
+  // span recording and counter updates from all party threads.
+  DeterministicRng keygen(7);
+  ConsensusProtocol protocol(small_config(), keygen);
+  const auto votes = one_hot_votes({2, 2, 2, 2, 2}, 4);
+  const std::uint64_t seed = 1234;
+
+  // Untraced reference (same keygen seed as the traced protocol below).
+  const auto untraced = protocol.run_query_seeded(
+      votes, seed, ConsensusTransport::kInProcess);
+  const auto reference = protocol.stats().traffic_entries();
+  ASSERT_FALSE(reference.empty());
+
+  obs::TraceSink sink;
+  obs::MetricsRegistry metrics;
+  protocol.set_observer(&sink, &metrics);
+  for (const auto transport :
+       {ConsensusTransport::kInProcess, ConsensusTransport::kThreaded}) {
+    protocol.stats().clear();
+    const auto traced = protocol.run_query_seeded(votes, seed, transport);
+    EXPECT_EQ(traced.label, untraced.label);
+    EXPECT_EQ(protocol.stats().traffic_entries(), reference)
+        << "tracing perturbed the traffic";
+  }
+
+  // Every protocol step produced party-attributed spans...
+  const std::vector<obs::TraceEvent> events = sink.events();
+  for (const char* step :
+       {"Secure Sum (2)", "Blind-and-Permute (3)", "Secure Comparison (4)",
+        "Threshold Checking (5)", "Secure Sum (6)", "Blind-and-Permute (7)",
+        "Secure Comparison (8)", "Restoration (9)"}) {
+    bool s1 = false, s2 = false;
+    for (const obs::TraceEvent& e : events) {
+      if (e.name != step) continue;
+      s1 = s1 || e.party == "S1";
+      s2 = s2 || e.party == "S2";
+    }
+    EXPECT_TRUE(s1 && s2) << step << " missing a server span";
+  }
+
+  // ...and the metrics tell the paper's cost story: DGK bit encryptions in
+  // the comparison steps, Paillier in the sums, all keyed by step tag.
+  EXPECT_GT(metrics.counters_for("Secure Comparison (4)")
+                .get(obs::Op::kDgkCompareBit),
+            0u);
+  EXPECT_GT(metrics.counters_for("Secure Sum (2)")
+                .get(obs::Op::kPaillierEncrypt),
+            0u);
+  EXPECT_GT(metrics.counters_for("Restoration (9)")
+                .get(obs::Op::kRestorationReveal),
+            0u);
+  EXPECT_GT(metrics.total(obs::Op::kBigIntModExp), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,343 @@
+// Unit tests for the observability layer: the span tracer and thread-local
+// observer binding, the per-step op counters, the JSON value type, and the
+// trace/bench exporters with their validators.  The property the rest of
+// the suite leans on — instrumentation never perturbs protocol traffic —
+// is asserted end-to-end in consensus_threaded_test.cpp; here we pin the
+// obs layer's own contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pcl::obs {
+namespace {
+
+TEST(Clock, MonotonicAndNonzero) {
+  const std::uint64_t a = monotonic_time_ns();
+  const std::uint64_t b = monotonic_time_ns();
+  EXPECT_GT(a, 0u);
+  EXPECT_GE(b, a);
+}
+
+TEST(Metrics, CountsPerStepAndTotals) {
+  MetricsRegistry reg;
+  reg.counters_for("step A").add(Op::kPaillierEncrypt, 3);
+  reg.counters_for("step A").add(Op::kPaillierEncrypt, 2);
+  reg.counters_for("step B").add(Op::kPaillierEncrypt, 1);
+  reg.counters_for("step B").add(Op::kDgkEncrypt, 7);
+
+  EXPECT_EQ(reg.counters_for("step A").get(Op::kPaillierEncrypt), 5u);
+  EXPECT_EQ(reg.total(Op::kPaillierEncrypt), 6u);
+  EXPECT_EQ(reg.total(Op::kDgkEncrypt), 7u);
+  EXPECT_EQ(reg.total(Op::kBigIntModExp), 0u);
+}
+
+TEST(Metrics, EntriesAreNonZeroAndDeterministicallyOrdered) {
+  MetricsRegistry reg;
+  reg.counters_for("z").add(Op::kDgkEncrypt, 1);
+  reg.counters_for("a").add(Op::kPaillierDecrypt, 2);
+  reg.counters_for("a").add(Op::kBigIntModExp, 4);
+  (void)reg.counters_for("untouched");  // zero — must not appear
+
+  const std::vector<MetricsRegistry::Entry> entries = reg.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].step, "a");
+  EXPECT_EQ(entries[0].op, Op::kBigIntModExp);
+  EXPECT_EQ(entries[0].count, 4u);
+  EXPECT_EQ(entries[1].step, "a");
+  EXPECT_EQ(entries[1].op, Op::kPaillierDecrypt);
+  EXPECT_EQ(entries[2].step, "z");
+}
+
+TEST(Metrics, ClearZeroesButKeepsHandedOutPointersValid) {
+  MetricsRegistry reg;
+  StepCounters& slot = reg.counters_for("s");
+  slot.add(Op::kBigIntModMul, 10);
+  reg.clear();
+  EXPECT_EQ(slot.get(Op::kBigIntModMul), 0u);
+  EXPECT_TRUE(reg.entries().empty());
+  slot.add(Op::kBigIntModMul, 1);  // same block keeps working
+  EXPECT_EQ(reg.total(Op::kBigIntModMul), 1u);
+}
+
+TEST(Metrics, OpNamesAreStableSchemaKeys) {
+  EXPECT_STREQ(op_name(Op::kBigIntModExp), "bigint.modexp");
+  EXPECT_STREQ(op_name(Op::kPaillierEncrypt), "paillier.encrypt");
+  EXPECT_STREQ(op_name(Op::kDgkCompareBit), "dgk.compare_bit");
+  EXPECT_STREQ(op_name(Op::kNoisyMaxRelease), "noisy_max.release");
+  // Every op has a distinct non-empty name (schema keys must not collide).
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const char* name = op_name(static_cast<Op>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+}
+
+TEST(Tracer, CountIsANoOpWithoutAnObserver) {
+  // No ObserverScope installed: must not crash, must not record anywhere.
+  count(Op::kPaillierEncrypt, 1000);
+  MetricsRegistry reg;
+  {
+    const ObserverScope scope(nullptr, &reg, "p");
+    count(Op::kPaillierEncrypt);
+  }
+  count(Op::kPaillierEncrypt, 1000);  // after the scope: unobserved again
+  EXPECT_EQ(reg.total(Op::kPaillierEncrypt), 1u);
+}
+
+TEST(Tracer, SpanIsANoOpWithoutAnObserver) {
+  // No sink, no metrics: spans must be constructible anywhere for free.
+  const Span outer("outer");
+  const Span inner("inner");
+  SUCCEED();
+}
+
+TEST(Tracer, SpansRecordNestingDepthAndParty) {
+  TraceSink sink;
+  {
+    const ObserverScope scope(&sink, nullptr, "S1");
+    const Span outer("outer");
+    {
+      const Span inner("inner");
+    }
+  }
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close inner-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[0].party, "S1");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  // The outer span envelopes the inner one.
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].duration_ns,
+            events[0].start_ns + events[0].duration_ns);
+}
+
+TEST(Tracer, CountsLandInTheInnermostOpenSpan) {
+  MetricsRegistry reg;
+  const ObserverScope scope(nullptr, &reg, "S1");
+  count(Op::kBigIntModExp);  // before any span: unattributed
+  {
+    const Span outer("Secure Sum (2)");
+    count(Op::kPaillierEncrypt);
+    {
+      const Span inner("Secure Comparison (4)");
+      count(Op::kDgkEncrypt, 2);
+    }
+    count(Op::kPaillierEncrypt);  // attribution restored on span close
+  }
+  EXPECT_EQ(reg.counters_for(kUnattributedStep).get(Op::kBigIntModExp), 1u);
+  EXPECT_EQ(reg.counters_for("Secure Sum (2)").get(Op::kPaillierEncrypt), 2u);
+  EXPECT_EQ(reg.counters_for("Secure Comparison (4)").get(Op::kDgkEncrypt),
+            2u);
+  EXPECT_EQ(reg.counters_for("Secure Comparison (4)")
+                .get(Op::kPaillierEncrypt),
+            0u);
+}
+
+TEST(Tracer, MetricsOnlyScopeRecordsNoEvents) {
+  MetricsRegistry reg;
+  const ObserverScope scope(nullptr, &reg, "S1");
+  {
+    const Span span("step");
+    count(Op::kDgkZeroTest);
+  }
+  EXPECT_EQ(reg.counters_for("step").get(Op::kDgkZeroTest), 1u);
+}
+
+TEST(Tracer, ObserverScopesNestAndRestore) {
+  TraceSink outer_sink, inner_sink;
+  {
+    const ObserverScope outer(&outer_sink, nullptr, "outer");
+    {
+      const ObserverScope inner(&inner_sink, nullptr, "inner");
+      const Span span("from inner");
+    }
+    const Span span("from outer");
+  }
+  ASSERT_EQ(inner_sink.size(), 1u);
+  EXPECT_EQ(inner_sink.events()[0].party, "inner");
+  ASSERT_EQ(outer_sink.size(), 1u);
+  EXPECT_EQ(outer_sink.events()[0].party, "outer");
+}
+
+TEST(Tracer, ConcurrentThreadsShareOneSinkAndRegistry) {
+  // The threaded transport's usage pattern: N party threads, one sink, one
+  // registry.  Under the tsan preset this is the obs-layer race check.
+  TraceSink sink;
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, &reg, t] {
+      const std::string party = "P" + std::to_string(t);
+      const ObserverScope scope(&sink, &reg, party);
+      for (int i = 0; i < kIters; ++i) {
+        const Span span("shared step");
+        count(Op::kBigIntModMul);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(sink.size(), static_cast<std::size_t>(kThreads * kIters));
+  EXPECT_EQ(reg.counters_for("shared step").get(Op::kBigIntModMul),
+            static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST(Json, DumpParsesBackIdentically) {
+  JsonValue::Object obj;
+  obj["int"] = JsonValue(42);
+  obj["neg"] = JsonValue(-17);
+  obj["frac"] = JsonValue(2.5);
+  obj["str"] = "with \"quotes\" and \\slashes\\ and \n control";
+  obj["flag"] = JsonValue(true);
+  obj["nothing"] = JsonValue();
+  obj["arr"] = JsonValue(JsonValue::Array{JsonValue(1), JsonValue("two")});
+  const JsonValue v(std::move(obj));
+
+  for (const int indent : {0, 2}) {
+    const JsonValue back = JsonValue::parse(v.dump(indent));
+    EXPECT_EQ(back.find("int")->as_number(), 42);
+    EXPECT_EQ(back.find("neg")->as_number(), -17);
+    EXPECT_EQ(back.find("frac")->as_number(), 2.5);
+    EXPECT_EQ(back.find("str")->as_string(),
+              "with \"quotes\" and \\slashes\\ and \n control");
+    EXPECT_TRUE(back.find("flag")->as_bool());
+    EXPECT_TRUE(back.find("nothing")->is_null());
+    ASSERT_EQ(back.find("arr")->as_array().size(), 2u);
+    EXPECT_EQ(back.find("arr")->as_array()[1].as_string(), "two");
+  }
+}
+
+TEST(Json, IntegralNumbersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(JsonValue(std::uint64_t{123456789}).dump(), "123456789");
+  EXPECT_EQ(JsonValue(0).dump(), "0");
+  EXPECT_EQ(JsonValue(2.5).dump().find("2.5"), 0u);
+}
+
+TEST(Json, ParseRejectsMalformedInputWithOffset) {
+  EXPECT_THROW((void)JsonValue::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\":1} trailing"),
+               std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("nul"), std::invalid_argument);
+  try {
+    (void)JsonValue::parse("[1, x]");
+    FAIL() << "must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, FindOnNonObjectReturnsNull) {
+  EXPECT_EQ(JsonValue(1).find("x"), nullptr);
+  EXPECT_EQ(JsonValue(JsonValue::Object{}).find("x"), nullptr);
+  EXPECT_THROW((void)JsonValue(1).as_string(), std::logic_error);
+}
+
+TEST(Export, TraceJsonValidatesAndCarriesTrafficAndOps) {
+  TraceSink sink;
+  MetricsRegistry reg;
+  {
+    const ObserverScope scope(&sink, &reg, "S1");
+    const Span span("Secure Sum (2)");
+    count(Op::kPaillierEncrypt, 5);
+  }
+  {
+    const ObserverScope scope(&sink, &reg, "S2");
+    const Span span("Secure Sum (2)");
+  }
+  TrafficByStep traffic;
+  traffic["Secure Sum (2)"] = {680, 10};
+  traffic["compute-only is fine"] = {0, 0};
+
+  const JsonValue doc = build_trace_json(sink, traffic, &reg);
+  EXPECT_TRUE(validate_trace_json(doc).empty());
+
+  // Two parties -> two metadata events + two X events.
+  EXPECT_EQ(doc.find("traceEvents")->as_array().size(), 4u);
+  const JsonValue* step = doc.find("pc")->find("steps")->find("Secure Sum (2)");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->find("bytes")->as_number(), 680);
+  EXPECT_EQ(step->find("messages")->as_number(), 10);
+  EXPECT_EQ(step->find("ops")->find("paillier.encrypt")->as_number(), 5);
+  const JsonValue* totals = doc.find("pc")->find("totals");
+  EXPECT_EQ(totals->find("bytes")->as_number(), 680);
+  EXPECT_EQ(totals->find("spans")->as_number(), 2);
+  // ts is rebased to the earliest span.
+  double min_ts = 1e18;
+  for (const JsonValue& e : doc.find("traceEvents")->as_array()) {
+    if (e.find("ph")->as_string() == "X") {
+      min_ts = std::min(min_ts, e.find("ts")->as_number());
+    }
+  }
+  EXPECT_EQ(min_ts, 0.0);
+}
+
+TEST(Export, TraceJsonWithNoEventsStillValidates) {
+  TraceSink sink;
+  const JsonValue doc = build_trace_json(sink, {}, nullptr);
+  EXPECT_TRUE(validate_trace_json(doc).empty());
+}
+
+TEST(Export, ValidatorRejectsBrokenTrace) {
+  const JsonValue not_object = JsonValue(3);
+  EXPECT_FALSE(validate_trace_json(not_object).empty());
+  const JsonValue wrong_schema = JsonValue::parse(
+      R"({"traceEvents": [], "pc": {"schema": "pc-trace-v0",)"
+      R"( "steps": {}, "totals": {}}})");
+  EXPECT_FALSE(validate_trace_json(wrong_schema).empty());
+  const JsonValue bad_event = JsonValue::parse(
+      R"({"traceEvents": [{"ph": "X", "name": "s", "ts": -1, "dur": 0}],)"
+      R"( "pc": {"schema": "pc-trace-v1", "steps": {}, "totals": {}}})");
+  EXPECT_FALSE(validate_trace_json(bad_event).empty());
+}
+
+TEST(Export, BenchJsonValidatesAndRoundTrips) {
+  const JsonValue doc = build_bench_json(
+      "bench_x", {{"classes", 4.0}}, 12.5, 9999, {{"paillier.encrypt", 3}});
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+  const JsonValue back = JsonValue::parse(doc.dump(2));
+  EXPECT_EQ(back.find("bench")->as_string(), "bench_x");
+  EXPECT_EQ(back.find("bytes")->as_number(), 9999);
+  EXPECT_EQ(back.find("ops")->find("paillier.encrypt")->as_number(), 3);
+
+  const JsonValue missing = JsonValue::parse(R"({"schema": "pc-bench-v1"})");
+  EXPECT_FALSE(validate_bench_json(missing).empty());
+}
+
+TEST(Export, MetricsJsonlHasOneValidObjectPerCounter) {
+  MetricsRegistry reg;
+  reg.counters_for("Secure Sum (2)").add(Op::kPaillierEncrypt, 4);
+  reg.counters_for("Restoration (9)").add(Op::kRestorationReveal, 1);
+  const std::string jsonl = metrics_to_jsonl(reg);
+
+  std::size_t lines = 0, pos = 0;
+  while (pos < jsonl.size()) {
+    const std::size_t eol = jsonl.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);  // every record newline-terminated
+    const JsonValue line = JsonValue::parse(jsonl.substr(pos, eol - pos));
+    EXPECT_TRUE(line.find("step")->is_string());
+    EXPECT_TRUE(line.find("op")->is_string());
+    EXPECT_GT(line.find("count")->as_number(), 0);
+    pos = eol + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+}  // namespace
+}  // namespace pcl::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace pcl {
 namespace {
 
@@ -166,6 +168,56 @@ TEST(TrafficStats, TrafficEntriesAreDeterministicAndComparable) {
   ASSERT_EQ(a.traffic_entries().size(), 2u);
   b.record_send("s", "S1", "S2", 1);
   EXPECT_NE(a.traffic_entries(), b.traffic_entries());
+}
+
+TEST(TrafficStats, ByStepAggregatesAcrossLinks) {
+  TrafficStats stats;
+  stats.record_send("Secure Sum (2)", "user:0", "S1", 100);
+  stats.record_send("Secure Sum (2)", "user:1", "S2", 50);
+  stats.record_send("Blind-and-Permute (3)", "S1", "S2", 200);
+  const obs::TrafficByStep by_step = stats.by_step();
+  ASSERT_EQ(by_step.size(), 2u);
+  EXPECT_EQ(by_step.at("Secure Sum (2)").bytes, 150u);
+  EXPECT_EQ(by_step.at("Secure Sum (2)").messages, 2u);
+  EXPECT_EQ(by_step.at("Blind-and-Permute (3)").bytes, 200u);
+  EXPECT_EQ(by_step.at("Blind-and-Permute (3)").messages, 1u);
+}
+
+TEST(TrafficStats, ConcurrentWritersAndReadersAreRaceFree) {
+  // Regression: timing and traffic used to rely on the caller's external
+  // lock, which readers (seconds_for during a threaded run) didn't take.
+  // TrafficStats now locks internally; under the tsan preset this test is
+  // the proof.  Assertions pin the totals so a silent lost-update regression
+  // also fails on non-tsan configurations.
+  TrafficStats stats;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats, t] {
+      const std::string self = "P" + std::to_string(t);
+      for (int i = 0; i < kIters; ++i) {
+        stats.record_send("step", self, "S1", 3);
+        stats.add_time("step", std::chrono::microseconds(2));
+      }
+    });
+  }
+  threads.emplace_back([&stats] {  // concurrent reader
+    for (int i = 0; i < kIters; ++i) {
+      (void)stats.bytes_for("step");
+      (void)stats.seconds_for("step");
+      (void)stats.total_seconds();
+      (void)stats.traffic_entries();
+      (void)stats.by_step();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(stats.bytes_for("step"),
+            static_cast<std::size_t>(kThreads * kIters * 3));
+  EXPECT_EQ(stats.messages_for("step"),
+            static_cast<std::size_t>(kThreads * kIters));
+  EXPECT_NEAR(stats.seconds_for("step"), kThreads * kIters * 2e-6, 1e-9);
 }
 
 TEST(StepScope, RestoresPreviousStepAndRecordsTime) {

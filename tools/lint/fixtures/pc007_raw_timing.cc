@@ -1,0 +1,17 @@
+// Fixture: raw clock sources in protocol code — every line below must fire
+// PC007.  Timing belongs to obs::monotonic_time_ns() (src/obs/clock.h).
+#include <chrono>
+#include <ctime>
+
+double measure_step() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto wall = std::chrono::system_clock::now();
+  const auto hi = std::chrono::high_resolution_clock::now();
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)wall;
+  (void)hi;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}

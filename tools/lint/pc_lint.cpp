@@ -1,7 +1,7 @@
 // pc_lint — project-specific crypto-invariant checker.
 //
 // Generic tools (clang-tidy, sanitizers) cannot know which identifiers in
-// this codebase are *secrets*; this tool encodes that knowledge as six
+// this codebase are *secrets*; this tool encodes that knowledge as seven
 // mechanical rules and runs as a ctest case on every configuration:
 //
 //   PC001 banned-rng        std::rand/srand/std::random_device anywhere but
@@ -30,6 +30,15 @@
 //                           construction, so every protocol runs unchanged
 //                           on both transports.  Taking a `Network&` is fine;
 //                           building one is not.
+//   PC007 raw-timing        reading a raw clock (`steady_clock`,
+//                           `system_clock`, `high_resolution_clock`,
+//                           `clock_gettime`) in src/ outside src/obs/ — all
+//                           timing flows through obs::monotonic_time_ns()
+//                           (src/obs/clock.h) so instrumentation is
+//                           centralized, mockable, and provably absent from
+//                           the protocol's secret-dependent paths.  Duration
+//                           arithmetic (std::chrono::nanoseconds etc.) is
+//                           still fine; only clock *sources* are banned.
 //
 // Usage:
 //   pc_lint --root <repo-root> [subdir...]    scan (default subdir: src)
@@ -438,6 +447,29 @@ void rule_direct_network_construction(const std::string& rel,
   }
 }
 
+// PC007: only src/obs/ (obs::monotonic_time_ns) may read a raw clock.
+// Everything else in src/ must time through the obs layer, which keeps
+// timing out of protocol logic and gives the tracer one clock to own.
+void rule_raw_timing(const std::string& rel, const FileText& ft,
+                     bool force_in_scope, std::vector<Finding>& out) {
+  const bool in_scope = force_in_scope || (rel.rfind("src/", 0) == 0 &&
+                                           rel.rfind("src/obs/", 0) != 0);
+  if (!in_scope) return;
+  static const std::vector<std::string> kClockSources = {
+      "steady_clock", "system_clock", "high_resolution_clock",
+      "clock_gettime"};
+  for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
+    for (const std::string& clock : kClockSources) {
+      if (!contains_identifier(ft.stripped[i], clock)) continue;
+      if (line_is_annotated_ct_ok(ft, i)) continue;
+      out.push_back({rel, i + 1, "PC007",
+                     "raw clock source '" + clock +
+                         "' outside src/obs/ — time through "
+                         "obs::monotonic_time_ns() (src/obs/clock.h)"});
+    }
+  }
+}
+
 std::vector<Finding> scan_file(const std::string& rel, const fs::path& path,
                                bool force_all_rules) {
   const FileText ft = read_file(path);
@@ -448,6 +480,7 @@ std::vector<Finding> scan_file(const std::string& rel, const fs::path& path,
   rule_include_hygiene(rel, ft, findings);
   rule_whitespace(rel, ft, findings);
   rule_direct_network_construction(rel, ft, force_all_rules, findings);
+  rule_raw_timing(rel, ft, force_all_rules, findings);
   return findings;
 }
 

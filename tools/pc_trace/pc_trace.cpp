@@ -1,0 +1,265 @@
+// pc_trace — summarize and validate the observability files the benches and
+// the party runner emit.
+//
+//   pc_trace <trace.json>            render a per-phase summary table
+//   pc_trace --check <file>...       validate files against their schemas
+//
+// A trace file is Chrome trace-event JSON ("pc-trace-v1"): open it in
+// chrome://tracing or Perfetto for the timeline; this tool renders the
+// machine-readable "pc" summary — per protocol step: wall time (max over
+// parties of that party's span time, since parties run concurrently),
+// bytes and messages on the wire, and the Paillier / DGK / modexp counts
+// behind the paper's Tables I/II.  --check also accepts "pc-bench-v1"
+// records and JSONL metrics dumps, returning nonzero if anything fails
+// validation — CI gates the bench artifacts on it.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace {
+
+using pcl::obs::JsonValue;
+
+struct StepRow {
+  std::string step;
+  double wall_ms = 0.0;
+  double first_ts = -1.0;  ///< earliest span start (µs); -1 = no span
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t paillier = 0;
+  std::uint64_t dgk = 0;
+  std::uint64_t modexp = 0;
+};
+
+std::uint64_t op_sum(const JsonValue& ops, const char* prefix) {
+  std::uint64_t total = 0;
+  for (const auto& [name, count] : ops.as_object()) {
+    if (name.rfind(prefix, 0) == 0 && count.is_number()) {
+      total += static_cast<std::uint64_t>(count.as_number());
+    }
+  }
+  return total;
+}
+
+int summarize(const std::string& path) {
+  const JsonValue doc = JsonValue::parse(pcl::obs::read_text_file(path));
+  const std::vector<std::string> problems =
+      pcl::obs::validate_trace_json(doc);
+  if (!problems.empty()) {
+    std::fprintf(stderr, "%s: not a valid pc-trace-v1 file:\n", path.c_str());
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "  - %s\n", p.c_str());
+    }
+    return 1;
+  }
+
+  // Per-(step, party) span time from the timeline; a step's wall time is
+  // the busiest party's total (parties overlap, so summing would lie).
+  std::map<std::string, std::map<std::string, double>> span_us;
+  std::map<std::string, double> first_ts;
+  std::map<double, std::string> party_of_tid;
+  const JsonValue::Array& events = doc.find("traceEvents")->as_array();
+  for (const JsonValue& e : events) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    if (ph->as_string() == "M") {
+      const JsonValue* args = e.find("args");
+      const JsonValue* tid = e.find("tid");
+      if (args != nullptr && tid != nullptr && tid->is_number()) {
+        const JsonValue* name = args->find("name");
+        if (name != nullptr && name->is_string()) {
+          party_of_tid[tid->as_number()] = name->as_string();
+        }
+      }
+    }
+  }
+  for (const JsonValue& e : events) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string() != "X") continue;
+    const std::string& name = e.find("name")->as_string();
+    const double ts = e.find("ts")->as_number();
+    const double dur = e.find("dur")->as_number();
+    const JsonValue* tid = e.find("tid");
+    std::string party = "?";
+    if (tid != nullptr && tid->is_number()) {
+      const auto it = party_of_tid.find(tid->as_number());
+      if (it != party_of_tid.end()) party = it->second;
+    }
+    span_us[name][party] += dur;
+    const auto it = first_ts.find(name);
+    if (it == first_ts.end() || ts < it->second) first_ts[name] = ts;
+  }
+
+  std::vector<StepRow> rows;
+  const JsonValue::Object& steps =
+      doc.find("pc")->find("steps")->as_object();
+  for (const auto& [step, info] : steps) {
+    StepRow row;
+    row.step = step;
+    row.bytes = static_cast<std::uint64_t>(info.find("bytes")->as_number());
+    row.messages =
+        static_cast<std::uint64_t>(info.find("messages")->as_number());
+    const JsonValue* ops = info.find("ops");
+    if (ops != nullptr && ops->is_object()) {
+      row.paillier = op_sum(*ops, "paillier.");
+      row.dgk = op_sum(*ops, "dgk.");
+      row.modexp = op_sum(*ops, "bigint.modexp");
+    }
+    const auto spans = span_us.find(step);
+    if (spans != span_us.end()) {
+      double busiest = 0.0;
+      for (const auto& [party, us] : spans->second) {
+        busiest = std::max(busiest, us);
+      }
+      row.wall_ms = busiest / 1000.0;
+      row.first_ts = first_ts.at(step);
+    }
+    rows.push_back(std::move(row));
+  }
+  // Protocol order = order of first span; span-less steps trail, sorted.
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const StepRow& a, const StepRow& b) {
+                     if ((a.first_ts < 0) != (b.first_ts < 0)) {
+                       return b.first_ts < 0;
+                     }
+                     if (a.first_ts < 0) return a.step < b.step;
+                     return a.first_ts < b.first_ts;
+                   });
+
+  std::printf("%s\n", path.c_str());
+  std::printf("%-26s %10s %12s %6s %10s %8s %10s\n", "phase", "wall ms",
+              "bytes", "msgs", "paillier", "dgk", "modexp");
+  StepRow total;
+  for (const StepRow& row : rows) {
+    std::printf("%-26s %10.2f %12llu %6llu %10llu %8llu %10llu\n",
+                row.step.c_str(), row.wall_ms,
+                static_cast<unsigned long long>(row.bytes),
+                static_cast<unsigned long long>(row.messages),
+                static_cast<unsigned long long>(row.paillier),
+                static_cast<unsigned long long>(row.dgk),
+                static_cast<unsigned long long>(row.modexp));
+    total.wall_ms += row.wall_ms;
+    total.bytes += row.bytes;
+    total.messages += row.messages;
+    total.paillier += row.paillier;
+    total.dgk += row.dgk;
+    total.modexp += row.modexp;
+  }
+  std::printf("%-26s %10.2f %12llu %6llu %10llu %8llu %10llu\n", "total",
+              total.wall_ms, static_cast<unsigned long long>(total.bytes),
+              static_cast<unsigned long long>(total.messages),
+              static_cast<unsigned long long>(total.paillier),
+              static_cast<unsigned long long>(total.dgk),
+              static_cast<unsigned long long>(total.modexp));
+  return 0;
+}
+
+/// Validates one JSONL metrics line: {"step": s, "op": o, "count": n}.
+std::vector<std::string> validate_metrics_line(const JsonValue& v) {
+  std::vector<std::string> problems;
+  const JsonValue* step = v.find("step");
+  if (step == nullptr || !step->is_string()) {
+    problems.emplace_back("missing or non-string \"step\"");
+  }
+  const JsonValue* op = v.find("op");
+  if (op == nullptr || !op->is_string()) {
+    problems.emplace_back("missing or non-string \"op\"");
+  }
+  const JsonValue* count = v.find("count");
+  if (count == nullptr || !count->is_number() || count->as_number() < 0) {
+    problems.emplace_back("missing or negative \"count\"");
+  }
+  return problems;
+}
+
+int check_one(const std::string& path) {
+  const std::string text = pcl::obs::read_text_file(path);
+  std::vector<std::string> problems;
+  std::string kind;
+  try {
+    const JsonValue doc = JsonValue::parse(text);
+    const JsonValue* schema = doc.find("schema");
+    const JsonValue* pc = doc.find("pc");
+    if (pc != nullptr || (schema != nullptr && schema->is_string() &&
+                          schema->as_string() == pcl::obs::kTraceSchema)) {
+      kind = pcl::obs::kTraceSchema;
+      problems = pcl::obs::validate_trace_json(doc);
+    } else if (schema != nullptr && schema->is_string() &&
+               schema->as_string() == pcl::obs::kBenchSchema) {
+      kind = pcl::obs::kBenchSchema;
+      problems = pcl::obs::validate_bench_json(doc);
+    } else {
+      kind = "unknown";
+      problems.emplace_back(
+          "no recognizable schema (expected pc-trace-v1 or pc-bench-v1)");
+    }
+  } catch (const std::invalid_argument&) {
+    // Not a single JSON document: try JSONL (metrics dump).
+    kind = "metrics-jsonl";
+    std::size_t lineno = 0, seen = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const std::size_t eol = text.find('\n', pos);
+      const std::string line =
+          text.substr(pos, eol == std::string::npos ? eol : eol - pos);
+      pos = eol == std::string::npos ? text.size() : eol + 1;
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      ++seen;
+      try {
+        for (const std::string& p :
+             validate_metrics_line(JsonValue::parse(line))) {
+          problems.push_back("line " + std::to_string(lineno) + ": " + p);
+        }
+      } catch (const std::invalid_argument& err) {
+        problems.push_back("line " + std::to_string(lineno) + ": " +
+                           err.what());
+      }
+    }
+    if (seen == 0) problems.emplace_back("no JSONL records");
+  }
+
+  if (problems.empty()) {
+    std::printf("%s: OK (%s)\n", path.c_str(), kind.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "%s: INVALID (%s)\n", path.c_str(), kind.c_str());
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "  - %s\n", p.c_str());
+  }
+  return 1;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.json>            summarize a trace\n"
+               "       %s --check <file>...       validate trace/bench/"
+               "metrics files\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 2 && std::strcmp(argv[1], "--check") == 0) {
+      if (argc < 3) return usage(argv[0]);
+      int failures = 0;
+      for (int i = 2; i < argc; ++i) failures += check_one(argv[i]);
+      return failures == 0 ? 0 : 1;
+    }
+    if (argc != 2) return usage(argv[0]);
+    return summarize(argv[1]);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "pc_trace: %s\n", err.what());
+    return 1;
+  }
+}
