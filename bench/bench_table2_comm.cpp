@@ -17,10 +17,11 @@ using namespace pclbench;
 
 namespace {
 
-// `--smoke`: CI-sized cross-transport check.  One seeded query on the
-// deterministic in-process transport and one on real threads must leave
-// byte-identical per-step traffic behind — the party-program architecture's
-// core guarantee, asserted on the exact counters this bench reports.  Both
+// `--smoke`: CI-sized cross-transport check.  One seeded query each on the
+// deterministic in-process transport, on real threads, and on real loopback
+// TCP sockets must leave byte-identical per-step traffic behind — the
+// party-program architecture's core guarantee, asserted on the exact
+// counters this bench reports.  Both
 // queries run with the tracer and metrics attached, so the check also
 // covers the obs layer's non-perturbation guarantee, and `--trace` /
 // `--json` emit the observability files CI validates with pc_trace.
@@ -55,28 +56,39 @@ int run_smoke(const BenchCli& cli) {
   const auto threaded =
       protocol.run_query_seeded(votes, seed, ConsensusTransport::kThreaded);
   const auto actual = protocol.stats().traffic_entries();
+  protocol.stats().clear();
+  const auto tcp =
+      protocol.run_query_seeded(votes, seed, ConsensusTransport::kTcp);
+  const auto actual_tcp = protocol.stats().traffic_entries();
 
   std::printf("bench_table2_comm --smoke: %zu classes, %zu users, seed %llu\n",
               config.num_classes, config.num_users,
               static_cast<unsigned long long>(seed));
-  std::printf("%-26s %14s %14s\n", "Step", "in-process B", "threaded B");
-  bool ok = in_process.label == threaded.label;
+  std::printf("%-26s %14s %14s %14s\n", "Step", "in-process B", "threaded B",
+              "tcp B");
+  bool ok = in_process.label == threaded.label && in_process.label == tcp.label;
   for (const char* step :
        {"Secure Sum (2)", "Blind-and-Permute (3)", "Secure Comparison (4)",
         "Threshold Checking (5)", "Secure Sum (6)", "Blind-and-Permute (7)",
         "Secure Comparison (8)", "Restoration (9)"}) {
-    std::size_t ref_bytes = 0, act_bytes = 0;
+    std::size_t ref_bytes = 0, act_bytes = 0, tcp_bytes = 0;
     for (const auto& e : reference) {
       if (e.step == step) ref_bytes += e.bytes;
     }
     for (const auto& e : actual) {
       if (e.step == step) act_bytes += e.bytes;
     }
-    std::printf("%-26s %14zu %14zu%s\n", step, ref_bytes, act_bytes,
-                ref_bytes == act_bytes ? "" : "  MISMATCH");
+    for (const auto& e : actual_tcp) {
+      if (e.step == step) tcp_bytes += e.bytes;
+    }
+    std::printf("%-26s %14zu %14zu %14zu%s\n", step, ref_bytes, act_bytes,
+                tcp_bytes,
+                ref_bytes == act_bytes && ref_bytes == tcp_bytes
+                    ? ""
+                    : "  MISMATCH");
     if (ref_bytes == 0) ok = false;  // a silent all-zero pass is no pass
   }
-  if (actual != reference) ok = false;
+  if (actual != reference || actual_tcp != reference) ok = false;
   std::printf("%s: per-step traffic %s across transports\n",
               ok ? "PASS" : "FAIL", ok ? "identical" : "DIFFERS");
 

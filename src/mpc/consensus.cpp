@@ -133,29 +133,30 @@ ConsensusProtocol::QueryResult ConsensusProtocol::run_query_with_noise_seeded(
                       transport);
 }
 
-ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
-    const std::vector<std::vector<double>>& user_votes, const NoisePlan& noise,
-    std::uint64_t seed, ConsensusTransport transport) {
+ConsensusProtocol::QueryPlan ConsensusProtocol::make_plan(
+    const std::vector<std::vector<double>>& user_votes) const {
   const std::size_t n_users = config_.num_users;
   const std::size_t k = config_.num_classes;
   if (user_votes.size() != n_users) {
     throw std::invalid_argument("expected one vote vector per user");
   }
 
+  QueryPlan plan;
+
   // ---- Step 1 prep: validate and fixed-point encode every vote vector.
   // |vote| <= 1 per class keeps everything far below the share-masking and
   // Paillier bounds (checked in the constructor's params).
-  std::vector<std::vector<std::int64_t>> votes_fixed(n_users);
+  plan.votes_fixed.resize(n_users);
   for (std::size_t u = 0; u < n_users; ++u) {
     if (user_votes[u].size() != k) {
       throw std::invalid_argument("vote vector has wrong length");
     }
-    votes_fixed[u].resize(k);
+    plan.votes_fixed[u].resize(k);
     for (std::size_t i = 0; i < k; ++i) {
       if (!(user_votes[u][i] >= 0.0 && user_votes[u][i] <= 1.0)) {
         throw std::invalid_argument("votes must lie in [0, 1]");
       }
-      votes_fixed[u][i] = encode_fixed(user_votes[u][i]);
+      plan.votes_fixed[u][i] = encode_fixed(user_votes[u][i]);
     }
   }
 
@@ -170,10 +171,10 @@ ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
     for (std::int64_t u = 0; u < rem; ++u) out[static_cast<std::size_t>(u)]++;
     return out;
   };
-  const std::vector<std::int64_t> t_a = split_offsets(t_fixed / 2);
-  const std::vector<std::int64_t> t_b = split_offsets(t_fixed - t_fixed / 2);
+  plan.t_a = split_offsets(t_fixed / 2);
+  plan.t_b = split_offsets(t_fixed - t_fixed / 2);
 
-  const ConsensusQueryParams params{
+  plan.params = ConsensusQueryParams{
       k,
       n_users,
       config_.share_bits,
@@ -181,6 +182,66 @@ ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
       config_.threshold_check_all_positions,
       config_.argmax_strategy,
   };
+  return plan;
+}
+
+std::optional<int> ConsensusProtocol::run_party_seeded(
+    const std::string& party,
+    const std::vector<std::vector<double>>& user_votes, std::uint64_t seed,
+    Channel& chan) const {
+  QueryPlan plan = make_plan(user_votes);
+  // Same noise-stream derivation as run_query_seeded: every process hands
+  // the users identical noise slices, so a multi-process run replays the
+  // in-process query byte for byte.
+  DeterministicRng noise_rng(derive_party_seed(seed, 2 + config_.num_users));
+  const NoisePlan noise = draw_noise(noise_rng);
+
+  if (party == "S1") {
+    DeterministicRng rng(derive_party_seed(seed, 0));
+    ConsensusS1Program s1(plan.params, paillier_.s1, paillier_.s2.pk, dgk_.pk,
+                          rng);
+    const std::optional<std::size_t> label = s1.run(chan);
+    if (!label.has_value()) return std::nullopt;
+    return static_cast<int>(*label);
+  }
+  if (party == "S2") {
+    DeterministicRng rng(derive_party_seed(seed, 1));
+    ConsensusS2Program s2(plan.params, paillier_.s2, paillier_.s1.pk, dgk_,
+                          rng);
+    const std::optional<std::size_t> label = s2.run(chan);
+    if (!label.has_value()) return std::nullopt;
+    return static_cast<int>(*label);
+  }
+  for (std::size_t u = 0; u < config_.num_users; ++u) {
+    if (party != "user:" + std::to_string(u)) continue;
+    DeterministicRng rng(derive_party_seed(seed, 2 + u));
+    ConsensusUserProgram user(plan.params,
+                              ConsensusUserProgram::Inputs{
+                                  std::move(plan.votes_fixed[u]),
+                                  plan.t_a[u],
+                                  plan.t_b[u],
+                                  noise.z1a[u],
+                                  noise.z1b[u],
+                                  noise.z2a[u],
+                                  noise.z2b[u],
+                              },
+                              paillier_.s1.pk, paillier_.s2.pk, rng);
+    user.run(chan);
+    return std::nullopt;
+  }
+  throw std::invalid_argument("run_party_seeded: unknown party '" + party +
+                              "'");
+}
+
+ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
+    const std::vector<std::vector<double>>& user_votes, const NoisePlan& noise,
+    std::uint64_t seed, ConsensusTransport transport) {
+  const std::size_t n_users = config_.num_users;
+  QueryPlan plan = make_plan(user_votes);
+  std::vector<std::vector<std::int64_t>>& votes_fixed = plan.votes_fixed;
+  const ConsensusQueryParams& params = plan.params;
+  const std::vector<std::int64_t>& t_a = plan.t_a;
+  const std::vector<std::int64_t>& t_b = plan.t_b;
 
   // Every party gets its own Rng derived from the query seed (S1 = 0,
   // S2 = 1, user u = 2 + u) — the basis of cross-transport byte-identity.
@@ -220,8 +281,17 @@ ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
 
   const bool deterministic = transport == ConsensusTransport::kInProcess;
   PartyRunOptions options;
-  options.transport = deterministic ? PartyTransport::kDeterministic
-                                    : PartyTransport::kThreaded;
+  switch (transport) {
+    case ConsensusTransport::kInProcess:
+      options.transport = PartyTransport::kDeterministic;
+      break;
+    case ConsensusTransport::kThreaded:
+      options.transport = PartyTransport::kThreaded;
+      break;
+    case ConsensusTransport::kTcp:
+      options.transport = PartyTransport::kTcp;
+      break;
+  }
   options.stats = &stats_;
   options.record_transcript = capture_transcript_ && deterministic;
   options.trace = trace_;

@@ -47,9 +47,11 @@ namespace pcl {
 
 /// Which transport a query runs over.  Results and per-step traffic are
 /// identical; kThreaded runs every party on its own OS thread over a
-/// BlockingNetwork (the deployment shape), kInProcess under the
-/// deterministic baton scheduler (the reference shape).
-enum class ConsensusTransport { kInProcess, kThreaded };
+/// BlockingNetwork (the deployment shape), kTcp over real loopback TCP
+/// sockets (one thread per party; the single-process rehearsal of the
+/// pc_party multi-process deployment), kInProcess under the deterministic
+/// baton scheduler (the reference shape).
+enum class ConsensusTransport { kInProcess, kThreaded, kTcp };
 
 struct ConsensusConfig {
   std::size_t num_classes = 10;
@@ -95,10 +97,22 @@ class ConsensusProtocol {
 
   /// Fully seeded variant: every party's Rng (and the noise) derives from
   /// `seed`, so the same seed replays the identical query — including
-  /// byte-identical per-step traffic — on either transport.
+  /// byte-identical per-step traffic — on every transport.
   [[nodiscard]] QueryResult run_query_seeded(
       const std::vector<std::vector<double>>& user_votes, std::uint64_t seed,
       ConsensusTransport transport = ConsensusTransport::kInProcess);
+
+  /// Runs exactly ONE party of a seeded query over a caller-supplied
+  /// channel — the multi-process deployment entry point (tools/pc_party):
+  /// every process is handed the same (votes, seed) replay spec, derives
+  /// the identical noise plan and per-party Rng streams as
+  /// run_query_seeded, and executes only `party`'s program; the transport
+  /// (real sockets) carries everything else.  Returns the released label
+  /// for a server (nullopt = the paper's ⊥); always nullopt for a user.
+  [[nodiscard]] std::optional<int> run_party_seeded(
+      const std::string& party,
+      const std::vector<std::vector<double>>& user_votes, std::uint64_t seed,
+      Channel& chan) const;
 
   /// Labels a batch of instances (the paper evaluates 1000 per run); one
   /// independent Alg. 5 execution per instance, fresh permutations, masks
@@ -153,6 +167,18 @@ class ConsensusProtocol {
     std::vector<std::vector<std::int64_t>> z1a, z1b;  // threshold noise
     std::vector<std::vector<std::int64_t>> z2a, z2b;  // release noise
   };
+  /// Everything derived from the vote vectors before any party runs:
+  /// validated fixed-point votes, the per-user threshold offsets, and the
+  /// query params every program shares.  One definition serves both the
+  /// all-party harness (run_internal) and the single-party deployment
+  /// entry point (run_party_seeded), so they cannot drift.
+  struct QueryPlan {
+    ConsensusQueryParams params;
+    std::vector<std::vector<std::int64_t>> votes_fixed;
+    std::vector<std::int64_t> t_a, t_b;
+  };
+  [[nodiscard]] QueryPlan make_plan(
+      const std::vector<std::vector<double>>& user_votes) const;
   [[nodiscard]] NoisePlan draw_noise(Rng& rng) const;
   [[nodiscard]] NoisePlan injected_noise(
       double threshold_noise, std::span<const double> release_noise) const;

@@ -14,21 +14,21 @@
 #include <deque>
 #include <map>
 #include <mutex>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "net/errors.h"
 #include "net/message.h"
 
 namespace pcl {
 
 /// Thrown when a blocking recv (or a bulletin await) exceeds its deadline.
-/// A distinct type so runners can tell a starved peer (collateral damage)
-/// from the root-cause failure; still a std::runtime_error for callers that
-/// only care that the protocol died.
-class RecvTimeoutError : public std::runtime_error {
+/// Derives from ChannelTimeout — the error class shared with the TCP
+/// transport — so runners can tell a starved peer (collateral damage) from
+/// the root-cause failure with one catch regardless of transport.
+class RecvTimeoutError : public ChannelTimeout {
  public:
-  using std::runtime_error::runtime_error;
+  using ChannelTimeout::ChannelTimeout;
 };
 
 class BlockingNetwork {
@@ -44,6 +44,12 @@ class BlockingNetwork {
   /// RecvTimeoutError on timeout (protocol deadlock / missing send).
   [[nodiscard]] MessageReader recv(const std::string& to,
                                    const std::string& from);
+
+  /// Same, but with a caller-supplied deadline overriding the network-wide
+  /// default for this one call (BlockingChannel::set_recv_deadline).
+  [[nodiscard]] MessageReader recv(const std::string& to,
+                                   const std::string& from,
+                                   std::chrono::milliseconds deadline);
 
   /// Total messages currently queued (diagnostics; racy by nature).
   [[nodiscard]] std::size_t pending_total() const;

@@ -99,6 +99,9 @@ void BlockingChannel::send(const std::string& to, MessageWriter message) {
 }
 
 MessageReader BlockingChannel::recv(const std::string& from) {
+  if (recv_deadline_.has_value()) {
+    return net_.recv(self_, from, *recv_deadline_);
+  }
   return net_.recv(self_, from);
 }
 

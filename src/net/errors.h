@@ -1,0 +1,46 @@
+// Typed transport errors shared by every Channel implementation.
+//
+// Party programs and runners need to tell three failure classes apart:
+//
+//   * ChannelTimeout — a recv (or bulletin await) exceeded its deadline.
+//     Usually collateral damage: some peer died and everyone else starved,
+//     so runners prefer a non-timeout error as the root cause.
+//   * ChannelClosed  — the peer shut the connection down (EOF mid-protocol
+//     over TCP).  This IS usually the root cause: the dead peer's side.
+//   * FramingError   — bytes arrived but do not parse: truncated message,
+//     oversized or corrupt length prefix, unknown frame kind.  Indicates a
+//     bug or an actively malicious peer, never a benign race.
+//
+// All derive from ChannelError (itself a std::runtime_error) so callers
+// that only care that the protocol died keep a single catch site.
+#pragma once
+
+#include <stdexcept>
+
+namespace pcl {
+
+/// Base class for every transport-layer failure.
+class ChannelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A blocking recv / await exceeded its deadline (peer slow or dead).
+class ChannelTimeout : public ChannelError {
+ public:
+  using ChannelError::ChannelError;
+};
+
+/// The peer closed the connection before the protocol finished.
+class ChannelClosed : public ChannelError {
+ public:
+  using ChannelError::ChannelError;
+};
+
+/// Received bytes violate the wire format (truncated / oversized / corrupt).
+class FramingError : public ChannelError {
+ public:
+  using ChannelError::ChannelError;
+};
+
+}  // namespace pcl

@@ -2,7 +2,7 @@
 
 #include <bit>
 #include <cstring>
-#include <stdexcept>
+#include <string>
 
 namespace pcl {
 
@@ -50,10 +50,25 @@ void MessageWriter::write_i64_vector(const std::vector<std::int64_t>& v) {
                [](MessageWriter& w, std::int64_t e) { w.write_i64(e); });
 }
 
-void MessageReader::require(std::size_t n) const {
-  if (pos_ + n > bytes_.size()) {
-    throw std::out_of_range("MessageReader: truncated message");
+void MessageReader::require(std::uint64_t n) const {
+  // Compare against the remaining bytes instead of `pos_ + n` so a huge
+  // (attacker-controlled) n cannot overflow the left-hand side.
+  if (n > bytes_.size() - pos_) {
+    throw FramingError("MessageReader: truncated message (need " +
+                       std::to_string(n) + " bytes, have " +
+                       std::to_string(bytes_.size() - pos_) + ")");
   }
+}
+
+std::uint64_t MessageReader::read_count(std::size_t min_element_bytes,
+                                        const char* what) {
+  const std::uint64_t n = read_u64();
+  if (min_element_bytes != 0 && n > remaining() / min_element_bytes) {
+    throw FramingError(std::string("MessageReader: ") + what + " count " +
+                       std::to_string(n) + " exceeds the " +
+                       std::to_string(remaining()) + " bytes remaining");
+  }
+  return n;
 }
 
 std::uint8_t MessageReader::read_u8() {
@@ -94,8 +109,7 @@ BigInt MessageReader::read_bigint() {
 }
 
 std::vector<std::uint8_t> MessageReader::read_bytes() {
-  const std::uint64_t n = read_u64();
-  require(n);
+  const std::uint64_t n = read_count(1, "byte-string");
   std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
                                 bytes_.begin() +
                                     static_cast<std::ptrdiff_t>(pos_ + n));
@@ -104,8 +118,7 @@ std::vector<std::uint8_t> MessageReader::read_bytes() {
 }
 
 std::string MessageReader::read_string() {
-  const std::uint64_t n = read_u64();
-  require(n);
+  const std::uint64_t n = read_count(1, "string");
   std::string out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
                   bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
@@ -113,7 +126,8 @@ std::string MessageReader::read_string() {
 }
 
 std::vector<BigInt> MessageReader::read_bigint_vector() {
-  const std::uint64_t n = read_u64();
+  // Each BigInt occupies at least a sign byte plus a u64 length prefix.
+  const std::uint64_t n = read_count(9, "BigInt vector");
   std::vector<BigInt> out;
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_bigint());
@@ -121,7 +135,7 @@ std::vector<BigInt> MessageReader::read_bigint_vector() {
 }
 
 std::vector<std::int64_t> MessageReader::read_i64_vector() {
-  const std::uint64_t n = read_u64();
+  const std::uint64_t n = read_count(8, "i64 vector");
   std::vector<std::int64_t> out;
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_i64());

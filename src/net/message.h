@@ -6,6 +6,12 @@
 // length-prefixed binary encoding: u32/u64 little-endian, BigInt as
 // sign byte + length-prefixed big-endian magnitude, vectors as count +
 // elements.
+//
+// MessageReader treats its input as untrusted: a truncated buffer, a length
+// prefix pointing past the end, or an element count larger than the bytes
+// that could possibly back it all raise FramingError (net/errors.h) before
+// any allocation or read happens.  Over a real socket that is the boundary
+// between a malicious/corrupt peer and this process.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "net/errors.h"
 
 namespace pcl {
 
@@ -61,8 +68,15 @@ class MessageReader {
   /// True when every byte has been consumed (protocol framing check).
   [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
 
+  /// Bytes not yet consumed (bounds every length prefix that follows).
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
  private:
-  void require(std::size_t n) const;
+  void require(std::uint64_t n) const;
+  /// Validates a just-read element count against the minimum bytes each
+  /// element needs, so a corrupt count fails before reserve()/reads.
+  [[nodiscard]] std::uint64_t read_count(std::size_t min_element_bytes,
+                                         const char* what);
   std::vector<std::uint8_t> bytes_;
   std::size_t pos_ = 0;
 };

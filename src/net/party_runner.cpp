@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "net/blocking_network.h"
+#include "net/tcp_runner.h"
 
 namespace pcl {
 
@@ -268,7 +269,7 @@ class SharedPublicSignal {
 [[nodiscard]] bool is_timeout_error(const std::exception_ptr& error) {
   try {
     std::rethrow_exception(error);
-  } catch (const RecvTimeoutError&) {
+  } catch (const ChannelTimeout&) {  // covers RecvTimeoutError
     return true;
   } catch (...) {
     return false;
@@ -319,6 +320,9 @@ PartyRunReport run_threaded(std::span<const Party> parties,
 
 PartyRunReport run_parties(std::span<const Party> parties,
                            const PartyRunOptions& options) {
+  if (options.transport == PartyTransport::kTcp) {
+    return run_parties_tcp_loopback(parties, options);
+  }
   if (options.transport == PartyTransport::kThreaded) {
     return run_threaded(parties, options);
   }

@@ -24,6 +24,11 @@
 // TCP endpoints would.  Per-step traffic totals are byte-identical to the
 // deterministic transport for the same party programs and seeds (totals are
 // order-independent; payloads depend only on each party's own Rng stream).
+//
+// TCP transport (`kTcp`): one thread per party over REAL loopback sockets
+// (net/tcp_runner.h) — the single-machine rehearsal of the multi-process
+// deployment that tools/pc_party forks for real.  Same byte-identity
+// contract as kThreaded.
 #pragma once
 
 #include <chrono>
@@ -45,7 +50,7 @@ struct Party {
   std::function<void(Channel&)> run;
 };
 
-enum class PartyTransport { kDeterministic, kThreaded };
+enum class PartyTransport { kDeterministic, kThreaded, kTcp };
 
 struct PartyRunOptions {
   PartyTransport transport = PartyTransport::kDeterministic;
@@ -53,7 +58,8 @@ struct PartyRunOptions {
   TrafficStats* stats = nullptr;
   /// Capture per-message metadata (deterministic transport only).
   bool record_transcript = false;
-  /// Per-recv deadline for the threaded transport.
+  /// Per-recv deadline for the threaded and TCP transports (on kTcp it
+  /// also bounds connect/accept/send, so one knob caps every stall).
   std::chrono::milliseconds recv_timeout = std::chrono::seconds(30);
   /// Optional observability: each party's thread is bound to these for the
   /// duration of its program, so ChannelStepScope spans and obs::count()

@@ -1,0 +1,25 @@
+// Loopback TCP runner — run_parties' kTcp backend.
+//
+// Runs every party on its own thread, but over REAL 127.0.0.1 sockets: one
+// pre-bound ephemeral-port listener per accepting party (so ctest-parallel
+// runs never collide and dialing cannot race binding), a full-mesh
+// dial/accept split by party index, and parties[0] as the bulletin host.
+// This is the single-machine rehearsal of the multi-process deployment
+// (tools/pc_party forks the same wiring across OS processes); per-step
+// TrafficStats from a run here are byte-identical to both in-process
+// transports for the same seed.
+//
+// Lives in a tcp* file because it constructs the TCP transport (lint rule
+// PC006); party_runner.cpp only calls it.
+#pragma once
+
+#include <span>
+
+#include "net/party_runner.h"
+
+namespace pcl {
+
+[[nodiscard]] PartyRunReport run_parties_tcp_loopback(
+    std::span<const Party> parties, const PartyRunOptions& options);
+
+}  // namespace pcl

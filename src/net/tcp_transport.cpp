@@ -1,0 +1,680 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace pcl {
+
+namespace {
+
+// Matches the other transports' fallback label (net/channel.cpp) so an
+// untagged send buckets identically everywhere.
+const std::string kUnsetStep = "(unset)";
+
+[[nodiscard]] std::string errno_text(int err) {
+  return std::generic_category().message(err);
+}
+
+/// Absolute deadline (obs monotonic clock) for a relative budget.
+[[nodiscard]] std::uint64_t deadline_ns_from(std::chrono::milliseconds d) {
+  return obs::monotonic_time_ns() +
+         static_cast<std::uint64_t>(d.count()) * 1'000'000ull;
+}
+
+/// Remaining milliseconds until `deadline_ns`, clamped to [0, INT_MAX] for
+/// poll(); rounds up so a positive remainder never degrades to a busy spin.
+[[nodiscard]] int remaining_ms(std::uint64_t deadline_ns) {
+  const std::uint64_t now = obs::monotonic_time_ns();
+  if (now >= deadline_ns) return 0;
+  const std::uint64_t ms = (deadline_ns - now + 999'999ull) / 1'000'000ull;
+  return ms > static_cast<std::uint64_t>(INT_MAX) ? INT_MAX
+                                                  : static_cast<int>(ms);
+}
+
+/// Polls `fd` for `events` until the deadline; false on timeout.
+[[nodiscard]] bool poll_fd(int fd, short events, std::uint64_t deadline_ns) {
+  for (;;) {
+    const int budget = remaining_ms(deadline_ns);
+    if (budget == 0) return false;
+    struct pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int r = ::poll(&p, 1, budget);
+    if (r > 0) return true;
+    if (r == 0) return false;
+    if (errno != EINTR) {
+      throw ChannelError("poll failed: " + errno_text(errno));
+    }
+  }
+}
+
+[[nodiscard]] struct sockaddr_in resolve_ipv4(const TcpEndpoint& endpoint) {
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  const std::string host =
+      endpoint.host == "localhost" ? std::string("127.0.0.1") : endpoint.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw ChannelError("unsupported host '" + endpoint.host +
+                       "' (numeric IPv4 or \"localhost\" only)");
+  }
+  return addr;
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+[[nodiscard]] std::uint32_t get_u32le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+struct FrameHeader {
+  FrameKind kind;
+  std::uint32_t step_len;
+  std::uint32_t payload_len;
+};
+
+/// Validates a raw 9-byte header; the single checkpoint both the buffer
+/// decoder and the socket read path go through.
+[[nodiscard]] FrameHeader check_header(const std::uint8_t* raw) {
+  const std::uint8_t kind = raw[0];
+  if (kind < static_cast<std::uint8_t>(FrameKind::kHello) ||
+      kind > static_cast<std::uint8_t>(FrameKind::kBulletin)) {
+    throw FramingError("frame: unknown kind " + std::to_string(kind));
+  }
+  const std::uint32_t step_len = get_u32le(raw + 1);
+  const std::uint32_t payload_len = get_u32le(raw + 5);
+  if (step_len > kMaxFrameStepBytes) {
+    throw FramingError("frame: step length " + std::to_string(step_len) +
+                       " exceeds the " + std::to_string(kMaxFrameStepBytes) +
+                       "-byte cap");
+  }
+  if (payload_len > kMaxFramePayloadBytes) {
+    throw FramingError("frame: payload length " + std::to_string(payload_len) +
+                       " exceeds the " +
+                       std::to_string(kMaxFramePayloadBytes) + "-byte cap");
+  }
+  return {static_cast<FrameKind>(kind), step_len, payload_len};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Endpoints
+
+EndpointMap parse_endpoint_map(const std::string& text) {
+  EndpointMap map;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string name, address;
+    if (!(fields >> name)) continue;  // blank / comment-only line
+    std::string extra;
+    if (!(fields >> address) || (fields >> extra)) {
+      throw ChannelError("endpoint map line " + std::to_string(line_no) +
+                         ": expected \"name host:port\"");
+    }
+    const std::size_t colon = address.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == address.size()) {
+      throw ChannelError("endpoint map line " + std::to_string(line_no) +
+                         ": address '" + address + "' is not host:port");
+    }
+    unsigned long port = 0;
+    try {
+      std::size_t used = 0;
+      port = std::stoul(address.substr(colon + 1), &used);
+      if (used != address.size() - colon - 1) port = 65536;
+    } catch (const std::exception&) {
+      port = 65536;
+    }
+    if (port == 0 || port > 65535) {
+      throw ChannelError("endpoint map line " + std::to_string(line_no) +
+                         ": bad port in '" + address + "'");
+    }
+    if (!map.emplace(name, TcpEndpoint{address.substr(0, colon),
+                                       static_cast<std::uint16_t>(port)})
+             .second) {
+      throw ChannelError("endpoint map line " + std::to_string(line_no) +
+                         ": duplicate party '" + name + "'");
+    }
+  }
+  return map;
+}
+
+std::string format_endpoint_map(const EndpointMap& map) {
+  std::string out;
+  for (const auto& [name, endpoint] : map) {
+    out += name + " " + endpoint.host + ":" + std::to_string(endpoint.port) +
+           "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  if (frame.step.size() > kMaxFrameStepBytes) {
+    throw FramingError("frame: step label too long (" +
+                       std::to_string(frame.step.size()) + " bytes)");
+  }
+  if (frame.payload.size() > kMaxFramePayloadBytes) {
+    throw FramingError("frame: payload too large (" +
+                       std::to_string(frame.payload.size()) + " bytes)");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + frame.step.size() + frame.payload.size());
+  out.push_back(static_cast<std::uint8_t>(frame.kind));
+  put_u32le(out, static_cast<std::uint32_t>(frame.step.size()));
+  put_u32le(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.step.begin(), frame.step.end());
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    throw FramingError("frame: truncated header (" +
+                       std::to_string(bytes.size()) + " of " +
+                       std::to_string(kFrameHeaderBytes) + " bytes)");
+  }
+  const FrameHeader header = check_header(bytes.data());
+  const std::size_t total =
+      kFrameHeaderBytes + header.step_len + header.payload_len;
+  if (bytes.size() != total) {
+    throw FramingError("frame: body size mismatch (have " +
+                       std::to_string(bytes.size()) + " bytes, header claims " +
+                       std::to_string(total) + ")");
+  }
+  Frame frame;
+  frame.kind = header.kind;
+  const std::uint8_t* body = bytes.data() + kFrameHeaderBytes;
+  frame.step.assign(body, body + header.step_len);
+  frame.payload.assign(body + header.step_len,
+                       body + header.step_len + header.payload_len);
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// TcpSocket
+
+TcpSocket::TcpSocket(int fd) : fd_(fd) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw ChannelError("fcntl(O_NONBLOCK) failed: " + errno_text(err));
+  }
+  const int one = 1;
+  // Protocol messages are latency-sensitive request/response pairs;
+  // Nagle-induced 40ms stalls would dwarf every crypto op at this scale.
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpSocket::~TcpSocket() { close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket TcpSocket::dial(const TcpEndpoint& endpoint,
+                          std::chrono::milliseconds budget) {
+  const struct sockaddr_in addr = resolve_ipv4(endpoint);
+  const std::uint64_t deadline = deadline_ns_from(budget);
+  std::chrono::milliseconds backoff(10);
+  int last_err = 0;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw ChannelError("socket() failed: " + errno_text(errno));
+    if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return TcpSocket(fd);
+    }
+    last_err = errno;
+    ::close(fd);
+    if (remaining_ms(deadline) == 0) break;
+    // The listener may simply not be up yet (process start skew); back off
+    // exponentially so retries stay cheap without adding seconds of latency.
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+  }
+  throw ChannelTimeout("dial " + endpoint.host + ":" +
+                       std::to_string(endpoint.port) + " timed out after " +
+                       std::to_string(budget.count()) +
+                       "ms (last error: " + errno_text(last_err) + ")");
+}
+
+void TcpSocket::send_all(const std::vector<std::uint8_t>& bytes,
+                         std::chrono::milliseconds deadline) {
+  const std::uint64_t deadline_ns = deadline_ns_from(deadline);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!poll_fd(fd_, POLLOUT, deadline_ns)) {
+        throw ChannelTimeout("send timed out after " +
+                             std::to_string(deadline.count()) + "ms");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw ChannelClosed("send failed: peer closed the connection");
+    }
+    throw ChannelError("send failed: " + errno_text(errno));
+  }
+}
+
+bool TcpSocket::recv_exact(std::uint8_t* out, std::size_t n,
+                           std::uint64_t deadline_ns, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw ChannelClosed("recv: peer closed the connection " +
+                          std::string(got == 0 ? "" : "mid-frame ") +
+                          "(got " + std::to_string(got) + " of " +
+                          std::to_string(n) + " bytes)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_fd(fd_, POLLIN, deadline_ns)) {
+        throw ChannelTimeout("recv timed out");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      throw ChannelClosed("recv failed: connection reset by peer");
+    }
+    throw ChannelError("recv failed: " + errno_text(errno));
+  }
+  return true;
+}
+
+void TcpSocket::write_frame(const Frame& frame,
+                            std::chrono::milliseconds deadline) {
+  send_all(encode_frame(frame), deadline);
+}
+
+std::optional<Frame> TcpSocket::read_frame(std::chrono::milliseconds deadline) {
+  const std::uint64_t deadline_ns = deadline_ns_from(deadline);
+  std::uint8_t raw[kFrameHeaderBytes];
+  if (!recv_exact(raw, kFrameHeaderBytes, deadline_ns, /*eof_ok=*/true)) {
+    return std::nullopt;  // clean EOF at a frame boundary
+  }
+  const FrameHeader header = check_header(raw);
+  Frame frame;
+  frame.kind = header.kind;
+  frame.step.resize(header.step_len);
+  if (header.step_len != 0) {
+    (void)recv_exact(reinterpret_cast<std::uint8_t*>(frame.step.data()),
+                     header.step_len, deadline_ns, /*eof_ok=*/false);
+  }
+  frame.payload.resize(header.payload_len);
+  if (header.payload_len != 0) {
+    (void)recv_exact(frame.payload.data(), header.payload_len, deadline_ns,
+                     /*eof_ok=*/false);
+  }
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+
+TcpListener::~TcpListener() { close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+[[nodiscard]] std::uint16_t bound_port(int fd) {
+  struct sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    throw ChannelError("getsockname failed: " + errno_text(errno));
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+TcpListener TcpListener::bind(const std::string& host, std::uint16_t port) {
+  const struct sockaddr_in addr = resolve_ipv4(TcpEndpoint{host, port});
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw ChannelError("socket() failed: " + errno_text(errno));
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ChannelError("bind " + host + ":" + std::to_string(port) +
+                       " failed: " + errno_text(err));
+  }
+  // Backlog must cover a whole topology dialing at once before this party
+  // reaches its accept loop (pre-bound listeners, see TcpChannel::connect).
+  if (::listen(fd, 128) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ChannelError("listen failed: " + errno_text(err));
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = bound_port(fd);
+  return listener;
+}
+
+TcpListener TcpListener::adopt(int fd) {
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = bound_port(fd);
+  return listener;
+}
+
+TcpSocket TcpListener::accept(std::chrono::milliseconds deadline) {
+  const std::uint64_t deadline_ns = deadline_ns_from(deadline);
+  for (;;) {
+    if (!poll_fd(fd_, POLLIN, deadline_ns)) {
+      throw ChannelTimeout("accept timed out after " +
+                           std::to_string(deadline.count()) + "ms");
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return TcpSocket(fd);
+    if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      throw ChannelError("accept failed: " + errno_text(errno));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wiring
+
+TcpPartyWiring consensus_tcp_wiring(const std::string& self,
+                                    std::size_t num_users,
+                                    EndpointMap endpoints,
+                                    TcpTimeouts timeouts) {
+  std::vector<std::string> users;
+  users.reserve(num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    users.push_back("user:" + std::to_string(u));
+  }
+  TcpPartyWiring wiring;
+  wiring.self = self;
+  wiring.endpoints = std::move(endpoints);
+  wiring.bulletin_host = "S1";
+  wiring.timeouts = timeouts;
+  if (self == "S1") {
+    wiring.accept = users;
+    wiring.accept.insert(wiring.accept.begin(), "S2");
+    wiring.bulletin_listeners = users;
+  } else if (self == "S2") {
+    wiring.dial = {"S1"};
+    wiring.accept = users;
+  } else if (std::find(users.begin(), users.end(), self) != users.end()) {
+    wiring.dial = {"S1", "S2"};
+  } else {
+    throw ChannelError("consensus wiring: unknown party '" + self +
+                       "' for " + std::to_string(num_users) + " users");
+  }
+  return wiring;
+}
+
+// ---------------------------------------------------------------------------
+// TcpChannel
+
+TcpChannel::TcpChannel(TcpPartyWiring wiring, TrafficStats* stats)
+    : wiring_(std::move(wiring)), stats_(stats) {}
+
+TcpChannel::~TcpChannel() { close(); }
+
+void TcpChannel::close() { sockets_.clear(); }
+
+void TcpChannel::connect() {
+  TcpListener listener;
+  if (!wiring_.accept.empty()) {
+    const auto it = wiring_.endpoints.find(wiring_.self);
+    if (it == wiring_.endpoints.end()) {
+      throw ChannelError("'" + wiring_.self +
+                         "' accepts connections but has no endpoint entry");
+    }
+    listener = TcpListener::bind(it->second.host, it->second.port);
+  }
+  connect(std::move(listener));
+}
+
+void TcpChannel::connect(TcpListener listener) {
+  // Dial first: every dial target's listener is either pre-bound by an
+  // orchestrator or being bound by a peer whose own dial set never includes
+  // us (the dial/accept split is acyclic), so dialing cannot deadlock and
+  // dial() retries absorb process start skew.
+  for (const std::string& peer : wiring_.dial) {
+    const auto it = wiring_.endpoints.find(peer);
+    if (it == wiring_.endpoints.end()) {
+      throw ChannelError("no endpoint for dial target '" + peer + "'");
+    }
+    TcpSocket socket = TcpSocket::dial(it->second, wiring_.timeouts.connect);
+    Frame hello;
+    hello.kind = FrameKind::kHello;
+    hello.payload.assign(wiring_.self.begin(), wiring_.self.end());
+    socket.write_frame(hello, wiring_.timeouts.send);
+    sockets_.emplace(peer, std::move(socket));
+  }
+  if (!wiring_.accept.empty()) {
+    if (!listener.valid()) {
+      throw ChannelError("'" + wiring_.self +
+                         "' expects inbound connections but has no listener");
+    }
+    std::set<std::string> expected(wiring_.accept.begin(),
+                                   wiring_.accept.end());
+    while (!expected.empty()) {
+      TcpSocket socket = listener.accept(wiring_.timeouts.accept);
+      std::optional<Frame> hello =
+          socket.read_frame(wiring_.timeouts.accept);
+      if (!hello.has_value()) {
+        throw ChannelClosed("peer closed the connection during handshake");
+      }
+      if (hello->kind != FrameKind::kHello) {
+        throw FramingError("expected HELLO, got frame kind " +
+                           std::to_string(static_cast<int>(hello->kind)));
+      }
+      std::string name(hello->payload.begin(), hello->payload.end());
+      if (expected.erase(name) == 0) {
+        throw ChannelError("unexpected peer '" + name + "' dialed '" +
+                           wiring_.self + "'");
+      }
+      sockets_.emplace(std::move(name), std::move(socket));
+    }
+  }
+  listener.close();
+}
+
+TcpSocket& TcpChannel::socket_for(const std::string& peer, const char* what) {
+  const auto it = sockets_.find(peer);
+  if (it == sockets_.end() || !it->second.valid()) {
+    throw ChannelError(std::string(what) + ": '" + wiring_.self +
+                       "' has no link to '" + peer + "'");
+  }
+  return it->second;
+}
+
+void TcpChannel::send(const std::string& to, MessageWriter message) {
+  TcpSocket& socket = socket_for(to, "send");
+  const std::string& label = step_.empty() ? kUnsetStep : step_;
+  // Record the payload size only, not framing overhead: the exact bytes
+  // the in-process transports record, preserving cross-transport identity.
+  if (stats_ != nullptr) {
+    stats_->record_send(label, wiring_.self, to, message.size());
+  }
+  bytes_sent_ += message.size();
+  Frame frame;
+  frame.kind = FrameKind::kMessage;
+  frame.step = label;
+  frame.payload = std::move(message).take();
+  socket.write_frame(frame, wiring_.timeouts.send);
+}
+
+Frame TcpChannel::read_until(const std::string& peer, FrameKind kind,
+                             std::chrono::milliseconds deadline) {
+  TcpSocket& socket = socket_for(peer, "recv");
+  for (;;) {
+    std::optional<Frame> frame = socket.read_frame(deadline);
+    if (!frame.has_value()) {
+      throw ChannelClosed("'" + peer + "' closed the connection while '" +
+                          wiring_.self + "' was waiting for it");
+    }
+    if (frame->kind == kind) return *std::move(frame);
+    // Frames of the other kinds are parked, never dropped: a bulletin can
+    // overtake protocol messages on the same socket and vice versa.
+    if (frame->kind == FrameKind::kBulletin) {
+      MessageReader reader(std::move(frame->payload));
+      bulletin_value_ = reader.read_i64();
+      if (!reader.exhausted()) {
+        throw FramingError("bulletin frame carries trailing bytes");
+      }
+    } else if (frame->kind == FrameKind::kMessage) {
+      inbox_[peer].push_back(std::move(frame->payload));
+    } else {
+      throw FramingError("unexpected HELLO after handshake from '" + peer +
+                         "'");
+    }
+  }
+}
+
+MessageReader TcpChannel::recv(const std::string& from) {
+  auto inbox = inbox_.find(from);
+  if (inbox != inbox_.end() && !inbox->second.empty()) {
+    std::vector<std::uint8_t> payload = std::move(inbox->second.front());
+    inbox->second.pop_front();
+    return MessageReader(std::move(payload));
+  }
+  Frame frame = read_until(from, FrameKind::kMessage,
+                           recv_deadline_.value_or(wiring_.timeouts.recv));
+  return MessageReader(std::move(frame.payload));
+}
+
+void TcpChannel::add_step_time(const std::string& step,
+                               std::chrono::nanoseconds elapsed) {
+  if (stats_ != nullptr) stats_->add_time(step, elapsed);
+}
+
+void TcpChannel::post_public(std::int64_t value) {
+  if (wiring_.self != wiring_.bulletin_host) {
+    throw std::logic_error("post_public: only the bulletin host ('" +
+                           wiring_.bulletin_host + "') posts; '" +
+                           wiring_.self + "' tried to");
+  }
+  bulletin_value_ = value;
+  MessageWriter writer;
+  writer.write_i64(value);
+  Frame frame;
+  frame.kind = FrameKind::kBulletin;
+  frame.step = step_.empty() ? kUnsetStep : step_;
+  frame.payload = std::move(writer).take();
+  for (const std::string& peer : wiring_.bulletin_listeners) {
+    try {
+      socket_for(peer, "post_public")
+          .write_frame(frame, wiring_.timeouts.send);
+    } catch (const ChannelError&) {
+      // Bulletin pushes are fire-and-forget: a listener that already
+      // finished (or died) must not wedge the verdict for everyone else.
+    }
+  }
+}
+
+std::int64_t TcpChannel::await_public() {
+  if (bulletin_value_.has_value()) return *bulletin_value_;
+  if (wiring_.self == wiring_.bulletin_host) {
+    throw std::logic_error(
+        "await_public: the bulletin host has nothing to await");
+  }
+  Frame frame = read_until(wiring_.bulletin_host, FrameKind::kBulletin,
+                           recv_deadline_.value_or(wiring_.timeouts.recv));
+  MessageReader reader(std::move(frame.payload));
+  const std::int64_t value = reader.read_i64();
+  if (!reader.exhausted()) {
+    throw FramingError("bulletin frame carries trailing bytes");
+  }
+  bulletin_value_ = value;
+  return value;
+}
+
+std::size_t TcpChannel::pending_messages() const {
+  std::size_t total = 0;
+  for (const auto& [peer, queue] : inbox_) total += queue.size();
+  return total;
+}
+
+}  // namespace pcl

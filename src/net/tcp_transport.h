@@ -1,0 +1,275 @@
+// Real POSIX TCP transport — the deployment-shaped Channel.
+//
+// The in-process transports (Network, BlockingNetwork) model the paper's
+// two-server topology inside one address space; this file carries the same
+// party programs across genuine process boundaries.  The pieces:
+//
+//   * Frame codec — every unit on the wire is a length-prefixed frame
+//     [kind u8 | step_len u32 | payload_len u32 | step | payload] carrying
+//     the Channel step tag alongside the serialized MessageWriter payload.
+//     Frames are validated before allocation (FramingError on violation).
+//   * TcpSocket / TcpListener — thin RAII wrappers: dial with bounded
+//     retry + exponential backoff, poll-based send/recv with per-call
+//     deadlines (ChannelTimeout), clean-EOF detection (ChannelClosed).
+//   * TcpChannel — the Channel implementation.  A party dials the peers
+//     named in its wiring, accepts the rest (each connection opens with a
+//     HELLO frame naming the dialer), then sends/recvs protocol messages
+//     over the per-peer sockets.  The step-5 public verdict is realized as
+//     a bulletin push: the bulletin host broadcasts a BULLETIN frame to its
+//     bulletin listeners; everyone else's await_public() reads it from the
+//     host's socket.  Traffic accounting records payload bytes only — the
+//     exact bytes the other transports record — so per-step TrafficStats
+//     stay byte-identical across all three transports for the same seed.
+//
+// Construction sites are restricted by lint rule PC006: only src/net/tcp*
+// and tools/pc_party may instantiate the TCP transport; everything else
+// goes through run_parties(PartyTransport::kTcp) or the pc_party daemon.
+//
+// Endpoint maps are text: one "name host:port" per line, '#' comments.
+// Hosts are numeric IPv4 (or the literal "localhost"); see PROTOCOL.md
+// "Deployment".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/errors.h"
+#include "net/message.h"
+#include "net/transport.h"
+
+namespace pcl {
+
+// ---------------------------------------------------------------------------
+// Endpoints
+
+struct TcpEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+  [[nodiscard]] bool operator==(const TcpEndpoint&) const = default;
+};
+
+/// Party name -> listening endpoint.  Only parties that ACCEPT connections
+/// need an entry (users are pure dialers in the consensus topology).
+using EndpointMap = std::map<std::string, TcpEndpoint>;
+
+/// Parses the "name host:port" endpoint-map format; throws ChannelError on
+/// malformed lines or duplicate names.
+[[nodiscard]] EndpointMap parse_endpoint_map(const std::string& text);
+
+/// Inverse of parse_endpoint_map (stable, sorted by name).
+[[nodiscard]] std::string format_endpoint_map(const EndpointMap& map);
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,     ///< connection opener; payload = dialer's party name
+  kMessage = 2,   ///< one MessageWriter payload, tagged with its step
+  kBulletin = 3,  ///< public verdict push; payload = i64 value
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kMessage;
+  std::string step;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Frame-header limits; a peer claiming more is cut off with FramingError
+/// before any allocation.
+inline constexpr std::size_t kMaxFrameStepBytes = 256;
+inline constexpr std::size_t kMaxFramePayloadBytes =
+    std::size_t{64} * 1024 * 1024;
+inline constexpr std::size_t kFrameHeaderBytes = 9;  // kind + 2 x u32 length
+
+/// Serializes a frame (validating the limits above).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Parses one complete frame from a buffer; throws FramingError on bad
+/// kind/lengths, truncation, or trailing bytes.  The socket read path
+/// applies identical validation incrementally.
+[[nodiscard]] Frame decode_frame(const std::vector<std::uint8_t>& bytes);
+
+// ---------------------------------------------------------------------------
+// Sockets
+
+struct TcpTimeouts {
+  /// Total dial budget per peer (retries with exponential backoff inside).
+  std::chrono::milliseconds connect = std::chrono::seconds(10);
+  /// Deadline per accepted connection during the handshake.
+  std::chrono::milliseconds accept = std::chrono::seconds(10);
+  /// Default per-recv deadline (ChannelTimeout when exceeded).
+  std::chrono::milliseconds recv = std::chrono::seconds(30);
+  /// Per-send deadline (a peer that stops draining its socket).
+  std::chrono::milliseconds send = std::chrono::seconds(30);
+};
+
+/// RAII non-blocking connected socket.  All I/O is poll-driven with
+/// deadlines; errors surface as the typed net/errors.h hierarchy.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  /// Takes ownership of a connected fd (sets non-blocking + TCP_NODELAY).
+  explicit TcpSocket(int fd);
+  ~TcpSocket();
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to `endpoint`, retrying with exponential backoff until the
+  /// budget runs out (ChannelTimeout).  Lets a dialer start before its
+  /// peer's listener is up.
+  [[nodiscard]] static TcpSocket dial(const TcpEndpoint& endpoint,
+                                      std::chrono::milliseconds budget);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Writes all of `bytes` within `deadline` (ChannelTimeout / ChannelError).
+  void send_all(const std::vector<std::uint8_t>& bytes,
+                std::chrono::milliseconds deadline);
+
+  void write_frame(const Frame& frame, std::chrono::milliseconds deadline);
+  /// Reads one frame; nullopt on clean EOF at a frame boundary,
+  /// ChannelClosed on EOF mid-frame, ChannelTimeout past the deadline,
+  /// FramingError on an invalid header.
+  [[nodiscard]] std::optional<Frame> read_frame(
+      std::chrono::milliseconds deadline);
+
+ private:
+  /// Reads exactly n bytes; false on clean EOF before the first byte when
+  /// `eof_ok` (else ChannelClosed).
+  bool recv_exact(std::uint8_t* out, std::size_t n, std::uint64_t deadline_ns,
+                  bool eof_ok);
+  int fd_ = -1;
+};
+
+/// RAII listening socket.  bind() with port 0 picks an ephemeral port
+/// (read it back via port()) so parallel test runs never collide; adopt()
+/// wraps a fork-inherited fd, which is how `pc_party --all` guarantees
+/// every child's listener exists before any sibling dials.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] static TcpListener bind(const std::string& host,
+                                        std::uint16_t port);
+  [[nodiscard]] static TcpListener adopt(int fd);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] TcpSocket accept(std::chrono::milliseconds deadline);
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Channel
+
+/// Who a party talks to and how.  The dial/accept split must be acyclic
+/// across the topology (each link has exactly one dialer); for the
+/// consensus topology use consensus_tcp_wiring().
+struct TcpPartyWiring {
+  std::string self;
+  /// Peers this party connects to (each needs an `endpoints` entry).
+  std::vector<std::string> dial;
+  /// Peers expected to dial in (each announces itself with HELLO).
+  std::vector<std::string> accept;
+  EndpointMap endpoints;
+  /// The party whose post_public() realizes the bulletin board.
+  std::string bulletin_host = "S1";
+  /// Peers the host pushes the BULLETIN frame to (host side only).
+  std::vector<std::string> bulletin_listeners;
+  TcpTimeouts timeouts;
+};
+
+/// The paper's topology: S1 accepts everyone, S2 dials S1 and accepts the
+/// users, users dial both servers; S1 is the bulletin host pushing the
+/// step-5 verdict to the users.  `endpoints` needs "S1" and "S2" entries.
+[[nodiscard]] TcpPartyWiring consensus_tcp_wiring(const std::string& self,
+                                                  std::size_t num_users,
+                                                  EndpointMap endpoints,
+                                                  TcpTimeouts timeouts = {});
+
+/// Channel over real TCP sockets, one per wired peer.
+///
+/// Frames from a peer can interleave (a BULLETIN may arrive while the party
+/// reads messages, and vice versa), so recv() parks bulletin frames in the
+/// bulletin slot and await_public() parks message frames in the per-peer
+/// inbox; neither is ever dropped.  Not thread-safe: one party program per
+/// channel, as with every other Channel.
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(TcpPartyWiring wiring, TrafficStats* stats = nullptr);
+  ~TcpChannel() override;
+
+  /// Dials, then accepts, per the wiring; binds its own listener from
+  /// endpoints[self] when the accept set is non-empty.
+  void connect();
+  /// Same, but over a caller-supplied (pre-bound or fork-adopted) listener.
+  void connect(TcpListener listener);
+
+  /// Graceful teardown: closes every peer socket.  Idempotent; also run by
+  /// the destructor, so an unwinding party wakes its peers (they see EOF,
+  /// not a dead wait).
+  void close();
+
+  /// Per-recv deadline override (nullopt = wiring.timeouts.recv).
+  void set_recv_deadline(std::optional<std::chrono::milliseconds> deadline) {
+    recv_deadline_ = deadline;
+  }
+
+  /// Messages received but never consumed by the party program (bulletin
+  /// frames excluded).  A finished protocol leaves 0.
+  [[nodiscard]] std::size_t pending_messages() const;
+  /// Total protocol payload bytes sent (frame overhead excluded, matching
+  /// what TrafficStats records).
+  [[nodiscard]] std::size_t bytes_sent() const { return bytes_sent_; }
+
+  [[nodiscard]] const std::string& self() const override {
+    return wiring_.self;
+  }
+  void send(const std::string& to, MessageWriter message) override;
+  [[nodiscard]] MessageReader recv(const std::string& from) override;
+  void set_step(std::string step) override { step_ = std::move(step); }
+  [[nodiscard]] const std::string& step() const override { return step_; }
+  void add_step_time(const std::string& step,
+                     std::chrono::nanoseconds elapsed) override;
+  void post_public(std::int64_t value) override;
+  [[nodiscard]] std::int64_t await_public() override;
+
+ private:
+  [[nodiscard]] TcpSocket& socket_for(const std::string& peer,
+                                      const char* what);
+  /// Reads frames from `peer` until one of `kind` arrives; frames of the
+  /// other kind are parked (inbox / bulletin slot) instead of dropped.
+  [[nodiscard]] Frame read_until(const std::string& peer, FrameKind kind,
+                                 std::chrono::milliseconds deadline);
+
+  TcpPartyWiring wiring_;
+  TrafficStats* stats_;
+  std::string step_;
+  std::optional<std::chrono::milliseconds> recv_deadline_;
+  std::map<std::string, TcpSocket> sockets_;
+  std::map<std::string, std::deque<std::vector<std::uint8_t>>> inbox_;
+  std::optional<std::int64_t> bulletin_value_;
+  std::size_t bytes_sent_ = 0;
+};
+
+}  // namespace pcl

@@ -29,7 +29,8 @@ JsonValue ops_object(const std::map<std::string, std::uint64_t>& ops) {
 }  // namespace
 
 JsonValue build_trace_json(const TraceSink& sink, const TrafficByStep& traffic,
-                           const MetricsRegistry* metrics) {
+                           const MetricsRegistry* metrics,
+                           const TraceProcess* process) {
   const std::vector<TraceEvent> events = sink.events();
 
   std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
@@ -37,13 +38,24 @@ JsonValue build_trace_json(const TraceSink& sink, const TrafficByStep& traffic,
   if (events.empty()) epoch = 0;
 
   const std::map<std::string, int> tids = assign_tids(events);
+  const int pid = process != nullptr ? process->pid : 1;
 
   JsonValue::Array trace_events;
+  if (process != nullptr) {
+    JsonValue::Object meta;
+    meta["ph"] = "M";
+    meta["name"] = "process_name";
+    meta["pid"] = pid;
+    meta["tid"] = 0;
+    meta["args"] =
+        JsonValue(JsonValue::Object{{"name", JsonValue(process->name)}});
+    trace_events.emplace_back(std::move(meta));
+  }
   for (const auto& [party, tid] : tids) {
     JsonValue::Object meta;
     meta["ph"] = "M";
     meta["name"] = "thread_name";
-    meta["pid"] = 1;
+    meta["pid"] = pid;
     meta["tid"] = tid;
     meta["args"] = JsonValue(JsonValue::Object{{"name", JsonValue(party)}});
     trace_events.emplace_back(std::move(meta));
@@ -52,7 +64,7 @@ JsonValue build_trace_json(const TraceSink& sink, const TrafficByStep& traffic,
     JsonValue::Object x;
     x["ph"] = "X";
     x["name"] = e.name;
-    x["pid"] = 1;
+    x["pid"] = pid;
     x["tid"] = tids.at(e.party);
     x["ts"] = static_cast<double>(e.start_ns - epoch) / 1000.0;
     x["dur"] = static_cast<double>(e.duration_ns) / 1000.0;
@@ -99,9 +111,184 @@ JsonValue build_trace_json(const TraceSink& sink, const TrafficByStep& traffic,
       {"messages", JsonValue(total_messages)},
       {"ops", JsonValue(total_ops)},
       {"spans", JsonValue(static_cast<std::uint64_t>(events.size()))}});
+  if (process != nullptr) {
+    // epoch_us lets merge_traces realign this file against siblings
+    // recorded on the same machine's monotonic clock; microseconds keep it
+    // comfortably inside double precision.
+    pc["process"] = JsonValue(JsonValue::Object{
+        {"name", JsonValue(process->name)},
+        {"pid", JsonValue(pid)},
+        {"epoch_us", JsonValue(static_cast<double>(epoch) / 1000.0)}});
+  }
 
   JsonValue::Object root;
   root["traceEvents"] = JsonValue(std::move(trace_events));
+  root["displayTimeUnit"] = "ms";
+  root["pc"] = JsonValue(std::move(pc));
+  return JsonValue(std::move(root));
+}
+
+JsonValue merge_traces(const std::vector<JsonValue>& traces) {
+  if (traces.empty()) {
+    throw std::invalid_argument("merge_traces: no input documents");
+  }
+
+  struct Source {
+    std::string name;
+    double epoch_us = 0.0;
+  };
+  std::vector<Source> sources;
+  sources.reserve(traces.size());
+  double global_epoch = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const JsonValue& t = traces[i];
+    const JsonValue* events = t.is_object() ? t.find("traceEvents") : nullptr;
+    if (events == nullptr || !events->is_array()) {
+      throw std::invalid_argument("merge_traces: input " + std::to_string(i) +
+                                  " has no \"traceEvents\"");
+    }
+    Source src;
+    src.name = "p" + std::to_string(i + 1);
+    if (const JsonValue* pc = t.find("pc");
+        pc != nullptr && pc->is_object()) {
+      if (const JsonValue* proc = pc->find("process");
+          proc != nullptr && proc->is_object()) {
+        if (const JsonValue* name = proc->find("name");
+            name != nullptr && name->is_string()) {
+          src.name = name->as_string();
+        }
+        if (const JsonValue* epoch = proc->find("epoch_us");
+            epoch != nullptr && epoch->is_number()) {
+          src.epoch_us = epoch->as_number();
+        }
+      }
+    }
+    global_epoch = std::min(global_epoch, src.epoch_us);
+    sources.push_back(std::move(src));
+  }
+
+  JsonValue::Array merged_events;
+  std::map<std::pair<std::size_t, long long>, int> tid_map;
+  int next_tid = 1;
+  const auto remap_tid = [&](std::size_t source, const JsonValue& e) {
+    long long tid = 0;
+    if (const JsonValue* t = e.find("tid"); t != nullptr && t->is_number()) {
+      tid = static_cast<long long>(t->as_number());
+    }
+    const auto [it, inserted] =
+        tid_map.emplace(std::make_pair(source, tid), next_tid);
+    if (inserted) ++next_tid;
+    return it->second;
+  };
+
+  struct StepSum {
+    double bytes = 0, messages = 0;
+    std::map<std::string, double> ops;
+  };
+  std::map<std::string, StepSum> step_sums;
+  double total_bytes = 0, total_messages = 0, total_ops = 0, total_spans = 0;
+  JsonValue::Array processes;
+
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const int pid = static_cast<int>(i) + 1;
+    const double shift = sources[i].epoch_us - global_epoch;
+
+    processes.emplace_back(JsonValue::Object{
+        {"name", JsonValue(sources[i].name)},
+        {"pid", JsonValue(pid)},
+        {"epoch_us", JsonValue(sources[i].epoch_us)}});
+    JsonValue::Object proc_meta;
+    proc_meta["ph"] = "M";
+    proc_meta["name"] = "process_name";
+    proc_meta["pid"] = pid;
+    proc_meta["tid"] = 0;
+    proc_meta["args"] =
+        JsonValue(JsonValue::Object{{"name", JsonValue(sources[i].name)}});
+    merged_events.emplace_back(std::move(proc_meta));
+
+    for (const JsonValue& e : traces[i].find("traceEvents")->as_array()) {
+      if (!e.is_object()) continue;
+      const JsonValue* ph = e.find("ph");
+      const JsonValue* name = e.find("name");
+      // Per-source process_name metas are superseded by the one above.
+      if (ph != nullptr && ph->is_string() && ph->as_string() == "M" &&
+          name != nullptr && name->is_string() &&
+          name->as_string() == "process_name") {
+        continue;
+      }
+      JsonValue out = e;
+      JsonValue::Object& obj = out.as_object();
+      obj["pid"] = JsonValue(pid);
+      obj["tid"] = JsonValue(remap_tid(i, e));
+      if (ph != nullptr && ph->is_string() && ph->as_string() == "X") {
+        if (const JsonValue* ts = e.find("ts");
+            ts != nullptr && ts->is_number()) {
+          obj["ts"] = JsonValue(ts->as_number() + shift);
+        }
+      }
+      merged_events.push_back(std::move(out));
+    }
+
+    const JsonValue* pc = traces[i].find("pc");
+    if (pc == nullptr || !pc->is_object()) continue;
+    if (const JsonValue* steps = pc->find("steps");
+        steps != nullptr && steps->is_object()) {
+      for (const auto& [step, s] : steps->as_object()) {
+        StepSum& sum = step_sums[step];
+        if (const JsonValue* b = s.find("bytes");
+            b != nullptr && b->is_number()) {
+          sum.bytes += b->as_number();
+        }
+        if (const JsonValue* m = s.find("messages");
+            m != nullptr && m->is_number()) {
+          sum.messages += m->as_number();
+        }
+        if (const JsonValue* ops = s.find("ops");
+            ops != nullptr && ops->is_object()) {
+          for (const auto& [op, count] : ops->as_object()) {
+            if (count.is_number()) sum.ops[op] += count.as_number();
+          }
+        }
+      }
+    }
+    if (const JsonValue* totals = pc->find("totals");
+        totals != nullptr && totals->is_object()) {
+      const auto add = [&](const char* key, double& into) {
+        if (const JsonValue* f = totals->find(key);
+            f != nullptr && f->is_number()) {
+          into += f->as_number();
+        }
+      };
+      add("bytes", total_bytes);
+      add("messages", total_messages);
+      add("ops", total_ops);
+      add("spans", total_spans);
+    }
+  }
+
+  JsonValue::Object steps;
+  for (const auto& [step, sum] : step_sums) {
+    JsonValue::Object ops;
+    for (const auto& [op, count] : sum.ops) ops[op] = JsonValue(count);
+    steps[step] = JsonValue(JsonValue::Object{
+        {"bytes", JsonValue(sum.bytes)},
+        {"messages", JsonValue(sum.messages)},
+        {"ops", JsonValue(std::move(ops))}});
+  }
+
+  JsonValue::Object pc;
+  pc["schema"] = kTraceSchema;
+  pc["steps"] = JsonValue(std::move(steps));
+  pc["totals"] = JsonValue(JsonValue::Object{{"bytes", JsonValue(total_bytes)},
+                                             {"messages",
+                                              JsonValue(total_messages)},
+                                             {"ops", JsonValue(total_ops)},
+                                             {"spans",
+                                              JsonValue(total_spans)}});
+  pc["processes"] = JsonValue(std::move(processes));
+
+  JsonValue::Object root;
+  root["traceEvents"] = JsonValue(std::move(merged_events));
   root["displayTimeUnit"] = "ms";
   root["pc"] = JsonValue(std::move(pc));
   return JsonValue(std::move(root));

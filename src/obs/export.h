@@ -39,12 +39,33 @@ struct StepTraffic {
 /// TrafficStats::by_step() on the net side of the dependency boundary.
 using TrafficByStep = std::map<std::string, StepTraffic>;
 
+/// Identifies the OS process a trace was recorded in (multi-process
+/// deployments; tools/pc_party).  When passed to build_trace_json the
+/// document carries a "pc.process" object — name, pid, and the monotonic
+/// epoch (µs) its rebased timestamps started at — which merge_traces uses
+/// to realign per-process files recorded against the same machine clock
+/// onto one timeline.
+struct TraceProcess {
+  std::string name;
+  int pid = 1;
+};
+
 /// Builds the full "pc-trace-v1" document from recorded spans plus the
 /// per-step traffic and (optionally) metrics gathered over the same run.
 /// Timestamps are rebased to the earliest span so files start near t=0.
+/// `process` (optional) tags the document for cross-process merging.
 [[nodiscard]] JsonValue build_trace_json(const TraceSink& sink,
                                          const TrafficByStep& traffic,
-                                         const MetricsRegistry* metrics);
+                                         const MetricsRegistry* metrics,
+                                         const TraceProcess* process = nullptr);
+
+/// Merges per-process "pc-trace-v1" documents into one timeline: events
+/// keep their per-process tracks (pids renumbered 1..N, tids globally
+/// unique, process_name metadata added), timestamps are realigned via each
+/// document's pc.process.epoch_us (same-machine monotonic clock), and the
+/// pc.steps / pc.totals summaries are summed.  Throws std::invalid_argument
+/// on an empty input or a document without "traceEvents".
+[[nodiscard]] JsonValue merge_traces(const std::vector<JsonValue>& traces);
 
 /// Builds one "pc-bench-v1" record.  `params` and `ops` become objects with
 /// number values; wall_ms is fractional milliseconds.

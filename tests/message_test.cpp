@@ -70,14 +70,14 @@ TEST(Message, TruncatedReadThrows) {
   w.write_u32(5);
   MessageReader r(std::move(w).take());
   (void)r.read_u32();
-  EXPECT_THROW((void)r.read_u8(), std::out_of_range);
+  EXPECT_THROW((void)r.read_u8(), FramingError);
 }
 
 TEST(Message, TruncatedBytesThrow) {
   MessageWriter w;
   w.write_u64(1000);  // claims 1000 bytes follow, none do
   MessageReader r(std::move(w).take());
-  EXPECT_THROW((void)r.read_bytes(), std::out_of_range);
+  EXPECT_THROW((void)r.read_bytes(), FramingError);
 }
 
 TEST(Message, SizeTracksBytes) {

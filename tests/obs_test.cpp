@@ -319,6 +319,85 @@ TEST(Export, BenchJsonValidatesAndRoundTrips) {
   EXPECT_FALSE(validate_bench_json(missing).empty());
 }
 
+TEST(Export, ProcessTagCarriesNamePidAndEpoch) {
+  TraceSink sink;
+  {
+    const ObserverScope scope(&sink, nullptr, "S1");
+    const Span span("Secure Sum (2)");
+  }
+  const TraceProcess process{"S1", 3};
+  const JsonValue doc = build_trace_json(sink, {}, nullptr, &process);
+  EXPECT_TRUE(validate_trace_json(doc).empty());
+  const JsonValue* tag = doc.find("pc")->find("process");
+  ASSERT_NE(tag, nullptr);
+  EXPECT_EQ(tag->find("name")->as_string(), "S1");
+  EXPECT_EQ(tag->find("pid")->as_number(), 3);
+  EXPECT_GT(tag->find("epoch_us")->as_number(), 0.0);
+  // Every event is attributed to the tagged pid.
+  for (const JsonValue& e : doc.find("traceEvents")->as_array()) {
+    EXPECT_EQ(e.find("pid")->as_number(), 3);
+  }
+}
+
+TEST(Export, MergeTracesRealignsAndSumsPerProcessFiles) {
+  // Two "processes" recorded against the same monotonic clock; the later
+  // one's file is rebased to its own start, so only the pc.process epoch
+  // can realign them.
+  TraceSink sink_a;
+  {
+    const ObserverScope scope(&sink_a, nullptr, "S1");
+    const Span span("Secure Sum (2)");
+  }
+  TrafficByStep traffic_a;
+  traffic_a["Secure Sum (2)"] = {100, 2};
+  const TraceProcess pa{"S1", 1};
+  const JsonValue doc_a = build_trace_json(sink_a, traffic_a, nullptr, &pa);
+
+  TraceSink sink_b;
+  {
+    const ObserverScope scope(&sink_b, nullptr, "S2");
+    const Span span("Secure Sum (2)");
+    const Span inner("Blind-and-Permute (3)");
+  }
+  TrafficByStep traffic_b;
+  traffic_b["Secure Sum (2)"] = {40, 1};
+  traffic_b["Blind-and-Permute (3)"] = {7, 1};
+  const TraceProcess pb{"S2", 2};
+  const JsonValue doc_b = build_trace_json(sink_b, traffic_b, nullptr, &pb);
+
+  const JsonValue merged = merge_traces({doc_a, doc_b});
+  EXPECT_TRUE(validate_trace_json(merged).empty());
+
+  // Per-step traffic sums across processes.
+  const JsonValue* steps = merged.find("pc")->find("steps");
+  EXPECT_EQ(steps->find("Secure Sum (2)")->find("bytes")->as_number(), 140);
+  EXPECT_EQ(steps->find("Secure Sum (2)")->find("messages")->as_number(), 3);
+  EXPECT_EQ(steps->find("Blind-and-Permute (3)")->find("bytes")->as_number(),
+            7);
+  // The process roster survives the merge.
+  const JsonValue* processes = merged.find("pc")->find("processes");
+  ASSERT_NE(processes, nullptr);
+  ASSERT_EQ(processes->as_array().size(), 2u);
+  EXPECT_EQ(processes->as_array()[0].find("name")->as_string(), "S1");
+  EXPECT_EQ(processes->as_array()[1].find("name")->as_string(), "S2");
+  // Events from different source files keep distinct pids, and process_name
+  // metadata names each track.
+  std::size_t name_metas = 0;
+  for (const JsonValue& e : merged.find("traceEvents")->as_array()) {
+    if (e.find("ph")->as_string() == "M" &&
+        e.find("name")->as_string() == "process_name") {
+      ++name_metas;
+    }
+  }
+  EXPECT_EQ(name_metas, 2u);
+}
+
+TEST(Export, MergeTracesRejectsEmptyAndMalformedInput) {
+  EXPECT_THROW((void)merge_traces({}), std::invalid_argument);
+  const JsonValue no_events = JsonValue::parse(R"({"pc": {}})");
+  EXPECT_THROW((void)merge_traces({no_events}), std::invalid_argument);
+}
+
 TEST(Export, MetricsJsonlHasOneValidObjectPerCounter) {
   MetricsRegistry reg;
   reg.counters_for("Secure Sum (2)").add(Op::kPaillierEncrypt, 4);

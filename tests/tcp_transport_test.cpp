@@ -1,0 +1,273 @@
+// TCP transport unit tests: endpoint maps, the frame codec, and a live
+// two-party TcpChannel over real loopback sockets — including the typed
+// failure surface (ChannelTimeout / ChannelClosed / FramingError) and the
+// key-distribution round-trips (key_io + segmentation) across a socket.
+#include "net/tcp_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "crypto/key_io.h"
+#include "crypto/paillier.h"
+#include "net/errors.h"
+#include "net/segmentation.h"
+
+namespace pcl {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(EndpointMap, RoundTripsThroughText) {
+  EndpointMap map;
+  map["S1"] = TcpEndpoint{"127.0.0.1", 5001};
+  map["S2"] = TcpEndpoint{"10.0.0.7", 5002};
+  const std::string text = format_endpoint_map(map);
+  EXPECT_EQ(parse_endpoint_map(text), map);
+}
+
+TEST(EndpointMap, ParsesCommentsAndBlankLines) {
+  const EndpointMap map = parse_endpoint_map(
+      "# deployment hosts\n"
+      "\n"
+      "S1 127.0.0.1:4000\n"
+      "  S2   localhost:4001  # trailing comment\n");
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.at("S1").port, 4000);
+  EXPECT_EQ(map.at("S2").host, "localhost");
+}
+
+TEST(EndpointMap, RejectsMalformedLines) {
+  EXPECT_THROW((void)parse_endpoint_map("S1 127.0.0.1"), ChannelError);
+  EXPECT_THROW((void)parse_endpoint_map("S1 127.0.0.1:0"), ChannelError);
+  EXPECT_THROW((void)parse_endpoint_map("S1 127.0.0.1:99999"), ChannelError);
+  EXPECT_THROW((void)parse_endpoint_map("S1 h:1\nS1 h:2\n"), ChannelError);
+  EXPECT_THROW((void)parse_endpoint_map("just-a-name\n"), ChannelError);
+}
+
+TEST(FrameCodec, RoundTrips) {
+  Frame frame;
+  frame.kind = FrameKind::kMessage;
+  frame.step = "Secure Sum (2)";
+  frame.payload = {1, 2, 3, 250};
+  const Frame back = decode_frame(encode_frame(frame));
+  EXPECT_EQ(back.kind, frame.kind);
+  EXPECT_EQ(back.step, frame.step);
+  EXPECT_EQ(back.payload, frame.payload);
+}
+
+TEST(FrameCodec, RejectsOversizedStep) {
+  Frame frame;
+  frame.step = std::string(kMaxFrameStepBytes + 1, 's');
+  EXPECT_THROW((void)encode_frame(frame), FramingError);
+}
+
+TEST(FrameCodec, TruncationSweepThrowsTyped) {
+  Frame frame;
+  frame.kind = FrameKind::kBulletin;
+  frame.step = "step";
+  frame.payload = {9, 8, 7};
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + cut);
+    EXPECT_THROW((void)decode_frame(prefix), FramingError) << "cut=" << cut;
+  }
+}
+
+TEST(FrameCodec, RejectsTrailingBytesAndBadKind) {
+  Frame frame;
+  frame.payload = {1};
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  bytes.push_back(0);
+  EXPECT_THROW((void)decode_frame(bytes), FramingError);
+  bytes.pop_back();
+  bytes[0] = 99;  // no such FrameKind
+  EXPECT_THROW((void)decode_frame(bytes), FramingError);
+}
+
+TEST(FrameCodec, RejectsHugePayloadClaimWithoutAllocating) {
+  // Header claims a payload far beyond the cap: the codec must refuse
+  // before trusting the length, not attempt the allocation.
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes, 0);
+  bytes[0] = 2;                      // kMessage
+  bytes[5] = 0xff;                   // payload_len = 0xffffffff
+  bytes[6] = 0xff;
+  bytes[7] = 0xff;
+  bytes[8] = 0xff;
+  EXPECT_THROW((void)decode_frame(bytes), FramingError);
+}
+
+/// Two live TcpChannels over a real loopback socket: "A" accepts and hosts
+/// the bulletin, "B" dials.
+struct ChannelPair {
+  TrafficStats stats_a, stats_b;
+  std::unique_ptr<TcpChannel> a, b;
+
+  explicit ChannelPair(milliseconds timeout = milliseconds(5000)) {
+    TcpListener listener = TcpListener::bind("127.0.0.1", 0);
+    EndpointMap endpoints;
+    endpoints["A"] = TcpEndpoint{"127.0.0.1", listener.port()};
+    TcpTimeouts timeouts;
+    timeouts.connect = timeout;
+    timeouts.accept = timeout;
+    timeouts.recv = timeout;
+    timeouts.send = timeout;
+
+    TcpPartyWiring wa;
+    wa.self = "A";
+    wa.accept = {"B"};
+    wa.endpoints = endpoints;
+    wa.bulletin_host = "A";
+    wa.bulletin_listeners = {"B"};
+    wa.timeouts = timeouts;
+    TcpPartyWiring wb;
+    wb.self = "B";
+    wb.dial = {"A"};
+    wb.endpoints = endpoints;
+    wb.bulletin_host = "A";
+    wb.timeouts = timeouts;
+
+    a = std::make_unique<TcpChannel>(std::move(wa), &stats_a);
+    b = std::make_unique<TcpChannel>(std::move(wb), &stats_b);
+    std::thread dialer([this] { b->connect(); });
+    a->connect(std::move(listener));
+    dialer.join();
+  }
+};
+
+TEST(TcpChannel, SendRecvAcrossRealSocket) {
+  ChannelPair pair;
+  pair.a->set_step("Secure Sum (2)");
+  MessageWriter w;
+  w.write_string("hello");
+  w.write_i64(-42);
+  pair.a->send("B", std::move(w));
+
+  MessageReader r = pair.b->recv("A");
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_i64(), -42);
+
+  // Traffic recorded at the sender, tagged with the sender's step.
+  const auto entries = pair.stats_a.traffic_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].step, "Secure Sum (2)");
+  EXPECT_EQ(entries[0].from, "A");
+  EXPECT_EQ(entries[0].to, "B");
+  EXPECT_EQ(entries[0].messages, 1u);
+  EXPECT_TRUE(pair.stats_b.traffic_entries().empty());
+  EXPECT_EQ(pair.a->bytes_sent(), entries[0].bytes);
+}
+
+TEST(TcpChannel, RecvDeadlineSurfacesChannelTimeout) {
+  ChannelPair pair;
+  pair.b->set_recv_deadline(milliseconds(100));
+  EXPECT_THROW((void)pair.b->recv("A"), ChannelTimeout);
+}
+
+TEST(TcpChannel, PeerCloseSurfacesChannelClosed) {
+  ChannelPair pair;
+  pair.a->close();
+  EXPECT_THROW((void)pair.b->recv("A"), ChannelClosed);
+}
+
+TEST(TcpChannel, UnknownPeerRejected) {
+  ChannelPair pair;
+  MessageWriter w;
+  w.write_u8(1);
+  EXPECT_THROW(pair.a->send("C", std::move(w)), ChannelError);
+  EXPECT_THROW((void)pair.a->recv("C"), ChannelError);
+}
+
+TEST(TcpChannel, BulletinBroadcast) {
+  ChannelPair pair;
+  pair.a->post_public(7);
+  EXPECT_EQ(pair.b->await_public(), 7);
+  // The host's own await_public returns its posted value.
+  EXPECT_EQ(pair.a->await_public(), 7);
+}
+
+TEST(TcpChannel, BulletinAndMessagesInterleaveWithoutLoss) {
+  // A sends a protocol message and THEN the bulletin; B consumes them in
+  // the opposite order.  Neither frame may be dropped: the channel parks
+  // whichever kind arrives early.
+  ChannelPair pair;
+  MessageWriter w;
+  w.write_u64(123);
+  pair.a->send("B", std::move(w));
+  pair.a->post_public(-5);
+
+  EXPECT_EQ(pair.b->await_public(), -5);  // parks the message frame
+  MessageReader r = pair.b->recv("A");
+  EXPECT_EQ(r.read_u64(), 123u);
+  EXPECT_EQ(pair.b->pending_messages(), 0u);
+}
+
+TEST(TcpChannel, DialWithoutListenerTimesOutTyped) {
+  // Nobody is listening and nobody will be: the dial budget must expire
+  // with a ChannelTimeout instead of hanging.
+  TcpPartyWiring w;
+  w.self = "B";
+  w.dial = {"A"};
+  w.endpoints["A"] = TcpEndpoint{"127.0.0.1", 1};  // reserved port, closed
+  w.timeouts.connect = milliseconds(200);
+  TcpChannel chan(std::move(w));
+  EXPECT_THROW(chan.connect(), ChannelTimeout);
+}
+
+TEST(TcpChannel, PaillierKeyDistributionOverSocket) {
+  // The deployment setup path: a server ships its Paillier public key over
+  // the wire; the peer restores it, encrypts, and ships the ciphertext
+  // back through the paper's base-10^18 segmentation codec.
+  ChannelPair pair;
+  DeterministicRng rng_a(21), rng_b(22);
+  const PaillierKeyPair key = generate_paillier_key(64, rng_a);
+
+  MessageWriter w;
+  w.write_bytes(serialize_paillier_public_key(key.pk));
+  pair.a->send("B", std::move(w));
+
+  MessageReader r = pair.b->recv("A");
+  const PaillierPublicKey restored = parse_paillier_public_key(r.read_bytes());
+  EXPECT_EQ(restored, key.pk);
+
+  const PaillierCiphertext c = restored.encrypt(BigInt(31337), rng_b);
+  MessageWriter back;
+  back.write_i64_vector(segment_ciphertext(c.value));
+  pair.b->send("A", std::move(back));
+
+  MessageReader r2 = pair.a->recv("B");
+  const PaillierCiphertext received{recompose_ciphertext(r2.read_i64_vector())};
+  EXPECT_EQ(key.sk.decrypt(received), BigInt(31337));
+}
+
+TEST(TcpChannel, DgkKeyDistributionOverSocket) {
+  ChannelPair pair;
+  DeterministicRng rng_a(31), rng_b(32);
+  DgkParams params;
+  params.n_bits = 160;
+  params.v_bits = 30;
+  params.plaintext_bound = 64;
+  const DgkKeyPair key = generate_dgk_key(params, rng_a);
+
+  MessageWriter w;
+  w.write_bytes(serialize_dgk_public_key(key.pk));
+  pair.a->send("B", std::move(w));
+
+  MessageReader r = pair.b->recv("A");
+  const DgkPublicKey restored = parse_dgk_public_key(r.read_bytes());
+  EXPECT_EQ(restored.n(), key.pk.n());
+  EXPECT_EQ(restored.u(), key.pk.u());
+
+  const DgkCiphertext c = restored.encrypt(std::uint64_t{17}, rng_b);
+  MessageWriter back;
+  back.write_bigint(c.value);
+  pair.b->send("A", std::move(back));
+  MessageReader r2 = pair.a->recv("B");
+  EXPECT_EQ(key.sk.decrypt(DgkCiphertext{r2.read_bigint()}), 17u);
+}
+
+}  // namespace
+}  // namespace pcl

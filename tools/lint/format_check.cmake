@@ -11,7 +11,8 @@ file(GLOB_RECURSE sources
      ${ROOT}/tests/*.cpp
      ${ROOT}/bench/*.h ${ROOT}/bench/*.cpp
      ${ROOT}/examples/*.cpp
-     ${ROOT}/tools/lint/pc_lint.cpp)
+     ${ROOT}/tools/lint/pc_lint.cpp
+     ${ROOT}/tools/pc_party/pc_party.cpp)
 
 list(LENGTH sources count)
 message(STATUS "format check: ${count} files")

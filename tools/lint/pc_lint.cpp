@@ -370,25 +370,24 @@ void rule_whitespace(const std::string& rel, const FileText& ft,
   }
 }
 
-// PC006: only src/net/ (the transports and the party runner) may construct
-// a Network or BlockingNetwork; protocol code takes a Channel& (or, for the
-// synchronous reference drivers, a caller's Network&) and stays
-// transport-agnostic.
-void rule_direct_network_construction(const std::string& rel,
-                                      const FileText& ft, bool force_in_scope,
-                                      std::vector<Finding>& out) {
-  const bool in_scope = force_in_scope || (rel.rfind("src/", 0) == 0 &&
-                                           rel.rfind("src/net/", 0) != 0);
-  if (!in_scope) return;
-  static const std::vector<std::string> kTypes = {"BlockingNetwork",
-                                                  "Network"};
+// PC006: transport construction is owned.  Only src/net/ may construct a
+// Network or BlockingNetwork, and only src/net/tcp* and tools/pc_party/
+// may construct the TCP transport (TcpChannel/TcpListener/TcpSocket);
+// protocol code takes a Channel& (or, for the synchronous reference
+// drivers, a caller's Network&) and stays transport-agnostic — everything
+// else reaches TCP through run_parties(PartyTransport::kTcp) or the
+// pc_party daemon.
+void flag_transport_constructions(const std::string& rel, const FileText& ft,
+                                  const std::vector<std::string>& types,
+                                  const std::string& hint,
+                                  std::vector<Finding>& out) {
   const auto skip_spaces = [](const std::string& s, std::size_t j) {
     while (j < s.size() && s[j] == ' ') ++j;
     return j;
   };
   for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
     const std::string& line = ft.stripped[i];
-    for (const std::string& type : kTypes) {
+    for (const std::string& type : types) {
       std::size_t pos = 0;
       bool flagged = false;
       while (!flagged && (pos = line.find(type, pos)) != std::string::npos) {
@@ -433,17 +432,45 @@ void rule_direct_network_construction(const std::string& rel,
           }
         }
         if (constructs) {
-          out.push_back(
-              {rel, i + 1, "PC006",
-               "direct " + type +
-                   " construction — protocol code must take a Channel& and "
-                   "let the party runner (src/net/party_runner.h) own the "
-                   "transport"});
+          out.push_back({rel, i + 1, "PC006",
+                         "direct " + type + " construction — " + hint});
           flagged = true;
         }
         pos = end;
       }
     }
+  }
+}
+
+void rule_direct_network_construction(const std::string& rel,
+                                      const FileText& ft, bool force_in_scope,
+                                      std::vector<Finding>& out) {
+  static const std::vector<std::string> kNetworkTypes = {"BlockingNetwork",
+                                                         "Network"};
+  static const std::vector<std::string> kTcpTypes = {
+      "TcpChannel", "TcpListener", "TcpSocket"};
+  if (force_in_scope ||
+      (rel.rfind("src/", 0) == 0 && rel.rfind("src/net/", 0) != 0)) {
+    flag_transport_constructions(
+        rel, ft, kNetworkTypes,
+        "protocol code must take a Channel& and let the party runner "
+        "(src/net/party_runner.h) own the transport",
+        out);
+  }
+  // The TCP transport has a tighter owner set: the transport sources
+  // themselves (src/net/tcp*) and the multi-process daemon
+  // (tools/pc_party/).  Everything else — including the rest of src/net/ —
+  // goes through run_parties(PartyTransport::kTcp) or pc_party.
+  const bool tcp_owner = rel.rfind("src/net/tcp", 0) == 0 ||
+                         rel.rfind("tools/pc_party/", 0) == 0;
+  if (force_in_scope ||
+      ((rel.rfind("src/", 0) == 0 || rel.rfind("tools/", 0) == 0) &&
+       !tcp_owner)) {
+    flag_transport_constructions(
+        rel, ft, kTcpTypes,
+        "only src/net/tcp* and tools/pc_party may build the TCP transport; "
+        "use run_parties(PartyTransport::kTcp) or the pc_party daemon",
+        out);
   }
 }
 

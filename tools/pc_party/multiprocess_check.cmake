@@ -1,0 +1,55 @@
+# Multi-process acceptance check (ctest + CI):
+#   1. pc_party --all: fork S1/S2/user:* as separate OS processes over
+#      loopback TCP, with per-process trace capture, and --check-parity —
+#      the parent replays the same seeded query in-process and asserts the
+#      children's merged TrafficStats rows are byte-identical.
+#   2. pc_trace --merge: fuse the per-process pc-trace-v1 files into one
+#      timeline and validate it.
+#   3. pc_trace --check / summarize the merged artifact.
+#
+# Invoke:  cmake -DPC_PARTY=<exe> -DPC_TRACE=<exe> -DOUT=<dir>
+#                -P multiprocess_check.cmake
+foreach(var PC_PARTY PC_TRACE OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "multiprocess_check.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT}")
+file(MAKE_DIRECTORY "${OUT}")
+
+execute_process(
+  COMMAND "${PC_PARTY}" --all --users 3 --trace --check-parity --out "${OUT}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pc_party --all --check-parity failed (exit ${rc})")
+endif()
+
+# One trace per process: S1, S2 and three users.
+file(GLOB traces "${OUT}/trace-*.json")
+list(LENGTH traces trace_count)
+if(trace_count LESS 5)
+  message(FATAL_ERROR "expected 5 per-process traces, found ${trace_count}")
+endif()
+list(SORT traces)
+
+execute_process(
+  COMMAND "${PC_TRACE}" --merge "${OUT}/merged-trace.json" ${traces}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pc_trace --merge failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${PC_TRACE}" --check "${OUT}/merged-trace.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "merged trace failed validation (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${PC_TRACE}" "${OUT}/merged-trace.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pc_trace summarize failed on merged trace (exit ${rc})")
+endif()

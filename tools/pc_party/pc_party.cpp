@@ -1,0 +1,636 @@
+// pc_party — one consensus party per OS process, over real TCP.
+//
+// The protocol code this daemon runs is exactly the party-program layer the
+// in-process tests exercise (mpc/consensus_party.h via
+// ConsensusProtocol::run_party_seeded); only the Channel underneath changes.
+// Two modes:
+//
+//   pc_party --role S1 --endpoints hosts.txt [options]
+//     Run ONE party against an endpoint map ("name host:port" per line;
+//     see PROTOCOL.md "Deployment").  Every process must be started with
+//     the same --users/--classes/--seed/--keygen-seed/--votes so each
+//     derives the identical keys, inputs and noise plan; the sockets carry
+//     everything else.  Start order does not matter: dialers retry with
+//     backoff for the full connect budget.
+//
+//   pc_party --all [options]
+//     Single-machine orchestrator: binds the server listeners on ephemeral
+//     loopback ports, forks one child per party (S1, S2, user:0..U-1), and
+//     reaps them under a deadline — a wedged run is killed, never hung.
+//     With --check-parity the parent then replays the same seeded query
+//     in-process and asserts the children's merged per-step traffic is
+//     byte-identical (the ISSUE acceptance gate).  With --fail-user K,
+//     user K connects and then dies; the run asserts every surviving party
+//     exits with a TYPED transport error (ChannelClosed/ChannelTimeout
+//     mapped to exit code 3) within the deadline.
+//
+// Per-party artifacts land in --out: traffic-<party>.json (schema
+// "pc-traffic-v1": the party's sent TrafficStats rows plus its released
+// label) and, with --trace, trace-<party>.json ("pc-trace-v1", tagged with
+// pc.process so `pc_trace --merge` can realign them onto one timeline).
+//
+// Exit codes: 0 success, 2 usage, 3 typed transport failure (ChannelError),
+// 42 injected fault, 1 anything else.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bigint/rng.h"
+#include "mpc/consensus.h"
+#include "net/errors.h"
+#include "net/tcp_transport.h"
+#include "net/transport.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using pcl::obs::JsonValue;
+
+constexpr const char* kTrafficSchema = "pc-traffic-v1";
+
+struct Options {
+  bool all = false;
+  std::string role;            ///< single-role mode
+  std::string endpoints_path;  ///< single-role mode
+  std::size_t users = 3;
+  std::size_t classes = 4;
+  std::uint64_t seed = 1234;
+  std::uint64_t keygen_seed = 7;
+  std::string votes_spec = "onehot:2";
+  std::string out_dir = ".";
+  bool trace = false;
+  bool check_parity = false;
+  int fail_user = -1;
+  long recv_timeout_ms = 15000;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --role <party> --endpoints <file> [options]\n"
+      "       %s --all [--check-parity] [--fail-user K] [options]\n"
+      "\n"
+      "  <party> is S1, S2 or user:K.  Every process of one run must get\n"
+      "  identical option values (they derive the same keys and inputs).\n"
+      "\n"
+      "options:\n"
+      "  --users N            number of users (default 3)\n"
+      "  --classes K          number of vote classes (default 4)\n"
+      "  --seed S             query seed (default 1234)\n"
+      "  --keygen-seed S      key-generation seed (default 7)\n"
+      "  --votes SPEC         cycle | onehot:<label>  (default onehot:2)\n"
+      "  --out DIR            artifact directory (default .)\n"
+      "  --trace              write trace-<party>.json per process\n"
+      "  --recv-timeout-ms M  transport deadlines (default 15000)\n",
+      argv0, argv0);
+  return 2;
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "pc_party: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--all") == 0) {
+      opt.all = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      opt.trace = true;
+    } else if (std::strcmp(arg, "--check-parity") == 0) {
+      opt.check_parity = true;
+    } else if (std::strcmp(arg, "--role") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.role = v;
+    } else if (std::strcmp(arg, "--endpoints") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.endpoints_path = v;
+    } else if (std::strcmp(arg, "--votes") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.votes_spec = v;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.out_dir = v;
+    } else if (std::strcmp(arg, "--users") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.users = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--classes") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.classes = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--keygen-seed") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.keygen_seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--fail-user") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.fail_user = std::atoi(v);
+    } else if (std::strcmp(arg, "--recv-timeout-ms") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.recv_timeout_ms = std::strtol(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "pc_party: unknown argument %s\n", arg);
+      return std::nullopt;
+    }
+  }
+  if (opt.all == !opt.role.empty()) {
+    std::fprintf(stderr, "pc_party: need exactly one of --all / --role\n");
+    return std::nullopt;
+  }
+  if (!opt.role.empty() && opt.endpoints_path.empty()) {
+    std::fprintf(stderr, "pc_party: --role needs --endpoints\n");
+    return std::nullopt;
+  }
+  if (opt.users == 0 || opt.classes < 2) {
+    std::fprintf(stderr, "pc_party: need --users >= 1 and --classes >= 2\n");
+    return std::nullopt;
+  }
+  if (opt.fail_user >= 0 &&
+      static_cast<std::size_t>(opt.fail_user) >= opt.users) {
+    std::fprintf(stderr, "pc_party: --fail-user out of range\n");
+    return std::nullopt;
+  }
+  if (opt.recv_timeout_ms <= 0) {
+    std::fprintf(stderr, "pc_party: --recv-timeout-ms must be positive\n");
+    return std::nullopt;
+  }
+  return opt;
+}
+
+/// Smoke-sized crypto parameters (the tier-1 test profile): big enough to
+/// run the full Alg. 5 pipeline, small enough that a multi-process run
+/// finishes in seconds.
+pcl::ConsensusConfig make_config(const Options& opt) {
+  pcl::ConsensusConfig cfg;
+  cfg.num_classes = opt.classes;
+  cfg.num_users = opt.users;
+  cfg.threshold_fraction = 0.6;
+  cfg.sigma1 = 1.0;
+  cfg.sigma2 = 0.5;
+  cfg.share_bits = 30;
+  cfg.compare_bits = 44;
+  cfg.dgk_params.n_bits = 160;
+  cfg.dgk_params.v_bits = 30;
+  cfg.dgk_params.plaintext_bound = 160;
+  return cfg;
+}
+
+/// "cycle": user u votes one-hot for class u mod K.  "onehot:<l>": every
+/// user votes for class l (a clear consensus, so the query releases l).
+std::vector<std::vector<double>> make_votes(const Options& opt) {
+  std::vector<std::vector<double>> votes(opt.users,
+                                         std::vector<double>(opt.classes, 0.0));
+  if (opt.votes_spec == "cycle") {
+    for (std::size_t u = 0; u < opt.users; ++u) {
+      votes[u][u % opt.classes] = 1.0;
+    }
+    return votes;
+  }
+  if (opt.votes_spec.rfind("onehot:", 0) == 0) {
+    const long label = std::strtol(opt.votes_spec.c_str() + 7, nullptr, 10);
+    if (label < 0 || static_cast<std::size_t>(label) >= opt.classes) {
+      throw std::invalid_argument("pc_party: onehot label out of range");
+    }
+    for (auto& row : votes) row[static_cast<std::size_t>(label)] = 1.0;
+    return votes;
+  }
+  throw std::invalid_argument("pc_party: bad --votes spec (cycle|onehot:<l>)");
+}
+
+std::vector<std::string> party_names(std::size_t users) {
+  std::vector<std::string> names = {"S1", "S2"};
+  for (std::size_t u = 0; u < users; ++u) {
+    names.push_back("user:" + std::to_string(u));
+  }
+  return names;
+}
+
+/// "user:3" -> "user_3": artifact filenames must not contain ':'.
+std::string file_tag(const std::string& party) {
+  std::string tag = party;
+  for (char& c : tag) {
+    if (c == ':') c = '_';
+  }
+  return tag;
+}
+
+/// Stable per-party pid for the merged timeline: S1=1, S2=2, user:u=3+u.
+int trace_pid(const std::string& party, std::size_t users) {
+  const std::vector<std::string> names = party_names(users);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == party) return static_cast<int>(i) + 1;
+  }
+  return 1;
+}
+
+pcl::TcpTimeouts timeouts_from(const Options& opt) {
+  const auto ms = std::chrono::milliseconds(opt.recv_timeout_ms);
+  pcl::TcpTimeouts t;
+  t.connect = ms;
+  t.accept = ms;
+  t.recv = ms;
+  t.send = ms;
+  return t;
+}
+
+std::string traffic_path(const Options& opt, const std::string& party) {
+  return opt.out_dir + "/traffic-" + file_tag(party) + ".json";
+}
+
+std::string trace_path(const Options& opt, const std::string& party) {
+  return opt.out_dir + "/trace-" + file_tag(party) + ".json";
+}
+
+/// One party's sent traffic + released label, as JSON.  Recorded at the
+/// sender only (like every transport), so the union of all parties' files
+/// is exactly the in-process TrafficStats table — the parity check's input.
+void write_traffic_json(const Options& opt, const std::string& party,
+                        const std::optional<int>& label,
+                        const pcl::TrafficStats& stats) {
+  JsonValue::Array entries;
+  for (const pcl::TrafficStats::Entry& e : stats.traffic_entries()) {
+    JsonValue::Object row;
+    row["step"] = e.step;
+    row["from"] = e.from;
+    row["to"] = e.to;
+    row["bytes"] = static_cast<std::uint64_t>(e.bytes);
+    row["messages"] = static_cast<std::uint64_t>(e.messages);
+    entries.emplace_back(std::move(row));
+  }
+  JsonValue::Object doc;
+  doc["schema"] = kTrafficSchema;
+  doc["party"] = party;
+  doc["label"] = label.has_value() ? JsonValue(*label) : JsonValue();
+  doc["entries"] = std::move(entries);
+  pcl::obs::write_text_file(traffic_path(opt, party),
+                            JsonValue(std::move(doc)).dump(2) + "\n");
+}
+
+/// Runs one party program over TCP and writes its artifacts.  `listener`
+/// may be invalid (pure dialer, or single-role mode where connect() binds
+/// from the endpoint map).  `fail_early` is the fault-injection hook: the
+/// party completes the connection handshake and then dies, so its peers
+/// observe a mid-protocol disconnect.
+int run_role(const pcl::ConsensusProtocol& protocol, const Options& opt,
+             const std::string& role,
+             const std::vector<std::vector<double>>& votes,
+             pcl::TcpPartyWiring wiring, pcl::TcpListener listener,
+             bool fail_early) {
+  pcl::TrafficStats stats;
+  pcl::obs::TraceSink sink;
+  pcl::obs::MetricsRegistry metrics;
+  pcl::TcpChannel chan(std::move(wiring), &stats);
+  std::optional<int> label;
+  int code = 0;
+  try {
+    const pcl::obs::ObserverScope scope(opt.trace ? &sink : nullptr,
+                                        opt.trace ? &metrics : nullptr, role);
+    if (listener.valid()) {
+      chan.connect(std::move(listener));
+    } else {
+      chan.connect();
+    }
+    if (fail_early) return 42;  // ~TcpChannel slams the sockets shut
+    label = protocol.run_party_seeded(role, votes, opt.seed, chan);
+    chan.close();
+  } catch (const pcl::ChannelError& err) {
+    std::fprintf(stderr, "pc_party[%s]: transport failure: %s\n", role.c_str(),
+                 err.what());
+    code = 3;
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "pc_party[%s]: error: %s\n", role.c_str(),
+                 err.what());
+    code = 1;
+  }
+  if (code == 0 && (role == "S1" || role == "S2")) {
+    std::printf("pc_party[%s]: label = %s\n", role.c_str(),
+                label.has_value() ? std::to_string(*label).c_str() : "bot");
+  }
+  try {
+    write_traffic_json(opt, role, label, stats);
+    if (opt.trace) {
+      const pcl::obs::TraceProcess process{role,
+                                           trace_pid(role, opt.users)};
+      const JsonValue doc = pcl::obs::build_trace_json(
+          sink, stats.by_step(), &metrics, &process);
+      pcl::obs::write_text_file(trace_path(opt, role), doc.dump(2) + "\n");
+    }
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "pc_party[%s]: artifact write failed: %s\n",
+                 role.c_str(), err.what());
+    if (code == 0) code = 1;
+  }
+  return code;
+}
+
+int run_single(const Options& opt) {
+  const pcl::EndpointMap endpoints =
+      pcl::parse_endpoint_map(pcl::obs::read_text_file(opt.endpoints_path));
+  pcl::DeterministicRng keygen(opt.keygen_seed);
+  const pcl::ConsensusProtocol protocol(make_config(opt), keygen);
+  pcl::TcpPartyWiring wiring = pcl::consensus_tcp_wiring(
+      opt.role, opt.users, endpoints, timeouts_from(opt));
+  return run_role(protocol, opt, opt.role, make_votes(opt), std::move(wiring),
+                  pcl::TcpListener{}, false);
+}
+
+// ---------------------------------------------------------------------------
+// --all orchestrator
+
+struct ChildResult {
+  pid_t pid = -1;
+  int code = -1;     ///< exit code, 128+signal if signaled
+  bool reaped = false;
+  bool killed = false;  ///< true if WE killed it on deadline overrun
+};
+
+/// Loads traffic-<party>.json back and appends its rows to `out`.  Returns
+/// the file's label field (nullopt = JSON null = the paper's bot).
+std::optional<int> load_traffic_json(
+    const std::string& path, std::vector<pcl::TrafficStats::Entry>& out) {
+  const JsonValue doc = JsonValue::parse(pcl::obs::read_text_file(path));
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kTrafficSchema) {
+    throw std::runtime_error(path + ": not a " + kTrafficSchema + " file");
+  }
+  const JsonValue* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    throw std::runtime_error(path + ": missing entries array");
+  }
+  for (const JsonValue& row : entries->as_array()) {
+    pcl::TrafficStats::Entry e;
+    e.step = row.find("step")->as_string();
+    e.from = row.find("from")->as_string();
+    e.to = row.find("to")->as_string();
+    e.bytes = static_cast<std::size_t>(row.find("bytes")->as_number());
+    e.messages = static_cast<std::size_t>(row.find("messages")->as_number());
+    out.push_back(std::move(e));
+  }
+  const JsonValue* label = doc.find("label");
+  if (label != nullptr && label->is_number()) {
+    return static_cast<int>(label->as_number());
+  }
+  return std::nullopt;
+}
+
+/// The acceptance gate: replay the identical seeded query in-process and
+/// demand the children's merged per-step traffic rows match byte for byte.
+int check_parity(pcl::ConsensusProtocol& protocol, const Options& opt,
+                 const std::vector<std::vector<double>>& votes,
+                 const std::vector<std::string>& roles) {
+  const auto reference = protocol.run_query_seeded(
+      votes, opt.seed, pcl::ConsensusTransport::kInProcess);
+  std::vector<pcl::TrafficStats::Entry> expect =
+      protocol.stats().traffic_entries();
+
+  std::vector<pcl::TrafficStats::Entry> got;
+  std::optional<int> s1_label, s2_label;
+  for (const std::string& role : roles) {
+    const std::optional<int> label =
+        load_traffic_json(traffic_path(opt, role), got);
+    if (role == "S1") s1_label = label;
+    if (role == "S2") s2_label = label;
+  }
+  // Each (step, from, to) row lives in exactly one file (recorded at the
+  // sender), so sorting the union reproduces traffic_entries() order.
+  const auto by_key = [](const pcl::TrafficStats::Entry& a,
+                         const pcl::TrafficStats::Entry& b) {
+    return std::tie(a.step, a.from, a.to) < std::tie(b.step, b.from, b.to);
+  };
+  std::sort(got.begin(), got.end(), by_key);
+
+  int failures = 0;
+  if (reference.label != s1_label || reference.label != s2_label) {
+    std::fprintf(stderr,
+                 "parity: label mismatch (in-process %s, S1 %s, S2 %s)\n",
+                 reference.label ? std::to_string(*reference.label).c_str()
+                                 : "bot",
+                 s1_label ? std::to_string(*s1_label).c_str() : "bot",
+                 s2_label ? std::to_string(*s2_label).c_str() : "bot");
+    ++failures;
+  }
+  if (expect.size() != got.size()) {
+    std::fprintf(stderr, "parity: %zu traffic rows in-process vs %zu merged\n",
+                 expect.size(), got.size());
+    ++failures;
+  }
+  for (std::size_t i = 0; i < expect.size() && i < got.size(); ++i) {
+    if (expect[i] == got[i]) continue;
+    std::fprintf(stderr,
+                 "parity: row %zu differs:\n"
+                 "  in-process  %s %s->%s bytes=%zu msgs=%zu\n"
+                 "  multi-proc  %s %s->%s bytes=%zu msgs=%zu\n",
+                 i, expect[i].step.c_str(), expect[i].from.c_str(),
+                 expect[i].to.c_str(), expect[i].bytes, expect[i].messages,
+                 got[i].step.c_str(), got[i].from.c_str(), got[i].to.c_str(),
+                 got[i].bytes, got[i].messages);
+    ++failures;
+  }
+  if (failures != 0) return 1;
+  std::printf("parity OK: %zu traffic rows byte-identical, label = %s\n",
+              expect.size(),
+              reference.label ? std::to_string(*reference.label).c_str()
+                              : "bot");
+  return 0;
+}
+
+int run_all(const Options& opt) {
+  const std::vector<std::string> roles = party_names(opt.users);
+  const std::vector<std::vector<double>> votes = make_votes(opt);
+  const pcl::TcpTimeouts timeouts = timeouts_from(opt);
+
+  // Listeners exist before ANY child runs, so no dialer can beat its
+  // acceptor to the port; ephemeral ports keep parallel runs disjoint.
+  pcl::TcpListener s1_listener = pcl::TcpListener::bind("127.0.0.1", 0);
+  pcl::TcpListener s2_listener = pcl::TcpListener::bind("127.0.0.1", 0);
+  pcl::EndpointMap endpoints;
+  endpoints["S1"] = pcl::TcpEndpoint{"127.0.0.1", s1_listener.port()};
+  endpoints["S2"] = pcl::TcpEndpoint{"127.0.0.1", s2_listener.port()};
+  pcl::obs::write_text_file(opt.out_dir + "/endpoints.txt",
+                            pcl::format_endpoint_map(endpoints));
+
+  // Keys are generated ONCE here; children inherit them through fork, the
+  // exact sharing the in-process harness gets from one protocol object.
+  pcl::DeterministicRng keygen(opt.keygen_seed);
+  pcl::ConsensusProtocol protocol(make_config(opt), keygen);
+
+  std::map<std::string, ChildResult> children;
+  for (const std::string& role : roles) {
+    std::fflush(nullptr);  // no buffered text may fork into the child
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("pc_party: fork");
+      for (auto& [r, c] : children) kill(c.pid, SIGKILL);
+      return 1;
+    }
+    if (pid == 0) {
+      pcl::TcpListener mine;
+      if (role == "S1") mine = std::move(s1_listener);
+      if (role == "S2") mine = std::move(s2_listener);
+      // Drop the sibling listeners: a user child holding S1's listener fd
+      // open would keep the port alive after S1 dies.
+      if (role != "S1") s1_listener.close();
+      if (role != "S2") s2_listener.close();
+      pcl::TcpPartyWiring wiring =
+          pcl::consensus_tcp_wiring(role, opt.users, endpoints, timeouts);
+      const bool fail_early =
+          opt.fail_user >= 0 &&
+          role == "user:" + std::to_string(opt.fail_user);
+      int code = 1;
+      try {
+        code = run_role(protocol, opt, role, votes, std::move(wiring),
+                        std::move(mine), fail_early);
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "pc_party[%s]: fatal: %s\n", role.c_str(),
+                     err.what());
+      }
+      std::fflush(nullptr);
+      _exit(code);  // never unwind into the parent's atexit machinery
+    }
+    children[role] = ChildResult{pid, -1, false, false};
+  }
+  s1_listener.close();
+  s2_listener.close();
+
+  // Reap under a deadline: a correct failure path surfaces typed errors
+  // well inside one recv timeout, so give the full pipeline three plus
+  // slack for keygen-free protocol compute and never, ever hang.
+  const std::uint64_t start_ns = pcl::obs::monotonic_time_ns();
+  const std::uint64_t budget_ns =
+      static_cast<std::uint64_t>(opt.recv_timeout_ms) * 3'000'000ull +
+      60'000'000'000ull;
+  std::size_t live = children.size();
+  bool deadline_hit = false;
+  while (live > 0) {
+    for (auto& [role, child] : children) {
+      if (child.reaped) continue;
+      int status = 0;
+      const pid_t r = waitpid(child.pid, &status, WNOHANG);
+      if (r == 0) continue;
+      child.reaped = true;
+      --live;
+      if (r < 0) {
+        child.code = 1;
+      } else if (WIFEXITED(status)) {
+        child.code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        child.code = 128 + WTERMSIG(status);
+      }
+    }
+    if (live == 0) break;
+    if (pcl::obs::monotonic_time_ns() - start_ns > budget_ns) {
+      deadline_hit = true;
+      for (auto& [role, child] : children) {
+        if (!child.reaped) {
+          kill(child.pid, SIGKILL);
+          child.killed = true;
+        }
+      }
+      for (auto& [role, child] : children) {
+        if (child.reaped) continue;
+        int status = 0;
+        waitpid(child.pid, &status, 0);
+        child.reaped = true;
+        child.code = 128 + SIGKILL;
+      }
+      live = 0;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const double elapsed_ms =
+      static_cast<double>(pcl::obs::monotonic_time_ns() - start_ns) / 1e6;
+
+  for (const std::string& role : roles) {
+    const ChildResult& child = children[role];
+    std::printf("pc_party: %-8s pid %d exit %d%s\n", role.c_str(),
+                static_cast<int>(child.pid), child.code,
+                child.killed ? " (killed on deadline)" : "");
+  }
+  std::printf("pc_party: %zu processes, %.0f ms\n", children.size(),
+              elapsed_ms);
+  if (deadline_hit) {
+    std::fprintf(stderr, "pc_party: FAIL: run exceeded the %ld ms deadline\n",
+                 static_cast<long>(budget_ns / 1'000'000ull));
+    return 1;
+  }
+
+  if (opt.fail_user >= 0) {
+    // Fault-injection verdict: the injected death must exit 42 and every
+    // surviving party must surface a TYPED transport error (code 3) on its
+    // own, within the deadline — no hang, no untyped crash.
+    const std::string failed = "user:" + std::to_string(opt.fail_user);
+    int bad = 0;
+    for (const std::string& role : roles) {
+      const int code = children[role].code;
+      const int want = role == failed ? 42 : 3;
+      if (code != want) {
+        std::fprintf(stderr,
+                     "pc_party: FAIL: %s exited %d, expected %d (%s)\n",
+                     role.c_str(), code, want,
+                     role == failed ? "injected fault"
+                                    : "typed transport error");
+        ++bad;
+      }
+    }
+    if (bad != 0) return 1;
+    std::printf(
+        "fault injection OK: %s died, all %zu survivors exited with typed "
+        "transport errors in %.0f ms\n",
+        failed.c_str(), roles.size() - 1, elapsed_ms);
+    return 0;
+  }
+
+  int bad = 0;
+  for (const std::string& role : roles) {
+    if (children[role].code != 0) ++bad;
+  }
+  if (bad != 0) {
+    std::fprintf(stderr, "pc_party: FAIL: %d process(es) failed\n", bad);
+    return 1;
+  }
+  if (opt.check_parity) return check_parity(protocol, opt, votes, roles);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> opt = parse_args(argc, argv);
+  if (!opt.has_value()) return usage(argv[0]);
+  // Best-effort: create the artifact directory (one level); EEXIST is fine,
+  // anything else surfaces on the first write_text_file.
+  mkdir(opt->out_dir.c_str(), 0755);
+  try {
+    return opt->all ? run_all(*opt) : run_single(*opt);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "pc_party: %s\n", err.what());
+    return 1;
+  }
+}

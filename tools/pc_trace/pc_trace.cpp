@@ -3,6 +3,8 @@
 //
 //   pc_trace <trace.json>            render a per-phase summary table
 //   pc_trace --check <file>...       validate files against their schemas
+//   pc_trace --merge <out> <in>...   merge per-process traces (pc_party)
+//                                    into one validated timeline
 //
 // A trace file is Chrome trace-event JSON ("pc-trace-v1"): open it in
 // chrome://tracing or Perfetto for the timeline; this tool renders the
@@ -237,12 +239,56 @@ int check_one(const std::string& path) {
   return 1;
 }
 
+/// Merges per-process pc-trace-v1 files (tools/pc_party emits one per
+/// party process) into a single timeline document, validating the result
+/// before writing it.
+int merge(const std::string& out_path,
+          const std::vector<std::string>& in_paths) {
+  std::vector<JsonValue> docs;
+  docs.reserve(in_paths.size());
+  for (const std::string& path : in_paths) {
+    JsonValue doc;
+    try {
+      doc = JsonValue::parse(pcl::obs::read_text_file(path));
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "%s: not valid JSON: %s\n", path.c_str(),
+                   err.what());
+      return 1;
+    }
+    const std::vector<std::string> problems =
+        pcl::obs::validate_trace_json(doc);
+    if (!problems.empty()) {
+      std::fprintf(stderr, "%s: not a valid pc-trace-v1 file:\n",
+                   path.c_str());
+      for (const std::string& p : problems) {
+        std::fprintf(stderr, "  - %s\n", p.c_str());
+      }
+      return 1;
+    }
+    docs.push_back(std::move(doc));
+  }
+  const JsonValue merged = pcl::obs::merge_traces(docs);
+  const std::vector<std::string> problems =
+      pcl::obs::validate_trace_json(merged);
+  if (!problems.empty()) {
+    std::fprintf(stderr, "merged document failed validation:\n");
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "  - %s\n", p.c_str());
+    }
+    return 1;
+  }
+  pcl::obs::write_text_file(out_path, merged.dump(2) + "\n");
+  std::printf("%s: merged %zu trace(s)\n", out_path.c_str(), docs.size());
+  return 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <trace.json>            summarize a trace\n"
                "       %s --check <file>...       validate trace/bench/"
-               "metrics files\n",
-               argv0, argv0);
+               "metrics files\n"
+               "       %s --merge <out> <in>...   merge per-process traces\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -255,6 +301,11 @@ int main(int argc, char** argv) {
       int failures = 0;
       for (int i = 2; i < argc; ++i) failures += check_one(argv[i]);
       return failures == 0 ? 0 : 1;
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--merge") == 0) {
+      if (argc < 4) return usage(argv[0]);
+      return merge(argv[2],
+                   std::vector<std::string>(argv + 3, argv + argc));
     }
     if (argc != 2) return usage(argv[0]);
     return summarize(argv[1]);
