@@ -1,0 +1,171 @@
+// Query-lane batched pipeline throughput (DESIGN.md §10).
+//
+// Measures the tentpole win of lane batching: a batch of Q queries run
+// sequentially pays Alg. 5's communication rounds Q times, while the
+// lane-batched mode coalesces all Q lanes' payloads into one frame per
+// message slot — O(L·ell) rounds total instead of O(Q·L·ell).  On the
+// threaded transport every saved round is a saved thread handoff; on TCP
+// loopback it is a saved socket round trip, so the batched speedup grows
+// with transport cost.  Crypto is deliberately slimmed below even the
+// paper's 64-bit prototype: this bench isolates ROUND overhead, which is
+// exactly what batching removes; bench_micro_crypto covers the kernels.
+//
+// Prints sequential vs batched wall time, throughput and message counts per
+// transport and records everything in a pc-bench-v1 JSON when --json is
+// given.  Two hard gates (exit 1): the released labels must agree between
+// modes (batching must never change results), and the batched mode must cut
+// the message count by at least 10x (the structural round win).  Wall-clock
+// speedup is reported but not gated: it scales with core count (per-lane
+// crypto fans out over the LanePool) and with transport latency (every
+// eliminated round is a saved handoff/round trip), so on a single-core
+// loopback CI box it sits near 1x while the round reduction is ~100x.
+//
+//   bench_batch_pipeline [--smoke] [--json out.json] [queries] [users]
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "mpc/consensus.h"
+#include "obs/clock.h"
+
+namespace {
+
+using namespace pcl;
+using pclbench::fmt;
+using pclbench::print_row;
+using pclbench::print_title;
+
+struct ModeTiming {
+  double ms = 0.0;
+  std::size_t messages = 0;
+  std::vector<std::optional<int>> labels;
+};
+
+ModeTiming run_mode(ConsensusProtocol& protocol,
+                    const std::vector<std::vector<std::vector<double>>>& batch,
+                    std::uint64_t seed, ConsensusTransport transport,
+                    BatchMode mode) {
+  protocol.stats().clear();
+  const std::uint64_t t0 = obs::monotonic_time_ns();
+  const auto results = protocol.run_batch_seeded(batch, seed, transport, mode);
+  ModeTiming out;
+  out.ms = static_cast<double>(obs::monotonic_time_ns() - t0) / 1e6;
+  for (const auto& entry : protocol.stats().traffic_entries()) {
+    out.messages += entry.messages;
+  }
+  for (const auto& r : results) out.labels.push_back(r.label);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pclbench::BenchCli cli = pclbench::parse_bench_cli(argc, argv);
+  const std::size_t queries = static_cast<std::size_t>(
+      std::stoul(cli.positional_or(0, cli.smoke ? "100" : "250")));
+  const std::size_t users =
+      static_cast<std::size_t>(std::stoul(cli.positional_or(1, "5")));
+
+  // The paper's 10-label setting over minimal crypto (see header comment).
+  ConsensusConfig cfg;
+  cfg.num_classes = 10;
+  cfg.num_users = users;
+  cfg.threshold_fraction = 0.6;
+  cfg.sigma1 = 1.0;
+  cfg.sigma2 = 0.5;
+  cfg.paillier_bits = 48;
+  cfg.share_bits = 18;
+  cfg.compare_bits = 26;
+  cfg.dgk_params.n_bits = 96;
+  cfg.dgk_params.v_bits = 16;
+  cfg.dgk_params.plaintext_bound = 90;
+  cfg.argmax_strategy = ArgmaxStrategy::kTournament;
+
+  DeterministicRng keygen(7);
+  ConsensusProtocol protocol(cfg, keygen);
+  DeterministicRng vote_rng(20200706);
+
+  // Realistic query mix: most instances have a clear majority (consensus),
+  // some are contested (⊥), so the batch exercises lane drop-out.
+  std::vector<std::vector<std::vector<double>>> batch;
+  batch.reserve(queries);
+  for (std::size_t q = 0; q < queries; ++q) {
+    const std::size_t majority = vote_rng.next_u64() % cfg.num_classes;
+    std::vector<std::vector<double>> votes;
+    votes.reserve(users);
+    for (std::size_t u = 0; u < users; ++u) {
+      std::vector<double> v(cfg.num_classes, 0.0);
+      const bool dissent = q % 4 == 3 && u % 2 == 1;  // contested queries
+      const std::size_t pick =
+          dissent ? vote_rng.next_u64() % cfg.num_classes : majority;
+      v[pick] = 1.0;
+      votes.push_back(std::move(v));
+    }
+    batch.push_back(std::move(votes));
+  }
+  const std::uint64_t base_seed = 20200706;
+
+  pclbench::BenchRecorder recorder("batch_pipeline");
+  recorder.set_param("queries", static_cast<double>(queries));
+  recorder.set_param("users", static_cast<double>(users));
+  recorder.set_param("classes", static_cast<double>(cfg.num_classes));
+  recorder.set_param("cores",
+                     static_cast<double>(std::thread::hardware_concurrency()));
+  protocol.set_observer(nullptr, &recorder.metrics());
+
+  print_title("Query-lane batched pipeline (Q=" + std::to_string(queries) +
+              ", |U|=" + std::to_string(users) + ", K=" +
+              std::to_string(cfg.num_classes) + ")");
+  print_row("transport", {"mode", "wall ms", "q/s", "messages"});
+
+  bool all_match = true;
+  bool rounds_collapse = true;
+  for (const auto& [transport, name] :
+       {std::pair{ConsensusTransport::kInProcess, std::string("in-process")},
+        std::pair{ConsensusTransport::kThreaded, std::string("threaded")},
+        std::pair{ConsensusTransport::kTcp, std::string("tcp")}}) {
+    const ModeTiming seq = run_mode(protocol, batch, base_seed, transport,
+                                    BatchMode::kSequential);
+    const ModeTiming bat = run_mode(protocol, batch, base_seed, transport,
+                                    BatchMode::kLaneBatched);
+    const bool match = seq.labels == bat.labels;
+    all_match = all_match && match;
+    rounds_collapse = rounds_collapse && bat.messages * 10 <= seq.messages;
+    const double speedup = bat.ms > 0.0 ? seq.ms / bat.ms : 0.0;
+
+    print_row(name, {"sequential", fmt(seq.ms, 1),
+                     fmt(1e3 * static_cast<double>(queries) / seq.ms, 1),
+                     std::to_string(seq.messages)});
+    print_row("", {"batched", fmt(bat.ms, 1),
+                   fmt(1e3 * static_cast<double>(queries) / bat.ms, 1),
+                   std::to_string(bat.messages)});
+    std::printf("%-22s speedup %.2fx, rounds %zu -> %zu, labels %s\n",
+                "", speedup, seq.messages, bat.messages,
+                match ? "MATCH" : "MISMATCH");
+
+    recorder.set_param("seq_" + name + "_ms", seq.ms);
+    recorder.set_param("batch_" + name + "_ms", bat.ms);
+    recorder.set_param("speedup_" + name, speedup);
+    recorder.set_param("seq_" + name + "_messages",
+                       static_cast<double>(seq.messages));
+    recorder.set_param("batch_" + name + "_messages",
+                       static_cast<double>(bat.messages));
+  }
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
+  if (!all_match) {
+    std::printf("FAIL: batched labels diverge from sequential\n");
+    return 1;
+  }
+  if (!rounds_collapse) {
+    std::printf("FAIL: batched mode did not cut the message count 10x\n");
+    return 1;
+  }
+  std::printf(
+      "PASS: batched == sequential on every transport, rounds collapsed\n");
+  return 0;
+}

@@ -503,12 +503,14 @@ BigInt BigInt::pow_mod(const BigInt& base, const BigInt& exp, const BigInt& m) {
     throw std::domain_error("pow_mod requires a non-negative exponent");
   }
   if (m == BigInt(1)) return BigInt(0);
-  obs::count(obs::Op::kBigIntModExp);
-  // Montgomery kernel for odd moduli when the exponent is long enough to
-  // amortize the context setup (one division for R^2 mod m).
-  if (m.is_odd() && exp.bit_length() > 4) {
-    return MontgomeryContext(m).pow(base, exp);
+  // Every odd modulus goes through the shared Montgomery kernel: the
+  // process-wide context cache amortizes the R^2 setup division, so there is
+  // no exponent size below which the plain ladder wins.  The kernel meters
+  // kBigIntModExp (and kBigIntModMul per REDC) itself.
+  if (m.is_odd()) {
+    return MontgomeryContext::shared(m)->pow(base, exp);
   }
+  obs::count(obs::Op::kBigIntModExp);
   BigInt result(1);
   BigInt b = base.mod(m);
   const std::size_t nbits = exp.bit_length();

@@ -1,10 +1,32 @@
 #include "bigint/montgomery.h"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/trace.h"
 
 namespace pcl {
+namespace {
+
+// Window width for fixed-window exponentiation: balances the 2^(w-1) table
+// build against bits/w window multiplications (standard break-even points).
+std::size_t window_bits_for(std::size_t exp_bits) {
+  if (exp_bits <= 6) return 1;
+  if (exp_bits <= 24) return 2;
+  if (exp_bits <= 80) return 3;
+  if (exp_bits <= 240) return 4;
+  if (exp_bits <= 768) return 5;
+  return 6;
+}
+
+// Bound on the shared-context cache.  Key generation runs Miller–Rabin with
+// a fresh candidate modulus per trial, which would otherwise grow the map
+// without limit; steady-state protocol traffic uses a handful of moduli.
+constexpr std::size_t kSharedCacheMaxEntries = 256;
+
+}  // namespace
 
 MontgomeryContext::MontgomeryContext(BigInt modulus)
     : modulus_(std::move(modulus)) {
@@ -12,12 +34,12 @@ MontgomeryContext::MontgomeryContext(BigInt modulus)
     throw std::invalid_argument(
         "MontgomeryContext requires an odd modulus > 1");
   }
-  const std::vector<std::uint32_t> limbs = modulus_.to_limbs();
-  limb_count_ = limbs.size();
+  modulus_limbs_ = modulus_.to_limbs();
+  limb_count_ = modulus_limbs_.size();
 
   // n' = -m^{-1} mod 2^32 via Newton iteration on the low limb (valid for
   // odd m: each step doubles the number of correct low bits).
-  const std::uint32_t m0 = limbs[0];
+  const std::uint32_t m0 = modulus_limbs_[0];
   std::uint32_t inv = 1;
   for (int i = 0; i < 5; ++i) {
     inv *= 2u - m0 * inv;
@@ -30,9 +52,25 @@ MontgomeryContext::MontgomeryContext(BigInt modulus)
   r2_mod_ = (r_mod_ * r_mod_).mod(modulus_);
 }
 
+std::shared_ptr<const MontgomeryContext> MontgomeryContext::shared(
+    const BigInt& modulus) {
+  using Cache = std::map<BigInt, std::shared_ptr<const MontgomeryContext>>;
+  // Leaked singletons: lane workers may still resolve contexts while other
+  // threads unwind at process exit, so never run these destructors.
+  static std::mutex* mutex = new std::mutex;
+  static Cache* cache = new Cache;
+  std::lock_guard<std::mutex> lock(*mutex);
+  const auto it = cache->find(modulus);
+  if (it != cache->end()) return it->second;
+  auto context = std::make_shared<const MontgomeryContext>(modulus);
+  if (cache->size() >= kSharedCacheMaxEntries) cache->clear();
+  cache->emplace(modulus, context);
+  return context;
+}
+
 BigInt MontgomeryContext::redc(std::vector<std::uint32_t> t) const {
   obs::count(obs::Op::kBigIntModMul);
-  const std::vector<std::uint32_t> m = modulus_.to_limbs();
+  const std::vector<std::uint32_t>& m = modulus_limbs_;
   const std::size_t k = limb_count_;
   t.resize(2 * k + 1, 0);
   for (std::size_t i = 0; i < k; ++i) {
@@ -78,12 +116,34 @@ BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
   if (exp.is_negative()) {
     throw std::invalid_argument("MontgomeryContext::pow: negative exponent");
   }
-  BigInt result = r_mod_;  // 1 in Montgomery form
-  BigInt acc = to_mont(base);
+  obs::count(obs::Op::kBigIntModExp);
   const std::size_t bits = exp.bit_length();
-  for (std::size_t i = 0; i < bits; ++i) {
-    if (exp.bit(i)) result = mul(result, acc);
-    acc = mul(acc, acc);
+  if (bits == 0) return from_mont(r_mod_);  // base^0 = 1 mod m
+
+  const std::size_t w = window_bits_for(bits);
+  // table[v] = base^v in Montgomery form, v in [0, 2^w).
+  std::vector<BigInt> table(static_cast<std::size_t>(1) << w);
+  table[0] = r_mod_;
+  table[1] = to_mont(base);
+  for (std::size_t v = 2; v < table.size(); ++v) {
+    table[v] = mul(table[v - 1], table[1]);
+  }
+
+  const std::size_t windows = (bits + w - 1) / w;
+  const auto window_value = [&](std::size_t wi) {
+    std::size_t v = 0;
+    for (std::size_t j = w; j-- > 0;) {
+      const std::size_t bit = wi * w + j;
+      v = (v << 1) | (bit < bits && exp.bit(bit) ? 1u : 0u);
+    }
+    return v;
+  };
+
+  BigInt result = table[window_value(windows - 1)];
+  for (std::size_t wi = windows - 1; wi-- > 0;) {
+    for (std::size_t j = 0; j < w; ++j) result = mul(result, result);
+    const std::size_t v = window_value(wi);
+    if (v != 0) result = mul(result, table[v]);
   }
   return from_mont(result);
 }

@@ -4,12 +4,17 @@
 // encryption, zero-test and Paillier operation is a pow_mod).  A
 // MontgomeryContext precomputes the Montgomery constants for an odd modulus
 // and performs multiplication with cheap word-wise reductions instead of a
-// full Knuth division per product.  BigInt::pow_mod routes through this
-// automatically for odd moduli (all moduli in this codebase — n, n², p —
-// are odd); bench_micro_crypto quantifies the gain.
+// full Knuth division per product.  Exponentiation uses fixed-window (2^w)
+// evaluation, and `MontgomeryContext::shared` memoizes contexts in a
+// process-wide cache keyed by modulus: the protocol hits the same four
+// moduli (n, n², DGK n, p) millions of times, so the R² setup division is
+// paid once per modulus instead of once per pow_mod.  BigInt::pow_mod
+// routes every odd-modulus call through this automatically;
+// bench_micro_crypto quantifies the gain.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bigint/bigint.h"
@@ -21,6 +26,16 @@ class MontgomeryContext {
   /// Requires an odd modulus > 1; throws std::invalid_argument otherwise.
   explicit MontgomeryContext(BigInt modulus);
 
+  /// Process-wide memoized context for `modulus` (mutex-guarded; safe to
+  /// call from concurrent lane workers).  Returns the same context for
+  /// repeated lookups of the same modulus, so the Montgomery constants are
+  /// computed once per modulus per process.  The cache is bounded: when it
+  /// exceeds a fixed entry count (churn from per-candidate Miller–Rabin
+  /// moduli during key generation) it is cleared; live shared_ptr holders
+  /// keep their contexts valid across a clear.
+  [[nodiscard]] static std::shared_ptr<const MontgomeryContext> shared(
+      const BigInt& modulus);
+
   [[nodiscard]] const BigInt& modulus() const { return modulus_; }
 
   /// Montgomery form: x * R mod m, with R = 2^(32 * limbs(m)).
@@ -31,6 +46,11 @@ class MontgomeryContext {
   [[nodiscard]] BigInt mul(const BigInt& a_mont, const BigInt& b_mont) const;
 
   /// (base^exp) mod m for non-negative exp; base is in ordinary form.
+  /// Fixed-window evaluation: the window width grows with the exponent
+  /// length, trading 2^(w-1) precomputed odd powers for bits/w fewer
+  /// multiplications.  Counts obs::Op::kBigIntModExp (one per call) so
+  /// callers holding a context directly are metered identically to
+  /// BigInt::pow_mod.
   [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
 
  private:
@@ -38,6 +58,7 @@ class MontgomeryContext {
   [[nodiscard]] BigInt redc(std::vector<std::uint32_t> t) const;
 
   BigInt modulus_;
+  std::vector<std::uint32_t> modulus_limbs_;  // cached for redc
   std::size_t limb_count_ = 0;
   std::uint32_t n_prime_ = 0;  // -m^{-1} mod 2^32
   BigInt r_mod_;               // R mod m      (Montgomery form of 1)

@@ -4,10 +4,22 @@
 #include <utility>
 #include <vector>
 
+#include "bigint/montgomery.h"
 #include "bigint/primes.h"
 #include "obs/trace.h"
 
 namespace pcl {
+namespace {
+
+// Exponentiation through a key-attached context (skips the shared-cache
+// lookup); falls back to pow_mod for keys without one.
+BigInt ctx_pow(const std::shared_ptr<const MontgomeryContext>& ctx,
+               const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (ctx) return ctx->pow(base, exp);
+  return BigInt::pow_mod(base, exp, m);
+}
+
+}  // namespace
 
 DgkPublicKey::DgkPublicKey(BigInt n, BigInt g, BigInt h, BigInt u,
                            std::size_t v_bits)
@@ -16,7 +28,11 @@ DgkPublicKey::DgkPublicKey(BigInt n, BigInt g, BigInt h, BigInt u,
       h_(std::move(h)),
       u_(std::move(u)),
       v_bits_(v_bits),
-      randomizer_bits_(2 * v_bits + 32) {}
+      randomizer_bits_(2 * v_bits + 32) {
+  if (n_ > BigInt(1) && n_.is_odd()) {
+    mont_n_ = MontgomeryContext::shared(n_);
+  }
+}
 
 DgkCiphertext DgkPublicKey::encrypt(const BigInt& m, Rng& rng) const {
   if (m.is_negative() || m >= u_) {
@@ -24,8 +40,8 @@ DgkCiphertext DgkPublicKey::encrypt(const BigInt& m, Rng& rng) const {
   }
   obs::count(obs::Op::kDgkEncrypt);
   const BigInt r = rng.random_bits(randomizer_bits_);
-  const BigInt gm = BigInt::pow_mod(g_, m, n_);
-  const BigInt hr = BigInt::pow_mod(h_, r, n_);
+  const BigInt gm = ctx_pow(mont_n_, g_, m, n_);
+  const BigInt hr = ctx_pow(mont_n_, h_, r, n_);
   return {(gm * hr).mod(n_)};
 }
 
@@ -40,7 +56,7 @@ DgkCiphertext DgkPublicKey::add(const DgkCiphertext& c1,
 
 DgkCiphertext DgkPublicKey::scalar_mul(const DgkCiphertext& c,
                                        const BigInt& a) const {
-  return {BigInt::pow_mod(c.value, a.mod(u_), n_)};
+  return {ctx_pow(mont_n_, c.value, a.mod(u_), n_)};
 }
 
 DgkCiphertext DgkPublicKey::negate(const DgkCiphertext& c) const {
@@ -58,12 +74,17 @@ DgkCiphertext DgkPublicKey::blind_multiplicative(const DgkCiphertext& c,
 DgkCiphertext DgkPublicKey::rerandomize(const DgkCiphertext& c,
                                         Rng& rng) const {
   const BigInt r = rng.random_bits(randomizer_bits_);
-  const BigInt hr = BigInt::pow_mod(h_, r, n_);
+  const BigInt hr = ctx_pow(mont_n_, h_, r, n_);
   return {(c.value * hr).mod(n_)};
 }
 
 DgkPrivateKey::DgkPrivateKey(DgkPublicKey pk, BigInt p, BigInt vp)
     : pk_(std::move(pk)), p_(std::move(p)), vp_(std::move(vp)) {
+  // Parity is structural (every DGK prime is odd), not a data-dependent
+  // secret branch.  ct-ok: one-time key-construction shape check.
+  if (p_ > BigInt(1) && p_.is_odd()) {
+    mont_p_ = MontgomeryContext::shared(p_);
+  }
   gvp_ = BigInt::pow_mod(pk_.g().mod(p_), vp_, p_);
   const std::uint64_t u = pk_.u_value();
   dlog_table_.reserve(u);
@@ -78,6 +99,7 @@ void DgkPrivateKey::zeroize() {
   p_.zeroize();
   vp_.zeroize();
   gvp_.zeroize();
+  mont_p_.reset();
   // The table's keys are powers of the secret subgroup generator; clearing
   // releases them without a byte-level wipe (std::string storage cannot be
   // scrubbed in place through the map's const keys).
@@ -90,11 +112,11 @@ bool DgkPrivateKey::is_zero(const DgkCiphertext& c) const {
   // 1 iff m == 0 (mod u).
   // The zero-test bit IS the protocol's defined output for S2 (the released
   // comparison result); modexp timing depends only on public sizes.  ct-ok
-  return BigInt::pow_mod(c.value.mod(p_), vp_, p_) == BigInt(1);
+  return ctx_pow(mont_p_, c.value.mod(p_), vp_, p_) == BigInt(1);
 }
 
 std::uint64_t DgkPrivateKey::decrypt(const DgkCiphertext& c) const {
-  const BigInt target = BigInt::pow_mod(c.value.mod(p_), vp_, p_);
+  const BigInt target = ctx_pow(mont_p_, c.value.mod(p_), vp_, p_);
   const auto it = dlog_table_.find(target.to_string(16));
   if (it == dlog_table_.end()) {
     throw std::invalid_argument("DGK decryption failed (invalid ciphertext)");

@@ -14,12 +14,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "bigint/bigint.h"
 #include "bigint/rng.h"
 
 namespace pcl {
+
+class MontgomeryContext;
 
 struct DgkCiphertext {
   BigInt value;
@@ -67,10 +70,19 @@ class DgkPublicKey {
   [[nodiscard]] DgkCiphertext rerandomize(const DgkCiphertext& c,
                                           Rng& rng) const;
 
+  /// Key-attached Montgomery context for n — encrypt/scalar_mul/rerandomize
+  /// exponentiate through this and skip the shared-cache lookup.  Null for a
+  /// default-constructed key.
+  [[nodiscard]] const std::shared_ptr<const MontgomeryContext>& mont_n()
+      const {
+    return mont_n_;
+  }
+
  private:
   BigInt n_, g_, h_, u_;
   std::size_t v_bits_ = 0;
   std::size_t randomizer_bits_ = 0;
+  std::shared_ptr<const MontgomeryContext> mont_n_;
 };
 
 class DgkPrivateKey {
@@ -99,6 +111,9 @@ class DgkPrivateKey {
   DgkPublicKey pk_;
   BigInt p_, vp_;
   BigInt gvp_;  // g^vp mod p, a generator of the order-u subgroup
+  // Key-attached context for p (dropped by zeroize; the process-wide
+  // Montgomery cache may retain its own entry, see DESIGN §10).
+  std::shared_ptr<const MontgomeryContext> mont_p_;
   // Discrete-log table over the (tiny) order-u subgroup: gvp_^m -> m.
   std::unordered_map<std::string, std::uint64_t> dlog_table_;
 };

@@ -40,7 +40,7 @@ PaillierRandomizerPool::PaillierRandomizerPool(const PaillierPublicKey& pk,
                                                std::size_t capacity,
                                                std::size_t threads,
                                                std::uint64_t seed)
-    : pk_(pk), randomizer_powers_(capacity) {
+    : pk_(pk), seed_(seed), randomizer_powers_(capacity) {
   parallel_chunks(capacity, threads,
                   [&](std::size_t t, std::size_t begin, std::size_t end) {
                     DeterministicRng rng(seed ^ (0x9e3779b97f4a7c15ull * (t + 1)));
@@ -48,6 +48,30 @@ PaillierRandomizerPool::PaillierRandomizerPool(const PaillierPublicKey& pk,
                       randomizer_powers_[i] = make_randomizer_power(pk_, rng);
                     }
                   });
+}
+
+void PaillierRandomizerPool::refill(std::size_t count, std::size_t threads) {
+  std::uint64_t generation = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    generation = ++generation_;
+  }
+  // Generate outside the lock so concurrent draws keep flowing; each refill
+  // generation salts the worker seeds so streams never repeat the
+  // construction batch or earlier refills.
+  std::vector<BigInt> fresh(count);
+  parallel_chunks(
+      count, threads, [&](std::size_t t, std::size_t begin, std::size_t end) {
+        DeterministicRng rng(seed_ ^ (0x9e3779b97f4a7c15ull * (t + 1)) ^
+                             (0x94d049bb133111ebull * generation));
+        for (std::size_t i = begin; i < end; ++i) {
+          fresh[i] = make_randomizer_power(pk_, rng);
+        }
+      });
+  const std::lock_guard<std::mutex> lock(mutex_);
+  randomizer_powers_.insert(randomizer_powers_.end(),
+                            std::make_move_iterator(fresh.begin()),
+                            std::make_move_iterator(fresh.end()));
 }
 
 std::size_t PaillierRandomizerPool::remaining() const {

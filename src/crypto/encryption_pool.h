@@ -26,7 +26,9 @@
 
 namespace pcl {
 
-/// Thread-safe FIFO of pre-computed Paillier randomizer powers r^n mod n^2.
+/// Thread-safe LIFO stack of pre-computed Paillier randomizer powers
+/// r^n mod n^2: draws consume from the back (most recently generated
+/// first), so consumption order is stack order, not insertion order.
 class PaillierRandomizerPool {
  public:
   /// Pre-computes `capacity` randomizers using `threads` workers, each with
@@ -36,6 +38,13 @@ class PaillierRandomizerPool {
 
   /// Number of unused randomizers left.
   [[nodiscard]] std::size_t remaining() const;
+
+  /// Tops the pool up with `count` freshly generated randomizer powers
+  /// using `threads` workers.  Each refill derives new worker RNG streams
+  /// (generation-salted from the construction seed), so refilled powers
+  /// never repeat earlier ones.  Long batched runs call this instead of
+  /// hard-throwing on exhaustion.
+  void refill(std::size_t count, std::size_t threads);
 
   /// Encrypts using one pooled randomizer (one modular multiplication).
   /// Throws std::runtime_error when the pool is exhausted.
@@ -47,6 +56,8 @@ class PaillierRandomizerPool {
 
  private:
   const PaillierPublicKey pk_;
+  const std::uint64_t seed_;
+  std::uint64_t generation_ = 0;  // bumped per refill for fresh RNG streams
   mutable std::mutex mutex_;
   std::vector<BigInt> randomizer_powers_;  // r^n mod n^2, consumed from back
 };

@@ -3,15 +3,31 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bigint/montgomery.h"
 #include "bigint/primes.h"
 #include "obs/trace.h"
 
 namespace pcl {
+namespace {
+
+// Exponentiation through a key-attached context (skips the shared-cache
+// lookup); falls back to pow_mod for keys without one (default-constructed,
+// or an even modulus in a toy test).
+BigInt ctx_pow(const std::shared_ptr<const MontgomeryContext>& ctx,
+               const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (ctx) return ctx->pow(base, exp);
+  return BigInt::pow_mod(base, exp, m);
+}
+
+}  // namespace
 
 PaillierPublicKey::PaillierPublicKey(BigInt n)
     : n_(std::move(n)), n_squared_(n_ * n_) {
   if (n_ < BigInt(4)) {
     throw std::invalid_argument("Paillier modulus too small");
+  }
+  if (n_squared_.is_odd()) {
+    mont_n_squared_ = MontgomeryContext::shared(n_squared_);
   }
 }
 
@@ -21,7 +37,7 @@ PaillierCiphertext PaillierPublicKey::encrypt_with_randomness(
   const BigInt m_mod = m.mod(n_);
   // With g = n + 1: g^m = 1 + m*n (mod n^2), avoiding one exponentiation.
   const BigInt g_to_m = (BigInt(1) + m_mod * n_).mod(n_squared_);
-  const BigInt r_to_n = BigInt::pow_mod(r, n_, n_squared_);
+  const BigInt r_to_n = ctx_pow(mont_n_squared_, r, n_, n_squared_);
   return {(g_to_m * r_to_n).mod(n_squared_)};
 }
 
@@ -43,7 +59,7 @@ PaillierCiphertext PaillierPublicKey::add(const PaillierCiphertext& c1,
 PaillierCiphertext PaillierPublicKey::scalar_mul(const PaillierCiphertext& c,
                                                  const BigInt& a) const {
   obs::count(obs::Op::kPaillierScalarMul);
-  return {BigInt::pow_mod(c.value, a.mod(n_), n_squared_)};
+  return {ctx_pow(mont_n_squared_, c.value, a.mod(n_), n_squared_)};
 }
 
 PaillierCiphertext PaillierPublicKey::negate(const PaillierCiphertext& c) const {
@@ -75,6 +91,12 @@ PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pk, BigInt p,
   lambda_ = BigInt::lcm(p_ - BigInt(1), q_ - BigInt(1));
   mu_ = BigInt::invert_mod(lambda_, pk_.n());
   q_sq_inv_p_ = BigInt::invert_mod(q_squared_, p_squared_);
+  if (p_squared_.is_odd()) {
+    mont_p_squared_ = MontgomeryContext::shared(p_squared_);
+  }
+  if (q_squared_.is_odd()) {
+    mont_q_squared_ = MontgomeryContext::shared(q_squared_);
+  }
 }
 
 void PaillierPrivateKey::zeroize() {
@@ -85,6 +107,8 @@ void PaillierPrivateKey::zeroize() {
   lambda_.zeroize();
   mu_.zeroize();
   q_sq_inv_p_.zeroize();
+  mont_p_squared_.reset();
+  mont_q_squared_.reset();
 }
 
 namespace {
@@ -96,10 +120,10 @@ BigInt l_function(const BigInt& x, const BigInt& n) {
 
 BigInt PaillierPrivateKey::decrypt_crt(const PaillierCiphertext& c) const {
   // c^lambda mod n^2 via CRT over p^2 and q^2.
-  const BigInt cp = BigInt::pow_mod(c.value.mod(p_squared_), lambda_,
-                                    p_squared_);
-  const BigInt cq = BigInt::pow_mod(c.value.mod(q_squared_), lambda_,
-                                    q_squared_);
+  const BigInt cp = ctx_pow(mont_p_squared_, c.value.mod(p_squared_), lambda_,
+                            p_squared_);
+  const BigInt cq = ctx_pow(mont_q_squared_, c.value.mod(q_squared_), lambda_,
+                            q_squared_);
   // Garner recombination: x = cq + q^2 * ((cp - cq) * inv(q^2) mod p^2).
   const BigInt diff = (cp - cq).mod(p_squared_);
   return cq + q_squared_ * ((diff * q_sq_inv_p_).mod(p_squared_));

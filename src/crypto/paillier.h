@@ -13,12 +13,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "bigint/bigint.h"
 #include "bigint/rng.h"
 
 namespace pcl {
+
+class MontgomeryContext;
 
 /// A Paillier ciphertext: an element of Z_{n^2}^*.  Value type; the modulus
 /// is carried by the key, not the ciphertext.
@@ -60,12 +63,25 @@ class PaillierPublicKey {
   /// Signed residue decoding helper: maps x in [0, n) to (-n/2, n/2].
   [[nodiscard]] BigInt decode_signed(const BigInt& residue) const;
 
-  friend bool operator==(const PaillierPublicKey&,
-                         const PaillierPublicKey&) = default;
+  /// Key-attached Montgomery context for n² — hot paths (encrypt,
+  /// scalar_mul, pooled randomizers) exponentiate through this and skip the
+  /// shared-cache lookup entirely.  Null for a default-constructed key.
+  [[nodiscard]] const std::shared_ptr<const MontgomeryContext>&
+  mont_n_squared() const {
+    return mont_n_squared_;
+  }
+
+  // Key identity is the modulus; the attached context is derived state
+  // (pointer identity may differ across cache generations).
+  friend bool operator==(const PaillierPublicKey& a,
+                         const PaillierPublicKey& b) {
+    return a.n_ == b.n_;
+  }
 
  private:
   BigInt n_;
   BigInt n_squared_;
+  std::shared_ptr<const MontgomeryContext> mont_n_squared_;
 };
 
 class PaillierPrivateKey {
@@ -98,6 +114,10 @@ class PaillierPrivateKey {
   BigInt lambda_;      // lcm(p-1, q-1)
   BigInt mu_;          // lambda^{-1} mod n
   BigInt q_sq_inv_p_;  // q^2 inverse mod p^2 (CRT recombination)
+  // Key-attached contexts for the CRT moduli (dropped by zeroize; note the
+  // process-wide Montgomery cache may retain its own entry, see DESIGN §10).
+  std::shared_ptr<const MontgomeryContext> mont_p_squared_;
+  std::shared_ptr<const MontgomeryContext> mont_q_squared_;
 };
 
 struct PaillierKeyPair {

@@ -55,90 +55,103 @@ BlindPermuteS1::BlindPermuteS1(const PaillierKeyPair& own,
 std::vector<std::int64_t> BlindPermuteS1::run(
     Channel& chan, const std::vector<PaillierCiphertext>& holds,
     BlindPermuteMaskMode mode) {
+  chan.send("S2", round_open(holds, mode));
+  MessageReader permuted = chan.recv("S2");
+  std::vector<std::int64_t> out_seq;
+  chan.send("S2", round_permute(permuted, out_seq));
+  MessageReader blinded = chan.recv("S2");
+  chan.send("S2", round_close(blinded));
+  return out_seq;
+}
+
+MessageWriter BlindPermuteS1::round_open(
+    const std::vector<PaillierCiphertext>& holds, BlindPermuteMaskMode mode) {
   if (holds.size() != k_) {
     throw std::invalid_argument("BlindPermute: sequence length mismatch");
   }
   obs::count(obs::Op::kBlindPermuteRound);
-  // Masks are drawn fresh per run; the permutation persists for the session.
-  const std::vector<std::int64_t> r1 =
-      random_mask_vector(k_, mask_bits_, rng_);
+  // Masks are drawn fresh per round; the permutation persists for the
+  // session.
+  mode_ = mode;
+  round_r1_ = random_mask_vector(k_, mask_bits_, rng_);
 
-  // -- Step 1: send E_pk2[a + r1]. -------------------------------------------
-  {
-    const auto masked = add_plain_vector(peer_pk_, holds, r1, rng_);
-    MessageWriter msg;
-    write_ciphertext_vector(msg, masked);
-    chan.send("S2", std::move(msg));
-  }
+  // -- Step 1: E_pk2[a + r1]. ------------------------------------------------
+  MessageWriter msg;
+  write_ciphertext_vector(msg, add_plain_vector(peer_pk_, holds, round_r1_,
+                                                rng_));
+  return msg;
+}
 
-  // -- Step 3: permute with pi1 -> pi(a + r); send E_pk1[±r1]. ---------------
-  std::vector<std::int64_t> out_seq;
-  {
-    MessageReader msg = chan.recv("S2");
-    out_seq = pi_.apply(msg.read_i64_vector());
-    const std::vector<std::int64_t> signed_r1 =
-        mode == BlindPermuteMaskMode::kOppositeSign ? negated(r1) : r1;
-    MessageWriter mask_msg;
-    write_ciphertext_vector(mask_msg,
-                            encrypt_vector(own_.pk, signed_r1, rng_));
-    chan.send("S2", std::move(mask_msg));
-  }
+MessageWriter BlindPermuteS1::round_permute(MessageReader& msg,
+                                            std::vector<std::int64_t>& out_seq) {
+  // -- Step 3: permute with pi1 -> pi(a + r); reply E_pk1[±r1]. --------------
+  out_seq = pi_.apply(msg.read_i64_vector());
+  const std::vector<std::int64_t> signed_r1 =
+      mode_ == BlindPermuteMaskMode::kOppositeSign ? negated(round_r1_)
+                                                   : round_r1_;
+  MessageWriter mask_msg;
+  write_ciphertext_vector(mask_msg, encrypt_vector(own_.pk, signed_r1, rng_));
+  return mask_msg;
+}
 
+MessageWriter BlindPermuteS1::round_close(MessageReader& msg) {
   // -- Step 5: decrypt, re-encrypt under pk2, strip r3, permute. -------------
-  {
-    MessageReader msg = chan.recv("S2");
-    const std::vector<std::int64_t> blinded =
-        decrypt_vector(own_.sk, read_ciphertext_vector(msg));
-    const std::vector<PaillierCiphertext> enc_neg_r3 =
-        read_ciphertext_vector(msg);
-    std::vector<PaillierCiphertext> reenc =
-        encrypt_vector(peer_pk_, blinded, rng_);
-    reenc = add_vectors(peer_pk_, reenc, enc_neg_r3);
-    reenc = pi_.apply(reenc);
-    MessageWriter reply;
-    write_ciphertext_vector(reply, reenc);
-    chan.send("S2", std::move(reply));
-  }
-  return out_seq;
+  const std::vector<std::int64_t> blinded =
+      decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+  const std::vector<PaillierCiphertext> enc_neg_r3 =
+      read_ciphertext_vector(msg);
+  std::vector<PaillierCiphertext> reenc =
+      encrypt_vector(peer_pk_, blinded, rng_);
+  reenc = add_vectors(peer_pk_, reenc, enc_neg_r3);
+  reenc = pi_.apply(reenc);
+  MessageWriter reply;
+  write_ciphertext_vector(reply, reenc);
+  return reply;
 }
 
 std::size_t BlindPermuteS1::restore(Channel& chan) {
+  MessageReader onehot = chan.recv("S2");
+  chan.send("S2", restore_mask(onehot));
+  MessageReader masked = chan.recv("S2");
+  chan.send("S2", restore_strip(masked));
+  MessageReader sealed = chan.recv("S2");
+  chan.send("S2", restore_decrypt(sealed));
+  MessageReader revealed = chan.recv("S2");
+  return restore_index(revealed);
+}
+
+MessageWriter BlindPermuteS1::restore_mask(MessageReader& msg) {
   obs::count(obs::Op::kRestorationReveal);
   // -- Step 2: undo pi1, add mask r1. ----------------------------------------
-  std::vector<std::int64_t> r1;  // S1's secret
-  {
-    MessageReader msg = chan.recv("S2");
-    std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
-    seq = pi_.apply_inverse(seq);
-    r1 = random_mask_vector(k_, mask_bits_, rng_);
-    seq = add_plain_vector(peer_pk_, seq, r1, rng_);
-    MessageWriter reply;
-    write_ciphertext_vector(reply, seq);
-    chan.send("S2", std::move(reply));
-  }
+  std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
+  seq = pi_.apply_inverse(seq);
+  restore_r1_ = random_mask_vector(k_, mask_bits_, rng_);
+  seq = add_plain_vector(peer_pk_, seq, restore_r1_, rng_);
+  MessageWriter reply;
+  write_ciphertext_vector(reply, seq);
+  return reply;
+}
 
+MessageWriter BlindPermuteS1::restore_strip(MessageReader& msg) {
   // -- Step 4: strip r1, re-encrypt under pk1. -------------------------------
-  {
-    MessageReader msg = chan.recv("S2");
-    std::vector<std::int64_t> seq = msg.read_i64_vector();
-    for (std::size_t i = 0; i < k_; ++i) seq[i] -= r1[i];
-    MessageWriter reply;
-    write_ciphertext_vector(reply, encrypt_vector(own_.pk, seq, rng_));
-    chan.send("S2", std::move(reply));
-  }
+  std::vector<std::int64_t> seq = msg.read_i64_vector();
+  for (std::size_t i = 0; i < k_; ++i) seq[i] -= restore_r1_[i];
+  MessageWriter reply;
+  write_ciphertext_vector(reply, encrypt_vector(own_.pk, seq, rng_));
+  return reply;
+}
 
+MessageWriter BlindPermuteS1::restore_decrypt(MessageReader& msg) {
   // -- Step 6: decrypt and return the masked one-hot. ------------------------
-  {
-    MessageReader msg = chan.recv("S2");
-    const std::vector<std::int64_t> masked =
-        decrypt_vector(own_.sk, read_ciphertext_vector(msg));
-    MessageWriter reply;
-    reply.write_i64_vector(masked);
-    chan.send("S2", std::move(reply));
-  }
+  const std::vector<std::int64_t> masked =
+      decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+  MessageWriter reply;
+  reply.write_i64_vector(masked);
+  return reply;
+}
 
+std::size_t BlindPermuteS1::restore_index(MessageReader& msg) {
   // -- Step 7 (S2 side) reveals the original index. --------------------------
-  MessageReader msg = chan.recv("S2");
   return msg.read_u64();
 }
 
@@ -158,95 +171,112 @@ std::vector<std::int64_t> BlindPermuteS2::run(
   if (holds.size() != k_) {
     throw std::invalid_argument("BlindPermute: sequence length mismatch");
   }
-  std::vector<std::int64_t> r2;  // S2's secret, drawn in step 2
+  MessageReader masked = chan.recv("S1");
+  chan.send("S1", round_permute(masked));
+  MessageReader enc_mask = chan.recv("S1");
+  chan.send("S1", round_blind(enc_mask, holds, mode));
+  MessageReader sealed = chan.recv("S1");
+  return round_output(sealed);
+}
 
+MessageWriter BlindPermuteS2::round_permute(MessageReader& msg) {
   // -- Step 2: decrypt, add r2, permute with pi2, return plaintext. ----------
-  {
-    MessageReader msg = chan.recv("S1");
-    std::vector<std::int64_t> seq =
-        decrypt_vector(own_.sk, read_ciphertext_vector(msg));
-    r2 = random_mask_vector(k_, mask_bits_, rng_);
-    for (std::size_t i = 0; i < k_; ++i) seq[i] += r2[i];
-    const std::vector<std::int64_t> permuted = pi_.apply(seq);
-    MessageWriter reply;
-    reply.write_i64_vector(permuted);
-    chan.send("S1", std::move(reply));
-  }
+  std::vector<std::int64_t> seq =
+      decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+  round_r2_ = random_mask_vector(k_, mask_bits_, rng_);
+  for (std::size_t i = 0; i < k_; ++i) seq[i] += round_r2_[i];
+  const std::vector<std::int64_t> permuted = pi_.apply(seq);
+  MessageWriter reply;
+  reply.write_i64_vector(permuted);
+  return reply;
+}
 
+MessageWriter BlindPermuteS2::round_blind(
+    MessageReader& msg, const std::vector<PaillierCiphertext>& holds,
+    BlindPermuteMaskMode mode) {
+  if (holds.size() != k_) {
+    throw std::invalid_argument("BlindPermute: sequence length mismatch");
+  }
   // -- Step 4: E_pk1[b ± r1 ± r2], permute by pi2, blind with r3. ------------
-  {
-    MessageReader msg = chan.recv("S1");
-    const std::vector<PaillierCiphertext> enc_r1 = read_ciphertext_vector(msg);
-    std::vector<PaillierCiphertext> seq = add_vectors(peer_pk_, holds, enc_r1);
-    const std::vector<std::int64_t> signed_r2 =
-        mode == BlindPermuteMaskMode::kOppositeSign ? negated(r2) : r2;
-    seq = add_plain_vector(peer_pk_, seq, signed_r2, rng_);
-    seq = pi_.apply(seq);
-    const std::vector<std::int64_t> r3 =
-        random_mask_vector(k_, mask_bits_, rng_);
-    seq = add_plain_vector(peer_pk_, seq, r3, rng_);
-    MessageWriter reply;
-    write_ciphertext_vector(reply, seq);
-    write_ciphertext_vector(reply, encrypt_vector(own_.pk, negated(r3), rng_));
-    chan.send("S1", std::move(reply));
-  }
+  const std::vector<PaillierCiphertext> enc_r1 = read_ciphertext_vector(msg);
+  std::vector<PaillierCiphertext> seq = add_vectors(peer_pk_, holds, enc_r1);
+  const std::vector<std::int64_t> signed_r2 =
+      mode == BlindPermuteMaskMode::kOppositeSign ? negated(round_r2_)
+                                                  : round_r2_;
+  seq = add_plain_vector(peer_pk_, seq, signed_r2, rng_);
+  seq = pi_.apply(seq);
+  const std::vector<std::int64_t> r3 =
+      random_mask_vector(k_, mask_bits_, rng_);
+  seq = add_plain_vector(peer_pk_, seq, r3, rng_);
+  MessageWriter reply;
+  write_ciphertext_vector(reply, seq);
+  write_ciphertext_vector(reply, encrypt_vector(own_.pk, negated(r3), rng_));
+  return reply;
+}
 
+std::vector<std::int64_t> BlindPermuteS2::round_output(MessageReader& msg) {
   // -- Step 6: decrypt -> pi(b ± r). -----------------------------------------
-  MessageReader msg = chan.recv("S1");
   return decrypt_vector(own_.sk, read_ciphertext_vector(msg));
 }
 
 std::size_t BlindPermuteS2::restore(Channel& chan,
                                     std::size_t permuted_index) {
+  chan.send("S1", restore_open(permuted_index));
+  MessageReader masked = chan.recv("S1");
+  chan.send("S1", restore_reveal(masked));
+  MessageReader stripped = chan.recv("S1");
+  chan.send("S1", restore_unpermute(stripped));
+  MessageReader revealed = chan.recv("S1");
+  std::size_t index = k_;
+  chan.send("S1", restore_finish(revealed, index));
+  return index;
+}
+
+MessageWriter BlindPermuteS2::restore_open(std::size_t permuted_index) {
   if (permuted_index >= k_) {
     throw std::invalid_argument("restore: index out of range");
   }
-
   // -- Step 1: one-hot in permuted coordinates, encrypted under pk2. ---------
-  {
-    std::vector<std::int64_t> onehot(k_, 0);
-    onehot[permuted_index] = 1;
-    MessageWriter msg;
-    write_ciphertext_vector(msg, encrypt_vector(own_.pk, onehot, rng_));
-    chan.send("S1", std::move(msg));
-  }
+  std::vector<std::int64_t> onehot(k_, 0);
+  onehot[permuted_index] = 1;
+  MessageWriter msg;
+  write_ciphertext_vector(msg, encrypt_vector(own_.pk, onehot, rng_));
+  return msg;
+}
 
+MessageWriter BlindPermuteS2::restore_reveal(MessageReader& msg) {
   // -- Step 3: decrypt the masked vector, return it in plaintext. ------------
-  {
-    MessageReader msg = chan.recv("S1");
-    const std::vector<std::int64_t> masked =
-        decrypt_vector(own_.sk, read_ciphertext_vector(msg));
-    MessageWriter reply;
-    reply.write_i64_vector(masked);
-    chan.send("S1", std::move(reply));
-  }
+  const std::vector<std::int64_t> masked =
+      decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+  MessageWriter reply;
+  reply.write_i64_vector(masked);
+  return reply;
+}
 
+MessageWriter BlindPermuteS2::restore_unpermute(MessageReader& msg) {
   // -- Step 5: undo pi2, add mask r2. ----------------------------------------
-  std::vector<std::int64_t> r2;  // S2's secret
-  {
-    MessageReader msg = chan.recv("S1");
-    std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
-    seq = pi_.apply_inverse(seq);
-    r2 = random_mask_vector(k_, mask_bits_, rng_);
-    seq = add_plain_vector(peer_pk_, seq, r2, rng_);
-    MessageWriter reply;
-    write_ciphertext_vector(reply, seq);
-    chan.send("S1", std::move(reply));
-  }
+  std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
+  seq = pi_.apply_inverse(seq);
+  restore_r2_ = random_mask_vector(k_, mask_bits_, rng_);
+  seq = add_plain_vector(peer_pk_, seq, restore_r2_, rng_);
+  MessageWriter reply;
+  write_ciphertext_vector(reply, seq);
+  return reply;
+}
 
+MessageWriter BlindPermuteS2::restore_finish(MessageReader& msg,
+                                             std::size_t& index) {
   // -- Step 7: strip r2, locate the 1, broadcast the index. ------------------
-  std::size_t index = k_;
-  MessageReader msg = chan.recv("S1");
+  index = k_;
   std::vector<std::int64_t> onehot = msg.read_i64_vector();
   for (std::size_t i = 0; i < k_; ++i) {
-    onehot[i] -= r2[i];
+    onehot[i] -= restore_r2_[i];
     if (onehot[i] == 1) index = i;
   }
   if (index == k_) throw std::logic_error("restore: one-hot lost");
   MessageWriter reply;
   reply.write_u64(index);
-  chan.send("S1", std::move(reply));
-  return index;
+  return reply;
 }
 
 BlindPermuteSession::BlindPermuteSession(Network& net,

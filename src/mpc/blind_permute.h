@@ -66,6 +66,33 @@ class BlindPermuteS1 {
   /// Alg. 3, S1 side: learns the restored original index from S2.
   [[nodiscard]] std::size_t restore(Channel& chan);
 
+  // --- Message-slot halves (lane-batched execution) -------------------------
+  // run()/restore() are exactly these halves stitched to the channel in
+  // order; mpc/consensus_batch.cpp calls them per lane so one coalesced
+  // frame can carry every lane's payload for a slot.  Each half computes
+  // precisely what the sequential protocol exchanges at that boundary, so
+  // per-lane bytes and Rng draws match the sequential run bit for bit.
+
+  /// Slot 1 (S1 -> S2): draws this round's r1, returns E_pk2[a + r1].
+  [[nodiscard]] MessageWriter round_open(
+      const std::vector<PaillierCiphertext>& holds, BlindPermuteMaskMode mode);
+  /// Slot 3: absorbs S2's permuted plaintexts into `out_seq` = pi(a + r),
+  /// returns E_pk1[±r1].
+  [[nodiscard]] MessageWriter round_permute(MessageReader& msg,
+                                            std::vector<std::int64_t>& out_seq);
+  /// Slot 5: decrypts S2's blinded sequence, re-encrypts under pk2, strips
+  /// r3 and applies pi1; returns the result for S2 to decrypt.
+  [[nodiscard]] MessageWriter round_close(MessageReader& msg);
+
+  /// Restoration slot 2: undoes pi1 and masks with a fresh r1.
+  [[nodiscard]] MessageWriter restore_mask(MessageReader& msg);
+  /// Restoration slot 4: strips r1, re-encrypts under pk1.
+  [[nodiscard]] MessageWriter restore_strip(MessageReader& msg);
+  /// Restoration slot 6: decrypts and returns the masked one-hot.
+  [[nodiscard]] MessageWriter restore_decrypt(MessageReader& msg);
+  /// Restoration slot 7 (read side): the revealed original index.
+  [[nodiscard]] std::size_t restore_index(MessageReader& msg);
+
   [[nodiscard]] const Permutation& pi() const { return pi_; }
 
  private:
@@ -75,6 +102,9 @@ class BlindPermuteS1 {
   std::size_t mask_bits_;
   Rng& rng_;
   Permutation pi_;
+  BlindPermuteMaskMode mode_ = BlindPermuteMaskMode::kOppositeSign;
+  std::vector<std::int64_t> round_r1_;    // current Alg. 2 round's mask
+  std::vector<std::int64_t> restore_r1_;  // current Alg. 3 mask
 };
 
 /// S2's half of Alg. 2 / Alg. 3.  Draws and retains the private pi2.
@@ -93,6 +123,31 @@ class BlindPermuteS2 {
   /// broadcasts it (only that index is revealed to both servers).
   [[nodiscard]] std::size_t restore(Channel& chan, std::size_t permuted_index);
 
+  // --- Message-slot halves (lane-batched execution) -------------------------
+  // Mirror of BlindPermuteS1's halves; see the comment there.
+
+  /// Slot 2: decrypts S1's masked sequence, adds a fresh r2, permutes with
+  /// pi2, returns the plaintexts.
+  [[nodiscard]] MessageWriter round_permute(MessageReader& msg);
+  /// Slot 4: forms E_pk1[b ± r1 ± r2], permutes by pi2, blinds with r3;
+  /// returns [sequence, E_pk2[-r3]].
+  [[nodiscard]] MessageWriter round_blind(
+      MessageReader& msg, const std::vector<PaillierCiphertext>& holds,
+      BlindPermuteMaskMode mode);
+  /// Slot 6 (read side): decrypts to pi(b ± r).
+  [[nodiscard]] std::vector<std::int64_t> round_output(MessageReader& msg);
+
+  /// Restoration slot 1: the one-hot at `permuted_index`, under pk2.
+  [[nodiscard]] MessageWriter restore_open(std::size_t permuted_index);
+  /// Restoration slot 3: decrypts S1's masked vector, returns plaintexts.
+  [[nodiscard]] MessageWriter restore_reveal(MessageReader& msg);
+  /// Restoration slot 5: undoes pi2 and masks with a fresh r2.
+  [[nodiscard]] MessageWriter restore_unpermute(MessageReader& msg);
+  /// Restoration slot 7: strips r2, locates the 1; writes the index into
+  /// the returned broadcast message and stores it in `index`.
+  [[nodiscard]] MessageWriter restore_finish(MessageReader& msg,
+                                             std::size_t& index);
+
   [[nodiscard]] const Permutation& pi() const { return pi_; }
 
  private:
@@ -102,6 +157,8 @@ class BlindPermuteS2 {
   std::size_t mask_bits_;
   Rng& rng_;
   Permutation pi_;
+  std::vector<std::int64_t> round_r2_;    // current Alg. 2 round's mask
+  std::vector<std::int64_t> restore_r2_;  // current Alg. 3 mask
 };
 
 // --- Synchronous reference driver ------------------------------------------

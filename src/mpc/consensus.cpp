@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "crypto/fixed_point.h"
+#include "mpc/consensus_batch.h"
 #include "mpc/dgk_compare.h"
+#include "mpc/lane_pool.h"
 #include "net/party_runner.h"
 
 namespace pcl {
@@ -112,6 +114,118 @@ std::vector<ConsensusProtocol::QueryResult> ConsensusProtocol::run_batch(
   out.reserve(votes_per_instance.size());
   for (const auto& votes : votes_per_instance) {
     out.push_back(run_query(votes, rng));
+  }
+  return out;
+}
+
+std::vector<ConsensusProtocol::QueryResult> ConsensusProtocol::run_batch_seeded(
+    const std::vector<std::vector<std::vector<double>>>& votes_per_instance,
+    std::uint64_t base_seed, ConsensusTransport transport, BatchMode mode) {
+  std::vector<QueryResult> out;
+  out.reserve(votes_per_instance.size());
+  if (mode == BatchMode::kSequential) {
+    for (std::size_t q = 0; q < votes_per_instance.size(); ++q) {
+      out.push_back(run_query_seeded(votes_per_instance[q],
+                                     derive_party_seed(base_seed, q),
+                                     transport));
+    }
+    return out;
+  }
+  if (votes_per_instance.empty()) return out;
+
+  const std::size_t n_users = config_.num_users;
+  const std::size_t q_total = votes_per_instance.size();
+
+  // Lane q's plan, noise and seeds are EXACTLY those of a sequential
+  // run_query_seeded(votes[q], derive_party_seed(base_seed, q)) — the
+  // basis of mode equivalence (see mpc/consensus_batch.h).
+  std::vector<QueryPlan> plans;
+  std::vector<NoisePlan> noises;
+  std::vector<std::uint64_t> lane_seeds;
+  plans.reserve(q_total);
+  noises.reserve(q_total);
+  lane_seeds.reserve(q_total);
+  for (std::size_t q = 0; q < q_total; ++q) {
+    lane_seeds.push_back(derive_party_seed(base_seed, q));
+    plans.push_back(make_plan(votes_per_instance[q]));
+    DeterministicRng noise_rng(
+        derive_party_seed(lane_seeds[q], 2 + n_users));
+    noises.push_back(draw_noise(noise_rng));
+  }
+  const ConsensusQueryParams& params = plans.front().params;
+  const auto party_lane_seeds = [&](std::size_t party_index) {
+    std::vector<std::uint64_t> seeds(q_total);
+    for (std::size_t q = 0; q < q_total; ++q) {
+      seeds[q] = derive_party_seed(lane_seeds[q], party_index);
+    }
+    return seeds;
+  };
+
+  LanePool& pool = LanePool::shared();
+  ConsensusS1BatchProgram s1(params, paillier_.s1, paillier_.s2.pk, dgk_.pk,
+                             party_lane_seeds(0), &pool);
+  ConsensusS2BatchProgram s2(params, paillier_.s2, paillier_.s1.pk, dgk_,
+                             party_lane_seeds(1), &pool);
+  std::vector<ConsensusUserBatchProgram> users;
+  users.reserve(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    std::vector<ConsensusUserBatchProgram::Inputs> lane_inputs;
+    lane_inputs.reserve(q_total);
+    for (std::size_t q = 0; q < q_total; ++q) {
+      lane_inputs.push_back(ConsensusUserProgram::Inputs{
+          std::move(plans[q].votes_fixed[u]),
+          plans[q].t_a[u],
+          plans[q].t_b[u],
+          noises[q].z1a[u],
+          noises[q].z1b[u],
+          noises[q].z2a[u],
+          noises[q].z2b[u],
+      });
+    }
+    users.emplace_back(params, std::move(lane_inputs), paillier_.s1.pk,
+                       paillier_.s2.pk, party_lane_seeds(2 + u), &pool);
+  }
+
+  std::vector<std::optional<std::size_t>> s1_labels, s2_labels;
+  std::vector<Party> parties;
+  parties.push_back({"S1", [&](Channel& chan) { s1_labels = s1.run(chan); }});
+  parties.push_back({"S2", [&](Channel& chan) { s2_labels = s2.run(chan); }});
+  for (std::size_t u = 0; u < n_users; ++u) {
+    parties.push_back({"user:" + std::to_string(u),
+                       [&users, u](Channel& chan) { users[u].run(chan); }});
+  }
+
+  PartyRunOptions options;
+  switch (transport) {
+    case ConsensusTransport::kInProcess:
+      options.transport = PartyTransport::kDeterministic;
+      break;
+    case ConsensusTransport::kThreaded:
+      options.transport = PartyTransport::kThreaded;
+      break;
+    case ConsensusTransport::kTcp:
+      options.transport = PartyTransport::kTcp;
+      break;
+  }
+  options.stats = &stats_;
+  options.trace = trace_;
+  options.metrics = metrics_;
+  const obs::ObserverScope driver_scope(trace_, metrics_, "driver");
+  const obs::Span batch_span("Consensus Batch");
+  const PartyRunReport report = run_parties(parties, options);
+
+  if (s1_labels != s2_labels) {
+    throw std::logic_error("consensus: server results disagree");
+  }
+  if (report.undelivered != 0) {
+    throw std::logic_error("protocol finished with undelivered messages");
+  }
+  for (const std::optional<std::size_t>& label : s1_labels) {
+    if (label.has_value()) {
+      out.push_back({static_cast<int>(*label)});
+    } else {
+      out.push_back({std::nullopt});
+    }
   }
   return out;
 }

@@ -53,6 +53,14 @@ namespace pcl {
 /// baton scheduler (the reference shape).
 enum class ConsensusTransport { kInProcess, kThreaded, kTcp };
 
+/// How run_batch_seeded executes its queries: one full Alg. 5 run per
+/// query (kSequential), or every query as a concurrent LANE of one
+/// protocol execution whose message slots carry all lanes' payloads in a
+/// single coalesced frame (kLaneBatched; mpc/consensus_batch.h).  Both
+/// modes release identical labels for the same base seed — lane q replays
+/// the exact Rng streams of a sequential run of query q.
+enum class BatchMode { kSequential, kLaneBatched };
+
 struct ConsensusConfig {
   std::size_t num_classes = 10;
   std::size_t num_users = 10;
@@ -121,6 +129,17 @@ class ConsensusProtocol {
   [[nodiscard]] std::vector<QueryResult> run_batch(
       const std::vector<std::vector<std::vector<double>>>& votes_per_instance,
       Rng& rng);
+
+  /// Seeded batch: query q runs with lane seed derive_party_seed(base_seed,
+  /// q), so per-query labels are independent of mode and transport.
+  /// kLaneBatched runs all queries as concurrent lanes of ONE protocol
+  /// execution — O(L·ell) communication rounds instead of O(Q·L·ell) —
+  /// fanning each frame's per-lane crypto over the shared LanePool.
+  [[nodiscard]] std::vector<QueryResult> run_batch_seeded(
+      const std::vector<std::vector<std::vector<double>>>& votes_per_instance,
+      std::uint64_t base_seed,
+      ConsensusTransport transport = ConsensusTransport::kInProcess,
+      BatchMode mode = BatchMode::kLaneBatched);
 
   /// Test hook: runs the protocol with externally fixed TOTAL noise — the
   /// threshold test sees `threshold_noise` and label i's count is perturbed

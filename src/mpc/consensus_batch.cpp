@@ -1,0 +1,791 @@
+#include "mpc/consensus_batch.h"
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "bigint/rng.h"
+#include "mpc/dgk_compare.h"
+#include "mpc/he_util.h"
+#include "mpc/lane_pool.h"
+#include "mpc/sharing.h"
+#include "obs/trace.h"
+
+namespace pcl {
+
+namespace {
+
+// --- Lane framing -----------------------------------------------------------
+// A batched frame is lane count + one length-prefixed sub-message per live
+// lane, in lane order.  The sub-message bytes are exactly what the
+// sequential protocol would send for that lane at this slot; the length
+// prefixes give every lane an isolated MessageReader, which is what lets
+// the per-lane parsing and crypto fan out over worker threads.
+
+MessageWriter pack_lanes(std::vector<MessageWriter>& parts) {
+  MessageWriter frame;
+  frame.write_u64(parts.size());
+  for (MessageWriter& part : parts) {
+    frame.write_bytes(std::move(part).take());
+  }
+  return frame;
+}
+
+std::vector<MessageReader> unpack_lanes(MessageReader frame,
+                                        std::size_t expected) {
+  const std::uint64_t count = frame.read_u64();
+  if (count != expected) {
+    throw std::logic_error("lane-batched frame: lane count mismatch");
+  }
+  std::vector<MessageReader> parts;
+  parts.reserve(expected);
+  for (std::size_t i = 0; i < expected; ++i) {
+    parts.emplace_back(frame.read_bytes());
+  }
+  return parts;
+}
+
+/// Runs fn(lane) for every lane — through the pool when one is attached
+/// (workers + the calling party thread), inline otherwise.  Lanes touch
+/// disjoint state (their own Rng, their own sub-message), so the fan-out
+/// never changes per-lane results, only wall time.
+void for_each_lane(LanePool* pool, std::size_t lanes,
+                   const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && lanes > 1) {
+    pool->run(lanes, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < lanes; ++i) fn(i);
+}
+
+/// What a fan-out slot needs from a lane: its private Rng stream and its
+/// stable "lane:<q>" span name (owned by the program, outliving every
+/// span opened on it).
+struct LaneCtx {
+  Rng* rng = nullptr;
+  const char* span = "";
+};
+
+template <typename LaneT>
+std::vector<LaneCtx> ctxs_of(const std::vector<LaneT*>& lanes) {
+  std::vector<LaneCtx> ctxs;
+  ctxs.reserve(lanes.size());
+  for (LaneT* lane : lanes) ctxs.push_back({&lane->rng, lane->span.c_str()});
+  return ctxs;
+}
+
+template <typename LaneT, typename T>
+std::vector<T*> members_of(const std::vector<LaneT*>& lanes,
+                           T LaneT::* member) {
+  std::vector<T*> out;
+  out.reserve(lanes.size());
+  for (LaneT* lane : lanes) out.push_back(&(lane->*member));
+  return out;
+}
+
+// --- Batched secure sum (steps 2 and 6) -------------------------------------
+
+/// Server side: one frame per user, each carrying every live lane's share
+/// vector; per-lane aggregation order (user 0, 1, ...) matches the
+/// sequential secure_sum_collect exactly.
+void batch_collect(Channel& chan, const PaillierPublicKey& pk,
+                   std::size_t n_users, const std::vector<LaneCtx>& ctxs,
+                   const std::vector<std::vector<PaillierCiphertext>*>& aggs,
+                   LanePool* pool) {
+  for (std::size_t u = 0; u < n_users; ++u) {
+    std::vector<MessageReader> parts =
+        unpack_lanes(chan.recv("user:" + std::to_string(u)), ctxs.size());
+    for_each_lane(pool, ctxs.size(), [&](std::size_t i) {
+      const obs::Span span(ctxs[i].span);
+      if (u == 0) obs::count(obs::Op::kSecureSumCollect);
+      std::vector<PaillierCiphertext> shares = read_ciphertext_vector(parts[i]);
+      *aggs[i] = u == 0 ? std::move(shares) : add_vectors(pk, *aggs[i], shares);
+    });
+  }
+}
+
+// --- Batched Blind-and-Permute (steps 3 and 7) ------------------------------
+
+void batch_bnp_s1(Channel& chan, const std::vector<LaneCtx>& ctxs,
+                  const std::vector<BlindPermuteS1*>& bnps,
+                  const std::vector<std::vector<PaillierCiphertext>*>& holds,
+                  BlindPermuteMaskMode mode,
+                  const std::vector<std::vector<std::int64_t>*>& out_seqs,
+                  LanePool* pool) {
+  const std::size_t n = ctxs.size();
+  std::vector<MessageWriter> parts(n);
+  for_each_lane(pool, n, [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnps[i]->round_open(*holds[i], mode);
+  });
+  chan.send("S2", pack_lanes(parts));
+  std::vector<MessageReader> permuted = unpack_lanes(chan.recv("S2"), n);
+  for_each_lane(pool, n, [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnps[i]->round_permute(permuted[i], *out_seqs[i]);
+  });
+  chan.send("S2", pack_lanes(parts));
+  std::vector<MessageReader> blinded = unpack_lanes(chan.recv("S2"), n);
+  for_each_lane(pool, n, [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnps[i]->round_close(blinded[i]);
+  });
+  chan.send("S2", pack_lanes(parts));
+}
+
+void batch_bnp_s2(Channel& chan, const std::vector<LaneCtx>& ctxs,
+                  const std::vector<BlindPermuteS2*>& bnps,
+                  const std::vector<std::vector<PaillierCiphertext>*>& holds,
+                  BlindPermuteMaskMode mode,
+                  const std::vector<std::vector<std::int64_t>*>& out_seqs,
+                  LanePool* pool) {
+  const std::size_t n = ctxs.size();
+  std::vector<MessageReader> masked = unpack_lanes(chan.recv("S1"), n);
+  std::vector<MessageWriter> parts(n);
+  for_each_lane(pool, n, [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnps[i]->round_permute(masked[i]);
+  });
+  chan.send("S1", pack_lanes(parts));
+  std::vector<MessageReader> enc_mask = unpack_lanes(chan.recv("S1"), n);
+  for_each_lane(pool, n, [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnps[i]->round_blind(enc_mask[i], *holds[i], mode);
+  });
+  chan.send("S1", pack_lanes(parts));
+  std::vector<MessageReader> sealed = unpack_lanes(chan.recv("S1"), n);
+  for_each_lane(pool, n, [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    *out_seqs[i] = bnps[i]->round_output(sealed[i]);
+  });
+}
+
+// --- Batched DGK comparison rounds (steps 4, 5 and 8) -----------------------
+
+/// One batched comparison: every live lane's slot payloads share a frame.
+/// Results are std::uint8_t, not bool — lanes write their element
+/// concurrently and std::vector<bool> packs bits.
+std::vector<std::uint8_t> batch_compare_s1(Channel& chan,
+                                           const DgkPublicKey& pk,
+                                           std::size_t ell,
+                                           const std::vector<std::int64_t>& xs,
+                                           const std::vector<LaneCtx>& ctxs,
+                                           LanePool* pool) {
+  const std::size_t n = xs.size();
+  std::vector<MessageReader> e_bits = unpack_lanes(chan.recv("S2"), n);
+  std::vector<MessageWriter> parts(n);
+  for_each_lane(pool, n, [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = dgk_compare_s1_blind(pk, ell, xs[i], e_bits[i], *ctxs[i].rng);
+  });
+  chan.send("S2", pack_lanes(parts));
+  std::vector<MessageReader> replies = unpack_lanes(chan.recv("S2"), n);
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = dgk_compare_read_bit(replies[i]) ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> batch_compare_s2(Channel& chan,
+                                           const DgkCompareContext& cmp,
+                                           const std::vector<std::int64_t>& ys,
+                                           const std::vector<LaneCtx>& ctxs,
+                                           LanePool* pool) {
+  const std::size_t n = ys.size();
+  std::vector<MessageWriter> parts(n);
+  for_each_lane(pool, n, [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = dgk_compare_s2_bits(cmp, ys[i], *ctxs[i].rng);
+  });
+  chan.send("S1", pack_lanes(parts));
+  std::vector<MessageReader> blinded = unpack_lanes(chan.recv("S1"), n);
+  std::vector<MessageWriter> replies(n);
+  std::vector<std::uint8_t> out(n);
+  for_each_lane(pool, n, [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    out[i] = dgk_compare_s2_decide(cmp, blinded[i], replies[i]) ? 1 : 0;
+  });
+  chan.send("S1", pack_lanes(replies));
+  return out;
+}
+
+/// Per-lane state of the argmax comparison schedule.  Every lane performs
+/// the same NUMBER of comparisons — all K(K-1)/2 pairs, or K-1 tournament
+/// rounds — which is what lets one frame per slot carry all lanes; only
+/// the tournament OPERANDS depend on a lane's earlier revealed bits, and
+/// both servers derive them from the same bits, exactly as the sequential
+/// argmax_schedule does.
+class ArgmaxLanes {
+ public:
+  ArgmaxLanes(std::size_t k, ArgmaxStrategy strategy, std::size_t lanes)
+      : k_(k), strategy_(strategy), champion_(lanes, 0) {
+    if (strategy_ == ArgmaxStrategy::kAllPairs) {
+      wins_.assign(lanes, std::vector<std::size_t>(k, 0));
+      for (std::size_t p = 0; p < k; ++p) {
+        for (std::size_t q = p + 1; q < k; ++q) pairs_.push_back({p, q});
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t rounds() const {
+    return strategy_ == ArgmaxStrategy::kAllPairs ? pairs_.size() : k_ - 1;
+  }
+
+  /// Lane `lane`'s (p, q) operand pair for comparison round `round`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> pair_for(
+      std::size_t lane, std::size_t round) const {
+    if (strategy_ == ArgmaxStrategy::kAllPairs) return pairs_[round];
+    return {champion_[lane], round + 1};
+  }
+
+  void absorb(std::size_t lane, std::size_t round, bool geq) {
+    if (strategy_ == ArgmaxStrategy::kAllPairs) {
+      const auto [p, q] = pairs_[round];
+      ++wins_[lane][geq ? p : q];
+      return;
+    }
+    if (!geq) champion_[lane] = round + 1;
+  }
+
+  [[nodiscard]] std::size_t champion(std::size_t lane) const {
+    if (strategy_ == ArgmaxStrategy::kTournament) return champion_[lane];
+    for (std::size_t p = 0; p < k_; ++p) {
+      if (wins_[lane][p] == k_ - 1) return p;
+    }
+    throw std::logic_error("argmax tournament produced no champion");
+  }
+
+ private:
+  std::size_t k_;
+  ArgmaxStrategy strategy_;
+  std::vector<std::size_t> champion_;                // kTournament
+  std::vector<std::vector<std::size_t>> wins_;       // kAllPairs
+  std::vector<std::pair<std::size_t, std::size_t>> pairs_;
+};
+
+}  // namespace
+
+// --- S1 ---------------------------------------------------------------------
+
+struct ConsensusS1BatchProgram::Lane {
+  Lane(std::uint64_t seed, std::size_t index)
+      : rng(seed), span("lane:" + std::to_string(index)) {}
+  DeterministicRng rng;
+  const std::string span;
+  std::vector<PaillierCiphertext> votes_agg, thresh_agg, noisy_agg;
+  std::optional<BlindPermuteS1> bnp, bnp2;
+  std::vector<std::int64_t> votes_seq, thresh_seq, noisy_seq;
+  std::size_t champion = 0;
+  bool above = false;
+  std::optional<std::size_t> released;
+};
+
+ConsensusS1BatchProgram::ConsensusS1BatchProgram(
+    const ConsensusQueryParams& params, const PaillierKeyPair& own,
+    const PaillierPublicKey& peer_pk, const DgkPublicKey& dgk_pk,
+    const std::vector<std::uint64_t>& lane_seeds, LanePool* pool)
+    : params_(params), own_(own), peer_pk_(peer_pk), dgk_pk_(dgk_pk),
+      pool_(pool) {
+  if (lane_seeds.empty()) {
+    throw std::invalid_argument("batched consensus: need at least one lane");
+  }
+  lanes_.reserve(lane_seeds.size());
+  for (std::size_t q = 0; q < lane_seeds.size(); ++q) {
+    lanes_.push_back(std::make_unique<Lane>(lane_seeds[q], q));
+  }
+}
+
+ConsensusS1BatchProgram::~ConsensusS1BatchProgram() = default;
+
+std::vector<std::optional<std::size_t>> ConsensusS1BatchProgram::run(
+    Channel& chan) {
+  const std::size_t k = params_.num_classes;
+  const std::size_t n = params_.num_users;
+  using Timing = ChannelStepScope::Timing;
+
+  std::vector<Lane*> live;
+  live.reserve(lanes_.size());
+  for (const auto& lane : lanes_) live.push_back(lane.get());
+  const auto results = [this] {
+    std::vector<std::optional<std::size_t>> out;
+    out.reserve(lanes_.size());
+    for (const auto& lane : lanes_) out.push_back(lane->released);
+    return out;
+  };
+
+  // ---- Step 2: Secure Sum of votes and threshold sequences. ---------------
+  {
+    ChannelStepScope scope(chan, "Secure Sum (2)", Timing::kTimed);
+    batch_collect(chan, peer_pk_, n, ctxs_of(live),
+                  members_of(live, &Lane::votes_agg), pool_);
+    batch_collect(chan, peer_pk_, n, ctxs_of(live),
+                  members_of(live, &Lane::thresh_agg), pool_);
+  }
+
+  // ---- Step 3: Blind-and-Permute both sequence pairs under one pi1. -------
+  // Each lane draws its own pi1 from its own stream, exactly where the
+  // sequential program constructs its BlindPermuteS1.
+  for (Lane* lane : live) {
+    lane->bnp.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng);
+  }
+  {
+    ChannelStepScope scope(chan, "Blind-and-Permute (3)", Timing::kTimed);
+    const auto bnps = [&] {
+      std::vector<BlindPermuteS1*> out;
+      out.reserve(live.size());
+      for (Lane* lane : live) out.push_back(&*lane->bnp);
+      return out;
+    }();
+    batch_bnp_s1(chan, ctxs_of(live), bnps,
+                 members_of(live, &Lane::votes_agg),
+                 BlindPermuteMaskMode::kOppositeSign,
+                 members_of(live, &Lane::votes_seq), pool_);
+    batch_bnp_s1(chan, ctxs_of(live), bnps,
+                 members_of(live, &Lane::thresh_agg),
+                 BlindPermuteMaskMode::kSameSign,
+                 members_of(live, &Lane::thresh_seq), pool_);
+  }
+
+  // ---- Step 4: Secure Comparison — find each lane's pi(i*). ---------------
+  {
+    ChannelStepScope scope(chan, "Secure Comparison (4)", Timing::kTimed);
+    ArgmaxLanes state(k, params_.argmax_strategy, live.size());
+    for (std::size_t r = 0; r < state.rounds(); ++r) {
+      std::vector<std::int64_t> xs(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const auto [p, q] = state.pair_for(i, r);
+        xs[i] = live[i]->votes_seq[p] - live[i]->votes_seq[q];
+      }
+      const std::vector<std::uint8_t> bits = batch_compare_s1(
+          chan, dgk_pk_, params_.compare_bits, xs, ctxs_of(live), pool_);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        state.absorb(i, r, bits[i] != 0);
+      }
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      live[i]->champion = state.champion(i);
+    }
+  }
+
+  // ---- Step 5: Threshold Checking; one public verdict per lane. -----------
+  {
+    ChannelStepScope scope(chan, "Threshold Checking (5)", Timing::kTimed);
+    const auto threshold_round = [&](std::size_t p, bool all_positions) {
+      std::vector<std::int64_t> xs(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        xs[i] = live[i]->thresh_seq[all_positions ? p : live[i]->champion];
+      }
+      return batch_compare_s1(chan, dgk_pk_, params_.compare_bits, xs,
+                              ctxs_of(live), pool_);
+    };
+    if (params_.threshold_check_all_positions) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const std::vector<std::uint8_t> bits = threshold_round(p, true);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (p == live[i]->champion) live[i]->above = bits[i] != 0;
+        }
+      }
+    } else {
+      const std::vector<std::uint8_t> bits = threshold_round(0, false);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        live[i]->above = bits[i] != 0;
+      }
+    }
+    // The verdicts are public protocol output: one bulletin entry per lane,
+    // in lane order; users walk the log through their own cursors.
+    for (Lane* lane : live) chan.post_public(lane->above ? 1 : 0);
+    std::vector<Lane*> survivors;
+    for (Lane* lane : live) {
+      if (lane->above) survivors.push_back(lane);
+    }
+    live = std::move(survivors);
+    if (live.empty()) return results();  // every lane ended in ⊥
+  }
+
+  // ---- Step 6: Secure Sum of noisy votes (surviving lanes only). ----------
+  {
+    ChannelStepScope scope(chan, "Secure Sum (6)", Timing::kTimed);
+    batch_collect(chan, peer_pk_, n, ctxs_of(live),
+                  members_of(live, &Lane::noisy_agg), pool_);
+  }
+
+  // ---- Step 7: Blind-and-Permute under a fresh pi' per lane. --------------
+  for (Lane* lane : live) {
+    lane->bnp2.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng);
+  }
+  const auto bnp2s = [&] {
+    std::vector<BlindPermuteS1*> out;
+    out.reserve(live.size());
+    for (Lane* lane : live) out.push_back(&*lane->bnp2);
+    return out;
+  }();
+  {
+    ChannelStepScope scope(chan, "Blind-and-Permute (7)", Timing::kTimed);
+    batch_bnp_s1(chan, ctxs_of(live), bnp2s,
+                 members_of(live, &Lane::noisy_agg),
+                 BlindPermuteMaskMode::kOppositeSign,
+                 members_of(live, &Lane::noisy_seq), pool_);
+  }
+
+  // ---- Step 8: Secure Comparison on the noisy sequences. ------------------
+  // S1's champion copy is not consumed further (S2 feeds Restoration), but
+  // the schedule must still run — and still checks consistency.
+  {
+    ChannelStepScope scope(chan, "Secure Comparison (8)", Timing::kTimed);
+    ArgmaxLanes state(k, params_.argmax_strategy, live.size());
+    for (std::size_t r = 0; r < state.rounds(); ++r) {
+      std::vector<std::int64_t> xs(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const auto [p, q] = state.pair_for(i, r);
+        xs[i] = live[i]->noisy_seq[p] - live[i]->noisy_seq[q];
+      }
+      const std::vector<std::uint8_t> bits = batch_compare_s1(
+          chan, dgk_pk_, params_.compare_bits, xs, ctxs_of(live), pool_);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        state.absorb(i, r, bits[i] != 0);
+      }
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) (void)state.champion(i);
+  }
+
+  // ---- Step 9: Restoration, all surviving lanes per slot. -----------------
+  ChannelStepScope scope(chan, "Restoration (9)", Timing::kTimed);
+  const std::vector<LaneCtx> ctxs = ctxs_of(live);
+  std::vector<MessageReader> readers = unpack_lanes(chan.recv("S2"),
+                                                    live.size());
+  std::vector<MessageWriter> parts(live.size());
+  for_each_lane(pool_, live.size(), [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnp2s[i]->restore_mask(readers[i]);
+  });
+  chan.send("S2", pack_lanes(parts));
+  readers = unpack_lanes(chan.recv("S2"), live.size());
+  for_each_lane(pool_, live.size(), [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnp2s[i]->restore_strip(readers[i]);
+  });
+  chan.send("S2", pack_lanes(parts));
+  readers = unpack_lanes(chan.recv("S2"), live.size());
+  for_each_lane(pool_, live.size(), [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnp2s[i]->restore_decrypt(readers[i]);
+  });
+  chan.send("S2", pack_lanes(parts));
+  readers = unpack_lanes(chan.recv("S2"), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const obs::Span span(ctxs[i].span);
+    live[i]->released = bnp2s[i]->restore_index(readers[i]);
+    obs::count(obs::Op::kNoisyMaxRelease);
+  }
+  return results();
+}
+
+// --- S2 ---------------------------------------------------------------------
+
+struct ConsensusS2BatchProgram::Lane {
+  Lane(std::uint64_t seed, std::size_t index)
+      : rng(seed), span("lane:" + std::to_string(index)) {}
+  DeterministicRng rng;
+  const std::string span;
+  std::vector<PaillierCiphertext> votes_agg, thresh_agg, noisy_agg;
+  std::optional<BlindPermuteS2> bnp, bnp2;
+  std::vector<std::int64_t> votes_seq, thresh_seq, noisy_seq;
+  std::size_t champion = 0;
+  std::size_t noisy_champion = 0;
+  bool above = false;
+  std::optional<std::size_t> released;
+};
+
+ConsensusS2BatchProgram::ConsensusS2BatchProgram(
+    const ConsensusQueryParams& params, const PaillierKeyPair& own,
+    const PaillierPublicKey& peer_pk, const DgkKeyPair& dgk,
+    const std::vector<std::uint64_t>& lane_seeds, LanePool* pool)
+    : params_(params), own_(own), peer_pk_(peer_pk), dgk_(dgk), pool_(pool) {
+  if (lane_seeds.empty()) {
+    throw std::invalid_argument("batched consensus: need at least one lane");
+  }
+  lanes_.reserve(lane_seeds.size());
+  for (std::size_t q = 0; q < lane_seeds.size(); ++q) {
+    lanes_.push_back(std::make_unique<Lane>(lane_seeds[q], q));
+  }
+}
+
+ConsensusS2BatchProgram::~ConsensusS2BatchProgram() = default;
+
+std::vector<std::optional<std::size_t>> ConsensusS2BatchProgram::run(
+    Channel& chan) {
+  const std::size_t k = params_.num_classes;
+  const std::size_t n = params_.num_users;
+  using Timing = ChannelStepScope::Timing;
+  const DgkCompareContext cmp(dgk_.pk, dgk_.sk, params_.compare_bits);
+
+  std::vector<Lane*> live;
+  live.reserve(lanes_.size());
+  for (const auto& lane : lanes_) live.push_back(lane.get());
+  const auto results = [this] {
+    std::vector<std::optional<std::size_t>> out;
+    out.reserve(lanes_.size());
+    for (const auto& lane : lanes_) out.push_back(lane->released);
+    return out;
+  };
+
+  {
+    ChannelStepScope scope(chan, "Secure Sum (2)", Timing::kUntimed);
+    batch_collect(chan, peer_pk_, n, ctxs_of(live),
+                  members_of(live, &Lane::votes_agg), pool_);
+    batch_collect(chan, peer_pk_, n, ctxs_of(live),
+                  members_of(live, &Lane::thresh_agg), pool_);
+  }
+
+  for (Lane* lane : live) {
+    lane->bnp.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng);
+  }
+  {
+    ChannelStepScope scope(chan, "Blind-and-Permute (3)", Timing::kUntimed);
+    const auto bnps = [&] {
+      std::vector<BlindPermuteS2*> out;
+      out.reserve(live.size());
+      for (Lane* lane : live) out.push_back(&*lane->bnp);
+      return out;
+    }();
+    batch_bnp_s2(chan, ctxs_of(live), bnps,
+                 members_of(live, &Lane::votes_agg),
+                 BlindPermuteMaskMode::kOppositeSign,
+                 members_of(live, &Lane::votes_seq), pool_);
+    batch_bnp_s2(chan, ctxs_of(live), bnps,
+                 members_of(live, &Lane::thresh_agg),
+                 BlindPermuteMaskMode::kSameSign,
+                 members_of(live, &Lane::thresh_seq), pool_);
+  }
+
+  {
+    ChannelStepScope scope(chan, "Secure Comparison (4)", Timing::kUntimed);
+    ArgmaxLanes state(k, params_.argmax_strategy, live.size());
+    for (std::size_t r = 0; r < state.rounds(); ++r) {
+      std::vector<std::int64_t> ys(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const auto [p, q] = state.pair_for(i, r);
+        ys[i] = live[i]->votes_seq[q] - live[i]->votes_seq[p];
+      }
+      const std::vector<std::uint8_t> bits =
+          batch_compare_s2(chan, cmp, ys, ctxs_of(live), pool_);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        state.absorb(i, r, bits[i] != 0);
+      }
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      live[i]->champion = state.champion(i);
+    }
+  }
+
+  {
+    ChannelStepScope scope(chan, "Threshold Checking (5)", Timing::kUntimed);
+    const auto threshold_round = [&](std::size_t p, bool all_positions) {
+      std::vector<std::int64_t> ys(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        ys[i] = live[i]->thresh_seq[all_positions ? p : live[i]->champion];
+      }
+      return batch_compare_s2(chan, cmp, ys, ctxs_of(live), pool_);
+    };
+    if (params_.threshold_check_all_positions) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const std::vector<std::uint8_t> bits = threshold_round(p, true);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (p == live[i]->champion) live[i]->above = bits[i] != 0;
+        }
+      }
+    } else {
+      const std::vector<std::uint8_t> bits = threshold_round(0, false);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        live[i]->above = bits[i] != 0;
+      }
+    }
+    // S2 learned each lane's verdict from its own zero-tests; S1 posts.
+    std::vector<Lane*> survivors;
+    for (Lane* lane : live) {
+      if (lane->above) survivors.push_back(lane);
+    }
+    live = std::move(survivors);
+    if (live.empty()) return results();
+  }
+
+  {
+    ChannelStepScope scope(chan, "Secure Sum (6)", Timing::kUntimed);
+    batch_collect(chan, peer_pk_, n, ctxs_of(live),
+                  members_of(live, &Lane::noisy_agg), pool_);
+  }
+
+  for (Lane* lane : live) {
+    lane->bnp2.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng);
+  }
+  const auto bnp2s = [&] {
+    std::vector<BlindPermuteS2*> out;
+    out.reserve(live.size());
+    for (Lane* lane : live) out.push_back(&*lane->bnp2);
+    return out;
+  }();
+  {
+    ChannelStepScope scope(chan, "Blind-and-Permute (7)", Timing::kUntimed);
+    batch_bnp_s2(chan, ctxs_of(live), bnp2s,
+                 members_of(live, &Lane::noisy_agg),
+                 BlindPermuteMaskMode::kOppositeSign,
+                 members_of(live, &Lane::noisy_seq), pool_);
+  }
+
+  {
+    ChannelStepScope scope(chan, "Secure Comparison (8)", Timing::kUntimed);
+    ArgmaxLanes state(k, params_.argmax_strategy, live.size());
+    for (std::size_t r = 0; r < state.rounds(); ++r) {
+      std::vector<std::int64_t> ys(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const auto [p, q] = state.pair_for(i, r);
+        ys[i] = live[i]->noisy_seq[q] - live[i]->noisy_seq[p];
+      }
+      const std::vector<std::uint8_t> bits =
+          batch_compare_s2(chan, cmp, ys, ctxs_of(live), pool_);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        state.absorb(i, r, bits[i] != 0);
+      }
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      live[i]->noisy_champion = state.champion(i);
+    }
+  }
+
+  ChannelStepScope scope(chan, "Restoration (9)", Timing::kUntimed);
+  const std::vector<LaneCtx> ctxs = ctxs_of(live);
+  std::vector<MessageWriter> parts(live.size());
+  for_each_lane(pool_, live.size(), [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnp2s[i]->restore_open(live[i]->noisy_champion);
+  });
+  chan.send("S1", pack_lanes(parts));
+  std::vector<MessageReader> readers = unpack_lanes(chan.recv("S1"),
+                                                    live.size());
+  for_each_lane(pool_, live.size(), [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnp2s[i]->restore_reveal(readers[i]);
+  });
+  chan.send("S1", pack_lanes(parts));
+  readers = unpack_lanes(chan.recv("S1"), live.size());
+  for_each_lane(pool_, live.size(), [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    parts[i] = bnp2s[i]->restore_unpermute(readers[i]);
+  });
+  chan.send("S1", pack_lanes(parts));
+  readers = unpack_lanes(chan.recv("S1"), live.size());
+  for_each_lane(pool_, live.size(), [&](std::size_t i) {
+    const obs::Span span(ctxs[i].span);
+    std::size_t index = k;
+    parts[i] = bnp2s[i]->restore_finish(readers[i], index);
+    live[i]->released = index;
+  });
+  chan.send("S1", pack_lanes(parts));
+  return results();
+}
+
+// --- User -------------------------------------------------------------------
+
+struct ConsensusUserBatchProgram::Lane {
+  Lane(ConsensusUserProgram::Inputs in, std::uint64_t seed, std::size_t index)
+      : inputs(std::move(in)), rng(seed),
+        span("lane:" + std::to_string(index)) {}
+  ConsensusUserProgram::Inputs inputs;
+  DeterministicRng rng;
+  const std::string span;
+  ShareVector shares;
+  bool above = false;
+};
+
+ConsensusUserBatchProgram::ConsensusUserBatchProgram(
+    const ConsensusQueryParams& params, std::vector<Inputs> lane_inputs,
+    const PaillierPublicKey& pk1, const PaillierPublicKey& pk2,
+    const std::vector<std::uint64_t>& lane_seeds, LanePool* pool)
+    : params_(params), pk1_(pk1), pk2_(pk2), pool_(pool) {
+  if (lane_inputs.empty() || lane_inputs.size() != lane_seeds.size()) {
+    throw std::invalid_argument(
+        "batched consensus: need one seed per lane input");
+  }
+  const std::size_t k = params_.num_classes;
+  lanes_.reserve(lane_inputs.size());
+  for (std::size_t q = 0; q < lane_inputs.size(); ++q) {
+    Inputs& in = lane_inputs[q];
+    if (in.votes_fixed.size() != k || in.z1a.size() != k ||
+        in.z1b.size() != k || in.z2a.size() != k || in.z2b.size() != k) {
+      throw std::invalid_argument("consensus user inputs have wrong length");
+    }
+    lanes_.push_back(
+        std::make_unique<Lane>(std::move(in), lane_seeds[q], q));
+  }
+}
+
+ConsensusUserBatchProgram::ConsensusUserBatchProgram(
+    ConsensusUserBatchProgram&&) noexcept = default;
+
+ConsensusUserBatchProgram::~ConsensusUserBatchProgram() = default;
+
+void ConsensusUserBatchProgram::run(Channel& chan) {
+  const std::size_t k = params_.num_classes;
+  const std::size_t q_total = lanes_.size();
+  using Timing = ChannelStepScope::Timing;
+
+  // ---- Steps 1 + 2 per lane: split, offset, encrypt; four frames total. ---
+  {
+    ChannelStepScope scope(chan, "Secure Sum (2)", Timing::kUntimed);
+    std::vector<MessageWriter> votes_a(q_total), votes_b(q_total);
+    std::vector<MessageWriter> thresh_a(q_total), thresh_b(q_total);
+    for_each_lane(pool_, q_total, [&](std::size_t i) {
+      Lane& lane = *lanes_[i];
+      const obs::Span span(lane.span.c_str());
+      lane.shares =
+          split_vector(lane.inputs.votes_fixed, lane.rng, params_.share_bits);
+      std::vector<std::int64_t> ta(k), tb(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        ta[j] = lane.shares.a[j] - lane.inputs.t_a + lane.inputs.z1a[j];
+        tb[j] = lane.inputs.t_b - lane.shares.b[j] - lane.inputs.z1b[j];
+      }
+      obs::count(obs::Op::kSecureSumSubmit);
+      write_ciphertext_vector(votes_a[i],
+                              encrypt_vector(pk2_, lane.shares.a, lane.rng));
+      write_ciphertext_vector(votes_b[i],
+                              encrypt_vector(pk1_, lane.shares.b, lane.rng));
+      obs::count(obs::Op::kSecureSumSubmit);
+      write_ciphertext_vector(thresh_a[i], encrypt_vector(pk2_, ta, lane.rng));
+      write_ciphertext_vector(thresh_b[i], encrypt_vector(pk1_, tb, lane.rng));
+    });
+    chan.send("S1", pack_lanes(votes_a));
+    chan.send("S2", pack_lanes(votes_b));
+    chan.send("S1", pack_lanes(thresh_a));
+    chan.send("S2", pack_lanes(thresh_b));
+  }
+
+  // ---- Step 5 verdicts: one bulletin entry per lane, in lane order. -------
+  std::vector<Lane*> live;
+  for (const auto& lane : lanes_) {
+    lane->above = chan.await_public() != 0;
+    if (lane->above) live.push_back(lane.get());
+  }
+  if (live.empty()) return;  // every lane ended in ⊥
+
+  // ---- Step 6: noisy vote pairs for the surviving lanes. ------------------
+  ChannelStepScope scope(chan, "Secure Sum (6)", Timing::kUntimed);
+  std::vector<MessageWriter> noisy_a(live.size()), noisy_b(live.size());
+  for_each_lane(pool_, live.size(), [&](std::size_t i) {
+    Lane& lane = *live[i];
+    const obs::Span span(lane.span.c_str());
+    std::vector<std::int64_t> na(k), nb(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      na[j] = lane.shares.a[j] + lane.inputs.z2a[j];
+      nb[j] = lane.shares.b[j] + lane.inputs.z2b[j];
+    }
+    obs::count(obs::Op::kSecureSumSubmit);
+    write_ciphertext_vector(noisy_a[i], encrypt_vector(pk2_, na, lane.rng));
+    write_ciphertext_vector(noisy_b[i], encrypt_vector(pk1_, nb, lane.rng));
+  });
+  chan.send("S1", pack_lanes(noisy_a));
+  chan.send("S2", pack_lanes(noisy_b));
+}
+
+}  // namespace pcl

@@ -1,0 +1,130 @@
+// Lane-batched execution of the Private Consensus Protocol (paper Alg. 5).
+//
+// A sequential batch of Q queries pays Alg. 5's round count Q times: every
+// DGK comparison is three server-to-server messages, every BnP round six,
+// and on the threaded/TCP transports each message is a thread handoff or a
+// socket round trip.  The lane-batched programs below run Q *concurrent*
+// queries ("lanes") through ONE protocol execution: at every message slot
+// of Alg. 5 the sender coalesces all live lanes' payloads into a single
+// frame (lane count + one length-prefixed sub-message per lane, in lane
+// order), so the round count drops from O(Q · L · ell) to O(L · ell) while
+// the bytes stay Q times the sequential per-query bytes.
+//
+// Per-lane equivalence is exact, not statistical: lane q runs with the same
+// party Rng streams a sequential run of query q would use (the harness
+// derives lane_seed = derive_party_seed(base_seed, q) and hands each party
+// its derive_party_seed(lane_seed, party_index) stream), and each program
+// performs lane q's crypto in the sequential per-lane order.  The released
+// labels — and each lane's sub-message bytes — are therefore identical to Q
+// independent run_query_seeded calls on those seeds (asserted by
+// consensus_batch_test).
+//
+// Lanes are independent after the frame split, so the per-lane crypto fans
+// out over a LanePool (shared worker threads + the submitting party
+// thread).  Each lane's work runs inside an obs::Span named "lane:<q>", so
+// a metrics registry attributes per-lane op counts and a trace shows the
+// fan-out; the pool re-installs the submitting party's observer binding on
+// its workers, keeping party attribution intact.
+//
+// The step-5 verdict is per-lane public output: S1 posts one bulletin entry
+// per lane in lane order, and every consumer walks the bulletin log through
+// its own cursor.  Lanes below threshold drop out (the paper's ⊥); later
+// frames carry only the surviving lanes, still in lane order.
+//
+// See DESIGN.md §10 for the architecture discussion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/dgk.h"
+#include "mpc/blind_permute.h"
+#include "mpc/consensus_party.h"
+#include "net/channel.h"
+
+namespace pcl {
+
+class LanePool;
+
+/// Server S1's program for one lane-batched run of Q concurrent queries.
+/// `lane_seeds[q]` seeds lane q's private Rng stream (the harness passes
+/// derive_party_seed(derive_party_seed(base_seed, q), 0)); `pool` may be
+/// null to run every lane on the party thread.
+class ConsensusS1BatchProgram {
+ public:
+  ConsensusS1BatchProgram(const ConsensusQueryParams& params,
+                          const PaillierKeyPair& own,
+                          const PaillierPublicKey& peer_pk,
+                          const DgkPublicKey& dgk_pk,
+                          const std::vector<std::uint64_t>& lane_seeds,
+                          LanePool* pool = nullptr);
+  ~ConsensusS1BatchProgram();
+
+  /// Returns per-lane released label indices, nullopt for the paper's ⊥.
+  [[nodiscard]] std::vector<std::optional<std::size_t>> run(Channel& chan);
+
+ private:
+  struct Lane;
+
+  const ConsensusQueryParams& params_;
+  const PaillierKeyPair& own_;
+  const PaillierPublicKey& peer_pk_;
+  const DgkPublicKey& dgk_pk_;
+  LanePool* pool_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/// Server S2's program; the mirror image, holding the DGK private key.
+class ConsensusS2BatchProgram {
+ public:
+  ConsensusS2BatchProgram(const ConsensusQueryParams& params,
+                          const PaillierKeyPair& own,
+                          const PaillierPublicKey& peer_pk,
+                          const DgkKeyPair& dgk,
+                          const std::vector<std::uint64_t>& lane_seeds,
+                          LanePool* pool = nullptr);
+  ~ConsensusS2BatchProgram();
+
+  [[nodiscard]] std::vector<std::optional<std::size_t>> run(Channel& chan);
+
+ private:
+  struct Lane;
+
+  const ConsensusQueryParams& params_;
+  const PaillierKeyPair& own_;
+  const PaillierPublicKey& peer_pk_;
+  const DgkKeyPair& dgk_;
+  LanePool* pool_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/// One user's program for Q lanes: per-lane inputs prepared exactly as the
+/// sequential ConsensusUserProgram's, submitted as coalesced frames.
+class ConsensusUserBatchProgram {
+ public:
+  using Inputs = ConsensusUserProgram::Inputs;
+
+  ConsensusUserBatchProgram(const ConsensusQueryParams& params,
+                            std::vector<Inputs> lane_inputs,
+                            const PaillierPublicKey& pk1,
+                            const PaillierPublicKey& pk2,
+                            const std::vector<std::uint64_t>& lane_seeds,
+                            LanePool* pool = nullptr);
+  ConsensusUserBatchProgram(ConsensusUserBatchProgram&&) noexcept;
+  ~ConsensusUserBatchProgram();
+
+  void run(Channel& chan);
+
+ private:
+  struct Lane;
+
+  const ConsensusQueryParams& params_;
+  const PaillierPublicKey& pk1_;
+  const PaillierPublicKey& pk2_;
+  LanePool* pool_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace pcl

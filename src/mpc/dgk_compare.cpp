@@ -32,23 +32,20 @@ std::uint64_t to_offset_domain(std::int64_t v, std::size_t ell) {
   return static_cast<std::uint64_t>(v + half);
 }
 
-/// S2 -> S1: the bits of e, each DGK-encrypted, batched into one message.
-void send_encrypted_bits(Channel& chan, const std::string& to,
-                         const DgkPublicKey& pk, std::uint64_t e,
-                         std::size_t width, Rng& rng) {
+/// The bits of e, each DGK-encrypted, batched into one message.
+MessageWriter encrypted_bits_message(const DgkPublicKey& pk, std::uint64_t e,
+                                     std::size_t width, Rng& rng) {
   obs::count(obs::Op::kDgkCompareBit, width);
   MessageWriter msg;
   msg.write_u64(width);
   for (std::size_t i = 0; i < width; ++i) {
     msg.write_bigint(pk.encrypt((e >> i) & 1u, rng).value);
   }
-  chan.send(to, std::move(msg));
+  return msg;
 }
 
-std::vector<DgkCiphertext> recv_ciphertext_batch(Channel& chan,
-                                                 const std::string& from,
+std::vector<DgkCiphertext> read_ciphertext_batch(MessageReader& msg,
                                                  std::size_t expected) {
-  MessageReader msg = chan.recv(from);
   const std::uint64_t count = msg.read_u64();
   if (expected != 0 && count != expected) {
     throw std::logic_error("DGK bit count mismatch");
@@ -56,6 +53,13 @@ std::vector<DgkCiphertext> recv_ciphertext_batch(Channel& chan,
   std::vector<DgkCiphertext> out(count);
   for (std::uint64_t i = 0; i < count; ++i) out[i] = {msg.read_bigint()};
   return out;
+}
+
+std::vector<DgkCiphertext> recv_ciphertext_batch(Channel& chan,
+                                                 const std::string& from,
+                                                 std::size_t expected) {
+  MessageReader msg = chan.recv(from);
+  return read_ciphertext_batch(msg, expected);
 }
 
 /// S1's core: the blinded, permuted c-sequence.  `flipped` selects the
@@ -90,12 +94,16 @@ std::vector<DgkCiphertext> build_blinded_sequence(
   return shuffle.apply(c_seq);
 }
 
-void send_ciphertext_batch(Channel& chan, const std::string& to,
-                           const std::vector<DgkCiphertext>& cts) {
+MessageWriter ciphertext_batch_message(const std::vector<DgkCiphertext>& cts) {
   MessageWriter msg;
   msg.write_u64(cts.size());
   for (const DgkCiphertext& c : cts) msg.write_bigint(c.value);
-  chan.send(to, std::move(msg));
+  return msg;
+}
+
+void send_ciphertext_batch(Channel& chan, const std::string& to,
+                           const std::vector<DgkCiphertext>& cts) {
+  chan.send(to, ciphertext_batch_message(cts));
 }
 
 /// S2's core: zero-test the returned sequence; some c_i == 0 iff d < e.
@@ -117,29 +125,47 @@ void require_shared_width(const DgkPublicKey& pk, std::size_t width) {
 
 }  // namespace
 
-bool dgk_compare_s1_geq(Channel& chan, const DgkPublicKey& pk,
-                        std::size_t ell, std::int64_t x, Rng& rng) {
+MessageWriter dgk_compare_s2_bits(const DgkCompareContext& ctx, std::int64_t y,
+                                  Rng& rng) {
+  return encrypted_bits_message(*ctx.pk, to_offset_domain(y, ctx.ell),
+                                ctx.ell, rng);
+}
+
+MessageWriter dgk_compare_s1_blind(const DgkPublicKey& pk, std::size_t ell,
+                                   std::int64_t x, MessageReader& e_bits,
+                                   Rng& rng) {
   obs::count(obs::Op::kDgkCompare);
   const std::uint64_t d = to_offset_domain(x, ell);
-  const std::vector<DgkCiphertext> e_bits =
-      recv_ciphertext_batch(chan, "S2", ell);
-  send_ciphertext_batch(
-      chan, "S2", build_blinded_sequence(pk, d, e_bits, /*flipped=*/false,
-                                         rng));
+  const std::vector<DgkCiphertext> bits = read_ciphertext_batch(e_bits, ell);
+  return ciphertext_batch_message(
+      build_blinded_sequence(pk, d, bits, /*flipped=*/false, rng));
+}
+
+bool dgk_compare_s2_decide(const DgkCompareContext& ctx,
+                           MessageReader& blinded, MessageWriter& reply) {
+  const std::vector<DgkCiphertext> c_seq = read_ciphertext_batch(blinded, 0);
+  const bool x_geq_y = !any_zero_test(*ctx.sk, c_seq);
+  reply.write_u8(x_geq_y ? 1 : 0);
+  return x_geq_y;
+}
+
+bool dgk_compare_read_bit(MessageReader& msg) { return msg.read_u8() != 0; }
+
+bool dgk_compare_s1_geq(Channel& chan, const DgkPublicKey& pk,
+                        std::size_t ell, std::int64_t x, Rng& rng) {
+  MessageReader e_bits = chan.recv("S2");
+  chan.send("S2", dgk_compare_s1_blind(pk, ell, x, e_bits, rng));
   MessageReader result = chan.recv("S2");
-  return result.read_u8() != 0;
+  return dgk_compare_read_bit(result);
 }
 
 bool dgk_compare_s2_geq(Channel& chan, const DgkCompareContext& ctx,
                         std::int64_t y, Rng& rng) {
-  const std::uint64_t e = to_offset_domain(y, ctx.ell);
-  send_encrypted_bits(chan, "S1", *ctx.pk, e, ctx.ell, rng);
-  const std::vector<DgkCiphertext> blinded =
-      recv_ciphertext_batch(chan, "S1", 0);
-  const bool x_geq_y = !any_zero_test(*ctx.sk, blinded);
-  MessageWriter out;
-  out.write_u8(x_geq_y ? 1 : 0);
-  chan.send("S1", std::move(out));
+  chan.send("S1", dgk_compare_s2_bits(ctx, y, rng));
+  MessageReader blinded = chan.recv("S1");
+  MessageWriter reply;
+  const bool x_geq_y = dgk_compare_s2_decide(ctx, blinded, reply);
+  chan.send("S1", std::move(reply));
   return x_geq_y;
 }
 
@@ -162,7 +188,7 @@ bool dgk_compare_shared_s2(Channel& chan, const DgkCompareContext& ctx,
   const std::size_t width = ctx.ell + 1;
   require_shared_width(*ctx.pk, width);
   const std::uint64_t e_prime = 2 * to_offset_domain(y, ctx.ell);
-  send_encrypted_bits(chan, "S1", *ctx.pk, e_prime, width, rng);
+  chan.send("S1", encrypted_bits_message(*ctx.pk, e_prime, width, rng));
   const std::vector<DgkCiphertext> blinded =
       recv_ciphertext_batch(chan, "S1", 0);
   return any_zero_test(*ctx.sk, blinded);  // t: kept private

@@ -59,6 +59,30 @@ struct DgkCompareContext {
                                       const DgkCompareContext& ctx,
                                       std::int64_t y, Rng& rng);
 
+// --- Message-slot halves (lane-batched execution) ---------------------------
+// The revealed-output roles above are exactly these functions stitched to
+// the channel in order; mpc/consensus_batch.cpp calls them per lane so one
+// coalesced frame carries every lane's payload for a slot.  Each computes
+// precisely the bytes and Rng draws of the sequential role at that boundary.
+
+/// S2 slot 1: DGK-encrypts e's bits (counts kDgkCompareBit).
+[[nodiscard]] MessageWriter dgk_compare_s2_bits(const DgkCompareContext& ctx,
+                                                std::int64_t y, Rng& rng);
+/// S1 slot 2: builds the blinded permuted c-sequence from S2's encrypted
+/// bits (counts kDgkCompare — the S1 role owns the comparison count).
+[[nodiscard]] MessageWriter dgk_compare_s1_blind(const DgkPublicKey& pk,
+                                                 std::size_t ell,
+                                                 std::int64_t x,
+                                                 MessageReader& e_bits,
+                                                 Rng& rng);
+/// S2 slot 3: zero-tests the returned sequence, writes the revealed bit
+/// into `reply` and returns it (x >= y).
+[[nodiscard]] bool dgk_compare_s2_decide(const DgkCompareContext& ctx,
+                                         MessageReader& blinded,
+                                         MessageWriter& reply);
+/// S1 slot 3, read side: the revealed bit.
+[[nodiscard]] bool dgk_compare_read_bit(MessageReader& msg);
+
 /// Shared-output roles (see dgk_compare_geq_shared below): S1's role
 /// returns its share (!delta), S2's role returns its share (t).
 [[nodiscard]] bool dgk_compare_shared_s1(Channel& chan,

@@ -1,0 +1,80 @@
+// Shared worker pool for query-lane crypto fan-out (batched execution).
+//
+// Batched protocol rounds coalesce Q queries' payloads into one frame; the
+// per-lane crypto (encryptions, blinding, zero-tests) is independent across
+// lanes, so a party program hands the lane loop to this pool instead of
+// running it serially.  The design reuses the encryption_pool worker
+// pattern — plain threads, contiguous claims — but keeps the threads
+// persistent across rounds: a batched query makes hundreds of fan-out
+// calls, and respawning workers per call would dominate the win.
+//
+// Observability: run() snapshots the submitting thread's observer binding
+// (obs::current_observer) and each worker installs it for the duration of a
+// lane, so spans opened and ops counted inside fn attribute to the
+// submitting party exactly as in the sequential path.  The submitting
+// thread participates in the lane loop itself (it would otherwise idle),
+// which also makes a zero-worker pool valid.
+//
+// Concurrent run() calls from different party threads serialize on the one
+// job slot; lanes within a job run concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace pcl {
+
+class LanePool {
+ public:
+  /// Spawns `threads` persistent workers (0 is valid: run() then executes
+  /// every lane on the submitting thread).
+  explicit LanePool(std::size_t threads);
+  ~LanePool();
+  LanePool(const LanePool&) = delete;
+  LanePool& operator=(const LanePool&) = delete;
+
+  /// Runs fn(lane) for every lane in [0, lanes), blocking until all lanes
+  /// finish.  The first exception thrown by any lane cancels the unclaimed
+  /// remainder and is rethrown here.  fn must be safe to call concurrently
+  /// for distinct lanes.
+  void run(std::size_t lanes, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Process-wide pool sized to the hardware, shared by every batched party
+  /// program in the process (the two servers run in one process on the
+  /// in-process and threaded transports; sharing keeps total threads
+  /// bounded).
+  [[nodiscard]] static LanePool& shared();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    obs::ObserverSnapshot snapshot;
+    std::size_t lanes = 0;
+    std::size_t next = 0;    // next unclaimed lane
+    std::size_t active = 0;  // lanes claimed but not yet finished
+    std::exception_ptr error;
+  };
+
+  void worker_main();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a job has unclaimed lanes
+  std::condition_variable done_cv_;  // submitter: all lanes finished
+  std::condition_variable idle_cv_;  // next submitter: job slot free
+  Job job_;
+  std::uint64_t job_id_ = 0;  // bumped per run() so workers spot new work
+  bool busy_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pcl

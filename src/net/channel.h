@@ -57,8 +57,11 @@ class Channel {
   virtual void add_step_time(const std::string& step,
                              std::chrono::nanoseconds elapsed) = 0;
 
-  /// Out-of-band public bulletin (see file comment).  Throws
-  /// std::logic_error when the transport has no bulletin attached.
+  /// Out-of-band public bulletin (see file comment).  Posts form an ordered
+  /// log: every consumer reads the sequence from its own cursor, one entry
+  /// per await_public() call (lane-batched runs post one verdict per
+  /// query).  Throws std::logic_error when the transport has no bulletin
+  /// attached.
   virtual void post_public(std::int64_t value) = 0;
   [[nodiscard]] virtual std::int64_t await_public() = 0;
 };

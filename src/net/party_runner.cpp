@@ -56,6 +56,7 @@ class DeterministicEngine {
     bool blocked_on_link = false;
     bool blocked_on_public = false;
     std::string waiting_from;
+    std::size_t public_cursor = 0;  // next bulletin entry to consume
     std::exception_ptr error;
     std::size_t error_seq = 0;
   };
@@ -117,19 +118,19 @@ class DeterministicEngine {
     }
   }
 
+  // The bulletin is an ordered log: posts append, and every party consumes
+  // the sequence through its own cursor (one entry per await).  Lane-batched
+  // runs post one verdict per query; a sequential run posts once and each
+  // party awaits once, reproducing the old single-shot behavior.
   void post_public(std::int64_t value) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (public_posted_) {
-      throw std::logic_error("party runner: public signal posted twice");
-    }
-    public_posted_ = true;
-    public_value_ = value;
+    public_values_.push_back(value);
   }
 
   [[nodiscard]] std::int64_t await_public(std::size_t i) {
     std::unique_lock<std::mutex> lock(mutex_);
     PartyState& st = states_[i];
-    while (!public_posted_) {
+    while (st.public_cursor >= public_values_.size()) {
       st.blocked_on_public = true;
       active_ = kScheduler;
       cv_.notify_all();
@@ -138,7 +139,7 @@ class DeterministicEngine {
       if (aborting_) throw AbortRun{};
       st.blocked_on_public = false;
     }
-    return public_value_;
+    return public_values_[st.public_cursor++];
   }
 
   [[nodiscard]] bool runnable(std::size_t i) const {
@@ -147,7 +148,9 @@ class DeterministicEngine {
     if (st.blocked_on_link) {
       return net_.has_pending(parties_[i].name, st.waiting_from);
     }
-    if (st.blocked_on_public) return public_posted_;
+    if (st.blocked_on_public) {
+      return st.public_cursor < public_values_.size();
+    }
     return true;  // not yet started, or ready at a handoff point
   }
 
@@ -223,15 +226,16 @@ class DeterministicEngine {
   std::condition_variable cv_;
   int active_ = kScheduler;
   bool aborting_ = false;
-  bool public_posted_ = false;
-  std::int64_t public_value_ = 0;
+  std::vector<std::int64_t> public_values_;  // ordered bulletin log
   std::size_t next_error_seq_ = 0;
   std::vector<PartyState> states_;
   std::string deadlock_description_;
   std::size_t bytes_sent_ = 0;  // written only by the active party
 };
 
-/// One-shot bulletin for the threaded transport.
+/// Ordered bulletin log for the threaded transport.  Posts append; each
+/// party reads the sequence through its own cursor (captured in its public
+/// hooks), one entry per await.
 class SharedPublicSignal {
  public:
   explicit SharedPublicSignal(std::chrono::milliseconds timeout)
@@ -240,29 +244,25 @@ class SharedPublicSignal {
   void post(std::int64_t value) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (posted_) {
-        throw std::logic_error("party runner: public signal posted twice");
-      }
-      posted_ = true;
-      value_ = value;
+      values_.push_back(value);
     }
     cv_.notify_all();
   }
 
-  [[nodiscard]] std::int64_t await() {
+  [[nodiscard]] std::int64_t await(std::size_t index) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (!cv_.wait_for(lock, timeout_, [&] { return posted_; })) {
+    if (!cv_.wait_for(lock, timeout_,
+                      [&] { return values_.size() > index; })) {
       throw RecvTimeoutError(
           "party runner: timed out awaiting the public signal");
     }
-    return value_;
+    return values_[index];
   }
 
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool posted_ = false;
-  std::int64_t value_ = 0;
+  std::vector<std::int64_t> values_;
   std::chrono::milliseconds timeout_;
 };
 
@@ -291,7 +291,9 @@ PartyRunReport run_threaded(std::span<const Party> parties,
       BlockingChannel chan(net, parties[i].name, options.stats);
       chan.set_public_hooks(
           [&signal](std::int64_t value) { signal.post(value); },
-          [&signal] { return signal.await(); });
+          [&signal, cursor = std::size_t{0}]() mutable {
+            return signal.await(cursor++);
+          });
       try {
         parties[i].run(chan);
       } catch (...) {

@@ -600,7 +600,7 @@ Frame TcpChannel::read_until(const std::string& peer, FrameKind kind,
     // overtake protocol messages on the same socket and vice versa.
     if (frame->kind == FrameKind::kBulletin) {
       MessageReader reader(std::move(frame->payload));
-      bulletin_value_ = reader.read_i64();
+      bulletin_values_.push_back(reader.read_i64());
       if (!reader.exhausted()) {
         throw FramingError("bulletin frame carries trailing bytes");
       }
@@ -636,7 +636,7 @@ void TcpChannel::post_public(std::int64_t value) {
                            wiring_.bulletin_host + "') posts; '" +
                            wiring_.self + "' tried to");
   }
-  bulletin_value_ = value;
+  bulletin_values_.push_back(value);
   MessageWriter writer;
   writer.write_i64(value);
   Frame frame;
@@ -655,7 +655,9 @@ void TcpChannel::post_public(std::int64_t value) {
 }
 
 std::int64_t TcpChannel::await_public() {
-  if (bulletin_value_.has_value()) return *bulletin_value_;
+  if (bulletin_cursor_ < bulletin_values_.size()) {
+    return bulletin_values_[bulletin_cursor_++];
+  }
   if (wiring_.self == wiring_.bulletin_host) {
     throw std::logic_error(
         "await_public: the bulletin host has nothing to await");
@@ -663,12 +665,11 @@ std::int64_t TcpChannel::await_public() {
   Frame frame = read_until(wiring_.bulletin_host, FrameKind::kBulletin,
                            recv_deadline_.value_or(wiring_.timeouts.recv));
   MessageReader reader(std::move(frame.payload));
-  const std::int64_t value = reader.read_i64();
+  bulletin_values_.push_back(reader.read_i64());
   if (!reader.exhausted()) {
     throw FramingError("bulletin frame carries trailing bytes");
   }
-  bulletin_value_ = value;
-  return value;
+  return bulletin_values_[bulletin_cursor_++];
 }
 
 std::size_t TcpChannel::pending_messages() const {

@@ -211,8 +211,11 @@ struct TcpPartyWiring {
 ///
 /// Frames from a peer can interleave (a BULLETIN may arrive while the party
 /// reads messages, and vice versa), so recv() parks bulletin frames in the
-/// bulletin slot and await_public() parks message frames in the per-peer
-/// inbox; neither is ever dropped.  Not thread-safe: one party program per
+/// ordered bulletin log and await_public() parks message frames in the
+/// per-peer inbox; neither is ever dropped.  The bulletin is a log, not a
+/// slot: every post appends (the host also appends locally), and
+/// await_public() consumes entries in order through a cursor — lane-batched
+/// runs post one verdict per query.  Not thread-safe: one party program per
 /// channel, as with every other Channel.
 class TcpChannel final : public Channel {
  public:
@@ -268,7 +271,8 @@ class TcpChannel final : public Channel {
   std::optional<std::chrono::milliseconds> recv_deadline_;
   std::map<std::string, TcpSocket> sockets_;
   std::map<std::string, std::deque<std::vector<std::uint8_t>>> inbox_;
-  std::optional<std::int64_t> bulletin_value_;
+  std::vector<std::int64_t> bulletin_values_;  // ordered bulletin log
+  std::size_t bulletin_cursor_ = 0;            // next entry await returns
   std::size_t bytes_sent_ = 0;
 };
 

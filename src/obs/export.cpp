@@ -148,7 +148,8 @@ JsonValue merge_traces(const std::vector<JsonValue>& traces) {
                                   " has no \"traceEvents\"");
     }
     Source src;
-    src.name = "p" + std::to_string(i + 1);
+    src.name = "p";
+    src.name += std::to_string(i + 1);
     if (const JsonValue* pc = t.find("pc");
         pc != nullptr && pc->is_object()) {
       if (const JsonValue* proc = pc->find("process");

@@ -33,6 +33,11 @@ ThreadObserver& tls_observer() {
 
 }  // namespace detail
 
+ObserverSnapshot current_observer() {
+  const detail::ThreadObserver& obs = detail::tls_observer();
+  return {obs.sink, obs.metrics, obs.party};
+}
+
 ObserverScope::ObserverScope(TraceSink* sink, MetricsRegistry* metrics,
                              std::string party)
     : party_(std::move(party)), saved_(detail::tls_observer()) {

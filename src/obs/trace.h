@@ -66,6 +66,20 @@ struct ThreadObserver {
 
 }  // namespace detail
 
+/// Copyable handle on a thread's observer binding, for handing to worker
+/// threads that do crypto on behalf of an observed party (the lane-pool
+/// fan-out).  The worker installs it with ObserverScope(snapshot); its
+/// spans and counters then attribute to the originating party.
+struct ObserverSnapshot {
+  TraceSink* sink = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  std::string party;
+};
+
+/// Snapshot of the calling thread's current binding (empty when the thread
+/// is unobserved — installing that snapshot elsewhere is then a no-op).
+[[nodiscard]] ObserverSnapshot current_observer();
+
 /// Binds (sink, metrics, party) to the current thread for its lifetime and
 /// restores the previous binding on destruction, so scopes nest (a bench
 /// driver observing itself can still run an observed engine inline).
@@ -73,6 +87,8 @@ struct ThreadObserver {
 class ObserverScope {
  public:
   ObserverScope(TraceSink* sink, MetricsRegistry* metrics, std::string party);
+  explicit ObserverScope(const ObserverSnapshot& snapshot)
+      : ObserverScope(snapshot.sink, snapshot.metrics, snapshot.party) {}
   ~ObserverScope();
   ObserverScope(const ObserverScope&) = delete;
   ObserverScope& operator=(const ObserverScope&) = delete;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -163,16 +164,52 @@ TEST(PartyRunner, PublicBulletinReachesEveryAwaiter) {
   EXPECT_EQ(seen_b, 7);
 }
 
-TEST(PartyRunner, PublicBulletinIsWriteOnce) {
+TEST(PartyRunner, PublicBulletinIsAnOrderedLog) {
+  // Multi-post: the bulletin is an ordered log, and every consumer walks it
+  // through its own cursor (lane-batched runs post one verdict per query).
   Network net;
+  std::vector<std::int64_t> seen_a, seen_b;
   const Party parties[] = {
       {"S1",
        [](Channel& chan) {
          chan.post_public(1);
          chan.post_public(2);
+         chan.post_public(3);
+       }},
+      {"user:0",
+       [&](Channel& chan) {
+         for (int i = 0; i < 3; ++i) seen_a.push_back(chan.await_public());
+       }},
+      {"user:1",
+       [&](Channel& chan) {
+         for (int i = 0; i < 3; ++i) seen_b.push_back(chan.await_public());
        }},
   };
-  EXPECT_THROW(run_parties_deterministic(net, parties), std::logic_error);
+  run_parties_deterministic(net, parties);
+  const std::vector<std::int64_t> want = {1, 2, 3};
+  EXPECT_EQ(seen_a, want);
+  EXPECT_EQ(seen_b, want);
+}
+
+TEST(PartyRunner, ThreadedBulletinIsAnOrderedLog) {
+  std::vector<std::int64_t> seen;
+  const Party parties[] = {
+      {"S1",
+       [](Channel& chan) {
+         chan.post_public(10);
+         chan.post_public(20);
+       }},
+      {"user:0",
+       [&](Channel& chan) {
+         seen.push_back(chan.await_public());
+         seen.push_back(chan.await_public());
+       }},
+  };
+  PartyRunOptions options;
+  options.transport = PartyTransport::kThreaded;
+  (void)run_parties(parties, options);
+  const std::vector<std::int64_t> want = {10, 20};
+  EXPECT_EQ(seen, want);
 }
 
 TEST(NetworkChannel, StandaloneHasNoBulletin) {

@@ -33,6 +33,33 @@ TEST_F(EncryptionPoolTest, PoolExhaustionThrows) {
   EXPECT_EQ(pool.remaining(), 0u);
 }
 
+TEST_F(EncryptionPoolTest, RefillExtendsAnExhaustedPool) {
+  PaillierRandomizerPool pool(key_.pk, 2, 1, 6);
+  (void)pool.encrypt(BigInt(1));
+  (void)pool.encrypt(BigInt(2));
+  EXPECT_EQ(pool.remaining(), 0u);
+
+  pool.refill(3, 2);
+  EXPECT_EQ(pool.remaining(), 3u);
+  EXPECT_EQ(key_.sk.decrypt(pool.encrypt(BigInt(-55))), BigInt(-55));
+  EXPECT_EQ(pool.remaining(), 2u);
+}
+
+TEST_F(EncryptionPoolTest, RefilledRandomizersNeverRepeatEarlierOnes) {
+  // Same seed, refilled twice: every drawn randomizer power must be
+  // distinct (the refill salts its worker streams with a generation
+  // counter, so it never replays the construction streams).
+  PaillierRandomizerPool pool(key_.pk, 4, 2, 7);
+  std::set<std::string> seen;
+  for (int round = 0; round < 3; ++round) {
+    while (pool.remaining() > 0) {
+      seen.insert(pool.encrypt(BigInt(9)).value.to_string(16));
+    }
+    pool.refill(4, 2);
+  }
+  EXPECT_EQ(seen.size(), 12u);
+}
+
 TEST_F(EncryptionPoolTest, PooledCiphertextsAreProbabilistic) {
   PaillierRandomizerPool pool(key_.pk, 16, 4, 3);
   std::set<std::string> seen;

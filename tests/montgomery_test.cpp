@@ -83,6 +83,62 @@ TEST(Montgomery, FermatOnLargePrime) {
   }
 }
 
+TEST(Montgomery, SharedCacheReturnsOneContextPerModulus) {
+  DeterministicRng rng(6);
+  BigInt m = rng.random_bits_exact(256);
+  if (m.is_even()) m += BigInt(1);
+  const auto a = MontgomeryContext::shared(m);
+  const auto b = MontgomeryContext::shared(m);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // memoized, not rebuilt
+  EXPECT_EQ(a->modulus(), m);
+
+  BigInt other = rng.random_bits_exact(256);
+  if (other.is_even()) other += BigInt(1);
+  EXPECT_NE(MontgomeryContext::shared(other).get(), a.get());
+}
+
+TEST(Montgomery, SharedCacheSurvivesOverflowClear) {
+  // Flood the cache far past its bound (the keygen churn scenario): held
+  // contexts must stay valid and produce correct results even after the
+  // cache is cleared underneath them, and re-lookup works afterwards.
+  DeterministicRng rng(7);
+  BigInt m = rng.random_bits_exact(128);
+  if (m.is_even()) m += BigInt(1);
+  const auto held = MontgomeryContext::shared(m);
+  for (int i = 0; i < 600; ++i) {
+    BigInt churn = rng.random_bits_exact(64);
+    if (churn.is_even()) churn += BigInt(1);
+    (void)MontgomeryContext::shared(churn);
+  }
+  const BigInt base = rng.uniform_below(m);
+  const BigInt exp = rng.random_bits(96);
+  EXPECT_EQ(held->pow(base, exp), BigInt::pow_mod(base, exp, m));
+  EXPECT_EQ(MontgomeryContext::shared(m)->pow(base, exp),
+            held->pow(base, exp));
+}
+
+TEST(Montgomery, WindowedPowMatchesNaiveAtCryptoSizes) {
+  // The fixed-window kernel at the sizes the protocol actually runs
+  // (Paillier n^2 at 2048-bit, DGK n at 1024-bit), against the plain
+  // square-and-multiply oracle.
+  DeterministicRng rng(8);
+  for (const std::size_t bits : {1024u, 2048u}) {
+    BigInt m = rng.random_bits_exact(bits);
+    if (m.is_even()) m += BigInt(1);
+    const MontgomeryContext ctx(m);
+    const BigInt base = rng.uniform_below(m);
+    const BigInt exp = rng.random_bits(bits / 4);
+    BigInt expected(1);
+    BigInt b = base.mod(m);
+    for (std::size_t i = 0; i < exp.bit_length(); ++i) {
+      if (exp.bit(i)) expected = (expected * b).mod(m);
+      b = (b * b).mod(m);
+    }
+    EXPECT_EQ(ctx.pow(base, exp), expected) << bits << "-bit modulus";
+  }
+}
+
 TEST(Montgomery, PowModIntegrationUsesIt) {
   // BigInt::pow_mod must agree with the context on odd moduli (it routes
   // through Montgomery internally) and stay correct on even moduli (naive

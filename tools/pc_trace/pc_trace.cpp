@@ -11,7 +11,10 @@
 // machine-readable "pc" summary — per protocol step: wall time (max over
 // parties of that party's span time, since parties run concurrently),
 // bytes and messages on the wire, and the Paillier / DGK / modexp counts
-// behind the paper's Tables I/II.  --check also accepts "pc-bench-v1"
+// behind the paper's Tables I/II.  Lane-batched runs attribute ops to one
+// "lane:<q>" slot per query (mpc/consensus_batch.h); those rows collapse
+// into a single "lanes (N queries)" aggregate plus a per-query footer so a
+// 100-query trace stays one screen.  --check also accepts "pc-bench-v1"
 // records and JSONL metrics dumps, returning nonzero if anything fails
 // validation — CI gates the bench artifacts on it.
 #include <algorithm>
@@ -125,6 +128,40 @@ int summarize(const std::string& path) {
     }
     rows.push_back(std::move(row));
   }
+  // Lane-batched runs produce one "lane:<q>" slot per query; collapse them
+  // into a single aggregate row so big batches stay readable, and keep the
+  // totals around for the ops-per-query footer.  Lane wall times are
+  // summed: on a pool worker they overlap, so this is lane-CPU time, not
+  // elapsed time (the enclosing step span carries the wall clock).
+  StepRow lane_total;
+  std::size_t lane_count = 0;
+  {
+    std::vector<StepRow> kept;
+    for (StepRow& row : rows) {
+      if (row.step.rfind("lane:", 0) != 0) {
+        kept.push_back(std::move(row));
+        continue;
+      }
+      ++lane_count;
+      lane_total.wall_ms += row.wall_ms;
+      if (row.first_ts >= 0 &&
+          (lane_total.first_ts < 0 || row.first_ts < lane_total.first_ts)) {
+        lane_total.first_ts = row.first_ts;
+      }
+      lane_total.bytes += row.bytes;
+      lane_total.messages += row.messages;
+      lane_total.paillier += row.paillier;
+      lane_total.dgk += row.dgk;
+      lane_total.modexp += row.modexp;
+    }
+    if (lane_count > 0) {
+      lane_total.step =
+          "lanes (" + std::to_string(lane_count) + " queries)";
+      kept.push_back(lane_total);
+    }
+    rows = std::move(kept);
+  }
+
   // Protocol order = order of first span; span-less steps trail, sorted.
   std::stable_sort(rows.begin(), rows.end(),
                    [](const StepRow& a, const StepRow& b) {
@@ -160,6 +197,16 @@ int summarize(const std::string& path) {
               static_cast<unsigned long long>(total.paillier),
               static_cast<unsigned long long>(total.dgk),
               static_cast<unsigned long long>(total.modexp));
+  if (lane_count > 0) {
+    const double n = static_cast<double>(lane_count);
+    std::printf("%-26s %10.2f %12.1f %6.1f %10.1f %8.1f %10.1f\n",
+                "per query", lane_total.wall_ms / n,
+                static_cast<double>(lane_total.bytes) / n,
+                static_cast<double>(lane_total.messages) / n,
+                static_cast<double>(lane_total.paillier) / n,
+                static_cast<double>(lane_total.dgk) / n,
+                static_cast<double>(lane_total.modexp) / n);
+  }
   return 0;
 }
 
