@@ -1,0 +1,46 @@
+// Secrecy annotations consumed by the pc_lint static analyzer (PC008).
+//
+// The two-server model assumes the released noisy-max label is the *only*
+// leakage, so every place where secret-derived data crosses into an
+// observable channel — a branch, an array index, a variable-time BigInt
+// call, a message write — must either be constant-time or be a reviewed,
+// deliberate release.  This header gives the code two ways to say which:
+//
+//   PC_SECRET        declaration marker.  Placed before a field, local or
+//                    parameter declaration it seeds PC008's taint analysis:
+//                    the declared identifier is a secret source in every
+//                    function of the declaring file (and of the paired
+//                    .cpp for fields declared in a header).  It expands to
+//                    nothing — the marker exists purely for the analyzer
+//                    (and the human reader).
+//
+//   pc_declassify(e) expression escape.  The identity function at runtime;
+//                    to the analyzer it launders taint: the wrapped
+//                    expression is treated as public.  Every use is a
+//                    reviewed release point and MUST carry an adjacent
+//                    comment justifying why the value (or its timing) is
+//                    safe to reveal — e.g. "comparison output bit, the
+//                    protocol's defined release" or "masked by a fresh
+//                    uniform r1".  pc_declassify replaces the older
+//                    free-text `ct-ok:` comments: it is scoped to one
+//                    expression instead of one line, survives reformatting,
+//                    and is greppable as the protocol's complete reveal
+//                    surface.
+//
+// This header is deliberately dependency-free (no includes at all): it sits
+// below every layer of the DAG enforced by PC010, so bigint, crypto, mpc and
+// net code may all include it without creating an upward edge into core/.
+#pragma once
+
+#define PC_SECRET /* pc_lint PC008 taint source */
+
+namespace pcl {
+
+/// Identity at runtime; taint laundering for the analyzer.  Accepts lvalues
+/// and rvalues alike and forwards the value category unchanged.
+template <typename T>
+constexpr T&& pc_declassify(T&& value) noexcept {
+  return static_cast<T&&>(value);
+}
+
+}  // namespace pcl

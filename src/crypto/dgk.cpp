@@ -80,9 +80,10 @@ DgkCiphertext DgkPublicKey::rerandomize(const DgkCiphertext& c,
 
 DgkPrivateKey::DgkPrivateKey(DgkPublicKey pk, BigInt p, BigInt vp)
     : pk_(std::move(pk)), p_(std::move(p)), vp_(std::move(vp)) {
-  // Parity is structural (every DGK prime is odd), not a data-dependent
-  // secret branch.  ct-ok: one-time key-construction shape check.
-  if (p_ > BigInt(1) && p_.is_odd()) {
+  // pc_declassify: parity is structural (every DGK prime is odd), and key
+  // construction runs once, offline, before any protocol traffic that an
+  // adversary could time — not an online secret-dependent branch.
+  if (pc_declassify(p_ > BigInt(1) && p_.is_odd())) {
     mont_p_ = MontgomeryContext::shared(p_);
   }
   gvp_ = BigInt::pow_mod(pk_.g().mod(p_), vp_, p_);
@@ -90,7 +91,9 @@ DgkPrivateKey::DgkPrivateKey(DgkPublicKey pk, BigInt p, BigInt vp)
   dlog_table_.reserve(u);
   BigInt acc(1);
   for (std::uint64_t m = 0; m < u; ++m) {
-    dlog_table_.emplace(acc.to_string(16), m);
+    // pc_declassify: dlog-table construction is part of one-time key
+    // generation; its timing never coincides with adversary-visible traffic.
+    dlog_table_.emplace(pc_declassify(acc.to_string(16)), m);
     acc = (acc * gvp_).mod(p_);
   }
 }
@@ -110,15 +113,23 @@ bool DgkPrivateKey::is_zero(const DgkCiphertext& c) const {
   obs::count(obs::Op::kDgkZeroTest);
   // E(m)^vp mod p = (g^vp)^m mod p since h has order vp mod p; the result is
   // 1 iff m == 0 (mod u).
-  // The zero-test bit IS the protocol's defined output for S2 (the released
-  // comparison result); modexp timing depends only on public sizes.  ct-ok
-  return ctx_pow(mont_p_, c.value.mod(p_), vp_, p_) == BigInt(1);
+  // pc_declassify: the zero-test bit IS the protocol's defined output for S2
+  // (the released comparison result); the fixed-window Montgomery modexp's
+  // timing depends only on public operand sizes.
+  return pc_declassify(ctx_pow(mont_p_, c.value.mod(p_), vp_, p_) ==
+                       BigInt(1));
 }
 
 std::uint64_t DgkPrivateKey::decrypt(const DgkCiphertext& c) const {
   const BigInt target = ctx_pow(mont_p_, c.value.mod(p_), vp_, p_);
-  const auto it = dlog_table_.find(target.to_string(16));
-  if (it == dlog_table_.end()) {
+  // pc_declassify: full decryption is never run on adversary-timed secret
+  // data — the protocols call is_zero() on blinded values; decrypt() serves
+  // key-owner-local paths (tests, the trusted aggregation endpoint) where
+  // the plaintext is the caller's own output.  The table walk is inherently
+  // plaintext-dependent; declassifying the key and the hit/miss branch
+  // records that as a reviewed release rather than an oversight.
+  const auto it = dlog_table_.find(pc_declassify(target.to_string(16)));
+  if (pc_declassify(it == dlog_table_.end())) {
     throw std::invalid_argument("DGK decryption failed (invalid ciphertext)");
   }
   return it->second;

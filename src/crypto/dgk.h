@@ -19,6 +19,7 @@
 
 #include "bigint/bigint.h"
 #include "bigint/rng.h"
+#include "core/secrecy.h"
 
 namespace pcl {
 
@@ -109,13 +110,13 @@ class DgkPrivateKey {
 
  private:
   DgkPublicKey pk_;
-  BigInt p_, vp_;
-  BigInt gvp_;  // g^vp mod p, a generator of the order-u subgroup
+  PC_SECRET BigInt p_, vp_;
+  PC_SECRET BigInt gvp_;  // g^vp mod p, a generator of the order-u subgroup
   // Key-attached context for p (dropped by zeroize; the process-wide
   // Montgomery cache may retain its own entry, see DESIGN §10).
   std::shared_ptr<const MontgomeryContext> mont_p_;
   // Discrete-log table over the (tiny) order-u subgroup: gvp_^m -> m.
-  std::unordered_map<std::string, std::uint64_t> dlog_table_;
+  PC_SECRET std::unordered_map<std::string, std::uint64_t> dlog_table_;
 };
 
 struct DgkKeyPair {

@@ -82,19 +82,23 @@ BigInt PaillierPublicKey::decode_signed(const BigInt& residue) const {
 PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pk, BigInt p,
                                        BigInt q)
     : pk_(pk), p_(std::move(p)), q_(std::move(q)) {
-  // ct-ok: one-time key-construction validation, not an online secret branch.
-  if (p_ * q_ != pk_.n()) {
+  // pc_declassify (this whole block): key construction runs once, offline,
+  // before the key is used in any adversary-observable exchange, so its
+  // variable-time arithmetic (lcm, invert_mod — both Euclid-family) and
+  // validation branches leak nothing an online attacker can measure.  The
+  // parity checks are structural: p^2 and q^2 are odd for every real key.
+  if (pc_declassify(p_ * q_ != pk_.n())) {
     throw std::invalid_argument("Paillier private key does not match modulus");
   }
   p_squared_ = p_ * p_;
   q_squared_ = q_ * q_;
-  lambda_ = BigInt::lcm(p_ - BigInt(1), q_ - BigInt(1));
-  mu_ = BigInt::invert_mod(lambda_, pk_.n());
-  q_sq_inv_p_ = BigInt::invert_mod(q_squared_, p_squared_);
-  if (p_squared_.is_odd()) {
+  lambda_ = pc_declassify(BigInt::lcm(p_ - BigInt(1), q_ - BigInt(1)));
+  mu_ = pc_declassify(BigInt::invert_mod(lambda_, pk_.n()));
+  q_sq_inv_p_ = pc_declassify(BigInt::invert_mod(q_squared_, p_squared_));
+  if (pc_declassify(p_squared_.is_odd())) {
     mont_p_squared_ = MontgomeryContext::shared(p_squared_);
   }
-  if (q_squared_.is_odd()) {
+  if (pc_declassify(q_squared_.is_odd())) {
     mont_q_squared_ = MontgomeryContext::shared(q_squared_);
   }
 }

@@ -18,6 +18,7 @@
 
 #include "bigint/bigint.h"
 #include "bigint/rng.h"
+#include "core/secrecy.h"
 
 namespace pcl {
 
@@ -109,11 +110,11 @@ class PaillierPrivateKey {
   [[nodiscard]] BigInt decrypt_crt(const PaillierCiphertext& c) const;
 
   PaillierPublicKey pk_;
-  BigInt p_, q_;
-  BigInt p_squared_, q_squared_;
-  BigInt lambda_;      // lcm(p-1, q-1)
-  BigInt mu_;          // lambda^{-1} mod n
-  BigInt q_sq_inv_p_;  // q^2 inverse mod p^2 (CRT recombination)
+  PC_SECRET BigInt p_, q_;
+  PC_SECRET BigInt p_squared_, q_squared_;
+  PC_SECRET BigInt lambda_;      // lcm(p-1, q-1)
+  PC_SECRET BigInt mu_;          // lambda^{-1} mod n
+  PC_SECRET BigInt q_sq_inv_p_;  // q^2 inverse mod p^2 (CRT recombination)
   // Key-attached contexts for the CRT moduli (dropped by zeroize; note the
   // process-wide Montgomery cache may retain its own entry, see DESIGN §10).
   std::shared_ptr<const MontgomeryContext> mont_p_squared_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/secrecy.h"
 #include "mpc/he_util.h"
 #include "net/party_runner.h"
 #include "obs/trace.h"
@@ -146,7 +147,10 @@ MessageWriter BlindPermuteS1::restore_decrypt(MessageReader& msg) {
   const std::vector<std::int64_t> masked =
       decrypt_vector(own_.sk, read_ciphertext_vector(msg));
   MessageWriter reply;
-  reply.write_i64_vector(masked);
+  // pc_declassify: each entry is one-hot bit + r2, with r2 a fresh uniform
+  // mask drawn by S2 and unknown to S1's peer; the sum reveals nothing about
+  // the underlying index.
+  reply.write_i64_vector(pc_declassify(masked));
   return reply;
 }
 
@@ -187,7 +191,10 @@ MessageWriter BlindPermuteS2::round_permute(MessageReader& msg) {
   for (std::size_t i = 0; i < k_; ++i) seq[i] += round_r2_[i];
   const std::vector<std::int64_t> permuted = pi_.apply(seq);
   MessageWriter reply;
-  reply.write_i64_vector(permuted);
+  // pc_declassify: every entry carries S2's fresh additive mask r2 and the
+  // sequence is re-permuted by pi2, so S1 sees uniformly blinded values in
+  // an order it cannot invert.
+  reply.write_i64_vector(pc_declassify(permuted));
   return reply;
 }
 
@@ -249,7 +256,9 @@ MessageWriter BlindPermuteS2::restore_reveal(MessageReader& msg) {
   const std::vector<std::int64_t> masked =
       decrypt_vector(own_.sk, read_ciphertext_vector(msg));
   MessageWriter reply;
-  reply.write_i64_vector(masked);
+  // pc_declassify: the vector was masked with S1's fresh uniform r1 before
+  // it reached S2's key, so the plaintexts S2 returns are blinded shares.
+  reply.write_i64_vector(pc_declassify(masked));
   return reply;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/secrecy.h"
 #include "mpc/permutation.h"
 #include "net/party_runner.h"
 #include "obs/trace.h"
@@ -145,7 +146,9 @@ bool dgk_compare_s2_decide(const DgkCompareContext& ctx,
                            MessageReader& blinded, MessageWriter& reply) {
   const std::vector<DgkCiphertext> c_seq = read_ciphertext_batch(blinded, 0);
   const bool x_geq_y = !any_zero_test(*ctx.sk, c_seq);
-  reply.write_u8(x_geq_y ? 1 : 0);
+  // pc_declassify: the comparison bit is the DGK protocol's defined output
+  // for S2 — the one sanctioned release of this subprotocol.
+  reply.write_u8(pc_declassify(x_geq_y ? 1 : 0));
   return x_geq_y;
 }
 

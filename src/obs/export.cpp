@@ -433,6 +433,78 @@ std::vector<std::string> validate_bench_json(const JsonValue& v) {
   return problems;
 }
 
+std::vector<std::string> validate_lint_json(const JsonValue& v) {
+  std::vector<std::string> problems;
+  if (!v.is_object()) return {"document is not a JSON object"};
+  const JsonValue* schema = v.find("schema");
+  require(problems,
+          schema != nullptr && schema->is_string() &&
+              schema->as_string() == kLintSchema,
+          "\"schema\" is not \"pc-lint-v1\"");
+  const JsonValue* scanned = v.find("files_scanned");
+  require(problems,
+          scanned != nullptr && scanned->is_number() &&
+              scanned->as_number() >= 0,
+          "missing or negative \"files_scanned\"");
+  const JsonValue* findings = v.find("findings");
+  require(problems, findings != nullptr && findings->is_array(),
+          "missing or non-array \"findings\"");
+  std::size_t total = 0, suppressed = 0;
+  if (findings != nullptr && findings->is_array()) {
+    std::size_t i = 0;
+    for (const JsonValue& f : findings->as_array()) {
+      const std::string at = "findings[" + std::to_string(i) + "]";
+      if (!f.is_object()) {
+        problems.push_back(at + " is not an object");
+        ++i;
+        continue;
+      }
+      const JsonValue* rule = f.find("rule");
+      require(problems,
+              rule != nullptr && rule->is_string() &&
+                  rule->as_string().rfind("PC", 0) == 0,
+              (at + ": missing or malformed \"rule\" (expected PCNNN)")
+                  .c_str());
+      const JsonValue* file = f.find("file");
+      require(problems, file != nullptr && file->is_string(),
+              (at + ": missing or non-string \"file\"").c_str());
+      const JsonValue* line = f.find("line");
+      require(problems,
+              line != nullptr && line->is_number() && line->as_number() >= 0,
+              (at + ": missing or negative \"line\"").c_str());
+      const JsonValue* sup = f.find("suppressed");
+      require(problems, sup != nullptr && sup->is_bool(),
+              (at + ": missing or non-bool \"suppressed\"").c_str());
+      const JsonValue* message = f.find("message");
+      require(problems, message != nullptr && message->is_string(),
+              (at + ": missing or non-string \"message\"").c_str());
+      ++total;
+      if (sup != nullptr && sup->is_bool() && sup->as_bool()) ++suppressed;
+      ++i;
+    }
+  }
+  const JsonValue* counts = v.find("counts");
+  require(problems, counts != nullptr && counts->is_object(),
+          "missing or non-object \"counts\"");
+  if (counts != nullptr && counts->is_object()) {
+    const auto count_of = [&](const char* key) -> double {
+      const JsonValue* c = counts->find(key);
+      return c != nullptr && c->is_number() ? c->as_number() : -1;
+    };
+    require(problems,
+            count_of("total") == static_cast<double>(total),
+            "counts.total does not match the findings array");
+    require(problems,
+            count_of("suppressed") == static_cast<double>(suppressed),
+            "counts.suppressed does not match the findings array");
+    require(problems,
+            count_of("unsuppressed") ==
+                static_cast<double>(total - suppressed),
+            "counts.unsuppressed does not match the findings array");
+  }
+  return problems;
+}
+
 void write_text_file(const std::string& path, const std::string& text) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);

@@ -29,6 +29,7 @@ namespace pcl::obs {
 
 inline constexpr const char* kTraceSchema = "pc-trace-v1";
 inline constexpr const char* kBenchSchema = "pc-bench-v1";
+inline constexpr const char* kLintSchema = "pc-lint-v1";
 
 struct StepTraffic {
   std::uint64_t bytes = 0;
@@ -81,6 +82,7 @@ struct TraceProcess {
 /// valid).  Used by `pc_trace --check` and the obs unit tests.
 [[nodiscard]] std::vector<std::string> validate_trace_json(const JsonValue& v);
 [[nodiscard]] std::vector<std::string> validate_bench_json(const JsonValue& v);
+[[nodiscard]] std::vector<std::string> validate_lint_json(const JsonValue& v);
 
 /// Writes `text` to `path`, throwing std::runtime_error on I/O failure.
 void write_text_file(const std::string& path, const std::string& text);

@@ -319,6 +319,31 @@ TEST(Export, BenchJsonValidatesAndRoundTrips) {
   EXPECT_FALSE(validate_bench_json(missing).empty());
 }
 
+TEST(Export, LintJsonValidatorAcceptsReportsAndChecksCounts) {
+  const JsonValue good = JsonValue::parse(
+      R"({"schema": "pc-lint-v1", "files_scanned": 2, "findings": [)"
+      R"({"rule": "PC008", "file": "src/crypto/x.cc", "line": 7,)"
+      R"( "suppressed": true, "message": "secret branch"}],)"
+      R"( "counts": {"total": 1, "suppressed": 1, "unsuppressed": 0}})");
+  EXPECT_TRUE(validate_lint_json(good).empty());
+
+  // Counts must agree with the findings array.
+  const JsonValue bad_counts = JsonValue::parse(
+      R"({"schema": "pc-lint-v1", "files_scanned": 2, "findings": [],)"
+      R"( "counts": {"total": 3, "suppressed": 0, "unsuppressed": 3}})");
+  EXPECT_FALSE(validate_lint_json(bad_counts).empty());
+
+  const JsonValue bad_rule = JsonValue::parse(
+      R"({"schema": "pc-lint-v1", "files_scanned": 1, "findings": [)"
+      R"({"rule": "X9", "file": "f", "line": 1, "suppressed": false,)"
+      R"( "message": "m"}],)"
+      R"( "counts": {"total": 1, "suppressed": 0, "unsuppressed": 1}})");
+  EXPECT_FALSE(validate_lint_json(bad_rule).empty());
+
+  const JsonValue missing = JsonValue::parse(R"({"schema": "pc-lint-v1"})");
+  EXPECT_FALSE(validate_lint_json(missing).empty());
+}
+
 TEST(Export, ProcessTagCarriesNamePidAndEpoch) {
   TraceSink sink;
   {

@@ -1,12 +1,21 @@
 // Known-good fixture: must produce zero findings even with every rule
 // forced in scope.  Mentions of std::rand or lambda_ in comments and
-// "string literals with srand inside" must NOT trigger anything.
+// "string literals with srand inside" must NOT trigger anything, and a
+// pc_declassify() wrap must launder PC008 taint.
 #include <cstdint>
 
 namespace pcl_fixture {
 
-// ct-ok: this annotated comparison below exercises the suppression path.
-inline bool annotated_compare(std::int64_t lambda_) { return lambda_ == 0; }
+template <typename T>
+constexpr T&& pc_declassify(T&& value) noexcept {
+  return static_cast<T&&>(value);
+}
+
+// lambda_ is a built-in PC008 source, but the branch is declassified.
+inline int annotated_compare(std::int64_t lambda_) {
+  if (pc_declassify(lambda_ == 0)) return 1;
+  return 0;
+}
 
 inline std::int64_t answer() {
   const char* doc = "call srand() and std::random_device here";  // in a string

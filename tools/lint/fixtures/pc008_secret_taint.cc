@@ -1,0 +1,47 @@
+// Known-bad fixture for PC008 (secret-taint dataflow).  Every construct
+// below must be flagged: a branch on a built-in secret, a loop bound and an
+// array index derived from a PC_SECRET parameter, a variable-time BigInt
+// call on tainted data, taint flowing through a local helper's return
+// value, and a message write of decrypted plaintext.
+#include <cstdint>
+#include <vector>
+
+namespace pcl_fixture {
+
+struct BigInt {
+  static BigInt gcd(const BigInt& a, const BigInt& b);
+  bool is_odd() const;
+};
+
+struct MessageWriter {
+  void write_u64(std::uint64_t v);
+};
+
+std::int64_t decrypt(std::int64_t c);
+
+// Returns secret-derived data: callers of `unwrap` are tainted too.
+inline std::int64_t unwrap(std::int64_t c) { return decrypt(c) + 1; }
+
+inline std::uint64_t bad_branch_on_secret(std::int64_t sk) {
+  if (sk != 0) return 1;  // PC008: branch on secret
+  return 0;
+}
+
+inline std::int64_t bad_loop_and_index(PC_SECRET std::int64_t count,
+                                       const std::vector<std::int64_t>& table) {
+  std::int64_t acc = 0;
+  for (std::int64_t i = 0; i < count; ++i) acc += i;  // PC008: loop bound
+  return acc + table[static_cast<std::size_t>(count)];  // PC008: index
+}
+
+inline BigInt bad_variable_time(const BigInt& pub) {
+  BigInt secret_;
+  return BigInt::gcd(secret_, pub);  // PC008: variable-time call
+}
+
+inline void bad_summary_flow(MessageWriter& m, std::int64_t c) {
+  const std::int64_t plain = unwrap(c);  // tainted via unwrap -> decrypt
+  m.write_u64(static_cast<std::uint64_t>(plain));  // PC008: message write
+}
+
+}  // namespace pcl_fixture

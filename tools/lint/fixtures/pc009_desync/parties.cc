@@ -1,0 +1,48 @@
+// Intentionally desynchronised party programs for the PC009 fixture.
+//
+// Program "missing_recv": S1 sends twice inside Sum(1) but S2 only receives
+// once — the S1->S2 lane check must flag the orphaned send.
+//
+// Program "reordered_step": both parties were edited to recv before they
+// send (a reordered step).  The per-lane projections still match, so only
+// the rendezvous deadlock simulation can catch it — and must.
+//
+// The adjacent schedule.json manifest matches the extracted schedules
+// exactly, so no drift finding masks the two real defects.
+
+namespace pcl_fixture {
+
+void desync_s1_missing(Channel& chan) {
+  ChannelStepScope step(chan, "Sum(1)");
+  MessageWriter m;
+  chan.send("S2", m);
+  chan.send("S2", m);  // S2 never reads this second message
+  MessageReader reply = chan.recv("S2");
+  (void)reply;
+}
+
+void desync_s2_missing(Channel& chan) {
+  ChannelStepScope step(chan, "Sum(1)");
+  MessageReader a = chan.recv("S1");
+  (void)a;
+  MessageWriter m;
+  chan.send("S1", m);
+}
+
+void desync_s1_reorder(Channel& chan) {
+  ChannelStepScope step(chan, "Swap(2)");
+  MessageReader a = chan.recv("S2");  // should send first
+  (void)a;
+  MessageWriter m;
+  chan.send("S2", m);
+}
+
+void desync_s2_reorder(Channel& chan) {
+  ChannelStepScope step(chan, "Swap(2)");
+  MessageReader a = chan.recv("S1");  // both sides block here forever
+  (void)a;
+  MessageWriter m;
+  chan.send("S1", m);
+}
+
+}  // namespace pcl_fixture

@@ -1,0 +1,8 @@
+// PC010 fixture: a bigint-layer header reaching UP into crypto.
+#pragma once
+
+#include "crypto/cycle_a.h"
+
+namespace pcl_fixture {
+inline int low() { return 1; }
+}  // namespace pcl_fixture

@@ -1,0 +1,8 @@
+// PC010 fixture: one half of an include cycle (a -> b -> a).
+#pragma once
+
+#include "crypto/cycle_b.h"
+
+namespace pcl_fixture {
+inline int cycle_a() { return 2; }
+}  // namespace pcl_fixture

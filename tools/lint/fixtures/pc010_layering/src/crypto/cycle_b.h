@@ -1,0 +1,8 @@
+// PC010 fixture: the other half of the include cycle.
+#pragma once
+
+#include "crypto/cycle_a.h"
+
+namespace pcl_fixture {
+inline int cycle_b() { return 3; }
+}  // namespace pcl_fixture

@@ -1,0 +1,9 @@
+// PC010 fixture: a sideways include between same-layer directories (dp and
+// ml both sit in layer 3 and must stay independent).
+#pragma once
+
+#include "ml/peer.h"
+
+namespace pcl_fixture {
+inline int sideways() { return 4; }
+}  // namespace pcl_fixture

@@ -1,0 +1,6 @@
+// PC010 fixture: an innocent ml-layer header pulled in sideways by dp.
+#pragma once
+
+namespace pcl_fixture {
+inline int peer() { return 5; }
+}  // namespace pcl_fixture

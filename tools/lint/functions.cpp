@@ -1,0 +1,427 @@
+#include "functions.h"
+
+#include <algorithm>
+
+namespace pclint {
+
+namespace {
+
+bool is_open(const std::string& t) {
+  return t == "(" || t == "[" || t == "{";
+}
+
+std::string closer_for(const std::string& t) {
+  if (t == "(") return ")";
+  if (t == "[") return "]";
+  return "}";
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",   "while",  "switch",   "catch",  "return",
+      "sizeof", "new",   "delete", "co_await", "throw",  "alignof",
+      "static_assert", "decltype", "else",     "do",     "case"};
+  return kw;
+}
+
+const std::set<std::string>& qualifier_keywords() {
+  static const std::set<std::string> kw = {"const",    "noexcept", "override",
+                                           "final",    "mutable",  "volatile",
+                                           "&",        "&&",       "try"};
+  return kw;
+}
+
+// Joins a token span into a readable type string.
+std::string join_tokens(const std::vector<Token>& toks, std::size_t b,
+                        std::size_t e) {
+  std::string out;
+  for (std::size_t i = b; i < e; ++i) {
+    if (!out.empty()) out += ' ';
+    out += toks[i].text;
+  }
+  return out;
+}
+
+// Parses one parameter declaration token span.
+ParamDecl parse_param(const std::vector<Token>& toks, std::size_t b,
+                      std::size_t e) {
+  ParamDecl p;
+  // Strip default argument.
+  for (std::size_t i = b; i < e; ++i) {
+    if (toks[i].kind == TokKind::kPunct && toks[i].text == "=") {
+      e = i;
+      break;
+    }
+  }
+  std::size_t begin = b;
+  if (begin < e && toks[begin].kind == TokKind::kIdent &&
+      toks[begin].text == "PC_SECRET") {
+    p.secret = true;
+    ++begin;
+  }
+  // Name: last identifier token (skipping array suffix).
+  std::size_t name_idx = e;
+  for (std::size_t i = e; i-- > begin;) {
+    if (toks[i].kind == TokKind::kIdent) {
+      name_idx = i;
+      break;
+    }
+    if (toks[i].kind == TokKind::kPunct &&
+        (toks[i].text == "]" || toks[i].text == "[")) {
+      continue;
+    }
+    break;
+  }
+  // A single identifier span is an unnamed parameter of that type.
+  if (name_idx != e && name_idx > begin) {
+    p.name = toks[name_idx].text;
+    p.type = join_tokens(toks, begin, name_idx);
+  } else {
+    p.type = join_tokens(toks, begin, e);
+  }
+  return p;
+}
+
+}  // namespace
+
+std::size_t match_group(const std::vector<Token>& tokens, std::size_t open) {
+  if (open >= tokens.size() || tokens[open].kind != TokKind::kPunct ||
+      !is_open(tokens[open].text)) {
+    return tokens.size();
+  }
+  std::vector<std::string> stack;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    const std::string& t = tokens[i].text;
+    if (is_open(t)) {
+      stack.push_back(closer_for(t));
+    } else if (!stack.empty() && t == stack.back()) {
+      stack.pop_back();
+      if (stack.empty()) return i;
+    }
+  }
+  return tokens.size();
+}
+
+FileModel build_file_model(const LexedFile& lex) {
+  const std::vector<Token>& toks = lex.tokens;
+  FileModel out;
+
+  struct Scope {
+    char kind = 'o';    // 'n'amespace, 'c'lass, 'f'unction, 'o'ther
+    std::string name;   // class name for 'c'
+  };
+  std::vector<Scope> scopes;
+  // kind of the scope the NEXT '{' opens; reset after use.
+  char pending_kind = 'n';  // top level behaves like namespace scope
+  std::string pending_name;
+
+  const auto at_decl_scope = [&]() {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == 'f') return false;
+      if (it->kind == 'o') return false;
+    }
+    return true;
+  };
+  const auto current_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == 'c') return it->name;
+      if (it->kind == 'f') return "";
+    }
+    return "";
+  };
+
+  // Records a field declaration statement [stmt_begin, semi) at class scope.
+  const auto record_fields = [&](std::size_t stmt_begin, std::size_t semi) {
+    const std::string cls = current_class();
+    if (cls.empty() || semi <= stmt_begin) return;
+    bool secret = false;
+    for (std::size_t i = stmt_begin; i < semi; ++i) {
+      if (toks[i].kind == TokKind::kIdent && toks[i].text == "PC_SECRET") {
+        secret = true;
+        break;
+      }
+    }
+    // Skip obvious non-field statements: access specifiers, usings, friend
+    // declarations, function declarations (a '(' before any '=' ends it).
+    static const std::set<std::string> kNotField = {
+        "public", "private", "protected", "using",  "friend",
+        "typedef", "static_assert", "template", "enum", "class", "struct"};
+    if (toks[stmt_begin].kind == TokKind::kIdent &&
+        kNotField.count(toks[stmt_begin].text) != 0) {
+      return;
+    }
+    std::size_t limit = semi;
+    for (std::size_t i = stmt_begin; i < semi; ++i) {
+      if (toks[i].kind == TokKind::kPunct && toks[i].text == "=") {
+        limit = i;
+        break;
+      }
+      if (toks[i].kind == TokKind::kPunct && toks[i].text == "(") {
+        return;  // function declaration, not a field
+      }
+      if (toks[i].kind == TokKind::kPunct && toks[i].text == "{") {
+        limit = i;  // brace init
+        break;
+      }
+    }
+    // Declarators: identifiers immediately followed by ',' ';' '=' '{' '['.
+    // Template arguments are skipped (at class scope a '<' in a field
+    // declaration is always a template bracket, never a comparison).
+    int angle = 0;
+    for (std::size_t i = stmt_begin; i < limit; ++i) {
+      if (toks[i].kind == TokKind::kPunct) {
+        if (toks[i].text == "<") ++angle;
+        if (toks[i].text == ">" && angle > 0) --angle;
+        if (toks[i].text == ">>" && angle > 0) angle -= angle >= 2 ? 2 : 1;
+        continue;
+      }
+      if (angle > 0) continue;
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const std::size_t nx = i + 1;
+      if (nx > limit) break;
+      const std::string& t = nx == limit ? std::string(";")
+                                         : (toks[nx].kind == TokKind::kPunct
+                                                ? toks[nx].text
+                                                : std::string());
+      if (t == "," || t == ";" || t == "=" || t == "{" || t == "[") {
+        out.fields.push_back({cls, toks[i].text, secret, toks[i].line});
+      }
+    }
+  };
+
+  std::size_t stmt_begin = 0;  // start of the current statement (class scope)
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tk = toks[i];
+    if (tk.kind == TokKind::kPunct && tk.text == "{") {
+      scopes.push_back({pending_kind, pending_name});
+      pending_kind = 'o';
+      pending_name.clear();
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (tk.kind == TokKind::kPunct && tk.text == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      pending_kind = scopes.empty() || at_decl_scope() ? 'n' : 'o';
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (tk.kind == TokKind::kPunct && tk.text == ";") {
+      if (at_decl_scope() && !current_class().empty()) {
+        record_fields(stmt_begin, i);
+      }
+      stmt_begin = i + 1;
+      pending_kind = scopes.empty() || at_decl_scope() ? 'n' : 'o';
+      continue;
+    }
+    // `= { ... }` initializers at declaration scope open an 'o'ther scope,
+    // not a namespace/class, so the brace tracker stays honest.
+    if (tk.kind == TokKind::kPunct && tk.text == "=" && at_decl_scope()) {
+      pending_kind = 'o';
+      continue;
+    }
+    if (tk.kind == TokKind::kIdent && at_decl_scope()) {
+      if (tk.text == "namespace") {
+        pending_kind = 'n';
+        continue;
+      }
+      if (tk.text == "class" || tk.text == "struct" || tk.text == "union") {
+        // `class Foo ... {` — but not `enum class`.
+        const bool enum_class =
+            i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+            toks[i - 1].text == "enum";
+        if (!enum_class && i + 1 < toks.size() &&
+            toks[i + 1].kind == TokKind::kIdent) {
+          pending_kind = 'c';
+          pending_name = toks[i + 1].text;
+        }
+        continue;
+      }
+      if (tk.text == "enum") {
+        pending_kind = 'o';
+        continue;
+      }
+    }
+    // Function definition recognition at namespace/class scope only.
+    if (tk.kind == TokKind::kPunct && tk.text == "(" && at_decl_scope() &&
+        i > 0) {
+      // Gather the qualified name ending just before '('.
+      std::size_t j = i;
+      std::string name;
+      if (toks[j - 1].kind == TokKind::kIdent) {
+        std::size_t k = j - 1;
+        name = toks[k].text;
+        // operator overloads: `operator == (`.
+        if (k > 0 && toks[k - 1].kind == TokKind::kIdent &&
+            toks[k - 1].text == "operator") {
+          // actually handled below (punct operators); ident-named overloads
+          // like operator bool are rare here.
+        }
+        while (k >= 2 && toks[k - 1].kind == TokKind::kPunct &&
+               toks[k - 1].text == "::" &&
+               toks[k - 2].kind == TokKind::kIdent) {
+          name = toks[k - 2].text + "::" + name;
+          k -= 2;
+        }
+        if (k >= 1 && toks[k - 1].kind == TokKind::kPunct &&
+            toks[k - 1].text == "~") {
+          name = "~" + name;  // destructor
+        }
+      } else if (toks[j - 1].kind == TokKind::kPunct && j >= 2 &&
+                 toks[j - 2].kind == TokKind::kIdent &&
+                 toks[j - 2].text == "operator") {
+        name = "operator" + toks[j - 1].text;
+      }
+      if (name.empty()) continue;
+      const std::string& bare =
+          name.find("::") != std::string::npos
+              ? name.substr(name.rfind("::") + 2)
+              : name;
+      if (control_keywords().count(bare) != 0) continue;
+      // Method-call / member-access context is not a definition.
+      std::size_t name_start = i - 1;
+      while (name_start > 0 && (toks[name_start].kind == TokKind::kIdent ||
+                                toks[name_start].text == "::" ||
+                                toks[name_start].text == "~")) {
+        --name_start;
+      }
+      if (toks[name_start].kind == TokKind::kPunct &&
+          (toks[name_start].text == "." || toks[name_start].text == "->")) {
+        continue;
+      }
+      const std::size_t close = match_group(toks, i);
+      if (close >= toks.size()) continue;
+      // Skip trailing qualifiers; find the body '{' (if any).
+      std::size_t p = close + 1;
+      bool is_def = false;
+      while (p < toks.size()) {
+        const Token& q = toks[p];
+        if (q.kind == TokKind::kIdent &&
+            qualifier_keywords().count(q.text) != 0) {
+          ++p;
+          continue;
+        }
+        if (q.kind == TokKind::kPunct &&
+            (q.text == "&" || q.text == "&&")) {
+          ++p;
+          continue;
+        }
+        if (q.kind == TokKind::kPunct && q.text == "->") {
+          // Trailing return type: skip until '{' or ';' at this level.
+          ++p;
+          while (p < toks.size()) {
+            if (toks[p].kind == TokKind::kPunct &&
+                (toks[p].text == "{" || toks[p].text == ";")) {
+              break;
+            }
+            if (toks[p].kind == TokKind::kPunct && is_open(toks[p].text)) {
+              p = match_group(toks, p);
+              if (p >= toks.size()) break;
+            }
+            ++p;
+          }
+          continue;
+        }
+        if (q.kind == TokKind::kPunct && q.text == ":") {
+          // Constructor initializer list: walk `name(...)` / `name{...}`
+          // pairs separated by commas until the body brace.
+          ++p;
+          while (p < toks.size()) {
+            // initializer target (possibly templated type name).
+            while (p < toks.size() && (toks[p].kind == TokKind::kIdent ||
+                                       toks[p].text == "::" ||
+                                       toks[p].text == "<" ||
+                                       toks[p].text == ">" ||
+                                       toks[p].text == ",")) {
+              // A ',' separates initializers; keep walking.
+              ++p;
+              if (p < toks.size() && toks[p].kind == TokKind::kPunct &&
+                  (toks[p].text == "(" || toks[p].text == "{")) {
+                break;
+              }
+            }
+            if (p >= toks.size() || toks[p].kind != TokKind::kPunct ||
+                (toks[p].text != "(" && toks[p].text != "{")) {
+              break;
+            }
+            const std::size_t g = match_group(toks, p);
+            if (g >= toks.size()) {
+              p = toks.size();
+              break;
+            }
+            p = g + 1;
+            if (p < toks.size() && toks[p].kind == TokKind::kPunct &&
+                toks[p].text == "{") {
+              break;  // body follows
+            }
+          }
+          continue;
+        }
+        if (q.kind == TokKind::kPunct && q.text == "{") {
+          is_def = true;
+        }
+        break;
+      }
+      if (!is_def || p >= toks.size()) continue;
+      FunctionModel fn;
+      const std::string cls = current_class();
+      fn.name = (!cls.empty() && name.find("::") == std::string::npos)
+                    ? cls + "::" + name
+                    : name;
+      fn.line = tk.line;
+      fn.body_begin = p;
+      fn.body_end = match_group(toks, p);
+      if (fn.body_end >= toks.size()) continue;
+      // Parameters: split [i+1, close) on top-level commas.
+      std::size_t depth = 0;
+      std::size_t pb = i + 1;
+      for (std::size_t k = i + 1; k <= close; ++k) {
+        const bool punct = toks[k].kind == TokKind::kPunct;
+        if (punct && is_open(toks[k].text)) ++depth;
+        if (punct &&
+            (toks[k].text == ")" || toks[k].text == "]" ||
+             toks[k].text == "}")) {
+          if (depth == 0 && k == close) {
+            if (k > pb) fn.params.push_back(parse_param(toks, pb, k));
+            break;
+          }
+          if (depth > 0) --depth;
+          continue;
+        }
+        if (punct && toks[k].text == "," && depth == 0) {
+          fn.params.push_back(parse_param(toks, pb, k));
+          pb = k + 1;
+        }
+      }
+      out.functions.push_back(std::move(fn));
+      // Jump past the signature; the body is walked by this same loop so
+      // nested scopes are tracked (context becomes 'f').
+      pending_kind = 'f';
+      i = p - 1;  // next iteration sees the body '{'
+      continue;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> local_object_types(
+    const std::vector<Token>& tokens, std::size_t begin, std::size_t end,
+    const std::set<std::string>& known_types) {
+  std::map<std::string, std::string> out;
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdent ||
+        known_types.count(tokens[i].text) == 0) {
+      continue;
+    }
+    if (i + 1 >= end || tokens[i + 1].kind != TokKind::kIdent) continue;
+    const std::string& name = tokens[i + 1].text;
+    if (i + 2 < end && tokens[i + 2].kind == TokKind::kPunct &&
+        (tokens[i + 2].text == "(" || tokens[i + 2].text == "{" ||
+         tokens[i + 2].text == "=" || tokens[i + 2].text == ";")) {
+      out[name] = tokens[i].text;
+    }
+  }
+  return out;
+}
+
+}  // namespace pclint

@@ -1,0 +1,67 @@
+// Function segmentation and per-file symbol tables for pc_lint.
+//
+// Walks a lexed token stream and recovers the structure the flow analyses
+// need: every function definition (free functions and in/out-of-line
+// methods) with its parameter list and body token range, every class field
+// declaration (with PC_SECRET markers), and the local object declarations
+// inside a body (`BlindPermuteS1 bnp(...)` -> bnp : BlindPermuteS1), which
+// the schedule extractor uses to resolve method calls.
+//
+// This is a recognizer, not a parser: it tracks brace contexts (namespace /
+// class / function / other) so function definitions are only recognized at
+// namespace or class scope, and it walks constructor initializer lists so a
+// member init brace is not mistaken for a body.  Constructs this codebase
+// does not use (token-pasting macros, K&R declarations) are out of scope.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace pclint {
+
+struct ParamDecl {
+  std::string type;  // type tokens joined by spaces ("const BigInt &")
+  std::string name;  // declarator identifier ("" for unnamed)
+  bool secret = false;  // PC_SECRET marker present
+};
+
+struct FunctionModel {
+  std::string name;   // "foo", "Class::foo", "Class::operator=="
+  std::vector<ParamDecl> params;
+  std::size_t body_begin = 0;  // token index of the '{'
+  std::size_t body_end = 0;    // token index of the matching '}'
+  std::size_t line = 0;
+};
+
+struct FieldDecl {
+  std::string cls;
+  std::string name;
+  bool secret = false;
+  std::size_t line = 0;
+};
+
+struct FileModel {
+  std::vector<FunctionModel> functions;
+  std::vector<FieldDecl> fields;
+};
+
+/// Segments `lex` into functions and class fields.
+FileModel build_file_model(const LexedFile& lex);
+
+/// Finds the token index of the matching closer for the opener at `open`
+/// ("(" / "[" / "{"); returns tokens.size() when unbalanced.
+std::size_t match_group(const std::vector<Token>& tokens, std::size_t open);
+
+/// Local object declarations inside [begin, end]: `Type name(...)`,
+/// `Type name{...}` or `Type name = ...` where Type is in `known_types`.
+/// Returns name -> type.
+std::map<std::string, std::string> local_object_types(
+    const std::vector<Token>& tokens, std::size_t begin, std::size_t end,
+    const std::set<std::string>& known_types);
+
+}  // namespace pclint

@@ -1,0 +1,45 @@
+// PC010 — include-graph layering and cycle enforcement.
+//
+// The tree is layered bottom-up; each directory may include project
+// headers only from its own directory or a strictly lower layer:
+//
+//   0  annotations   src/core/secrecy.h only (must include NOTHING — it is
+//                    the PC_SECRET / pc_declassify marker header and every
+//                    layer may pull it in)
+//   1  obs           observability (clocks, tracing, JSON)
+//   2  bigint        arbitrary-precision arithmetic, RNG
+//   3  dp, ml, net   independent mid layers (no cross-includes among them)
+//   4  crypto        Paillier / DGK (wire formats come from net)
+//   5  mpc           two-server protocols over Channel
+//   6  core          the end-to-end consensus pipeline
+//   7  tools         binaries; may include anything in src
+//
+// Two rule shapes:
+//   * edge violations — an include that points upward, or sideways between
+//     different directories of the same layer;
+//   * cycles — any include cycle among project headers (reported once per
+//     cycle, on its lexicographically first file).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "report.h"
+
+namespace pclint {
+
+/// One scanned file for the layering pass: repo-relative path + includes.
+struct LayerFile {
+  std::string rel;
+  const LexedFile* lex = nullptr;
+};
+
+/// Runs PC010 over the scanned files.  `root` is the repo root used to
+/// resolve include targets against `src/` (and against each file's own
+/// directory for tool-local headers).
+void run_layering_analysis(const std::vector<LayerFile>& files,
+                           const std::string& root,
+                           std::vector<Finding>& out);
+
+}  // namespace pclint

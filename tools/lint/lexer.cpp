@@ -1,0 +1,258 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace pclint {
+
+namespace {
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character punctuators, longest first so maximal munch works with a
+// simple prefix scan.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>",                    // 3 chars
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=",                                            // 2 chars
+};
+
+}  // namespace
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+LexedFile lex_text(const std::string& text) {
+  LexedFile out;
+  out.ends_with_newline = text.empty() || text.back() == '\n';
+
+  // Split into raw lines first; tokens and stripped lines are produced in
+  // one pass over the text below.
+  {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t nl = text.find('\n', start);
+      if (nl == std::string::npos) {
+        if (start < text.size()) out.raw.push_back(text.substr(start));
+        break;
+      }
+      out.raw.push_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+  out.stripped.resize(out.raw.size());
+
+  std::size_t line = 1;                 // 1-based current line
+  std::string* stripped =
+      out.raw.empty() ? nullptr : &out.stripped[0];
+  bool at_line_start = true;            // only whitespace seen on this line
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  const auto put_stripped = [&](char c) {
+    if (stripped != nullptr) stripped->push_back(c);
+  };
+  const auto advance_line = [&]() {
+    ++line;
+    stripped = line - 1 < out.stripped.size() ? &out.stripped[line - 1]
+                                              : nullptr;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '\n') {
+      ++i;
+      advance_line();
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      put_stripped(c);
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && next == '/') {
+      while (i < n && text[i] != '\n') {
+        put_stripped(' ');
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      put_stripped(' ');
+      put_stripped(' ');
+      i += 2;
+      while (i < n) {
+        if (text[i] == '\n') {
+          ++i;
+          advance_line();
+          continue;
+        }
+        if (text[i] == '*' && i + 1 < n && text[i + 1] == '/') {
+          put_stripped(' ');
+          put_stripped(' ');
+          i += 2;
+          break;
+        }
+        put_stripped(' ');
+        ++i;
+      }
+      continue;
+    }
+    // Preprocessor directive: consume the (possibly continued) line whole.
+    if (c == '#' && at_line_start) {
+      std::string directive;
+      while (i < n) {
+        if (text[i] == '\n') {
+          if (!directive.empty() && directive.back() == '\\') {
+            directive.pop_back();
+            put_stripped(' ');
+            ++i;
+            advance_line();
+            continue;
+          }
+          break;
+        }
+        directive.push_back(text[i]);
+        put_stripped(text[i]);
+        ++i;
+      }
+      // Extract #include targets.
+      std::size_t p = directive.find("include");
+      if (directive.rfind("#", 0) == 0 && p != std::string::npos) {
+        p += 7;
+        while (p < directive.size() &&
+               (directive[p] == ' ' || directive[p] == '\t')) {
+          ++p;
+        }
+        if (p < directive.size() &&
+            (directive[p] == '"' || directive[p] == '<')) {
+          const char close = directive[p] == '"' ? '"' : '>';
+          const std::size_t end = directive.find(close, p + 1);
+          if (end != std::string::npos) {
+            out.includes.push_back({directive.substr(p + 1, end - p - 1),
+                                    close == '>', line});
+          }
+        }
+      }
+      continue;
+    }
+    at_line_start = false;
+    // String literal.
+    if (c == '"') {
+      Token t{TokKind::kString, "", line};
+      put_stripped(' ');
+      ++i;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < n) {
+          t.text.push_back(text[i]);
+          put_stripped(' ');
+          ++i;
+        }
+        if (i < n) {
+          if (text[i] == '\n') break;  // unterminated; bail at line end
+          t.text.push_back(text[i]);
+          put_stripped(' ');
+          ++i;
+        }
+      }
+      if (i < n && text[i] == '"') {
+        put_stripped(' ');
+        ++i;
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Char literal (not a digit separator — those are consumed by numbers).
+    if (c == '\'') {
+      Token t{TokKind::kChar, "", line};
+      put_stripped(' ');
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\' && i + 1 < n) {
+          t.text.push_back(text[i]);
+          put_stripped(' ');
+          ++i;
+        }
+        if (i < n) {
+          if (text[i] == '\n') break;
+          t.text.push_back(text[i]);
+          put_stripped(' ');
+          ++i;
+        }
+      }
+      if (i < n && text[i] == '\'') {
+        put_stripped(' ');
+        ++i;
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Number (digit separators and suffixes included; good enough here).
+    if (is_digit(c) || (c == '.' && is_digit(next))) {
+      Token t{TokKind::kNumber, "", line};
+      while (i < n && (is_ident_char(text[i]) || text[i] == '.' ||
+                       (text[i] == '\'' && i + 1 < n &&
+                        std::isalnum(static_cast<unsigned char>(text[i + 1])) !=
+                            0) ||
+                       ((text[i] == '+' || text[i] == '-') && i > 0 &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E') &&
+                        !t.text.empty()))) {
+        t.text.push_back(text[i]);
+        put_stripped(text[i]);
+        ++i;
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      Token t{TokKind::kIdent, "", line};
+      while (i < n && is_ident_char(text[i])) {
+        t.text.push_back(text[i]);
+        put_stripped(text[i]);
+        ++i;
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation, longest match first.
+    {
+      Token t{TokKind::kPunct, "", line};
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const std::size_t len = std::char_traits<char>::length(p);
+        if (text.compare(i, len, p) == 0) {
+          t.text.assign(p, len);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) t.text.assign(1, c);
+      for (char ch : t.text) put_stripped(ch);
+      i += t.text.size();
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+  }
+  return out;
+}
+
+LexedFile lex_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lex_text(buf.str());
+}
+
+}  // namespace pclint

@@ -1,0 +1,60 @@
+// Minimal C++ lexer for the pc_lint static analyzer.
+//
+// Produces a flat token stream (identifiers, numbers, string/char literals,
+// punctuation) with 1-based line numbers, plus the raw and comment/string-
+// stripped line text the legacy line rules (PC001, PC003-PC007) still match
+// against.  Preprocessor directives are not tokenized; #include targets are
+// extracted separately into `includes` for PC004/PC010.
+//
+// The lexer is intentionally not a preprocessor: macros are plain
+// identifiers, templates are plain punctuation.  That is enough for the
+// analyses built on top (function segmentation, taint propagation, channel
+// schedule extraction) because this codebase's style is regular — one
+// declaration per line, no token-pasting macros in protocol code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pclint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // integer / floating literals (incl. digit separators)
+  kString,   // "..." (text excludes quotes, escapes left as written)
+  kChar,     // '...'
+  kPunct,    // one operator/punctuator per token ("::", "->", "==", "(", ...)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based
+};
+
+struct Include {
+  std::string target;  // path inside the quotes/brackets
+  bool angled = false;
+  std::size_t line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<std::string> raw;       // lines as read (no trailing '\n')
+  std::vector<std::string> stripped;  // comments and literals blanked
+  bool ends_with_newline = true;
+};
+
+/// Lexes the file at `path`.  Never throws on content; an unreadable file
+/// yields an empty LexedFile.
+LexedFile lex_file(const std::string& path);
+
+/// Lexes in-memory text (tests / fixtures).
+LexedFile lex_text(const std::string& text);
+
+/// True for characters that may appear in an identifier.
+bool is_ident_char(char c);
+
+}  // namespace pclint

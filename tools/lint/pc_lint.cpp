@@ -1,229 +1,116 @@
 // pc_lint — project-specific crypto-invariant checker.
 //
 // Generic tools (clang-tidy, sanitizers) cannot know which identifiers in
-// this codebase are *secrets*; this tool encodes that knowledge as seven
-// mechanical rules and runs as a ctest case on every configuration:
+// this codebase are *secrets* or what the protocol schedule promises; this
+// tool encodes that knowledge.  v2 is a small multi-pass analyzer: every
+// file is lexed once (tools/lint/lexer.*), per-file symbol tables record
+// functions, parameters and fields (tools/lint/functions.*), and three
+// semantic passes run on top of the original line-level rules:
 //
 //   PC001 banned-rng        std::rand/srand/std::random_device anywhere but
 //                           src/bigint/rng.* — all randomness must flow
-//                           through the Rng interface so crypto randomness
-//                           is auditable in one place.
-//   PC002 secret-branch     comparison (==/!=) or branch (if/while/ternary)
-//                           whose text references private-key or share
-//                           material, in src/crypto or src/mpc.  Branching
-//                           on secrets is a timing side channel; the
-//                           two-server model assumes the released label is
-//                           the ONLY leakage.  Suppress a reviewed site with
-//                           a `ct-ok:` comment on the same or previous line.
+//                           through the Rng interface.
 //   PC003 missing-zeroize   a `class`/`struct` whose name ends in PrivateKey
-//                           must declare zeroize() in the same file, so key
-//                           material is wiped rather than left in freed heap
-//                           pages.
-//   PC004 include-hygiene   headers must use #pragma once; <bits/stdc++.h>
-//                           and `using namespace std` in headers and
-//                           parent-relative includes ("../") are banned.
-//   PC005 whitespace        no trailing whitespace, no tab indentation, no
-//                           CR line endings, file ends with a newline.
-//   PC006 transport-owner   constructing `Network`/`BlockingNetwork` outside
-//                           src/net/ — protocol code must be written against
-//                           `Channel` and let the party runner own transport
-//                           construction, so every protocol runs unchanged
-//                           on both transports.  Taking a `Network&` is fine;
-//                           building one is not.
-//   PC007 raw-timing        reading a raw clock (`steady_clock`,
-//                           `system_clock`, `high_resolution_clock`,
-//                           `clock_gettime`) in src/ outside src/obs/ — all
-//                           timing flows through obs::monotonic_time_ns()
-//                           (src/obs/clock.h) so instrumentation is
-//                           centralized, mockable, and provably absent from
-//                           the protocol's secret-dependent paths.  Duration
-//                           arithmetic (std::chrono::nanoseconds etc.) is
-//                           still fine; only clock *sources* are banned.
+//                           must declare zeroize() in the same file.
+//   PC004 include-hygiene   #pragma once in headers; no <bits/stdc++.h>,
+//                           `using namespace std` in headers, or "../"
+//                           includes.
+//   PC005 whitespace        no trailing whitespace, tab indentation, CR
+//                           endings; files end with a newline.
+//   PC006 transport-owner   Network/BlockingNetwork construction only in
+//                           src/net/; TCP transport types only in
+//                           src/net/tcp* and tools/pc_party/.
+//   PC007 raw-timing        raw clock sources outside src/obs/ are banned;
+//                           time through obs::monotonic_time_ns().
+//   PC008 secret-taint      intra-procedural taint dataflow in src/crypto
+//                           and src/mpc: PC_SECRET declarations, private-key
+//                           fields and decryption results must not reach
+//                           branches, loop bounds, array indices,
+//                           variable-time BigInt entry points, or message
+//                           writes.  `pc_declassify(...)`
+//                           (src/core/secrecy.h) is the audited escape.
+//   PC009 protocol-schedule send/recv/bulletin schedules extracted from the
+//                           party programs must match the committed
+//                           manifest (PROTOCOL_SCHEDULE.json) and each
+//                           other: every send has a tag- and counterparty-
+//                           matching recv, and finite schedules must not
+//                           deadlock under rendezvous semantics.
+//   PC010 layering          the include graph must respect the layer DAG
+//                           (obs < bigint < dp/ml/net < crypto < mpc <
+//                           core < tools) and stay acyclic.
+//
+// PC002 (line-regex secret-branch) is retired: PC008 subsumes it with real
+// dataflow, and the `ct-ok:` comment escape is replaced by the typed
+// `pc_declassify` marker.
 //
 // Usage:
-//   pc_lint --root <repo-root> [subdir...]    scan (default subdir: src)
-//   pc_lint --self-test <fixtures-dir>        assert each rule fires on its
-//                                             known-bad fixture and that the
-//                                             good fixture is clean
+//   pc_lint --root <repo-root> [options] [subdir...]   scan (default: src)
+//     --json <path>       write a pc-lint-v1 report
+//     --baseline <path>   suppression baseline (default:
+//                         <root>/tools/lint/pc_lint_baseline.txt)
+//     --manifest <path>   schedule manifest (default:
+//                         <root>/PROTOCOL_SCHEDULE.json; PC009 is skipped
+//                         when the default is absent)
+//     --only PCNNN[,..]   keep only these rules' findings
+//     --dump-schedule     print the extracted schedule as a pc-schedule-v1
+//                         manifest and exit (review, then commit)
+//   pc_lint --self-test <fixtures-dir>    assert each pcNNN fixture (file
+//                                         or directory) fires rule PCNNN
+//                                         and good_* fixtures stay clean
 //
-// Exit codes: 0 clean / self-test passed, 1 findings / self-test failure,
-// 2 usage or I/O error.
-//
-// The scanner is deliberately line-based and heuristic: it strips comments
-// and string literals before matching so documentation cannot trigger
-// PC001/PC002, but it does not parse C++.  False positives are expected to
-// be rare and are silenced with an explanatory `ct-ok:` annotation, which
-// doubles as in-code documentation of why the branch is safe.
+// Exit codes: 0 clean / self-test passed, 1 unsuppressed findings /
+// self-test failure, 2 usage or I/O error.
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "functions.h"
+#include "layering.h"
+#include "lexer.h"
+#include "report.h"
+#include "schedule.h"
+#include "taint.h"
+
 namespace fs = std::filesystem;
 
+using pclint::FileModel;
+using pclint::Finding;
+using pclint::LexedFile;
+
 namespace {
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;  // 1-based; 0 means whole-file
-  std::string rule;
-  std::string message;
-};
-
-struct FileText {
-  std::vector<std::string> raw;       // lines as read (no trailing '\n')
-  std::vector<std::string> stripped;  // comments and string literals blanked
-  bool ends_with_newline = true;
-};
-
-// Identifiers that name private-key or share material.  Matched as whole
-// identifiers against the comment/string-stripped line text.
-const std::set<std::string, std::less<>> kSecretIdentifiers = {
-    "p_",  "q_",     "vp_",        "vq_",     "lambda_", "mu_",
-    "sk",  "sk_",    "gvp_",       "secret",  "secret_", "secret_key",
-    "priv_", "private_key_", "share_secret",
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Blanks comments and string/char literals, preserving line lengths where
-// convenient (content replaced by spaces).  `in_block_comment` carries /* */
-// state across lines.
-std::string strip_code_line(const std::string& line, bool& in_block_comment) {
-  std::string out;
-  out.reserve(line.size());
-  bool in_string = false, in_char = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-    if (in_block_comment) {
-      if (c == '*' && next == '/') {
-        in_block_comment = false;
-        ++i;
-      }
-      out.push_back(' ');
-      continue;
-    }
-    if (in_string) {
-      if (c == '\\') {
-        ++i;
-      } else if (c == '"') {
-        in_string = false;
-      }
-      out.push_back(' ');
-      continue;
-    }
-    if (in_char) {
-      if (c == '\\') {
-        ++i;
-      } else if (c == '\'') {
-        in_char = false;
-      }
-      out.push_back(' ');
-      continue;
-    }
-    if (c == '/' && next == '/') break;  // line comment: drop the rest
-    if (c == '/' && next == '*') {
-      in_block_comment = true;
-      out.push_back(' ');
-      ++i;
-      continue;
-    }
-    if (c == '"') {
-      in_string = true;
-      out.push_back(' ');
-      continue;
-    }
-    // Apostrophe: only treat as char literal when not a digit separator
-    // (1'000'000) and not part of an identifier.
-    if (c == '\'') {
-      const bool digit_sep =
-          i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1])) != 0 &&
-          std::isalnum(static_cast<unsigned char>(next)) != 0;
-      if (!digit_sep) {
-        in_char = true;
-        out.push_back(' ');
-        continue;
-      }
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
-FileText read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string text = buf.str();
-  FileText ft;
-  ft.ends_with_newline = text.empty() || text.back() == '\n';
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t nl = text.find('\n', start);
-    if (nl == std::string::npos) {
-      if (start < text.size()) ft.raw.push_back(text.substr(start));
-      break;
-    }
-    ft.raw.push_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  bool in_block = false;
-  ft.stripped.reserve(ft.raw.size());
-  for (const std::string& line : ft.raw) {
-    ft.stripped.push_back(strip_code_line(line, in_block));
-  }
-  return ft;
-}
 
 bool contains_identifier(const std::string& line, std::string_view ident) {
   std::size_t pos = 0;
   while ((pos = line.find(ident, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const bool left_ok = pos == 0 || !pclint::is_ident_char(line[pos - 1]);
     const std::size_t end = pos + ident.size();
-    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    const bool right_ok =
+        end >= line.size() || !pclint::is_ident_char(line[end]);
     if (left_ok && right_ok) return true;
     pos += 1;
   }
   return false;
 }
 
-std::vector<std::string> secret_identifiers_in(const std::string& line) {
-  std::vector<std::string> hits;
-  for (const std::string& ident : kSecretIdentifiers) {
-    if (contains_identifier(line, ident)) hits.push_back(ident);
-  }
-  return hits;
-}
-
 std::string ltrim(const std::string& s) {
   std::size_t i = 0;
-  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
     ++i;
   }
   return s.substr(i);
 }
 
-bool line_is_annotated_ct_ok(const FileText& ft, std::size_t idx) {
-  const auto has = [&](std::size_t i) {
-    return i < ft.raw.size() && ft.raw[i].find("ct-ok") != std::string::npos;
-  };
-  return has(idx) || (idx > 0 && has(idx - 1));
-}
-
-// Matching against a path uses generic (forward-slash) form so rules behave
-// identically regardless of platform.
 std::string generic_rel(const fs::path& root, const fs::path& p) {
   return fs::relative(p, root).generic_string();
 }
@@ -233,10 +120,10 @@ bool is_source_file(const fs::path& p) {
   return ext == ".h" || ext == ".cpp" || ext == ".cc";
 }
 
-// --- rules -----------------------------------------------------------------
+// --- line-level rules (ported from pc_lint v1) -----------------------------
 
 // PC001: all randomness flows through src/bigint/rng.*.
-void rule_banned_rng(const std::string& rel, const FileText& ft,
+void rule_banned_rng(const std::string& rel, const LexedFile& ft,
                      std::vector<Finding>& out) {
   if (rel == "src/bigint/rng.cpp" || rel == "src/bigint/rng.h") return;
   static const std::vector<std::string> banned = {"rand", "srand",
@@ -244,48 +131,17 @@ void rule_banned_rng(const std::string& rel, const FileText& ft,
   for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
     for (const std::string& b : banned) {
       if (!contains_identifier(ft.stripped[i], b)) continue;
-      out.push_back({rel, i + 1, "PC001",
-                     "banned RNG primitive '" + b +
-                         "' — use the pcl::Rng interface (src/bigint/rng.h)"});
+      out.push_back(
+          {rel, i + 1, "PC001",
+           "banned RNG primitive '" + b +
+               "' — use the pcl::Rng interface (src/bigint/rng.h)",
+           false});
     }
-  }
-}
-
-// PC002: no secret-dependent branches/comparisons in crypto or MPC code.
-void rule_secret_branch(const std::string& rel, const FileText& ft,
-                        bool force_in_scope, std::vector<Finding>& out) {
-  const bool in_scope = force_in_scope ||
-                        rel.rfind("src/crypto/", 0) == 0 ||
-                        rel.rfind("src/mpc/", 0) == 0;
-  if (!in_scope) return;
-  for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
-    const std::string& line = ft.stripped[i];
-    const std::string trimmed = ltrim(line);
-    const bool has_compare = line.find("==") != std::string::npos ||
-                             line.find("!=") != std::string::npos;
-    const bool has_branch = trimmed.rfind("if ", 0) == 0 ||
-                            trimmed.rfind("if(", 0) == 0 ||
-                            trimmed.rfind("while ", 0) == 0 ||
-                            trimmed.rfind("while(", 0) == 0 ||
-                            trimmed.rfind("} else if", 0) == 0;
-    if (!has_compare && !has_branch) continue;
-    const std::vector<std::string> secrets = secret_identifiers_in(line);
-    if (secrets.empty()) continue;
-    if (line_is_annotated_ct_ok(ft, i)) continue;
-    std::string joined;
-    for (const std::string& s : secrets) {
-      if (!joined.empty()) joined += ", ";
-      joined += s;
-    }
-    out.push_back({rel, i + 1, "PC002",
-                   "possible secret-dependent branch/comparison on [" + joined +
-                       "] — make it constant-time or annotate `// ct-ok: "
-                       "<reason>` after review"});
   }
 }
 
 // PC003: private-key classes must support zeroization.
-void rule_missing_zeroize(const std::string& rel, const FileText& ft,
+void rule_missing_zeroize(const std::string& rel, const LexedFile& ft,
                           std::vector<Finding>& out) {
   bool declares_private_key = false;
   std::size_t decl_line = 0;
@@ -297,7 +153,7 @@ void rule_missing_zeroize(const std::string& rel, const FileText& ft,
       if (pos == std::string::npos) continue;
       std::size_t j = pos + std::string_view(kw).size();
       std::size_t start = j;
-      while (j < line.size() && is_ident_char(line[j])) ++j;
+      while (j < line.size() && pclint::is_ident_char(line[j])) ++j;
       const std::string name = line.substr(start, j - start);
       if (name.size() > 10 &&
           name.compare(name.size() - 10, 10, "PrivateKey") == 0 &&
@@ -310,74 +166,76 @@ void rule_missing_zeroize(const std::string& rel, const FileText& ft,
   }
   if (declares_private_key && !has_zeroize) {
     out.push_back({rel, decl_line, "PC003",
-                   "private-key type without zeroize() — key material must be "
-                   "wiped on destruction"});
+                   "private-key type without zeroize() — key material must "
+                   "be wiped on destruction",
+                   false});
   }
 }
 
 // PC004: include hygiene.
-void rule_include_hygiene(const std::string& rel, const FileText& ft,
+void rule_include_hygiene(const std::string& rel, const LexedFile& ft,
                           std::vector<Finding>& out) {
-  const bool header = rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
+  const bool header =
+      rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
   bool has_pragma_once = false;
   for (std::size_t i = 0; i < ft.raw.size(); ++i) {
     const std::string& raw = ft.raw[i];
     const std::string& line = ft.stripped[i];
-    if (raw.find("#pragma once") != std::string::npos) has_pragma_once = true;
+    if (raw.find("#pragma once") != std::string::npos) {
+      has_pragma_once = true;
+    }
     if (raw.find("bits/stdc++.h") != std::string::npos) {
       out.push_back({rel, i + 1, "PC004",
                      "<bits/stdc++.h> is non-portable and bans precise "
-                     "include auditing"});
+                     "include auditing",
+                     false});
     }
     if (raw.find("#include \"../") != std::string::npos) {
       out.push_back({rel, i + 1, "PC004",
                      "parent-relative include — include project headers "
-                     "rooted at src/ (e.g. \"bigint/bigint.h\")"});
+                     "rooted at src/ (e.g. \"bigint/bigint.h\")",
+                     false});
     }
     if (header && line.find("using namespace std") != std::string::npos) {
       out.push_back({rel, i + 1, "PC004",
                      "`using namespace std` in a header pollutes every "
-                     "includer"});
+                     "includer",
+                     false});
     }
   }
   if (header && !has_pragma_once && !ft.raw.empty()) {
-    out.push_back({rel, 1, "PC004", "header missing #pragma once"});
+    out.push_back({rel, 1, "PC004", "header missing #pragma once", false});
   }
 }
 
-// PC005: whitespace hygiene (also serves as the no-clang-format fallback).
-void rule_whitespace(const std::string& rel, const FileText& ft,
+// PC005: whitespace hygiene (also the no-clang-format fallback).
+void rule_whitespace(const std::string& rel, const LexedFile& ft,
                      std::vector<Finding>& out) {
   for (std::size_t i = 0; i < ft.raw.size(); ++i) {
     const std::string& raw = ft.raw[i];
     if (!raw.empty() && raw.back() == '\r') {
-      out.push_back({rel, i + 1, "PC005", "CR line ending"});
+      out.push_back({rel, i + 1, "PC005", "CR line ending", false});
       continue;
     }
     if (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t')) {
-      out.push_back({rel, i + 1, "PC005", "trailing whitespace"});
+      out.push_back({rel, i + 1, "PC005", "trailing whitespace", false});
     }
     const std::size_t first_nonspace = raw.find_first_not_of(" \t");
     const std::size_t limit =
         first_nonspace == std::string::npos ? raw.size() : first_nonspace;
     if (raw.find('\t') < limit) {
-      out.push_back({rel, i + 1, "PC005", "tab indentation (use spaces)"});
+      out.push_back(
+          {rel, i + 1, "PC005", "tab indentation (use spaces)", false});
     }
   }
   if (!ft.raw.empty() && !ft.ends_with_newline) {
     out.push_back({rel, ft.raw.size(), "PC005",
-                   "file does not end with a newline"});
+                   "file does not end with a newline", false});
   }
 }
 
-// PC006: transport construction is owned.  Only src/net/ may construct a
-// Network or BlockingNetwork, and only src/net/tcp* and tools/pc_party/
-// may construct the TCP transport (TcpChannel/TcpListener/TcpSocket);
-// protocol code takes a Channel& (or, for the synchronous reference
-// drivers, a caller's Network&) and stays transport-agnostic — everything
-// else reaches TCP through run_parties(PartyTransport::kTcp) or the
-// pc_party daemon.
-void flag_transport_constructions(const std::string& rel, const FileText& ft,
+// PC006: transport construction is owned (see the header comment).
+void flag_transport_constructions(const std::string& rel, const LexedFile& ft,
                                   const std::vector<std::string>& types,
                                   const std::string& hint,
                                   std::vector<Finding>& out) {
@@ -392,20 +250,20 @@ void flag_transport_constructions(const std::string& rel, const FileText& ft,
       bool flagged = false;
       while (!flagged && (pos = line.find(type, pos)) != std::string::npos) {
         const std::size_t end = pos + type.size();
-        const bool whole = (pos == 0 || !is_ident_char(line[pos - 1])) &&
-                           (end >= line.size() || !is_ident_char(line[end]));
+        const bool whole =
+            (pos == 0 || !pclint::is_ident_char(line[pos - 1])) &&
+            (end >= line.size() || !pclint::is_ident_char(line[end]));
         if (!whole) {
           pos = end;
           continue;
         }
-        // Preceding context: forward declarations and `new` expressions.
         const std::string before = ltrim(line.substr(0, pos));
         std::string prev_word;
         if (!before.empty()) {
           std::size_t w = before.size();
           while (w > 0 && before[w - 1] == ' ') --w;
           std::size_t ws = w;
-          while (ws > 0 && is_ident_char(before[ws - 1])) --ws;
+          while (ws > 0 && pclint::is_ident_char(before[ws - 1])) --ws;
           prev_word = before.substr(ws, w - ws);
         }
         if (prev_word == "class" || prev_word == "struct" ||
@@ -415,15 +273,11 @@ void flag_transport_constructions(const std::string& rel, const FileText& ft,
         }
         bool constructs = prev_word == "new";
         if (!constructs) {
-          // `Network(` / `Network{`: temporary or member-init construction.
           std::size_t j = skip_spaces(line, end);
           if (j < line.size() && (line[j] == '(' || line[j] == '{')) {
             constructs = true;
-          } else if (j < line.size() && is_ident_char(line[j])) {
-            // `Network name...`: a declaration; it constructs unless the
-            // declarator turns out to be a reference/pointer (those were
-            // already skipped because '&'/'*' precede the name).
-            while (j < line.size() && is_ident_char(line[j])) ++j;
+          } else if (j < line.size() && pclint::is_ident_char(line[j])) {
+            while (j < line.size() && pclint::is_ident_char(line[j])) ++j;
             j = skip_spaces(line, j);
             if (j >= line.size() || line[j] == '(' || line[j] == '{' ||
                 line[j] == ';' || line[j] == '=') {
@@ -433,7 +287,8 @@ void flag_transport_constructions(const std::string& rel, const FileText& ft,
         }
         if (constructs) {
           out.push_back({rel, i + 1, "PC006",
-                         "direct " + type + " construction — " + hint});
+                         "direct " + type + " construction — " + hint,
+                         false});
           flagged = true;
         }
         pos = end;
@@ -443,7 +298,8 @@ void flag_transport_constructions(const std::string& rel, const FileText& ft,
 }
 
 void rule_direct_network_construction(const std::string& rel,
-                                      const FileText& ft, bool force_in_scope,
+                                      const LexedFile& ft,
+                                      bool force_in_scope,
                                       std::vector<Finding>& out) {
   static const std::vector<std::string> kNetworkTypes = {"BlockingNetwork",
                                                          "Network"};
@@ -457,10 +313,6 @@ void rule_direct_network_construction(const std::string& rel,
         "(src/net/party_runner.h) own the transport",
         out);
   }
-  // The TCP transport has a tighter owner set: the transport sources
-  // themselves (src/net/tcp*) and the multi-process daemon
-  // (tools/pc_party/).  Everything else — including the rest of src/net/ —
-  // goes through run_parties(PartyTransport::kTcp) or pc_party.
   const bool tcp_owner = rel.rfind("src/net/tcp", 0) == 0 ||
                          rel.rfind("tools/pc_party/", 0) == 0;
   if (force_in_scope ||
@@ -474,10 +326,8 @@ void rule_direct_network_construction(const std::string& rel,
   }
 }
 
-// PC007: only src/obs/ (obs::monotonic_time_ns) may read a raw clock.
-// Everything else in src/ must time through the obs layer, which keeps
-// timing out of protocol logic and gives the tracer one clock to own.
-void rule_raw_timing(const std::string& rel, const FileText& ft,
+// PC007: only src/obs/ may read a raw clock.
+void rule_raw_timing(const std::string& rel, const LexedFile& ft,
                      bool force_in_scope, std::vector<Finding>& out) {
   const bool in_scope = force_in_scope || (rel.rfind("src/", 0) == 0 &&
                                            rel.rfind("src/obs/", 0) != 0);
@@ -488,79 +338,304 @@ void rule_raw_timing(const std::string& rel, const FileText& ft,
   for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
     for (const std::string& clock : kClockSources) {
       if (!contains_identifier(ft.stripped[i], clock)) continue;
-      if (line_is_annotated_ct_ok(ft, i)) continue;
       out.push_back({rel, i + 1, "PC007",
                      "raw clock source '" + clock +
                          "' outside src/obs/ — time through "
-                         "obs::monotonic_time_ns() (src/obs/clock.h)"});
+                         "obs::monotonic_time_ns() (src/obs/clock.h)",
+                     false});
     }
   }
 }
 
-std::vector<Finding> scan_file(const std::string& rel, const fs::path& path,
-                               bool force_all_rules) {
-  const FileText ft = read_file(path);
-  std::vector<Finding> findings;
-  rule_banned_rng(rel, ft, findings);
-  rule_secret_branch(rel, ft, force_all_rules, findings);
-  rule_missing_zeroize(rel, ft, findings);
-  rule_include_hygiene(rel, ft, findings);
-  rule_whitespace(rel, ft, findings);
-  rule_direct_network_construction(rel, ft, force_all_rules, findings);
-  rule_raw_timing(rel, ft, force_all_rules, findings);
-  return findings;
+// --- scan driver -----------------------------------------------------------
+
+struct ScannedFile {
+  std::string rel;
+  std::unique_ptr<LexedFile> lex;
+  std::unique_ptr<FileModel> model;
+};
+
+bool taint_in_scope(const std::string& rel, bool force) {
+  return force || rel.rfind("src/crypto/", 0) == 0 ||
+         rel.rfind("src/mpc/", 0) == 0;
 }
 
-int run_scan(const fs::path& root, const std::vector<std::string>& subdirs) {
-  std::vector<Finding> findings;
-  std::size_t files_scanned = 0;
-  for (const std::string& sub : subdirs) {
+struct ScanOptions {
+  bool force_all_rules = false;  // fixtures: every rule applies everywhere
+  std::string manifest_path;     // empty: skip PC009
+  std::string manifest_rel = "PROTOCOL_SCHEDULE.json";
+};
+
+// Lexes and models every source file under root/<subdirs>.
+bool collect_files(const fs::path& root, const std::vector<std::string>& subs,
+                   std::vector<ScannedFile>& files) {
+  for (const std::string& sub : subs) {
     const fs::path dir = root / sub;
     if (!fs::exists(dir)) {
       std::cerr << "pc_lint: no such directory: " << dir << "\n";
-      return 2;
+      return false;
+    }
+    if (fs::is_regular_file(dir)) {
+      if (is_source_file(dir)) {
+        ScannedFile sf;
+        sf.rel = generic_rel(root, dir);
+        sf.lex = std::make_unique<LexedFile>(pclint::lex_file(dir.string()));
+        sf.model =
+            std::make_unique<FileModel>(pclint::build_file_model(*sf.lex));
+        files.push_back(std::move(sf));
+      }
+      continue;
     }
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file() || !is_source_file(entry.path())) continue;
-      const std::string rel = generic_rel(root, entry.path());
-      ++files_scanned;
-      std::vector<Finding> f = scan_file(rel, entry.path(), false);
-      findings.insert(findings.end(), f.begin(), f.end());
+      if (!entry.is_regular_file() || !is_source_file(entry.path())) {
+        continue;
+      }
+      ScannedFile sf;
+      sf.rel = generic_rel(root, entry.path());
+      sf.lex =
+          std::make_unique<LexedFile>(pclint::lex_file(entry.path().string()));
+      sf.model =
+          std::make_unique<FileModel>(pclint::build_file_model(*sf.lex));
+      files.push_back(std::move(sf));
     }
   }
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
+  std::sort(files.begin(), files.end(),
+            [](const ScannedFile& a, const ScannedFile& b) {
+              return a.rel < b.rel;
             });
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  }
-  std::cout << "pc_lint: " << files_scanned << " files scanned, "
-            << findings.size() << " finding(s)\n";
-  return findings.empty() ? 0 : 1;
+  return true;
 }
 
-// Self-test: every fixture named pcNNN_*.{h,cc,cpp} must trigger rule PCNNN;
-// every fixture named good_* must be completely clean.
+std::vector<Finding> run_all_rules(const std::vector<ScannedFile>& files,
+                                   const fs::path& root,
+                                   const ScanOptions& opt) {
+  std::vector<Finding> findings;
+  std::map<std::string, const ScannedFile*> by_rel;
+  for (const ScannedFile& f : files) by_rel[f.rel] = &f;
+
+  for (const ScannedFile& f : files) {
+    rule_banned_rng(f.rel, *f.lex, findings);
+    rule_missing_zeroize(f.rel, *f.lex, findings);
+    rule_include_hygiene(f.rel, *f.lex, findings);
+    rule_whitespace(f.rel, *f.lex, findings);
+    rule_direct_network_construction(f.rel, *f.lex, opt.force_all_rules,
+                                     findings);
+    rule_raw_timing(f.rel, *f.lex, opt.force_all_rules, findings);
+    if (taint_in_scope(f.rel, opt.force_all_rules)) {
+      // Paired header: PC_SECRET fields of foo.h also seed foo.cpp/.cc.
+      std::vector<pclint::FieldDecl> header_fields;
+      const std::size_t dot = f.rel.rfind('.');
+      if (dot != std::string::npos && f.rel.substr(dot) != ".h") {
+        auto hdr = by_rel.find(f.rel.substr(0, dot) + ".h");
+        if (hdr != by_rel.end()) {
+          header_fields = hdr->second->model->fields;
+        }
+      }
+      pclint::run_taint_analysis(f.rel, *f.lex, *f.model, header_fields,
+                                 findings);
+    }
+  }
+
+  // PC010 over the whole scanned set.
+  std::vector<pclint::LayerFile> layer_files;
+  layer_files.reserve(files.size());
+  for (const ScannedFile& f : files) {
+    layer_files.push_back({f.rel, f.lex.get()});
+  }
+  pclint::run_layering_analysis(layer_files, root.string(), findings);
+
+  // PC009 against the manifest, when one is configured.
+  if (!opt.manifest_path.empty()) {
+    std::ifstream in(opt.manifest_path);
+    if (!in) {
+      findings.push_back({opt.manifest_rel, 0, "PC009",
+                          "schedule manifest is missing: " +
+                              opt.manifest_path,
+                          false});
+    } else {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::vector<pclint::ProgramSchedule> manifest;
+      std::string err;
+      if (!pclint::parse_manifest(buf.str(), manifest, err)) {
+        findings.push_back({opt.manifest_rel, 0, "PC009",
+                            "schedule manifest is malformed: " + err,
+                            false});
+      } else {
+        pclint::ScheduleExtractor extractor;
+        for (const ScannedFile& f : files) {
+          extractor.add_file(f.lex.get(), f.model.get());
+        }
+        pclint::check_schedules(manifest, extractor, opt.manifest_rel,
+                                findings);
+      }
+    }
+  }
+  return findings;
+}
+
+int dump_schedule(const fs::path& root, const std::vector<std::string>& subs,
+                  const std::string& manifest_path) {
+  std::vector<ScannedFile> files;
+  if (!collect_files(root, subs, files)) return 2;
+  pclint::ScheduleExtractor extractor;
+  for (const ScannedFile& f : files) {
+    extractor.add_file(f.lex.get(), f.model.get());
+  }
+  // Use the manifest's program/party structure when one parses; fall back
+  // to the built-in five-program listing.
+  std::vector<pclint::ProgramSchedule> programs;
+  {
+    std::ifstream in(manifest_path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string err;
+      std::vector<pclint::ProgramSchedule> parsed;
+      if (pclint::parse_manifest(buf.str(), parsed, err)) {
+        programs = std::move(parsed);
+      }
+    }
+  }
+  if (programs.empty()) programs = pclint::builtin_programs();
+  for (pclint::ProgramSchedule& prog : programs) {
+    for (pclint::PartySchedule& party : prog.parties) {
+      party.events.clear();
+      if (!extractor.events_for(party.function, party.events)) {
+        std::cerr << "pc_lint: function not found: " << party.function
+                  << " (program " << prog.name << ")\n";
+      }
+    }
+  }
+  std::cout << pclint::render_manifest(programs);
+  return 0;
+}
+
+struct CliOptions {
+  fs::path root;
+  std::vector<std::string> subdirs;
+  std::string json_path;
+  std::string baseline_path;
+  std::string manifest_path;
+  bool manifest_explicit = false;
+  std::set<std::string> only;
+  bool dump = false;
+};
+
+int run_scan(const CliOptions& cli) {
+  ScanOptions opt;
+  // Default manifest: <root>/PROTOCOL_SCHEDULE.json when present; an
+  // explicitly-passed manifest must exist.
+  std::string manifest = cli.manifest_path;
+  if (manifest.empty()) {
+    const fs::path def = cli.root / "PROTOCOL_SCHEDULE.json";
+    if (fs::exists(def)) manifest = def.string();
+  } else if (!fs::exists(manifest)) {
+    std::cerr << "pc_lint: no such manifest: " << manifest << "\n";
+    return 2;
+  }
+  if (!manifest.empty()) {
+    opt.manifest_path = manifest;
+    opt.manifest_rel = generic_rel(cli.root, fs::path(manifest));
+  }
+
+  std::vector<ScannedFile> files;
+  if (!collect_files(cli.root, cli.subdirs, files)) return 2;
+  std::vector<Finding> findings = run_all_rules(files, cli.root, opt);
+
+  if (!cli.only.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    return cli.only.count(f.rule) == 0;
+                                  }),
+                   findings.end());
+  }
+
+  // Baseline: explicit path, else the committed default when present.
+  std::string baseline_path = cli.baseline_path;
+  if (baseline_path.empty()) {
+    const fs::path def = cli.root / "tools" / "lint" / "pc_lint_baseline.txt";
+    if (fs::exists(def)) baseline_path = def.string();
+  }
+  if (!baseline_path.empty()) {
+    std::vector<std::string> baseline;
+    if (!pclint::load_baseline(baseline_path, baseline)) return 2;
+    pclint::apply_baseline(baseline, findings);
+  }
+
+  pclint::sort_findings(findings);
+  std::size_t unsuppressed = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++unsuppressed;
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "]"
+              << (f.suppressed ? " (suppressed)" : "") << " " << f.message
+              << "\n";
+  }
+  std::cout << "pc_lint: " << files.size() << " files scanned, "
+            << findings.size() << " finding(s), " << unsuppressed
+            << " unsuppressed\n";
+
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::cerr << "pc_lint: cannot write report: " << cli.json_path << "\n";
+      return 2;
+    }
+    out << pclint::render_json_report(findings, files.size());
+  }
+  return unsuppressed == 0 ? 0 : 1;
+}
+
+// --- self-test -------------------------------------------------------------
+
+// Scans one fixture (file, or directory treated as a mini repo root with an
+// optional schedule.json manifest) with every rule forced into scope.
+std::vector<Finding> scan_fixture(const fs::path& path) {
+  ScanOptions opt;
+  opt.force_all_rules = true;
+  std::vector<ScannedFile> files;
+  fs::path root;
+  std::vector<std::string> subs;
+  if (fs::is_directory(path)) {
+    root = path;
+    for (const auto& entry : fs::directory_iterator(path)) {
+      subs.push_back(entry.path().filename().string());
+    }
+    std::sort(subs.begin(), subs.end());
+    const fs::path manifest = path / "schedule.json";
+    if (fs::exists(manifest)) {
+      opt.manifest_path = manifest.string();
+      opt.manifest_rel = "schedule.json";
+    }
+  } else {
+    root = path.parent_path();
+    subs.push_back(path.filename().string());
+  }
+  if (!collect_files(root, subs, files)) return {};
+  // Directory fixtures keep their real relative paths (so PC010 layer
+  // ranks apply); single-file fixtures are namespaced for readability.
+  if (!fs::is_directory(path)) {
+    for (ScannedFile& f : files) f.rel = "fixture/" + f.rel;
+  }
+  return run_all_rules(files, root, opt);
+}
+
 int run_self_test(const fs::path& fixtures) {
   if (!fs::exists(fixtures)) {
     std::cerr << "pc_lint: no such fixtures directory: " << fixtures << "\n";
     return 2;
   }
   std::size_t checked = 0, failures = 0;
-  std::vector<fs::path> files;
+  std::vector<fs::path> entries;
   for (const auto& entry : fs::directory_iterator(fixtures)) {
-    if (entry.is_regular_file() && is_source_file(entry.path())) {
-      files.push_back(entry.path());
+    if (entry.is_directory() || is_source_file(entry.path())) {
+      entries.push_back(entry.path());
     }
   }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& path : files) {
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& path : entries) {
     const std::string name = path.filename().string();
-    const std::string rel = "fixture/" + name;
-    const std::vector<Finding> findings = scan_file(rel, path, true);
+    const std::vector<Finding> findings = scan_fixture(path);
     ++checked;
     if (name.rfind("good_", 0) == 0) {
       if (!findings.empty()) {
@@ -599,8 +674,8 @@ int run_self_test(const fs::path& fixtures) {
       }
     }
   }
-  std::cout << "pc_lint self-test: " << checked << " fixture(s), " << failures
-            << " failure(s)\n";
+  std::cout << "pc_lint self-test: " << checked << " fixture(s), "
+            << failures << " failure(s)\n";
   if (checked == 0) {
     std::cerr << "pc_lint: fixtures directory is empty\n";
     return 2;
@@ -616,11 +691,55 @@ int main(int argc, char** argv) {
     return run_self_test(fs::path(args[1]));
   }
   if (args.size() >= 2 && args[0] == "--root") {
-    std::vector<std::string> subdirs(args.begin() + 2, args.end());
-    if (subdirs.empty()) subdirs.emplace_back("src");
-    return run_scan(fs::path(args[1]), subdirs);
+    CliOptions cli;
+    cli.root = fs::path(args[1]);
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      const auto next = [&]() -> const std::string* {
+        return i + 1 < args.size() ? &args[++i] : nullptr;
+      };
+      if (a == "--json") {
+        const std::string* v = next();
+        if (v == nullptr) break;
+        cli.json_path = *v;
+      } else if (a == "--baseline") {
+        const std::string* v = next();
+        if (v == nullptr) break;
+        cli.baseline_path = *v;
+      } else if (a == "--manifest") {
+        const std::string* v = next();
+        if (v == nullptr) break;
+        cli.manifest_path = *v;
+        cli.manifest_explicit = true;
+      } else if (a == "--only") {
+        const std::string* v = next();
+        if (v == nullptr) break;
+        std::istringstream rules(*v);
+        std::string rule;
+        while (std::getline(rules, rule, ',')) {
+          if (!rule.empty()) cli.only.insert(rule);
+        }
+      } else if (a == "--dump-schedule") {
+        cli.dump = true;
+      } else {
+        cli.subdirs.push_back(a);
+      }
+    }
+    if (cli.subdirs.empty()) cli.subdirs.emplace_back("src");
+    if (cli.dump) {
+      std::string manifest = cli.manifest_path;
+      if (manifest.empty()) {
+        manifest = (cli.root / "PROTOCOL_SCHEDULE.json").string();
+      }
+      return dump_schedule(cli.root, cli.subdirs, manifest);
+    }
+    return run_scan(cli);
   }
-  std::cerr << "usage: pc_lint --root <repo-root> [subdir...]\n"
-            << "       pc_lint --self-test <fixtures-dir>\n";
+  std::cerr
+      << "usage: pc_lint --root <repo-root> [--json <path>] "
+         "[--baseline <path>]\n"
+         "               [--manifest <path>] [--only PCNNN[,PCNNN...]]\n"
+         "               [--dump-schedule] [subdir...]\n"
+         "       pc_lint --self-test <fixtures-dir>\n";
   return 2;
 }

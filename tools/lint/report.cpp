@@ -1,0 +1,104 @@
+#include "report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace pclint {
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+bool load_baseline(const std::string& path, std::vector<std::string>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "pc_lint: cannot read baseline file: %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back(line);
+  }
+  return true;
+}
+
+std::string baseline_key(const Finding& f) {
+  return f.rule + "|" + f.file + "|" + f.message;
+}
+
+void apply_baseline(const std::vector<std::string>& baseline,
+                    std::vector<Finding>& findings) {
+  std::map<std::string, bool> entries;
+  for (const std::string& e : baseline) entries[e] = true;
+  for (Finding& f : findings) {
+    if (entries.count(baseline_key(f)) != 0) f.suppressed = true;
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json_report(const std::vector<Finding>& findings,
+                               std::size_t files_scanned) {
+  std::size_t suppressed = 0;
+  std::map<std::string, std::size_t> by_rule;
+  for (const Finding& f : findings) {
+    if (f.suppressed) ++suppressed;
+    ++by_rule[f.rule];
+  }
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"pc-lint-v1\",\n";
+  out << "  \"files_scanned\": " << files_scanned << ",\n";
+  out << "  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+        << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"suppressed\": " << (f.suppressed ? "true" : "false")
+        << ", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+  out << "  \"counts\": {\"total\": " << findings.size()
+      << ", \"suppressed\": " << suppressed
+      << ", \"unsuppressed\": " << findings.size() - suppressed << "";
+  for (const auto& [rule, n] : by_rule) {
+    out << ", \"" << json_escape(rule) << "\": " << n;
+  }
+  out << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace pclint

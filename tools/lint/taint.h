@@ -1,0 +1,37 @@
+// PC008 — intra-procedural secret-taint dataflow.
+//
+// Sources: identifiers declared with the PC_SECRET marker (in the scanned
+// file or its paired header), a built-in list of private-key field names,
+// and calls into decrypting entry points (Paillier decrypt*, DGK is_zero,
+// he_util decrypt_vector).  Taint propagates per function through
+// assignments, compound assignments, initializers and range-for bindings,
+// plus one level of intra-file call summaries (a local function whose
+// return statement is tainted taints its callers' assignments).
+//
+// Sinks (each is a timing or value channel the two-server model does not
+// admit): branch/loop/switch/ternary conditions, array subscripts,
+// variable-time BigInt entry points (division, modulo, gcd family, modular
+// inversion, radix conversion), and message writes.
+//
+// `pc_declassify(expr)` (src/core/secrecy.h) is the one escape: tokens
+// inside it neither propagate taint nor trigger sinks.  Encryption calls
+// launder by construction (a ciphertext of a secret is public).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "functions.h"
+#include "report.h"
+
+namespace pclint {
+
+/// Runs PC008 over `lex`/`model`.  `header_fields` carries PC_SECRET field
+/// declarations from the paired header (empty when scanning the header
+/// itself).  Appends findings for file `rel`.
+void run_taint_analysis(const std::string& rel, const LexedFile& lex,
+                        const FileModel& model,
+                        const std::vector<FieldDecl>& header_fields,
+                        std::vector<Finding>& out);
+
+}  // namespace pclint

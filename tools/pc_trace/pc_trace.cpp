@@ -15,8 +15,9 @@
 // "lane:<q>" slot per query (mpc/consensus_batch.h); those rows collapse
 // into a single "lanes (N queries)" aggregate plus a per-query footer so a
 // 100-query trace stays one screen.  --check also accepts "pc-bench-v1"
-// records and JSONL metrics dumps, returning nonzero if anything fails
-// validation — CI gates the bench artifacts on it.
+// records, "pc-lint-v1" analyzer reports (tools/lint) and JSONL metrics
+// dumps, returning nonzero if anything fails validation — CI gates the
+// bench and lint artifacts on it.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -244,10 +245,15 @@ int check_one(const std::string& path) {
                schema->as_string() == pcl::obs::kBenchSchema) {
       kind = pcl::obs::kBenchSchema;
       problems = pcl::obs::validate_bench_json(doc);
+    } else if (schema != nullptr && schema->is_string() &&
+               schema->as_string() == pcl::obs::kLintSchema) {
+      kind = pcl::obs::kLintSchema;
+      problems = pcl::obs::validate_lint_json(doc);
     } else {
       kind = "unknown";
       problems.emplace_back(
-          "no recognizable schema (expected pc-trace-v1 or pc-bench-v1)");
+          "no recognizable schema (expected pc-trace-v1, pc-bench-v1 or "
+          "pc-lint-v1)");
     }
   } catch (const std::invalid_argument&) {
     // Not a single JSON document: try JSONL (metrics dump).
@@ -333,7 +339,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <trace.json>            summarize a trace\n"
                "       %s --check <file>...       validate trace/bench/"
-               "metrics files\n"
+               "lint/metrics files\n"
                "       %s --merge <out> <in>...   merge per-process traces\n",
                argv0, argv0, argv0);
   return 2;
