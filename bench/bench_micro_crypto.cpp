@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "bigint/kernels/limb_pool.h"
 #include "bigint/montgomery.h"
 #include "bigint/primes.h"
 #include "crypto/dgk.h"
@@ -110,6 +111,78 @@ void BM_PowModCachedContext(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PowModCachedContext)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+// The modmul ablation triple (DESIGN.md §12): one full modular product
+// a * b mod m per iteration through (1) the generic variable-length 32-bit
+// REDC tier, (2) the fixed-limb 64-bit CIOS kernel with the temporary pool
+// disabled (every op heap-allocates its cell), and (3) the kernel with the
+// per-thread pool warm — the production configuration.  Same seed across
+// the triple so all three run identical operands; the widths are the
+// protocol's hot moduli (DGK n at 1024/2048, Paillier n² at 2048/4096).
+
+void BM_ModMulGenericKernel(benchmark::State& state) {
+  DeterministicRng rng(13);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt m = rng.random_bits_exact(bits);
+  if (m.is_even()) m += BigInt(1);
+  const BigInt a = rng.uniform_below(m);
+  const BigInt b = rng.uniform_below(m);
+  const MontgomeryContext ctx(m, MontgomeryContext::KernelPolicy::kGenericOnly);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.mul_mod(a, b));
+  }
+}
+BENCHMARK(BM_ModMulGenericKernel)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_ModMulFixedKernel(benchmark::State& state) {
+  DeterministicRng rng(13);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt m = rng.random_bits_exact(bits);
+  if (m.is_even()) m += BigInt(1);
+  const BigInt a = rng.uniform_below(m);
+  const BigInt b = rng.uniform_below(m);
+  const MontgomeryContext ctx(m);
+  kern::LimbPool::set_enabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.mul_mod(a, b));
+  }
+  kern::LimbPool::set_enabled(true);
+}
+BENCHMARK(BM_ModMulFixedKernel)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_ModMulFixedKernelPooled(benchmark::State& state) {
+  DeterministicRng rng(13);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt m = rng.random_bits_exact(bits);
+  if (m.is_even()) m += BigInt(1);
+  const BigInt a = rng.uniform_below(m);
+  const BigInt b = rng.uniform_below(m);
+  const MontgomeryContext ctx(m);
+  (void)ctx.mul_mod(a, b);  // warm this thread's free list
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.mul_mod(a, b));
+  }
+}
+BENCHMARK(BM_ModMulFixedKernelPooled)->Arg(1024)->Arg(2048)->Arg(4096);
+
+// Exponentiation across kernel tiers, cached-context setup on both sides:
+// isolates the fixed-limb CIOS win on the pow path that dominates every
+// protocol step.  BM_PowModCachedContext above is the same measurement on
+// the auto-dispatched (fixed-kernel) path.
+void BM_PowModGenericKernel(benchmark::State& state) {
+  DeterministicRng rng(12);  // same operands as the PowMod triple
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt m = rng.random_bits_exact(bits);
+  if (m.is_even()) m += BigInt(1);
+  const BigInt base = rng.uniform_below(m);
+  const BigInt exp = rng.random_bits_exact(bits);
+  const MontgomeryContext ctx(m, MontgomeryContext::KernelPolicy::kGenericOnly);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.pow(base, exp));
+  }
+}
+BENCHMARK(BM_PowModGenericKernel)->Arg(512)->Arg(1024)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PrimeGeneration(benchmark::State& state) {

@@ -1,0 +1,83 @@
+// Type-erased front door of the fixed-limb kernel tier.
+//
+// MontgomeryContext holds one FixedMontKernel (or none) selected at
+// construction by make_fixed_mont_kernel: when the modulus magnitude
+// occupies exactly 8/16/32/64/128 32-bit limbs (256/512/1024/2048/4096
+// bits — the DGK n/p and Paillier n²/p²/q² widths the protocol actually
+// runs), the factory instantiates the matching Cios<W> specialization;
+// every other width returns null and the caller keeps the generic
+// variable-length path.
+//
+// Interface contract:
+//  - values cross the boundary as little-endian 32-bit limb vectors (the
+//    BigInt magnitude format), already reduced below the modulus; outputs
+//    come back trimmed.  The kernels layer never sees a BigInt (PC010).
+//  - Montgomery radix is R = 2^(32 * limbs(modulus)), identical to the
+//    generic context, so Montgomery-form values and all results are
+//    bit-identical across kernel tiers.
+//  - each operation adds the number of Montgomery multiplies it performed
+//    to *mont_muls; the caller turns that into obs counters.  The schedule
+//    (window table build, squarings, final conversion) mirrors the generic
+//    fixed-window path exactly, so op counts are tier-invariant.
+//  - all temporaries come from the calling thread's LimbPool cell; the
+//    steady-state hot path performs no heap allocation beyond the returned
+//    result vector (and none at all through the *_raw entry points).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace pcl::kern {
+
+class FixedMontKernel {
+ public:
+  virtual ~FixedMontKernel() = default;
+
+  /// Width in 64-bit words (modulus limbs / 2).
+  [[nodiscard]] virtual std::size_t words() const = 0;
+  /// Stable kernel identifier ("cios-16" = 16 words = 1024 bits).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// REDC(a * b) for Montgomery-form a, b < modulus.
+  [[nodiscard]] virtual std::vector<std::uint32_t> mont_mul(
+      std::span<const std::uint32_t> a, std::span<const std::uint32_t> b,
+      std::uint64_t* mont_muls) const = 0;
+  /// x * R mod m for x < modulus.
+  [[nodiscard]] virtual std::vector<std::uint32_t> to_mont(
+      std::span<const std::uint32_t> x, std::uint64_t* mont_muls) const = 0;
+  /// x * R^{-1} mod m for Montgomery-form x < modulus.
+  [[nodiscard]] virtual std::vector<std::uint32_t> from_mont(
+      std::span<const std::uint32_t> x, std::uint64_t* mont_muls) const = 0;
+  /// Full modular product a * b mod m (both ordinary form, < modulus):
+  /// one to_mont plus one mont_mul, no double-width intermediate.
+  [[nodiscard]] virtual std::vector<std::uint32_t> mul_mod(
+      std::span<const std::uint32_t> a, std::span<const std::uint32_t> b,
+      std::uint64_t* mont_muls) const = 0;
+  /// base^exp mod m by fixed-window evaluation (base ordinary form,
+  /// < modulus; exp read bit-wise from its limbs).  `window_bits` follows
+  /// the generic context's width rule so the multiply schedule — and the
+  /// op count — is identical across tiers.
+  [[nodiscard]] virtual std::vector<std::uint32_t> pow(
+      std::span<const std::uint32_t> base, std::span<const std::uint32_t> exp,
+      std::size_t exp_bits, std::size_t window_bits,
+      std::uint64_t* mont_muls) const = 0;
+
+  // Raw entry points for benches and in-place pipelines: W-word 64-bit
+  // buffers, zero heap allocations.
+  virtual void mont_mul_raw(std::uint64_t* out, const std::uint64_t* a,
+                            const std::uint64_t* b) const = 0;
+  /// Loads a limb vector (value < modulus) into a W-word buffer.
+  virtual void load_raw(std::span<const std::uint32_t> x,
+                        std::uint64_t* out) const = 0;
+  /// Montgomery form of 1 (R mod m) into a W-word buffer.
+  virtual void one_raw(std::uint64_t* out) const = 0;
+};
+
+/// Kernel for `modulus_limbs` (little-endian 32-bit, trimmed, odd value),
+/// or null when the width has no fixed-limb specialization.
+[[nodiscard]] std::unique_ptr<const FixedMontKernel> make_fixed_mont_kernel(
+    std::span<const std::uint32_t> modulus_limbs);
+
+}  // namespace pcl::kern

@@ -1,5 +1,6 @@
 #include "bigint/montgomery.h"
 
+#include <list>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -21,14 +22,14 @@ std::size_t window_bits_for(std::size_t exp_bits) {
   return 6;
 }
 
-// Bound on the shared-context cache.  Key generation runs Miller–Rabin with
-// a fresh candidate modulus per trial, which would otherwise grow the map
-// without limit; steady-state protocol traffic uses a handful of moduli.
-constexpr std::size_t kSharedCacheMaxEntries = 256;
+void count_mont_muls(std::uint64_t muls) {
+  obs::count(obs::Op::kBigIntModMul, muls);
+  obs::count(obs::Op::kBigIntModMulFixed, muls);
+}
 
 }  // namespace
 
-MontgomeryContext::MontgomeryContext(BigInt modulus)
+MontgomeryContext::MontgomeryContext(BigInt modulus, KernelPolicy policy)
     : modulus_(std::move(modulus)) {
   if (modulus_ <= BigInt(1) || modulus_.is_even()) {
     throw std::invalid_argument(
@@ -50,21 +51,41 @@ MontgomeryContext::MontgomeryContext(BigInt modulus)
   r <<= 32 * limb_count_;
   r_mod_ = r.mod(modulus_);
   r2_mod_ = (r_mod_ * r_mod_).mod(modulus_);
+
+  if (policy == KernelPolicy::kAuto) {
+    kernel_ = kern::make_fixed_mont_kernel(modulus_limbs_);
+  }
+}
+
+const char* MontgomeryContext::kernel_name() const {
+  return kernel_ != nullptr ? kernel_->name() : "generic";
 }
 
 std::shared_ptr<const MontgomeryContext> MontgomeryContext::shared(
     const BigInt& modulus) {
-  using Cache = std::map<BigInt, std::shared_ptr<const MontgomeryContext>>;
+  struct CacheEntry {
+    std::shared_ptr<const MontgomeryContext> context;
+    std::list<BigInt>::iterator recency;  // position in the LRU list
+  };
+  using Cache = std::map<BigInt, CacheEntry>;
   // Leaked singletons: lane workers may still resolve contexts while other
   // threads unwind at process exit, so never run these destructors.
   static std::mutex* mutex = new std::mutex;
   static Cache* cache = new Cache;
+  static std::list<BigInt>* lru = new std::list<BigInt>;  // front = newest
   std::lock_guard<std::mutex> lock(*mutex);
   const auto it = cache->find(modulus);
-  if (it != cache->end()) return it->second;
+  if (it != cache->end()) {
+    lru->splice(lru->begin(), *lru, it->second.recency);
+    return it->second.context;
+  }
   auto context = std::make_shared<const MontgomeryContext>(modulus);
-  if (cache->size() >= kSharedCacheMaxEntries) cache->clear();
-  cache->emplace(modulus, context);
+  if (cache->size() >= kSharedCacheCapacity) {
+    cache->erase(lru->back());
+    lru->pop_back();
+  }
+  lru->push_front(modulus);
+  cache->emplace(modulus, CacheEntry{context, lru->begin()});
   return context;
 }
 
@@ -99,17 +120,67 @@ BigInt MontgomeryContext::redc(std::vector<std::uint32_t> t) const {
   return result;
 }
 
+const BigInt& MontgomeryContext::reduced(const BigInt& v,
+                                         BigInt& storage) const {
+  if (v.is_negative() || v >= modulus_) {
+    storage = v.mod(modulus_);
+    return storage;
+  }
+  return v;
+}
+
 BigInt MontgomeryContext::to_mont(const BigInt& x) const {
+  if (kernel_ != nullptr) {
+    std::uint64_t muls = 0;
+    BigInt scratch;
+    std::vector<std::uint32_t> out =
+        kernel_->to_mont(reduced(x, scratch).limb_span(), &muls);
+    count_mont_muls(muls);
+    return BigInt::from_limbs(std::move(out));
+  }
   return mul(x.mod(modulus_), r2_mod_);
 }
 
 BigInt MontgomeryContext::from_mont(const BigInt& x_mont) const {
+  if (kernel_ != nullptr) {
+    std::uint64_t muls = 0;
+    BigInt scratch;
+    std::vector<std::uint32_t> out =
+        kernel_->from_mont(reduced(x_mont, scratch).limb_span(), &muls);
+    count_mont_muls(muls);
+    return BigInt::from_limbs(std::move(out));
+  }
   return redc(x_mont.to_limbs());
 }
 
 BigInt MontgomeryContext::mul(const BigInt& a_mont,
                               const BigInt& b_mont) const {
+  if (kernel_ != nullptr) {
+    std::uint64_t muls = 0;
+    BigInt a_scratch, b_scratch;
+    std::vector<std::uint32_t> out =
+        kernel_->mont_mul(reduced(a_mont, a_scratch).limb_span(),
+                          reduced(b_mont, b_scratch).limb_span(), &muls);
+    count_mont_muls(muls);
+    return BigInt::from_limbs(std::move(out));
+  }
   return redc((a_mont * b_mont).to_limbs());
+}
+
+BigInt MontgomeryContext::mul_mod(const BigInt& a, const BigInt& b) const {
+  if (kernel_ != nullptr) {
+    std::uint64_t muls = 0;
+    BigInt a_scratch, b_scratch;
+    std::vector<std::uint32_t> out =
+        kernel_->mul_mod(reduced(a, a_scratch).limb_span(),
+                         reduced(b, b_scratch).limb_span(), &muls);
+    count_mont_muls(muls);
+    return BigInt::from_limbs(std::move(out));
+  }
+  // Same two-multiply schedule as the fixed tier: aR = to_mont(a), then
+  // REDC(aR * b) = a * b mod m.
+  BigInt b_scratch;
+  return mul(to_mont(a), reduced(b, b_scratch));
 }
 
 BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
@@ -117,6 +188,22 @@ BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
     throw std::invalid_argument("MontgomeryContext::pow: negative exponent");
   }
   obs::count(obs::Op::kBigIntModExp);
+  if (kernel_ != nullptr) {
+    obs::count(obs::Op::kBigIntModExpFixed);
+    const std::size_t bits = exp.bit_length();
+    std::uint64_t muls = 0;
+    BigInt scratch;
+    std::vector<std::uint32_t> out = kernel_->pow(
+        reduced(base, scratch).limb_span(), exp.limb_span(), bits,
+        bits == 0 ? 1 : window_bits_for(bits), &muls);
+    count_mont_muls(muls);
+    return BigInt::from_limbs(std::move(out));
+  }
+  return pow_generic(base, exp);
+}
+
+BigInt MontgomeryContext::pow_generic(const BigInt& base,
+                                      const BigInt& exp) const {
   const std::size_t bits = exp.bit_length();
   if (bits == 0) return from_mont(r_mod_);  // base^0 = 1 mod m
 

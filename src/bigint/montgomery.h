@@ -1,16 +1,26 @@
-// Montgomery modular arithmetic.
+// Montgomery modular arithmetic, tiered over fixed-limb kernels.
 //
 // Modular exponentiation dominates the protocol's CPU cost (every DGK bit
 // encryption, zero-test and Paillier operation is a pow_mod).  A
 // MontgomeryContext precomputes the Montgomery constants for an odd modulus
 // and performs multiplication with cheap word-wise reductions instead of a
-// full Knuth division per product.  Exponentiation uses fixed-window (2^w)
-// evaluation, and `MontgomeryContext::shared` memoizes contexts in a
-// process-wide cache keyed by modulus: the protocol hits the same four
-// moduli (n, n², DGK n, p) millions of times, so the R² setup division is
-// paid once per modulus instead of once per pow_mod.  BigInt::pow_mod
-// routes every odd-modulus call through this automatically;
-// bench_micro_crypto quantifies the gain.
+// full Knuth division per product.
+//
+// Two kernel tiers sit behind one context (DESIGN.md §12):
+//  - fixed-limb: when the modulus occupies exactly 8/16/32/64/128 32-bit
+//    limbs (256…4096 bits — the DGK n/p and Paillier n²/p²/q² widths), a
+//    compile-time-width CIOS kernel (src/bigint/kernels/) runs the fused
+//    multiply+reduce on 64-bit words with pooled temporaries; results and
+//    per-op Montgomery-multiply counts are bit-identical to the generic
+//    tier (same radix R, same window schedule).
+//  - generic: variable-length 32-bit limb REDC for every other width.
+//
+// Exponentiation uses fixed-window (2^w) evaluation, and
+// `MontgomeryContext::shared` memoizes contexts in a process-wide LRU
+// cache keyed by modulus: the protocol hits the same four moduli (n, n²,
+// DGK n, p) millions of times, so the per-modulus setup is paid once.
+// BigInt::pow_mod routes every odd-modulus call through this
+// automatically; bench_micro_crypto quantifies the tiers.
 #pragma once
 
 #include <cstdint>
@@ -18,25 +28,46 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/kernels/fixed_mont.h"
 
 namespace pcl {
 
 class MontgomeryContext {
  public:
+  /// Kernel-tier selection at construction.  kGenericOnly exists for the
+  /// bench ablations and the kernel cross-check tests; production call
+  /// sites use the default.
+  enum class KernelPolicy { kAuto, kGenericOnly };
+
   /// Requires an odd modulus > 1; throws std::invalid_argument otherwise.
-  explicit MontgomeryContext(BigInt modulus);
+  explicit MontgomeryContext(BigInt modulus,
+                             KernelPolicy policy = KernelPolicy::kAuto);
 
   /// Process-wide memoized context for `modulus` (mutex-guarded; safe to
   /// call from concurrent lane workers).  Returns the same context for
   /// repeated lookups of the same modulus, so the Montgomery constants are
-  /// computed once per modulus per process.  The cache is bounded: when it
-  /// exceeds a fixed entry count (churn from per-candidate Miller–Rabin
-  /// moduli during key generation) it is cleared; live shared_ptr holders
-  /// keep their contexts valid across a clear.
+  /// computed once per modulus per process.  The cache is a true LRU
+  /// bounded at kSharedCacheCapacity entries: key-generation churn (one
+  /// fresh candidate modulus per Miller–Rabin trial) evicts only the
+  /// least-recently-used contexts, so long-lived daemons neither
+  /// accumulate dead moduli nor lose their steady-state protocol entries.
+  /// Live shared_ptr holders keep their contexts valid across eviction.
   [[nodiscard]] static std::shared_ptr<const MontgomeryContext> shared(
       const BigInt& modulus);
 
+  /// Bound on the shared-context LRU cache (exposed for tests).
+  static constexpr std::size_t kSharedCacheCapacity = 64;
+
   [[nodiscard]] const BigInt& modulus() const { return modulus_; }
+
+  /// True when this context dispatches to a fixed-limb CIOS kernel.
+  [[nodiscard]] bool has_fixed_kernel() const { return kernel_ != nullptr; }
+  /// "generic", or the kernel identifier ("cios-32" = 32 words = 2048-bit).
+  [[nodiscard]] const char* kernel_name() const;
+  /// The fixed-limb kernel, or null (raw access for benches).
+  [[nodiscard]] const kern::FixedMontKernel* fixed_kernel() const {
+    return kernel_.get();
+  }
 
   /// Montgomery form: x * R mod m, with R = 2^(32 * limbs(m)).
   [[nodiscard]] BigInt to_mont(const BigInt& x) const;
@@ -44,6 +75,13 @@ class MontgomeryContext {
 
   /// Montgomery product: REDC(a_mont * b_mont).
   [[nodiscard]] BigInt mul(const BigInt& a_mont, const BigInt& b_mont) const;
+
+  /// Full modular product a * b mod m for ordinary-form operands: one
+  /// to_mont plus one Montgomery multiply, replacing the double-width
+  /// product + Knuth division of `(a * b).mod(m)` on ciphertext hot paths
+  /// (Paillier add/encrypt, DGK add/encrypt/rerandomize).  Negative or
+  /// unreduced operands are reduced first.
+  [[nodiscard]] BigInt mul_mod(const BigInt& a, const BigInt& b) const;
 
   /// (base^exp) mod m for non-negative exp; base is in ordinary form.
   /// Fixed-window evaluation: the window width grows with the exponent
@@ -54,8 +92,13 @@ class MontgomeryContext {
   [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
 
  private:
-  /// REDC on a raw double-width magnitude (little-endian 32-bit limbs).
+  /// REDC on a raw double-width magnitude (little-endian 32-bit limbs);
+  /// generic tier only.
   [[nodiscard]] BigInt redc(std::vector<std::uint32_t> t) const;
+  [[nodiscard]] BigInt pow_generic(const BigInt& base, const BigInt& exp) const;
+  /// Reference to `v` reduced into [0, m), materializing a copy in
+  /// `storage` only when reduction is needed.
+  [[nodiscard]] const BigInt& reduced(const BigInt& v, BigInt& storage) const;
 
   BigInt modulus_;
   std::vector<std::uint32_t> modulus_limbs_;  // cached for redc
@@ -63,6 +106,7 @@ class MontgomeryContext {
   std::uint32_t n_prime_ = 0;  // -m^{-1} mod 2^32
   BigInt r_mod_;               // R mod m      (Montgomery form of 1)
   BigInt r2_mod_;              // R^2 mod m    (for to_mont)
+  std::unique_ptr<const kern::FixedMontKernel> kernel_;  // null => generic
 };
 
 }  // namespace pcl

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "bigint/montgomery.h"
+
 namespace pcl {
 
 namespace {
@@ -89,9 +91,13 @@ PaillierCiphertext PaillierRandomizerPool::encrypt(const BigInt& m) {
     power = std::move(randomizer_powers_.back());
     randomizer_powers_.pop_back();
   }
-  // c = (1 + m*n) * r^n mod n^2 — the pooled power replaces the pow_mod.
+  // c = (1 + m*n) * r^n mod n^2 — the pooled power replaces the pow_mod,
+  // and the key-attached context's mul_mod (fixed-limb CIOS at protocol
+  // widths) replaces the double-width product + division.
   const BigInt g_to_m =
       (BigInt(1) + m.mod(pk_.n()) * pk_.n()).mod(pk_.n_squared());
+  const std::shared_ptr<const MontgomeryContext>& ctx = pk_.mont_n_squared();
+  if (ctx != nullptr) return {ctx->mul_mod(g_to_m, power)};
   return {(g_to_m * power).mod(pk_.n_squared())};
 }
 

@@ -19,6 +19,15 @@ BigInt ctx_pow(const std::shared_ptr<const MontgomeryContext>& ctx,
   return BigInt::pow_mod(base, exp, m);
 }
 
+// Modular product through a key-attached context: two Montgomery multiplies
+// (fixed-limb CIOS when the width qualifies) instead of a double-width
+// product followed by Knuth division.  Same fallback rule as ctx_pow.
+BigInt ctx_mul(const std::shared_ptr<const MontgomeryContext>& ctx,
+               const BigInt& a, const BigInt& b, const BigInt& m) {
+  if (ctx) return ctx->mul_mod(a, b);
+  return (a * b).mod(m);
+}
+
 }  // namespace
 
 PaillierPublicKey::PaillierPublicKey(BigInt n)
@@ -38,7 +47,7 @@ PaillierCiphertext PaillierPublicKey::encrypt_with_randomness(
   // With g = n + 1: g^m = 1 + m*n (mod n^2), avoiding one exponentiation.
   const BigInt g_to_m = (BigInt(1) + m_mod * n_).mod(n_squared_);
   const BigInt r_to_n = ctx_pow(mont_n_squared_, r, n_, n_squared_);
-  return {(g_to_m * r_to_n).mod(n_squared_)};
+  return {ctx_mul(mont_n_squared_, g_to_m, r_to_n, n_squared_)};
 }
 
 PaillierCiphertext PaillierPublicKey::encrypt(const BigInt& m,
@@ -53,7 +62,7 @@ PaillierCiphertext PaillierPublicKey::encrypt(const BigInt& m,
 PaillierCiphertext PaillierPublicKey::add(const PaillierCiphertext& c1,
                                           const PaillierCiphertext& c2) const {
   obs::count(obs::Op::kPaillierAdd);
-  return {(c1.value * c2.value).mod(n_squared_)};
+  return {ctx_mul(mont_n_squared_, c1.value, c2.value, n_squared_)};
 }
 
 PaillierCiphertext PaillierPublicKey::scalar_mul(const PaillierCiphertext& c,
@@ -130,7 +139,8 @@ BigInt PaillierPrivateKey::decrypt_crt(const PaillierCiphertext& c) const {
                             q_squared_);
   // Garner recombination: x = cq + q^2 * ((cp - cq) * inv(q^2) mod p^2).
   const BigInt diff = (cp - cq).mod(p_squared_);
-  return cq + q_squared_ * ((diff * q_sq_inv_p_).mod(p_squared_));
+  return cq +
+         q_squared_ * ctx_mul(mont_p_squared_, diff, q_sq_inv_p_, p_squared_);
 }
 
 BigInt PaillierPrivateKey::decrypt_raw(const PaillierCiphertext& c) const {

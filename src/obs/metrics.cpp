@@ -34,6 +34,10 @@ const char* op_name(Op op) {
       return "restoration.reveal";
     case Op::kNoisyMaxRelease:
       return "noisy_max.release";
+    case Op::kBigIntModMulFixed:
+      return "bigint.modmul_fixed";
+    case Op::kBigIntModExpFixed:
+      return "bigint.modexp_fixed";
   }
   return "unknown";
 }

@@ -47,9 +47,15 @@ enum class Op : unsigned {
   kBlindPermuteRound,  ///< one BnP sequence (S1 role)
   kRestorationReveal,  ///< one Restoration reveal (S1 role)
   kNoisyMaxRelease,    ///< one released noisy-max label (S1 role)
+  // Kernel-variant counters (DESIGN.md §12): counted IN ADDITION to the
+  // corresponding kBigIntModMul/kBigIntModExp, so the base counters stay
+  // comparable across kernel tiers while these expose the share of work
+  // that hit the fixed-limb CIOS path.
+  kBigIntModMulFixed,  ///< Montgomery multiply served by a fixed-limb kernel
+  kBigIntModExpFixed,  ///< modexp served by a fixed-limb kernel
 };
 
-inline constexpr std::size_t kNumOps = 15;
+inline constexpr std::size_t kNumOps = 17;
 
 /// Stable machine-readable name ("bigint.modexp", "paillier.encrypt", ...);
 /// these are the keys used by the trace / bench JSON schemas.

@@ -1,0 +1,278 @@
+// Fixed-limb kernel tier (src/bigint/kernels/): cross-checks every CIOS
+// width against the generic variable-length tier, exercises the REDC
+// final-subtraction carries at exact limb boundaries, and pins the pool
+// and op-count contracts that DESIGN.md §12 documents.
+#include "bigint/kernels/fixed_mont.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "bigint/kernels/limb_pool.h"
+#include "bigint/montgomery.h"
+#include "bigint/rng.h"
+#include "obs/trace.h"
+
+namespace pcl {
+namespace {
+
+using kern::FixedMontKernel;
+using kern::LimbPool;
+using kern::make_fixed_mont_kernel;
+
+// The supported fixed widths, in bits: 8/16/32/64/128 32-bit limbs.
+constexpr std::size_t kFixedBits[] = {256, 512, 1024, 2048, 4096};
+
+BigInt odd_modulus_exact(std::size_t bits, Rng& rng) {
+  BigInt m = rng.random_bits_exact(bits);
+  if (m.is_even()) m += BigInt(1);
+  return m;
+}
+
+TEST(FixedMontKernel, FactorySelectsExactWidthsOnly) {
+  DeterministicRng rng(11);
+  for (const std::size_t bits : kFixedBits) {
+    const BigInt m = odd_modulus_exact(bits, rng);
+    const auto kernel = make_fixed_mont_kernel(m.to_limbs());
+    ASSERT_NE(kernel, nullptr) << bits << "-bit modulus";
+    EXPECT_EQ(kernel->words() * 64, bits);
+  }
+  // Off-width (not a supported limb count), even, tiny, and empty all fall
+  // back to the generic tier.
+  const BigInt odd_1056 = odd_modulus_exact(1056, rng);
+  EXPECT_EQ(make_fixed_mont_kernel(odd_1056.to_limbs()), nullptr);
+  BigInt even_1024 = odd_modulus_exact(1024, rng) + BigInt(1);
+  EXPECT_EQ(make_fixed_mont_kernel(even_1024.to_limbs()), nullptr);
+  EXPECT_EQ(make_fixed_mont_kernel(BigInt(12345).to_limbs()), nullptr);
+  EXPECT_EQ(make_fixed_mont_kernel(std::vector<std::uint32_t>{}), nullptr);
+}
+
+TEST(FixedMontKernel, ContextDispatchAndPolicy) {
+  DeterministicRng rng(12);
+  const BigInt m = odd_modulus_exact(1024, rng);
+  const MontgomeryContext auto_ctx(m);
+  EXPECT_TRUE(auto_ctx.has_fixed_kernel());
+  EXPECT_STREQ(auto_ctx.kernel_name(), "cios-16");
+  const MontgomeryContext generic_ctx(
+      m, MontgomeryContext::KernelPolicy::kGenericOnly);
+  EXPECT_FALSE(generic_ctx.has_fixed_kernel());
+  EXPECT_STREQ(generic_ctx.kernel_name(), "generic");
+  // An odd width never gets a kernel regardless of policy.
+  const MontgomeryContext odd_width(odd_modulus_exact(160, rng));
+  EXPECT_FALSE(odd_width.has_fixed_kernel());
+}
+
+TEST(FixedMontKernel, EveryWidthMatchesGenericTier) {
+  // The hard invariant: for every fixed width, mul / mul_mod / pow through
+  // the kernel are bit-identical to the generic 32-bit-limb tier (same
+  // Montgomery radix R, same window schedule).
+  DeterministicRng rng(13);
+  for (const std::size_t bits : kFixedBits) {
+    const BigInt m = odd_modulus_exact(bits, rng);
+    const MontgomeryContext fixed(m);
+    const MontgomeryContext generic(
+        m, MontgomeryContext::KernelPolicy::kGenericOnly);
+    ASSERT_TRUE(fixed.has_fixed_kernel()) << bits;
+    for (int trial = 0; trial < 8; ++trial) {
+      const BigInt a = rng.uniform_below(m);
+      const BigInt b = rng.uniform_below(m);
+      const BigInt e = rng.random_bits(1 + (trial * 67) % 512);
+      EXPECT_EQ(fixed.to_mont(a), generic.to_mont(a)) << bits;
+      EXPECT_EQ(fixed.mul(fixed.to_mont(a), fixed.to_mont(b)),
+                generic.mul(generic.to_mont(a), generic.to_mont(b)))
+          << bits;
+      EXPECT_EQ(fixed.mul_mod(a, b), (a * b).mod(m)) << bits;
+      EXPECT_EQ(fixed.pow(a, e), generic.pow(a, e)) << bits;
+    }
+  }
+}
+
+TEST(FixedMontKernel, RedcFinalSubtractionAtLimbBoundary) {
+  // Moduli chosen to force the REDC final conditional subtraction and the
+  // t[W] overflow word: all-ones (2^bits - 1, the largest odd value at the
+  // width) and 2^bits - 3 keep intermediate sums at the carry edge.
+  DeterministicRng rng(14);
+  for (const std::size_t bits : kFixedBits) {
+    for (const int delta : {1, 3}) {
+      const BigInt m = (BigInt(1) << bits) - BigInt(delta);
+      ASSERT_TRUE(m.is_odd());
+      ASSERT_EQ(m.bit_length(), bits);
+      const MontgomeryContext fixed(m);
+      ASSERT_TRUE(fixed.has_fixed_kernel()) << bits << " -" << delta;
+      // Operands at the top of the range maximize the unreduced product.
+      const BigInt top = m - BigInt(1);
+      EXPECT_EQ(fixed.mul_mod(top, top), (top * top).mod(m));
+      for (int trial = 0; trial < 4; ++trial) {
+        const BigInt a = rng.uniform_below(m);
+        EXPECT_EQ(fixed.mul_mod(a, top), (a * top).mod(m));
+        EXPECT_EQ(fixed.from_mont(fixed.to_mont(a)), a);
+      }
+    }
+  }
+}
+
+TEST(FixedMontKernel, UnreducedAndNegativeOperandsReduceFirst) {
+  DeterministicRng rng(15);
+  const BigInt m = odd_modulus_exact(256, rng);
+  const MontgomeryContext ctx(m);
+  ASSERT_TRUE(ctx.has_fixed_kernel());
+  const BigInt big = m * BigInt(7) + rng.uniform_below(m);  // base >= modulus
+  const BigInt b = rng.uniform_below(m);
+  EXPECT_EQ(ctx.mul_mod(big, b), (big * b).mod(m));
+  EXPECT_EQ(ctx.pow(big, BigInt(5)), BigInt::pow_mod(big.mod(m), BigInt(5), m));
+  EXPECT_EQ(ctx.mul_mod(BigInt(-3), b), ((m - BigInt(3)) * b).mod(m));
+  EXPECT_EQ(ctx.pow(BigInt(-2), BigInt(2)), BigInt(4));
+}
+
+TEST(FixedMontKernel, PowExponentEdgeCases) {
+  DeterministicRng rng(16);
+  const BigInt m = odd_modulus_exact(512, rng);
+  const MontgomeryContext ctx(m);
+  ASSERT_TRUE(ctx.has_fixed_kernel());
+  const BigInt a = rng.uniform_below(m);
+  EXPECT_EQ(ctx.pow(a, BigInt(0)), BigInt(1));
+  EXPECT_EQ(ctx.pow(a, BigInt(1)), a);
+  EXPECT_EQ(ctx.pow(BigInt(0), BigInt(9)), BigInt(0));
+  EXPECT_EQ(ctx.pow(BigInt(1), BigInt(1) << 200), BigInt(1));
+  // Exponent with every window pattern: all-ones exponent exercises every
+  // table entry at the widest window.
+  const BigInt ones = (BigInt(1) << 300) - BigInt(1);
+  EXPECT_EQ(ctx.pow(a, ones), BigInt::pow_mod(a, ones, m));
+  EXPECT_THROW((void)ctx.pow(a, BigInt(-1)), std::invalid_argument);
+}
+
+TEST(FixedMontKernel, OpCountsAreTierInvariant) {
+  // The fixed tier must mirror the generic multiply schedule exactly:
+  // identical kBigIntModMul totals per operation, with the _fixed variants
+  // counting only the kernel-path share.
+  DeterministicRng rng(17);
+  const BigInt m = odd_modulus_exact(1024, rng);
+  const BigInt base = rng.uniform_below(m);
+  const BigInt exp = rng.random_bits(300);
+  const MontgomeryContext fixed(m);
+  const MontgomeryContext generic(
+      m, MontgomeryContext::KernelPolicy::kGenericOnly);
+
+  const auto count_ops = [&](const MontgomeryContext& ctx) {
+    obs::MetricsRegistry reg;
+    const obs::ObserverScope scope(nullptr, &reg, "t");
+    (void)ctx.pow(base, exp);
+    (void)ctx.mul_mod(base, base);
+    return std::array<std::uint64_t, 4>{
+        reg.total(obs::Op::kBigIntModMul),
+        reg.total(obs::Op::kBigIntModExp),
+        reg.total(obs::Op::kBigIntModMulFixed),
+        reg.total(obs::Op::kBigIntModExpFixed)};
+  };
+  const auto f = count_ops(fixed);
+  const auto g = count_ops(generic);
+  EXPECT_EQ(f[0], g[0]);  // same modmul schedule
+  EXPECT_EQ(f[1], g[1]);  // one modexp each
+  EXPECT_EQ(f[2], f[0]);  // every multiply went through the kernel...
+  EXPECT_EQ(f[3], f[1]);
+  EXPECT_EQ(g[2], 0u);  // ...and none on the generic context
+  EXPECT_EQ(g[3], 0u);
+}
+
+TEST(LimbPool, ReusesCellsAndCountsAllocations) {
+  LimbPool& pool = LimbPool::local();
+  pool.reset_stats();
+  {
+    kern::CellLease warm;  // first lease on a cold list may allocate
+    (void)warm.data();
+  }
+  pool.reset_stats();
+  for (int i = 0; i < 100; ++i) {
+    kern::CellLease lease;
+    lease.data()[0] = static_cast<std::uint64_t>(i);
+  }
+  const kern::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 100u);
+  EXPECT_EQ(stats.fresh_allocs, 0u);  // steady state: zero heap allocations
+  EXPECT_EQ(stats.reuses, 100u);
+  EXPECT_GE(stats.free_cells, 1u);
+}
+
+TEST(LimbPool, SteadyStateKernelOpsAreAllocationFree) {
+  // The pool-level proof of the "zero heap allocations per modmul" claim:
+  // after one warmup op, a burst of kernel operations never takes the
+  // fresh-alloc path.
+  DeterministicRng rng(18);
+  const BigInt m = odd_modulus_exact(2048, rng);
+  const MontgomeryContext ctx(m);
+  ASSERT_TRUE(ctx.has_fixed_kernel());
+  const BigInt a = rng.uniform_below(m);
+  const BigInt b = rng.uniform_below(m);
+  (void)ctx.mul_mod(a, b);  // warm the free list
+  LimbPool::local().reset_stats();
+  BigInt acc = a;
+  for (int i = 0; i < 50; ++i) acc = ctx.mul_mod(acc, b);
+  const kern::PoolStats stats = LimbPool::local().stats();
+  EXPECT_GT(stats.acquires, 0u);
+  EXPECT_EQ(stats.fresh_allocs, 0u);
+  EXPECT_EQ(stats.reuses, stats.acquires);
+  // And the arithmetic stayed right.
+  BigInt expected = a;
+  for (int i = 0; i < 50; ++i) expected = (expected * b).mod(m);
+  EXPECT_EQ(acc, expected);
+}
+
+TEST(LimbPool, DisableForcesFreshAllocations) {
+  LimbPool& pool = LimbPool::local();
+  LimbPool::set_enabled(false);
+  pool.reset_stats();
+  {
+    kern::CellLease lease;
+    lease.data()[0] = 1;
+  }
+  const kern::PoolStats off = pool.stats();
+  EXPECT_FALSE(off.enabled);
+  EXPECT_EQ(off.fresh_allocs, 1u);  // ablation mode: every lease allocates
+  EXPECT_EQ(off.reuses, 0u);
+  LimbPool::set_enabled(true);
+  EXPECT_TRUE(pool.stats().enabled);
+}
+
+TEST(LimbPool, CellLeaseCarveBoundsChecked) {
+  kern::CellLease lease;
+  std::uint64_t* first = lease.carve(kern::kCellWords / 2);
+  std::uint64_t* second = lease.carve(kern::kCellWords / 2);
+  EXPECT_EQ(second - first,
+            static_cast<std::ptrdiff_t>(kern::kCellWords / 2));
+  EXPECT_THROW((void)lease.carve(1), std::logic_error);
+}
+
+TEST(SharedCacheLru, EvictsLeastRecentlyUsedOnly) {
+  // Fill the cache to capacity, keep the oldest entry warm by touching it,
+  // then overflow: the warm entry must survive (same pointer), while an
+  // untouched early entry is rebuilt on re-lookup (different pointer).
+  DeterministicRng rng(19);
+  const auto fresh_modulus = [&] {
+    BigInt m = rng.random_bits_exact(96);
+    if (m.is_even()) m += BigInt(1);
+    return m;
+  };
+  const BigInt warm = fresh_modulus();
+  const BigInt cold = fresh_modulus();
+  const auto warm_ctx = MontgomeryContext::shared(warm);
+  const auto cold_ctx = MontgomeryContext::shared(cold);
+  // Fill to one below capacity, then touch `warm` so `cold` is the LRU.
+  for (std::size_t i = 0; i + 2 < MontgomeryContext::kSharedCacheCapacity;
+       ++i) {
+    (void)MontgomeryContext::shared(fresh_modulus());
+  }
+  (void)MontgomeryContext::shared(warm);
+  // Two more insertions evict exactly the two least-recent entries; `warm`
+  // was just touched and must still be cached.
+  (void)MontgomeryContext::shared(fresh_modulus());
+  (void)MontgomeryContext::shared(fresh_modulus());
+  EXPECT_EQ(MontgomeryContext::shared(warm).get(), warm_ctx.get());
+  EXPECT_NE(MontgomeryContext::shared(cold).get(), cold_ctx.get());
+  // The evicted context stays usable through its shared_ptr.
+  const BigInt x = rng.uniform_below(cold);
+  EXPECT_EQ(cold_ctx->pow(x, BigInt(3)), BigInt::pow_mod(x, BigInt(3), cold));
+}
+
+}  // namespace
+}  // namespace pcl

@@ -1,0 +1,5 @@
+// PC010 fixture: the kernels sub-layer reaching UP into bigint proper.
+// Kernels are BigInt-free by contract (raw limb spans only); this include
+// must be flagged as an upward include from layer 2 to layer 3.
+#pragma once
+#include "bigint/bigint.h"

@@ -1,5 +1,5 @@
 // PC010 fixture: a sideways include between same-layer directories (dp and
-// ml both sit in layer 3 and must stay independent).
+// ml both sit in layer 4 and must stay independent).
 #pragma once
 
 #include "ml/peer.h"

@@ -16,23 +16,29 @@ namespace fs = std::filesystem;
 int layer_rank(const std::string& rel) {
   if (rel == "src/core/secrecy.h") return 0;  // annotations
   if (rel.rfind("src/", 0) != 0) {
-    if (rel.rfind("tools/", 0) == 0) return 7;
+    if (rel.rfind("tools/", 0) == 0) return 8;
     return -1;
   }
   const std::size_t slash = rel.find('/', 4);
   if (slash == std::string::npos) return -1;
   const std::string dir = rel.substr(4, slash - 4);
   if (dir == "obs") return 1;
-  if (dir == "bigint") return 2;
-  if (dir == "dp" || dir == "ml" || dir == "net") return 3;
-  if (dir == "crypto") return 4;
-  if (dir == "mpc") return 5;
-  if (dir == "core") return 6;
+  if (dir == "bigint") {
+    // The fixed-limb kernel tier is a sub-layer UNDER bigint: BigInt-free
+    // (raw limb spans only), so bigint may include kernels but never the
+    // reverse.
+    return rel.rfind("src/bigint/kernels/", 0) == 0 ? 2 : 3;
+  }
+  if (dir == "dp" || dir == "ml" || dir == "net") return 4;
+  if (dir == "crypto") return 5;
+  if (dir == "mpc") return 6;
+  if (dir == "core") return 7;
   return -1;
 }
 
 std::string layer_dir(const std::string& rel) {
   if (rel == "src/core/secrecy.h") return "annotations";
+  if (rel.rfind("src/bigint/kernels/", 0) == 0) return "bigint/kernels";
   const std::size_t first = rel.find('/');
   if (first == std::string::npos) return rel;
   if (rel.rfind("tools/", 0) == 0) return "tools";
