@@ -4,10 +4,13 @@
 // DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ensemble.h"
@@ -66,6 +69,33 @@ inline BenchCli parse_bench_cli(int argc, char** argv) {
   return cli;
 }
 
+/// Host metadata stamped into every pc-bench-v1 record so `pc_trace --diff`
+/// regressions across machines or build flavors are explainable from the
+/// files alone.  The build preset and git revision come from the
+/// PCL_BUILD_PRESET / PCL_GIT_REV environment variables (CI exports them);
+/// without them the preset falls back to the compile mode and the revision
+/// is omitted.
+[[nodiscard]] inline obs::JsonValue host_metadata() {
+  obs::JsonValue::Object host;
+  host["cpus"] = obs::JsonValue(static_cast<double>(
+      std::max(1u, std::thread::hardware_concurrency())));
+  const char* preset = std::getenv("PCL_BUILD_PRESET");
+  if (preset != nullptr && preset[0] != '\0') {
+    host["preset"] = obs::JsonValue(std::string(preset));
+  } else {
+#ifdef NDEBUG
+    host["preset"] = obs::JsonValue("release");
+#else
+    host["preset"] = obs::JsonValue("debug");
+#endif
+  }
+  const char* rev = std::getenv("PCL_GIT_REV");
+  if (rev != nullptr && rev[0] != '\0') {
+    host["git_rev"] = obs::JsonValue(std::string(rev));
+  }
+  return obs::JsonValue(std::move(host));
+}
+
 /// Records one bench run into the shared "pc-bench-v1" schema.  Owns a
 /// MetricsRegistry and a TraceSink the bench can attach to its protocol
 /// (ConsensusProtocol::set_observer, PartyRunOptions, or an ObserverScope
@@ -97,11 +127,12 @@ class BenchRecorder {
     return ops;
   }
 
-  /// Writes the "pc-bench-v1" record (pretty-printed, trailing newline).
+  /// Writes the "pc-bench-v1" record (pretty-printed, trailing newline),
+  /// stamped with host_metadata().
   void write_json(const std::string& path) const {
-    const obs::JsonValue doc = obs::build_bench_json(bench_, params_,
-                                                     wall_ms(), bytes_,
-                                                     op_totals());
+    obs::JsonValue doc = obs::build_bench_json(bench_, params_, wall_ms(),
+                                               bytes_, op_totals());
+    doc.as_object()["host"] = host_metadata();
     obs::write_text_file(path, doc.dump(2) + "\n");
     std::printf("wrote %s\n", path.c_str());
   }

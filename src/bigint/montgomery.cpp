@@ -1,11 +1,13 @@
 #include "bigint/montgomery.h"
 
+#include <algorithm>
 #include <list>
 #include <map>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "bigint/kernels/limb_pool.h"
 #include "obs/trace.h"
 
 namespace pcl {
@@ -25,6 +27,30 @@ std::size_t window_bits_for(std::size_t exp_bits) {
 void count_mont_muls(std::uint64_t muls) {
   obs::count(obs::Op::kBigIntModMul, muls);
   obs::count(obs::Op::kBigIntModMulFixed, muls);
+}
+
+/// In-place Montgomery reduction of the (2k+1)-limb buffer `t` by the
+/// k-limb modulus `m` (t may alias nothing; the caller owns sizing).
+void redc_in_place(std::uint32_t* t, const std::uint32_t* m, std::size_t k,
+                   std::uint32_t n_prime) {
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t u = t[i] * n_prime;
+    // t += u * m << (32 * i)
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint64_t sum = static_cast<std::uint64_t>(t[i + j]) +
+                                static_cast<std::uint64_t>(u) * m[j] + carry;
+      t[i + j] = static_cast<std::uint32_t>(sum);
+      carry = sum >> 32;
+    }
+    std::size_t pos = i + k;
+    while (carry != 0) {
+      const std::uint64_t sum = static_cast<std::uint64_t>(t[pos]) + carry;
+      t[pos] = static_cast<std::uint32_t>(sum);
+      carry = sum >> 32;
+      ++pos;
+    }
+  }
 }
 
 }  // namespace
@@ -91,31 +117,33 @@ std::shared_ptr<const MontgomeryContext> MontgomeryContext::shared(
 
 BigInt MontgomeryContext::redc(std::vector<std::uint32_t> t) const {
   obs::count(obs::Op::kBigIntModMul);
-  const std::vector<std::uint32_t>& m = modulus_limbs_;
   const std::size_t k = limb_count_;
-  t.resize(2 * k + 1, 0);
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::uint32_t u = t[i] * n_prime_;
-    // t += u * m << (32 * i)
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < k; ++j) {
-      const std::uint64_t sum = static_cast<std::uint64_t>(t[i + j]) +
-                                static_cast<std::uint64_t>(u) * m[j] + carry;
-      t[i + j] = static_cast<std::uint32_t>(sum);
-      carry = sum >> 32;
-    }
-    std::size_t pos = i + k;
-    while (carry != 0) {
-      const std::uint64_t sum = static_cast<std::uint64_t>(t[pos]) + carry;
-      t[pos] = static_cast<std::uint32_t>(sum);
-      carry = sum >> 32;
-      ++pos;
-    }
+  const std::size_t width = 2 * k + 1;
+  const std::size_t cell_words = (width + 1) / 2;  // u32 limbs -> u64 words
+  BigInt result;
+  if (cell_words <= kern::kCellWords) {
+    // The working buffer comes from the per-thread LimbPool (same pool the
+    // fixed-width kernels use), viewed as u32 limbs: after warmup the
+    // generic tier performs no heap allocation of its own per reduction —
+    // the incoming product vector is reused for the k+1-limb result, whose
+    // low k limbs it already holds (divide by R = drop them).
+    kern::CellLease lease;
+    std::uint32_t* buf = reinterpret_cast<std::uint32_t*>(
+        lease.carve(cell_words));
+    const std::size_t have = std::min(t.size(), width);
+    std::copy_n(t.data(), have, buf);
+    std::fill(buf + have, buf + width, 0u);
+    redc_in_place(buf, modulus_limbs_.data(), k, n_prime_);
+    t.assign(buf + k, buf + width);
+    result = BigInt::from_limbs(std::move(t));
+  } else {
+    // Moduli too wide for one pool cell (beyond any protocol width): fall
+    // back to growing the vector in place.
+    t.resize(width, 0);
+    redc_in_place(t.data(), modulus_limbs_.data(), k, n_prime_);
+    t.erase(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k));
+    result = BigInt::from_limbs(std::move(t));
   }
-  // Divide by R: drop the low k limbs.
-  std::vector<std::uint32_t> high(t.begin() + static_cast<std::ptrdiff_t>(k),
-                                  t.end());
-  BigInt result = BigInt::from_limbs(std::move(high));
   if (result >= modulus_) result -= modulus_;
   return result;
 }

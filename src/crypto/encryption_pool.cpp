@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "bigint/montgomery.h"
+#include "obs/trace.h"
 
 namespace pcl {
 
@@ -53,6 +54,11 @@ PaillierRandomizerPool::PaillierRandomizerPool(const PaillierPublicKey& pk,
 }
 
 void PaillierRandomizerPool::refill(std::size_t count, std::size_t threads) {
+  // Refills are the canonical OFFLINE work: input-independent precompute a
+  // deployment schedules during idle time.  The phase tag keeps their cost
+  // out of the online percentiles an operator watches (telemetry v2).
+  const obs::PhaseScope phase(obs::Phase::kOffline);
+  const obs::Span span("paillier.pool_refill");
   std::uint64_t generation = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);

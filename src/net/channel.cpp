@@ -11,12 +11,13 @@ const std::string kUnsetStep = "(unset)";
 }  // namespace
 
 ChannelStepScope::ChannelStepScope(Channel& chan, std::string step,
-                                   Timing timing)
+                                   Timing timing, obs::Phase phase)
     : chan_(chan),
       step_(std::move(step)),
       previous_step_(chan.step()),
       timing_(timing),
       start_ns_(obs::monotonic_time_ns()),
+      phase_scope_(phase),
       span_(step_.c_str()) {
   chan_.set_step(step_);
 }

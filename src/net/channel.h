@@ -71,13 +71,17 @@ class Channel {
 /// Also opens an obs::Span named after the step, so a run with a tracer
 /// attached gets per-party, per-step events (and per-step crypto-op
 /// attribution) for free — every party opens its span, while step *timing*
-/// stays single-party via kTimed.
+/// stays single-party via kTimed.  Protocol steps are on-line work by
+/// definition (they sit between a query arriving and its label releasing),
+/// so the scope defaults the ambient obs::Phase to kOnline; pass kOffline
+/// for precompute traffic (e.g. pool refill shipping).
 class ChannelStepScope {
  public:
   enum class Timing { kUntimed, kTimed };
 
   ChannelStepScope(Channel& chan, std::string step,
-                   Timing timing = Timing::kUntimed);
+                   Timing timing = Timing::kUntimed,
+                   obs::Phase phase = obs::Phase::kOnline);
   ~ChannelStepScope();
   ChannelStepScope(const ChannelStepScope&) = delete;
   ChannelStepScope& operator=(const ChannelStepScope&) = delete;
@@ -88,6 +92,7 @@ class ChannelStepScope {
   std::string previous_step_;
   Timing timing_;
   std::uint64_t start_ns_;
+  obs::PhaseScope phase_scope_;  // before span_: the span records under it
   obs::Span span_;  // after step_: named by it, closed while it is alive
 };
 

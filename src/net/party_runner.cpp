@@ -8,6 +8,7 @@
 
 #include "net/blocking_network.h"
 #include "net/tcp_runner.h"
+#include "obs/flight.h"
 
 namespace pcl {
 
@@ -86,6 +87,10 @@ class DeterministicEngine {
       // Scheduler-induced unwind after a peer failure or deadlock; the
       // root cause is reported by rethrow_outcome().
     } catch (...) {
+      // Timeline marker for the flight recorder: a drained post-mortem
+      // trace shows which party's program actually threw.
+      obs::FlightRecorder::note(
+          ("party failed: " + parties_[i].name).c_str());
       const std::lock_guard<std::mutex> lock(mutex_);
       states_[i].error = std::current_exception();
       states_[i].error_seq = next_error_seq_++;

@@ -1,0 +1,88 @@
+// Live introspection endpoint for a running party daemon.
+//
+// A deployment question the trace files cannot answer: "what is this
+// pc_party doing RIGHT NOW?"  The AdminServer binds a second listener next
+// to the protocol port and serves point-in-time snapshots of the process's
+// MetricsRegistry as pc-metrics-v1 JSON (op counters plus the telemetry-v2
+// latency percentiles), which `pc_trace --live` fetches and renders.
+//
+// The admin channel reuses the src/net frame codec — a request is one
+// kMessage frame whose step tag is the command name, a response is one
+// kMessage frame whose step is "ok"/"error" and whose payload is the body —
+// but it is NOT part of the protocol: nothing here touches a Channel, no
+// step tag it carries enters TrafficStats, and the protocol schedule
+// verifier ignores it by construction (PROTOCOL.md "Admin channel").
+// Serving a snapshot reads atomics only, so polling a busy daemon never
+// perturbs the run.
+//
+// Commands:
+//   "metrics" -> pc-metrics-v1 JSON for the process's registry
+//   "quit"    -> acknowledges, then marks the server quit-requested (the
+//                pc_party linger loop exits on it)
+//
+// This file is a PC006 construction site for the TCP primitives (see
+// tools/lint): clients link admin_request() instead of touching TcpSocket.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/tcp_transport.h"
+
+namespace pcl {
+
+/// Parses "host:port" (numeric IPv4 or "localhost"); throws ChannelError on
+/// malformed input.  Port 0 asks the OS for an ephemeral port — read the
+/// real one back from AdminServer::port().
+[[nodiscard]] TcpEndpoint parse_admin_endpoint(const std::string& text);
+
+/// One-connection-at-a-time snapshot server on a background thread.
+class AdminServer {
+ public:
+  /// Maps a command name to a response body.  Runs on the server thread;
+  /// must be thread-safe against the protocol threads (the pc_party
+  /// snapshot function only reads registry atomics).  Throwing (or
+  /// returning for an unknown command) yields an "error" response.
+  using Handler = std::function<std::string(const std::string& command)>;
+
+  /// Binds and starts serving immediately; throws ChannelError when the
+  /// endpoint cannot be bound.
+  AdminServer(const TcpEndpoint& endpoint, Handler handler);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// The bound port (resolves port 0 to the real ephemeral port).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// True once a "quit" command has been served.
+  [[nodiscard]] bool quit_requested() const {
+    return quit_.load(std::memory_order_acquire);
+  }
+
+  /// Stops the accept loop and joins the thread.  Idempotent.
+  void stop();
+
+ private:
+  void serve(TcpListener listener);
+
+  Handler handler_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> quit_{false};
+  std::thread thread_;
+};
+
+/// Dials an admin endpoint (with TcpSocket's built-in retry/backoff, so
+/// polling a daemon that is still starting up just works), sends `command`,
+/// and returns the response body.  Throws ChannelError when the server
+/// reports an error, and the usual typed transport errors on I/O failure.
+[[nodiscard]] std::string admin_request(
+    const TcpEndpoint& endpoint, const std::string& command,
+    std::chrono::milliseconds budget = std::chrono::seconds(10));
+
+}  // namespace pcl

@@ -8,6 +8,7 @@
 
 #include "net/errors.h"
 #include "net/tcp_transport.h"
+#include "obs/flight.h"
 
 namespace pcl {
 
@@ -85,6 +86,9 @@ PartyRunReport run_parties_tcp_loopback(std::span<const Party> parties,
         chan.connect(std::move(listeners[i]));
         parties[i].run(chan);
       } catch (...) {
+        // Timeline marker: the drained flight-recorder trace shows which
+        // party's program threw (peers then fail as EOF collateral).
+        obs::FlightRecorder::note(("party failed: " + names[i]).c_str());
         errors[i] = std::current_exception();
       }
       pending[i] = chan.pending_messages();

@@ -31,8 +31,13 @@ JsonValue ops_object(const std::map<std::string, std::uint64_t>& ops) {
 JsonValue build_trace_json(const TraceSink& sink, const TrafficByStep& traffic,
                            const MetricsRegistry* metrics,
                            const TraceProcess* process) {
-  const std::vector<TraceEvent> events = sink.events();
+  return build_trace_json(sink.events(), traffic, metrics, process);
+}
 
+JsonValue build_trace_json(const std::vector<TraceEvent>& events,
+                           const TrafficByStep& traffic,
+                           const MetricsRegistry* metrics,
+                           const TraceProcess* process) {
   std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
   for (const TraceEvent& e : events) epoch = std::min(epoch, e.start_ns);
   if (events.empty()) epoch = 0;
@@ -312,6 +317,50 @@ JsonValue build_bench_json(const std::string& bench,
   return JsonValue(std::move(root));
 }
 
+JsonValue build_metrics_json(const MetricsRegistry& metrics,
+                             const std::string& source) {
+  JsonValue::Object steps;
+  const auto step_object = [&](const std::string& step) -> JsonValue::Object& {
+    JsonValue& slot = steps[step];
+    if (!slot.is_object()) {
+      slot = JsonValue(JsonValue::Object{
+          {"ops", JsonValue(JsonValue::Object{})},
+          {"latency", JsonValue(JsonValue::Object{})}});
+    }
+    return slot.as_object();
+  };
+
+  std::uint64_t total_ops = 0;
+  for (const MetricsRegistry::Entry& e : metrics.entries()) {
+    step_object(e.step)["ops"].as_object()[op_name(e.op)] = JsonValue(e.count);
+    total_ops += e.count;
+  }
+
+  std::uint64_t total_samples = 0;
+  for (const MetricsRegistry::LatencyEntry& e : metrics.latencies()) {
+    JsonValue::Object summary;
+    summary["count"] = JsonValue(e.hist.count);
+    summary["min_ns"] = JsonValue(e.hist.min);
+    summary["max_ns"] = JsonValue(e.hist.max);
+    summary["mean_ns"] = JsonValue(e.hist.mean());
+    summary["p50_ns"] = JsonValue(e.hist.percentile(50.0));
+    summary["p90_ns"] = JsonValue(e.hist.percentile(90.0));
+    summary["p99_ns"] = JsonValue(e.hist.percentile(99.0));
+    step_object(e.step)["latency"].as_object()[phase_name(e.phase)] =
+        JsonValue(std::move(summary));
+    total_samples += e.hist.count;
+  }
+
+  JsonValue::Object root;
+  root["schema"] = kMetricsSchema;
+  if (!source.empty()) root["source"] = source;
+  root["steps"] = JsonValue(std::move(steps));
+  root["totals"] = JsonValue(
+      JsonValue::Object{{"ops", JsonValue(total_ops)},
+                        {"latency_samples", JsonValue(total_samples)}});
+  return JsonValue(std::move(root));
+}
+
 std::string metrics_to_jsonl(const MetricsRegistry& metrics) {
   std::string out;
   for (const MetricsRegistry::Entry& e : metrics.entries()) {
@@ -430,6 +479,83 @@ std::vector<std::string> validate_bench_json(const JsonValue& v) {
       }
     }
   }
+  // "host" is optional (records written before telemetry v2 lack it), but
+  // when present its fields must be well-typed.
+  if (const JsonValue* host = v.find("host"); host != nullptr) {
+    if (!host->is_object()) {
+      problems.emplace_back("\"host\" is not an object");
+    } else {
+      if (const JsonValue* cpus = host->find("cpus");
+          cpus != nullptr && (!cpus->is_number() || cpus->as_number() < 1)) {
+        problems.emplace_back("host.cpus is not a positive number");
+      }
+      for (const char* key : {"preset", "git_rev"}) {
+        if (const JsonValue* f = host->find(key);
+            f != nullptr && !f->is_string()) {
+          problems.push_back(std::string("host.") + key + " is not a string");
+        }
+      }
+    }
+  }
+  return problems;
+}
+
+std::vector<std::string> validate_metrics_json(const JsonValue& v) {
+  std::vector<std::string> problems;
+  if (!v.is_object()) return {"document is not a JSON object"};
+  const JsonValue* schema = v.find("schema");
+  require(problems,
+          schema != nullptr && schema->is_string() &&
+              schema->as_string() == kMetricsSchema,
+          "\"schema\" is not \"pc-metrics-v1\"");
+  const JsonValue* steps = v.find("steps");
+  require(problems, steps != nullptr && steps->is_object(),
+          "missing or non-object \"steps\"");
+  if (steps != nullptr && steps->is_object()) {
+    for (const auto& [name, step] : steps->as_object()) {
+      const std::string at = "steps[\"" + name + "\"]";
+      if (!step.is_object()) {
+        problems.push_back(at + " is not an object");
+        continue;
+      }
+      const JsonValue* ops = step.find("ops");
+      if (ops == nullptr || !ops->is_object()) {
+        problems.push_back(at + ": missing or non-object \"ops\"");
+      } else {
+        for (const auto& [op, count] : ops->as_object()) {
+          if (!count.is_number() || count.as_number() < 0) {
+            problems.push_back(at + ".ops[\"" + op +
+                               "\"] is not a non-negative number");
+          }
+        }
+      }
+      const JsonValue* latency = step.find("latency");
+      if (latency == nullptr || !latency->is_object()) {
+        problems.push_back(at + ": missing or non-object \"latency\"");
+        continue;
+      }
+      for (const auto& [phase, summary] : latency->as_object()) {
+        const std::string lat = at + ".latency[\"" + phase + "\"]";
+        if (phase != "unphased" && phase != "offline" && phase != "online") {
+          problems.push_back(lat + ": unknown phase");
+        }
+        if (!summary.is_object()) {
+          problems.push_back(lat + " is not an object");
+          continue;
+        }
+        for (const char* key : {"count", "min_ns", "max_ns", "mean_ns",
+                                "p50_ns", "p90_ns", "p99_ns"}) {
+          const JsonValue* f = summary.find(key);
+          if (f == nullptr || !f->is_number() || f->as_number() < 0) {
+            problems.push_back(lat + ": bad \"" + key + "\"");
+          }
+        }
+      }
+    }
+  }
+  const JsonValue* totals = v.find("totals");
+  require(problems, totals != nullptr && totals->is_object(),
+          "missing or non-object \"totals\"");
   return problems;
 }
 

@@ -1,6 +1,6 @@
 // Machine-readable export of traces and metrics.
 //
-// Two file schemas leave this layer:
+// Three file schemas leave this layer:
 //
 //  * "pc-trace-v1" — a Chrome trace-event JSON file (loadable in
 //    chrome://tracing / Perfetto: "traceEvents" with one complete "X" event
@@ -8,8 +8,13 @@
 //    top-level "pc" object that carries the machine-readable per-step
 //    summary (bytes, messages, op counters) that pc_trace renders.
 //  * "pc-bench-v1" — one object per bench run: name, params, wall_ms,
-//    bytes, op counters.  bench/bench_util.h writes these; pc_trace
-//    validates them; BENCH_*.json at the repo root accumulate them.
+//    bytes, op counters, and (optionally) host metadata.  bench/bench_util.h
+//    writes these; pc_trace validates and diffs them; BENCH_*.json at the
+//    repo root accumulate them.
+//  * "pc-metrics-v1" — a live snapshot of one process's MetricsRegistry:
+//    per-step op counters plus per-(step, phase) latency percentiles from
+//    the HDR histograms.  pc_party's admin endpoint serves these;
+//    `pc_trace --live` fetches and renders them.
 //
 // This header must not depend on src/net (net depends on obs), so traffic
 // crosses the boundary as the plain TrafficByStep map that
@@ -30,6 +35,7 @@ namespace pcl::obs {
 inline constexpr const char* kTraceSchema = "pc-trace-v1";
 inline constexpr const char* kBenchSchema = "pc-bench-v1";
 inline constexpr const char* kLintSchema = "pc-lint-v1";
+inline constexpr const char* kMetricsSchema = "pc-metrics-v1";
 
 struct StepTraffic {
   std::uint64_t bytes = 0;
@@ -60,6 +66,14 @@ struct TraceProcess {
                                          const MetricsRegistry* metrics,
                                          const TraceProcess* process = nullptr);
 
+/// As above, from a plain event vector — the form the flight recorder's
+/// drain() produces, so a post-mortem dump is an ordinary pc-trace-v1 file
+/// that merge_traces and every trace viewer already understand.
+[[nodiscard]] JsonValue build_trace_json(const std::vector<TraceEvent>& events,
+                                         const TrafficByStep& traffic,
+                                         const MetricsRegistry* metrics,
+                                         const TraceProcess* process = nullptr);
+
 /// Merges per-process "pc-trace-v1" documents into one timeline: events
 /// keep their per-process tracks (pids renumbered 1..N, tids globally
 /// unique, process_name metadata added), timestamps are realigned via each
@@ -78,11 +92,20 @@ struct TraceProcess {
 /// One JSONL line per non-zero counter: {"step":...,"op":...,"count":...}.
 [[nodiscard]] std::string metrics_to_jsonl(const MetricsRegistry& metrics);
 
+/// Builds one "pc-metrics-v1" snapshot of a registry: per-step op counters
+/// plus per-(step, phase) latency summaries (count, min/mean/max and
+/// p50/p90/p99 in nanoseconds).  `source` (optional) names the serving
+/// process, e.g. the pc_party role.
+[[nodiscard]] JsonValue build_metrics_json(const MetricsRegistry& metrics,
+                                           const std::string& source = "");
+
 /// Schema validators; return a list of human-readable problems (empty ==
 /// valid).  Used by `pc_trace --check` and the obs unit tests.
 [[nodiscard]] std::vector<std::string> validate_trace_json(const JsonValue& v);
 [[nodiscard]] std::vector<std::string> validate_bench_json(const JsonValue& v);
 [[nodiscard]] std::vector<std::string> validate_lint_json(const JsonValue& v);
+[[nodiscard]] std::vector<std::string> validate_metrics_json(
+    const JsonValue& v);
 
 /// Writes `text` to `path`, throwing std::runtime_error on I/O failure.
 void write_text_file(const std::string& path, const std::string& text);

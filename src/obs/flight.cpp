@@ -1,0 +1,135 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/clock.h"
+
+namespace pcl::obs {
+namespace {
+
+/// One ring slot: fixed-width copies of the span fields, so recording
+/// never allocates and never retains pointers into unwound stack frames.
+struct FlightSlot {
+  char name[FlightRecorder::kMaxName + 1];
+  char party[FlightRecorder::kMaxParty + 1];
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  int depth = 0;
+};
+
+struct Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+  std::mutex mutex;
+  std::vector<FlightSlot> slots;
+  std::uint64_t appended = 0;  ///< total records; head slot = appended % size
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::atomic<bool> enabled{false};
+  std::atomic<std::size_t> capacity{FlightRecorder::kDefaultCapacity};
+};
+
+// Leaked singleton: worker threads may record while the process unwinds.
+Registry& registry() {
+  static Registry* instance = new Registry;
+  return *instance;
+}
+
+Ring& tls_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    Registry& reg = registry();
+    auto created =
+        std::make_shared<Ring>(reg.capacity.load(std::memory_order_relaxed));
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+void copy_field(char* dst, std::size_t dst_size, const char* src) {
+  const std::size_t n = std::min(std::strlen(src), dst_size - 1);
+  std::memcpy(dst, src, n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+void FlightRecorder::enable(std::size_t capacity) {
+  Registry& reg = registry();
+  reg.capacity.store(capacity == 0 ? 1 : capacity, std::memory_order_relaxed);
+  reg.enabled.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::disable() {
+  registry().enabled.store(false, std::memory_order_release);
+}
+
+bool FlightRecorder::enabled() {
+  return registry().enabled.load(std::memory_order_acquire);
+}
+
+void FlightRecorder::record(const char* name, const char* party,
+                            std::uint64_t start_ns, std::uint64_t duration_ns,
+                            int depth) {
+  if (!enabled()) return;
+  Ring& ring = tls_ring();
+  const std::lock_guard<std::mutex> lock(ring.mutex);
+  FlightSlot& slot = ring.slots[ring.appended % ring.slots.size()];
+  copy_field(slot.name, sizeof(slot.name), name);
+  copy_field(slot.party, sizeof(slot.party), party);
+  slot.start_ns = start_ns;
+  slot.duration_ns = duration_ns;
+  slot.depth = depth;
+  ++ring.appended;
+}
+
+void FlightRecorder::note(const char* name) {
+  record(name, "", monotonic_time_ns(), 0, 0);
+}
+
+std::vector<TraceEvent> FlightRecorder::drain() {
+  Registry& reg = registry();
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    rings = reg.rings;
+  }
+  std::vector<TraceEvent> events;
+  for (const std::shared_ptr<Ring>& ring : rings) {
+    const std::lock_guard<std::mutex> lock(ring->mutex);
+    const std::uint64_t size = ring->slots.size();
+    const std::uint64_t kept = std::min(ring->appended, size);
+    for (std::uint64_t i = ring->appended - kept; i < ring->appended; ++i) {
+      const FlightSlot& slot = ring->slots[i % size];
+      events.push_back(TraceEvent{slot.name, slot.party, slot.start_ns,
+                                  slot.duration_ns, slot.depth});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return events;
+}
+
+void FlightRecorder::clear() {
+  Registry& reg = registry();
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    rings = reg.rings;
+  }
+  for (const std::shared_ptr<Ring>& ring : rings) {
+    const std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->appended = 0;
+  }
+}
+
+}  // namespace pcl::obs

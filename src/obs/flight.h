@@ -1,0 +1,68 @@
+// Flight recorder — bounded per-thread ring buffers of recent span events.
+//
+// A trace file answers "what happened" only if the run lived long enough to
+// write one; a wedged or crashed session leaves nothing.  The flight
+// recorder keeps the LAST N closed spans per thread in fixed-size rings
+// that survive protocol failure: when a party dies with a typed transport
+// error, pc_party (and tests) drain the rings into a normal pc-trace-v1
+// document, so the timeline right up to the failure is recoverable —
+// including which step each party was in when its peer vanished.
+//
+// Cost model: recording is one uncontended mutex acquire plus a fixed-size
+// struct copy into a preallocated slot — no heap allocation, no clock reads
+// beyond what the span already took, and nothing that could touch an Rng
+// stream (the byte-identical-traffic pin covers runs with the recorder
+// enabled).  Span names are copied (truncated to the slot width) because
+// the ring outlives the ChannelStepScope strings the live tracer is allowed
+// to point at.
+//
+// Enabling is process-global (pc_party turns it on unconditionally); each
+// thread lazily registers one ring on its first recorded span.  Rings are
+// kept alive past thread exit so a post-mortem drain sees every thread's
+// tail, and drain() itself may run concurrently with recording (each ring
+// has its own mutex).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace pcl::obs {
+
+class FlightRecorder {
+ public:
+  /// Longest span name preserved in a ring slot (longer names truncate).
+  static constexpr std::size_t kMaxName = 63;
+  /// Longest party name preserved in a ring slot.
+  static constexpr std::size_t kMaxParty = 23;
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  /// Turns recording on process-wide.  `capacity` is per thread and applies
+  /// to rings created after the call; already-registered rings keep theirs.
+  static void enable(std::size_t capacity = kDefaultCapacity);
+  static void disable();
+  [[nodiscard]] static bool enabled();
+
+  /// Appends one closed-span event to the calling thread's ring.  No-op
+  /// when disabled.  Called by Span's destructor; callable directly for
+  /// synthetic events.
+  static void record(const char* name, const char* party,
+                     std::uint64_t start_ns, std::uint64_t duration_ns,
+                     int depth);
+
+  /// Appends an instantaneous marker (duration 0) stamped "now" — the
+  /// runners drop one on their typed-error paths so a drained timeline
+  /// shows where the failure surfaced.
+  static void note(const char* name);
+
+  /// Snapshot of every thread's ring, oldest first across all threads.
+  /// Safe to call while other threads are still recording.
+  [[nodiscard]] static std::vector<TraceEvent> drain();
+
+  /// Empties every ring (capacity and registration stay).  Test hook.
+  static void clear();
+};
+
+}  // namespace pcl::obs

@@ -1,0 +1,103 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace pcl::obs {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kUnphased:
+      return "unphased";
+    case Phase::kOffline:
+      return "offline";
+    case Phase::kOnline:
+      return "online";
+  }
+  return "unknown";
+}
+
+std::size_t HistogramSnapshot::bucket_index(std::uint64_t value) {
+  // Group 0 holds the unit buckets 0..7 exactly; group g >= 1 covers
+  // [8 << (g-1), 8 << g) in kSubBuckets equal slices, so every bucket keeps
+  // the value's top three significant bits.
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const std::size_t exp = std::bit_width(value) - 1;  // >= 3
+  const std::size_t group = exp - 2;                  // >= 1
+  const std::size_t sub =
+      static_cast<std::size_t>(value >> (exp - 3)) & (kSubBuckets - 1);
+  return group * kSubBuckets + sub;
+}
+
+std::uint64_t HistogramSnapshot::bucket_floor(std::size_t index) {
+  const std::size_t group = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  if (group == 0) return sub;
+  return (kSubBuckets + sub) << (group - 1);
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(p/100 * N), rank 1 at minimum.
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(clamped / 100.0 * static_cast<double>(count))));
+  if (rank >= count) return max;  // the top rank is tracked exactly
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return std::clamp(bucket_floor(i), min, max);
+    }
+  }
+  return max;  // unreachable when bucket counts match `count`
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[HistogramSnapshot::bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 || min == UINT64_MAX ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pcl::obs

@@ -69,6 +69,27 @@ std::uint64_t MetricsRegistry::total(Op op) const {
   return total;
 }
 
+Histogram& MetricsRegistry::latency_for(const std::string& step, Phase phase) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot =
+      latency_[step][static_cast<std::size_t>(phase)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<MetricsRegistry::LatencyEntry> MetricsRegistry::latencies() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<LatencyEntry> out;
+  for (const auto& [step, per_phase] : latency_) {
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      if (per_phase[i] == nullptr) continue;
+      HistogramSnapshot snap = per_phase[i]->snapshot();
+      if (snap.count != 0) out.push_back({step, static_cast<Phase>(i), snap});
+    }
+  }
+  return out;
+}
+
 void MetricsRegistry::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [step, counters] : steps_) {
@@ -77,6 +98,11 @@ void MetricsRegistry::clear() {
       // add/get, and pointers handed out must stay valid.
       const Op op = static_cast<Op>(i);
       counters->add(op, 0 - counters->get(op));
+    }
+  }
+  for (auto& [step, per_phase] : latency_) {
+    for (auto& hist : per_phase) {
+      if (hist != nullptr) hist->reset();
     }
   }
 }

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace pcl::obs {
 
 /// Instrumented operations.  Protocol-level ops (compare, rounds, release)
@@ -99,12 +101,30 @@ class MetricsRegistry {
   [[nodiscard]] std::vector<Entry> entries() const;
   /// Sum of one op across all steps.
   [[nodiscard]] std::uint64_t total(Op op) const;
-  /// Zeroes every counter; existing StepCounters pointers remain valid.
+
+  /// The latency histogram for (step, phase), created on first use.  Same
+  /// address-stability contract as counters_for(): Span caches the pointer
+  /// over its lifetime, and concurrent record() calls are safe.
+  [[nodiscard]] Histogram& latency_for(const std::string& step, Phase phase);
+
+  struct LatencyEntry {
+    std::string step;
+    Phase phase = Phase::kUnphased;
+    HistogramSnapshot hist;
+    friend bool operator==(const LatencyEntry&, const LatencyEntry&) = default;
+  };
+  /// Non-empty latency histograms in deterministic (step, phase) order.
+  [[nodiscard]] std::vector<LatencyEntry> latencies() const;
+
+  /// Zeroes every counter and histogram; existing StepCounters / Histogram
+  /// pointers remain valid.
   void clear();
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<StepCounters>> steps_;
+  std::map<std::string, std::array<std::unique_ptr<Histogram>, kNumPhases>>
+      latency_;
 };
 
 }  // namespace pcl::obs

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight.h"
+
 namespace pcl::obs {
 
 void TraceSink::record(TraceEvent event) {
@@ -35,11 +37,11 @@ ThreadObserver& tls_observer() {
 
 ObserverSnapshot current_observer() {
   const detail::ThreadObserver& obs = detail::tls_observer();
-  return {obs.sink, obs.metrics, obs.party};
+  return {obs.sink, obs.metrics, obs.party, obs.phase};
 }
 
 ObserverScope::ObserverScope(TraceSink* sink, MetricsRegistry* metrics,
-                             std::string party)
+                             std::string party, Phase phase)
     : party_(std::move(party)), saved_(detail::tls_observer()) {
   detail::ThreadObserver& obs = detail::tls_observer();
   obs.sink = sink;
@@ -49,28 +51,46 @@ ObserverScope::ObserverScope(TraceSink* sink, MetricsRegistry* metrics,
                  : nullptr;
   obs.party = party_.c_str();
   obs.depth = 0;
+  obs.phase = phase;
 }
 
 ObserverScope::~ObserverScope() { detail::tls_observer() = saved_; }
 
+PhaseScope::PhaseScope(Phase phase) : saved_(detail::tls_observer().phase) {
+  detail::tls_observer().phase = phase;
+}
+
+PhaseScope::~PhaseScope() { detail::tls_observer().phase = saved_; }
+
+Phase current_phase() { return detail::tls_observer().phase; }
+
 Span::Span(const char* name) : name_(name) {
   detail::ThreadObserver& obs = detail::tls_observer();
-  if (obs.sink == nullptr && obs.metrics == nullptr) return;
+  if (obs.sink == nullptr && obs.metrics == nullptr &&
+      !FlightRecorder::enabled()) {
+    return;
+  }
   active_ = true;
   saved_slot_ = obs.slot;
-  if (obs.metrics != nullptr) obs.slot = &obs.metrics->counters_for(name_);
+  if (obs.metrics != nullptr) {
+    obs.slot = &obs.metrics->counters_for(name_);
+    hist_ = &obs.metrics->latency_for(name_, obs.phase);
+  }
   ++obs.depth;
-  if (obs.sink != nullptr) start_ns_ = monotonic_time_ns();
+  start_ns_ = monotonic_time_ns();
 }
 
 Span::~Span() {
   if (!active_) return;
   detail::ThreadObserver& obs = detail::tls_observer();
   --obs.depth;
+  const std::uint64_t duration_ns = monotonic_time_ns() - start_ns_;
   if (obs.sink != nullptr) {
-    obs.sink->record(TraceEvent{name_, obs.party, start_ns_,
-                                monotonic_time_ns() - start_ns_, obs.depth});
+    obs.sink->record(
+        TraceEvent{name_, obs.party, start_ns_, duration_ns, obs.depth});
   }
+  if (hist_ != nullptr) hist_->record(duration_ns);
+  FlightRecorder::record(name_, obs.party, start_ns_, duration_ns, obs.depth);
   obs.slot = saved_slot_;
 }
 

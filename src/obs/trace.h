@@ -6,8 +6,10 @@
 // thread records a timed, party-attributed event, and every obs::count()
 // call lands in the counter block of the innermost open span.  With no
 // scope installed — the default for library users who never asked for
-// observability — Span construction is two pointer loads and count() is a
-// load plus a branch; nothing is allocated and no clock is read.
+// observability — Span construction is two pointer loads plus one atomic
+// flag load (the flight recorder's process-wide switch, see obs/flight.h)
+// and count() is a load plus a branch; nothing is allocated and no clock
+// is read.
 //
 // The binding is thread_local rather than global so the threaded transport
 // works unchanged: five party threads each install their own scope over the
@@ -60,6 +62,7 @@ struct ThreadObserver {
   StepCounters* slot = nullptr;
   const char* party = "";
   int depth = 0;
+  Phase phase = Phase::kUnphased;
 };
 
 [[nodiscard]] ThreadObserver& tls_observer();
@@ -69,11 +72,13 @@ struct ThreadObserver {
 /// Copyable handle on a thread's observer binding, for handing to worker
 /// threads that do crypto on behalf of an observed party (the lane-pool
 /// fan-out).  The worker installs it with ObserverScope(snapshot); its
-/// spans and counters then attribute to the originating party.
+/// spans and counters then attribute to the originating party — including
+/// the ambient phase, so online fan-out work stays counted as online.
 struct ObserverSnapshot {
   TraceSink* sink = nullptr;
   MetricsRegistry* metrics = nullptr;
   std::string party;
+  Phase phase = Phase::kUnphased;
 };
 
 /// Snapshot of the calling thread's current binding (empty when the thread
@@ -86,9 +91,11 @@ struct ObserverSnapshot {
 /// Either pointer may be null to enable only tracing or only metrics.
 class ObserverScope {
  public:
-  ObserverScope(TraceSink* sink, MetricsRegistry* metrics, std::string party);
+  ObserverScope(TraceSink* sink, MetricsRegistry* metrics, std::string party,
+                Phase phase = Phase::kUnphased);
   explicit ObserverScope(const ObserverSnapshot& snapshot)
-      : ObserverScope(snapshot.sink, snapshot.metrics, snapshot.party) {}
+      : ObserverScope(snapshot.sink, snapshot.metrics, snapshot.party,
+                      snapshot.phase) {}
   ~ObserverScope();
   ObserverScope(const ObserverScope&) = delete;
   ObserverScope& operator=(const ObserverScope&) = delete;
@@ -98,10 +105,32 @@ class ObserverScope {
   detail::ThreadObserver saved_;
 };
 
+/// Sets the ambient work phase for the current thread and restores the
+/// previous one on destruction.  Spans opened inside the scope record their
+/// latency under this phase; ChannelStepScope installs kOnline around
+/// protocol steps and the encryption pool installs kOffline around refills.
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase phase);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Phase saved_;
+};
+
+/// The calling thread's ambient phase (kUnphased when never set).
+[[nodiscard]] Phase current_phase();
+
 /// RAII timed span.  No-op (no clock read, no allocation) when the current
-/// thread has no observer.  `name` must outlive the span; protocol call
-/// sites pass the Channel step-tag literal or a string that outlives the
-/// scope, which both transports already guarantee.
+/// thread has no observer and the flight recorder is off.  `name` must
+/// outlive the span; protocol call sites pass the Channel step-tag literal
+/// or a string that outlives the scope, which both transports already
+/// guarantee.  When a MetricsRegistry is bound, closing also records the
+/// span's duration into the (step, phase) latency histogram; when the
+/// flight recorder is enabled, closing appends the event (name copied) to
+/// the thread's ring.
 class Span {
  public:
   explicit Span(const char* name);
@@ -113,6 +142,7 @@ class Span {
   const char* name_;
   std::uint64_t start_ns_ = 0;
   StepCounters* saved_slot_ = nullptr;
+  Histogram* hist_ = nullptr;
   bool active_ = false;
 };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mpc/consensus.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace pcl {
@@ -126,7 +127,9 @@ TEST(ConsensusThreaded, TracingAndMetricsDoNotPerturbTraffic) {
   // registry must leave the protocol's bytes untouched — same label, same
   // per-step traffic, for the same seed, on BOTH transports.  Under the
   // tsan preset the threaded leg doubles as the race check for concurrent
-  // span recording and counter updates from all party threads.
+  // span recording and counter updates from all party threads.  Telemetry
+  // v2 widens the pin: the flight recorder and the per-step latency
+  // histograms run over the traced legs and must not perturb either.
   DeterministicRng keygen(7);
   ConsensusProtocol protocol(small_config(), keygen);
   const auto votes = one_hot_votes({2, 2, 2, 2, 2}, 4);
@@ -141,6 +144,8 @@ TEST(ConsensusThreaded, TracingAndMetricsDoNotPerturbTraffic) {
   obs::TraceSink sink;
   obs::MetricsRegistry metrics;
   protocol.set_observer(&sink, &metrics);
+  obs::FlightRecorder::clear();
+  obs::FlightRecorder::enable();
   for (const auto transport :
        {ConsensusTransport::kInProcess, ConsensusTransport::kThreaded}) {
     protocol.stats().clear();
@@ -177,6 +182,27 @@ TEST(ConsensusThreaded, TracingAndMetricsDoNotPerturbTraffic) {
                 .get(obs::Op::kRestorationReveal),
             0u);
   EXPECT_GT(metrics.total(obs::Op::kBigIntModExp), 0u);
+
+  // The same spans fed the latency histograms, tagged online by
+  // ChannelStepScope...
+  EXPECT_GT(metrics.latency_for("Secure Sum (2)", obs::Phase::kOnline)
+                .count(),
+            0u);
+  const auto p99 = metrics.latency_for("Secure Sum (2)", obs::Phase::kOnline)
+                       .snapshot()
+                       .percentile(99.0);
+  EXPECT_GT(p99, 0u);
+
+  // ...and the flight-recorder rings hold the protocol tail.
+  const std::vector<obs::TraceEvent> flight = obs::FlightRecorder::drain();
+  obs::FlightRecorder::disable();
+  obs::FlightRecorder::clear();
+  bool flight_saw_protocol = false;
+  for (const obs::TraceEvent& e : flight) {
+    flight_saw_protocol =
+        flight_saw_protocol || e.name == "Restoration (9)";
+  }
+  EXPECT_TRUE(flight_saw_protocol);
 }
 
 }  // namespace

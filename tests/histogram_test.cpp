@@ -1,0 +1,143 @@
+// Unit tests for the HDR-style log-linear latency histogram (telemetry v2).
+//
+// The closed-form fixtures pin the bucket geometry: 3 significant bits means
+// every percentile is at most 12.5% below the true rank value, and small
+// integers (< 8) are exact.  Recording 1..100 must report p50 = 48 (the
+// floor of the bucket holding 50), p99 = 96, and an exact max of 100 — any
+// change to bucket_index/bucket_floor shows up here before it corrupts a
+// dashboard.
+
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace pcl::obs {
+namespace {
+
+TEST(HistogramBuckets, SmallValuesAreExactUnitBuckets) {
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(HistogramSnapshot::bucket_index(v), v);
+    EXPECT_EQ(HistogramSnapshot::bucket_floor(v), v);
+  }
+}
+
+TEST(HistogramBuckets, FloorIsTheSmallestValueMappingToItsIndex) {
+  for (std::size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    const std::uint64_t floor = HistogramSnapshot::bucket_floor(i);
+    EXPECT_EQ(HistogramSnapshot::bucket_index(floor), i) << "index " << i;
+    if (floor > 0) {
+      EXPECT_LT(HistogramSnapshot::bucket_index(floor - 1), i)
+          << "index " << i;
+    }
+  }
+}
+
+TEST(HistogramBuckets, IndexIsMonotoneAndErrorBounded) {
+  // Sweep powers of two and their neighborhoods: the bucket floor never
+  // undershoots a value by more than 12.5% (3 significant bits).
+  for (int exp = 3; exp < 62; ++exp) {
+    for (std::int64_t off : {-1, 0, 1, 17}) {
+      const std::uint64_t v =
+          (std::uint64_t{1} << exp) + static_cast<std::uint64_t>(off);
+      const std::size_t i = HistogramSnapshot::bucket_index(v);
+      const std::uint64_t floor = HistogramSnapshot::bucket_floor(i);
+      EXPECT_LE(floor, v);
+      EXPECT_GT(floor, v - v / 8 - 1) << "value " << v;
+    }
+  }
+}
+
+TEST(Histogram, ClosedFormPercentilesForOneToHundred) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  // Nearest-rank: p50 -> 50th value = 50, bucket floor 48; p90 -> 90 ->
+  // floor 88; p99 -> 99 -> floor 96.  p100 and p0 clamp to the exact
+  // extremes.
+  EXPECT_EQ(s.percentile(50.0), 48u);
+  EXPECT_EQ(s.percentile(90.0), 88u);
+  EXPECT_EQ(s.percentile(99.0), 96u);
+  EXPECT_EQ(s.percentile(100.0), 100u);
+  EXPECT_EQ(s.percentile(0.0), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.percentile(50.0), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(Histogram, MergeCombinesExactly) {
+  Histogram a, b;
+  for (std::uint64_t v = 1; v <= 50; ++v) a.record(v);
+  for (std::uint64_t v = 51; v <= 100; ++v) b.record(v);
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+
+  Histogram whole;
+  for (std::uint64_t v = 1; v <= 100; ++v) whole.record(v);
+  EXPECT_EQ(merged, whole.snapshot());
+}
+
+TEST(Histogram, MergeIntoEmptyAdoptsMinAndMax) {
+  Histogram b;
+  b.record(7);
+  b.record(9000);
+  HistogramSnapshot merged;  // empty left-hand side
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.min, 7u);
+  EXPECT_EQ(merged.max, 9000u);
+  EXPECT_EQ(merged.count, 2u);
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.snapshot(), HistogramSnapshot{});
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (std::uint64_t v = 1; v <= kPerThread; ++v) {
+        h.record(v + static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, kPerThread + kThreads - 1);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : s.buckets) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(Phase, NamesAreStableSchemaKeys) {
+  EXPECT_STREQ(phase_name(Phase::kUnphased), "unphased");
+  EXPECT_STREQ(phase_name(Phase::kOffline), "offline");
+  EXPECT_STREQ(phase_name(Phase::kOnline), "online");
+}
+
+}  // namespace
+}  // namespace pcl::obs

@@ -12,6 +12,8 @@
 
 #include "obs/clock.h"
 #include "obs/export.h"
+#include "obs/flight.h"
+#include "obs/histogram.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -441,6 +443,244 @@ TEST(Export, MetricsJsonlHasOneValidObjectPerCounter) {
     ++lines;
   }
   EXPECT_EQ(lines, 2u);
+}
+
+TEST(Export, MetricsJsonValidatesAndCarriesLatencyPerPhase) {
+  MetricsRegistry reg;
+  reg.counters_for("Secure Sum (2)").add(Op::kPaillierEncrypt, 4);
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    reg.latency_for("Secure Sum (2)", Phase::kOnline).record(v * 1000);
+  }
+  reg.latency_for("pool_refill", Phase::kOffline).record(777);
+
+  const JsonValue doc = build_metrics_json(reg, "S1");
+  EXPECT_TRUE(validate_metrics_json(doc).empty());
+  EXPECT_EQ(doc.find("schema")->as_string(), "pc-metrics-v1");
+  EXPECT_EQ(doc.find("source")->as_string(), "S1");
+
+  const JsonValue* step = doc.find("steps")->find("Secure Sum (2)");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->find("ops")->find("paillier.encrypt")->as_number(), 4);
+  const JsonValue* online = step->find("latency")->find("online");
+  ASSERT_NE(online, nullptr);
+  EXPECT_EQ(online->find("count")->as_number(), 100);
+  // Bucket floors of the 50th and 99th samples (50'000 and 99'000 ns) at
+  // 3 significant bits.
+  EXPECT_EQ(online->find("p50_ns")->as_number(), 49152);
+  EXPECT_EQ(online->find("p99_ns")->as_number(), 98304);
+  EXPECT_EQ(online->find("max_ns")->as_number(), 100000);
+
+  const JsonValue* offline =
+      doc.find("steps")->find("pool_refill")->find("latency")->find("offline");
+  ASSERT_NE(offline, nullptr);
+  EXPECT_EQ(offline->find("count")->as_number(), 1);
+
+  EXPECT_EQ(doc.find("totals")->find("latency_samples")->as_number(), 101);
+}
+
+TEST(Export, MetricsValidatorRejectsBrokenDocs) {
+  MetricsRegistry reg;
+  reg.latency_for("s", Phase::kOnline).record(5);
+  const std::string good = build_metrics_json(reg).dump();
+
+  JsonValue bad_schema = JsonValue::parse(good);
+  bad_schema.as_object()["schema"] = JsonValue("pc-metrics-v0");
+  EXPECT_FALSE(validate_metrics_json(bad_schema).empty());
+
+  JsonValue bad_phase = JsonValue::parse(good);
+  auto& latency = bad_phase.as_object()["steps"]
+                      .as_object()["s"]
+                      .as_object()["latency"]
+                      .as_object();
+  latency["lunch-break"] = latency["online"];
+  EXPECT_FALSE(validate_metrics_json(bad_phase).empty());
+
+  JsonValue missing_field = JsonValue::parse(good);
+  missing_field.as_object()["steps"]
+      .as_object()["s"]
+      .as_object()["latency"]
+      .as_object()["online"]
+      .as_object()
+      .erase("p99_ns");
+  EXPECT_FALSE(validate_metrics_json(missing_field).empty());
+
+  JsonValue no_totals = JsonValue::parse(good);
+  no_totals.as_object().erase("totals");
+  EXPECT_FALSE(validate_metrics_json(no_totals).empty());
+}
+
+TEST(Export, BenchValidatorAcceptsAndChecksHostMetadata) {
+  const JsonValue base =
+      build_bench_json("b", {{"users", 5.0}}, 1.5, 0, {{"op", 1}});
+  EXPECT_TRUE(validate_bench_json(base).empty());  // host stays optional
+
+  JsonValue with_host = base;
+  JsonValue::Object host;
+  host["cpus"] = JsonValue(8.0);
+  host["preset"] = JsonValue("release");
+  host["git_rev"] = JsonValue("abc123");
+  with_host.as_object()["host"] = JsonValue(host);
+  EXPECT_TRUE(validate_bench_json(with_host).empty());
+
+  JsonValue bad_cpus = with_host;
+  bad_cpus.as_object()["host"].as_object()["cpus"] = JsonValue(0.0);
+  EXPECT_FALSE(validate_bench_json(bad_cpus).empty());
+
+  JsonValue bad_preset = with_host;
+  bad_preset.as_object()["host"].as_object()["preset"] = JsonValue(3.0);
+  EXPECT_FALSE(validate_bench_json(bad_preset).empty());
+}
+
+TEST(Flight, DisabledRecorderIsInertAndDrainsEmpty) {
+  FlightRecorder::disable();
+  FlightRecorder::clear();
+  FlightRecorder::record("ignored", "p", 1, 2, 0);
+  EXPECT_TRUE(FlightRecorder::drain().empty());
+}
+
+TEST(Flight, KeepsOnlyTheLastCapacityEventsPerThread) {
+  FlightRecorder::disable();
+  FlightRecorder::clear();
+  FlightRecorder::enable(8);
+  // A fresh thread gets the small capacity; overflow evicts oldest-first.
+  std::thread([] {
+    for (int i = 0; i < 20; ++i) {
+      FlightRecorder::record(("ev" + std::to_string(i)).c_str(), "party",
+                             static_cast<std::uint64_t>(100 + i), 1, 0);
+    }
+  }).join();
+  const std::vector<TraceEvent> events = FlightRecorder::drain();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().name, "ev12");  // 20 - 8
+  EXPECT_EQ(events.back().name, "ev19");
+  EXPECT_EQ(events.front().party, "party");
+  FlightRecorder::disable();
+  FlightRecorder::clear();
+}
+
+TEST(Flight, SpanFeedsTheRecorderEvenWithoutAnObserver) {
+  FlightRecorder::disable();
+  FlightRecorder::clear();
+  FlightRecorder::enable();
+  {
+    const Span span("flight.only_span");
+  }
+  FlightRecorder::note("flight.marker");
+  const std::vector<TraceEvent> events = FlightRecorder::drain();
+  FlightRecorder::disable();
+  FlightRecorder::clear();
+
+  bool saw_span = false, saw_marker = false;
+  for (const TraceEvent& e : events) {
+    if (e.name == "flight.only_span") saw_span = true;
+    if (e.name == "flight.marker") {
+      saw_marker = true;
+      EXPECT_EQ(e.duration_ns, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_marker);
+}
+
+TEST(Flight, DrainedEventsBuildAValidTraceDocument) {
+  FlightRecorder::disable();
+  FlightRecorder::clear();
+  FlightRecorder::enable();
+  {
+    const Span span("flight.step");
+  }
+  const std::vector<TraceEvent> events = FlightRecorder::drain();
+  FlightRecorder::disable();
+  FlightRecorder::clear();
+  ASSERT_FALSE(events.empty());
+
+  const TraceProcess process{"S1", 41};
+  const JsonValue doc = build_trace_json(events, {}, nullptr, &process);
+  EXPECT_TRUE(validate_trace_json(doc).empty());
+  // Two flight dumps merge like ordinary per-process trace files.
+  const JsonValue merged = merge_traces({doc, doc});
+  EXPECT_TRUE(validate_trace_json(merged).empty());
+}
+
+TEST(Metrics, ConcurrentMultiSessionWritersProduceMergeableArtifacts) {
+  // Models pc_party's async serving: several sessions share one registry
+  // (counters + histograms) while each writes its own trace sink, with the
+  // flight recorder running and an admin-style reader snapshotting
+  // mid-flight.  Run under TSan this pins the data-race freedom of the
+  // whole telemetry path; functionally the per-session artifacts must merge
+  // to the exact totals.
+  FlightRecorder::disable();
+  FlightRecorder::clear();
+  FlightRecorder::enable();
+  MetricsRegistry reg;
+  constexpr int kSessions = 6;
+  constexpr int kOpsPerSession = 200;
+  std::vector<TraceSink> sinks(kSessions);
+  std::vector<std::thread> sessions;
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const JsonValue doc = build_metrics_json(reg, "reader");
+      EXPECT_TRUE(validate_metrics_json(doc).empty());
+    }
+  });
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      const ObserverScope scope(&sinks[static_cast<std::size_t>(s)], &reg,
+                                "session:" + std::to_string(s),
+                                Phase::kOnline);
+      for (int i = 0; i < kOpsPerSession; ++i) {
+        // The span itself feeds latency_for("shared.step", kOnline) with
+        // wall-clock durations; the hand-recorded "manual.step" histogram
+        // gets deterministic values the final assertions can pin.
+        const Span span("shared.step");
+        count(Op::kPaillierEncrypt);
+        reg.latency_for("manual.step", Phase::kOnline)
+            .record(static_cast<std::uint64_t>(i + 1));
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  FlightRecorder::disable();
+
+  EXPECT_EQ(reg.total(Op::kPaillierEncrypt),
+            static_cast<std::uint64_t>(kSessions) * kOpsPerSession);
+  EXPECT_EQ(reg.latency_for("manual.step", Phase::kOnline).count(),
+            static_cast<std::uint64_t>(kSessions) * kOpsPerSession);
+  EXPECT_EQ(reg.latency_for("shared.step", Phase::kOnline).count(),
+            static_cast<std::uint64_t>(kSessions) * kOpsPerSession);
+
+  // Per-session traces merge into one valid timeline with summed totals.
+  std::vector<JsonValue> docs;
+  for (int s = 0; s < kSessions; ++s) {
+    const TraceProcess process{"session:" + std::to_string(s), s + 1};
+    docs.push_back(build_trace_json(sinks[static_cast<std::size_t>(s)], {},
+                                    nullptr, &process));
+  }
+  const JsonValue merged = merge_traces(docs);
+  EXPECT_TRUE(validate_trace_json(merged).empty());
+  std::size_t complete_events = 0;
+  for (const JsonValue& e : merged.find("traceEvents")->as_array()) {
+    if (e.find("ph")->as_string() == "X") ++complete_events;
+  }
+  EXPECT_EQ(complete_events,
+            static_cast<std::size_t>(kSessions) * kOpsPerSession);
+
+  const std::vector<TraceEvent> flight = FlightRecorder::drain();
+  FlightRecorder::clear();
+  EXPECT_FALSE(flight.empty());  // spans also landed in the rings
+
+  const std::vector<MetricsRegistry::LatencyEntry> latencies =
+      reg.latencies();
+  ASSERT_EQ(latencies.size(), 2u);
+  EXPECT_EQ(latencies[0].step, "manual.step");
+  EXPECT_EQ(latencies[0].phase, Phase::kOnline);
+  EXPECT_EQ(latencies[0].hist.max,
+            static_cast<std::uint64_t>(kOpsPerSession));
+  EXPECT_EQ(latencies[1].step, "shared.step");
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// Tests for the live-introspection admin channel (AdminServer +
+// admin_request).  The admin endpoint is deliberately outside the protocol:
+// these tests exercise only the command/response framing, the quit
+// handshake, and the error paths — protocol-schedule interactions are
+// covered by channel_test / consensus_tcp_test, which the admin channel
+// must never appear in.
+
+#include "net/tcp_admin.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/errors.h"
+
+namespace pcl {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ParseAdminEndpoint, AcceptsHostPortAndEphemeralZero) {
+  const TcpEndpoint a = parse_admin_endpoint("127.0.0.1:9000");
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 9000);
+  const TcpEndpoint b = parse_admin_endpoint("localhost:0");
+  EXPECT_EQ(b.host, "localhost");
+  EXPECT_EQ(b.port, 0);
+}
+
+TEST(ParseAdminEndpoint, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_admin_endpoint("no-port"), ChannelError);
+  EXPECT_THROW((void)parse_admin_endpoint("host:notanumber"), ChannelError);
+  EXPECT_THROW((void)parse_admin_endpoint(":123"), ChannelError);
+  EXPECT_THROW((void)parse_admin_endpoint("host:70000"), ChannelError);
+}
+
+TEST(AdminServer, ServesCommandResponsesOverEphemeralPort) {
+  AdminServer server(parse_admin_endpoint("127.0.0.1:0"),
+                     [](const std::string& command) -> std::string {
+                       if (command == "metrics") return "{\"fake\":1}";
+                       throw ChannelError("unknown command: " + command);
+                     });
+  ASSERT_NE(server.port(), 0);
+  const TcpEndpoint ep{"127.0.0.1", server.port()};
+  EXPECT_EQ(admin_request(ep, "metrics", 5s), "{\"fake\":1}");
+  // Repeated requests reuse the same listener (one connection at a time).
+  EXPECT_EQ(admin_request(ep, "metrics", 5s), "{\"fake\":1}");
+  EXPECT_FALSE(server.quit_requested());
+}
+
+TEST(AdminServer, HandlerErrorsBecomeTypedClientErrors) {
+  AdminServer server(parse_admin_endpoint("127.0.0.1:0"),
+                     [](const std::string&) -> std::string {
+                       throw std::runtime_error("boom");
+                     });
+  const TcpEndpoint ep{"127.0.0.1", server.port()};
+  EXPECT_THROW((void)admin_request(ep, "metrics", 5s), ChannelError);
+  // The server survives a failed command and keeps serving.
+  EXPECT_THROW((void)admin_request(ep, "anything", 5s), ChannelError);
+}
+
+TEST(AdminServer, QuitCommandSetsQuitRequested) {
+  AdminServer server(parse_admin_endpoint("127.0.0.1:0"),
+                     [](const std::string& command) -> std::string {
+                       if (command == "quit") return "bye";
+                       return "ok";
+                     });
+  const TcpEndpoint ep{"127.0.0.1", server.port()};
+  EXPECT_FALSE(server.quit_requested());
+  EXPECT_EQ(admin_request(ep, "quit", 5s), "bye");
+  EXPECT_TRUE(server.quit_requested());
+}
+
+TEST(AdminServer, StopIsIdempotentAndUnbindsThePort) {
+  AdminServer server(parse_admin_endpoint("127.0.0.1:0"),
+                     [](const std::string&) { return std::string("ok"); });
+  const TcpEndpoint ep{"127.0.0.1", server.port()};
+  EXPECT_EQ(admin_request(ep, "x", 5s), "ok");
+  server.stop();
+  server.stop();
+  // Dial budget is short: the listener is gone, so the retry loop must
+  // exhaust and surface a transport error.
+  EXPECT_THROW((void)admin_request(ep, "x", 300ms), ChannelError);
+}
+
+TEST(AdminServer, ConcurrentClientsAllGetAnswers) {
+  AdminServer server(parse_admin_endpoint("127.0.0.1:0"),
+                     [](const std::string& command) { return command; });
+  const TcpEndpoint ep{"127.0.0.1", server.port()};
+  constexpr int kClients = 6;
+  std::vector<std::thread> clients;
+  std::vector<std::string> got(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      got[static_cast<std::size_t>(i)] =
+          admin_request(ep, "c" + std::to_string(i), 10s);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], "c" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace pcl

@@ -28,6 +28,14 @@
 // "pc-traffic-v1": the party's sent TrafficStats rows plus its released
 // label) and, with --trace, trace-<party>.json ("pc-trace-v1", tagged with
 // pc.process so `pc_trace --merge` can realign them onto one timeline).
+// A party that dies with a typed transport error additionally dumps its
+// flight recorder as flight-<party>.json (also "pc-trace-v1"); a
+// --fail-user run merges the survivors' dumps into flight-merged.json.
+// With --admin host:port the serving party (S1 under --all) exposes live
+// "pc-metrics-v1" snapshots — per-step op counters and latency percentiles
+// — over the src/net frame codec for `pc_trace --live`, writes the bound
+// endpoint to <out>/admin.txt, and with --linger-ms keeps serving after
+// the run until a quit command or the deadline.
 //
 // Exit codes: 0 success, 2 usage, 3 typed transport failure (ChannelError),
 // 42 injected fault, 1 anything else.
@@ -42,6 +50,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -53,10 +62,12 @@
 #include "bigint/rng.h"
 #include "mpc/consensus.h"
 #include "net/errors.h"
+#include "net/tcp_admin.h"
 #include "net/tcp_transport.h"
 #include "net/transport.h"
 #include "obs/clock.h"
 #include "obs/export.h"
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -81,6 +92,8 @@ struct Options {
   bool check_parity = false;
   int fail_user = -1;
   long recv_timeout_ms = 15000;
+  std::string admin;     ///< live-introspection endpoint, empty = off
+  long linger_ms = 0;    ///< keep the admin endpoint up after the run
 };
 
 int usage(const char* argv0) {
@@ -100,7 +113,12 @@ int usage(const char* argv0) {
       "  --votes SPEC         cycle | onehot:<label>  (default onehot:2)\n"
       "  --out DIR            artifact directory (default .)\n"
       "  --trace              write trace-<party>.json per process\n"
-      "  --recv-timeout-ms M  transport deadlines (default 15000)\n",
+      "  --recv-timeout-ms M  transport deadlines (default 15000)\n"
+      "  --admin HOST:PORT    serve live pc-metrics-v1 snapshots (S1 serves\n"
+      "                       in --all mode; port 0 = ephemeral, the bound\n"
+      "                       endpoint is written to <out>/admin.txt)\n"
+      "  --linger-ms M        with --admin: keep serving up to M ms after\n"
+      "                       the run until a quit command arrives\n",
       argv0, argv0);
   return 2;
 }
@@ -153,6 +171,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (std::strcmp(arg, "--recv-timeout-ms") == 0) {
       if ((v = need_value(i)) == nullptr) return std::nullopt;
       opt.recv_timeout_ms = std::strtol(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--admin") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.admin = v;
+    } else if (std::strcmp(arg, "--linger-ms") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.linger_ms = std::strtol(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "pc_party: unknown argument %s\n", arg);
       return std::nullopt;
@@ -177,6 +201,14 @@ std::optional<Options> parse_args(int argc, char** argv) {
   }
   if (opt.recv_timeout_ms <= 0) {
     std::fprintf(stderr, "pc_party: --recv-timeout-ms must be positive\n");
+    return std::nullopt;
+  }
+  if (opt.linger_ms < 0) {
+    std::fprintf(stderr, "pc_party: --linger-ms must be non-negative\n");
+    return std::nullopt;
+  }
+  if (opt.linger_ms > 0 && opt.admin.empty()) {
+    std::fprintf(stderr, "pc_party: --linger-ms needs --admin\n");
     return std::nullopt;
   }
   return opt;
@@ -266,6 +298,10 @@ std::string trace_path(const Options& opt, const std::string& party) {
   return opt.out_dir + "/trace-" + file_tag(party) + ".json";
 }
 
+std::string flight_path(const Options& opt, const std::string& party) {
+  return opt.out_dir + "/flight-" + file_tag(party) + ".json";
+}
+
 /// One party's sent traffic + released label, as JSON.  Recorded at the
 /// sender only (like every transport), so the union of all parties' files
 /// is exactly the in-process TrafficStats table — the parity check's input.
@@ -295,21 +331,46 @@ void write_traffic_json(const Options& opt, const std::string& party,
 /// may be invalid (pure dialer, or single-role mode where connect() binds
 /// from the endpoint map).  `fail_early` is the fault-injection hook: the
 /// party completes the connection handshake and then dies, so its peers
-/// observe a mid-protocol disconnect.
+/// observe a mid-protocol disconnect.  `serve_admin` mounts the live
+/// introspection endpoint (--admin) on this role for the process lifetime,
+/// plus up to --linger-ms after a clean run so pollers catch the final
+/// snapshot.
 int run_role(const pcl::ConsensusProtocol& protocol, const Options& opt,
              const std::string& role,
              const std::vector<std::vector<double>>& votes,
              pcl::TcpPartyWiring wiring, pcl::TcpListener listener,
-             bool fail_early) {
+             bool fail_early, bool serve_admin) {
   pcl::TrafficStats stats;
   pcl::obs::TraceSink sink;
   pcl::obs::MetricsRegistry metrics;
+
+  std::unique_ptr<pcl::AdminServer> admin;
+  if (serve_admin && !opt.admin.empty()) {
+    const pcl::TcpEndpoint endpoint = pcl::parse_admin_endpoint(opt.admin);
+    admin = std::make_unique<pcl::AdminServer>(
+        endpoint,
+        [&metrics, role](const std::string& command) -> std::string {
+          if (command == "metrics") {
+            return pcl::obs::build_metrics_json(metrics, role).dump(2) + "\n";
+          }
+          if (command == "quit") return "bye";
+          throw std::runtime_error("unknown admin command: " + command);
+        });
+    // Port 0 resolves to an ephemeral port only the daemon knows; publish
+    // the bound endpoint so `pc_trace --live` has something to dial.
+    pcl::obs::write_text_file(
+        opt.out_dir + "/admin.txt",
+        endpoint.host + ":" + std::to_string(admin->port()) + "\n");
+  }
+
   pcl::TcpChannel chan(std::move(wiring), &stats);
   std::optional<int> label;
   int code = 0;
   try {
+    // Metrics are always on (the registry is atomics, and the admin
+    // endpoint serves it live); the trace sink stays opt-in.
     const pcl::obs::ObserverScope scope(opt.trace ? &sink : nullptr,
-                                        opt.trace ? &metrics : nullptr, role);
+                                        &metrics, role);
     if (listener.valid()) {
       chan.connect(std::move(listener));
     } else {
@@ -340,10 +401,31 @@ int run_role(const pcl::ConsensusProtocol& protocol, const Options& opt,
           sink, stats.by_step(), &metrics, &process);
       pcl::obs::write_text_file(trace_path(opt, role), doc.dump(2) + "\n");
     }
+    if (code == 3) {
+      // Typed transport failure: dump the flight recorder so the timeline
+      // up to the failure survives as an ordinary pc-trace-v1 file.
+      const pcl::obs::TraceProcess process{role,
+                                           trace_pid(role, opt.users)};
+      const JsonValue doc = pcl::obs::build_trace_json(
+          pcl::obs::FlightRecorder::drain(), stats.by_step(), &metrics,
+          &process);
+      pcl::obs::write_text_file(flight_path(opt, role), doc.dump(2) + "\n");
+      std::fprintf(stderr, "pc_party[%s]: flight recorder dumped to %s\n",
+                   role.c_str(), flight_path(opt, role).c_str());
+    }
   } catch (const std::exception& err) {
     std::fprintf(stderr, "pc_party[%s]: artifact write failed: %s\n",
                  role.c_str(), err.what());
     if (code == 0) code = 1;
+  }
+  if (admin != nullptr && code == 0 && opt.linger_ms > 0) {
+    const std::uint64_t deadline_ns =
+        pcl::obs::monotonic_time_ns() +
+        static_cast<std::uint64_t>(opt.linger_ms) * 1'000'000ull;
+    while (!admin->quit_requested() &&
+           pcl::obs::monotonic_time_ns() < deadline_ns) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
   }
   return code;
 }
@@ -356,7 +438,7 @@ int run_single(const Options& opt) {
   pcl::TcpPartyWiring wiring = pcl::consensus_tcp_wiring(
       opt.role, opt.users, endpoints, timeouts_from(opt));
   return run_role(protocol, opt, opt.role, make_votes(opt), std::move(wiring),
-                  pcl::TcpListener{}, false);
+                  pcl::TcpListener{}, false, true);
 }
 
 // ---------------------------------------------------------------------------
@@ -504,8 +586,10 @@ int run_all(const Options& opt) {
           role == "user:" + std::to_string(opt.fail_user);
       int code = 1;
       try {
+        // S1 is the natural introspection host: it coordinates every step,
+        // so its registry sees the full protocol schedule.
         code = run_role(protocol, opt, role, votes, std::move(wiring),
-                        std::move(mine), fail_early);
+                        std::move(mine), fail_early, role == "S1");
       } catch (const std::exception& err) {
         std::fprintf(stderr, "pc_party[%s]: fatal: %s\n", role.c_str(),
                      err.what());
@@ -522,9 +606,13 @@ int run_all(const Options& opt) {
   // well inside one recv timeout, so give the full pipeline three plus
   // slack for keygen-free protocol compute and never, ever hang.
   const std::uint64_t start_ns = pcl::obs::monotonic_time_ns();
+  // An admin-serving S1 may legitimately outlive the protocol by the full
+  // linger window, so the reap deadline stretches with it.
   const std::uint64_t budget_ns =
       static_cast<std::uint64_t>(opt.recv_timeout_ms) * 3'000'000ull +
-      60'000'000'000ull;
+      60'000'000'000ull +
+      static_cast<std::uint64_t>(opt.admin.empty() ? 0 : opt.linger_ms) *
+          1'000'000ull;
   std::size_t live = children.size();
   bool deadline_hit = false;
   while (live > 0) {
@@ -600,10 +688,31 @@ int run_all(const Options& opt) {
       }
     }
     if (bad != 0) return 1;
+    // Fuse the survivors' flight dumps onto one timeline: the post-mortem
+    // equivalent of `pc_trace --merge` over trace-<party>.json files.
+    std::vector<JsonValue> flights;
+    std::size_t missing = 0;
+    for (const std::string& role : roles) {
+      if (role == failed) continue;
+      try {
+        flights.push_back(
+            JsonValue::parse(pcl::obs::read_text_file(flight_path(opt, role))));
+      } catch (const std::exception&) {
+        ++missing;
+      }
+    }
+    if (flights.empty() || missing != 0) {
+      std::fprintf(stderr,
+                   "pc_party: FAIL: %zu survivor flight dump(s) missing\n",
+                   missing);
+      return 1;
+    }
+    pcl::obs::write_text_file(opt.out_dir + "/flight-merged.json",
+                              pcl::obs::merge_traces(flights).dump(2) + "\n");
     std::printf(
         "fault injection OK: %s died, all %zu survivors exited with typed "
-        "transport errors in %.0f ms\n",
-        failed.c_str(), roles.size() - 1, elapsed_ms);
+        "transport errors in %.0f ms; %zu flight dumps merged\n",
+        failed.c_str(), roles.size() - 1, elapsed_ms, flights.size());
     return 0;
   }
 
@@ -627,6 +736,10 @@ int main(int argc, char** argv) {
   // Best-effort: create the artifact directory (one level); EEXIST is fine,
   // anything else surfaces on the first write_text_file.
   mkdir(opt->out_dir.c_str(), 0755);
+  // The flight recorder is always armed in the daemon: its rings are the
+  // only timeline that survives a protocol failure, and recording costs a
+  // bounded struct copy per closed span.
+  pcl::obs::FlightRecorder::enable();
   try {
     return opt->all ? run_all(*opt) : run_single(*opt);
   } catch (const std::exception& err) {

@@ -1,10 +1,17 @@
 // pc_trace — summarize and validate the observability files the benches and
-// the party runner emit.
+// the party runner emit, and poll live daemons.
 //
 //   pc_trace <trace.json>            render a per-phase summary table
 //   pc_trace --check <file>...       validate files against their schemas
 //   pc_trace --merge <out> <in>...   merge per-process traces (pc_party)
 //                                    into one validated timeline
+//   pc_trace --live <host:port>      fetch + render a pc-metrics-v1
+//                                    snapshot from `pc_party --admin`
+//                                    (--out FILE saves the raw JSON)
+//   pc_trace --quit <host:port>      ask a lingering daemon to exit
+//   pc_trace --diff <old> <new>      compare two pc-bench-v1 records;
+//                                    nonzero exit on cost regression
+//                                    (--tolerance PCT, --wall)
 //
 // A trace file is Chrome trace-event JSON ("pc-trace-v1"): open it in
 // chrome://tracing or Perfetto for the timeline; this tool renders the
@@ -15,17 +22,26 @@
 // "lane:<q>" slot per query (mpc/consensus_batch.h); those rows collapse
 // into a single "lanes (N queries)" aggregate plus a per-query footer so a
 // 100-query trace stays one screen.  --check also accepts "pc-bench-v1"
-// records, "pc-lint-v1" analyzer reports (tools/lint) and JSONL metrics
-// dumps, returning nonzero if anything fails validation — CI gates the
-// bench and lint artifacts on it.
+// records, "pc-lint-v1" analyzer reports (tools/lint), "pc-metrics-v1"
+// snapshots and JSONL metrics dumps, returning nonzero if anything fails
+// validation — CI gates the bench and lint artifacts on it.
+//
+// --diff compares the DETERMINISTIC cost surface of two bench records with
+// the same bench name: per-op counts and payload bytes, which are seeded
+// and machine-independent.  wall_ms is noise across hosts, so it only
+// participates under --wall.  A regression is a count that grew beyond
+// --tolerance percent (default 0: any growth fails), or a nonzero op that
+// appeared out of nowhere; improvements are reported but pass.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "net/tcp_admin.h"
 #include "obs/export.h"
 #include "obs/json.h"
 
@@ -249,11 +265,15 @@ int check_one(const std::string& path) {
                schema->as_string() == pcl::obs::kLintSchema) {
       kind = pcl::obs::kLintSchema;
       problems = pcl::obs::validate_lint_json(doc);
+    } else if (schema != nullptr && schema->is_string() &&
+               schema->as_string() == pcl::obs::kMetricsSchema) {
+      kind = pcl::obs::kMetricsSchema;
+      problems = pcl::obs::validate_metrics_json(doc);
     } else {
       kind = "unknown";
       problems.emplace_back(
-          "no recognizable schema (expected pc-trace-v1, pc-bench-v1 or "
-          "pc-lint-v1)");
+          "no recognizable schema (expected pc-trace-v1, pc-bench-v1, "
+          "pc-lint-v1 or pc-metrics-v1)");
     }
   } catch (const std::invalid_argument&) {
     // Not a single JSON document: try JSONL (metrics dump).
@@ -335,13 +355,160 @@ int merge(const std::string& out_path,
   return 0;
 }
 
+/// Renders one pc-metrics-v1 document as a per-(step, phase) latency table.
+void print_metrics(const JsonValue& doc) {
+  const JsonValue* source = doc.find("source");
+  std::printf("pc-metrics-v1%s%s\n",
+              source != nullptr && source->is_string() ? " from " : "",
+              source != nullptr && source->is_string()
+                  ? source->as_string().c_str()
+                  : "");
+  std::printf("%-26s %-9s %8s %10s %10s %10s %10s\n", "step", "phase",
+              "count", "p50 ms", "p90 ms", "p99 ms", "max ms");
+  const auto ms = [](const JsonValue* v) {
+    return v != nullptr && v->is_number() ? v->as_number() / 1e6 : 0.0;
+  };
+  std::size_t rows = 0;
+  for (const auto& [step, info] : doc.find("steps")->as_object()) {
+    const JsonValue* latency = info.find("latency");
+    if (latency == nullptr || !latency->is_object()) continue;
+    for (const auto& [phase, s] : latency->as_object()) {
+      const JsonValue* count = s.find("count");
+      std::printf("%-26s %-9s %8.0f %10.3f %10.3f %10.3f %10.3f\n",
+                  step.c_str(), phase.c_str(),
+                  count != nullptr && count->is_number() ? count->as_number()
+                                                         : 0.0,
+                  ms(s.find("p50_ns")), ms(s.find("p90_ns")),
+                  ms(s.find("p99_ns")), ms(s.find("max_ns")));
+      ++rows;
+    }
+  }
+  if (rows == 0) std::printf("(no latency samples yet)\n");
+}
+
+/// Fetches a live snapshot from a pc_party admin endpoint, validates it,
+/// renders it, and optionally saves the raw JSON.
+int live(const std::string& endpoint_text, const std::string& out_path) {
+  const pcl::TcpEndpoint endpoint =
+      pcl::parse_admin_endpoint(endpoint_text);
+  const std::string body = pcl::admin_request(endpoint, "metrics");
+  const JsonValue doc = JsonValue::parse(body);
+  const std::vector<std::string> problems =
+      pcl::obs::validate_metrics_json(doc);
+  if (!problems.empty()) {
+    std::fprintf(stderr, "%s: served an invalid pc-metrics-v1 snapshot:\n",
+                 endpoint_text.c_str());
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "  - %s\n", p.c_str());
+    }
+    return 1;
+  }
+  if (!out_path.empty()) pcl::obs::write_text_file(out_path, body);
+  print_metrics(doc);
+  return 0;
+}
+
+int quit_daemon(const std::string& endpoint_text) {
+  (void)pcl::admin_request(pcl::parse_admin_endpoint(endpoint_text), "quit");
+  std::printf("%s: quit acknowledged\n", endpoint_text.c_str());
+  return 0;
+}
+
+/// Loads + validates one pc-bench-v1 record for --diff.
+JsonValue load_bench(const std::string& path) {
+  const JsonValue doc = JsonValue::parse(pcl::obs::read_text_file(path));
+  const std::vector<std::string> problems =
+      pcl::obs::validate_bench_json(doc);
+  if (!problems.empty()) {
+    std::string what = path + ": not a valid pc-bench-v1 record:";
+    for (const std::string& p : problems) what += "\n  - " + p;
+    throw std::runtime_error(what);
+  }
+  return doc;
+}
+
+std::map<std::string, double> bench_ops(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  for (const auto& [name, count] : doc.find("ops")->as_object()) {
+    if (count.is_number()) out[name] = count.as_number();
+  }
+  return out;
+}
+
+/// Compares the deterministic cost surface of two same-named bench records
+/// (see the file comment).  Returns the number of regressions.
+int diff_benches(const std::string& old_path, const std::string& new_path,
+                 double tolerance_pct, bool compare_wall) {
+  const JsonValue old_doc = load_bench(old_path);
+  const JsonValue new_doc = load_bench(new_path);
+  const std::string& old_bench = old_doc.find("bench")->as_string();
+  const std::string& new_bench = new_doc.find("bench")->as_string();
+  if (old_bench != new_bench) {
+    std::fprintf(stderr,
+                 "diff: bench names differ (\"%s\" vs \"%s\"); refusing to "
+                 "compare unrelated records\n",
+                 old_bench.c_str(), new_bench.c_str());
+    return 1;
+  }
+  const double allowance = 1.0 + tolerance_pct / 100.0;
+  int regressions = 0;
+  const auto compare = [&](const std::string& what, double old_value,
+                           double new_value) {
+    if (new_value > old_value * allowance) {
+      const double pct =
+          old_value > 0 ? (new_value / old_value - 1.0) * 100.0
+                        : std::numeric_limits<double>::infinity();
+      std::fprintf(stderr, "REGRESSION %-28s %14.0f -> %14.0f (+%.2f%%)\n",
+                   what.c_str(), old_value, new_value, pct);
+      ++regressions;
+    } else if (new_value < old_value) {
+      std::printf("improved   %-28s %14.0f -> %14.0f\n", what.c_str(),
+                  old_value, new_value);
+    }
+  };
+  compare("bytes", old_doc.find("bytes")->as_number(),
+          new_doc.find("bytes")->as_number());
+  if (compare_wall) {
+    compare("wall_ms", old_doc.find("wall_ms")->as_number(),
+            new_doc.find("wall_ms")->as_number());
+  }
+  const std::map<std::string, double> old_ops = bench_ops(old_doc);
+  const std::map<std::string, double> new_ops = bench_ops(new_doc);
+  for (const auto& [op, old_value] : old_ops) {
+    const auto it = new_ops.find(op);
+    compare("ops." + op, old_value,
+            it != new_ops.end() ? it->second : 0.0);
+  }
+  for (const auto& [op, new_value] : new_ops) {
+    if (old_ops.contains(op) || new_value == 0) continue;
+    std::fprintf(stderr, "REGRESSION %-28s %14s -> %14.0f (new op)\n",
+                 ("ops." + op).c_str(), "absent", new_value);
+    ++regressions;
+  }
+  if (regressions == 0) {
+    std::printf("diff OK: \"%s\" within %.2f%% of %s\n", new_bench.c_str(),
+                tolerance_pct, old_path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "diff: %d regression(s) beyond %.2f%% tolerance\n",
+               regressions, tolerance_pct);
+  return 1;
+}
+
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <trace.json>            summarize a trace\n"
-               "       %s --check <file>...       validate trace/bench/"
-               "lint/metrics files\n"
-               "       %s --merge <out> <in>...   merge per-process traces\n",
-               argv0, argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <trace.json>            summarize a trace\n"
+      "       %s --check <file>...       validate trace/bench/"
+      "lint/metrics files\n"
+      "       %s --merge <out> <in>...   merge per-process traces\n"
+      "       %s --live <host:port> [--out FILE]\n"
+      "                                  fetch a live pc-metrics-v1 "
+      "snapshot\n"
+      "       %s --quit <host:port>      stop a lingering daemon\n"
+      "       %s --diff <old> <new> [--tolerance PCT] [--wall]\n"
+      "                                  compare pc-bench-v1 cost records\n",
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -359,6 +526,32 @@ int main(int argc, char** argv) {
       if (argc < 4) return usage(argv[0]);
       return merge(argv[2],
                    std::vector<std::string>(argv + 3, argv + argc));
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--live") == 0) {
+      if (argc != 3 && !(argc == 5 && std::strcmp(argv[3], "--out") == 0)) {
+        return usage(argv[0]);
+      }
+      return live(argv[2], argc == 5 ? argv[4] : "");
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--quit") == 0) {
+      if (argc != 3) return usage(argv[0]);
+      return quit_daemon(argv[2]);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--diff") == 0) {
+      if (argc < 4) return usage(argv[0]);
+      double tolerance = 0.0;
+      bool wall = false;
+      for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+          tolerance = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--wall") == 0) {
+          wall = true;
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      if (tolerance < 0) return usage(argv[0]);
+      return diff_benches(argv[2], argv[3], tolerance, wall);
     }
     if (argc != 2) return usage(argv[0]);
     return summarize(argv[1]);
