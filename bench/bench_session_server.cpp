@@ -1,0 +1,219 @@
+// Multi-session serving-mode throughput (DESIGN.md §14).
+//
+// Spins up the full serving topology IN ONE PROCESS — an S1 daemon, an S2
+// daemon and a SessionClient over loopback TCP — and drives batches of 1,
+// 16 and 64 concurrent consensus sessions through one persistent
+// connection set, exactly the multiplexing pc_party --serve-all deploys
+// across processes.  Each batch gets a fresh cluster so its latency
+// histogram starts empty; the timed region is client.run() only (daemon
+// handshake and teardown are excluded — a daemon pays them once per
+// lifetime, not per session).
+//
+// Reported per batch size: sessions/sec and the p50/p99 session-completion
+// latency, read from the client's "session" histogram (the same
+// pc-metrics-v1 surface the admin channel serves).  Crypto uses the
+// smoke-sized tier-1 profile (see tools/pc_party): the bench isolates the
+// session-multiplexing overhead — admission, muxed framing, FIFO
+// scheduling — not kernel cost, which bench_micro_crypto covers.
+//
+// Hard gate (exit 1): every session of every batch must close "ok" — a
+// throughput number from failed sessions is noise.  (A released ⊥ still
+// counts as ok: under cycle votes consensus legitimately fails sometimes;
+// byte-level correctness is the pc_party serve-all ctest gate's job.)
+//
+//   bench_session_server [--smoke] [--json out.json] [users] [classes]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "mpc/consensus.h"
+#include "net/party_runner.h"
+#include "net/session/session_client.h"
+#include "net/session/session_server.h"
+#include "net/tcp_transport.h"
+#include "obs/clock.h"
+
+namespace {
+
+using namespace pcl;
+using pclbench::fmt;
+using pclbench::print_row;
+using pclbench::print_title;
+
+/// The tier-1 smoke crypto profile (mirrors tools/pc_party make_config):
+/// full Alg. 5 pipeline, parameters small enough for seconds-long batches.
+ConsensusConfig bench_config(std::size_t users, std::size_t classes) {
+  ConsensusConfig cfg;
+  cfg.num_classes = classes;
+  cfg.num_users = users;
+  cfg.threshold_fraction = 0.6;
+  cfg.sigma1 = 1.0;
+  cfg.sigma2 = 0.5;
+  cfg.share_bits = 30;
+  cfg.compare_bits = 44;
+  cfg.dgk_params.n_bits = 160;
+  cfg.dgk_params.v_bits = 30;
+  cfg.dgk_params.plaintext_bound = 160;
+  return cfg;
+}
+
+struct BatchResult {
+  double sessions_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t failed = 0;
+};
+
+/// One fresh cluster, `sessions` concurrent sessions, real protocol.
+BatchResult run_batch(const ConsensusProtocol& protocol,
+                      const std::vector<std::vector<double>>& votes,
+                      std::size_t users, std::size_t sessions,
+                      std::uint64_t base_seed) {
+  TcpListener s1_listener = TcpListener::bind("127.0.0.1", 0);
+  TcpListener s2_listener = TcpListener::bind("127.0.0.1", 0);
+  EndpointMap endpoints;
+  endpoints["S1"] = TcpEndpoint{"127.0.0.1", s1_listener.port()};
+  endpoints["S2"] = TcpEndpoint{"127.0.0.1", s2_listener.port()};
+  TcpTimeouts timeouts;
+  timeouts.connect = std::chrono::milliseconds(30000);
+  timeouts.accept = std::chrono::milliseconds(30000);
+  timeouts.recv = std::chrono::milliseconds(30000);
+  timeouts.send = std::chrono::milliseconds(30000);
+
+  const auto server_config = [&](const std::string& role) {
+    SessionServerConfig config;
+    config.role = role;
+    config.num_users = users;
+    config.endpoints = endpoints;
+    config.timeouts = timeouts;
+    config.manager.max_sessions = 8;
+    config.manager.workers = 2;
+    return config;
+  };
+  const auto server_program = [&protocol, &votes](const std::string& role) {
+    return [&protocol, &votes, role](const SessionInfo& info,
+                                     Channel& chan) -> std::optional<int> {
+      return protocol.run_party_session(
+          role, votes, ConsensusProtocol::SessionContext{info.id, info.seed},
+          chan);
+    };
+  };
+  SessionServer s1(server_config("S1"), server_program("S1"));
+  SessionServer s2(server_config("S2"), server_program("S2"));
+  std::thread s1_start(
+      [&s1, l = std::move(s1_listener)]() mutable { s1.start(std::move(l)); });
+  std::thread s2_start(
+      [&s2, l = std::move(s2_listener)]() mutable { s2.start(std::move(l)); });
+
+  SessionClientConfig ccfg;
+  ccfg.num_users = users;
+  ccfg.endpoints = endpoints;
+  ccfg.timeouts = timeouts;
+  ccfg.max_in_flight = 4;
+  ccfg.open_budget = std::chrono::milliseconds(60000);
+  SessionClient client(
+      ccfg, [&protocol, &votes](const SessionInfo& info,
+                                const std::string& user, Channel& chan) {
+        (void)protocol.run_party_session(
+            user, votes,
+            ConsensusProtocol::SessionContext{info.id, info.seed}, chan);
+      });
+  client.connect();
+  s1_start.join();
+  s2_start.join();
+
+  std::vector<SessionSpec> specs;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    spec.info.id = static_cast<std::uint32_t>(i + 1);
+    spec.info.seed = derive_party_seed(base_seed, i);
+    specs.push_back(spec);
+  }
+  const std::uint64_t t0 = obs::monotonic_time_ns();
+  const std::vector<SessionOutcome> outcomes = client.run(specs);
+  const double wall_s =
+      static_cast<double>(obs::monotonic_time_ns() - t0) / 1e9;
+
+  BatchResult result;
+  result.sessions_per_sec =
+      wall_s > 0.0 ? static_cast<double>(sessions) / wall_s : 0.0;
+  // The same "session" completion histogram the admin metrics surface
+  // serves; the cluster is fresh per batch, so it holds exactly this batch.
+  for (const auto& entry : client.metrics().latencies()) {
+    if (entry.step == "session" && entry.phase == obs::Phase::kOnline) {
+      result.p50_ms = static_cast<double>(entry.hist.percentile(50)) / 1e6;
+      result.p99_ms = static_cast<double>(entry.hist.percentile(99)) / 1e6;
+    }
+  }
+  // Gate on clean closes only: a released ⊥ (label unset) is a legitimate
+  // protocol outcome under cycle votes, not a serving failure.
+  for (const SessionOutcome& outcome : outcomes) {
+    if (!outcome.ok) {
+      ++result.failed;
+      std::fprintf(stderr, "session %u failed: %s\n", outcome.info.id,
+                   outcome.status.c_str());
+    }
+  }
+
+  client.close();
+  s1.drain_and_stop();
+  s2.drain_and_stop();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pclbench::BenchCli cli = pclbench::parse_bench_cli(argc, argv);
+  const std::size_t users = static_cast<std::size_t>(
+      std::stoul(cli.positional_or(0, "2")));
+  const std::size_t classes = static_cast<std::size_t>(
+      std::stoul(cli.positional_or(1, "3")));
+  const std::vector<std::size_t> batch_sizes =
+      cli.smoke ? std::vector<std::size_t>{1, 4}
+                : std::vector<std::size_t>{1, 16, 64};
+
+  DeterministicRng keygen(7);
+  const ConsensusProtocol protocol(bench_config(users, classes), keygen);
+  // "cycle" votes (pc_party's default): user u one-hot for class u mod K.
+  std::vector<std::vector<double>> votes(users,
+                                         std::vector<double>(classes, 0.0));
+  for (std::size_t u = 0; u < users; ++u) votes[u][u % classes] = 1.0;
+
+  pclbench::BenchRecorder recorder("session_server");
+  recorder.set_param("users", static_cast<double>(users));
+  recorder.set_param("classes", static_cast<double>(classes));
+  recorder.set_param("cores",
+                     static_cast<double>(std::thread::hardware_concurrency()));
+
+  print_title("Serving mode: concurrent sessions over one S1/S2 pair");
+  print_row("sessions", {"sessions/sec", "p50 ms", "p99 ms"});
+  std::size_t failed = 0;
+  for (const std::size_t sessions : batch_sizes) {
+    const BatchResult result =
+        run_batch(protocol, votes, users, sessions, 1000 + sessions);
+    failed += result.failed;
+    print_row(std::to_string(sessions),
+              {fmt(result.sessions_per_sec, 2), fmt(result.p50_ms, 2),
+               fmt(result.p99_ms, 2)});
+    std::string prefix = "sessions_";
+    prefix += std::to_string(sessions);
+    recorder.set_param(prefix + "_per_sec", result.sessions_per_sec);
+    recorder.set_param(prefix + "_p50_ms", result.p50_ms);
+    recorder.set_param(prefix + "_p99_ms", result.p99_ms);
+  }
+
+  if (!cli.json_path.empty()) recorder.write_json(cli.json_path);
+  if (failed != 0) {
+    std::fprintf(stderr, "bench_session_server: %zu session(s) failed\n",
+                 failed);
+    return 1;
+  }
+  return 0;
+}

@@ -347,6 +347,18 @@ std::optional<int> ConsensusProtocol::run_party_seeded(
                               "'");
 }
 
+std::optional<int> ConsensusProtocol::run_party_session(
+    const std::string& party,
+    const std::vector<std::vector<double>>& user_votes,
+    const SessionContext& ctx, Channel& chan) const {
+  // The session id names the observability span; the protocol itself sees
+  // only the seed (see the header contract).
+  std::string span_name = "session:";
+  span_name += std::to_string(ctx.id);
+  const obs::Span span(span_name.c_str());
+  return run_party_seeded(party, user_votes, ctx.seed, chan);
+}
+
 ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
     const std::vector<std::vector<double>>& user_votes, const NoisePlan& noise,
     std::uint64_t seed, ConsensusTransport transport) {

@@ -122,6 +122,21 @@ class ConsensusProtocol {
       const std::vector<std::vector<double>>& user_votes, std::uint64_t seed,
       Channel& chan) const;
 
+  /// One admitted session of a multi-session daemon (net/session/): session
+  /// `ctx.id` with session seed `ctx.seed`.  The seed is the ONLY protocol
+  /// input the session id contributes nothing to — session s must replay an
+  /// isolated run_query_seeded(votes, ctx.seed) byte for byte, whatever id
+  /// the server assigned it.  The id exists for observability: the span
+  /// every artifact of this session files under.
+  struct SessionContext {
+    std::uint32_t id = 0;
+    std::uint64_t seed = 0;
+  };
+  [[nodiscard]] std::optional<int> run_party_session(
+      const std::string& party,
+      const std::vector<std::vector<double>>& user_votes,
+      const SessionContext& ctx, Channel& chan) const;
+
   /// Labels a batch of instances (the paper evaluates 1000 per run); one
   /// independent Alg. 5 execution per instance, fresh permutations, masks
   /// and noise each.  votes_per_instance[q][u] is user u's vote vector for

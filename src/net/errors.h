@@ -10,6 +10,10 @@
 //   * FramingError   — bytes arrived but do not parse: truncated message,
 //     oversized or corrupt length prefix, unknown frame kind.  Indicates a
 //     bug or an actively malicious peer, never a benign race.
+//   * ChannelBusy    — the peer is alive but refused the work: a session
+//     server at its admission cap rejected a SESSION_OPEN, or a bounded
+//     per-session inbox overflowed (backpressure).  Retryable by design —
+//     the peer is healthy, the caller just arrived at a bad time.
 //
 // All derive from ChannelError (itself a std::runtime_error) so callers
 // that only care that the protocol died keep a single catch site.
@@ -39,6 +43,13 @@ class ChannelClosed : public ChannelError {
 
 /// Received bytes violate the wire format (truncated / oversized / corrupt).
 class FramingError : public ChannelError {
+ public:
+  using ChannelError::ChannelError;
+};
+
+/// The peer refused the work under load: session admission cap hit, or a
+/// bounded inbox overflowed.  The peer is healthy; retry later.
+class ChannelBusy : public ChannelError {
  public:
   using ChannelError::ChannelError;
 };

@@ -1,0 +1,326 @@
+#include "net/session/session_mux.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+#include "net/errors.h"
+#include "net/message.h"
+#include "net/session/event_loop.h"
+#include "obs/trace.h"
+
+namespace pcl {
+
+// ---------------------------------------------------------------------------
+// FrameAssembler
+
+void FrameAssembler::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state feeds append without shifting.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameAssembler::next() {
+  const std::size_t have = buf_.size() - pos_;
+  if (have < 1) return std::nullopt;
+  const std::size_t head = frame_header_size(buf_[pos_]);
+  if (have < head) return std::nullopt;
+  const std::size_t body = frame_body_size(buf_.data() + pos_);
+  if (have < head + body) return std::nullopt;
+  const std::vector<std::uint8_t> exact(
+      buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+      buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + head + body));
+  pos_ += head + body;
+  return decode_frame(exact);
+}
+
+// ---------------------------------------------------------------------------
+// SharedSocket
+
+void SharedSocket::write(const Frame& frame,
+                         std::chrono::milliseconds deadline) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  socket_.write_frame(frame, deadline);
+}
+
+void SharedSocket::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  socket_.close();
+}
+
+// ---------------------------------------------------------------------------
+// SessionMux
+
+SessionMux::SessionMux(SessionLimits limits) : limits_(limits) {}
+
+void SessionMux::set_control_handler(ControlHandler handler) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  control_handler_ = std::move(handler);
+}
+
+void SessionMux::add_connection(const std::string& label,
+                                std::shared_ptr<SharedSocket> socket) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!connections_.emplace(label, std::move(socket)).second) {
+    throw ChannelError("session mux: duplicate connection '" + label + "'");
+  }
+}
+
+SharedSocket& SessionMux::connection(const std::string& label) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = connections_.find(label);
+  if (it == connections_.end()) {
+    throw ChannelError("session mux: no connection '" + label + "'");
+  }
+  return *it->second;
+}
+
+SessionMux::SessionBox* SessionMux::find_locked(std::uint32_t session) {
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void SessionMux::register_session(std::uint32_t session) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, fresh] = sessions_.try_emplace(session);
+  if (!fresh) {
+    throw ChannelError("session mux: session " + std::to_string(session) +
+                       " already registered");
+  }
+  replay_orphans_locked(session, it->second);
+}
+
+void SessionMux::unregister_session(std::uint32_t session) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session);
+}
+
+void SessionMux::replay_orphans_locked(std::uint32_t session,
+                                       SessionBox& box) {
+  auto keep = orphans_.begin();
+  for (auto it = orphans_.begin(); it != orphans_.end(); ++it) {
+    if (it->second.session != session) {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+      continue;
+    }
+    Inbox& inbox = box.by_conn[it->first];
+    Frame& frame = it->second;
+    if (frame.kind == FrameKind::kMessage) {
+      inbox.messages.push_back(std::move(frame.payload));
+    } else if (frame.kind == FrameKind::kBulletin) {
+      MessageReader reader(std::move(frame.payload));
+      inbox.bulletins.push_back(reader.read_i64());
+    } else {
+      inbox.control.push_back(std::move(frame));
+    }
+  }
+  orphans_.erase(keep, orphans_.end());
+  cv_.notify_all();
+}
+
+void SessionMux::route(const std::string& conn, Frame frame) {
+  std::function<void()> busy_rethrow;
+  ControlHandler open_handler;
+  Frame open_frame;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (frame.kind == FrameKind::kSessionOpen) {
+      if (!control_handler_) {
+        throw FramingError("session mux: SESSION_OPEN on '" + conn +
+                           "' but no admission handler is installed");
+      }
+      open_handler = control_handler_;
+      open_frame = std::move(frame);
+    } else {
+      SessionBox* box = find_locked(frame.session);
+      if (box == nullptr) {
+        // Park for a session that has not opened here yet (the trunk can
+        // legally race the client's SESSION_OPEN).  Bounded: beyond the
+        // cap the OLDEST orphan goes — it belongs to the longest-dead or
+        // most-backlogged session, never to the frame that just arrived.
+        if (orphans_.size() >= limits_.orphan_cap) {
+          orphans_.pop_front();
+          ++orphans_dropped_;
+        }
+        orphans_.emplace_back(conn, std::move(frame));
+      } else if (frame.kind == FrameKind::kMessage) {
+        Inbox& inbox = box->by_conn[conn];
+        if (inbox.messages.size() >= limits_.inbox_cap) {
+          const std::uint32_t id = frame.session;
+          const std::string text =
+              "session " + std::to_string(id) + ": inbox for '" + conn +
+              "' overflowed its " + std::to_string(limits_.inbox_cap) +
+              "-message cap";
+          box->rethrow = [text] { throw ChannelBusy(text); };
+          busy_rethrow = box->rethrow;
+        } else {
+          inbox.messages.push_back(std::move(frame.payload));
+        }
+      } else if (frame.kind == FrameKind::kBulletin) {
+        MessageReader reader(std::move(frame.payload));
+        box->by_conn[conn].bulletins.push_back(reader.read_i64());
+        if (!reader.exhausted()) {
+          throw FramingError("bulletin frame carries trailing bytes");
+        }
+      } else {  // ACCEPT / REJECT / CLOSE
+        box->by_conn[conn].control.push_back(std::move(frame));
+      }
+      cv_.notify_all();
+    }
+  }
+  if (open_handler) open_handler(conn, std::move(open_frame));
+  (void)busy_rethrow;  // waiters were woken; they rethrow on wake
+}
+
+void SessionMux::fail_connection(const std::string& conn,
+                                 const std::string& what) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, box] : sessions_) {
+    if (box.rethrow) continue;
+    const std::string text = what;
+    box.rethrow = [text] { throw ChannelClosed(text); };
+  }
+  (void)conn;  // v1: every session spans every connection of its daemon
+  cv_.notify_all();
+}
+
+void SessionMux::fail_session(std::uint32_t session,
+                              std::function<void()> rethrow) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SessionBox* box = find_locked(session);
+  if (box != nullptr && !box->rethrow) box->rethrow = std::move(rethrow);
+  cv_.notify_all();
+}
+
+template <typename T, typename Ready>
+T SessionMux::wait_for(std::uint32_t session,
+                       std::chrono::milliseconds deadline, const char* what,
+                       Ready ready) {
+  const std::uint64_t deadline_ns =
+      obs::monotonic_time_ns() +
+      static_cast<std::uint64_t>(deadline.count()) * 1'000'000ull;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    SessionBox* box = find_locked(session);
+    if (box == nullptr) {
+      throw ChannelClosed("session " + std::to_string(session) +
+                          ": torn down while waiting for " + what);
+    }
+    if (box->rethrow) box->rethrow();
+    std::optional<T> got = ready(*box);
+    if (got.has_value()) return *std::move(got);
+    const std::uint64_t now = obs::monotonic_time_ns();
+    if (now >= deadline_ns) {
+      throw ChannelTimeout("session " + std::to_string(session) + ": " +
+                           what + " timed out after " +
+                           std::to_string(deadline.count()) + "ms");
+    }
+    cv_.wait_for(lock, std::chrono::nanoseconds(deadline_ns - now));
+  }
+}
+
+std::vector<std::uint8_t> SessionMux::recv_message(
+    std::uint32_t session, const std::string& conn,
+    std::chrono::milliseconds deadline) {
+  return wait_for<std::vector<std::uint8_t>>(
+      session, deadline, "recv", [&conn](SessionBox& box) {
+        auto it = box.by_conn.find(conn);
+        std::optional<std::vector<std::uint8_t>> got;
+        if (it != box.by_conn.end() && !it->second.messages.empty()) {
+          got = std::move(it->second.messages.front());
+          it->second.messages.pop_front();
+        }
+        return got;
+      });
+}
+
+std::int64_t SessionMux::await_bulletin(std::uint32_t session,
+                                        const std::string& conn,
+                                        std::size_t index,
+                                        std::chrono::milliseconds deadline) {
+  return wait_for<std::int64_t>(
+      session, deadline, "await_public", [&conn, index](SessionBox& box) {
+        auto it = box.by_conn.find(conn);
+        std::optional<std::int64_t> got;
+        if (it != box.by_conn.end() && index < it->second.bulletins.size()) {
+          got = it->second.bulletins[index];
+        }
+        return got;
+      });
+}
+
+Frame SessionMux::recv_control(std::uint32_t session, const std::string& conn,
+                               std::chrono::milliseconds deadline) {
+  return wait_for<Frame>(session, deadline, "control frame",
+                         [&conn](SessionBox& box) {
+                           auto it = box.by_conn.find(conn);
+                           std::optional<Frame> got;
+                           if (it != box.by_conn.end() &&
+                               !it->second.control.empty()) {
+                             got = std::move(it->second.control.front());
+                             it->second.control.pop_front();
+                           }
+                           return got;
+                         });
+}
+
+std::size_t SessionMux::orphans_parked() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return orphans_.size();
+}
+
+std::size_t SessionMux::orphans_dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return orphans_dropped_;
+}
+
+void attach_connection(
+    EventLoop& loop, SessionMux& mux, const std::string& label,
+    std::shared_ptr<SharedSocket> socket,
+    std::function<void(const std::string&, const std::string&)> on_down) {
+  mux.add_connection(label, socket);
+  const int fd = socket->fd();
+  auto assembler = std::make_shared<FrameAssembler>();
+  loop.add_fd(fd, [&loop, &mux, label, socket, assembler, on_down, fd] {
+    std::uint8_t buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        assembler->feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      std::string down;
+      if (n == 0) {
+        down = "'" + label + "' closed the connection";
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;  // drained for now
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        down = "recv from '" + label +
+               "' failed: " + std::generic_category().message(errno);
+      }
+      loop.remove_fd(fd);
+      if (on_down) on_down(label, down);
+      return;
+    }
+    try {
+      while (std::optional<Frame> frame = assembler->next()) {
+        mux.route(label, *std::move(frame));
+      }
+    } catch (const ChannelError& e) {
+      loop.remove_fd(fd);
+      if (on_down) on_down(label, e.what());
+    }
+  });
+}
+
+}  // namespace pcl

@@ -1,0 +1,183 @@
+// SessionMux — session-tagged frame routing over shared connections.
+//
+// In serve mode one TCP connection carries MANY concurrent sessions: the
+// S1<->S2 trunk multiplexes every session's server-to-server traffic, and
+// each persistent user connection multiplexes that user's frames for every
+// session it participates in.  The mux is the meeting point between the
+// reactor (event_loop.h), which feeds it raw bytes per connection, and the
+// per-session worker threads, which block on typed receive calls:
+//
+//   reactor thread:  feed(conn, bytes) -> FrameAssembler -> route(frame)
+//   worker threads:  recv_message / await_bulletin / recv_control
+//
+// Routing preserves PR 4's bulletin-parking semantics PER SESSION: within a
+// (session, connection) inbox, protocol messages queue in arrival order,
+// bulletin values append to an ordered log read through the consumer's own
+// cursor, and neither kind can displace the other.  Session-control frames
+// (OPEN/ACCEPT/REJECT/CLOSE) ride the same sockets; OPENs go to the
+// registered control handler (the server's admission path), the rest queue
+// per (session, connection) for recv_control.
+//
+// Backpressure is bounded and BLAME-LOCAL: each (session, connection) inbox
+// holds at most `inbox_cap` messages; overflowing one fails THAT session
+// with ChannelBusy and drops nothing belonging to anyone else.  Frames for
+// sessions not yet registered park in a bounded orphan buffer (the trunk
+// can legally race a SESSION_OPEN) and replay on register_session.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <condition_variable>
+
+#include "net/tcp_transport.h"
+
+namespace pcl {
+
+/// Incremental frame decoder for the reactor's nonblocking reads: feed()
+/// whatever recv returned, then drain next() until it comes back empty.
+/// Applies the exact validation of decode_frame at the same byte offsets.
+class FrameAssembler {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+  /// Next complete frame, or nullopt if more bytes are needed.  Throws
+  /// FramingError on a malformed header, poisoning the connection — the
+  /// caller must tear it down (byte streams do not resynchronize).
+  [[nodiscard]] std::optional<Frame> next();
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted between feeds
+};
+
+/// Write side of a connection shared by many sessions.  Workers write whole
+/// frames under the per-socket mutex, so frames from concurrent sessions
+/// interleave only at frame boundaries.  The READ side belongs to the
+/// reactor exclusively; nothing here reads.
+class SharedSocket {
+ public:
+  explicit SharedSocket(TcpSocket socket) : socket_(std::move(socket)) {}
+
+  [[nodiscard]] int fd() const { return socket_.fd(); }
+  void write(const Frame& frame, std::chrono::milliseconds deadline);
+  void close();
+
+ private:
+  std::mutex mu_;
+  TcpSocket socket_;
+};
+
+struct SessionLimits {
+  /// Max queued protocol messages per (session, connection) inbox; one more
+  /// fails that session with ChannelBusy.
+  std::size_t inbox_cap = 1024;
+  /// Max parked frames across ALL unregistered sessions; beyond it the
+  /// oldest orphan is dropped (counted, never silently).
+  std::size_t orphan_cap = 4096;
+};
+
+class SessionMux {
+ public:
+  /// Receives SESSION_OPEN frames (server admission path).  Runs on the
+  /// reactor thread; must not block.
+  using ControlHandler = std::function<void(const std::string& conn, Frame)>;
+
+  explicit SessionMux(SessionLimits limits = {});
+
+  void set_control_handler(ControlHandler handler);
+
+  /// Registers a connection's write side under `label` (the peer name on a
+  /// server, "u3:S1"-style link names on the client).
+  void add_connection(const std::string& label,
+                      std::shared_ptr<SharedSocket> socket);
+  [[nodiscard]] SharedSocket& connection(const std::string& label);
+
+  /// Creates the session's inboxes and replays any parked orphans for it.
+  void register_session(std::uint32_t session);
+  /// Frees the session's inboxes; late frames for it re-park as orphans.
+  void unregister_session(std::uint32_t session);
+
+  /// Routes one inbound frame (reactor thread).  kSessionOpen goes to the
+  /// control handler; ACCEPT/REJECT/CLOSE queue for recv_control; messages
+  /// and bulletins land in the (frame.session, conn) inbox.
+  void route(const std::string& conn, Frame frame);
+
+  /// Fails every inbox of every session reachable over `conn` (the
+  /// connection died); `what` becomes the ChannelClosed text.
+  void fail_connection(const std::string& conn, const std::string& what);
+
+  /// Marks one session failed; all its blocked receivers (and all future
+  /// calls) throw the typed error `rethrow` produces.
+  void fail_session(std::uint32_t session, std::function<void()> rethrow);
+
+  /// Blocking typed receives (worker threads).  Each throws ChannelTimeout
+  /// at the deadline and the session's typed error if it was failed.
+  [[nodiscard]] std::vector<std::uint8_t> recv_message(
+      std::uint32_t session, const std::string& conn,
+      std::chrono::milliseconds deadline);
+  /// Bulletin value at `index` of the (session, conn) log, waiting for it
+  /// to be published if needed.  The caller owns its cursor.
+  [[nodiscard]] std::int64_t await_bulletin(std::uint32_t session,
+                                            const std::string& conn,
+                                            std::size_t index,
+                                            std::chrono::milliseconds deadline);
+  [[nodiscard]] Frame recv_control(std::uint32_t session,
+                                   const std::string& conn,
+                                   std::chrono::milliseconds deadline);
+
+  [[nodiscard]] std::size_t orphans_parked() const;
+  [[nodiscard]] std::size_t orphans_dropped() const;
+
+ private:
+  struct Inbox {
+    std::deque<std::vector<std::uint8_t>> messages;
+    std::vector<std::int64_t> bulletins;
+    std::deque<Frame> control;
+  };
+  struct SessionBox {
+    std::map<std::string, Inbox> by_conn;  ///< keyed by connection label
+    std::function<void()> rethrow;         ///< set once failed
+  };
+
+  [[nodiscard]] SessionBox* find_locked(std::uint32_t session);
+  void replay_orphans_locked(std::uint32_t session, SessionBox& box);
+
+  /// Waits on cv_ until `ready` (called under mu_) returns non-nullopt,
+  /// the session fails, or the deadline passes.
+  template <typename T, typename Ready>
+  T wait_for(std::uint32_t session, std::chrono::milliseconds deadline,
+             const char* what, Ready ready);
+
+  SessionLimits limits_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  ControlHandler control_handler_;
+  std::map<std::string, std::shared_ptr<SharedSocket>> connections_;
+  std::map<std::uint32_t, SessionBox> sessions_;
+  std::deque<std::pair<std::string, Frame>> orphans_;  ///< (conn, frame)
+  std::size_t orphans_dropped_ = 0;
+};
+
+class EventLoop;
+
+/// Wires one connection into a reactor: calls mux.add_connection(label,
+/// socket), registers the fd with `loop`, drains it nonblockingly through a
+/// FrameAssembler on readability, and routes every complete frame into the
+/// mux.  On EOF, a socket error, or a framing error it removes the fd and
+/// invokes `on_down(label, what)` on the loop thread — the byte stream
+/// cannot resynchronize, so the connection is done either way.
+void attach_connection(
+    EventLoop& loop, SessionMux& mux, const std::string& label,
+    std::shared_ptr<SharedSocket> socket,
+    std::function<void(const std::string&, const std::string&)> on_down);
+
+}  // namespace pcl

@@ -93,33 +93,67 @@ void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
   return v;
 }
 
+/// Kind byte split into the base kind and the versioned-header flag; the
+/// first checkpoint for both the buffer decoder and the socket read path
+/// (the kind byte alone decides how many more header bytes follow).
+struct KindInfo {
+  FrameKind kind;
+  bool versioned;
+};
+
+[[nodiscard]] KindInfo check_kind(std::uint8_t raw_kind) {
+  const bool versioned = (raw_kind & kSessionFlag) != 0;
+  const std::uint8_t base =
+      static_cast<std::uint8_t>(raw_kind & ~kSessionFlag);
+  if (base < static_cast<std::uint8_t>(FrameKind::kHello) ||
+      base > static_cast<std::uint8_t>(FrameKind::kSessionClose)) {
+    throw FramingError("frame: unknown kind " + std::to_string(raw_kind));
+  }
+  const auto kind = static_cast<FrameKind>(base);
+  if (is_session_control(kind) && !versioned) {
+    throw FramingError("frame: session-control kind " + std::to_string(base) +
+                       " requires the versioned header");
+  }
+  return {kind, versioned};
+}
+
 struct FrameHeader {
   FrameKind kind;
+  std::uint32_t session;
   std::uint32_t step_len;
   std::uint32_t payload_len;
 };
 
-/// Validates a raw 9-byte header; the single checkpoint both the buffer
-/// decoder and the socket read path go through.
-[[nodiscard]] FrameHeader check_header(const std::uint8_t* raw) {
-  const std::uint8_t kind = raw[0];
-  if (kind < static_cast<std::uint8_t>(FrameKind::kHello) ||
-      kind > static_cast<std::uint8_t>(FrameKind::kBulletin)) {
-    throw FramingError("frame: unknown kind " + std::to_string(kind));
+/// Validates the header bytes after the kind byte (8 legacy / 12 versioned);
+/// the single length checkpoint both read paths go through.
+[[nodiscard]] FrameHeader check_header_rest(KindInfo info,
+                                            const std::uint8_t* rest) {
+  FrameHeader header;
+  header.kind = info.kind;
+  const std::uint8_t* p = rest;
+  if (info.versioned) {
+    header.session = get_u32le(p);
+    p += 4;
+  } else {
+    header.session = 0;
   }
-  const std::uint32_t step_len = get_u32le(raw + 1);
-  const std::uint32_t payload_len = get_u32le(raw + 5);
-  if (step_len > kMaxFrameStepBytes) {
-    throw FramingError("frame: step length " + std::to_string(step_len) +
-                       " exceeds the " + std::to_string(kMaxFrameStepBytes) +
-                       "-byte cap");
+  header.step_len = get_u32le(p);
+  header.payload_len = get_u32le(p + 4);
+  if (header.step_len > kMaxFrameStepBytes) {
+    throw FramingError("frame: step length " +
+                       std::to_string(header.step_len) + " exceeds the " +
+                       std::to_string(kMaxFrameStepBytes) + "-byte cap");
   }
-  if (payload_len > kMaxFramePayloadBytes) {
-    throw FramingError("frame: payload length " + std::to_string(payload_len) +
-                       " exceeds the " +
+  if (header.payload_len > kMaxFramePayloadBytes) {
+    throw FramingError("frame: payload length " +
+                       std::to_string(header.payload_len) + " exceeds the " +
                        std::to_string(kMaxFramePayloadBytes) + "-byte cap");
   }
-  return {static_cast<FrameKind>(kind), step_len, payload_len};
+  return header;
+}
+
+[[nodiscard]] std::size_t header_bytes(KindInfo info) {
+  return info.versioned ? kSessionFrameHeaderBytes : kFrameHeaderBytes;
 }
 
 }  // namespace
@@ -193,9 +227,17 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
     throw FramingError("frame: payload too large (" +
                        std::to_string(frame.payload.size()) + " bytes)");
   }
+  // Session-0 protocol frames keep the legacy 9-byte header, so byte streams
+  // that predate sessions are reproduced exactly.  Everything else carries
+  // the session id explicitly.
+  const bool versioned = frame.session != 0 || is_session_control(frame.kind);
   std::vector<std::uint8_t> out;
-  out.reserve(kFrameHeaderBytes + frame.step.size() + frame.payload.size());
-  out.push_back(static_cast<std::uint8_t>(frame.kind));
+  out.reserve((versioned ? kSessionFrameHeaderBytes : kFrameHeaderBytes) +
+              frame.step.size() + frame.payload.size());
+  std::uint8_t kind_byte = static_cast<std::uint8_t>(frame.kind);
+  if (versioned) kind_byte |= kSessionFlag;
+  out.push_back(kind_byte);
+  if (versioned) put_u32le(out, frame.session);
   put_u32le(out, static_cast<std::uint32_t>(frame.step.size()));
   put_u32le(out, static_cast<std::uint32_t>(frame.payload.size()));
   out.insert(out.end(), frame.step.begin(), frame.step.end());
@@ -204,14 +246,18 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
 }
 
 Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < kFrameHeaderBytes) {
+  if (bytes.empty()) {
+    throw FramingError("frame: truncated header (0 bytes)");
+  }
+  const KindInfo info = check_kind(bytes[0]);
+  const std::size_t head = header_bytes(info);
+  if (bytes.size() < head) {
     throw FramingError("frame: truncated header (" +
                        std::to_string(bytes.size()) + " of " +
-                       std::to_string(kFrameHeaderBytes) + " bytes)");
+                       std::to_string(head) + " bytes)");
   }
-  const FrameHeader header = check_header(bytes.data());
-  const std::size_t total =
-      kFrameHeaderBytes + header.step_len + header.payload_len;
+  const FrameHeader header = check_header_rest(info, bytes.data() + 1);
+  const std::size_t total = head + header.step_len + header.payload_len;
   if (bytes.size() != total) {
     throw FramingError("frame: body size mismatch (have " +
                        std::to_string(bytes.size()) + " bytes, header claims " +
@@ -219,11 +265,41 @@ Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
   }
   Frame frame;
   frame.kind = header.kind;
-  const std::uint8_t* body = bytes.data() + kFrameHeaderBytes;
+  frame.session = header.session;
+  const std::uint8_t* body = bytes.data() + head;
   frame.step.assign(body, body + header.step_len);
   frame.payload.assign(body + header.step_len,
                        body + header.step_len + header.payload_len);
   return frame;
+}
+
+std::size_t frame_header_size(std::uint8_t kind_byte) {
+  return header_bytes(check_kind(kind_byte));
+}
+
+std::size_t frame_body_size(const std::uint8_t* header) {
+  const KindInfo info = check_kind(header[0]);
+  const FrameHeader h = check_header_rest(info, header + 1);
+  return static_cast<std::size_t>(h.step_len) + h.payload_len;
+}
+
+std::chrono::milliseconds dial_backoff(std::size_t attempt,
+                                       std::uint64_t jitter_seed) {
+  constexpr std::uint64_t kBaseMs = 10;
+  constexpr std::uint64_t kCapMs = 500;
+  const std::uint64_t full =
+      attempt >= 6 ? kCapMs : std::min(kBaseMs << attempt, kCapMs);
+  // splitmix64 over (seed, attempt): decorrelates concurrent dialers without
+  // any shared RNG state, and a fixed seed replays the schedule in tests.
+  std::uint64_t x = jitter_seed + 0x9e3779b97f4a7c15ull * (attempt + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  // Uniform in [full/2, full]: never below half the nominal step (retries
+  // stay cheap) and never above the cap (bounded added latency).
+  const std::uint64_t half = full / 2;
+  return std::chrono::milliseconds(
+      static_cast<std::int64_t>(half + x % (half + 1)));
 }
 
 // ---------------------------------------------------------------------------
@@ -267,7 +343,10 @@ TcpSocket TcpSocket::dial(const TcpEndpoint& endpoint,
                           std::chrono::milliseconds budget) {
   const struct sockaddr_in addr = resolve_ipv4(endpoint);
   const std::uint64_t deadline = deadline_ns_from(budget);
-  std::chrono::milliseconds backoff(10);
+  // Seed the jitter from the monotonic clock so concurrent dialers (e.g. a
+  // whole user fleet reconnecting to one listener) spread their retries.
+  const std::uint64_t jitter_seed = obs::monotonic_time_ns();
+  std::size_t attempt = 0;
   int last_err = 0;
   for (;;) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -281,8 +360,7 @@ TcpSocket TcpSocket::dial(const TcpEndpoint& endpoint,
     if (remaining_ms(deadline) == 0) break;
     // The listener may simply not be up yet (process start skew); back off
     // exponentially so retries stay cheap without adding seconds of latency.
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+    std::this_thread::sleep_for(dial_backoff(attempt++, jitter_seed));
   }
   throw ChannelTimeout("dial " + endpoint.host + ":" +
                        std::to_string(endpoint.port) + " timed out after " +
@@ -354,13 +432,19 @@ void TcpSocket::write_frame(const Frame& frame,
 
 std::optional<Frame> TcpSocket::read_frame(std::chrono::milliseconds deadline) {
   const std::uint64_t deadline_ns = deadline_ns_from(deadline);
-  std::uint8_t raw[kFrameHeaderBytes];
-  if (!recv_exact(raw, kFrameHeaderBytes, deadline_ns, /*eof_ok=*/true)) {
+  // The kind byte decides the header length (legacy vs versioned), so it is
+  // read alone first; the rest of the header follows in one recv.
+  std::uint8_t raw[kSessionFrameHeaderBytes];
+  if (!recv_exact(raw, 1, deadline_ns, /*eof_ok=*/true)) {
     return std::nullopt;  // clean EOF at a frame boundary
   }
-  const FrameHeader header = check_header(raw);
+  const KindInfo info = check_kind(raw[0]);
+  (void)recv_exact(raw + 1, header_bytes(info) - 1, deadline_ns,
+                   /*eof_ok=*/false);
+  const FrameHeader header = check_header_rest(info, raw + 1);
   Frame frame;
   frame.kind = header.kind;
+  frame.session = header.session;
   frame.step.resize(header.step_len);
   if (header.step_len != 0) {
     (void)recv_exact(reinterpret_cast<std::uint8_t*>(frame.step.data()),

@@ -67,15 +67,33 @@ using EndpointMap = std::map<std::string, TcpEndpoint>;
 
 // ---------------------------------------------------------------------------
 // Frame codec
+//
+// Two header forms share the wire (PROTOCOL.md "Frame format"):
+//
+//   legacy     [kind u8 | step_len u32 | payload_len u32 | step | payload]
+//   versioned  [kind|0x80 u8 | session u32 | step_len u32 | payload_len u32
+//               | step | payload]
+//
+// A frame whose session id is 0 and whose kind predates sessions is encoded
+// in the legacy form, so every byte PR 4 peers exchange is unchanged —
+// "session 0" IS the PR 4 wire format.  Frames addressed to a non-zero
+// session, and all session-control kinds, use the versioned form with the
+// kSessionFlag bit set on the kind byte.
 
 enum class FrameKind : std::uint8_t {
   kHello = 1,     ///< connection opener; payload = dialer's party name
   kMessage = 2,   ///< one MessageWriter payload, tagged with its step
   kBulletin = 3,  ///< public verdict push; payload = i64 value
+  // Session-control kinds (src/net/session/): always versioned-form.
+  kSessionOpen = 4,    ///< open `session`; payload = u64 seed
+  kSessionAccept = 5,  ///< admission granted for `session`
+  kSessionReject = 6,  ///< admission refused; step = class, payload = why
+  kSessionClose = 7,   ///< teardown notice; step = status, payload = detail
 };
 
 struct Frame {
   FrameKind kind = FrameKind::kMessage;
+  std::uint32_t session = 0;  ///< 0 = the legacy single-session stream
   std::string step;
   std::vector<std::uint8_t> payload;
 };
@@ -86,14 +104,39 @@ inline constexpr std::size_t kMaxFrameStepBytes = 256;
 inline constexpr std::size_t kMaxFramePayloadBytes =
     std::size_t{64} * 1024 * 1024;
 inline constexpr std::size_t kFrameHeaderBytes = 9;  // kind + 2 x u32 length
+/// Versioned header: flagged kind + u32 session + 2 x u32 length.
+inline constexpr std::size_t kSessionFrameHeaderBytes = 13;
+/// Kind-byte flag marking the versioned (session-tagged) header form.
+inline constexpr std::uint8_t kSessionFlag = 0x80;
 
-/// Serializes a frame (validating the limits above).
+/// True for kinds that only exist in the versioned header form.
+[[nodiscard]] constexpr bool is_session_control(FrameKind kind) {
+  return kind >= FrameKind::kSessionOpen && kind <= FrameKind::kSessionClose;
+}
+
+/// Serializes a frame (validating the limits above).  Picks the legacy
+/// header for session-0 protocol frames and the versioned header otherwise.
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
 /// Parses one complete frame from a buffer; throws FramingError on bad
 /// kind/lengths, truncation, or trailing bytes.  The socket read path
 /// applies identical validation incrementally.
 [[nodiscard]] Frame decode_frame(const std::vector<std::uint8_t>& bytes);
+
+/// Incremental-decode support for reactor-style readers (src/net/session/):
+/// the kind byte alone fixes the header length, and the full header fixes
+/// the body length.  Both validate exactly as decode_frame does, so a
+/// reactor rejects a bad frame at the same byte a blocking reader would.
+[[nodiscard]] std::size_t frame_header_size(std::uint8_t kind_byte);
+[[nodiscard]] std::size_t frame_body_size(const std::uint8_t* header);
+
+/// Jittered exponential dial backoff: attempt `attempt` (0-based) sleeps
+/// base 10ms << attempt, capped at 500ms, scaled by a deterministic jitter
+/// factor in [0.5, 1.0] derived from (jitter_seed, attempt) — so a fleet of
+/// reconnecting clients with distinct seeds never thundering-herds one
+/// listener, while any given schedule stays reproducible in tests.
+[[nodiscard]] std::chrono::milliseconds dial_backoff(std::size_t attempt,
+                                                     std::uint64_t jitter_seed);
 
 // ---------------------------------------------------------------------------
 // Sockets

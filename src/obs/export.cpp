@@ -319,6 +319,12 @@ JsonValue build_bench_json(const std::string& bench,
 
 JsonValue build_metrics_json(const MetricsRegistry& metrics,
                              const std::string& source) {
+  return build_metrics_json(std::vector<const MetricsRegistry*>{&metrics},
+                            source);
+}
+
+JsonValue build_metrics_json(const std::vector<const MetricsRegistry*>& views,
+                             const std::string& source) {
   JsonValue::Object steps;
   const auto step_object = [&](const std::string& step) -> JsonValue::Object& {
     JsonValue& slot = steps[step];
@@ -330,25 +336,41 @@ JsonValue build_metrics_json(const MetricsRegistry& metrics,
     return slot.as_object();
   };
 
+  // Fold every view first so a (step, op) or (step, phase) key appearing in
+  // several registries exports once: counters sum, histograms merge
+  // bucket-wise (pooled-sample percentiles, not averaged percentiles).
+  std::map<std::pair<std::string, Op>, std::uint64_t> counters;
+  std::map<std::pair<std::string, Phase>, HistogramSnapshot> latencies;
+  for (const MetricsRegistry* view : views) {
+    if (view == nullptr) continue;
+    for (const MetricsRegistry::Entry& e : view->entries()) {
+      counters[{e.step, e.op}] += e.count;
+    }
+    for (const MetricsRegistry::LatencyEntry& e : view->latencies()) {
+      latencies[{e.step, e.phase}].merge(e.hist);
+    }
+  }
+
   std::uint64_t total_ops = 0;
-  for (const MetricsRegistry::Entry& e : metrics.entries()) {
-    step_object(e.step)["ops"].as_object()[op_name(e.op)] = JsonValue(e.count);
-    total_ops += e.count;
+  for (const auto& [key, count] : counters) {
+    step_object(key.first)["ops"].as_object()[op_name(key.second)] =
+        JsonValue(count);
+    total_ops += count;
   }
 
   std::uint64_t total_samples = 0;
-  for (const MetricsRegistry::LatencyEntry& e : metrics.latencies()) {
+  for (const auto& [key, hist] : latencies) {
     JsonValue::Object summary;
-    summary["count"] = JsonValue(e.hist.count);
-    summary["min_ns"] = JsonValue(e.hist.min);
-    summary["max_ns"] = JsonValue(e.hist.max);
-    summary["mean_ns"] = JsonValue(e.hist.mean());
-    summary["p50_ns"] = JsonValue(e.hist.percentile(50.0));
-    summary["p90_ns"] = JsonValue(e.hist.percentile(90.0));
-    summary["p99_ns"] = JsonValue(e.hist.percentile(99.0));
-    step_object(e.step)["latency"].as_object()[phase_name(e.phase)] =
+    summary["count"] = JsonValue(hist.count);
+    summary["min_ns"] = JsonValue(hist.min);
+    summary["max_ns"] = JsonValue(hist.max);
+    summary["mean_ns"] = JsonValue(hist.mean());
+    summary["p50_ns"] = JsonValue(hist.percentile(50.0));
+    summary["p90_ns"] = JsonValue(hist.percentile(90.0));
+    summary["p99_ns"] = JsonValue(hist.percentile(99.0));
+    step_object(key.first)["latency"].as_object()[phase_name(key.second)] =
         JsonValue(std::move(summary));
-    total_samples += e.hist.count;
+    total_samples += hist.count;
   }
 
   JsonValue::Object root;
@@ -556,6 +578,62 @@ std::vector<std::string> validate_metrics_json(const JsonValue& v) {
   const JsonValue* totals = v.find("totals");
   require(problems, totals != nullptr && totals->is_object(),
           "missing or non-object \"totals\"");
+  return problems;
+}
+
+std::vector<std::string> validate_sessions_json(const JsonValue& v) {
+  std::vector<std::string> problems;
+  if (!v.is_object()) return {"document is not a JSON object"};
+  const JsonValue* schema = v.find("schema");
+  require(problems,
+          schema != nullptr && schema->is_string() &&
+              schema->as_string() == kSessionsSchema,
+          "\"schema\" is not \"pc-sessions-v1\"");
+  const JsonValue* source = v.find("source");
+  require(problems, source != nullptr && source->is_string(),
+          "missing or non-string \"source\"");
+  const JsonValue* active = v.find("active");
+  require(problems,
+          active != nullptr && active->is_number() && active->as_number() >= 0,
+          "missing or negative \"active\"");
+  const JsonValue* sessions = v.find("sessions");
+  require(problems, sessions != nullptr && sessions->is_array(),
+          "missing or non-array \"sessions\"");
+  if (sessions == nullptr || !sessions->is_array()) return problems;
+  std::size_t running = 0;
+  for (std::size_t i = 0; i < sessions->as_array().size(); ++i) {
+    const JsonValue& row = sessions->as_array()[i];
+    const std::string at = "sessions[" + std::to_string(i) + "]";
+    if (!row.is_object()) {
+      problems.push_back(at + " is not an object");
+      continue;
+    }
+    const JsonValue* id = row.find("id");
+    if (id == nullptr || !id->is_number() || id->as_number() < 0) {
+      problems.push_back(at + ": missing or bad \"id\"");
+    }
+    const JsonValue* state = row.find("state");
+    if (state == nullptr || !state->is_string() ||
+        (state->as_string() != "running" && state->as_string() != "done" &&
+         state->as_string() != "failed")) {
+      problems.push_back(at + ": \"state\" must be running|done|failed");
+    } else if (state->as_string() == "running") {
+      ++running;
+    }
+    const JsonValue* status = row.find("status");
+    if (status == nullptr || !status->is_string()) {
+      problems.push_back(at + ": missing or non-string \"status\"");
+    }
+    const JsonValue* elapsed = row.find("elapsed_ms");
+    if (elapsed == nullptr || !elapsed->is_number() ||
+        elapsed->as_number() < 0) {
+      problems.push_back(at + ": missing or bad \"elapsed_ms\"");
+    }
+  }
+  if (active != nullptr && active->is_number() &&
+      static_cast<std::size_t>(active->as_number()) != running) {
+    problems.push_back("\"active\" disagrees with the running rows");
+  }
   return problems;
 }
 

@@ -36,6 +36,7 @@ inline constexpr const char* kTraceSchema = "pc-trace-v1";
 inline constexpr const char* kBenchSchema = "pc-bench-v1";
 inline constexpr const char* kLintSchema = "pc-lint-v1";
 inline constexpr const char* kMetricsSchema = "pc-metrics-v1";
+inline constexpr const char* kSessionsSchema = "pc-sessions-v1";
 
 struct StepTraffic {
   std::uint64_t bytes = 0;
@@ -99,12 +100,28 @@ struct TraceProcess {
 [[nodiscard]] JsonValue build_metrics_json(const MetricsRegistry& metrics,
                                            const std::string& source = "");
 
+/// Aggregate "pc-metrics-v1" over several registries: op counters sum and
+/// latency histograms merge bucket-wise (HistogramSnapshot::merge), so the
+/// percentiles are those of the pooled samples, not an average of
+/// percentiles.  This is how a multi-session daemon reports one metrics
+/// document spanning its per-session registries (net/session/).  Null
+/// entries are skipped.
+[[nodiscard]] JsonValue build_metrics_json(
+    const std::vector<const MetricsRegistry*>& views,
+    const std::string& source = "");
+
 /// Schema validators; return a list of human-readable problems (empty ==
 /// valid).  Used by `pc_trace --check` and the obs unit tests.
 [[nodiscard]] std::vector<std::string> validate_trace_json(const JsonValue& v);
 [[nodiscard]] std::vector<std::string> validate_bench_json(const JsonValue& v);
 [[nodiscard]] std::vector<std::string> validate_lint_json(const JsonValue& v);
 [[nodiscard]] std::vector<std::string> validate_metrics_json(
+    const JsonValue& v);
+/// "pc-sessions-v1": a daemon's live session table — schema, source role,
+/// active count, and one row per session (id, state, status, label,
+/// elapsed_ms).  Produced in net/session (obs cannot depend on net);
+/// validated here so pc_trace --check and --live share one contract.
+[[nodiscard]] std::vector<std::string> validate_sessions_json(
     const JsonValue& v);
 
 /// Writes `text` to `path`, throwing std::runtime_error on I/O failure.

@@ -184,7 +184,8 @@ TEST(Tracer, ConcurrentThreadsShareOneSinkAndRegistry) {
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&sink, &reg, t] {
-      const std::string party = "P" + std::to_string(t);
+      std::string party = "P";
+      party += std::to_string(t);
       const ObserverScope scope(&sink, &reg, party);
       for (int i = 0; i < kIters; ++i) {
         const Span span("shared step");

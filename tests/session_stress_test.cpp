@@ -1,0 +1,154 @@
+// Thread-sanitizer stress for the session subsystem: a serving S1/S2 pair
+// churns through a batch of concurrent toy sessions while poller threads
+// hammer the live-introspection surfaces the admin channel serves —
+// sessions_json() and metrics_json() — so session open/teardown races
+// admin snapshots the whole time.  Every snapshot must validate against
+// its schema mid-churn; TSan (the session-smoke CI job builds this suite
+// with -fsanitize=thread) checks the locking those snapshots rely on.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+#include "net/message.h"
+#include "net/session/session_client.h"
+#include "net/session/session_server.h"
+#include "net/tcp_transport.h"
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace pcl {
+namespace {
+
+SessionServer::Program toy_server_program(const std::string& role,
+                                          std::size_t users) {
+  return [role, users](const SessionInfo&,
+                       Channel& chan) -> std::optional<int> {
+    std::int64_t sum = 0;
+    for (std::size_t u = 0; u < users; ++u) {
+      std::string user = "user:";
+      user += std::to_string(u);
+      MessageReader reader = chan.recv(user);
+      sum += static_cast<std::int64_t>(reader.read_u64());
+    }
+    if (role == "S2") {
+      MessageWriter writer;
+      writer.write_i64(sum);
+      chan.send("S1", std::move(writer));
+      return std::nullopt;
+    }
+    MessageReader from_s2 = chan.recv("S2");
+    const std::int64_t total = sum + from_s2.read_i64();
+    chan.post_public(total % 5);
+    return static_cast<int>(total % 5);
+  };
+}
+
+SessionClient::UserProgram toy_user_program() {
+  return [](const SessionInfo& info, const std::string& user, Channel& chan) {
+    const std::uint64_t value = info.seed * 31 + user.back();
+    for (const char* server : {"S1", "S2"}) {
+      MessageWriter writer;
+      writer.write_u64(value);
+      chan.send(server, std::move(writer));
+    }
+    (void)chan.await_public();
+  };
+}
+
+TEST(SessionStress, AdminSnapshotsStayValidWhileSessionsChurn) {
+  constexpr std::size_t kUsers = 2;
+  constexpr std::size_t kSessions = 24;
+
+  TcpListener s1_listener = TcpListener::bind("127.0.0.1", 0);
+  TcpListener s2_listener = TcpListener::bind("127.0.0.1", 0);
+  EndpointMap endpoints;
+  endpoints["S1"] = TcpEndpoint{"127.0.0.1", s1_listener.port()};
+  endpoints["S2"] = TcpEndpoint{"127.0.0.1", s2_listener.port()};
+  TcpTimeouts timeouts;
+  timeouts.connect = std::chrono::milliseconds(10000);
+  timeouts.accept = std::chrono::milliseconds(10000);
+  timeouts.recv = std::chrono::milliseconds(10000);
+  timeouts.send = std::chrono::milliseconds(10000);
+
+  const auto server_config = [&](const std::string& role) {
+    SessionServerConfig config;
+    config.role = role;
+    config.num_users = kUsers;
+    config.endpoints = endpoints;
+    config.timeouts = timeouts;
+    config.manager.max_sessions = 8;
+    config.manager.workers = 4;
+    return config;
+  };
+  SessionServer s1(server_config("S1"), toy_server_program("S1", kUsers));
+  SessionServer s2(server_config("S2"), toy_server_program("S2", kUsers));
+  std::thread s1_start(
+      [&s1, l = std::move(s1_listener)]() mutable { s1.start(std::move(l)); });
+  std::thread s2_start(
+      [&s2, l = std::move(s2_listener)]() mutable { s2.start(std::move(l)); });
+
+  SessionClientConfig ccfg;
+  ccfg.num_users = kUsers;
+  ccfg.endpoints = endpoints;
+  ccfg.timeouts = timeouts;
+  ccfg.max_in_flight = 8;
+  SessionClient client(ccfg, toy_user_program());
+  client.connect();
+  s1_start.join();
+  s2_start.join();
+
+  // Pollers: exactly what the admin channel serves on a live daemon, taken
+  // as fast as possible while sessions open and tear down underneath.
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> snapshots{0};
+  std::atomic<std::size_t> problems{0};
+  const auto poll = [&](SessionServer& server) {
+    while (!done) {
+      const std::string sessions_text = server.sessions_json();
+      const obs::JsonValue sessions_doc =
+          obs::JsonValue::parse(sessions_text);
+      if (!obs::validate_sessions_json(sessions_doc).empty()) ++problems;
+      const obs::JsonValue metrics_doc = server.metrics_json();
+      if (!obs::validate_metrics_json(metrics_doc).empty()) ++problems;
+      ++snapshots;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  std::thread poll_s1([&] { poll(s1); });
+  std::thread poll_s2([&] { poll(s2); });
+
+  std::vector<SessionSpec> specs;
+  for (std::uint32_t i = 1; i <= kSessions; ++i) {
+    SessionSpec spec;
+    spec.info.id = i;
+    spec.info.seed = 900 + i;
+    specs.push_back(spec);
+  }
+  const std::vector<SessionOutcome> outcomes = client.run(specs);
+
+  done = true;
+  poll_s1.join();
+  poll_s2.join();
+  client.close();
+  s1.drain_and_stop();
+  s2.drain_and_stop();
+
+  ASSERT_EQ(outcomes.size(), kSessions);
+  for (const SessionOutcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.ok) << "session " << outcome.info.id << ": "
+                            << outcome.status;
+  }
+  EXPECT_EQ(problems, 0u);
+  EXPECT_GT(snapshots, 0u) << "pollers never observed the daemons";
+}
+
+}  // namespace
+}  // namespace pcl

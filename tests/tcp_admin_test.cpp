@@ -95,13 +95,16 @@ TEST(AdminServer, ConcurrentClientsAllGetAnswers) {
   std::vector<std::string> got(kClients);
   for (int i = 0; i < kClients; ++i) {
     clients.emplace_back([&, i] {
-      got[static_cast<std::size_t>(i)] =
-          admin_request(ep, "c" + std::to_string(i), 10s);
+      std::string command = "c";
+      command += std::to_string(i);
+      got[static_cast<std::size_t>(i)] = admin_request(ep, command, 10s);
     });
   }
   for (std::thread& c : clients) c.join();
   for (int i = 0; i < kClients; ++i) {
-    EXPECT_EQ(got[static_cast<std::size_t>(i)], "c" + std::to_string(i));
+    std::string want = "c";
+    want += std::to_string(i);
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], want);
   }
 }
 

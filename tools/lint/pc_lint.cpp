@@ -314,14 +314,16 @@ void rule_direct_network_construction(const std::string& rel,
         out);
   }
   const bool tcp_owner = rel.rfind("src/net/tcp", 0) == 0 ||
+                         rel.rfind("src/net/session/", 0) == 0 ||
                          rel.rfind("tools/pc_party/", 0) == 0;
   if (force_in_scope ||
       ((rel.rfind("src/", 0) == 0 || rel.rfind("tools/", 0) == 0) &&
        !tcp_owner)) {
     flag_transport_constructions(
         rel, ft, kTcpTypes,
-        "only src/net/tcp* and tools/pc_party may build the TCP transport; "
-        "use run_parties(PartyTransport::kTcp) or the pc_party daemon",
+        "only src/net/tcp*, src/net/session/ and tools/pc_party may build "
+        "the TCP transport; use run_parties(PartyTransport::kTcp) or the "
+        "pc_party daemon",
         out);
   }
 }

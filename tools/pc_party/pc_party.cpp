@@ -37,6 +37,30 @@
 // endpoint to <out>/admin.txt, and with --linger-ms keeps serving after
 // the run until a quit command or the deadline.
 //
+// Serving mode (net/session/) turns the one-query process into a daemon:
+//
+//   pc_party --serve --role S1|S2 --endpoints hosts.txt [options]
+//     Multi-session server: a reactor thread owns every connection, a
+//     SessionManager admits SESSION_OPENs up to --max-sessions and runs
+//     each session's party program on a FIFO worker pool.  Sessions are
+//     independent seeded queries multiplexed over persistent session-tagged
+//     connections; per-session artifacts land as traffic-<role>-s<id>.json
+//     (plus trace-/flight- variants).  The admin endpoint (always mounted,
+//     --admin or ephemeral; published to <out>/admin-<role>.txt) serves
+//     "metrics" (aggregate pc-metrics-v1 across live sessions), "sessions"
+//     (the pc-sessions-v1 live table) and "quit" (drain-then-exit: stop
+//     admitting, finish active sessions, then leave).
+//
+//   pc_party --serve-all --sessions N [--fail-session K] [options]
+//     Serving-mode orchestrator: forks an S1 and an S2 daemon, drives N
+//     sessions from an in-process SessionClient, validates the daemons'
+//     live admin snapshots, quits both, and then replays every session's
+//     seed in-process to assert the per-session merged traffic is
+//     byte-identical to an isolated run (the ISSUE acceptance gate).
+//     --fail-session K abandons session K after opening it: the daemons'
+//     recv deadlines must fail exactly that session with a typed error
+//     (flight dumps written) while every other session stays byte-exact.
+//
 // Exit codes: 0 success, 2 usage, 3 typed transport failure (ChannelError),
 // 42 injected fault, 1 anything else.
 #include <signal.h>
@@ -62,6 +86,9 @@
 #include "bigint/rng.h"
 #include "mpc/consensus.h"
 #include "net/errors.h"
+#include "net/party_runner.h"
+#include "net/session/session_client.h"
+#include "net/session/session_server.h"
 #include "net/tcp_admin.h"
 #include "net/tcp_transport.h"
 #include "net/transport.h"
@@ -94,6 +121,13 @@ struct Options {
   long recv_timeout_ms = 15000;
   std::string admin;     ///< live-introspection endpoint, empty = off
   long linger_ms = 0;    ///< keep the admin endpoint up after the run
+  // Serving mode (net/session/).
+  bool serve = false;      ///< daemon: --role S1|S2 as a multi-session server
+  bool serve_all = false;  ///< orchestrator: fork both daemons, drive sessions
+  std::size_t sessions = 4;        ///< serve-all: sessions to drive
+  int fail_session = -1;           ///< serve-all: abandon session index K
+  std::size_t max_sessions = 8;    ///< per-daemon admission cap
+  std::size_t session_workers = 2; ///< per-daemon worker pool size
 };
 
 int usage(const char* argv0) {
@@ -101,6 +135,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --role <party> --endpoints <file> [options]\n"
       "       %s --all [--check-parity] [--fail-user K] [options]\n"
+      "       %s --serve --role S1|S2 --endpoints <file> [options]\n"
+      "       %s --serve-all --sessions N [--fail-session K] [options]\n"
       "\n"
       "  <party> is S1, S2 or user:K.  Every process of one run must get\n"
       "  identical option values (they derive the same keys and inputs).\n"
@@ -118,8 +154,15 @@ int usage(const char* argv0) {
       "                       in --all mode; port 0 = ephemeral, the bound\n"
       "                       endpoint is written to <out>/admin.txt)\n"
       "  --linger-ms M        with --admin: keep serving up to M ms after\n"
-      "                       the run until a quit command arrives\n",
-      argv0, argv0);
+      "                       the run until a quit command arrives\n"
+      "  --sessions N         serve-all: number of sessions to drive\n"
+      "                       (default 4)\n"
+      "  --fail-session K     serve-all: open session K, then abandon it\n"
+      "  --max-sessions N     serving: admission cap on concurrent sessions\n"
+      "                       (default 8; SESSION_REJECT \"busy\" beyond it)\n"
+      "  --session-workers N  serving: FIFO worker threads per daemon\n"
+      "                       (default 2)\n",
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -137,6 +180,23 @@ std::optional<Options> parse_args(int argc, char** argv) {
     const char* v = nullptr;
     if (std::strcmp(arg, "--all") == 0) {
       opt.all = true;
+    } else if (std::strcmp(arg, "--serve") == 0) {
+      opt.serve = true;
+    } else if (std::strcmp(arg, "--serve-all") == 0) {
+      opt.serve_all = true;
+    } else if (std::strcmp(arg, "--sessions") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.sessions = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--fail-session") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.fail_session = std::atoi(v);
+    } else if (std::strcmp(arg, "--max-sessions") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.max_sessions = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--session-workers") == 0) {
+      if ((v = need_value(i)) == nullptr) return std::nullopt;
+      opt.session_workers =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(arg, "--trace") == 0) {
       opt.trace = true;
     } else if (std::strcmp(arg, "--check-parity") == 0) {
@@ -182,8 +242,33 @@ std::optional<Options> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (opt.all == !opt.role.empty()) {
-    std::fprintf(stderr, "pc_party: need exactly one of --all / --role\n");
+  const int modes = (opt.all ? 1 : 0) + (opt.serve_all ? 1 : 0) +
+                    (opt.role.empty() ? 0 : 1);
+  if (modes != 1) {
+    std::fprintf(stderr,
+                 "pc_party: need exactly one of --all / --serve-all / "
+                 "--role\n");
+    return std::nullopt;
+  }
+  if (opt.serve && opt.role != "S1" && opt.role != "S2") {
+    std::fprintf(stderr, "pc_party: --serve needs --role S1 or S2\n");
+    return std::nullopt;
+  }
+  if (opt.serve_all && opt.sessions == 0) {
+    std::fprintf(stderr, "pc_party: --sessions must be >= 1\n");
+    return std::nullopt;
+  }
+  if (opt.fail_session >= 0 &&
+      (!opt.serve_all ||
+       static_cast<std::size_t>(opt.fail_session) >= opt.sessions)) {
+    std::fprintf(stderr,
+                 "pc_party: --fail-session needs --serve-all and K < N\n");
+    return std::nullopt;
+  }
+  if (opt.max_sessions == 0 || opt.session_workers == 0) {
+    std::fprintf(stderr,
+                 "pc_party: --max-sessions and --session-workers must be "
+                 ">= 1\n");
     return std::nullopt;
   }
   if (!opt.role.empty() && opt.endpoints_path.empty()) {
@@ -305,9 +390,9 @@ std::string flight_path(const Options& opt, const std::string& party) {
 /// One party's sent traffic + released label, as JSON.  Recorded at the
 /// sender only (like every transport), so the union of all parties' files
 /// is exactly the in-process TrafficStats table — the parity check's input.
-void write_traffic_json(const Options& opt, const std::string& party,
-                        const std::optional<int>& label,
-                        const pcl::TrafficStats& stats) {
+void write_traffic_json_file(const std::string& path, const std::string& party,
+                             const std::optional<int>& label,
+                             const pcl::TrafficStats& stats) {
   JsonValue::Array entries;
   for (const pcl::TrafficStats::Entry& e : stats.traffic_entries()) {
     JsonValue::Object row;
@@ -323,8 +408,13 @@ void write_traffic_json(const Options& opt, const std::string& party,
   doc["party"] = party;
   doc["label"] = label.has_value() ? JsonValue(*label) : JsonValue();
   doc["entries"] = std::move(entries);
-  pcl::obs::write_text_file(traffic_path(opt, party),
-                            JsonValue(std::move(doc)).dump(2) + "\n");
+  pcl::obs::write_text_file(path, JsonValue(std::move(doc)).dump(2) + "\n");
+}
+
+void write_traffic_json(const Options& opt, const std::string& party,
+                        const std::optional<int>& label,
+                        const pcl::TrafficStats& stats) {
+  write_traffic_json_file(traffic_path(opt, party), party, label, stats);
 }
 
 /// Runs one party program over TCP and writes its artifacts.  `listener`
@@ -439,6 +529,142 @@ int run_single(const Options& opt) {
       opt.role, opt.users, endpoints, timeouts_from(opt));
   return run_role(protocol, opt, opt.role, make_votes(opt), std::move(wiring),
                   pcl::TcpListener{}, false, true);
+}
+
+// ---------------------------------------------------------------------------
+// Serving mode (net/session/): one role as a multi-session daemon.
+
+/// "S1", 7 -> "S1-s7": the per-session artifact tag.
+std::string session_tag(const std::string& role, std::uint32_t session) {
+  std::string tag = role;
+  tag += "-s";
+  tag += std::to_string(session);
+  return tag;
+}
+
+/// Runs one server role as a session daemon until the admin quit handshake
+/// (or a generous deadline, so a wedged daemon exits instead of hanging).
+/// The protocol object is shared with the orchestrator parent via fork —
+/// the same one-keygen sharing the --all choreography uses.
+int serve_role(const pcl::ConsensusProtocol& protocol, const Options& opt,
+               const std::string& role,
+               const std::vector<std::vector<double>>& votes,
+               const pcl::EndpointMap& endpoints, pcl::TcpListener listener) {
+  pcl::SessionServerConfig cfg;
+  cfg.role = role;
+  cfg.num_users = opt.users;
+  cfg.endpoints = endpoints;
+  cfg.timeouts = timeouts_from(opt);
+  cfg.manager.max_sessions = opt.max_sessions;
+  cfg.manager.workers = opt.session_workers;
+  // The watchdog sits well past the recv deadline: it only catches a
+  // session that wedges while still trickling frames (a plain stall is the
+  // channel deadlines' job).
+  cfg.manager.session_deadline =
+      std::chrono::milliseconds(opt.recv_timeout_ms * 4);
+
+  // Layering: net/session cannot see mpc, so the daemon binds the consensus
+  // program here.  The session seed is the ONLY protocol input; the id just
+  // names the artifacts.
+  pcl::SessionServer::Program program =
+      [&protocol, &votes, role](const pcl::SessionInfo& info,
+                                pcl::Channel& chan) {
+        const pcl::ConsensusProtocol::SessionContext ctx{info.id, info.seed};
+        return protocol.run_party_session(role, votes, ctx, chan);
+      };
+  // Per-session artifacts, written on the worker thread at teardown from
+  // the session's PRIVATE observability — no cross-session filtering.
+  pcl::SessionServer::CloseSink sink =
+      [&opt, role](const pcl::SessionRecord& rec, pcl::SessionObs& obs) {
+        const std::string tag = session_tag(role, rec.info.id);
+        try {
+          write_traffic_json_file(opt.out_dir + "/traffic-" + tag + ".json",
+                                  role, rec.label, obs.traffic);
+          const pcl::obs::TraceProcess process{tag, trace_pid(role, opt.users)};
+          if (opt.trace) {
+            const JsonValue doc = pcl::obs::build_trace_json(
+                obs.trace, obs.traffic.by_step(), &obs.metrics, &process);
+            pcl::obs::write_text_file(opt.out_dir + "/trace-" + tag + ".json",
+                                      doc.dump(2) + "\n");
+          }
+          if (rec.state == pcl::SessionState::kFailed && !obs.flight.empty()) {
+            const JsonValue doc = pcl::obs::build_trace_json(
+                obs.flight, obs.traffic.by_step(), &obs.metrics, &process);
+            pcl::obs::write_text_file(opt.out_dir + "/flight-" + tag + ".json",
+                                      doc.dump(2) + "\n");
+            std::fprintf(stderr,
+                         "pc_party[%s]: session %u failed (%s); flight "
+                         "recorder dumped\n",
+                         role.c_str(), rec.info.id, rec.status.c_str());
+          }
+        } catch (const std::exception& err) {
+          std::fprintf(stderr, "pc_party[%s]: session %u artifact write "
+                               "failed: %s\n",
+                       role.c_str(), rec.info.id, err.what());
+        }
+      };
+  pcl::SessionServer server(std::move(cfg), std::move(program),
+                            std::move(sink));
+
+  // The admin endpoint is mandatory in serving mode — it carries the
+  // drain-then-exit quit handshake; without --admin it binds ephemerally.
+  const pcl::TcpEndpoint admin_endpoint =
+      pcl::parse_admin_endpoint(opt.admin.empty() ? "127.0.0.1:0" : opt.admin);
+  pcl::AdminServer admin(
+      admin_endpoint, [&server](const std::string& command) -> std::string {
+        if (command == "metrics") return server.metrics_json().dump(2) + "\n";
+        if (command == "sessions") return server.sessions_json();
+        if (command == "quit") return "bye";
+        throw std::runtime_error("unknown admin command: " + command);
+      });
+  pcl::obs::write_text_file(
+      opt.out_dir + "/admin-" + role + ".txt",
+      admin_endpoint.host + ":" + std::to_string(admin.port()) + "\n");
+
+  try {
+    server.start(std::move(listener));
+  } catch (const pcl::ChannelError& err) {
+    std::fprintf(stderr, "pc_party[%s]: serve handshake failed: %s\n",
+                 role.c_str(), err.what());
+    return 3;
+  }
+  const std::uint64_t deadline_ns =
+      pcl::obs::monotonic_time_ns() +
+      static_cast<std::uint64_t>(opt.recv_timeout_ms) * 3'000'000ull +
+      60'000'000'000ull +
+      static_cast<std::uint64_t>(opt.linger_ms) * 1'000'000ull;
+  while (!admin.quit_requested() &&
+         pcl::obs::monotonic_time_ns() < deadline_ns) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const bool quit = admin.quit_requested();
+  if (!quit) {
+    std::fprintf(stderr, "pc_party[%s]: serve deadline expired without a "
+                         "quit command\n",
+                 role.c_str());
+  }
+  server.drain_and_stop();
+  // Post-drain summary artifacts: the aggregate metrics (every session's
+  // latency folded in) and the final session table outlive the daemon.
+  try {
+    pcl::obs::write_text_file(opt.out_dir + "/metrics-" + role + ".json",
+                              server.metrics_json().dump(2) + "\n");
+    pcl::obs::write_text_file(opt.out_dir + "/sessions-" + role + ".json",
+                              server.sessions_json());
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "pc_party[%s]: summary artifact write failed: %s\n",
+                 role.c_str(), err.what());
+  }
+  return quit ? 0 : 1;
+}
+
+int run_serve(const Options& opt) {
+  const pcl::EndpointMap endpoints =
+      pcl::parse_endpoint_map(pcl::obs::read_text_file(opt.endpoints_path));
+  pcl::DeterministicRng keygen(opt.keygen_seed);
+  const pcl::ConsensusProtocol protocol(make_config(opt), keygen);
+  return serve_role(protocol, opt, opt.role, make_votes(opt), endpoints,
+                    pcl::TcpListener{});
 }
 
 // ---------------------------------------------------------------------------
@@ -728,6 +954,311 @@ int run_all(const Options& opt) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --serve-all orchestrator
+
+/// Replays session `seed` in-process and asserts the daemons' per-session
+/// traffic files plus the client's user-side rows merge byte-identically.
+/// This is run_all's parity gate, once per session: interleaving N sessions
+/// over shared connections must not change a single session's bytes.
+int check_session_parity(pcl::ConsensusProtocol& protocol, const Options& opt,
+                         const std::vector<std::vector<double>>& votes,
+                         const pcl::SessionOutcome& outcome) {
+  protocol.stats().clear();
+  const auto reference = protocol.run_query_seeded(
+      votes, outcome.info.seed, pcl::ConsensusTransport::kInProcess);
+  const std::vector<pcl::TrafficStats::Entry> expect =
+      protocol.stats().traffic_entries();
+
+  std::vector<pcl::TrafficStats::Entry> got;
+  std::optional<int> s1_label;
+  for (const char* role : {"S1", "S2"}) {
+    const std::string path = opt.out_dir + "/traffic-" +
+                             session_tag(role, outcome.info.id) + ".json";
+    const std::optional<int> label = load_traffic_json(path, got);
+    if (std::strcmp(role, "S1") == 0) s1_label = label;
+  }
+  for (const pcl::TrafficStats::Entry& e : outcome.traffic->traffic_entries()) {
+    got.push_back(e);
+  }
+  const auto by_key = [](const pcl::TrafficStats::Entry& a,
+                         const pcl::TrafficStats::Entry& b) {
+    return std::tie(a.step, a.from, a.to) < std::tie(b.step, b.from, b.to);
+  };
+  std::sort(got.begin(), got.end(), by_key);
+
+  int failures = 0;
+  if (reference.label != outcome.label || reference.label != s1_label) {
+    std::fprintf(
+        stderr, "session %u parity: label mismatch (in-process %s, "
+                "client %s, S1 file %s)\n",
+        outcome.info.id,
+        reference.label ? std::to_string(*reference.label).c_str() : "bot",
+        outcome.label ? std::to_string(*outcome.label).c_str() : "bot",
+        s1_label ? std::to_string(*s1_label).c_str() : "bot");
+    ++failures;
+  }
+  if (expect.size() != got.size()) {
+    std::fprintf(stderr,
+                 "session %u parity: %zu traffic rows in-process vs %zu "
+                 "merged\n",
+                 outcome.info.id, expect.size(), got.size());
+    ++failures;
+  }
+  for (std::size_t i = 0; i < expect.size() && i < got.size(); ++i) {
+    if (expect[i] == got[i]) continue;
+    std::fprintf(stderr,
+                 "session %u parity: row %zu differs:\n"
+                 "  in-process  %s %s->%s bytes=%zu msgs=%zu\n"
+                 "  serve-mode  %s %s->%s bytes=%zu msgs=%zu\n",
+                 outcome.info.id, i, expect[i].step.c_str(),
+                 expect[i].from.c_str(), expect[i].to.c_str(),
+                 expect[i].bytes, expect[i].messages, got[i].step.c_str(),
+                 got[i].from.c_str(), got[i].to.c_str(), got[i].bytes,
+                 got[i].messages);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+/// Fetches and schema-validates one daemon's live admin snapshots, then
+/// sends the quit command.  Returns the number of problems found.
+int quit_daemon(const Options& opt, const std::string& role) {
+  int problems = 0;
+  std::string endpoint_text;
+  try {
+    endpoint_text =
+        pcl::obs::read_text_file(opt.out_dir + "/admin-" + role + ".txt");
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "pc_party: no admin endpoint for %s: %s\n",
+                 role.c_str(), err.what());
+    return 1;
+  }
+  while (!endpoint_text.empty() &&
+         (endpoint_text.back() == '\n' || endpoint_text.back() == '\r')) {
+    endpoint_text.pop_back();
+  }
+  try {
+    const pcl::TcpEndpoint endpoint = pcl::parse_admin_endpoint(endpoint_text);
+    // The daemon is still alive here: these are LIVE snapshots, the same
+    // path `pc_trace --live` polls, validated against their schemas.
+    const JsonValue sessions =
+        JsonValue::parse(pcl::admin_request(endpoint, "sessions"));
+    for (const std::string& problem :
+         pcl::obs::validate_sessions_json(sessions)) {
+      std::fprintf(stderr, "pc_party: %s sessions snapshot: %s\n",
+                   role.c_str(), problem.c_str());
+      ++problems;
+    }
+    const JsonValue metrics =
+        JsonValue::parse(pcl::admin_request(endpoint, "metrics"));
+    for (const std::string& problem :
+         pcl::obs::validate_metrics_json(metrics)) {
+      std::fprintf(stderr, "pc_party: %s metrics snapshot: %s\n", role.c_str(),
+                   problem.c_str());
+      ++problems;
+    }
+    (void)pcl::admin_request(endpoint, "quit");
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "pc_party: admin handshake with %s failed: %s\n",
+                 role.c_str(), err.what());
+    ++problems;
+  }
+  return problems;
+}
+
+int run_serve_all(const Options& opt) {
+  const std::vector<std::vector<double>> votes = make_votes(opt);
+
+  pcl::TcpListener s1_listener = pcl::TcpListener::bind("127.0.0.1", 0);
+  pcl::TcpListener s2_listener = pcl::TcpListener::bind("127.0.0.1", 0);
+  pcl::EndpointMap endpoints;
+  endpoints["S1"] = pcl::TcpEndpoint{"127.0.0.1", s1_listener.port()};
+  endpoints["S2"] = pcl::TcpEndpoint{"127.0.0.1", s2_listener.port()};
+  pcl::obs::write_text_file(opt.out_dir + "/endpoints.txt",
+                            pcl::format_endpoint_map(endpoints));
+
+  // One keygen, shared with both daemons through fork (run_all's trick).
+  pcl::DeterministicRng keygen(opt.keygen_seed);
+  pcl::ConsensusProtocol protocol(make_config(opt), keygen);
+
+  std::map<std::string, ChildResult> children;
+  for (const std::string role : {"S1", "S2"}) {
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("pc_party: fork");
+      for (auto& [r, c] : children) kill(c.pid, SIGKILL);
+      return 1;
+    }
+    if (pid == 0) {
+      pcl::TcpListener mine =
+          role == "S1" ? std::move(s1_listener) : std::move(s2_listener);
+      if (role != "S1") s1_listener.close();
+      if (role != "S2") s2_listener.close();
+      int code = 1;
+      try {
+        code = serve_role(protocol, opt, role, votes, endpoints,
+                          std::move(mine));
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "pc_party[%s]: fatal: %s\n", role.c_str(),
+                     err.what());
+      }
+      std::fflush(nullptr);
+      _exit(code);
+    }
+    children[role] = ChildResult{pid, -1, false, false};
+  }
+  s1_listener.close();
+  s2_listener.close();
+
+  // The session client runs IN the orchestrator: its per-session traffic
+  // rows feed the parity gate directly, no artifact round-trip.
+  const std::uint64_t start_ns = pcl::obs::monotonic_time_ns();
+  std::vector<pcl::SessionSpec> specs;
+  for (std::size_t i = 0; i < opt.sessions; ++i) {
+    pcl::SessionSpec spec;
+    spec.info.id = static_cast<std::uint32_t>(i + 1);
+    spec.info.seed = pcl::derive_party_seed(opt.seed, i);
+    spec.run_users = static_cast<int>(i) != opt.fail_session;
+    specs.push_back(spec);
+  }
+  std::vector<pcl::SessionOutcome> outcomes;
+  int code = 0;
+  try {
+    pcl::SessionClientConfig ccfg;
+    ccfg.num_users = opt.users;
+    ccfg.endpoints = endpoints;
+    ccfg.timeouts = timeouts_from(opt);
+    ccfg.max_in_flight = std::min<std::size_t>(opt.max_sessions, 4);
+    ccfg.open_budget = std::chrono::milliseconds(opt.recv_timeout_ms);
+    pcl::SessionClient client(
+        ccfg, [&protocol, &votes](const pcl::SessionInfo& info,
+                                  const std::string& user, pcl::Channel& chan) {
+          const pcl::ConsensusProtocol::SessionContext ctx{info.id, info.seed};
+          (void)protocol.run_party_session(user, votes, ctx, chan);
+        });
+    client.connect();
+    outcomes = client.run(specs);
+    client.close();
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "pc_party: session client failed: %s\n", err.what());
+    code = 1;
+  }
+
+  // Live snapshots + the drain-then-exit quit handshake, then reap.
+  for (const std::string role : {"S1", "S2"}) {
+    if (quit_daemon(opt, role) != 0) code = 1;
+  }
+  const std::uint64_t reap_deadline_ns =
+      pcl::obs::monotonic_time_ns() +
+      static_cast<std::uint64_t>(opt.recv_timeout_ms) * 3'000'000ull +
+      60'000'000'000ull;
+  std::size_t live = children.size();
+  while (live > 0) {
+    for (auto& [role, child] : children) {
+      if (child.reaped) continue;
+      int status = 0;
+      const pid_t r = waitpid(child.pid, &status, WNOHANG);
+      if (r == 0) continue;
+      child.reaped = true;
+      --live;
+      if (r < 0) {
+        child.code = 1;
+      } else if (WIFEXITED(status)) {
+        child.code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        child.code = 128 + WTERMSIG(status);
+      }
+    }
+    if (live == 0) break;
+    if (pcl::obs::monotonic_time_ns() > reap_deadline_ns) {
+      for (auto& [role, child] : children) {
+        if (child.reaped) continue;
+        kill(child.pid, SIGKILL);
+        child.killed = true;
+        int status = 0;
+        waitpid(child.pid, &status, 0);
+        child.reaped = true;
+        child.code = 128 + SIGKILL;
+      }
+      live = 0;
+      std::fprintf(stderr, "pc_party: FAIL: daemons missed the reap "
+                           "deadline\n");
+      code = 1;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const double elapsed_ms =
+      static_cast<double>(pcl::obs::monotonic_time_ns() - start_ns) / 1e6;
+  for (const auto& [role, child] : children) {
+    std::printf("pc_party: serve %-3s pid %d exit %d%s\n", role.c_str(),
+                static_cast<int>(child.pid), child.code,
+                child.killed ? " (killed on deadline)" : "");
+    if (child.code != 0) code = 1;
+  }
+
+  // Per-session verdicts: the abandoned session (if any) must fail TYPED on
+  // both daemons and dump flight records; every other session must be ok
+  // and byte-identical to its isolated in-process replay.
+  std::size_t parity_ok = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const pcl::SessionOutcome& outcome = outcomes[i];
+    if (static_cast<int>(i) == opt.fail_session) {
+      if (outcome.ok || outcome.status.rfind("error", 0) != 0) {
+        std::fprintf(stderr,
+                     "pc_party: FAIL: abandoned session %u reported '%s', "
+                     "expected a typed error\n",
+                     outcome.info.id, outcome.status.c_str());
+        code = 1;
+      }
+      for (const char* role : {"S1", "S2"}) {
+        const std::string path = opt.out_dir + "/flight-" +
+                                 session_tag(role, outcome.info.id) + ".json";
+        try {
+          (void)pcl::obs::read_text_file(path);
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "pc_party: FAIL: missing flight dump %s\n",
+                       path.c_str());
+          code = 1;
+        }
+      }
+      continue;
+    }
+    if (!outcome.ok) {
+      std::fprintf(stderr, "pc_party: FAIL: session %u: %s\n", outcome.info.id,
+                   outcome.status.c_str());
+      code = 1;
+      continue;
+    }
+    if (check_session_parity(protocol, opt, votes, outcome) != 0) {
+      code = 1;
+    } else {
+      ++parity_ok;
+    }
+  }
+  if (outcomes.size() != opt.sessions) {
+    std::fprintf(stderr, "pc_party: FAIL: drove %zu sessions, expected %zu\n",
+                 outcomes.size(), opt.sessions);
+    code = 1;
+  }
+  if (code == 0) {
+    if (opt.fail_session >= 0) {
+      std::printf(
+          "serve-all OK: session %d failed typed and isolated, %zu/%zu "
+          "neighbors byte-identical, %.0f ms\n",
+          opt.fail_session + 1, parity_ok, opt.sessions - 1, elapsed_ms);
+    } else {
+      std::printf(
+          "serve-all OK: %zu/%zu sessions byte-identical to isolated "
+          "replays, %.0f ms\n",
+          parity_ok, opt.sessions, elapsed_ms);
+    }
+  }
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -741,6 +1272,8 @@ int main(int argc, char** argv) {
   // bounded struct copy per closed span.
   pcl::obs::FlightRecorder::enable();
   try {
+    if (opt->serve_all) return run_serve_all(*opt);
+    if (opt->serve) return run_serve(*opt);
     return opt->all ? run_all(*opt) : run_single(*opt);
   } catch (const std::exception& err) {
     std::fprintf(stderr, "pc_party: %s\n", err.what());

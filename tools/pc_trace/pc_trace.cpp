@@ -269,11 +269,15 @@ int check_one(const std::string& path) {
                schema->as_string() == pcl::obs::kMetricsSchema) {
       kind = pcl::obs::kMetricsSchema;
       problems = pcl::obs::validate_metrics_json(doc);
+    } else if (schema != nullptr && schema->is_string() &&
+               schema->as_string() == pcl::obs::kSessionsSchema) {
+      kind = pcl::obs::kSessionsSchema;
+      problems = pcl::obs::validate_sessions_json(doc);
     } else {
       kind = "unknown";
       problems.emplace_back(
           "no recognizable schema (expected pc-trace-v1, pc-bench-v1, "
-          "pc-lint-v1 or pc-metrics-v1)");
+          "pc-lint-v1, pc-metrics-v1 or pc-sessions-v1)");
     }
   } catch (const std::invalid_argument&) {
     // Not a single JSON document: try JSONL (metrics dump).
@@ -408,6 +412,60 @@ int live(const std::string& endpoint_text, const std::string& out_path) {
   return 0;
 }
 
+/// Renders one pc-sessions-v1 document as the daemon's session table.
+void print_sessions(const JsonValue& doc) {
+  const JsonValue* source = doc.find("source");
+  const JsonValue* active = doc.find("active");
+  std::printf("pc-sessions-v1%s%s (%.0f active)\n",
+              source != nullptr && source->is_string() ? " from " : "",
+              source != nullptr && source->is_string()
+                  ? source->as_string().c_str()
+                  : "",
+              active != nullptr && active->is_number() ? active->as_number()
+                                                       : 0.0);
+  std::printf("%6s  %-8s %6s %12s  %s\n", "id", "state", "label",
+              "elapsed ms", "status");
+  std::size_t rows = 0;
+  for (const JsonValue& row : doc.find("sessions")->as_array()) {
+    const JsonValue* label = row.find("label");
+    const std::string label_text =
+        label != nullptr && label->is_number()
+            ? std::to_string(static_cast<int>(label->as_number()))
+            : "bot";
+    std::printf("%6.0f  %-8s %6s %12.0f  %s\n",
+                row.find("id")->as_number(),
+                row.find("state")->as_string().c_str(), label_text.c_str(),
+                row.find("elapsed_ms")->as_number(),
+                row.find("status")->as_string().c_str());
+    ++rows;
+  }
+  if (rows == 0) std::printf("(no sessions yet)\n");
+}
+
+/// Fetches the live session table from a serving pc_party daemon
+/// (net/session/), validates it, renders it, and optionally saves the raw
+/// JSON.  Only multi-session daemons answer "sessions"; a plain --all
+/// daemon serves metrics only.
+int live_sessions(const std::string& endpoint_text,
+                  const std::string& out_path) {
+  const pcl::TcpEndpoint endpoint = pcl::parse_admin_endpoint(endpoint_text);
+  const std::string body = pcl::admin_request(endpoint, "sessions");
+  const JsonValue doc = JsonValue::parse(body);
+  const std::vector<std::string> problems =
+      pcl::obs::validate_sessions_json(doc);
+  if (!problems.empty()) {
+    std::fprintf(stderr, "%s: served an invalid pc-sessions-v1 snapshot:\n",
+                 endpoint_text.c_str());
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "  - %s\n", p.c_str());
+    }
+    return 1;
+  }
+  if (!out_path.empty()) pcl::obs::write_text_file(out_path, body);
+  print_sessions(doc);
+  return 0;
+}
+
 int quit_daemon(const std::string& endpoint_text) {
   (void)pcl::admin_request(pcl::parse_admin_endpoint(endpoint_text), "quit");
   std::printf("%s: quit acknowledged\n", endpoint_text.c_str());
@@ -502,9 +560,10 @@ int usage(const char* argv0) {
       "       %s --check <file>...       validate trace/bench/"
       "lint/metrics files\n"
       "       %s --merge <out> <in>...   merge per-process traces\n"
-      "       %s --live <host:port> [--out FILE]\n"
-      "                                  fetch a live pc-metrics-v1 "
-      "snapshot\n"
+      "       %s --live <host:port> [--sessions] [--out FILE]\n"
+      "                                  fetch a live pc-metrics-v1 snapshot\n"
+      "                                  (--sessions: the pc-sessions-v1\n"
+      "                                  session table of a serving daemon)\n"
       "       %s --quit <host:port>      stop a lingering daemon\n"
       "       %s --diff <old> <new> [--tolerance PCT] [--wall]\n"
       "                                  compare pc-bench-v1 cost records\n",
@@ -528,10 +587,20 @@ int main(int argc, char** argv) {
                    std::vector<std::string>(argv + 3, argv + argc));
     }
     if (argc >= 2 && std::strcmp(argv[1], "--live") == 0) {
-      if (argc != 3 && !(argc == 5 && std::strcmp(argv[3], "--out") == 0)) {
-        return usage(argv[0]);
+      if (argc < 3) return usage(argv[0]);
+      bool sessions = false;
+      std::string out_path;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sessions") == 0) {
+          sessions = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else {
+          return usage(argv[0]);
+        }
       }
-      return live(argv[2], argc == 5 ? argv[4] : "");
+      return sessions ? live_sessions(argv[2], out_path)
+                      : live(argv[2], out_path);
     }
     if (argc >= 2 && std::strcmp(argv[1], "--quit") == 0) {
       if (argc != 3) return usage(argv[0]);
