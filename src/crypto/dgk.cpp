@@ -58,6 +58,21 @@ DgkCiphertext DgkPublicKey::encrypt(std::uint64_t m, Rng& rng) const {
   return encrypt(BigInt(m), rng);
 }
 
+BigInt DgkPublicKey::randomizer_power(Rng& rng) const {
+  const BigInt r = rng.random_bits(randomizer_bits_);
+  return ctx_pow(mont_n_, h_, r, n_);
+}
+
+DgkCiphertext DgkPublicKey::encrypt_with_power(const BigInt& m,
+                                               const BigInt& h_to_r) const {
+  if (m.is_negative() || m >= u_) {
+    throw std::invalid_argument("DGK plaintext outside [0, u)");
+  }
+  obs::count(obs::Op::kDgkEncrypt);
+  const BigInt gm = ctx_pow(mont_n_, g_, m, n_);
+  return {ctx_mul(mont_n_, gm, h_to_r, n_)};
+}
+
 DgkCiphertext DgkPublicKey::add(const DgkCiphertext& c1,
                                 const DgkCiphertext& c2) const {
   return {ctx_mul(mont_n_, c1.value, c2.value, n_)};

@@ -56,6 +56,18 @@ class DgkPublicKey {
   [[nodiscard]] DgkCiphertext encrypt(const BigInt& m, Rng& rng) const;
   [[nodiscard]] DgkCiphertext encrypt(std::uint64_t m, Rng& rng) const;
 
+  /// The input-independent part of one encryption: h^r mod n with r drawn
+  /// exactly as encrypt() draws it.  Precomputable offline (DESIGN.md §15);
+  /// encrypt(m, rng) == encrypt_with_power(m, randomizer_power(rng)) bit
+  /// for bit with identical Rng consumption.
+  [[nodiscard]] BigInt randomizer_power(Rng& rng) const;
+  /// The online part: g^m * h_to_r mod n.  The exponent m is tiny in the
+  /// comparison protocol (a few bits), so this is a handful of modmuls
+  /// instead of the full randomizer_bits-wide exponentiation.  Counts
+  /// kDgkEncrypt.
+  [[nodiscard]] DgkCiphertext encrypt_with_power(const BigInt& m,
+                                                 const BigInt& h_to_r) const;
+
   /// E[m1 + m2 mod u].
   [[nodiscard]] DgkCiphertext add(const DgkCiphertext& c1,
                                   const DgkCiphertext& c2) const;

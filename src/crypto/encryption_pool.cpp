@@ -43,7 +43,10 @@ PaillierRandomizerPool::PaillierRandomizerPool(const PaillierPublicKey& pk,
                                                std::size_t capacity,
                                                std::size_t threads,
                                                std::uint64_t seed)
-    : pk_(pk), seed_(seed), randomizer_powers_(capacity) {
+    : pk_(pk),
+      seed_(seed),
+      randomizer_powers_(capacity),
+      fallback_rng_(seed ^ 0xd6e8feb86659fd93ull) {
   parallel_chunks(capacity, threads,
                   [&](std::size_t t, std::size_t begin, std::size_t end) {
                     DeterministicRng rng(seed ^ (0x9e3779b97f4a7c15ull * (t + 1)));
@@ -87,15 +90,26 @@ std::size_t PaillierRandomizerPool::remaining() const {
   return randomizer_powers_.size();
 }
 
+std::uint64_t PaillierRandomizerPool::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
 PaillierCiphertext PaillierRandomizerPool::encrypt(const BigInt& m) {
   BigInt power;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (randomizer_powers_.empty()) {
-      throw std::runtime_error("PaillierRandomizerPool exhausted");
+      // Exhaustion fall-through: generate inline from the dedicated
+      // fallback stream instead of throwing, and count the miss so an
+      // operator can see online-path degradation in the metrics.
+      obs::count(obs::Op::kPoolMiss);
+      ++misses_;
+      power = make_randomizer_power(pk_, fallback_rng_);
+    } else {
+      power = std::move(randomizer_powers_.back());
+      randomizer_powers_.pop_back();
     }
-    power = std::move(randomizer_powers_.back());
-    randomizer_powers_.pop_back();
   }
   // c = (1 + m*n) * r^n mod n^2 — the pooled power replaces the pow_mod,
   // and the key-attached context's mul_mod (fixed-limb CIOS at protocol

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "bigint/rng.h"
 #include "crypto/paillier.h"
 
 namespace pcl {
@@ -47,8 +48,16 @@ class PaillierRandomizerPool {
   void refill(std::size_t count, std::size_t threads);
 
   /// Encrypts using one pooled randomizer (one modular multiplication).
-  /// Throws std::runtime_error when the pool is exhausted.
+  /// When the pool is exhausted it falls through to generating a fresh
+  /// randomizer inline — counted as obs::Op::kPoolMiss, never throwing —
+  /// so long serving runs degrade to fresh-encryption speed instead of
+  /// dying mid-protocol.  Misses draw from a dedicated fallback RNG stream
+  /// (salted from the construction seed), so they never replay a pooled
+  /// or refilled randomizer.
   [[nodiscard]] PaillierCiphertext encrypt(const BigInt& m);
+
+  /// Pool misses since construction (draws served by inline generation).
+  [[nodiscard]] std::uint64_t misses() const;
 
   /// Pool-backed batch encryption; consumes values.size() randomizers.
   [[nodiscard]] std::vector<PaillierCiphertext> encrypt_batch(
@@ -58,8 +67,10 @@ class PaillierRandomizerPool {
   const PaillierPublicKey pk_;
   const std::uint64_t seed_;
   std::uint64_t generation_ = 0;  // bumped per refill for fresh RNG streams
+  std::uint64_t misses_ = 0;      // draws served by inline generation
   mutable std::mutex mutex_;
   std::vector<BigInt> randomizer_powers_;  // r^n mod n^2, consumed from back
+  DeterministicRng fallback_rng_;  // exhaustion fall-through stream
 };
 
 /// Encrypts `values` with `threads` workers, each using an independent RNG

@@ -1,0 +1,141 @@
+#include "crypto/packing.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace pcl {
+
+namespace {
+
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t bits = 0;
+  std::size_t v = 1;
+  while (v < n) {
+    v <<= 1U;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+PackingLayout make_packing_layout(std::size_t num_values,
+                                  std::size_t value_bits,
+                                  std::size_t max_addends,
+                                  std::size_t plaintext_bits) {
+  if (num_values == 0) throw std::invalid_argument("packing: no values");
+  if (value_bits < 2 || value_bits > 62) {
+    throw std::invalid_argument("packing: value_bits must lie in [2, 62]");
+  }
+  if (max_addends == 0) throw std::invalid_argument("packing: no addends");
+  PackingLayout layout;
+  layout.num_values = num_values;
+  layout.value_bits = value_bits;
+  layout.max_addends = max_addends;
+  layout.slot_bits = value_bits + ceil_log2(max_addends);
+  if (layout.slot_bits > 62 || layout.slot_bits > plaintext_bits) {
+    throw std::invalid_argument(
+        "packing: slot of " + std::to_string(layout.slot_bits) +
+        " bits does not fit a plaintext of " +
+        std::to_string(plaintext_bits) + " usable bits");
+  }
+  layout.slots_per_ct = std::min(num_values, plaintext_bits / layout.slot_bits);
+  layout.num_cts =
+      (num_values + layout.slots_per_ct - 1) / layout.slots_per_ct;
+  layout.bias = std::int64_t{1} << (value_bits - 1);
+  return layout;
+}
+
+std::vector<BigInt> pack_values(const PackingLayout& layout,
+                                const std::vector<std::int64_t>& values,
+                                std::size_t addend_count) {
+  if (values.size() != layout.num_values) {
+    throw std::invalid_argument("pack_values: wrong vector length");
+  }
+  if (addend_count == 0 || addend_count > layout.max_addends) {
+    throw std::out_of_range("pack_values: addend_count outside headroom");
+  }
+  const std::int64_t offset =
+      static_cast<std::int64_t>(addend_count) * layout.bias;
+  const std::int64_t slot_limit = std::int64_t{1}
+                                  << static_cast<unsigned>(layout.slot_bits);
+  std::vector<BigInt> out;
+  out.reserve(layout.num_cts);
+  for (std::size_t ct = 0; ct < layout.num_cts; ++ct) {
+    BigInt packed(0);
+    const std::size_t begin = ct * layout.slots_per_ct;
+    const std::size_t end =
+        std::min(layout.num_values, begin + layout.slots_per_ct);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::int64_t slot = values[i] + offset;
+      if (slot < 0 || slot >= slot_limit) {
+        throw std::out_of_range("pack_values: slot " + std::to_string(i) +
+                                " outside [0, 2^slot_bits)");
+      }
+      packed += BigInt(slot) << ((i - begin) * layout.slot_bits);
+    }
+    out.push_back(std::move(packed));
+  }
+  return out;
+}
+
+std::vector<BigInt> pack_delta(const PackingLayout& layout,
+                               const std::vector<std::int64_t>& values) {
+  if (values.size() != layout.num_values) {
+    throw std::invalid_argument("pack_delta: wrong vector length");
+  }
+  std::vector<BigInt> out;
+  out.reserve(layout.num_cts);
+  for (std::size_t ct = 0; ct < layout.num_cts; ++ct) {
+    BigInt packed(0);
+    const std::size_t begin = ct * layout.slots_per_ct;
+    const std::size_t end =
+        std::min(layout.num_values, begin + layout.slots_per_ct);
+    for (std::size_t i = begin; i < end; ++i) {
+      packed += BigInt(values[i]) << ((i - begin) * layout.slot_bits);
+    }
+    out.push_back(std::move(packed));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> unpack_values(const PackingLayout& layout,
+                                        const std::vector<BigInt>& plaintexts,
+                                        std::size_t addend_count) {
+  if (plaintexts.size() != layout.num_cts) {
+    throw std::invalid_argument("unpack_values: wrong ciphertext count");
+  }
+  if (addend_count == 0 || addend_count > layout.max_addends) {
+    throw std::invalid_argument("unpack_values: addend_count outside headroom");
+  }
+  const std::int64_t offset =
+      static_cast<std::int64_t>(addend_count) * layout.bias;
+  const BigInt slot_mask =
+      (BigInt(1) << layout.slot_bits) - BigInt(1);
+  std::vector<std::int64_t> out;
+  out.reserve(layout.num_values);
+  for (std::size_t ct = 0; ct < layout.num_cts; ++ct) {
+    const std::size_t begin = ct * layout.slots_per_ct;
+    const std::size_t end =
+        std::min(layout.num_values, begin + layout.slots_per_ct);
+    BigInt rest = plaintexts[ct];
+    if (rest.is_negative()) {
+      throw std::invalid_argument("unpack_values: negative plaintext");
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      const BigInt slot = rest.mod(slot_mask + BigInt(1));
+      rest >>= layout.slot_bits;
+      if (!slot.fits_int64()) {
+        throw std::invalid_argument("unpack_values: slot overflow");
+      }
+      out.push_back(slot.to_int64() - offset);
+    }
+    if (!rest.is_zero()) {
+      throw std::invalid_argument(
+          "unpack_values: plaintext wider than the layout");
+    }
+  }
+  return out;
+}
+
+}  // namespace pcl

@@ -1,0 +1,85 @@
+// Paillier plaintext packing for secure-sum (DESIGN.md §15).
+//
+// A Paillier plaintext modulus of `paillier_bits` bits can carry many
+// small signed values at once: lay the L per-label counts out in fixed
+// slot positions, give every slot enough headroom for the additions the
+// protocol will perform, and one homomorphic add then sums ALL labels
+// slot-wise.  Secure-sum's per-user submission drops from L ciphertexts
+// to ceil(L / slots_per_ct), and the servers aggregate, blind and mask
+// packed ciphertexts until the first decrypt unpacks them.
+//
+// Encoding.  Signed values are stored biased: slot i of a packed
+// plaintext holds  v_i + addend_count * bias  with bias = 2^(value_bits-1),
+// so every slot stays non-negative and slot-wise sums never borrow into a
+// neighbor.  Summing c packed plaintexts (each packed with addend_count 1)
+// yields a plaintext packed with addend_count c; unpack() subtracts
+// addend_count * bias per slot.  Each slot is slot_bits =
+// value_bits + ceil_log2(max_addends) wide, so max_addends biased values
+// can pile into a slot without overflowing into the next — the headroom
+// that makes homomorphic summation exact.
+//
+// The layout is pure arithmetic over BigInt plaintexts: it knows nothing
+// about keys.  Callers encrypt packed plaintexts like any other message
+// (they always lie in [0, 2^(usable plaintext bits)) ⊂ [0, n)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace pcl {
+
+/// One packing geometry, shared by every party of a query.  All fields are
+/// public parameters (derived from L, U and the key size); nothing here is
+/// secret.
+struct PackingLayout {
+  std::size_t num_values = 0;    ///< L: values per logical vector
+  std::size_t value_bits = 0;    ///< signed range: |v| < 2^(value_bits-1)
+  std::size_t slot_bits = 0;     ///< value_bits + ceil_log2(max_addends)
+  std::size_t slots_per_ct = 0;  ///< plaintext_bits / slot_bits (>= 1)
+  std::size_t num_cts = 0;       ///< ceil(num_values / slots_per_ct)
+  std::size_t max_addends = 0;   ///< headroom: summable packed plaintexts
+  std::int64_t bias = 0;         ///< 2^(value_bits-1), added per addend
+
+  friend bool operator==(const PackingLayout&, const PackingLayout&) = default;
+};
+
+/// Computes the layout for packing `num_values` signed values of range
+/// |v| < 2^(value_bits-1) into plaintexts of `plaintext_bits` usable bits,
+/// with headroom for summing up to `max_addends` packed plaintexts.
+/// Throws std::invalid_argument when a single slot does not fit the
+/// plaintext (packing then degenerates below one value per ciphertext).
+[[nodiscard]] PackingLayout make_packing_layout(std::size_t num_values,
+                                                std::size_t value_bits,
+                                                std::size_t max_addends,
+                                                std::size_t plaintext_bits);
+
+/// Packs `values` (length layout.num_values) into layout.num_cts plaintexts,
+/// encoding each slot as v + addend_count * bias.  A fresh single-party
+/// contribution packs with addend_count 1; a value that is already the sum
+/// of c logical contributions packs with addend_count c.  Throws
+/// std::out_of_range when a biased slot leaves [0, 2^slot_bits) — the
+/// headroom boundary — or when addend_count exceeds layout.max_addends.
+[[nodiscard]] std::vector<BigInt> pack_values(
+    const PackingLayout& layout, const std::vector<std::int64_t>& values,
+    std::size_t addend_count = 1);
+
+/// Packs `values` WITHOUT the per-slot bias — the additive-delta encoding.
+/// The result may be a negative BigInt; adding it (numerically, or
+/// homomorphically via a Paillier plaintext composition) to a plaintext
+/// packed with addend_count c yields the plaintext that packs
+/// values + base with the same addend_count, because per-slot sums stay
+/// inside [0, 2^slot_bits) whenever the biased operand has the headroom.
+[[nodiscard]] std::vector<BigInt> pack_delta(
+    const PackingLayout& layout, const std::vector<std::int64_t>& values);
+
+/// Reverses pack_values on plaintexts that accumulated `addend_count`
+/// packed contributions: reads each slot and subtracts
+/// addend_count * bias.  Throws std::invalid_argument on a plaintext
+/// vector of the wrong length or a slot outside the representable range.
+[[nodiscard]] std::vector<std::int64_t> unpack_values(
+    const PackingLayout& layout, const std::vector<BigInt>& plaintexts,
+    std::size_t addend_count);
+
+}  // namespace pcl

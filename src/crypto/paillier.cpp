@@ -59,6 +59,30 @@ PaillierCiphertext PaillierPublicKey::encrypt(const BigInt& m,
   return encrypt_with_randomness(m, r);
 }
 
+BigInt PaillierPublicKey::randomizer_power(Rng& rng) const {
+  // The exact draw schedule of encrypt(), so a precomputed power replays
+  // the same Rng positions the inline path would consume.
+  BigInt r = rng.uniform_in(BigInt(1), n_ - BigInt(1));
+  while (BigInt::gcd(r, n_) != BigInt(1)) {
+    r = rng.uniform_in(BigInt(1), n_ - BigInt(1));
+  }
+  return ctx_pow(mont_n_squared_, r, n_, n_squared_);
+}
+
+PaillierCiphertext PaillierPublicKey::encrypt_with_power(
+    const BigInt& m, const BigInt& r_to_n) const {
+  obs::count(obs::Op::kPaillierEncrypt);
+  const BigInt g_to_m = (BigInt(1) + m.mod(n_) * n_).mod(n_squared_);
+  return {ctx_mul(mont_n_squared_, g_to_m, r_to_n, n_squared_)};
+}
+
+PaillierCiphertext PaillierPublicKey::compose_plain(
+    const PaillierCiphertext& c, const BigInt& delta) const {
+  obs::count(obs::Op::kPaillierAdd);
+  const BigInt g_to_d = (BigInt(1) + delta.mod(n_) * n_).mod(n_squared_);
+  return {ctx_mul(mont_n_squared_, c.value, g_to_d, n_squared_)};
+}
+
 PaillierCiphertext PaillierPublicKey::add(const PaillierCiphertext& c1,
                                           const PaillierCiphertext& c2) const {
   obs::count(obs::Op::kPaillierAdd);

@@ -49,6 +49,24 @@ class PaillierPublicKey {
   [[nodiscard]] PaillierCiphertext encrypt_with_randomness(
       const BigInt& m, const BigInt& r) const;
 
+  /// The expensive, input-INDEPENDENT part of one encryption: draws r
+  /// exactly as encrypt() would from `rng` and returns r^n mod n^2.  The
+  /// offline/online split (DESIGN.md §15) precomputes these during idle
+  /// time; encrypt(m, rng) == encrypt_with_power(m, randomizer_power(rng))
+  /// bit for bit, with identical Rng consumption.
+  [[nodiscard]] BigInt randomizer_power(Rng& rng) const;
+  /// The cheap, online part: (1 + m*n) * r_to_n mod n^2 — two modular
+  /// multiplications instead of a modular exponentiation.  Counts
+  /// kPaillierEncrypt (it completes one logical encryption).
+  [[nodiscard]] PaillierCiphertext encrypt_with_power(
+      const BigInt& m, const BigInt& r_to_n) const;
+  /// Homomorphically adds a plaintext delta WITHOUT fresh randomness:
+  /// c * (1 + delta*n) mod n^2 encrypts m + delta under c's randomizer.
+  /// Only sound where c's randomizer is itself fresh for this use (the
+  /// noise-bank composition and packed-delta strips); counts kPaillierAdd.
+  [[nodiscard]] PaillierCiphertext compose_plain(const PaillierCiphertext& c,
+                                                 const BigInt& delta) const;
+
   /// E[m1 + m2] = E[m1] * E[m2] mod n^2  (paper Eq. 1).
   [[nodiscard]] PaillierCiphertext add(const PaillierCiphertext& c1,
                                        const PaillierCiphertext& c2) const;

@@ -33,6 +33,15 @@ std::size_t validated_length(std::size_t k) {
   return k;
 }
 
+/// Holds are k per-label ciphertexts unpacked, layout.num_cts packed.
+void validate_holds(std::size_t holds, std::size_t k,
+                    const PackingLayout* packing) {
+  const std::size_t want = packing != nullptr ? packing->num_cts : k;
+  if (holds != want) {
+    throw std::invalid_argument("BlindPermute: sequence length mismatch");
+  }
+}
+
 }  // namespace
 
 ServerPaillierKeys generate_server_paillier_keys(std::size_t key_bits,
@@ -45,13 +54,26 @@ ServerPaillierKeys generate_server_paillier_keys(std::size_t key_bits,
 
 BlindPermuteS1::BlindPermuteS1(const PaillierKeyPair& own,
                                const PaillierPublicKey& peer_pk, std::size_t k,
-                               std::size_t mask_bits, Rng& rng)
+                               std::size_t mask_bits, Rng& rng,
+                               const PackingLayout* packing,
+                               std::size_t packed_addends,
+                               const PartyPrecompute* pre)
     : own_(own),
       peer_pk_(peer_pk),
       k_(validated_length(k)),
       mask_bits_(mask_bits),
       rng_(rng),
-      pi_(Permutation::random(k, rng)) {}
+      packing_(packing),
+      packed_addends_(packed_addends),
+      own_stream_(pre != nullptr ? pre->powers_pk1 : nullptr),
+      peer_stream_(pre != nullptr ? pre->powers_pk2 : nullptr),
+      pi_(Permutation::random(k, rng)) {
+  if (packing != nullptr &&
+      (packing->num_values != k || packed_addends == 0 ||
+       packed_addends > packing->max_addends)) {
+    throw std::invalid_argument("BlindPermute: packing layout mismatch");
+  }
+}
 
 std::vector<std::int64_t> BlindPermuteS1::run(
     Channel& chan, const std::vector<PaillierCiphertext>& holds,
@@ -67,9 +89,7 @@ std::vector<std::int64_t> BlindPermuteS1::run(
 
 MessageWriter BlindPermuteS1::round_open(
     const std::vector<PaillierCiphertext>& holds, BlindPermuteMaskMode mode) {
-  if (holds.size() != k_) {
-    throw std::invalid_argument("BlindPermute: sequence length mismatch");
-  }
+  validate_holds(holds.size(), k_, packing_);
   obs::count(obs::Op::kBlindPermuteRound);
   // Masks are drawn fresh per round; the permutation persists for the
   // session.
@@ -78,8 +98,16 @@ MessageWriter BlindPermuteS1::round_open(
 
   // -- Step 1: E_pk2[a + r1]. ------------------------------------------------
   MessageWriter msg;
-  write_ciphertext_vector(msg, add_plain_vector(peer_pk_, holds, round_r1_,
-                                                rng_));
+  if (packing_ != nullptr) {
+    // Packed: r1 rides as a plaintext composition — num_cts ciphertexts on
+    // the wire and one modmul each, no fresh randomness.
+    write_ciphertext_vector(
+        msg, add_packed_delta(peer_pk_, *packing_, holds, round_r1_));
+  } else {
+    write_ciphertext_vector(msg, add_plain_vector_pooled(peer_pk_, holds,
+                                                         round_r1_, rng_,
+                                                         peer_stream_));
+  }
   return msg;
 }
 
@@ -91,7 +119,23 @@ MessageWriter BlindPermuteS1::round_permute(MessageReader& msg,
       mode_ == BlindPermuteMaskMode::kOppositeSign ? negated(round_r1_)
                                                    : round_r1_;
   MessageWriter mask_msg;
-  write_ciphertext_vector(mask_msg, encrypt_vector(own_.pk, signed_r1, rng_));
+  if (packing_ != nullptr) {
+    // Packed: S2 piggybacked its own aggregate E_pk1[b + u2] (packed) on
+    // the slot-2 reply.  Decrypt it with our own key and return the k
+    // per-label ciphertexts E_pk1[b + u2 ± r1] the unpacked slot would
+    // carry — from here on the two modes share a wire format.  u2 is S2's
+    // fresh mask, so the plaintexts are blinded shares to us.
+    const std::vector<PaillierCiphertext> piggyback =
+        read_ciphertext_vector(msg);
+    std::vector<std::int64_t> masked_b =
+        decrypt_packed_vector(own_.sk, *packing_, piggyback, packed_addends_);
+    for (std::size_t i = 0; i < k_; ++i) masked_b[i] += signed_r1[i];
+    write_ciphertext_vector(
+        mask_msg, encrypt_vector_pooled(own_.pk, masked_b, rng_, own_stream_));
+  } else {
+    write_ciphertext_vector(
+        mask_msg, encrypt_vector_pooled(own_.pk, signed_r1, rng_, own_stream_));
+  }
   return mask_msg;
 }
 
@@ -102,7 +146,7 @@ MessageWriter BlindPermuteS1::round_close(MessageReader& msg) {
   const std::vector<PaillierCiphertext> enc_neg_r3 =
       read_ciphertext_vector(msg);
   std::vector<PaillierCiphertext> reenc =
-      encrypt_vector(peer_pk_, blinded, rng_);
+      encrypt_vector_pooled(peer_pk_, blinded, rng_, peer_stream_);
   reenc = add_vectors(peer_pk_, reenc, enc_neg_r3);
   reenc = pi_.apply(reenc);
   MessageWriter reply;
@@ -127,7 +171,8 @@ MessageWriter BlindPermuteS1::restore_mask(MessageReader& msg) {
   std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
   seq = pi_.apply_inverse(seq);
   restore_r1_ = random_mask_vector(k_, mask_bits_, rng_);
-  seq = add_plain_vector(peer_pk_, seq, restore_r1_, rng_);
+  seq = add_plain_vector_pooled(peer_pk_, seq, restore_r1_, rng_,
+                                peer_stream_);
   MessageWriter reply;
   write_ciphertext_vector(reply, seq);
   return reply;
@@ -138,7 +183,9 @@ MessageWriter BlindPermuteS1::restore_strip(MessageReader& msg) {
   std::vector<std::int64_t> seq = msg.read_i64_vector();
   for (std::size_t i = 0; i < k_; ++i) seq[i] -= restore_r1_[i];
   MessageWriter reply;
-  write_ciphertext_vector(reply, encrypt_vector(own_.pk, seq, rng_));
+  write_ciphertext_vector(reply,
+                          encrypt_vector_pooled(own_.pk, seq, rng_,
+                                                own_stream_));
   return reply;
 }
 
@@ -161,32 +208,49 @@ std::size_t BlindPermuteS1::restore_index(MessageReader& msg) {
 
 BlindPermuteS2::BlindPermuteS2(const PaillierKeyPair& own,
                                const PaillierPublicKey& peer_pk, std::size_t k,
-                               std::size_t mask_bits, Rng& rng)
+                               std::size_t mask_bits, Rng& rng,
+                               const PackingLayout* packing,
+                               std::size_t packed_addends,
+                               const PartyPrecompute* pre)
     : own_(own),
       peer_pk_(peer_pk),
       k_(validated_length(k)),
       mask_bits_(mask_bits),
       rng_(rng),
-      pi_(Permutation::random(k, rng)) {}
+      packing_(packing),
+      packed_addends_(packed_addends),
+      own_stream_(pre != nullptr ? pre->powers_pk2 : nullptr),
+      peer_stream_(pre != nullptr ? pre->powers_pk1 : nullptr),
+      pi_(Permutation::random(k, rng)) {
+  if (packing != nullptr &&
+      (packing->num_values != k || packed_addends == 0 ||
+       packed_addends > packing->max_addends)) {
+    throw std::invalid_argument("BlindPermute: packing layout mismatch");
+  }
+}
 
 std::vector<std::int64_t> BlindPermuteS2::run(
     Channel& chan, const std::vector<PaillierCiphertext>& holds,
     BlindPermuteMaskMode mode) {
-  if (holds.size() != k_) {
-    throw std::invalid_argument("BlindPermute: sequence length mismatch");
-  }
+  validate_holds(holds.size(), k_, packing_);
   MessageReader masked = chan.recv("S1");
-  chan.send("S1", round_permute(masked));
+  chan.send("S1", round_permute(masked, holds));
   MessageReader enc_mask = chan.recv("S1");
   chan.send("S1", round_blind(enc_mask, holds, mode));
   MessageReader sealed = chan.recv("S1");
   return round_output(sealed);
 }
 
-MessageWriter BlindPermuteS2::round_permute(MessageReader& msg) {
+MessageWriter BlindPermuteS2::round_permute(
+    MessageReader& msg, const std::vector<PaillierCiphertext>& holds) {
   // -- Step 2: decrypt, add r2, permute with pi2, return plaintext. ----------
-  std::vector<std::int64_t> seq =
-      decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+  std::vector<std::int64_t> seq;
+  if (packing_ != nullptr) {
+    seq = decrypt_packed_vector(own_.sk, *packing_, read_ciphertext_vector(msg),
+                                packed_addends_);
+  } else {
+    seq = decrypt_vector(own_.sk, read_ciphertext_vector(msg));
+  }
   round_r2_ = random_mask_vector(k_, mask_bits_, rng_);
   for (std::size_t i = 0; i < k_; ++i) seq[i] += round_r2_[i];
   const std::vector<std::int64_t> permuted = pi_.apply(seq);
@@ -195,29 +259,50 @@ MessageWriter BlindPermuteS2::round_permute(MessageReader& msg) {
   // sequence is re-permuted by pi2, so S1 sees uniformly blinded values in
   // an order it cannot invert.
   reply.write_i64_vector(pc_declassify(permuted));
+  if (packing_ != nullptr) {
+    // Packed: piggyback this round's own aggregate, masked with a fresh u2,
+    // so S1's slot 3 can convert it to per-label ciphertexts (S1 only ever
+    // sees b + u2).  One plaintext composition per packed ciphertext.
+    validate_holds(holds.size(), k_, packing_);
+    round_u2_ = random_mask_vector(k_, mask_bits_, rng_);
+    write_ciphertext_vector(
+        reply, add_packed_delta(peer_pk_, *packing_, holds, round_u2_));
+  }
   return reply;
 }
 
 MessageWriter BlindPermuteS2::round_blind(
     MessageReader& msg, const std::vector<PaillierCiphertext>& holds,
     BlindPermuteMaskMode mode) {
-  if (holds.size() != k_) {
-    throw std::invalid_argument("BlindPermute: sequence length mismatch");
-  }
   // -- Step 4: E_pk1[b ± r1 ± r2], permute by pi2, blind with r3. ------------
   const std::vector<PaillierCiphertext> enc_r1 = read_ciphertext_vector(msg);
-  std::vector<PaillierCiphertext> seq = add_vectors(peer_pk_, holds, enc_r1);
+  std::vector<PaillierCiphertext> seq;
   const std::vector<std::int64_t> signed_r2 =
       mode == BlindPermuteMaskMode::kOppositeSign ? negated(round_r2_)
                                                   : round_r2_;
-  seq = add_plain_vector(peer_pk_, seq, signed_r2, rng_);
+  if (packing_ != nullptr) {
+    // Packed: enc_r1 is already E_pk1[b + u2 ± r1]; strip u2 while the
+    // ±r2 mask goes on.
+    if (enc_r1.size() != k_) {
+      throw std::invalid_argument("BlindPermute: sequence length mismatch");
+    }
+    std::vector<std::int64_t> delta(k_);
+    for (std::size_t i = 0; i < k_; ++i) delta[i] = signed_r2[i] - round_u2_[i];
+    seq = add_plain_vector_pooled(peer_pk_, enc_r1, delta, rng_, peer_stream_);
+  } else {
+    validate_holds(holds.size(), k_, packing_);
+    seq = add_vectors(peer_pk_, holds, enc_r1);
+    seq = add_plain_vector_pooled(peer_pk_, seq, signed_r2, rng_,
+                                  peer_stream_);
+  }
   seq = pi_.apply(seq);
   const std::vector<std::int64_t> r3 =
       random_mask_vector(k_, mask_bits_, rng_);
-  seq = add_plain_vector(peer_pk_, seq, r3, rng_);
+  seq = add_plain_vector_pooled(peer_pk_, seq, r3, rng_, peer_stream_);
   MessageWriter reply;
   write_ciphertext_vector(reply, seq);
-  write_ciphertext_vector(reply, encrypt_vector(own_.pk, negated(r3), rng_));
+  write_ciphertext_vector(
+      reply, encrypt_vector_pooled(own_.pk, negated(r3), rng_, own_stream_));
   return reply;
 }
 
@@ -247,7 +332,8 @@ MessageWriter BlindPermuteS2::restore_open(std::size_t permuted_index) {
   std::vector<std::int64_t> onehot(k_, 0);
   onehot[permuted_index] = 1;
   MessageWriter msg;
-  write_ciphertext_vector(msg, encrypt_vector(own_.pk, onehot, rng_));
+  write_ciphertext_vector(
+      msg, encrypt_vector_pooled(own_.pk, onehot, rng_, own_stream_));
   return msg;
 }
 
@@ -267,7 +353,8 @@ MessageWriter BlindPermuteS2::restore_unpermute(MessageReader& msg) {
   std::vector<PaillierCiphertext> seq = read_ciphertext_vector(msg);
   seq = pi_.apply_inverse(seq);
   restore_r2_ = random_mask_vector(k_, mask_bits_, rng_);
-  seq = add_plain_vector(peer_pk_, seq, restore_r2_, rng_);
+  seq = add_plain_vector_pooled(peer_pk_, seq, restore_r2_, rng_,
+                                peer_stream_);
   MessageWriter reply;
   write_ciphertext_vector(reply, seq);
   return reply;

@@ -23,12 +23,23 @@
 // pairs (the vote sequence and the threshold sequence must stay aligned)
 // and so Restoration can unwind it afterwards.  BlindPermuteSession is the
 // synchronous reference driver pairing both roles over a `Network`.
+// Packed lanes (DESIGN.md §15): when both roles are constructed with the
+// same PackingLayout, the held aggregates are layout.num_cts packed
+// ciphertexts instead of k.  The first two slots then carry packed
+// payloads (S1's masked aggregate; S2 piggybacks its own masked aggregate
+// on the slot-2 reply so S1 can turn it into per-label ciphertexts), and
+// from slot 3 on the wire format matches the unpacked protocol exactly —
+// the permutation always acts on k per-label values, never on packed
+// slots.  Mask cancellation is unchanged: S1 still ends with pi(a + r) and
+// S2 with pi(b ± r).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "crypto/packing.h"
 #include "crypto/paillier.h"
+#include "mpc/party_precompute.h"
 #include "mpc/permutation.h"
 #include "net/channel.h"
 #include "net/transport.h"
@@ -53,9 +64,15 @@ enum class BlindPermuteMaskMode { kOppositeSign, kSameSign };
 /// S1's half of Alg. 2 / Alg. 3.  Draws and retains the private pi1.
 class BlindPermuteS1 {
  public:
-  /// `own` is S1's key pair, `peer_pk` is S2's public key.
+  /// `own` is S1's key pair, `peer_pk` is S2's public key.  With `packing`
+  /// non-null the held aggregates are packed (`packed_addends` logical
+  /// contributions per slot); `pre` optionally routes encryption
+  /// randomizers through precompute streams (null members = fresh mode).
   BlindPermuteS1(const PaillierKeyPair& own, const PaillierPublicKey& peer_pk,
-                 std::size_t k, std::size_t mask_bits, Rng& rng);
+                 std::size_t k, std::size_t mask_bits, Rng& rng,
+                 const PackingLayout* packing = nullptr,
+                 std::size_t packed_addends = 0,
+                 const PartyPrecompute* pre = nullptr);
 
   /// Alg. 2 on one sequence pair (fresh masks, persistent pi1): returns
   /// pi(a + r), known to S1 only.
@@ -73,11 +90,14 @@ class BlindPermuteS1 {
   // precisely what the sequential protocol exchanges at that boundary, so
   // per-lane bytes and Rng draws match the sequential run bit for bit.
 
-  /// Slot 1 (S1 -> S2): draws this round's r1, returns E_pk2[a + r1].
+  /// Slot 1 (S1 -> S2): draws this round's r1, returns E_pk2[a + r1]
+  /// (packed mode: layout.num_cts ciphertexts, r1 composed plaintext-side).
   [[nodiscard]] MessageWriter round_open(
       const std::vector<PaillierCiphertext>& holds, BlindPermuteMaskMode mode);
   /// Slot 3: absorbs S2's permuted plaintexts into `out_seq` = pi(a + r),
-  /// returns E_pk1[±r1].
+  /// returns E_pk1[±r1].  Packed mode: also decrypts S2's piggybacked
+  /// packed aggregate E_pk1[b + u2] and returns E_pk1[b + u2 ± r1] — the
+  /// same k ciphertexts under pk1 the unpacked slot carries.
   [[nodiscard]] MessageWriter round_permute(MessageReader& msg,
                                             std::vector<std::int64_t>& out_seq);
   /// Slot 5: decrypts S2's blinded sequence, re-encrypts under pk2, strips
@@ -101,6 +121,10 @@ class BlindPermuteS1 {
   std::size_t k_;
   std::size_t mask_bits_;
   Rng& rng_;
+  const PackingLayout* packing_;
+  std::size_t packed_addends_;
+  PaillierPowerStream* own_stream_;   // powers for pk1 (own key)
+  PaillierPowerStream* peer_stream_;  // powers for pk2 (peer key)
   Permutation pi_;
   BlindPermuteMaskMode mode_ = BlindPermuteMaskMode::kOppositeSign;
   std::vector<std::int64_t> round_r1_;    // current Alg. 2 round's mask
@@ -110,9 +134,13 @@ class BlindPermuteS1 {
 /// S2's half of Alg. 2 / Alg. 3.  Draws and retains the private pi2.
 class BlindPermuteS2 {
  public:
-  /// `own` is S2's key pair, `peer_pk` is S1's public key.
+  /// `own` is S2's key pair, `peer_pk` is S1's public key.  Packing and
+  /// precompute parameters mirror BlindPermuteS1.
   BlindPermuteS2(const PaillierKeyPair& own, const PaillierPublicKey& peer_pk,
-                 std::size_t k, std::size_t mask_bits, Rng& rng);
+                 std::size_t k, std::size_t mask_bits, Rng& rng,
+                 const PackingLayout* packing = nullptr,
+                 std::size_t packed_addends = 0,
+                 const PartyPrecompute* pre = nullptr);
 
   /// Alg. 2: returns pi(b ± r), known to S2 only.
   [[nodiscard]] std::vector<std::int64_t> run(
@@ -127,10 +155,16 @@ class BlindPermuteS2 {
   // Mirror of BlindPermuteS1's halves; see the comment there.
 
   /// Slot 2: decrypts S1's masked sequence, adds a fresh r2, permutes with
-  /// pi2, returns the plaintexts.
-  [[nodiscard]] MessageWriter round_permute(MessageReader& msg);
+  /// pi2, returns the plaintexts.  Packed mode: the decrypt unpacks
+  /// layout.num_cts ciphertexts, and the reply piggybacks E_pk1[b + u2]
+  /// (this round's packed own-aggregate under a fresh mask u2), which is
+  /// why `holds` is a parameter of this slot.  Unpacked mode ignores it.
+  [[nodiscard]] MessageWriter round_permute(
+      MessageReader& msg, const std::vector<PaillierCiphertext>& holds);
   /// Slot 4: forms E_pk1[b ± r1 ± r2], permutes by pi2, blinds with r3;
-  /// returns [sequence, E_pk2[-r3]].
+  /// returns [sequence, E_pk2[-r3]].  Packed mode: S1's reply already
+  /// carries E_pk1[b + u2 ± r1], so this slot strips u2 while adding ±r2
+  /// and ignores `holds`.
   [[nodiscard]] MessageWriter round_blind(
       MessageReader& msg, const std::vector<PaillierCiphertext>& holds,
       BlindPermuteMaskMode mode);
@@ -156,8 +190,13 @@ class BlindPermuteS2 {
   std::size_t k_;
   std::size_t mask_bits_;
   Rng& rng_;
+  const PackingLayout* packing_;
+  std::size_t packed_addends_;
+  PaillierPowerStream* own_stream_;   // powers for pk2 (own key)
+  PaillierPowerStream* peer_stream_;  // powers for pk1 (peer key)
   Permutation pi_;
   std::vector<std::int64_t> round_r2_;    // current Alg. 2 round's mask
+  std::vector<std::int64_t> round_u2_;    // packed mode: piggyback mask
   std::vector<std::int64_t> restore_r2_;  // current Alg. 3 mask
 };
 

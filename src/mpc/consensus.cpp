@@ -161,11 +161,25 @@ std::vector<ConsensusProtocol::QueryResult> ConsensusProtocol::run_batch_seeded(
     return seeds;
   };
 
+  // Lane q's precompute streams are EXACTLY the ones a sequential pooled
+  // run of query q would register: party_precompute(party, lane_seeds[q]).
+  const auto party_lane_pre = [&](const std::string& party) {
+    std::vector<PartyPrecompute> pres;
+    if (config_.precompute == nullptr) return pres;
+    pres.reserve(q_total);
+    for (std::size_t q = 0; q < q_total; ++q) {
+      pres.push_back(party_precompute(party, lane_seeds[q]));
+    }
+    return pres;
+  };
+
   LanePool& pool = LanePool::shared();
   ConsensusS1BatchProgram s1(params, paillier_.s1, paillier_.s2.pk, dgk_.pk,
-                             party_lane_seeds(0), &pool);
+                             party_lane_seeds(0), &pool,
+                             party_lane_pre("S1"));
   ConsensusS2BatchProgram s2(params, paillier_.s2, paillier_.s1.pk, dgk_,
-                             party_lane_seeds(1), &pool);
+                             party_lane_seeds(1), &pool,
+                             party_lane_pre("S2"));
   std::vector<ConsensusUserBatchProgram> users;
   users.reserve(n_users);
   for (std::size_t u = 0; u < n_users; ++u) {
@@ -183,7 +197,8 @@ std::vector<ConsensusProtocol::QueryResult> ConsensusProtocol::run_batch_seeded(
       });
     }
     users.emplace_back(params, std::move(lane_inputs), paillier_.s1.pk,
-                       paillier_.s2.pk, party_lane_seeds(2 + u), &pool);
+                       paillier_.s2.pk, party_lane_seeds(2 + u), &pool,
+                       party_lane_pre("user:" + std::to_string(u)));
   }
 
   std::vector<std::optional<std::size_t>> s1_labels, s2_labels;
@@ -288,15 +303,69 @@ ConsensusProtocol::QueryPlan ConsensusProtocol::make_plan(
   plan.t_a = split_offsets(t_fixed / 2);
   plan.t_b = split_offsets(t_fixed - t_fixed / 2);
 
-  plan.params = ConsensusQueryParams{
-      k,
-      n_users,
-      config_.share_bits,
-      config_.compare_bits,
-      config_.threshold_check_all_positions,
-      config_.argmax_strategy,
-  };
+  plan.params.num_classes = k;
+  plan.params.num_users = n_users;
+  plan.params.share_bits = config_.share_bits;
+  plan.params.compare_bits = config_.compare_bits;
+  plan.params.threshold_check_all_positions =
+      config_.threshold_check_all_positions;
+  plan.params.argmax_strategy = config_.argmax_strategy;
+  if (config_.pack_secure_sum) {
+    // Slot geometry (DESIGN.md §15): |a-share| <= 2^share_bits but a
+    // b-share may reach 2^share_bits + |vote|, so values need
+    // share_bits + 3 bits of signed headroom; every aggregate absorbs at
+    // most num_users + 1 logical additions (the submissions plus one mask
+    // composition); and two plaintext bits stay free so the biased packed
+    // value decodes as a positive residue.
+    plan.params.packed = true;
+    plan.params.packing =
+        make_packing_layout(k, config_.share_bits + 3, n_users + 1,
+                            config_.paillier_bits - 2);
+  }
   return plan;
+}
+
+PartyPrecompute ConsensusProtocol::party_precompute(const std::string& party,
+                                                    std::uint64_t seed) const {
+  PartyPrecompute pre;
+  PrecomputeService* svc = config_.precompute;
+  if (svc == nullptr) return pre;
+  std::size_t index = 0;
+  bool is_server = false;
+  if (party == "S1") {
+    index = 0;
+    is_server = true;
+  } else if (party == "S2") {
+    index = 1;
+    is_server = true;
+  } else {
+    bool found = false;
+    for (std::size_t u = 0; u < config_.num_users; ++u) {
+      if (party == "user:" + std::to_string(u)) {
+        index = 2 + u;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("party_precompute: unknown party '" +
+                                  party + "'");
+    }
+  }
+  const std::uint64_t party_seed = derive_party_seed(seed, index);
+  // Users only ever encrypt under the key the receiving server CANNOT
+  // decrypt; servers encrypt under both (own re-encryptions, peer-bound
+  // masks).  Every party gets its OWN streams so draw order stays
+  // deterministic whatever the transport schedules.
+  pre.powers_pk1 =
+      &svc->paillier_powers(paillier_.s1.pk, derive_party_seed(party_seed, 0));
+  pre.powers_pk2 =
+      &svc->paillier_powers(paillier_.s2.pk, derive_party_seed(party_seed, 1));
+  if (is_server) {
+    pre.dgk_powers =
+        &svc->dgk_powers(dgk_.pk, derive_party_seed(party_seed, 2));
+  }
+  return pre;
 }
 
 std::optional<int> ConsensusProtocol::run_party_seeded(
@@ -310,10 +379,14 @@ std::optional<int> ConsensusProtocol::run_party_seeded(
   DeterministicRng noise_rng(derive_party_seed(seed, 2 + config_.num_users));
   const NoisePlan noise = draw_noise(noise_rng);
 
+  const PartyPrecompute pre =
+      config_.precompute != nullptr ? party_precompute(party, seed)
+                                    : PartyPrecompute{};
+  const PartyPrecompute* pre_ptr = pre.empty() ? nullptr : &pre;
   if (party == "S1") {
     DeterministicRng rng(derive_party_seed(seed, 0));
     ConsensusS1Program s1(plan.params, paillier_.s1, paillier_.s2.pk, dgk_.pk,
-                          rng);
+                          rng, pre_ptr);
     const std::optional<std::size_t> label = s1.run(chan);
     if (!label.has_value()) return std::nullopt;
     return static_cast<int>(*label);
@@ -321,7 +394,7 @@ std::optional<int> ConsensusProtocol::run_party_seeded(
   if (party == "S2") {
     DeterministicRng rng(derive_party_seed(seed, 1));
     ConsensusS2Program s2(plan.params, paillier_.s2, paillier_.s1.pk, dgk_,
-                          rng);
+                          rng, pre_ptr);
     const std::optional<std::size_t> label = s2.run(chan);
     if (!label.has_value()) return std::nullopt;
     return static_cast<int>(*label);
@@ -339,7 +412,7 @@ std::optional<int> ConsensusProtocol::run_party_seeded(
                                   noise.z2a[u],
                                   noise.z2b[u],
                               },
-                              paillier_.s1.pk, paillier_.s2.pk, rng);
+                              paillier_.s1.pk, paillier_.s2.pk, rng, pre_ptr);
     user.run(chan);
     return std::nullopt;
   }
@@ -377,9 +450,24 @@ ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
     rngs.emplace_back(derive_party_seed(seed, i));
   }
 
+  // Per-party precompute handles (empty = fresh mode); held by value here
+  // so the program references stay valid for the whole run.
+  std::vector<PartyPrecompute> pres(2 + n_users);
+  if (config_.precompute != nullptr) {
+    pres[0] = party_precompute("S1", seed);
+    pres[1] = party_precompute("S2", seed);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      pres[2 + u] = party_precompute("user:" + std::to_string(u), seed);
+    }
+  }
+  const auto pre_ptr = [&](std::size_t i) {
+    return pres[i].empty() ? nullptr : &pres[i];
+  };
+
   ConsensusS1Program s1(params, paillier_.s1, paillier_.s2.pk, dgk_.pk,
-                        rngs[0]);
-  ConsensusS2Program s2(params, paillier_.s2, paillier_.s1.pk, dgk_, rngs[1]);
+                        rngs[0], pre_ptr(0));
+  ConsensusS2Program s2(params, paillier_.s2, paillier_.s1.pk, dgk_, rngs[1],
+                        pre_ptr(1));
   std::vector<ConsensusUserProgram> users;
   users.reserve(n_users);
   for (std::size_t u = 0; u < n_users; ++u) {
@@ -393,7 +481,8 @@ ConsensusProtocol::QueryResult ConsensusProtocol::run_internal(
                            noise.z2a[u],
                            noise.z2b[u],
                        },
-                       paillier_.s1.pk, paillier_.s2.pk, rngs[2 + u]);
+                       paillier_.s1.pk, paillier_.s2.pk, rngs[2 + u],
+                       pre_ptr(2 + u));
   }
 
   std::optional<std::size_t> s1_label, s2_label;

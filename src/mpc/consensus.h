@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "crypto/dgk.h"
+#include "crypto/precompute_service.h"
 #include "mpc/blind_permute.h"
 #include "mpc/consensus_party.h"
 #include "net/transport.h"
@@ -83,6 +84,23 @@ struct ConsensusConfig {
   /// comparisons are discarded).
   bool threshold_check_all_positions = false;
   ArgmaxStrategy argmax_strategy = ArgmaxStrategy::kAllPairs;
+  /// Offline/online split (DESIGN.md §15).  `pack_secure_sum` routes every
+  /// secure-sum stream and the Blind-and-Permute aggregate slots through
+  /// Paillier plaintext packing: the L per-label values ride in
+  /// ceil(L / slots_per_ct) ciphertexts, with per-slot headroom for the
+  /// num_users + 1 additions a query performs.  Requires share_bits >= 18
+  /// (vote magnitudes must clear the packed-value bound; checked at pack
+  /// time) and paillier_bits large enough for at least one slot.
+  bool pack_secure_sum = false;
+  /// Non-null attaches a background precompute service: every party draws
+  /// its Paillier randomizer powers and DGK blinding powers from per-party
+  /// seeded streams registered in the service (see party_precompute), so
+  /// idle-time top-ups move the exponentiations off the online path.
+  /// Pooled mode is a DISTINCT deterministic traffic mode: the same seed
+  /// with the same service wiring replays byte-identically warm or cold,
+  /// but pooled and unpooled runs of one seed differ (encryption draws
+  /// move from the party Rng to the stream Rngs).
+  PrecomputeService* precompute = nullptr;
 };
 
 /// A long-lived protocol instance: key material is generated once and reused
@@ -170,6 +188,20 @@ class ConsensusProtocol {
       double threshold_noise, std::span<const double> release_noise,
       std::uint64_t seed,
       ConsensusTransport transport = ConsensusTransport::kInProcess);
+
+  /// Resolves (registering on first use) `party`'s precompute stream
+  /// handles for the query seed, using the canonical derivation: with
+  /// party_seed = derive_party_seed(seed, party_index), the pk1 power
+  /// stream is seeded derive_party_seed(party_seed, 0), the pk2 stream
+  /// derive_party_seed(party_seed, 1) and the DGK stream
+  /// derive_party_seed(party_seed, 2).  Servers get both Paillier streams
+  /// plus the DGK stream; users get the two Paillier streams they submit
+  /// under.  Public so daemons and benches can pre-register an upcoming
+  /// session's streams and warm them (PrecomputeService::top_up_all)
+  /// before the online phase; returns an empty handle set when
+  /// config().precompute is null.
+  [[nodiscard]] PartyPrecompute party_precompute(const std::string& party,
+                                                 std::uint64_t seed) const;
 
   /// Per-step traffic and timing, accumulated over all queries since the
   /// last clear(); step labels match the paper's Tables I and II.

@@ -9,6 +9,7 @@
 #include "mpc/dgk_compare.h"
 #include "mpc/he_util.h"
 #include "mpc/lane_pool.h"
+#include "mpc/secure_sum.h"
 #include "mpc/sharing.h"
 #include "obs/trace.h"
 
@@ -65,14 +66,29 @@ void for_each_lane(LanePool* pool, std::size_t lanes,
 struct LaneCtx {
   Rng* rng = nullptr;
   const char* span = "";
+  DgkPowerStream* dgk_bank = nullptr;
 };
 
 template <typename LaneT>
 std::vector<LaneCtx> ctxs_of(const std::vector<LaneT*>& lanes) {
   std::vector<LaneCtx> ctxs;
   ctxs.reserve(lanes.size());
-  for (LaneT* lane : lanes) ctxs.push_back({&lane->rng, lane->span.c_str()});
+  for (LaneT* lane : lanes) {
+    ctxs.push_back({&lane->rng, lane->span.c_str(), lane->pre.dgk_powers});
+  }
   return ctxs;
+}
+
+/// Validates and spreads a per-lane precompute vector: empty means "no
+/// precompute" (every lane gets an empty handle set).
+std::vector<PartyPrecompute> lane_pre_or_empty(
+    std::vector<PartyPrecompute> lane_pre, std::size_t lanes) {
+  if (lane_pre.empty()) return std::vector<PartyPrecompute>(lanes);
+  if (lane_pre.size() != lanes) {
+    throw std::invalid_argument(
+        "batched consensus: need one precompute handle set per lane");
+  }
+  return lane_pre;
 }
 
 template <typename LaneT, typename T>
@@ -145,7 +161,7 @@ void batch_bnp_s2(Channel& chan, const std::vector<LaneCtx>& ctxs,
   std::vector<MessageWriter> parts(n);
   for_each_lane(pool, n, [&](std::size_t i) {
     const obs::Span span(ctxs[i].span);
-    parts[i] = bnps[i]->round_permute(masked[i]);
+    parts[i] = bnps[i]->round_permute(masked[i], *holds[i]);
   });
   chan.send("S1", pack_lanes(parts));
   std::vector<MessageReader> enc_mask = unpack_lanes(chan.recv("S1"), n);
@@ -177,7 +193,8 @@ std::vector<std::uint8_t> batch_compare_s1(Channel& chan,
   std::vector<MessageWriter> parts(n);
   for_each_lane(pool, n, [&](std::size_t i) {
     const obs::Span span(ctxs[i].span);
-    parts[i] = dgk_compare_s1_blind(pk, ell, xs[i], e_bits[i], *ctxs[i].rng);
+    parts[i] = dgk_compare_s1_blind(pk, ell, xs[i], e_bits[i], *ctxs[i].rng,
+                                    ctxs[i].dgk_bank);
   });
   chan.send("S2", pack_lanes(parts));
   std::vector<MessageReader> replies = unpack_lanes(chan.recv("S2"), n);
@@ -197,7 +214,8 @@ std::vector<std::uint8_t> batch_compare_s2(Channel& chan,
   std::vector<MessageWriter> parts(n);
   for_each_lane(pool, n, [&](std::size_t i) {
     const obs::Span span(ctxs[i].span);
-    parts[i] = dgk_compare_s2_bits(cmp, ys[i], *ctxs[i].rng);
+    parts[i] = dgk_compare_s2_bits(cmp, ys[i], *ctxs[i].rng,
+                                   ctxs[i].dgk_bank);
   });
   chan.send("S1", pack_lanes(parts));
   std::vector<MessageReader> blinded = unpack_lanes(chan.recv("S1"), n);
@@ -270,10 +288,11 @@ class ArgmaxLanes {
 // --- S1 ---------------------------------------------------------------------
 
 struct ConsensusS1BatchProgram::Lane {
-  Lane(std::uint64_t seed, std::size_t index)
-      : rng(seed), span("lane:" + std::to_string(index)) {}
+  Lane(std::uint64_t seed, std::size_t index, PartyPrecompute pre_handles)
+      : rng(seed), span("lane:" + std::to_string(index)), pre(pre_handles) {}
   DeterministicRng rng;
   const std::string span;
+  PartyPrecompute pre;
   std::vector<PaillierCiphertext> votes_agg, thresh_agg, noisy_agg;
   std::optional<BlindPermuteS1> bnp, bnp2;
   std::vector<std::int64_t> votes_seq, thresh_seq, noisy_seq;
@@ -285,15 +304,17 @@ struct ConsensusS1BatchProgram::Lane {
 ConsensusS1BatchProgram::ConsensusS1BatchProgram(
     const ConsensusQueryParams& params, const PaillierKeyPair& own,
     const PaillierPublicKey& peer_pk, const DgkPublicKey& dgk_pk,
-    const std::vector<std::uint64_t>& lane_seeds, LanePool* pool)
+    const std::vector<std::uint64_t>& lane_seeds, LanePool* pool,
+    std::vector<PartyPrecompute> lane_pre)
     : params_(params), own_(own), peer_pk_(peer_pk), dgk_pk_(dgk_pk),
       pool_(pool) {
   if (lane_seeds.empty()) {
     throw std::invalid_argument("batched consensus: need at least one lane");
   }
+  lane_pre = lane_pre_or_empty(std::move(lane_pre), lane_seeds.size());
   lanes_.reserve(lane_seeds.size());
   for (std::size_t q = 0; q < lane_seeds.size(); ++q) {
-    lanes_.push_back(std::make_unique<Lane>(lane_seeds[q], q));
+    lanes_.push_back(std::make_unique<Lane>(lane_seeds[q], q, lane_pre[q]));
   }
 }
 
@@ -328,7 +349,8 @@ std::vector<std::optional<std::size_t>> ConsensusS1BatchProgram::run(
   // Each lane draws its own pi1 from its own stream, exactly where the
   // sequential program constructs its BlindPermuteS1.
   for (Lane* lane : live) {
-    lane->bnp.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng);
+    lane->bnp.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng,
+                      params_.packing_or_null(), n, &lane->pre);
   }
   {
     ChannelStepScope scope(chan, "Blind-and-Permute (3)", Timing::kTimed);
@@ -413,7 +435,8 @@ std::vector<std::optional<std::size_t>> ConsensusS1BatchProgram::run(
 
   // ---- Step 7: Blind-and-Permute under a fresh pi' per lane. --------------
   for (Lane* lane : live) {
-    lane->bnp2.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng);
+    lane->bnp2.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng,
+                       params_.packing_or_null(), n, &lane->pre);
   }
   const auto bnp2s = [&] {
     std::vector<BlindPermuteS1*> out;
@@ -485,10 +508,11 @@ std::vector<std::optional<std::size_t>> ConsensusS1BatchProgram::run(
 // --- S2 ---------------------------------------------------------------------
 
 struct ConsensusS2BatchProgram::Lane {
-  Lane(std::uint64_t seed, std::size_t index)
-      : rng(seed), span("lane:" + std::to_string(index)) {}
+  Lane(std::uint64_t seed, std::size_t index, PartyPrecompute pre_handles)
+      : rng(seed), span("lane:" + std::to_string(index)), pre(pre_handles) {}
   DeterministicRng rng;
   const std::string span;
+  PartyPrecompute pre;
   std::vector<PaillierCiphertext> votes_agg, thresh_agg, noisy_agg;
   std::optional<BlindPermuteS2> bnp, bnp2;
   std::vector<std::int64_t> votes_seq, thresh_seq, noisy_seq;
@@ -501,14 +525,16 @@ struct ConsensusS2BatchProgram::Lane {
 ConsensusS2BatchProgram::ConsensusS2BatchProgram(
     const ConsensusQueryParams& params, const PaillierKeyPair& own,
     const PaillierPublicKey& peer_pk, const DgkKeyPair& dgk,
-    const std::vector<std::uint64_t>& lane_seeds, LanePool* pool)
+    const std::vector<std::uint64_t>& lane_seeds, LanePool* pool,
+    std::vector<PartyPrecompute> lane_pre)
     : params_(params), own_(own), peer_pk_(peer_pk), dgk_(dgk), pool_(pool) {
   if (lane_seeds.empty()) {
     throw std::invalid_argument("batched consensus: need at least one lane");
   }
+  lane_pre = lane_pre_or_empty(std::move(lane_pre), lane_seeds.size());
   lanes_.reserve(lane_seeds.size());
   for (std::size_t q = 0; q < lane_seeds.size(); ++q) {
-    lanes_.push_back(std::make_unique<Lane>(lane_seeds[q], q));
+    lanes_.push_back(std::make_unique<Lane>(lane_seeds[q], q, lane_pre[q]));
   }
 }
 
@@ -540,7 +566,8 @@ std::vector<std::optional<std::size_t>> ConsensusS2BatchProgram::run(
   }
 
   for (Lane* lane : live) {
-    lane->bnp.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng);
+    lane->bnp.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng,
+                      params_.packing_or_null(), n, &lane->pre);
   }
   {
     ChannelStepScope scope(chan, "Blind-and-Permute (3)", Timing::kUntimed);
@@ -618,7 +645,8 @@ std::vector<std::optional<std::size_t>> ConsensusS2BatchProgram::run(
   }
 
   for (Lane* lane : live) {
-    lane->bnp2.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng);
+    lane->bnp2.emplace(own_, peer_pk_, k, params_.share_bits, lane->rng,
+                       params_.packing_or_null(), n, &lane->pre);
   }
   const auto bnp2s = [&] {
     std::vector<BlindPermuteS2*> out;
@@ -689,12 +717,14 @@ std::vector<std::optional<std::size_t>> ConsensusS2BatchProgram::run(
 // --- User -------------------------------------------------------------------
 
 struct ConsensusUserBatchProgram::Lane {
-  Lane(ConsensusUserProgram::Inputs in, std::uint64_t seed, std::size_t index)
+  Lane(ConsensusUserProgram::Inputs in, std::uint64_t seed, std::size_t index,
+       PartyPrecompute pre_handles)
       : inputs(std::move(in)), rng(seed),
-        span("lane:" + std::to_string(index)) {}
+        span("lane:" + std::to_string(index)), pre(pre_handles) {}
   ConsensusUserProgram::Inputs inputs;
   DeterministicRng rng;
   const std::string span;
+  PartyPrecompute pre;
   ShareVector shares;
   bool above = false;
 };
@@ -702,12 +732,14 @@ struct ConsensusUserBatchProgram::Lane {
 ConsensusUserBatchProgram::ConsensusUserBatchProgram(
     const ConsensusQueryParams& params, std::vector<Inputs> lane_inputs,
     const PaillierPublicKey& pk1, const PaillierPublicKey& pk2,
-    const std::vector<std::uint64_t>& lane_seeds, LanePool* pool)
+    const std::vector<std::uint64_t>& lane_seeds, LanePool* pool,
+    std::vector<PartyPrecompute> lane_pre)
     : params_(params), pk1_(pk1), pk2_(pk2), pool_(pool) {
   if (lane_inputs.empty() || lane_inputs.size() != lane_seeds.size()) {
     throw std::invalid_argument(
         "batched consensus: need one seed per lane input");
   }
+  lane_pre = lane_pre_or_empty(std::move(lane_pre), lane_inputs.size());
   const std::size_t k = params_.num_classes;
   lanes_.reserve(lane_inputs.size());
   for (std::size_t q = 0; q < lane_inputs.size(); ++q) {
@@ -717,7 +749,7 @@ ConsensusUserBatchProgram::ConsensusUserBatchProgram(
       throw std::invalid_argument("consensus user inputs have wrong length");
     }
     lanes_.push_back(
-        std::make_unique<Lane>(std::move(in), lane_seeds[q], q));
+        std::make_unique<Lane>(std::move(in), lane_seeds[q], q, lane_pre[q]));
   }
 }
 
@@ -746,14 +778,25 @@ void ConsensusUserBatchProgram::run(Channel& chan) {
         ta[j] = lane.shares.a[j] - lane.inputs.t_a + lane.inputs.z1a[j];
         tb[j] = lane.inputs.t_b - lane.shares.b[j] - lane.inputs.z1b[j];
       }
+      const PackingLayout* packing = params_.packing_or_null();
       obs::count(obs::Op::kSecureSumSubmit);
-      write_ciphertext_vector(votes_a[i],
-                              encrypt_vector(pk2_, lane.shares.a, lane.rng));
-      write_ciphertext_vector(votes_b[i],
-                              encrypt_vector(pk1_, lane.shares.b, lane.rng));
+      write_ciphertext_vector(
+          votes_a[i],
+          secure_sum_encrypt_stream(pk2_, lane.shares.a, lane.rng, packing,
+                                    lane.pre.bank_s1, lane.pre.powers_pk2));
+      write_ciphertext_vector(
+          votes_b[i],
+          secure_sum_encrypt_stream(pk1_, lane.shares.b, lane.rng, packing,
+                                    lane.pre.bank_s2, lane.pre.powers_pk1));
       obs::count(obs::Op::kSecureSumSubmit);
-      write_ciphertext_vector(thresh_a[i], encrypt_vector(pk2_, ta, lane.rng));
-      write_ciphertext_vector(thresh_b[i], encrypt_vector(pk1_, tb, lane.rng));
+      write_ciphertext_vector(
+          thresh_a[i],
+          secure_sum_encrypt_stream(pk2_, ta, lane.rng, packing,
+                                    lane.pre.bank_s1, lane.pre.powers_pk2));
+      write_ciphertext_vector(
+          thresh_b[i],
+          secure_sum_encrypt_stream(pk1_, tb, lane.rng, packing,
+                                    lane.pre.bank_s2, lane.pre.powers_pk1));
     });
     chan.send("S1", pack_lanes(votes_a));
     chan.send("S2", pack_lanes(votes_b));
@@ -780,9 +823,16 @@ void ConsensusUserBatchProgram::run(Channel& chan) {
       na[j] = lane.shares.a[j] + lane.inputs.z2a[j];
       nb[j] = lane.shares.b[j] + lane.inputs.z2b[j];
     }
+    const PackingLayout* packing = params_.packing_or_null();
     obs::count(obs::Op::kSecureSumSubmit);
-    write_ciphertext_vector(noisy_a[i], encrypt_vector(pk2_, na, lane.rng));
-    write_ciphertext_vector(noisy_b[i], encrypt_vector(pk1_, nb, lane.rng));
+    write_ciphertext_vector(
+        noisy_a[i],
+        secure_sum_encrypt_stream(pk2_, na, lane.rng, packing,
+                                  lane.pre.bank_s1, lane.pre.powers_pk2));
+    write_ciphertext_vector(
+        noisy_b[i],
+        secure_sum_encrypt_stream(pk1_, nb, lane.rng, packing,
+                                  lane.pre.bank_s2, lane.pre.powers_pk1));
   });
   chan.send("S1", pack_lanes(noisy_a));
   chan.send("S2", pack_lanes(noisy_b));

@@ -51,7 +51,10 @@ class LanePool;
 /// Server S1's program for one lane-batched run of Q concurrent queries.
 /// `lane_seeds[q]` seeds lane q's private Rng stream (the harness passes
 /// derive_party_seed(derive_party_seed(base_seed, q), 0)); `pool` may be
-/// null to run every lane on the party thread.
+/// null to run every lane on the party thread.  `lane_pre` (empty, or one
+/// handle set per lane) attaches lane q's precompute streams — the same
+/// streams a sequential pooled run of that lane's seed would use, which is
+/// what keeps pooled batch == pooled sequential byte-identical.
 class ConsensusS1BatchProgram {
  public:
   ConsensusS1BatchProgram(const ConsensusQueryParams& params,
@@ -59,7 +62,8 @@ class ConsensusS1BatchProgram {
                           const PaillierPublicKey& peer_pk,
                           const DgkPublicKey& dgk_pk,
                           const std::vector<std::uint64_t>& lane_seeds,
-                          LanePool* pool = nullptr);
+                          LanePool* pool = nullptr,
+                          std::vector<PartyPrecompute> lane_pre = {});
   ~ConsensusS1BatchProgram();
 
   /// Returns per-lane released label indices, nullopt for the paper's ⊥.
@@ -84,7 +88,8 @@ class ConsensusS2BatchProgram {
                           const PaillierPublicKey& peer_pk,
                           const DgkKeyPair& dgk,
                           const std::vector<std::uint64_t>& lane_seeds,
-                          LanePool* pool = nullptr);
+                          LanePool* pool = nullptr,
+                          std::vector<PartyPrecompute> lane_pre = {});
   ~ConsensusS2BatchProgram();
 
   [[nodiscard]] std::vector<std::optional<std::size_t>> run(Channel& chan);
@@ -111,7 +116,8 @@ class ConsensusUserBatchProgram {
                             const PaillierPublicKey& pk1,
                             const PaillierPublicKey& pk2,
                             const std::vector<std::uint64_t>& lane_seeds,
-                            LanePool* pool = nullptr);
+                            LanePool* pool = nullptr,
+                            std::vector<PartyPrecompute> lane_pre = {});
   ConsensusUserBatchProgram(ConsensusUserBatchProgram&&) noexcept;
   ~ConsensusUserBatchProgram();
 

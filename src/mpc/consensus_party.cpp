@@ -13,17 +13,21 @@ namespace pcl {
 ConsensusS1Program::ConsensusS1Program(const ConsensusQueryParams& params,
                                        const PaillierKeyPair& own,
                                        const PaillierPublicKey& peer_pk,
-                                       const DgkPublicKey& dgk_pk, Rng& rng)
+                                       const DgkPublicKey& dgk_pk, Rng& rng,
+                                       const PartyPrecompute* pre)
     : params_(params),
       own_(own),
       peer_pk_(peer_pk),
       dgk_pk_(dgk_pk),
-      rng_(rng) {}
+      rng_(rng),
+      pre_(pre) {}
 
 std::optional<std::size_t> ConsensusS1Program::run(Channel& chan) {
   const std::size_t k = params_.num_classes;
   const std::size_t n = params_.num_users;
   using Timing = ChannelStepScope::Timing;
+  const PackingLayout* packing = params_.packing_or_null();
+  DgkPowerStream* dgk_bank = pre_ != nullptr ? pre_->dgk_powers : nullptr;
 
   // ---- Step 2: Secure Sum of votes and threshold sequences. ---------------
   std::vector<PaillierCiphertext> votes_agg, thresh_agg;
@@ -34,7 +38,8 @@ std::optional<std::size_t> ConsensusS1Program::run(Channel& chan) {
   }
 
   // ---- Step 3: Blind-and-Permute both sequence pairs under one pi1. -------
-  BlindPermuteS1 bnp(own_, peer_pk_, k, params_.share_bits, rng_);
+  BlindPermuteS1 bnp(own_, peer_pk_, k, params_.share_bits, rng_, packing, n,
+                     pre_);
   std::vector<std::int64_t> votes_seq, thresh_seq;
   {
     ChannelStepScope scope(chan, "Blind-and-Permute (3)", Timing::kTimed);
@@ -51,7 +56,8 @@ std::optional<std::size_t> ConsensusS1Program::run(Channel& chan) {
     top_position = argmax_schedule(
         k, params_.argmax_strategy, [&](std::size_t p, std::size_t q) {
           return dgk_compare_s1_geq(chan, dgk_pk_, params_.compare_bits,
-                                    votes_seq[p] - votes_seq[q], rng_);
+                                    votes_seq[p] - votes_seq[q], rng_,
+                                    dgk_bank);
         });
   }
 
@@ -65,13 +71,14 @@ std::optional<std::size_t> ConsensusS1Program::run(Channel& chan) {
       for (std::size_t p = 0; p < k; ++p) {
         const bool geq = dgk_compare_s1_geq(chan, dgk_pk_,
                                             params_.compare_bits,
-                                            thresh_seq[p], rng_);
+                                            thresh_seq[p], rng_, dgk_bank);
         if (p == top_position) above_threshold = geq;
       }
     } else {
       // x - y == c_{i*} + z1_{i*} - T; the same-sign masks cancel.
-      above_threshold = dgk_compare_s1_geq(
-          chan, dgk_pk_, params_.compare_bits, thresh_seq[top_position], rng_);
+      above_threshold =
+          dgk_compare_s1_geq(chan, dgk_pk_, params_.compare_bits,
+                             thresh_seq[top_position], rng_, dgk_bank);
     }
     // The verdict is public protocol output; users read it off the bulletin
     // (servers never message users).
@@ -89,7 +96,8 @@ std::optional<std::size_t> ConsensusS1Program::run(Channel& chan) {
   }
 
   // ---- Step 7: Blind-and-Permute under a fresh pi'. -----------------------
-  BlindPermuteS1 bnp2(own_, peer_pk_, k, params_.share_bits, rng_);
+  BlindPermuteS1 bnp2(own_, peer_pk_, k, params_.share_bits, rng_, packing, n,
+                      pre_);
   std::vector<std::int64_t> noisy_seq;
   {
     ChannelStepScope scope(chan, "Blind-and-Permute (7)", Timing::kTimed);
@@ -105,7 +113,8 @@ std::optional<std::size_t> ConsensusS1Program::run(Channel& chan) {
     (void)argmax_schedule(
         k, params_.argmax_strategy, [&](std::size_t p, std::size_t q) {
           return dgk_compare_s1_geq(chan, dgk_pk_, params_.compare_bits,
-                                    noisy_seq[p] - noisy_seq[q], rng_);
+                                    noisy_seq[p] - noisy_seq[q], rng_,
+                                    dgk_bank);
         });
   }
 
@@ -119,14 +128,22 @@ std::optional<std::size_t> ConsensusS1Program::run(Channel& chan) {
 ConsensusS2Program::ConsensusS2Program(const ConsensusQueryParams& params,
                                        const PaillierKeyPair& own,
                                        const PaillierPublicKey& peer_pk,
-                                       const DgkKeyPair& dgk, Rng& rng)
-    : params_(params), own_(own), peer_pk_(peer_pk), dgk_(dgk), rng_(rng) {}
+                                       const DgkKeyPair& dgk, Rng& rng,
+                                       const PartyPrecompute* pre)
+    : params_(params),
+      own_(own),
+      peer_pk_(peer_pk),
+      dgk_(dgk),
+      rng_(rng),
+      pre_(pre) {}
 
 std::optional<std::size_t> ConsensusS2Program::run(Channel& chan) {
   const std::size_t k = params_.num_classes;
   const std::size_t n = params_.num_users;
   using Timing = ChannelStepScope::Timing;
   const DgkCompareContext ctx(dgk_.pk, dgk_.sk, params_.compare_bits);
+  const PackingLayout* packing = params_.packing_or_null();
+  DgkPowerStream* dgk_bank = pre_ != nullptr ? pre_->dgk_powers : nullptr;
 
   // S1 times every step; S2's scopes only label its own sends.
   std::vector<PaillierCiphertext> votes_agg, thresh_agg;
@@ -136,7 +153,8 @@ std::optional<std::size_t> ConsensusS2Program::run(Channel& chan) {
     thresh_agg = secure_sum_collect(chan, peer_pk_, n);
   }
 
-  BlindPermuteS2 bnp(own_, peer_pk_, k, params_.share_bits, rng_);
+  BlindPermuteS2 bnp(own_, peer_pk_, k, params_.share_bits, rng_, packing, n,
+                     pre_);
   std::vector<std::int64_t> votes_seq, thresh_seq;
   {
     ChannelStepScope scope(chan, "Blind-and-Permute (3)", Timing::kUntimed);
@@ -150,7 +168,7 @@ std::optional<std::size_t> ConsensusS2Program::run(Channel& chan) {
     top_position = argmax_schedule(
         k, params_.argmax_strategy, [&](std::size_t p, std::size_t q) {
           return dgk_compare_s2_geq(chan, ctx, votes_seq[q] - votes_seq[p],
-                                    rng_);
+                                    rng_, dgk_bank);
         });
   }
 
@@ -159,12 +177,14 @@ std::optional<std::size_t> ConsensusS2Program::run(Channel& chan) {
     ChannelStepScope scope(chan, "Threshold Checking (5)", Timing::kUntimed);
     if (params_.threshold_check_all_positions) {
       for (std::size_t p = 0; p < k; ++p) {
-        const bool geq = dgk_compare_s2_geq(chan, ctx, thresh_seq[p], rng_);
+        const bool geq =
+            dgk_compare_s2_geq(chan, ctx, thresh_seq[p], rng_, dgk_bank);
         if (p == top_position) above_threshold = geq;
       }
     } else {
-      above_threshold =
-          dgk_compare_s2_geq(chan, ctx, thresh_seq[top_position], rng_);
+      above_threshold = dgk_compare_s2_geq(chan, ctx,
+                                           thresh_seq[top_position], rng_,
+                                           dgk_bank);
     }
     // S2 learned the verdict from the comparison itself; S1 posts it.
     if (!above_threshold) {
@@ -178,7 +198,8 @@ std::optional<std::size_t> ConsensusS2Program::run(Channel& chan) {
     noisy_agg = secure_sum_collect(chan, peer_pk_, n);
   }
 
-  BlindPermuteS2 bnp2(own_, peer_pk_, k, params_.share_bits, rng_);
+  BlindPermuteS2 bnp2(own_, peer_pk_, k, params_.share_bits, rng_, packing,
+                      n, pre_);
   std::vector<std::int64_t> noisy_seq;
   {
     ChannelStepScope scope(chan, "Blind-and-Permute (7)", Timing::kUntimed);
@@ -192,7 +213,7 @@ std::optional<std::size_t> ConsensusS2Program::run(Channel& chan) {
     noisy_position = argmax_schedule(
         k, params_.argmax_strategy, [&](std::size_t p, std::size_t q) {
           return dgk_compare_s2_geq(chan, ctx, noisy_seq[q] - noisy_seq[p],
-                                    rng_);
+                                    rng_, dgk_bank);
         });
   }
 
@@ -204,12 +225,14 @@ ConsensusUserProgram::ConsensusUserProgram(const ConsensusQueryParams& params,
                                            Inputs inputs,
                                            const PaillierPublicKey& pk1,
                                            const PaillierPublicKey& pk2,
-                                           Rng& rng)
+                                           Rng& rng,
+                                           const PartyPrecompute* pre)
     : params_(params),
       inputs_(std::move(inputs)),
       pk1_(pk1),
       pk2_(pk2),
-      rng_(rng) {
+      rng_(rng),
+      pre_(pre) {
   const std::size_t k = params_.num_classes;
   if (inputs_.votes_fixed.size() != k || inputs_.z1a.size() != k ||
       inputs_.z1b.size() != k || inputs_.z2a.size() != k ||
@@ -221,6 +244,7 @@ ConsensusUserProgram::ConsensusUserProgram(const ConsensusQueryParams& params,
 void ConsensusUserProgram::run(Channel& chan) {
   const std::size_t k = params_.num_classes;
   using Timing = ChannelStepScope::Timing;
+  const PackingLayout* packing = params_.packing_or_null();
 
   // ---- Step 1: split the vote vector into additive shares. ----------------
   ShareVector shares =
@@ -238,8 +262,9 @@ void ConsensusUserProgram::run(Channel& chan) {
   // ---- Step 2: submit the vote pair, then the threshold pair. -------------
   {
     ChannelStepScope scope(chan, "Secure Sum (2)", Timing::kUntimed);
-    secure_sum_submit(chan, pk2_, pk1_, shares.a, shares.b, rng_);
-    secure_sum_submit(chan, pk2_, pk1_, ta, tb, rng_);
+    secure_sum_submit_split(chan, pk2_, pk1_, shares.a, shares.b, rng_,
+                            packing, pre_);
+    secure_sum_submit_split(chan, pk2_, pk1_, ta, tb, rng_, packing, pre_);
   }
 
   // ---- Step 5 verdict: read the public threshold decision. ----------------
@@ -254,7 +279,7 @@ void ConsensusUserProgram::run(Channel& chan) {
     nb[i] = shares.b[i] + inputs_.z2b[i];
   }
   ChannelStepScope scope(chan, "Secure Sum (6)", Timing::kUntimed);
-  secure_sum_submit(chan, pk2_, pk1_, na, nb, rng_);
+  secure_sum_submit_split(chan, pk2_, pk1_, na, nb, rng_, packing, pre_);
 }
 
 }  // namespace pcl

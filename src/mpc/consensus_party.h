@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "crypto/dgk.h"
+#include "crypto/packing.h"
 #include "mpc/blind_permute.h"
+#include "mpc/party_precompute.h"
 #include "net/channel.h"
 
 namespace pcl {
@@ -48,6 +50,17 @@ struct ConsensusQueryParams {
   std::size_t compare_bits = 0;
   bool threshold_check_all_positions = false;
   ArgmaxStrategy argmax_strategy = ArgmaxStrategy::kAllPairs;
+  /// Packed secure-sum lanes (DESIGN.md §15): when true, every user share
+  /// vector and both servers' aggregates ride in `packing.num_cts`
+  /// ciphertexts instead of num_classes, and Blind-and-Permute runs its
+  /// packed slot-1/2/3 flow.  The layout is public query geometry.
+  bool packed = false;
+  PackingLayout packing;
+
+  /// The layout pointer the sub-protocols expect: null in unpacked mode.
+  [[nodiscard]] const PackingLayout* packing_or_null() const {
+    return packed ? &packing : nullptr;
+  }
 };
 
 /// Comparison schedule shared by both servers in steps (4) and (8): each
@@ -88,10 +101,13 @@ class ConsensusS1Program {
  public:
   /// `own` is S1's Paillier pair, `peer_pk` S2's public key, `dgk_pk` the
   /// (public) DGK key owned by S2.
+  /// `pre` optionally attaches this party's precompute streams
+  /// (DESIGN.md §15); null keeps fresh-randomness mode bit for bit.
   ConsensusS1Program(const ConsensusQueryParams& params,
                      const PaillierKeyPair& own,
                      const PaillierPublicKey& peer_pk,
-                     const DgkPublicKey& dgk_pk, Rng& rng);
+                     const DgkPublicKey& dgk_pk, Rng& rng,
+                     const PartyPrecompute* pre = nullptr);
 
   /// Returns the restored label index, or nullopt for the paper's ⊥.
   [[nodiscard]] std::optional<std::size_t> run(Channel& chan);
@@ -102,6 +118,7 @@ class ConsensusS1Program {
   const PaillierPublicKey& peer_pk_;
   const DgkPublicKey& dgk_pk_;
   Rng& rng_;
+  const PartyPrecompute* pre_;
 };
 
 /// Server S2's program for one Alg. 5 query.
@@ -112,7 +129,7 @@ class ConsensusS2Program {
   ConsensusS2Program(const ConsensusQueryParams& params,
                      const PaillierKeyPair& own,
                      const PaillierPublicKey& peer_pk, const DgkKeyPair& dgk,
-                     Rng& rng);
+                     Rng& rng, const PartyPrecompute* pre = nullptr);
 
   [[nodiscard]] std::optional<std::size_t> run(Channel& chan);
 
@@ -122,6 +139,7 @@ class ConsensusS2Program {
   const PaillierPublicKey& peer_pk_;
   const DgkKeyPair& dgk_;
   Rng& rng_;
+  const PartyPrecompute* pre_;
 };
 
 /// One user's program: fixed-point vote vector plus this user's noise
@@ -141,7 +159,8 @@ class ConsensusUserProgram {
   /// it aggregates.
   ConsensusUserProgram(const ConsensusQueryParams& params, Inputs inputs,
                        const PaillierPublicKey& pk1,
-                       const PaillierPublicKey& pk2, Rng& rng);
+                       const PaillierPublicKey& pk2, Rng& rng,
+                       const PartyPrecompute* pre = nullptr);
 
   void run(Channel& chan);
 
@@ -151,6 +170,7 @@ class ConsensusUserProgram {
   const PaillierPublicKey& pk1_;
   const PaillierPublicKey& pk2_;
   Rng& rng_;
+  const PartyPrecompute* pre_;
 };
 
 }  // namespace pcl

@@ -33,14 +33,24 @@ std::uint64_t to_offset_domain(std::int64_t v, std::size_t ell) {
   return static_cast<std::uint64_t>(v + half);
 }
 
+/// One small-plaintext encryption, from the power bank when one is
+/// attached (the h^r power comes precomputed; only the tiny g^m part runs
+/// online).
+DgkCiphertext encrypt_small(const DgkPublicKey& pk, std::uint64_t m, Rng& rng,
+                            DgkPowerStream* bank) {
+  if (bank != nullptr) return bank->encrypt(m);
+  return pk.encrypt(m, rng);
+}
+
 /// The bits of e, each DGK-encrypted, batched into one message.
 MessageWriter encrypted_bits_message(const DgkPublicKey& pk, std::uint64_t e,
-                                     std::size_t width, Rng& rng) {
+                                     std::size_t width, Rng& rng,
+                                     DgkPowerStream* bank) {
   obs::count(obs::Op::kDgkCompareBit, width);
   MessageWriter msg;
   msg.write_u64(width);
   for (std::size_t i = 0; i < width; ++i) {
-    msg.write_bigint(pk.encrypt((e >> i) & 1u, rng).value);
+    msg.write_bigint(encrypt_small(pk, (e >> i) & 1u, rng, bank).value);
   }
   return msg;
 }
@@ -69,20 +79,23 @@ std::vector<DgkCiphertext> recv_ciphertext_batch(Channel& chan,
 ///   flipped == true:  c_i = 1 - d_i + e_i + 3W  (tests e < d)
 std::vector<DgkCiphertext> build_blinded_sequence(
     const DgkPublicKey& pk, std::uint64_t d,
-    const std::vector<DgkCiphertext>& e_bits, bool flipped, Rng& rng) {
+    const std::vector<DgkCiphertext>& e_bits, bool flipped, Rng& rng,
+    DgkPowerStream* bank) {
   const std::size_t width = e_bits.size();
-  const DgkCiphertext enc_one = pk.encrypt(std::uint64_t{1}, rng);
+  const DgkCiphertext enc_one = encrypt_small(pk, 1, rng, bank);
 
   // Running homomorphic sum of w_j = d_j XOR e_j over bits more
   // significant than the current one (we iterate MSB -> LSB).
-  DgkCiphertext w_sum = pk.encrypt(std::uint64_t{0}, rng);
+  DgkCiphertext w_sum = encrypt_small(pk, 0, rng, bank);
   std::vector<DgkCiphertext> c_seq;
   c_seq.reserve(width);
   for (std::size_t idx = width; idx-- > 0;) {
     const std::uint64_t d_bit = (d >> idx) & 1u;
     DgkCiphertext c =
-        flipped ? pk.add(pk.encrypt(1 - d_bit, rng), e_bits[idx])
-                : pk.add(pk.encrypt(1 + d_bit, rng), pk.negate(e_bits[idx]));
+        flipped
+            ? pk.add(encrypt_small(pk, 1 - d_bit, rng, bank), e_bits[idx])
+            : pk.add(encrypt_small(pk, 1 + d_bit, rng, bank),
+                     pk.negate(e_bits[idx]));
     c = pk.add(c, pk.scalar_mul(w_sum, BigInt(3)));
     c_seq.push_back(pk.blind_multiplicative(c, rng));
     // w_idx = d_idx XOR e_idx = d_idx + e_idx - 2*d_idx*e_idx; with d_idx
@@ -127,19 +140,19 @@ void require_shared_width(const DgkPublicKey& pk, std::size_t width) {
 }  // namespace
 
 MessageWriter dgk_compare_s2_bits(const DgkCompareContext& ctx, std::int64_t y,
-                                  Rng& rng) {
+                                  Rng& rng, DgkPowerStream* bank) {
   return encrypted_bits_message(*ctx.pk, to_offset_domain(y, ctx.ell),
-                                ctx.ell, rng);
+                                ctx.ell, rng, bank);
 }
 
 MessageWriter dgk_compare_s1_blind(const DgkPublicKey& pk, std::size_t ell,
                                    std::int64_t x, MessageReader& e_bits,
-                                   Rng& rng) {
+                                   Rng& rng, DgkPowerStream* bank) {
   obs::count(obs::Op::kDgkCompare);
   const std::uint64_t d = to_offset_domain(x, ell);
   const std::vector<DgkCiphertext> bits = read_ciphertext_batch(e_bits, ell);
   return ciphertext_batch_message(
-      build_blinded_sequence(pk, d, bits, /*flipped=*/false, rng));
+      build_blinded_sequence(pk, d, bits, /*flipped=*/false, rng, bank));
 }
 
 bool dgk_compare_s2_decide(const DgkCompareContext& ctx,
@@ -155,16 +168,17 @@ bool dgk_compare_s2_decide(const DgkCompareContext& ctx,
 bool dgk_compare_read_bit(MessageReader& msg) { return msg.read_u8() != 0; }
 
 bool dgk_compare_s1_geq(Channel& chan, const DgkPublicKey& pk,
-                        std::size_t ell, std::int64_t x, Rng& rng) {
+                        std::size_t ell, std::int64_t x, Rng& rng,
+                        DgkPowerStream* bank) {
   MessageReader e_bits = chan.recv("S2");
-  chan.send("S2", dgk_compare_s1_blind(pk, ell, x, e_bits, rng));
+  chan.send("S2", dgk_compare_s1_blind(pk, ell, x, e_bits, rng, bank));
   MessageReader result = chan.recv("S2");
   return dgk_compare_read_bit(result);
 }
 
 bool dgk_compare_s2_geq(Channel& chan, const DgkCompareContext& ctx,
-                        std::int64_t y, Rng& rng) {
-  chan.send("S1", dgk_compare_s2_bits(ctx, y, rng));
+                        std::int64_t y, Rng& rng, DgkPowerStream* bank) {
+  chan.send("S1", dgk_compare_s2_bits(ctx, y, rng, bank));
   MessageReader blinded = chan.recv("S1");
   MessageWriter reply;
   const bool x_geq_y = dgk_compare_s2_decide(ctx, blinded, reply);
@@ -182,7 +196,8 @@ bool dgk_compare_shared_s1(Channel& chan, const DgkPublicKey& pk,
   const std::vector<DgkCiphertext> e_bits =
       recv_ciphertext_batch(chan, "S2", width);
   send_ciphertext_batch(
-      chan, "S2", build_blinded_sequence(pk, d_prime, e_bits, delta, rng));
+      chan, "S2",
+      build_blinded_sequence(pk, d_prime, e_bits, delta, rng, nullptr));
   return !delta;  // (x >= y) = t XOR delta XOR 1
 }
 
@@ -191,7 +206,8 @@ bool dgk_compare_shared_s2(Channel& chan, const DgkCompareContext& ctx,
   const std::size_t width = ctx.ell + 1;
   require_shared_width(*ctx.pk, width);
   const std::uint64_t e_prime = 2 * to_offset_domain(y, ctx.ell);
-  chan.send("S1", encrypted_bits_message(*ctx.pk, e_prime, width, rng));
+  chan.send("S1",
+            encrypted_bits_message(*ctx.pk, e_prime, width, rng, nullptr));
   const std::vector<DgkCiphertext> blinded =
       recv_ciphertext_batch(chan, "S1", 0);
   return any_zero_test(*ctx.sk, blinded);  // t: kept private

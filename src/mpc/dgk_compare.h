@@ -24,11 +24,16 @@
 // the roles talk to "S1"/"S2").  The `Network`-based entry points are thin
 // wrappers that drive both roles through the deterministic party runner;
 // mpc/threaded.h wires the very same roles to real threads.
+// Pooled mode (DESIGN.md §15): the h^r blinding powers that dominate each
+// bit encryption are input-independent, so the role functions optionally
+// draw them from a DgkPowerStream filled offline.  A null stream keeps the
+// original fresh-randomness path bit for bit.
 #pragma once
 
 #include <cstdint>
 
 #include "crypto/dgk.h"
+#include "crypto/precompute_service.h"
 #include "net/channel.h"
 #include "net/transport.h"
 
@@ -52,12 +57,14 @@ struct DgkCompareContext {
 /// Returns x >= y.
 [[nodiscard]] bool dgk_compare_s1_geq(Channel& chan, const DgkPublicKey& pk,
                                       std::size_t ell, std::int64_t x,
-                                      Rng& rng);
+                                      Rng& rng,
+                                      DgkPowerStream* bank = nullptr);
 
 /// S2's role: holds y and the private key.  Returns x >= y.
 [[nodiscard]] bool dgk_compare_s2_geq(Channel& chan,
                                       const DgkCompareContext& ctx,
-                                      std::int64_t y, Rng& rng);
+                                      std::int64_t y, Rng& rng,
+                                      DgkPowerStream* bank = nullptr);
 
 // --- Message-slot halves (lane-batched execution) ---------------------------
 // The revealed-output roles above are exactly these functions stitched to
@@ -67,14 +74,16 @@ struct DgkCompareContext {
 
 /// S2 slot 1: DGK-encrypts e's bits (counts kDgkCompareBit).
 [[nodiscard]] MessageWriter dgk_compare_s2_bits(const DgkCompareContext& ctx,
-                                                std::int64_t y, Rng& rng);
+                                                std::int64_t y, Rng& rng,
+                                                DgkPowerStream* bank = nullptr);
 /// S1 slot 2: builds the blinded permuted c-sequence from S2's encrypted
 /// bits (counts kDgkCompare — the S1 role owns the comparison count).
 [[nodiscard]] MessageWriter dgk_compare_s1_blind(const DgkPublicKey& pk,
                                                  std::size_t ell,
                                                  std::int64_t x,
                                                  MessageReader& e_bits,
-                                                 Rng& rng);
+                                                 Rng& rng,
+                                                 DgkPowerStream* bank = nullptr);
 /// S2 slot 3: zero-tests the returned sequence, writes the revealed bit
 /// into `reply` and returns it (x >= y).
 [[nodiscard]] bool dgk_compare_s2_decide(const DgkCompareContext& ctx,

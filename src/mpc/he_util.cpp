@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "crypto/precompute_service.h"
+
 namespace pcl {
 
 std::vector<PaillierCiphertext> encrypt_vector(
@@ -11,6 +13,18 @@ std::vector<PaillierCiphertext> encrypt_vector(
   out.reserve(values.size());
   for (const std::int64_t v : values) {
     out.push_back(pk.encrypt(BigInt(v), rng));
+  }
+  return out;
+}
+
+std::vector<PaillierCiphertext> encrypt_vector_pooled(
+    const PaillierPublicKey& pk, std::span<const std::int64_t> values,
+    Rng& rng, PaillierPowerStream* stream) {
+  if (stream == nullptr) return encrypt_vector(pk, values, rng);
+  std::vector<PaillierCiphertext> out;
+  out.reserve(values.size());
+  for (const std::int64_t v : values) {
+    out.push_back(stream->encrypt(BigInt(v)));
   }
   return out;
 }
@@ -51,6 +65,69 @@ std::vector<PaillierCiphertext> add_plain_vector(
     out.push_back(pk.add(cts[i], pk.encrypt(BigInt(delta[i]), rng)));
   }
   return out;
+}
+
+std::vector<PaillierCiphertext> add_plain_vector_pooled(
+    const PaillierPublicKey& pk, std::span<const PaillierCiphertext> cts,
+    std::span<const std::int64_t> delta, Rng& rng,
+    PaillierPowerStream* stream) {
+  if (stream == nullptr) return add_plain_vector(pk, cts, delta, rng);
+  if (cts.size() != delta.size()) {
+    throw std::invalid_argument("ciphertext/plaintext vector size mismatch");
+  }
+  std::vector<PaillierCiphertext> out;
+  out.reserve(cts.size());
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    out.push_back(pk.add(cts[i], stream->encrypt(BigInt(delta[i]))));
+  }
+  return out;
+}
+
+std::vector<PaillierCiphertext> encrypt_packed_vector(
+    const PaillierPublicKey& pk, const PackingLayout& layout,
+    std::span<const std::int64_t> values, std::size_t addend_count, Rng& rng,
+    PaillierPowerStream* stream) {
+  const std::vector<BigInt> packed = pack_values(
+      layout, std::vector<std::int64_t>(values.begin(), values.end()),
+      addend_count);
+  std::vector<PaillierCiphertext> out;
+  out.reserve(packed.size());
+  for (const BigInt& m : packed) {
+    out.push_back(stream != nullptr ? stream->encrypt(m)
+                                    : pk.encrypt(m, rng));
+  }
+  return out;
+}
+
+std::vector<PaillierCiphertext> add_packed_delta(
+    const PaillierPublicKey& pk, const PackingLayout& layout,
+    std::span<const PaillierCiphertext> cts,
+    std::span<const std::int64_t> delta) {
+  if (cts.size() != layout.num_cts) {
+    throw std::invalid_argument("packed ciphertext vector length mismatch");
+  }
+  const std::vector<BigInt> packed = pack_delta(
+      layout, std::vector<std::int64_t>(delta.begin(), delta.end()));
+  std::vector<PaillierCiphertext> out;
+  out.reserve(cts.size());
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    out.push_back(pk.compose_plain(cts[i], packed[i]));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> decrypt_packed_vector(
+    const PaillierPrivateKey& sk, const PackingLayout& layout,
+    std::span<const PaillierCiphertext> cts, std::size_t addend_count) {
+  if (cts.size() != layout.num_cts) {
+    throw std::invalid_argument("packed ciphertext vector length mismatch");
+  }
+  std::vector<BigInt> plaintexts;
+  plaintexts.reserve(cts.size());
+  for (const PaillierCiphertext& c : cts) {
+    plaintexts.push_back(sk.decrypt(c));
+  }
+  return unpack_values(layout, plaintexts, addend_count);
 }
 
 void write_ciphertext_vector(MessageWriter& w,

@@ -5,15 +5,25 @@
 #include <span>
 #include <vector>
 
+#include "crypto/packing.h"
 #include "crypto/paillier.h"
 #include "net/message.h"
 
 namespace pcl {
 
+class PaillierPowerStream;
+
 /// Encrypts each element of a signed vector.
 [[nodiscard]] std::vector<PaillierCiphertext> encrypt_vector(
     const PaillierPublicKey& pk, std::span<const std::int64_t> values,
     Rng& rng);
+
+/// Pool-aware variant: with a stream, every randomizer power is drawn from
+/// the stream (2 modmuls per ciphertext when warm) and `rng` is untouched;
+/// with `stream == nullptr` this is exactly encrypt_vector(pk, values, rng).
+[[nodiscard]] std::vector<PaillierCiphertext> encrypt_vector_pooled(
+    const PaillierPublicKey& pk, std::span<const std::int64_t> values,
+    Rng& rng, PaillierPowerStream* stream);
 
 /// Decrypts each element; throws std::overflow_error if any plaintext does
 /// not fit int64 (which would indicate a protocol bound violation).
@@ -29,6 +39,40 @@ namespace pcl {
 [[nodiscard]] std::vector<PaillierCiphertext> add_plain_vector(
     const PaillierPublicKey& pk, std::span<const PaillierCiphertext> cts,
     std::span<const std::int64_t> delta, Rng& rng);
+
+/// Pool-aware variant of add_plain_vector; same stream contract as
+/// encrypt_vector_pooled.
+[[nodiscard]] std::vector<PaillierCiphertext> add_plain_vector_pooled(
+    const PaillierPublicKey& pk, std::span<const PaillierCiphertext> cts,
+    std::span<const std::int64_t> delta, Rng& rng,
+    PaillierPowerStream* stream);
+
+// --- Packed lanes (DESIGN.md §15) ------------------------------------------
+// All L per-label values of one vector ride in layout.num_cts ciphertexts
+// instead of L.  Slot arithmetic stays additive as long as each slot's
+// addend count is tracked (crypto/packing.h), so secure-sum aggregation is
+// still plain ciphertext multiplication.
+
+/// Encrypts a signed vector packed: ceil(L / slots_per_ct) ciphertexts,
+/// each slot biased for `addend_count` contributions.
+[[nodiscard]] std::vector<PaillierCiphertext> encrypt_packed_vector(
+    const PaillierPublicKey& pk, const PackingLayout& layout,
+    std::span<const std::int64_t> values, std::size_t addend_count, Rng& rng,
+    PaillierPowerStream* stream);
+
+/// Homomorphically adds an UNBIASED plaintext delta vector onto packed
+/// ciphertexts (compose_plain per ciphertext: one modmul each, no fresh
+/// randomness, addend counts unchanged).
+[[nodiscard]] std::vector<PaillierCiphertext> add_packed_delta(
+    const PaillierPublicKey& pk, const PackingLayout& layout,
+    std::span<const PaillierCiphertext> cts,
+    std::span<const std::int64_t> delta);
+
+/// Decrypts packed ciphertexts and unpacks all L slot values, removing
+/// `addend_count` biases per slot.
+[[nodiscard]] std::vector<std::int64_t> decrypt_packed_vector(
+    const PaillierPrivateKey& sk, const PackingLayout& layout,
+    std::span<const PaillierCiphertext> cts, std::size_t addend_count);
 
 void write_ciphertext_vector(MessageWriter& w,
                              std::span<const PaillierCiphertext> cts);

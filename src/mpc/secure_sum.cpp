@@ -38,6 +38,50 @@ void secure_sum_submit_pooled(Channel& chan, PaillierRandomizerPool& pool_s1,
   chan.send("S2", std::move(m2));
 }
 
+std::vector<PaillierCiphertext> secure_sum_encrypt_stream(
+    const PaillierPublicKey& pk, const std::vector<std::int64_t>& values,
+    Rng& rng, const PackingLayout* packing, PaillierNoiseStream* bank,
+    PaillierPowerStream* stream) {
+  if (bank != nullptr) {
+    std::vector<BigInt> plain;
+    if (packing != nullptr) {
+      plain = pack_values(*packing, values, 1);
+    } else {
+      plain.reserve(values.size());
+      for (const std::int64_t v : values) plain.emplace_back(v);
+    }
+    return bank->draw_frame(plain);
+  }
+  if (packing != nullptr) {
+    return encrypt_packed_vector(pk, *packing, values, 1, rng, stream);
+  }
+  return encrypt_vector_pooled(pk, values, rng, stream);
+}
+
+void secure_sum_submit_split(Channel& chan,
+                             const PaillierPublicKey& s1_stream_pk,
+                             const PaillierPublicKey& s2_stream_pk,
+                             const std::vector<std::int64_t>& to_s1,
+                             const std::vector<std::int64_t>& to_s2, Rng& rng,
+                             const PackingLayout* packing,
+                             const PartyPrecompute* pre) {
+  obs::count(obs::Op::kSecureSumSubmit);
+  PaillierNoiseStream* bank_s1 = pre != nullptr ? pre->bank_s1 : nullptr;
+  PaillierNoiseStream* bank_s2 = pre != nullptr ? pre->bank_s2 : nullptr;
+  PaillierPowerStream* powers_s1 = pre != nullptr ? pre->powers_pk2 : nullptr;
+  PaillierPowerStream* powers_s2 = pre != nullptr ? pre->powers_pk1 : nullptr;
+  MessageWriter m1;
+  write_ciphertext_vector(
+      m1, secure_sum_encrypt_stream(s1_stream_pk, to_s1, rng, packing,
+                                    bank_s1, powers_s1));
+  chan.send("S1", std::move(m1));
+  MessageWriter m2;
+  write_ciphertext_vector(
+      m2, secure_sum_encrypt_stream(s2_stream_pk, to_s2, rng, packing,
+                                    bank_s2, powers_s2));
+  chan.send("S2", std::move(m2));
+}
+
 std::vector<PaillierCiphertext> secure_sum_collect(Channel& chan,
                                                    const PaillierPublicKey& pk,
                                                    std::size_t n_users) {
@@ -113,6 +157,18 @@ SecureSumResult secure_sum_pooled(
   return drive_secure_sum(
       net, keys, to_s1.size(), [&](Channel& chan, std::size_t u) {
         secure_sum_submit_pooled(chan, pool_s1, pool_s2, to_s1[u], to_s2[u]);
+      });
+}
+
+SecureSumResult secure_sum_packed(
+    Network& net, const ServerPaillierKeys& keys, const PackingLayout& packing,
+    const std::vector<std::vector<std::int64_t>>& to_s1,
+    const std::vector<std::vector<std::int64_t>>& to_s2, Rng& users_rng) {
+  validate_share_matrix(to_s1, to_s2);
+  return drive_secure_sum(
+      net, keys, to_s1.size(), [&](Channel& chan, std::size_t u) {
+        secure_sum_submit_split(chan, keys.s2.pk, keys.s1.pk, to_s1[u],
+                                to_s2[u], users_rng, &packing, nullptr);
       });
 }
 

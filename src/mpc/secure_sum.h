@@ -35,11 +35,36 @@ void secure_sum_submit(Channel& chan, const PaillierPublicKey& s1_stream_pk,
 /// Pool-backed user role (paper Sec. VI-A): draws pre-computed randomizer
 /// powers instead of running a pow_mod per entry.  `pool_s1` must hold
 /// randomizers for the S1-bound stream's key and `pool_s2` for the
-/// S2-bound stream's key.  Throws std::runtime_error if a pool runs dry.
+/// S2-bound stream's key.  A dry pool falls through to inline generation
+/// (counted as obs::Op::kPoolMiss — never throws).
 void secure_sum_submit_pooled(Channel& chan, PaillierRandomizerPool& pool_s1,
                               PaillierRandomizerPool& pool_s2,
                               const std::vector<std::int64_t>& to_s1,
                               const std::vector<std::int64_t>& to_s2);
+
+/// Precompute/packing-aware user role (DESIGN.md §15).  With `packing`,
+/// each stream's L values ride in layout.num_cts packed ciphertexts.  With
+/// `pre`, ciphertexts come from this user's noise banks (bank_s1/bank_s2)
+/// when registered, else from the randomizer power streams
+/// (powers_pk2/powers_pk1); null members fall back to fresh encryption
+/// from `rng`.  Null `packing` + null `pre` is exactly secure_sum_submit.
+void secure_sum_submit_split(Channel& chan,
+                             const PaillierPublicKey& s1_stream_pk,
+                             const PaillierPublicKey& s2_stream_pk,
+                             const std::vector<std::int64_t>& to_s1,
+                             const std::vector<std::int64_t>& to_s2, Rng& rng,
+                             const PackingLayout* packing,
+                             const PartyPrecompute* pre);
+
+/// The encryption half of one secure_sum_submit_split stream, exposed for
+/// the lane-batched user program (mpc/consensus_batch.cpp) so a batched
+/// lane's sub-message is byte-identical to the sequential submit: noise
+/// bank if non-null, else power stream, else fresh from `rng` — packed
+/// (layout.num_cts ciphertexts) when `packing` is non-null.
+[[nodiscard]] std::vector<PaillierCiphertext> secure_sum_encrypt_stream(
+    const PaillierPublicKey& pk, const std::vector<std::int64_t>& values,
+    Rng& rng, const PackingLayout* packing, PaillierNoiseStream* bank,
+    PaillierPowerStream* stream);
 
 /// Server role: receives one ciphertext vector from each of
 /// "user:0" .. "user:<n_users-1>" in index order and aggregates them by
@@ -72,5 +97,13 @@ struct SecureSumResult {
     const std::vector<std::vector<std::int64_t>>& to_s1,
     const std::vector<std::vector<std::int64_t>>& to_s2,
     PaillierRandomizerPool& pool_s1, PaillierRandomizerPool& pool_s2);
+
+/// Packed variant of the driver: every user submits layout.num_cts
+/// ciphertexts per stream; the aggregates unpack (after decryption) to
+/// the same per-label sums the unpacked round produces.
+[[nodiscard]] SecureSumResult secure_sum_packed(
+    Network& net, const ServerPaillierKeys& keys, const PackingLayout& packing,
+    const std::vector<std::vector<std::int64_t>>& to_s1,
+    const std::vector<std::vector<std::int64_t>>& to_s2, Rng& users_rng);
 
 }  // namespace pcl

@@ -38,6 +38,8 @@ const char* op_name(Op op) {
       return "bigint.modmul_fixed";
     case Op::kBigIntModExpFixed:
       return "bigint.modexp_fixed";
+    case Op::kPoolMiss:
+      return "pool.miss";
   }
   return "unknown";
 }

@@ -55,9 +55,14 @@ enum class Op : unsigned {
   // that hit the fixed-limb CIOS path.
   kBigIntModMulFixed,  ///< Montgomery multiply served by a fixed-limb kernel
   kBigIntModExpFixed,  ///< modexp served by a fixed-limb kernel
+  // Offline/online split (DESIGN.md §15): a precompute pool or stream was
+  // asked for material it did not have ready, so the value was generated
+  // inline on the online path.  Bytes are unaffected (the fallback replays
+  // the same Rng position); only latency attribution shifts.
+  kPoolMiss,  ///< pool/stream exhausted; fell through to inline generation
 };
 
-inline constexpr std::size_t kNumOps = 17;
+inline constexpr std::size_t kNumOps = 18;
 
 /// Stable machine-readable name ("bigint.modexp", "paillier.encrypt", ...);
 /// these are the keys used by the trace / bench JSON schemas.

@@ -1,0 +1,277 @@
+// Offline/online split at the protocol level (DESIGN.md §15): pooled and
+// packed modes against the gates that keep them honest —
+//   - pool warmth never changes results or traffic: a cold run (every draw
+//     a pool miss) and a warm run (streams topped up offline) of the same
+//     seed release the same labels with identical per-step traffic;
+//   - pooled batch == pooled sequential (lane q registers the same streams
+//     a sequential pooled run of its lane seed would);
+//   - packed secure-sum releases the same labels as the unpacked lane and
+//     cuts the per-user submission by the packing factor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/precompute_service.h"
+#include "mpc/consensus.h"
+#include "mpc/he_util.h"
+#include "mpc/secure_sum.h"
+#include "net/party_runner.h"
+#include "obs/metrics.h"
+
+namespace pcl {
+namespace {
+
+ConsensusConfig small_config() {
+  ConsensusConfig cfg;
+  cfg.num_classes = 4;
+  cfg.num_users = 5;
+  cfg.threshold_fraction = 0.6;
+  cfg.sigma1 = 1.0;
+  cfg.sigma2 = 0.5;
+  cfg.share_bits = 30;
+  cfg.compare_bits = 44;
+  cfg.dgk_params.n_bits = 160;
+  cfg.dgk_params.v_bits = 30;
+  cfg.dgk_params.plaintext_bound = 160;
+  return cfg;
+}
+
+std::vector<std::vector<double>> one_hot_votes(const std::vector<int>& picks,
+                                               std::size_t classes) {
+  std::vector<std::vector<double>> votes;
+  for (const int p : picks) {
+    std::vector<double> v(classes, 0.0);
+    v[static_cast<std::size_t>(p)] = 1.0;
+    votes.push_back(std::move(v));
+  }
+  return votes;
+}
+
+std::vector<std::vector<std::vector<double>>> mixed_batch() {
+  return {
+      one_hot_votes({2, 2, 2, 2, 2}, 4),
+      one_hot_votes({0, 1, 2, 3, 0}, 4),
+      one_hot_votes({1, 1, 1, 1, 1}, 4),
+      one_hot_votes({3, 3, 3, 1, 1}, 4),
+  };
+}
+
+std::vector<std::optional<int>> labels_of(
+    const std::vector<ConsensusProtocol::QueryResult>& results) {
+  std::vector<std::optional<int>> out;
+  for (const auto& r : results) out.push_back(r.label);
+  return out;
+}
+
+/// Warms every party's streams for the given query seeds, exactly as the
+/// serving daemon does between sessions: resolve (= register) the handles
+/// through the canonical derivation, then top the service up.
+void warm_streams(ConsensusProtocol& protocol, PrecomputeService& svc,
+                  const std::vector<std::uint64_t>& seeds) {
+  std::vector<std::string> parties = {"S1", "S2"};
+  for (std::size_t u = 0; u < protocol.config().num_users; ++u) {
+    parties.push_back("user:" + std::to_string(u));
+  }
+  for (const std::uint64_t seed : seeds) {
+    for (const std::string& party : parties) {
+      (void)protocol.party_precompute(party, seed);
+    }
+  }
+  (void)svc.top_up_all();
+}
+
+TEST(ConsensusPrecompute, WarmAndColdPooledRunsAreIdentical) {
+  // Two protocols over the same keygen seed, both pooled; one gets its
+  // streams topped up offline, the other runs entirely on pool misses.
+  // Labels AND per-step traffic must match — warmth only moves work.
+  PrecomputeService cold_svc, warm_svc;
+  const std::uint64_t seed = 20200706;
+  const auto votes = one_hot_votes({2, 2, 2, 1, 2}, 4);
+
+  ConsensusConfig cfg = small_config();
+  cfg.precompute = &cold_svc;
+  DeterministicRng keygen_a(7);
+  ConsensusProtocol cold(cfg, keygen_a);
+
+  cfg.precompute = &warm_svc;
+  DeterministicRng keygen_b(7);
+  ConsensusProtocol warm(cfg, keygen_b);
+  warm_streams(warm, warm_svc, {seed});
+  const PrecomputeStats warmed = warm_svc.totals();
+  EXPECT_GT(warmed.generated, 0u);
+
+  obs::MetricsRegistry cold_metrics, warm_metrics;
+  cold.set_observer(nullptr, &cold_metrics);
+  warm.set_observer(nullptr, &warm_metrics);
+  const auto cold_label = cold.run_query_seeded(votes, seed).label;
+  const auto warm_label = warm.run_query_seeded(votes, seed).label;
+  EXPECT_EQ(cold_label, warm_label);
+
+  // The cold run missed on every power draw; the warm run's noise banks
+  // are not pre-registered by warm_streams (their frames are per-query),
+  // but its power streams must serve from ready material.
+  EXPECT_GT(cold_metrics.total(obs::Op::kPoolMiss),
+            warm_metrics.total(obs::Op::kPoolMiss));
+  // Same PROTOCOL-op totals: pooling moves work, never changes it.  The
+  // bigint kernel counters (modexp/modmul and their fixed-limb variants)
+  // legitimately differ — the warm run did those exponentiations offline
+  // inside warm_streams, before the observer window — which is the whole
+  // point of the split.
+  for (std::size_t op = 0; op < obs::kNumOps; ++op) {
+    switch (static_cast<obs::Op>(op)) {
+      case obs::Op::kPoolMiss:
+      case obs::Op::kBigIntModExp:
+      case obs::Op::kBigIntModMul:
+      case obs::Op::kBigIntModExpFixed:
+      case obs::Op::kBigIntModMulFixed:
+        continue;
+      default:
+        break;
+    }
+    EXPECT_EQ(warm_metrics.total(static_cast<obs::Op>(op)),
+              cold_metrics.total(static_cast<obs::Op>(op)))
+        << "op " << obs::op_name(static_cast<obs::Op>(op));
+  }
+
+  // Identical per-step traffic (message counts and sizes).
+  const auto cold_traffic = cold.stats().traffic_entries();
+  const auto warm_traffic = warm.stats().traffic_entries();
+  ASSERT_FALSE(cold_traffic.empty());
+  EXPECT_EQ(cold_traffic, warm_traffic);
+}
+
+TEST(ConsensusPrecompute, PooledBatchMatchesPooledSequential) {
+  PrecomputeService svc;
+  ConsensusConfig cfg = small_config();
+  cfg.precompute = &svc;
+  DeterministicRng keygen(7);
+  ConsensusProtocol protocol(cfg, keygen);
+  const auto batch = mixed_batch();
+  const std::uint64_t base_seed = 424242;
+
+  const auto sequential = labels_of(protocol.run_batch_seeded(
+      batch, base_seed, ConsensusTransport::kInProcess,
+      BatchMode::kSequential));
+  for (const auto transport :
+       {ConsensusTransport::kInProcess, ConsensusTransport::kThreaded}) {
+    EXPECT_EQ(labels_of(protocol.run_batch_seeded(batch, base_seed, transport,
+                                                  BatchMode::kLaneBatched)),
+              sequential)
+        << "transport " << static_cast<int>(transport);
+  }
+}
+
+TEST(ConsensusPrecompute, PackedQueryMatchesUnpackedLabels) {
+  // Packing changes the wire format of steps 2/3/6/7, not the decision:
+  // same keys, same seeds, same labels.
+  DeterministicRng keygen_a(7), keygen_b(7);
+  ConsensusConfig cfg = small_config();
+  ConsensusProtocol unpacked(cfg, keygen_a);
+  cfg.pack_secure_sum = true;
+  ConsensusProtocol packed(cfg, keygen_b);
+
+  for (const std::uint64_t seed : {1ull, 77ull, 20200706ull}) {
+    for (const auto& votes : mixed_batch()) {
+      EXPECT_EQ(packed.run_query_seeded(votes, seed).label,
+                unpacked.run_query_seeded(votes, seed).label)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ConsensusPrecompute, PackedBatchMatchesPackedSequential) {
+  ConsensusConfig cfg = small_config();
+  cfg.pack_secure_sum = true;
+  DeterministicRng keygen(7);
+  ConsensusProtocol protocol(cfg, keygen);
+  const auto batch = mixed_batch();
+
+  const auto sequential = labels_of(protocol.run_batch_seeded(
+      batch, 31337, ConsensusTransport::kInProcess, BatchMode::kSequential));
+  EXPECT_EQ(labels_of(protocol.run_batch_seeded(
+                batch, 31337, ConsensusTransport::kThreaded,
+                BatchMode::kLaneBatched)),
+            sequential);
+}
+
+TEST(ConsensusPrecompute, PackedAndPooledComposeInBatchMode) {
+  // The full offline/online configuration the bench commits: packing plus
+  // a warm precompute service, batch mode, against the plain sequential
+  // labels of the same lane seeds.
+  DeterministicRng keygen_a(7), keygen_b(7);
+  ConsensusConfig cfg = small_config();
+  ConsensusProtocol plain(cfg, keygen_a);
+
+  PrecomputeService svc;
+  cfg.pack_secure_sum = true;
+  cfg.precompute = &svc;
+  ConsensusProtocol split(cfg, keygen_b);
+
+  const auto batch = mixed_batch();
+  const std::uint64_t base_seed = 99;
+  std::vector<std::uint64_t> lane_seeds;
+  for (std::size_t q = 0; q < batch.size(); ++q) {
+    lane_seeds.push_back(derive_party_seed(base_seed, q));
+  }
+  warm_streams(split, svc, lane_seeds);
+
+  EXPECT_EQ(labels_of(split.run_batch_seeded(batch, base_seed,
+                                             ConsensusTransport::kThreaded,
+                                             BatchMode::kLaneBatched)),
+            labels_of(plain.run_batch_seeded(batch, base_seed,
+                                             ConsensusTransport::kInProcess,
+                                             BatchMode::kSequential)));
+  EXPECT_GT(svc.totals().hits, 0u);
+}
+
+TEST(ConsensusPrecompute, PackedSecureSumCutsSubmissionCiphertexts) {
+  // At a 128-bit modulus with bench-shaped values (value_bits 21, 6
+  // addends), 5 labels ride in ONE ciphertext instead of five: the
+  // per-user submission to each server drops 5-fold.
+  DeterministicRng rng(31337);
+  const ServerPaillierKeys keys = generate_server_paillier_keys(128, rng);
+  const std::size_t users = 5, k = 5;
+  const PackingLayout layout = make_packing_layout(k, 21, users + 1, 126);
+  ASSERT_EQ(layout.num_cts, 1u);
+
+  std::vector<std::vector<std::int64_t>> to_s1(users), to_s2(users);
+  std::vector<std::int64_t> expect_a(k, 0), expect_b(k, 0);
+  for (std::size_t u = 0; u < users; ++u) {
+    for (std::size_t i = 0; i < k; ++i) {
+      to_s1[u].push_back(static_cast<std::int64_t>(u * 31 + i) - 64);
+      to_s2[u].push_back(static_cast<std::int64_t>(i * 17) -
+                         static_cast<std::int64_t>(u));
+      expect_a[i] += to_s1[u].back();
+      expect_b[i] += to_s2[u].back();
+    }
+  }
+
+  TrafficStats packed_stats, plain_stats;
+  Network packed_net(&packed_stats), plain_net(&plain_stats);
+  packed_net.set_step("Secure Sum (2)");
+  plain_net.set_step("Secure Sum (2)");
+
+  const SecureSumResult packed =
+      secure_sum_packed(packed_net, keys, layout, to_s1, to_s2, rng);
+  const SecureSumResult plain =
+      secure_sum(plain_net, keys, to_s1, to_s2, rng);
+
+  ASSERT_EQ(packed.s1_aggregate.size(), 1u);
+  ASSERT_EQ(plain.s1_aggregate.size(), k);
+  EXPECT_EQ(decrypt_packed_vector(keys.s2.sk, layout, packed.s1_aggregate,
+                                  users),
+            expect_a);
+  EXPECT_EQ(decrypt_packed_vector(keys.s1.sk, layout, packed.s2_aggregate,
+                                  users),
+            expect_b);
+  EXPECT_EQ(decrypt_vector(keys.s2.sk, plain.s1_aggregate), expect_a);
+
+  // >= L/2-fold wire reduction (here exactly L-fold in ciphertext count).
+  EXPECT_LE(packed_stats.bytes_for("Secure Sum (2)", "user", "S1") * 2,
+            plain_stats.bytes_for("Secure Sum (2)", "user", "S1"));
+}
+
+}  // namespace
+}  // namespace pcl

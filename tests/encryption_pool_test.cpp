@@ -25,12 +25,32 @@ TEST_F(EncryptionPoolTest, PooledEncryptionsDecryptCorrectly) {
   EXPECT_EQ(pool.remaining(), 27u);
 }
 
-TEST_F(EncryptionPoolTest, PoolExhaustionThrows) {
+TEST_F(EncryptionPoolTest, ExhaustionFallsThroughToInlineGeneration) {
   PaillierRandomizerPool pool(key_.pk, 2, 1, 2);
   (void)pool.encrypt(BigInt(1));
   (void)pool.encrypt(BigInt(2));
-  EXPECT_THROW((void)pool.encrypt(BigInt(3)), std::runtime_error);
   EXPECT_EQ(pool.remaining(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  // A dry pool never throws mid-protocol: the draw is served inline from
+  // the dedicated fallback stream and counted as a miss.
+  const auto ct = pool.encrypt(BigInt(3));
+  EXPECT_EQ(key_.sk.decrypt(ct), BigInt(3));
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(key_.sk.decrypt(pool.encrypt(BigInt(-4))), BigInt(-4));
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.remaining(), 0u);
+}
+
+TEST_F(EncryptionPoolTest, FallThroughRandomizersAreDistinctFromPooled) {
+  // The fallback stream must not replay the pooled randomizers (same seed,
+  // salted stream), or two ciphertexts would share a randomizer.
+  PaillierRandomizerPool pool(key_.pk, 3, 1, 11);
+  std::set<std::string> seen;
+  for (int i = 0; i < 6; ++i) {
+    seen.insert(pool.encrypt(BigInt(5)).value.to_string(16));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(pool.misses(), 3u);
 }
 
 TEST_F(EncryptionPoolTest, RefillExtendsAnExhaustedPool) {

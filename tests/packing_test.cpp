@@ -1,0 +1,139 @@
+// Paillier plaintext packing (crypto/packing.h): slot geometry, the
+// headroom boundary, and exactness of packed homomorphic aggregation
+// against the unpacked per-label path.
+#include "crypto/packing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/paillier.h"
+
+namespace pcl {
+namespace {
+
+TEST(PackingLayout, BenchGeometryPacksFiveSlotsPerCiphertext) {
+  // The batch bench shape: L = 10 labels, share_bits = 18 (value_bits 21),
+  // U = 5 users (+1 mask composition), 128-bit Paillier (126 usable bits).
+  const PackingLayout layout = make_packing_layout(10, 21, 6, 126);
+  EXPECT_EQ(layout.slot_bits, 24u);  // 21 + ceil_log2(6)
+  EXPECT_EQ(layout.slots_per_ct, 5u);
+  EXPECT_EQ(layout.num_cts, 2u);
+  EXPECT_EQ(layout.bias, std::int64_t{1} << 20);
+}
+
+TEST(PackingLayout, SingleLabelDegeneratesToOneCiphertext) {
+  const PackingLayout layout = make_packing_layout(1, 21, 4, 62);
+  EXPECT_EQ(layout.slots_per_ct, 1u);
+  EXPECT_EQ(layout.num_cts, 1u);
+  const std::vector<BigInt> packed = pack_values(layout, {-7}, 2);
+  EXPECT_EQ(unpack_values(layout, packed, 2), (std::vector<std::int64_t>{-7}));
+}
+
+TEST(PackingLayout, ValueCountNotDividingSlotsLeavesPartialLastCiphertext) {
+  // 7 values at 5 slots per ciphertext: the second carries only 2 slots,
+  // and the round trip must not read phantom slots from it.
+  const PackingLayout layout = make_packing_layout(7, 21, 6, 126);
+  EXPECT_EQ(layout.slots_per_ct, 5u);
+  EXPECT_EQ(layout.num_cts, 2u);
+  const std::vector<std::int64_t> values = {1, -2, 3, -4, 5, -6, 7};
+  EXPECT_EQ(unpack_values(layout, pack_values(layout, values, 1), 1), values);
+}
+
+TEST(PackingLayout, RejectsSlotWiderThanPlaintext) {
+  // 40 + ceil_log2(2^24) = 64 > 62-bit slot cap.
+  EXPECT_THROW((void)make_packing_layout(4, 40, 1u << 24, 62),
+               std::invalid_argument);
+  // 42-bit slot does not fit a 30-bit plaintext.
+  EXPECT_THROW((void)make_packing_layout(4, 40, 4, 30),
+               std::invalid_argument);
+}
+
+TEST(Packing, HeadroomBoundaryIsExact) {
+  // value_bits 8, max_addends 4: slot_bits 10, bias 128.  The biased slot
+  // v + addend_count * bias must stay inside [0, 1024) exactly.
+  const PackingLayout layout = make_packing_layout(2, 8, 4, 62);
+  EXPECT_NO_THROW((void)pack_values(layout, {895, -128}, 1));
+  EXPECT_THROW((void)pack_values(layout, {-129, 0}, 1), std::out_of_range);
+  EXPECT_THROW((void)pack_values(layout, {896, 0}, 1), std::out_of_range);
+  // At addend_count = max_addends = 4 the offset is 512: 511 is the last
+  // aggregate that fits, 512 overflows into the neighboring slot.
+  EXPECT_NO_THROW((void)pack_values(layout, {511, -512}, 4));
+  EXPECT_THROW((void)pack_values(layout, {512, 0}, 4), std::out_of_range);
+  // addend_count itself is bounded by the layout's headroom.
+  EXPECT_THROW((void)pack_values(layout, {0, 0}, 5), std::out_of_range);
+  EXPECT_THROW((void)pack_values(layout, {0, 0}, 0), std::out_of_range);
+}
+
+TEST(Packing, PackedAggregationMatchesUnpackedVoteTotals) {
+  // The secure-sum contract: U users each encrypt a packed share vector;
+  // the server multiplies ciphertexts; decrypt + unpack(U) equals the
+  // per-label plain sums bit for bit.  Seeded, so the totals are a fixed
+  // function of the seed on every run.
+  DeterministicRng rng(2024);
+  const PaillierKeyPair key = generate_paillier_key(128, rng);
+  const std::size_t users = 5, labels = 10;
+  const PackingLayout layout = make_packing_layout(labels, 21, users + 1, 126);
+
+  std::vector<std::int64_t> expect(labels, 0);
+  std::vector<PaillierCiphertext> agg;
+  for (std::size_t u = 0; u < users; ++u) {
+    std::vector<std::int64_t> shares(labels);
+    for (std::size_t i = 0; i < labels; ++i) {
+      shares[i] = rng.uniform_in(BigInt(-100000), BigInt(100000)).to_int64();
+      expect[i] += shares[i];
+    }
+    const std::vector<BigInt> packed = pack_values(layout, shares, 1);
+    for (std::size_t c = 0; c < packed.size(); ++c) {
+      PaillierCiphertext ct = key.pk.encrypt(packed[c], rng);
+      if (u == 0) {
+        agg.push_back(ct);
+      } else {
+        agg[c] = key.pk.add(agg[c], ct);
+      }
+    }
+  }
+
+  std::vector<BigInt> plain;
+  for (const PaillierCiphertext& ct : agg) plain.push_back(key.sk.decrypt(ct));
+  EXPECT_EQ(unpack_values(layout, plain, users), expect);
+}
+
+TEST(Packing, DeltaCompositionPreservesAddendCount) {
+  // pack_delta + compose_plain shifts every slot without consuming
+  // headroom: the mask-composition path of the packed BnP slots.
+  DeterministicRng rng(77);
+  const PaillierKeyPair key = generate_paillier_key(128, rng);
+  const PackingLayout layout = make_packing_layout(6, 21, 4, 126);
+
+  const std::vector<std::int64_t> base = {10, -20, 30, -40, 50, -60};
+  const std::vector<std::int64_t> delta = {-1, 2, -3, 4, -5, 6};
+  const std::vector<BigInt> packed = pack_values(layout, base, 3);
+  const std::vector<BigInt> shift = pack_delta(layout, delta);
+
+  std::vector<std::int64_t> want(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) want[i] = base[i] + delta[i];
+
+  std::vector<BigInt> composed;
+  for (std::size_t c = 0; c < packed.size(); ++c) {
+    const PaillierCiphertext ct = key.pk.encrypt(packed[c], rng);
+    composed.push_back(key.sk.decrypt(key.pk.compose_plain(ct, shift[c])));
+  }
+  EXPECT_EQ(unpack_values(layout, composed, 3), want);
+}
+
+TEST(Packing, UnpackRejectsMalformedPlaintexts) {
+  const PackingLayout layout = make_packing_layout(3, 10, 2, 62);
+  const std::vector<BigInt> packed = pack_values(layout, {1, 2, 3}, 1);
+  EXPECT_THROW((void)unpack_values(layout, {packed[0], packed[0]}, 1),
+               std::invalid_argument);
+  // A plaintext wider than the laid-out slots signals key/layout mismatch.
+  EXPECT_THROW(
+      (void)unpack_values(layout, {BigInt(1) << 40}, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcl

@@ -121,13 +121,21 @@ TEST_F(SecureSumTest, PooledVariantMatchesPlainVariant) {
   EXPECT_EQ(pool_s2.remaining(), 0u);
 }
 
-TEST_F(SecureSumTest, PooledVariantThrowsWhenPoolDry) {
+TEST_F(SecureSumTest, PooledVariantFallsThroughWhenPoolDry) {
+  // A dry pool must not kill the round mid-protocol: draws past the pool
+  // are served inline (counted as misses) and the sums stay correct.
   PaillierRandomizerPool small_pool(keys_.s2.pk, 1, 1, 13);
   PaillierRandomizerPool other_pool(keys_.s1.pk, 8, 1, 14);
   Network net;
-  EXPECT_THROW((void)secure_sum_pooled(net, keys_, {{1, 2}}, {{3, 4}},
-                                       small_pool, other_pool),
-               std::runtime_error);
+  const SecureSumResult result =
+      secure_sum_pooled(net, keys_, {{1, 2}}, {{3, 4}}, small_pool,
+                        other_pool);
+  EXPECT_EQ(decrypt_vector(keys_.s2.sk, result.s1_aggregate),
+            (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(decrypt_vector(keys_.s1.sk, result.s2_aggregate),
+            (std::vector<std::int64_t>{3, 4}));
+  EXPECT_EQ(small_pool.misses(), 1u);
+  EXPECT_EQ(other_pool.misses(), 0u);
 }
 
 }  // namespace

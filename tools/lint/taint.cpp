@@ -24,6 +24,7 @@ const std::set<std::string>& builtin_secret_idents() {
 const std::set<std::string>& builtin_tainting_calls() {
   static const std::set<std::string> s = {
       "decrypt", "decrypt_raw", "decrypt_crt", "decrypt_vector",
+      "decrypt_packed_vector",
   };
   return s;
 }
@@ -32,8 +33,20 @@ const std::set<std::string>& builtin_tainting_calls() {
 // public ciphertext, and pc_declassify is the explicit reviewed escape.
 const std::set<std::string>& laundering_calls() {
   static const std::set<std::string> s = {
-      "pc_declassify", "encrypt",       "encrypt_with_randomness",
-      "encrypt_vector", "encrypt_batch", "rerandomize",
+      "pc_declassify",
+      "encrypt",
+      "encrypt_with_randomness",
+      "encrypt_vector",
+      "encrypt_batch",
+      "rerandomize",
+      // Precompute-service / packed lanes (DESIGN.md §15): pooled and
+      // packed encryption wrap encrypt_with_power, whose output is a full
+      // probabilistic ciphertext; the stream draw itself never touches
+      // plaintext secrets.
+      "encrypt_with_power",
+      "encrypt_vector_pooled",
+      "encrypt_packed_vector",
+      "secure_sum_encrypt_stream",
   };
   return s;
 }

@@ -84,6 +84,7 @@
 #include <vector>
 
 #include "bigint/rng.h"
+#include "crypto/precompute_service.h"
 #include "mpc/consensus.h"
 #include "net/errors.h"
 #include "net/party_runner.h"
@@ -128,6 +129,12 @@ struct Options {
   int fail_session = -1;           ///< serve-all: abandon session index K
   std::size_t max_sessions = 8;    ///< per-daemon admission cap
   std::size_t session_workers = 2; ///< per-daemon worker pool size
+  /// Offline/online split (DESIGN.md §15): attach a PrecomputeService so
+  /// every party draws randomizer/blinding powers from seeded streams.  A
+  /// serving daemon pre-registers its expected session streams, warms them
+  /// before accepting connections, and runs the service's low-priority
+  /// worker so pools top up in the gaps between sessions.
+  bool precompute = false;
 };
 
 int usage(const char* argv0) {
@@ -161,7 +168,11 @@ int usage(const char* argv0) {
       "  --max-sessions N     serving: admission cap on concurrent sessions\n"
       "                       (default 8; SESSION_REJECT \"busy\" beyond it)\n"
       "  --session-workers N  serving: FIFO worker threads per daemon\n"
-      "                       (default 2)\n",
+      "                       (default 2)\n"
+      "  --precompute         offline/online split: draw randomizer powers\n"
+      "                       from a background precompute service (serving\n"
+      "                       daemons warm expected session streams up front\n"
+      "                       and top pools up between sessions)\n",
       argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -197,6 +208,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       if ((v = need_value(i)) == nullptr) return std::nullopt;
       opt.session_workers =
           static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--precompute") == 0) {
+      opt.precompute = true;
     } else if (std::strcmp(arg, "--trace") == 0) {
       opt.trace = true;
     } else if (std::strcmp(arg, "--check-parity") == 0) {
@@ -302,7 +315,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
 /// Smoke-sized crypto parameters (the tier-1 test profile): big enough to
 /// run the full Alg. 5 pipeline, small enough that a multi-process run
 /// finishes in seconds.
-pcl::ConsensusConfig make_config(const Options& opt) {
+pcl::ConsensusConfig make_config(const Options& opt,
+                                 pcl::PrecomputeService* precompute = nullptr) {
   pcl::ConsensusConfig cfg;
   cfg.num_classes = opt.classes;
   cfg.num_users = opt.users;
@@ -314,6 +328,7 @@ pcl::ConsensusConfig make_config(const Options& opt) {
   cfg.dgk_params.n_bits = 160;
   cfg.dgk_params.v_bits = 30;
   cfg.dgk_params.plaintext_bound = 160;
+  cfg.precompute = opt.precompute ? precompute : nullptr;
   return cfg;
 }
 
@@ -523,8 +538,15 @@ int run_role(const pcl::ConsensusProtocol& protocol, const Options& opt,
 int run_single(const Options& opt) {
   const pcl::EndpointMap endpoints =
       pcl::parse_endpoint_map(pcl::obs::read_text_file(opt.endpoints_path));
+  pcl::PrecomputeService precompute;
   pcl::DeterministicRng keygen(opt.keygen_seed);
-  const pcl::ConsensusProtocol protocol(make_config(opt), keygen);
+  const pcl::ConsensusProtocol protocol(make_config(opt, &precompute), keygen);
+  if (opt.precompute) {
+    // Warm this party's streams for the query seed before connecting: the
+    // offline phase of a one-shot run.
+    (void)protocol.party_precompute(opt.role, opt.seed);
+    (void)precompute.top_up_all();
+  }
   pcl::TcpPartyWiring wiring = pcl::consensus_tcp_wiring(
       opt.role, opt.users, endpoints, timeouts_from(opt));
   return run_role(protocol, opt, opt.role, make_votes(opt), std::move(wiring),
@@ -606,6 +628,25 @@ int serve_role(const pcl::ConsensusProtocol& protocol, const Options& opt,
   pcl::SessionServer server(std::move(cfg), std::move(program),
                             std::move(sink));
 
+  // Offline phase: pre-register this role's streams for the session seeds
+  // the serve-all orchestrator will drive (derive_party_seed(seed, i)) and
+  // warm them before the listener accepts anything, then keep the service's
+  // low-priority worker running so pools top back up in the idle gaps
+  // between sessions.  A session with an unanticipated seed still works —
+  // its streams register cold and every draw falls through inline (counted
+  // as pool.miss), with identical bytes.
+  pcl::PrecomputeService* precompute = protocol.config().precompute;
+  if (precompute != nullptr) {
+    for (std::size_t i = 0; i < opt.sessions; ++i) {
+      (void)protocol.party_precompute(role, pcl::derive_party_seed(opt.seed, i));
+    }
+    const std::size_t warmed = precompute->top_up_all();
+    std::printf("pc_party[%s]: precompute warm: %zu items generated "
+                "offline\n",
+                role.c_str(), warmed);
+    precompute->start_worker();
+  }
+
   // The admin endpoint is mandatory in serving mode — it carries the
   // drain-then-exit quit handshake; without --admin it binds ephemerally.
   const pcl::TcpEndpoint admin_endpoint =
@@ -644,6 +685,7 @@ int serve_role(const pcl::ConsensusProtocol& protocol, const Options& opt,
                  role.c_str());
   }
   server.drain_and_stop();
+  if (precompute != nullptr) precompute->stop_worker();
   // Post-drain summary artifacts: the aggregate metrics (every session's
   // latency folded in) and the final session table outlive the daemon.
   try {
@@ -661,8 +703,9 @@ int serve_role(const pcl::ConsensusProtocol& protocol, const Options& opt,
 int run_serve(const Options& opt) {
   const pcl::EndpointMap endpoints =
       pcl::parse_endpoint_map(pcl::obs::read_text_file(opt.endpoints_path));
+  pcl::PrecomputeService precompute;
   pcl::DeterministicRng keygen(opt.keygen_seed);
-  const pcl::ConsensusProtocol protocol(make_config(opt), keygen);
+  const pcl::ConsensusProtocol protocol(make_config(opt, &precompute), keygen);
   return serve_role(protocol, opt, opt.role, make_votes(opt), endpoints,
                     pcl::TcpListener{});
 }
@@ -785,8 +828,13 @@ int run_all(const Options& opt) {
 
   // Keys are generated ONCE here; children inherit them through fork, the
   // exact sharing the in-process harness gets from one protocol object.
+  // The precompute service is created here too (threadless, so it forks
+  // cleanly): each child's copy serves only that child's party streams,
+  // and the parent's untouched copy serves the parity replay — streams are
+  // deterministic per (key, seed), so every copy yields the same bytes.
+  pcl::PrecomputeService precompute;
   pcl::DeterministicRng keygen(opt.keygen_seed);
-  pcl::ConsensusProtocol protocol(make_config(opt), keygen);
+  pcl::ConsensusProtocol protocol(make_config(opt, &precompute), keygen);
 
   std::map<std::string, ChildResult> children;
   for (const std::string& role : roles) {
@@ -1079,8 +1127,28 @@ int run_serve_all(const Options& opt) {
                             pcl::format_endpoint_map(endpoints));
 
   // One keygen, shared with both daemons through fork (run_all's trick).
+  // The serve-side precompute service is forked threadless into the
+  // daemons (each warms its own copy in serve_role) and also serves the
+  // orchestrator's in-process user programs.
+  pcl::PrecomputeService precompute;
   pcl::DeterministicRng keygen(opt.keygen_seed);
-  pcl::ConsensusProtocol protocol(make_config(opt), keygen);
+  pcl::ConsensusProtocol protocol(make_config(opt, &precompute), keygen);
+
+  // Precompute streams are consumed IN ORDER per (key, seed): the client's
+  // user programs above will advance the parent service's user streams, so
+  // the per-session parity replay needs a FRESH service (same derivation,
+  // positions back at zero) — and its own protocol bound to it.  Same
+  // keygen seed, identical keys.
+  std::unique_ptr<pcl::PrecomputeService> replay_precompute;
+  std::unique_ptr<pcl::ConsensusProtocol> replay_protocol;
+  pcl::ConsensusProtocol* replay = &protocol;
+  if (opt.precompute) {
+    replay_precompute = std::make_unique<pcl::PrecomputeService>();
+    pcl::DeterministicRng replay_keygen(opt.keygen_seed);
+    replay_protocol = std::make_unique<pcl::ConsensusProtocol>(
+        make_config(opt, replay_precompute.get()), replay_keygen);
+    replay = replay_protocol.get();
+  }
 
   std::map<std::string, ChildResult> children;
   for (const std::string role : {"S1", "S2"}) {
@@ -1232,7 +1300,7 @@ int run_serve_all(const Options& opt) {
       code = 1;
       continue;
     }
-    if (check_session_parity(protocol, opt, votes, outcome) != 0) {
+    if (check_session_parity(*replay, opt, votes, outcome) != 0) {
       code = 1;
     } else {
       ++parity_ok;
